@@ -1,0 +1,211 @@
+(* The benchmark harness: regenerates every table and figure of the paper's
+   evaluation (CGO 2004, §3.2 and §4.2), the design-choice ablations called
+   out in DESIGN.md, and a set of Bechamel micro-benchmarks for the core
+   data structures.
+
+   Usage:
+     main.exe                 -- everything, at paper ("training input") scale
+     main.exe --fast          -- everything, at the small test scale
+     main.exe fig5 table1 ... -- only the named sections
+   Section names: fig5 fig6 fig7 fig8 fig9 table1 ablations extensions micro *)
+
+open Ormp_report
+
+let section_names =
+  [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "table1"; "ablations"; "extensions"; "micro" ]
+
+let parse_args () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let fast = List.mem "--fast" args in
+  let wanted = List.filter (fun a -> a <> "--fast") args in
+  List.iter
+    (fun w ->
+      if not (List.mem w section_names) then begin
+        Printf.eprintf "unknown section %S (known: %s)\n" w (String.concat " " section_names);
+        exit 2
+      end)
+    wanted;
+  let enabled name = wanted = [] || List.mem name wanted in
+  (fast, enabled)
+
+let timed name f =
+  let t0 = Sys.time () in
+  let r = f () in
+  Printf.printf "[%s took %.1fs]\n\n%!" name (Sys.time () -. t0);
+  r
+
+(* ------------------------------------------------------------------ *)
+(* Paper sections                                                      *)
+(* ------------------------------------------------------------------ *)
+
+let run_fig5 ~bench () =
+  timed "fig5" (fun () -> print_string (Experiments.render_fig5 (Experiments.fig5 ~bench ())))
+
+let run_dependence_figs ~bench ~enabled () =
+  let needs = List.exists enabled [ "fig6"; "fig7"; "fig8"; "fig9"; "table1" ] in
+  if needs then begin
+    let suites = timed "instrumented runs (shared)" (fun () -> Experiments.run_suites ~bench ()) in
+    if enabled "fig6" then
+      print_string
+        (Experiments.render_dist
+           ~title:"Figure 6: error distribution of the LEAP memory-dependence results"
+           (Experiments.fig6 suites));
+    if enabled "fig7" then
+      print_string
+        (Experiments.render_dist
+           ~title:"Figure 7: error distribution of the Connors memory-dependence results"
+           (Experiments.fig7 suites));
+    if enabled "fig8" then print_string (Experiments.render_fig8 (Experiments.fig8 suites));
+    if enabled "fig9" then print_string (Experiments.render_fig9 (Experiments.fig9 suites));
+    if enabled "table1" then
+      timed "table1 (dilation reruns)" (fun () ->
+          print_string (Experiments.render_table1 (Experiments.table1 ~bench suites)))
+  end
+
+let run_ablations ~bench () =
+  timed "ablations" (fun () ->
+      let mcf = Ormp_workloads.Registry.find "181.mcf-like" in
+      let gzip = Ormp_workloads.Registry.find "164.gzip-like" in
+      print_string
+        (Experiments.render_budget ~workload:mcf.Ormp_workloads.Registry.name
+           (Experiments.ablation_lmad_budget ~bench mcf));
+      print_string
+        (Experiments.render_budget ~workload:gzip.Ormp_workloads.Registry.name
+           (Experiments.ablation_lmad_budget ~bench gzip));
+      print_string
+        (Experiments.render_window ~workload:gzip.Ormp_workloads.Registry.name
+           (Experiments.ablation_connors_window ~bench gzip));
+      print_string (Experiments.render_fused (Experiments.ablation_no_decomposition ~bench ()));
+      print_string (Experiments.render_grouping (Experiments.ablation_grouping ~bench ()));
+      print_string (Experiments.render_pool (Experiments.ablation_pool_handling ~bench ())))
+
+let run_extensions ~bench () =
+  timed "extensions" (fun () ->
+      print_string (Experiments.render_phases (Experiments.extension_phases ~bench ())))
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel micro-benchmarks                                           *)
+(* ------------------------------------------------------------------ *)
+
+let micro_tests () =
+  let open Bechamel in
+  let rng = Ormp_util.Prng.create ~seed:42 in
+  (* Pre-built inputs so the benchmarks measure steady-state operations. *)
+  let repetitive = Array.init 4096 (fun i -> i mod 7) in
+  let scattered = Array.init 4096 (fun _ -> Ormp_util.Prng.int rng 100000) in
+  let seq_push name input =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let s = Ormp_sequitur.Sequitur.create () in
+           Array.iter (Ormp_sequitur.Sequitur.push s) input))
+  in
+  let range_index =
+    Test.make ~name:"range_index: 1k insert+find"
+      (Staged.stage (fun () ->
+           let t = Ormp_interval.Range_index.create () in
+           for i = 0 to 999 do
+             Ormp_interval.Range_index.insert t ~base:(i * 64) ~size:64 i
+           done;
+           for i = 0 to 999 do
+             ignore (Ormp_interval.Range_index.find t ((i * 64) + 17))
+           done))
+  in
+  let omc_translate =
+    let omc = Ormp_core.Omc.create ~site_name:(Printf.sprintf "s%d") () in
+    for i = 0 to 999 do
+      Ormp_core.Omc.on_alloc omc ~time:i ~site:1 ~addr:(i * 128) ~size:64 ~type_name:None
+    done;
+    Test.make ~name:"omc: 1k translations"
+      (Staged.stage (fun () ->
+           for i = 0 to 999 do
+             ignore (Ormp_core.Omc.translate omc ((i * 128) + 8))
+           done))
+  in
+  let lmad_add name pts =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let c = Ormp_lmad.Compressor.create ~dims:1 () in
+           Array.iter (fun p -> ignore (Ormp_lmad.Compressor.add c [| p |])) pts))
+  in
+  let solver =
+    let mk start stride count =
+      Ormp_lmad.Lmad.of_levels ~start ~levels:[ { Ormp_lmad.Lmad.stride; count } ]
+    in
+    let store = mk [| 0; 0; 0 |] [| 1; 8; 1 |] 100000 in
+    let load = mk [| 0; 4; 50 |] [| 1; 12; 1 |] 100000 in
+    Test.make ~name:"solver: closed-form conflict count (100k x 100k)"
+      (Staged.stage (fun () -> ignore (Ormp_lmad.Solver.count_conflicts ~store ~load)))
+  in
+  let profiler_event name mk_sink =
+    let events =
+      let r = Ormp_trace.Sink.recorder () in
+      ignore
+        (Ormp_vm.Runner.run
+           (Ormp_workloads.Micro.linked_list ~nodes:64 ~sweeps:8 ())
+           (Ormp_trace.Sink.recorder_sink r));
+      Ormp_trace.Sink.events r
+    in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let sink = mk_sink () in
+           Array.iter sink events))
+  in
+  Test.make_grouped ~name:"ormp"
+    [
+      seq_push "sequitur: 4k repetitive symbols" repetitive;
+      seq_push "sequitur: 4k scattered symbols" scattered;
+      range_index;
+      omc_translate;
+      lmad_add "lmad: 4k-point regular stream" (Array.init 4096 (fun i -> i * 8));
+      lmad_add "lmad: 4k-point scattered stream" scattered;
+      solver;
+      profiler_event "whomp: probe event cost (3k-event trace)" (fun () ->
+          fst (Ormp_whomp.Whomp.sink ~site_name:(Printf.sprintf "s%d") ()));
+      profiler_event "leap: probe event cost (3k-event trace)" (fun () ->
+          fst (Ormp_leap.Leap.sink ~site_name:(Printf.sprintf "s%d") ()));
+      profiler_event "connors: probe event cost (3k-event trace)" (fun () ->
+          Ormp_baselines.Connors.sink (Ormp_baselines.Connors.create ()));
+      profiler_event "lossless-dep: probe event cost (3k-event trace)" (fun () ->
+          Ormp_baselines.Lossless_dep.sink (Ormp_baselines.Lossless_dep.create ()));
+    ]
+
+let run_micro () =
+  timed "micro" (fun () ->
+      let open Bechamel in
+      print_endline (Ormp_util.Ascii.section "Micro-benchmarks (Bechamel, monotonic clock)");
+      let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+      let instances = Toolkit.Instance.[ monotonic_clock ] in
+      let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+      let raw = Benchmark.all cfg instances (micro_tests ()) in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      let rows = ref [] in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ ns ] -> rows := (name, ns) :: !rows
+          | _ -> ())
+        results;
+      let rows = List.sort compare !rows in
+      print_endline
+        (Ormp_util.Ascii.table ~header:[ "benchmark"; "time per run" ]
+           ~rows:
+             (List.map
+                (fun (name, ns) ->
+                  let pretty =
+                    if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+                    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+                    else Printf.sprintf "%.0f ns" ns
+                  in
+                  [ name; pretty ])
+                rows)))
+
+let () =
+  let fast, enabled = parse_args () in
+  let bench = not fast in
+  Printf.printf "ORMP benchmark harness — %s scale\n\n%!"
+    (if bench then "paper (training-input)" else "fast (test)");
+  if enabled "fig5" then run_fig5 ~bench ();
+  run_dependence_figs ~bench ~enabled ();
+  if enabled "ablations" then run_ablations ~bench ();
+  if enabled "extensions" then run_extensions ~bench ();
+  if enabled "micro" then run_micro ()

@@ -1,0 +1,467 @@
+(* ormp — command-line front end to the object-relative memory profilers.
+
+   Subcommands:
+     list          enumerate available workloads
+     trace         run a workload and dump its probe events (raw or
+                   object-relative)
+     whomp         collect a WHOMP (OMSG) profile, compare against RASG
+     leap          collect a LEAP profile; optionally run the dependence
+                   and stride post-processors
+     compare       per-pair dependence table: lossless vs LEAP vs Connors
+     record        write a raw probe-event trace to a file
+     replay        stream a recorded trace through any profiler
+     post          run the LEAP post-processors on a saved profile
+     analyze       hot data streams, object clustering, phase detection *)
+
+open Cmdliner
+module Registry = Ormp_workloads.Registry
+
+let find_program name =
+  match List.assoc_opt name Ormp_workloads.Micro.all with
+  | Some p -> p
+  | None -> (
+    try Registry.program (Registry.find name)
+    with Not_found ->
+      Printf.eprintf "unknown workload %S; try `ormp list`\n" name;
+      exit 2)
+
+let workload_arg =
+  Arg.(
+    required
+    & pos 0 (some string) None
+    & info [] ~docv:"WORKLOAD" ~doc:"Workload name (see $(b,ormp list)).")
+
+let config_of ~seed ~policy =
+  let policy =
+    match policy with
+    | "bump" -> Ormp_memsim.Allocator.Bump
+    | "first-fit" -> Ormp_memsim.Allocator.First_fit
+    | "best-fit" -> Ormp_memsim.Allocator.Best_fit
+    | "segregated" -> Ormp_memsim.Allocator.Segregated
+    | "randomized" -> Ormp_memsim.Allocator.Randomized 7
+    | other ->
+      Printf.eprintf "unknown allocator %S\n" other;
+      exit 2
+  in
+  { Ormp_vm.Config.default with Ormp_vm.Config.policy; seed }
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed" ] ~docv:"N" ~doc:"Workload input seed.")
+
+let policy_arg =
+  Arg.(
+    value
+    & opt string "first-fit"
+    & info [ "allocator" ] ~docv:"POLICY"
+        ~doc:"Heap allocator: bump, first-fit, best-fit, segregated or randomized.")
+
+(* --- list ----------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    print_endline "SPEC2000 stand-ins (the paper's Table 1 rows):";
+    List.iter
+      (fun e ->
+        let p = Registry.program e in
+        Printf.printf "  %-18s %s\n" e.Registry.name p.Ormp_vm.Program.description)
+      Registry.spec;
+    print_endline "\nMicro workloads:";
+    List.iter
+      (fun (n, p) -> Printf.printf "  %-18s %s\n" n p.Ormp_vm.Program.description)
+      Ormp_workloads.Micro.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available workloads") Term.(const run $ const ())
+
+(* --- trace ---------------------------------------------------------- *)
+
+let trace_cmd =
+  let run workload seed policy limit object_relative =
+    let program = find_program workload in
+    let config = config_of ~seed ~policy in
+    let printed = ref 0 in
+    if object_relative then begin
+      let cdc =
+        Ormp_core.Cdc.create
+          ~site_name:(Printf.sprintf "site%d")
+          ~on_tuple:(fun tu ->
+            if !printed < limit then begin
+              Format.printf "%a@." Ormp_core.Tuple.pp tu;
+              incr printed
+            end)
+          ()
+      in
+      ignore (Ormp_vm.Runner.run ~config program (Ormp_core.Cdc.sink cdc));
+      Printf.printf "... %d accesses collected, %d wild\n"
+        (Ormp_core.Cdc.collected cdc) (Ormp_core.Cdc.wild cdc)
+    end
+    else begin
+      let total = ref 0 in
+      let sink ev =
+        incr total;
+        if !printed < limit then begin
+          Format.printf "%a@." Ormp_trace.Event.pp ev;
+          incr printed
+        end
+      in
+      ignore (Ormp_vm.Runner.run ~config program sink);
+      Printf.printf "... %d events total\n" !total
+    end
+  in
+  let limit =
+    Arg.(value & opt int 40 & info [ "limit"; "n" ] ~docv:"N" ~doc:"Events to print.")
+  in
+  let object_relative =
+    Arg.(
+      value & flag
+      & info [ "object-relative"; "r" ]
+          ~doc:"Print translated (instr, group, object, offset, time) tuples instead of raw events.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Dump a workload's probe events")
+    Term.(const run $ workload_arg $ seed_arg $ policy_arg $ limit $ object_relative)
+
+(* --- whomp ---------------------------------------------------------- *)
+
+let whomp_cmd =
+  let run workload seed policy show_grammar save =
+    let program = find_program workload in
+    let config = config_of ~seed ~policy in
+    let p = Ormp_whomp.Whomp.profile ~config program in
+    (match save with
+    | Some path ->
+      Ormp_persist.Whomp_io.save path p;
+      Printf.printf "profile written to %s\n" path
+    | None -> ());
+    let r = Ormp_whomp.Rasg.profile ~config program in
+    Printf.printf "collected accesses : %d (+%d wild)\n" p.Ormp_whomp.Whomp.collected
+      p.Ormp_whomp.Whomp.wild;
+    Printf.printf "groups             : %d\n" (List.length p.Ormp_whomp.Whomp.groups);
+    Printf.printf "objects            : %d\n" (List.length p.Ormp_whomp.Whomp.lifetimes);
+    List.iter
+      (fun (dim, g) ->
+        Printf.printf "OMSG %-7s grammar: %6d symbols, %6d rules, %7d bytes\n" dim
+          (Ormp_sequitur.Sequitur.grammar_size g)
+          (Ormp_sequitur.Sequitur.rule_count g)
+          (Ormp_sequitur.Sequitur.byte_size g))
+      p.Ormp_whomp.Whomp.dims;
+    let ob = Ormp_whomp.Whomp.omsg_bytes p and rb = Ormp_whomp.Rasg.bytes r in
+    Printf.printf "OMSG total         : %d bytes\n" ob;
+    Printf.printf "RASG baseline      : %d bytes\n" rb;
+    Printf.printf "compression        : %.1f%% (RASG as base)\n"
+      (100.0 *. float_of_int (rb - ob) /. float_of_int rb);
+    match show_grammar with
+    | None -> ()
+    | Some dim -> (
+      match List.assoc_opt dim p.Ormp_whomp.Whomp.dims with
+      | Some g -> Format.printf "@.%s grammar:@.%a" dim Ormp_sequitur.Sequitur.pp g
+      | None -> Printf.eprintf "no dimension %S (instr/group/object/offset)\n" dim)
+  in
+  let show_grammar =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "show-grammar" ] ~docv:"DIM"
+          ~doc:"Print the Sequitur grammar of one dimension (instr, group, object or offset).")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save"; "o" ] ~docv:"FILE" ~doc:"Write the profile to FILE (s-expression).")
+  in
+  Cmd.v
+    (Cmd.info "whomp" ~doc:"Lossless object-relative profile (OMSG) vs the RASG baseline")
+    Term.(const run $ workload_arg $ seed_arg $ policy_arg $ show_grammar $ save)
+
+(* --- leap ----------------------------------------------------------- *)
+
+let leap_cmd =
+  let run workload seed policy budget show_deps show_strides save =
+    let program = find_program workload in
+    let config = config_of ~seed ~policy in
+    let p = Ormp_leap.Leap.profile ~config ~budget program in
+    (match save with
+    | Some path ->
+      Ormp_persist.Leap_io.save path p;
+      Printf.printf "profile written to %s\n" path
+    | None -> ());
+    Printf.printf "collected accesses    : %d (+%d wild)\n" p.Ormp_leap.Leap.collected
+      p.Ormp_leap.Leap.wild;
+    Printf.printf "streams (instr,group) : %d\n" (List.length p.Ormp_leap.Leap.streams);
+    Printf.printf "profile size          : %d bytes\n" (Ormp_leap.Leap.byte_size p);
+    Printf.printf "compression ratio     : %s\n"
+      (Ormp_util.Ascii.ratio (Ormp_leap.Leap.compression_ratio p));
+    Printf.printf "accesses captured     : %s\n"
+      (Ormp_util.Ascii.percent (Ormp_leap.Leap.accesses_captured p));
+    Printf.printf "instructions captured : %s\n"
+      (Ormp_util.Ascii.percent (Ormp_leap.Leap.instructions_captured p));
+    if show_deps then begin
+      print_endline "\nmemory dependence frequencies (LEAP post-process):";
+      List.iter
+        (fun d -> Format.printf "  %a@." Ormp_baselines.Dep_types.pp d)
+        (Ormp_leap.Mdf.compute p)
+    end;
+    if show_strides then begin
+      print_endline "\nstrongly-strided instructions (LEAP post-process):";
+      List.iter
+        (fun (i, s) -> Printf.printf "  instr %d: stride %d\n" i s)
+        (Ormp_leap.Strides.strongly_strided p)
+    end
+  in
+  let budget =
+    Arg.(
+      value
+      & opt int Ormp_lmad.Compressor.default_budget
+      & info [ "budget" ] ~docv:"N" ~doc:"Maximum LMADs per (instruction, group) stream.")
+  in
+  let show_deps = Arg.(value & flag & info [ "deps" ] ~doc:"Run the dependence post-processor.") in
+  let show_strides =
+    Arg.(value & flag & info [ "strides" ] ~doc:"Run the stride post-processor.")
+  in
+  let save =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "save"; "o" ] ~docv:"FILE" ~doc:"Write the profile to FILE (s-expression).")
+  in
+  Cmd.v
+    (Cmd.info "leap" ~doc:"Lossy object-relative LMAD profile and its post-processors")
+    Term.(
+      const run $ workload_arg $ seed_arg $ policy_arg $ budget $ show_deps $ show_strides
+      $ save)
+
+(* --- compare -------------------------------------------------------- *)
+
+let compare_cmd =
+  let run workload seed policy window =
+    let program = find_program workload in
+    let config = config_of ~seed ~policy in
+    let leap_sink, leap_fin = Ormp_leap.Leap.sink ~site_name:(Printf.sprintf "site%d") () in
+    let truth = Ormp_baselines.Lossless_dep.create () in
+    let connors = Ormp_baselines.Connors.create ~window () in
+    let result =
+      Ormp_vm.Runner.run ~config program
+        (Ormp_trace.Sink.fanout
+           [
+             leap_sink;
+             Ormp_baselines.Lossless_dep.sink truth;
+             Ormp_baselines.Connors.sink connors;
+           ])
+    in
+    let table = result.Ormp_vm.Runner.table in
+    let td = Ormp_baselines.Lossless_dep.deps truth in
+    let ld = Ormp_leap.Mdf.compute (leap_fin ~elapsed:result.Ormp_vm.Runner.elapsed) in
+    let cd = Ormp_baselines.Connors.deps connors in
+    let name i = (Ormp_trace.Instr.info table i).Ormp_trace.Instr.name in
+    let rows =
+      List.map
+        (fun (s, l) ->
+          let f deps = Ormp_baselines.Dep_types.find deps ~store:s ~load:l in
+          [
+            name s;
+            name l;
+            Ormp_util.Ascii.percent (f td);
+            Ormp_util.Ascii.percent (f ld);
+            Ormp_util.Ascii.percent (f cd);
+          ])
+        (Ormp_baselines.Dep_types.pairs [ td; ld; cd ])
+    in
+    print_endline
+      (Ormp_util.Ascii.table ~header:[ "store"; "load"; "lossless"; "LEAP"; "Connors" ] ~rows)
+  in
+  let window =
+    Arg.(
+      value
+      & opt int Ormp_baselines.Connors.default_window
+      & info [ "window" ] ~docv:"N" ~doc:"Connors history-window size.")
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Dependence-frequency table: lossless vs LEAP vs Connors")
+    Term.(const run $ workload_arg $ seed_arg $ policy_arg $ window)
+
+(* --- record / replay -------------------------------------------------- *)
+
+let record_cmd =
+  let run workload seed policy out =
+    let program = find_program workload in
+    let config = config_of ~seed ~policy in
+    let oc = open_out out in
+    let sink = Ormp_trace.Trace_file.writer oc in
+    let counter = Ormp_trace.Sink.counter () in
+    ignore
+      (Ormp_vm.Runner.run ~config program
+         (Ormp_trace.Sink.fanout [ sink; Ormp_trace.Sink.counter_sink counter ]));
+    close_out oc;
+    Printf.printf "recorded %d accesses (+%d allocs, %d frees) to %s\n"
+      (Ormp_trace.Sink.accesses counter) counter.Ormp_trace.Sink.allocs
+      counter.Ormp_trace.Sink.frees out
+  in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"FILE" ~doc:"Trace file to write.")
+  in
+  Cmd.v
+    (Cmd.info "record" ~doc:"Record a workload's raw probe-event trace to a file")
+    Term.(const run $ workload_arg $ seed_arg $ policy_arg $ out)
+
+let replay_cmd =
+  let run path profiler =
+    let fail msg =
+      Printf.eprintf "%s\n" msg;
+      exit 1
+    in
+    let replay_into sink finish =
+      match Ormp_trace.Trace_file.replay path sink with
+      | Ok n ->
+        Printf.printf "replayed %d events from %s\n" n path;
+        finish ()
+      | Error msg -> fail msg
+    in
+    match profiler with
+    | "whomp" ->
+      let sink, fin = Ormp_whomp.Whomp.sink ~site_name:(Printf.sprintf "site%d") () in
+      replay_into sink (fun () ->
+          let p = fin ~elapsed:0.0 in
+          Printf.printf "WHOMP: %d accesses collected, OMSG %d bytes\n"
+            p.Ormp_whomp.Whomp.collected (Ormp_whomp.Whomp.omsg_bytes p))
+    | "leap" ->
+      let sink, fin = Ormp_leap.Leap.sink ~site_name:(Printf.sprintf "site%d") () in
+      replay_into sink (fun () ->
+          let p = fin ~elapsed:0.0 in
+          Printf.printf "LEAP: %d accesses, %d bytes, %s captured\n" p.Ormp_leap.Leap.collected
+            (Ormp_leap.Leap.byte_size p)
+            (Ormp_util.Ascii.percent (Ormp_leap.Leap.accesses_captured p)))
+    | "lossless" ->
+      let t = Ormp_baselines.Lossless_dep.create () in
+      replay_into (Ormp_baselines.Lossless_dep.sink t) (fun () ->
+          List.iter
+            (fun d -> Format.printf "  %a@." Ormp_baselines.Dep_types.pp d)
+            (Ormp_baselines.Lossless_dep.deps t))
+    | "connors" ->
+      let t = Ormp_baselines.Connors.create () in
+      replay_into (Ormp_baselines.Connors.sink t) (fun () ->
+          List.iter
+            (fun d -> Format.printf "  %a@." Ormp_baselines.Dep_types.pp d)
+            (Ormp_baselines.Connors.deps t))
+    | other -> fail (Printf.sprintf "unknown profiler %S (whomp/leap/lossless/connors)" other)
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A trace recorded with $(b,ormp record).")
+  in
+  let profiler =
+    Arg.(
+      value
+      & opt string "leap"
+      & info [ "profiler"; "p" ] ~docv:"NAME"
+          ~doc:"Profiler to replay into: whomp, leap, lossless or connors.")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a recorded trace through a profiler")
+    Term.(const run $ path $ profiler)
+
+(* --- post ----------------------------------------------------------- *)
+
+let post_cmd =
+  let run path show_deps show_strides =
+    match Ormp_persist.Leap_io.load path with
+    | Error msg ->
+      Printf.eprintf "cannot load %s: %s\n" path msg;
+      exit 1
+    | Ok p ->
+      Printf.printf "loaded LEAP profile: %d collected accesses, %d streams\n"
+        p.Ormp_leap.Leap.collected
+        (List.length p.Ormp_leap.Leap.streams);
+      if show_deps || not show_strides then begin
+        print_endline "\nmemory dependence frequencies:";
+        List.iter
+          (fun d -> Format.printf "  %a@." Ormp_baselines.Dep_types.pp d)
+          (Ormp_leap.Mdf.compute p)
+      end;
+      if show_strides || not show_deps then begin
+        print_endline "\nstrongly-strided instructions:";
+        List.iter
+          (fun (i, st) -> Printf.printf "  instr %d: stride %d\n" i st)
+          (Ormp_leap.Strides.strongly_strided p)
+      end
+  in
+  let path =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"FILE" ~doc:"A LEAP profile saved with $(b,ormp leap --save).")
+  in
+  let show_deps = Arg.(value & flag & info [ "deps" ] ~doc:"Only the dependence post-processor.") in
+  let show_strides =
+    Arg.(value & flag & info [ "strides" ] ~doc:"Only the stride post-processor.")
+  in
+  Cmd.v
+    (Cmd.info "post" ~doc:"Run the LEAP post-processors on a saved profile")
+    Term.(const run $ path $ show_deps $ show_strides)
+
+(* --- analyze ---------------------------------------------------------- *)
+
+let analyze_cmd =
+  let run workload seed policy hot cluster phases =
+    let program = find_program workload in
+    let config = config_of ~seed ~policy in
+    let everything = not (hot || cluster || phases) in
+    let c = Ormp_analysis.Collect.run ~config program in
+    if hot || everything then begin
+      let p = Ormp_whomp.Whomp.profile ~config program in
+      print_endline "hot data streams (per OMSG dimension):";
+      List.iter
+        (fun (dim, g) ->
+          Printf.printf "  [%s]\n" dim;
+          List.iter
+            (fun h -> Format.printf "    %a@." Ormp_analysis.Hot_streams.pp h)
+            (Ormp_analysis.Hot_streams.of_grammar ~top:3 g))
+        p.Ormp_whomp.Whomp.dims
+    end;
+    if cluster || everything then begin
+      print_endline "\nobject clustering (per multi-object group):";
+      List.iter
+        (fun (g : Ormp_core.Omc.group_info) ->
+          if g.Ormp_core.Omc.population > 1 then begin
+            let t = Ormp_analysis.Clustering.analyze c ~group:g.Ormp_core.Omc.gid in
+            let before =
+              Ormp_analysis.Clustering.replay_miss_rate c
+                (Ormp_analysis.Clustering.sequential_layout c)
+            in
+            let after =
+              Ormp_analysis.Clustering.replay_miss_rate c
+                (Ormp_analysis.Clustering.clustered_layout c [ t ])
+            in
+            Printf.printf "  group %d (%s, %d objects): L1d miss %s -> %s\n"
+              g.Ormp_core.Omc.gid g.Ormp_core.Omc.label g.Ormp_core.Omc.population
+              (Ormp_util.Ascii.percent before) (Ormp_util.Ascii.percent after)
+          end)
+        c.Ormp_analysis.Collect.groups
+    end;
+    if phases || everything then begin
+      print_endline "\nphases (group-mix signatures):";
+      List.iter
+        (fun ph -> Format.printf "  %a@." Ormp_analysis.Phase.pp ph)
+        (Ormp_analysis.Phase.detect c.Ormp_analysis.Collect.tuples)
+    end
+  in
+  let hot = Arg.(value & flag & info [ "hot" ] ~doc:"Hot data streams from the OMSG.") in
+  let cluster =
+    Arg.(value & flag & info [ "cluster" ] ~doc:"Object clustering with cache-simulated payoff.")
+  in
+  let phases = Arg.(value & flag & info [ "phases" ] ~doc:"Phase detection.") in
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Run the optimization analyses on a workload's profile")
+    Term.(const run $ workload_arg $ seed_arg $ policy_arg $ hot $ cluster $ phases)
+
+let () =
+  let doc = "object-relative memory profiling (WHOMP/LEAP, CGO 2004)" in
+  let info = Cmd.info "ormp" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ list_cmd; trace_cmd; whomp_cmd; leap_cmd; compare_cmd; post_cmd; analyze_cmd; record_cmd; replay_cmd ]))

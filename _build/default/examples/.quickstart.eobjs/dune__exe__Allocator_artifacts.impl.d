@@ -1,0 +1,1 @@
+examples/allocator_artifacts.ml: Config Format List Ormp_core Ormp_trace Ormp_vm Ormp_whomp Ormp_workloads Printf Runner

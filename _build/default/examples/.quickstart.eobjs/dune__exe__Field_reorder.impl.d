@@ -1,0 +1,1 @@
+examples/field_reorder.ml: Array Engine Hashtbl Instr List Option Ormp_core Ormp_sequitur Ormp_trace Ormp_util Ormp_vm Ormp_whomp Printf Program

@@ -1,0 +1,1 @@
+examples/load_speculation.ml: List Ormp_baselines Ormp_leap Ormp_trace Ormp_util Ormp_vm Ormp_workloads Printf

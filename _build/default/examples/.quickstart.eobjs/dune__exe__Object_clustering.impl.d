@@ -1,0 +1,1 @@
+examples/object_clustering.ml: Array Clustering Collect Engine Instr List Ormp_analysis Ormp_cachesim Ormp_trace Ormp_util Ormp_vm Printf Program String

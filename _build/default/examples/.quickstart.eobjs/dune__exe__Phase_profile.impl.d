@@ -1,0 +1,1 @@
+examples/phase_profile.ml: Array Collect Format Hashtbl List Ormp_analysis Ormp_core Ormp_lmad Ormp_util Ormp_workloads Phase Printf

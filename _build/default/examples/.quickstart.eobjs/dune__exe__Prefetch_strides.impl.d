@@ -1,0 +1,1 @@
+examples/prefetch_strides.ml: List Ormp_baselines Ormp_leap Ormp_trace Ormp_vm Ormp_workloads Printf

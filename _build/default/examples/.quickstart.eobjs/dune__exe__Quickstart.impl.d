@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Engine Format Instr List Ormp_baselines Ormp_core Ormp_leap Ormp_sequitur Ormp_trace Ormp_util Ormp_vm Ormp_whomp Printf Program Runner

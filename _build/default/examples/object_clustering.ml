@@ -1,0 +1,61 @@
+(* Object clustering from the object-relative profile (the paper's
+   reference [4], and §3.2's "use of object-level grammar for object
+   clustering").
+
+   Run with:  dune exec examples/object_clustering.exe
+
+   The workload uses node objects in fixed pairs, but allocation order
+   interleaves them with decoys, so partners end up far apart in memory.
+   Raw-address profiles cannot even express "these two objects" — the
+   serial numbers of the object-relative profile can. The example mines
+   object affinities, proposes a clustered layout, and scores both layouts
+   with the cache simulator. *)
+
+open Ormp_vm
+open Ormp_trace
+open Ormp_analysis
+
+let program =
+  Program.make ~name:"clustering-demo" ~description:"pair-affine objects, scattered by decoys"
+    (fun e ->
+      let site = Engine.instr e ~name:"alloc_node" Instr.Alloc_site in
+      let site_decoy = Engine.instr e ~name:"alloc_decoy" Instr.Alloc_site in
+      let ld = Engine.instr e ~name:"ld node" Instr.Load in
+      let st = Engine.instr e ~name:"st node" Instr.Store in
+      let rng = Engine.rng e in
+      let objs =
+        Array.init 64 (fun _ ->
+            let o = Engine.alloc e ~site ~type_name:"node" 32 in
+            ignore (Engine.alloc e ~site:site_decoy ~type_name:"decoy" 96);
+            o)
+      in
+      for _ = 1 to 400 do
+        (* each transaction touches one fixed pair of nodes *)
+        let pair = Ormp_util.Prng.int rng 32 in
+        Engine.load e ~instr:ld objs.(2 * pair) 0;
+        Engine.load e ~instr:ld objs.((2 * pair) + 1) 0;
+        if Ormp_util.Prng.chance rng 0.3 then Engine.store e ~instr:st objs.(2 * pair) 8
+      done)
+
+let () =
+  let c = Collect.run program in
+  let t = Clustering.analyze c ~group:0 in
+
+  print_endline "strongest object affinities (serial pairs, co-access counts):";
+  List.iteri
+    (fun i ((a, b), w) -> if i < 6 then Printf.printf "  o%-3d o%-3d  %d\n" a b w)
+    t.Clustering.affinities;
+
+  Printf.printf "\nproposed placement order (first 16): %s ...\n"
+    (String.concat " "
+       (List.filteri (fun i _ -> i < 16) t.Clustering.order |> List.map string_of_int));
+
+  (* Score both layouts on a small L1d so the effect is visible. *)
+  let cache = { Ormp_cachesim.Cache.size_bytes = 2048; line_bytes = 64; ways = 2 } in
+  let before = Clustering.replay_miss_rate ~cache c (Clustering.sequential_layout c) in
+  let after = Clustering.replay_miss_rate ~cache c (Clustering.clustered_layout c [ t ]) in
+  Printf.printf "\ncache miss rate, allocation-order layout : %s\n"
+    (Ormp_util.Ascii.percent before);
+  Printf.printf "cache miss rate, clustered layout        : %s\n"
+    (Ormp_util.Ascii.percent after);
+  Printf.printf "-> %.1fx fewer misses from profile-guided placement\n" (before /. after)

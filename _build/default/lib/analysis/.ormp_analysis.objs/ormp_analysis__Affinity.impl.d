@@ -1,0 +1,1 @@
+lib/analysis/affinity.ml: Array Collect Hashtbl List Option Ormp_core

@@ -1,0 +1,1 @@
+lib/analysis/affinity.mli: Collect

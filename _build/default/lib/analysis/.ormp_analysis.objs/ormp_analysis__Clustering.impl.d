@@ -1,0 +1,1 @@
+lib/analysis/clustering.ml: Array Collect Fun Hashtbl List Option Ormp_cachesim Ormp_core

@@ -1,0 +1,1 @@
+lib/analysis/clustering.mli: Collect Hashtbl Ormp_cachesim

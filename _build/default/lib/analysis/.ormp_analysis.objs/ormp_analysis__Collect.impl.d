@@ -1,0 +1,1 @@
+lib/analysis/collect.ml: List Ormp_core Ormp_trace Ormp_util Ormp_vm Printf

@@ -1,0 +1,1 @@
+lib/analysis/collect.mli: Ormp_core Ormp_trace Ormp_vm

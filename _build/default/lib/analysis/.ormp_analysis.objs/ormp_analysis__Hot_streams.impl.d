@@ -1,0 +1,1 @@
+lib/analysis/hot_streams.ml: Array Format Hashtbl List Option Ormp_sequitur Queue String

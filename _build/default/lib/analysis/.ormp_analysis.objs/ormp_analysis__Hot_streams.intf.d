@@ -1,0 +1,1 @@
+lib/analysis/hot_streams.mli: Format Ormp_sequitur

@@ -1,0 +1,1 @@
+lib/analysis/phase.ml: Array Format Hashtbl List Option Ormp_core Printf String

@@ -1,0 +1,1 @@
+lib/analysis/phase.mli: Format Ormp_core

@@ -1,0 +1,82 @@
+type t = {
+  group : int;
+  weights : ((int * int) * int) list;
+  field_heat : (int * int) list;
+}
+
+let pair_key a b = if a <= b then (a, b) else (b, a)
+
+let analyze (c : Collect.t) ~group =
+  let weights = Hashtbl.create 32 in
+  let heat = Hashtbl.create 32 in
+  let bump tbl k n = Hashtbl.replace tbl k (n + Option.value ~default:0 (Hashtbl.find_opt tbl k)) in
+  let n = Array.length c.Collect.tuples in
+  for i = 0 to n - 1 do
+    let tu = c.Collect.tuples.(i) in
+    if tu.Ormp_core.Tuple.group = group then begin
+      bump heat tu.Ormp_core.Tuple.offset 0;
+      if i + 1 < n then begin
+        let next = c.Collect.tuples.(i + 1) in
+        if
+          next.Ormp_core.Tuple.group = group
+          && next.Ormp_core.Tuple.obj = tu.Ormp_core.Tuple.obj
+          && next.Ormp_core.Tuple.offset <> tu.Ormp_core.Tuple.offset
+        then begin
+          let k = pair_key tu.Ormp_core.Tuple.offset next.Ormp_core.Tuple.offset in
+          bump weights k 1;
+          bump heat tu.Ormp_core.Tuple.offset 1;
+          bump heat next.Ormp_core.Tuple.offset 1
+        end
+      end
+    end
+  done;
+  {
+    group;
+    weights =
+      Hashtbl.fold (fun k w acc -> (k, w) :: acc) weights []
+      |> List.sort (fun (_, w1) (_, w2) -> compare w2 w1);
+    field_heat =
+      Hashtbl.fold (fun f h acc -> (f, h) :: acc) heat []
+      |> List.sort (fun (_, h1) (_, h2) -> compare h2 h1);
+  }
+
+let propose_order t =
+  match t.weights with
+  | [] -> List.map fst t.field_heat
+  | ((a, b), _) :: _ ->
+    let placed = ref [ b; a ] (* reversed: a first *) in
+    let affinity_to_placed f =
+      List.fold_left
+        (fun acc p ->
+          acc + Option.value ~default:0 (List.assoc_opt (pair_key f p) t.weights))
+        0 !placed
+    in
+    let remaining = ref (List.filter (fun (f, _) -> f <> a && f <> b) t.field_heat) in
+    while !remaining <> [] do
+      let best, _ =
+        List.fold_left
+          (fun (bf, ba) (f, _) ->
+            let af = affinity_to_placed f in
+            if af > ba then (Some f, af) else (bf, ba))
+          (None, -1) !remaining
+      in
+      let f = Option.get best in
+      placed := f :: !placed;
+      remaining := List.filter (fun (g, _) -> g <> f) !remaining
+    done;
+    List.rev !placed
+
+let remap ~old_order ~sizes =
+  let all_fields = List.map fst sizes in
+  let missing = List.filter (fun f -> not (List.mem f old_order)) all_fields in
+  let order = old_order @ List.sort compare missing in
+  let align8 n = (n + 7) / 8 * 8 in
+  let _, mapping =
+    List.fold_left
+      (fun (cursor, acc) f ->
+        match List.assoc_opt f sizes with
+        | None -> (cursor, acc) (* observed offset with no declared field *)
+        | Some size -> (align8 (cursor + size), (f, cursor) :: acc))
+      (0, []) order
+  in
+  List.rev mapping

@@ -1,0 +1,32 @@
+(** Field affinity and reordering (§3.2's field-reordering consumer).
+
+    "A frequently repeated offset sequence, say (0, 36)*, along with the
+    object lifetime information, may reveal field-reordering opportunity
+    to the compiler to take advantage of spatial locality."
+
+    Affinity between two fields of a group is the number of times they are
+    accessed back-to-back {e within the same object}. The proposed order
+    packs fields greedily by affinity so hot pairs share a cache line. *)
+
+type t = {
+  group : int;
+  weights : ((int * int) * int) list;
+      (** unordered field-offset pairs with their adjacency counts,
+          heaviest first *)
+  field_heat : (int * int) list;  (** per-field total adjacency, heaviest first *)
+}
+
+val analyze : Collect.t -> group:int -> t
+(** Affinity over all time-adjacent access pairs that touch the same
+    object of [group]. *)
+
+val propose_order : t -> int list
+(** Field offsets in suggested layout order: seeded with the heaviest
+    pair, then greedily appending the field with the strongest affinity to
+    the already-placed ones. Fields never observed are omitted. *)
+
+val remap : old_order:int list -> sizes:(int * int) list -> (int * int) list
+(** [(old_offset, new_offset)] when the fields (with [(offset, size)] in
+    [sizes]) are laid out in [old_order], packed from 0 with 8-byte
+    alignment. Fields absent from [old_order] are appended in offset
+    order. *)

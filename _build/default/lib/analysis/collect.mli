@@ -1,0 +1,25 @@
+(** Materialize one instrumented run for the offline analyses.
+
+    The profilers proper compress streamingly; the optimization analyses in
+    this library (clustering, affinity, phases) want the whole
+    object-relative stream plus the OMC's auxiliary object information, so
+    this helper runs a program once and keeps everything. *)
+
+type t = {
+  tuples : Ormp_core.Tuple.t array;  (** the collected stream, in time order *)
+  lifetimes : Ormp_core.Omc.lifetime list;  (** every object, allocation order *)
+  groups : Ormp_core.Omc.group_info list;
+  table : Ormp_trace.Instr.table;
+  wild : int;
+}
+
+val run :
+  ?config:Ormp_vm.Config.t ->
+  ?grouping:Ormp_core.Omc.grouping ->
+  Ormp_vm.Program.t ->
+  t
+
+val size_of : t -> group:int -> obj:int -> int
+(** Allocated size of an object. @raise Not_found. *)
+
+val instr_name : t -> int -> string

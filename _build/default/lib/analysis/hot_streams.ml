@@ -1,0 +1,104 @@
+module S = Ormp_sequitur.Sequitur
+
+type hot = { rule : int; symbols : int array; uses : int; heat : int }
+
+(* Occurrences of each rule's expansion in the original input: the start
+   rule occurs once; every other rule occurs as often as the rules that
+   mention it, summed with multiplicity. Rule ids are acyclic (a rule can
+   only reference rules that existed when it was formed, and expansion is
+   finite), so a topological pass over the usage graph suffices. *)
+let total_uses rules =
+  let uses = Hashtbl.create 64 in
+  Hashtbl.replace uses 0 1;
+  (* Process parents before children: Sequitur rule bodies only mention
+     live rules; iterate until fixpoint (the graph is a DAG, and each pass
+     settles at least one frontier layer — a worklist keeps it linear). *)
+  let parents_of = Hashtbl.create 64 in
+  List.iter
+    (fun (id, rhs) ->
+      List.iter
+        (function
+          | `N child ->
+            let entry =
+              match Hashtbl.find_opt parents_of child with
+              | Some l -> l
+              | None ->
+                let l = ref [] in
+                Hashtbl.replace parents_of child l;
+                l
+            in
+            entry := (id, 1) :: !entry
+          | `T _ -> ())
+        rhs)
+    rules;
+  (* Kahn-style: a rule's count is final once all its parents' are. *)
+  let pending = Hashtbl.create 64 in
+  List.iter
+    (fun (id, _) ->
+      if id <> 0 then
+        let n =
+          match Hashtbl.find_opt parents_of id with Some l -> List.length !l | None -> 0
+        in
+        Hashtbl.replace pending id n)
+    rules;
+  let ready = Queue.create () in
+  Queue.push 0 ready;
+  let children_of = Hashtbl.create 64 in
+  List.iter
+    (fun (id, rhs) ->
+      Hashtbl.replace children_of id
+        (List.filter_map (function `N c -> Some c | `T _ -> None) rhs))
+    rules;
+  while not (Queue.is_empty ready) do
+    let id = Queue.pop ready in
+    let u = Hashtbl.find uses id in
+    List.iter
+      (fun child ->
+        Hashtbl.replace uses child (u + Option.value ~default:0 (Hashtbl.find_opt uses child));
+        let left = Hashtbl.find pending child - 1 in
+        Hashtbl.replace pending child left;
+        if left = 0 then Queue.push child ready)
+      (Option.value ~default:[] (Hashtbl.find_opt children_of id))
+  done;
+  uses
+
+let expansions rules =
+  let by_id = Hashtbl.create 64 in
+  List.iter (fun (id, rhs) -> Hashtbl.replace by_id id rhs) rules;
+  let memo = Hashtbl.create 64 in
+  let rec expand id =
+    match Hashtbl.find_opt memo id with
+    | Some e -> e
+    | None ->
+      let e =
+        List.concat_map
+          (function `T v -> [ v ] | `N child -> Array.to_list (expand child))
+          (Hashtbl.find by_id id)
+        |> Array.of_list
+      in
+      Hashtbl.replace memo id e;
+      e
+  in
+  List.iter (fun (id, _) -> ignore (expand id)) rules;
+  memo
+
+let of_grammar ?(top = 10) ?(min_length = 2) g =
+  let rules = S.rules g in
+  let uses = total_uses rules in
+  let exps = expansions rules in
+  List.filter_map
+    (fun (id, _) ->
+      if id = 0 then None
+      else
+        let symbols = Hashtbl.find exps id in
+        if Array.length symbols < min_length then None
+        else
+          let u = Option.value ~default:0 (Hashtbl.find_opt uses id) in
+          Some { rule = id; symbols; uses = u; heat = u * Array.length symbols })
+    rules
+  |> List.sort (fun a b -> compare b.heat a.heat)
+  |> List.filteri (fun i _ -> i < top)
+
+let pp fmt h =
+  Format.fprintf fmt "R%d x%d (heat %d): %s" h.rule h.uses h.heat
+    (String.concat " " (List.map string_of_int (Array.to_list h.symbols)))

@@ -1,0 +1,24 @@
+(** Hot data streams from Sequitur grammars.
+
+    §3.2: the OMSG "contain[s] information about repeating memory access
+    patterns, which is useful for a class of correlation-based memory
+    optimizations including clustering, custom heap allocation, and hot
+    data stream prefetching". Following Chilimbi & Hirzel (the paper's
+    reference [11]), a {e hot data stream} is a frequently repeated
+    subsequence; in a Sequitur grammar those are exactly the rules, whose
+    heat is (times the rule's expansion occurs in the input) x (expansion
+    length). *)
+
+type hot = {
+  rule : int;  (** grammar rule id *)
+  symbols : int array;  (** the rule's full terminal expansion *)
+  uses : int;  (** occurrences of this subsequence in the original input *)
+  heat : int;  (** uses * expansion length *)
+}
+
+val of_grammar : ?top:int -> ?min_length:int -> Ormp_sequitur.Sequitur.t -> hot list
+(** The hottest rules, heat-descending. [top] defaults to 10; rules whose
+    expansion is shorter than [min_length] (default 2) are skipped. The
+    start rule (the whole input, trivially "hot") is excluded. *)
+
+val pp : Format.formatter -> hot -> unit

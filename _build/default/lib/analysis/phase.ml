@@ -1,0 +1,67 @@
+type phase = {
+  start_time : int;
+  stop_time : int;
+  signature : (int * float) list;
+}
+
+let signature_of tuples lo hi =
+  let counts = Hashtbl.create 16 in
+  for i = lo to hi - 1 do
+    let g = tuples.(i).Ormp_core.Tuple.group in
+    Hashtbl.replace counts g (1 + Option.value ~default:0 (Hashtbl.find_opt counts g))
+  done;
+  let total = float_of_int (hi - lo) in
+  Hashtbl.fold (fun g c acc -> (g, float_of_int c /. total) :: acc) counts []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let manhattan s1 s2 =
+  let groups = List.sort_uniq compare (List.map fst s1 @ List.map fst s2) in
+  List.fold_left
+    (fun acc g ->
+      let v l = Option.value ~default:0.0 (List.assoc_opt g l) in
+      acc +. abs_float (v s1 -. v s2))
+    0.0 groups
+
+let detect ?(window = 1024) ?(threshold = 0.5) tuples =
+  let n = Array.length tuples in
+  if n = 0 then []
+  else begin
+    let n_windows = (n + window - 1) / window in
+    let sig_of w = signature_of tuples (w * window) (min n ((w + 1) * window)) in
+    let phases = ref [] in
+    let phase_start = ref 0 in
+    let phase_sig = ref (sig_of 0) in
+    let close stop =
+      phases :=
+        {
+          start_time = tuples.(!phase_start * window).Ormp_core.Tuple.time;
+          stop_time =
+            (let last = min n (stop * window) - 1 in
+             tuples.(last).Ormp_core.Tuple.time + 1);
+          signature = signature_of tuples (!phase_start * window) (min n (stop * window));
+        }
+        :: !phases
+    in
+    for w = 1 to n_windows - 1 do
+      let s = sig_of w in
+      if manhattan s !phase_sig > threshold then begin
+        close w;
+        phase_start := w
+      end;
+      (* Track the most recent window so gradual drift within a phase does
+         not mask a sharp transition. *)
+      phase_sig := s
+    done;
+    close n_windows;
+    List.rev !phases
+  end
+
+let dominant_group p =
+  match p.signature with
+  | (g, _) :: _ -> g
+  | [] -> invalid_arg "Phase.dominant_group: empty signature"
+
+let pp fmt p =
+  Format.fprintf fmt "[%d, %d) %s" p.start_time p.stop_time
+    (String.concat " "
+       (List.map (fun (g, f) -> Printf.sprintf "g%d:%.0f%%" g (100.0 *. f)) p.signature))

@@ -1,0 +1,29 @@
+(** Phase detection over the object-relative stream (the paper's §6 future
+    work: "make use of recent results on phase detection and prediction to
+    profile references in a phase cognizant manner", citing Sherwood's
+    phase tracking).
+
+    A window's {e signature} is the distribution of its accesses over
+    groups (which data structure the program is touching — exactly the
+    information object-relativity exposes and raw addresses do not). A new
+    phase starts where consecutive window signatures differ by more than a
+    threshold in Manhattan distance. *)
+
+type phase = {
+  start_time : int;  (** time-stamp of the phase's first access *)
+  stop_time : int;  (** time-stamp just past its last access *)
+  signature : (int * float) list;  (** (group, access share), heaviest first *)
+}
+
+val detect :
+  ?window:int -> ?threshold:float -> Ormp_core.Tuple.t array -> phase list
+(** [window] is the signature granularity in accesses (default 1024);
+    [threshold] the Manhattan distance (in [\[0, 2\]]) above which a
+    boundary is declared (default 0.5). The phases partition
+    [\[0, length)]; an empty stream yields no phases. *)
+
+val dominant_group : phase -> int
+(** The group receiving the largest share. @raise Invalid_argument on an
+    empty signature. *)
+
+val pp : Format.formatter -> phase -> unit

@@ -1,0 +1,1 @@
+lib/baselines/connors.ml: Dep_types Hashtbl List Option Ormp_trace Ormp_vm

@@ -1,0 +1,1 @@
+lib/baselines/connors.mli: Dep_types Ormp_trace Ormp_vm

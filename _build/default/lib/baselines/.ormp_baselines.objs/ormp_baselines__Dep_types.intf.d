@@ -1,0 +1,1 @@
+lib/baselines/dep_types.mli: Format

@@ -1,0 +1,1 @@
+lib/baselines/lossless_dep.ml: Dep_types Hashtbl List Option Ormp_trace Ormp_vm

@@ -1,0 +1,1 @@
+lib/baselines/lossless_dep.mli: Dep_types Ormp_trace Ormp_vm

@@ -1,0 +1,1 @@
+lib/baselines/lossless_stride.ml: Hashtbl List Option Ormp_trace Ormp_vm

@@ -1,0 +1,1 @@
+lib/baselines/lossless_stride.mli: Ormp_trace Ormp_vm

@@ -1,0 +1,13 @@
+type dep = { store : int; load : int; freq : float }
+
+let pp fmt d = Format.fprintf fmt "(st%d, ld%d, %.1f%%)" d.store d.load (100.0 *. d.freq)
+
+let find deps ~store ~load =
+  match List.find_opt (fun d -> d.store = store && d.load = load) deps with
+  | Some d -> d.freq
+  | None -> 0.0
+
+let pairs outputs =
+  let tbl = Hashtbl.create 64 in
+  List.iter (List.iter (fun d -> Hashtbl.replace tbl (d.store, d.load) ())) outputs;
+  List.sort compare (Hashtbl.fold (fun k () acc -> k :: acc) tbl [])

@@ -1,0 +1,18 @@
+(** Shared output shape of the memory-dependence profilers. *)
+
+type dep = {
+  store : int;  (** store instruction id *)
+  load : int;  (** load instruction id *)
+  freq : float;
+      (** memory dependence frequency: conflicts with [store] / total
+          executions of [load] (§4.2.1) *)
+}
+
+val pp : Format.formatter -> dep -> unit
+
+val find : dep list -> store:int -> load:int -> float
+(** Frequency of a pair, 0 when absent. *)
+
+val pairs : dep list list -> (int * int) list
+(** De-duplicated (store, load) universe across several profilers'
+    outputs, sorted. *)

@@ -1,0 +1,1 @@
+lib/core/cdc.ml: Omc Ormp_trace Tuple

@@ -1,0 +1,1 @@
+lib/core/cdc.mli: Omc Ormp_trace Tuple

@@ -1,0 +1,1 @@
+lib/core/decompose.ml: Array Hashtbl List Ormp_util Tuple

@@ -1,0 +1,1 @@
+lib/core/omc.ml: Hashtbl List Ormp_interval Ormp_util

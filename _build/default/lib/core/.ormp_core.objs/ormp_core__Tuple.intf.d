@@ -1,0 +1,1 @@
+lib/core/tuple.mli: Format

@@ -1,0 +1,30 @@
+type t = {
+  omc : Omc.t;
+  on_tuple : Tuple.t -> unit;
+  on_wild : Ormp_trace.Event.t -> unit;
+  mutable clock : int;
+  mutable wild : int;
+}
+
+let create ?grouping ?(on_wild = fun _ -> ()) ~site_name ~on_tuple () =
+  { omc = Omc.create ?grouping ~site_name (); on_tuple; on_wild; clock = 0; wild = 0 }
+
+let sink t =
+  fun (ev : Ormp_trace.Event.t) ->
+    match ev with
+    | Access { instr; addr; size = _; is_store } -> (
+      match Omc.translate t.omc addr with
+      | Some (group, obj, offset) ->
+        let tuple = { Tuple.instr; group; obj; offset; time = t.clock; is_store } in
+        t.clock <- t.clock + 1;
+        t.on_tuple tuple
+      | None ->
+        t.wild <- t.wild + 1;
+        t.on_wild ev)
+    | Alloc { site; addr; size; type_name } ->
+      Omc.on_alloc t.omc ~time:t.clock ~site ~addr ~size ~type_name
+    | Free { addr } -> Omc.on_free t.omc ~time:t.clock ~addr
+
+let omc t = t.omc
+let collected t = t.clock
+let wild t = t.wild

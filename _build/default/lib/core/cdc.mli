@@ -1,0 +1,33 @@
+(** The control and decomposition component (§2.3).
+
+    The CDC is "a hub to the profiling process": it receives probe events,
+    routes object probes to the OMC, queries the OMC to make each access
+    object-relative, stamps it with the collected-access time counter, and
+    hands the resulting {!Tuple.t} to the separation-and-compression stage
+    (whatever consumer the profiler installs).
+
+    Accesses the OMC cannot translate (stack or otherwise unprofiled
+    memory) are not collected; they are counted and optionally forwarded
+    raw. *)
+
+type t
+
+val create :
+  ?grouping:Omc.grouping ->
+  ?on_wild:(Ormp_trace.Event.t -> unit) ->
+  site_name:(int -> string) ->
+  on_tuple:(Tuple.t -> unit) ->
+  unit ->
+  t
+
+val sink : t -> Ormp_trace.Sink.t
+(** The probe-event entry point to hand to the VM runner. *)
+
+val omc : t -> Omc.t
+
+val collected : t -> int
+(** Accesses translated and forwarded so far; also the current value of the
+    time-stamp counter. *)
+
+val wild : t -> int
+(** Accesses that missed translation. *)

@@ -1,0 +1,69 @@
+module Vec = Ormp_util.Vec
+
+module Horizontal = struct
+  type t = {
+    instrs : int Vec.t;
+    groups : int Vec.t;
+    objects : int Vec.t;
+    offsets : int Vec.t;
+  }
+
+  let create () =
+    { instrs = Vec.create (); groups = Vec.create (); objects = Vec.create (); offsets = Vec.create () }
+
+  let push t (tu : Tuple.t) =
+    Vec.push t.instrs tu.instr;
+    Vec.push t.groups tu.group;
+    Vec.push t.objects tu.obj;
+    Vec.push t.offsets tu.offset
+
+  let instrs t = Vec.to_array t.instrs
+  let groups t = Vec.to_array t.groups
+  let objects t = Vec.to_array t.objects
+  let offsets t = Vec.to_array t.offsets
+
+  let dimensions t =
+    [ ("instr", instrs t); ("group", groups t); ("object", objects t); ("offset", offsets t) ]
+
+  let length t = Vec.length t.instrs
+end
+
+module Vertical = struct
+  type key = { instr : int; group : int }
+
+  type t = {
+    streams : (key, (int * int * int) Vec.t) Hashtbl.t;
+    order : key Vec.t;
+  }
+
+  let create () = { streams = Hashtbl.create 64; order = Vec.create () }
+
+  let push t (tu : Tuple.t) =
+    let key = { instr = tu.instr; group = tu.group } in
+    let v =
+      match Hashtbl.find_opt t.streams key with
+      | Some v -> v
+      | None ->
+        let v = Vec.create () in
+        Hashtbl.replace t.streams key v;
+        Vec.push t.order key;
+        v
+    in
+    Vec.push v (tu.obj, tu.offset, tu.time)
+
+  let keys t = List.rev (Vec.fold_left (fun acc k -> k :: acc) [] t.order)
+
+  let stream t key =
+    match Hashtbl.find_opt t.streams key with
+    | Some v -> Vec.to_array v
+    | None -> [||]
+
+  let iter t f = List.iter (fun k -> f k (stream t k)) (keys t)
+
+  let reassemble t =
+    let all = Vec.create () in
+    iter t (fun k entries -> Array.iter (fun e -> Vec.push all (k, e)) entries);
+    let a = Vec.to_array all in
+    Array.sort (fun (_, (_, _, t1)) (_, (_, _, t2)) -> compare t1 t2) a;
+    a
+end

@@ -1,0 +1,108 @@
+module Ri = Ormp_interval.Range_index
+module Vec = Ormp_util.Vec
+
+type grouping = [ `Site | `Type ]
+
+type group_info = { gid : int; site : int; label : string; mutable population : int }
+
+type lifetime = {
+  group : int;
+  serial : int;
+  base : int;
+  size : int;
+  alloc_time : int;
+  mutable free_time : int option;
+}
+
+type group_key = By_site of int | By_type of string
+
+(* Internal group record. Labels are resolved lazily through [site_name]
+   because instruction tables are typically still being filled while the
+   program runs; by the time anyone asks for group metadata the table is
+   complete. *)
+type ginfo = { g_id : int; g_site : int; g_key : group_key; mutable g_population : int }
+
+type t = {
+  grouping : grouping;
+  site_name : int -> string;
+  index : lifetime Ri.t;
+  group_ids : (group_key, int) Hashtbl.t;
+  group_recs : ginfo Vec.t;
+  all : lifetime Vec.t;
+  mutable translations : int;
+  mutable misses : int;
+  mutable unknown_frees : int;
+}
+
+let create ?(grouping = `Site) ~site_name () =
+  {
+    grouping;
+    site_name;
+    index = Ri.create ();
+    group_ids = Hashtbl.create 64;
+    group_recs = Vec.create ();
+    all = Vec.create ();
+    translations = 0;
+    misses = 0;
+    unknown_frees = 0;
+  }
+
+let group_key t ~site ~type_name =
+  match (t.grouping, type_name) with
+  | `Type, Some ty -> By_type ty
+  | _ -> By_site site
+
+let group_of t ~site ~type_name =
+  let key = group_key t ~site ~type_name in
+  match Hashtbl.find_opt t.group_ids key with
+  | Some gid -> Vec.get t.group_recs gid
+  | None ->
+    let gid = Vec.length t.group_recs in
+    let g = { g_id = gid; g_site = site; g_key = key; g_population = 0 } in
+    Hashtbl.replace t.group_ids key gid;
+    Vec.push t.group_recs g;
+    g
+
+let on_alloc t ~time ~site ~addr ~size ~type_name =
+  let g = group_of t ~site ~type_name in
+  let lt =
+    { group = g.g_id; serial = g.g_population; base = addr; size; alloc_time = time; free_time = None }
+  in
+  g.g_population <- g.g_population + 1;
+  Ri.insert t.index ~base:addr ~size lt;
+  Vec.push t.all lt
+
+let on_free t ~time ~addr =
+  match Ri.find t.index addr with
+  | Some (base, _, lt) when base = addr ->
+    lt.free_time <- Some time;
+    ignore (Ri.remove t.index ~base)
+  | _ -> t.unknown_frees <- t.unknown_frees + 1
+
+let translate t addr =
+  match Ri.find t.index addr with
+  | Some (base, _, lt) ->
+    t.translations <- t.translations + 1;
+    Some (lt.group, lt.serial, addr - base)
+  | None ->
+    t.misses <- t.misses + 1;
+    None
+
+let public_info t (g : ginfo) =
+  let label =
+    match g.g_key with By_type ty -> ty | By_site s -> t.site_name s
+  in
+  { gid = g.g_id; site = g.g_site; label; population = g.g_population }
+
+let group t gid =
+  if gid < 0 || gid >= Vec.length t.group_recs then invalid_arg "Omc.group: unknown group id";
+  public_info t (Vec.get t.group_recs gid)
+
+let groups t = List.rev (Vec.fold_left (fun acc g -> public_info t g :: acc) [] t.group_recs)
+
+let lifetimes t = List.rev (Vec.fold_left (fun acc l -> l :: acc) [] t.all)
+
+let live_objects t = Ri.cardinal t.index
+let max_live_objects t = Ri.max_live t.index
+let translations t = t.translations
+let misses t = t.misses

@@ -1,0 +1,65 @@
+(** The object-management component (§2.3).
+
+    The OMC "records information about every object allocated in the
+    program: the time when it is allocated and de-allocated, the address
+    range used by the object, and the type of the object", assigns group
+    and object identifiers, and answers the central query of the paper:
+    given a raw address, which [(group, object, offset)] is it?
+
+    Lookup uses the B-tree-like range index of {!Ormp_interval.Range_index}
+    (§3.1). Objects are grouped by allocation site by default — "the
+    profiler groups allocated dynamic objects by static instruction" — or
+    by type name when the workload provides one and [`Type] grouping is
+    selected ("the compiler can provide type information to further refine
+    this strategy"). *)
+
+type grouping = [ `Site | `Type ]
+
+type group_info = {
+  gid : int;  (** dense group id *)
+  site : int;  (** allocation site that first created the group *)
+  label : string;  (** site name, or type name under [`Type] grouping *)
+  mutable population : int;  (** objects ever allocated in this group *)
+}
+
+type lifetime = {
+  group : int;
+  serial : int;  (** object id within the group, dense from 0 *)
+  base : int;
+  size : int;
+  alloc_time : int;
+  mutable free_time : int option;  (** [None] while live / never freed *)
+}
+
+type t
+
+val create :
+  ?grouping:grouping -> site_name:(int -> string) -> unit -> t
+(** [site_name] renders an allocation-site id for group labels (typically
+    {!Ormp_trace.Instr.info}). Default grouping is [`Site]. *)
+
+val on_alloc : t -> time:int -> site:int -> addr:int -> size:int -> type_name:string option -> unit
+(** Object-creation probe. @raise Invalid_argument if the range overlaps a
+    live object (a substrate bug). *)
+
+val on_free : t -> time:int -> addr:int -> unit
+(** Object-destruction probe; unknown addresses are counted but ignored. *)
+
+val translate : t -> int -> (int * int * int) option
+(** [translate t addr] is [Some (group, object-serial, offset)] for the
+    live object containing [addr], [None] for unprofiled memory. *)
+
+val group : t -> int -> group_info
+(** @raise Invalid_argument for an unknown group id. *)
+
+val groups : t -> group_info list
+(** In group-id order. *)
+
+val lifetimes : t -> lifetime list
+(** Every object ever seen, in allocation order — the run-dependent
+    auxiliary output the paper keeps alongside the invariant tuples. *)
+
+val live_objects : t -> int
+val max_live_objects : t -> int
+val translations : t -> int
+val misses : t -> int

@@ -1,0 +1,13 @@
+type t = {
+  instr : int;
+  group : int;
+  obj : int;
+  offset : int;
+  time : int;
+  is_store : bool;
+}
+
+let pp fmt t =
+  Format.fprintf fmt "(%s i%d, g%d, o%d, +%d, t%d)"
+    (if t.is_store then "st" else "ld")
+    t.instr t.group t.obj t.offset t.time

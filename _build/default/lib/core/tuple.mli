@@ -1,0 +1,25 @@
+(** The object-relative access tuple (§2.1-2.2).
+
+    Object-relative translation turns each collected [(instruction,
+    raw-address)] access into
+
+    {v (instruction-id, group, object, offset, time-stamp) v}
+
+    where [group] identifies the object's allocation site (or type),
+    [object] is the serial number of the object within its group, [offset]
+    is the byte offset inside the object, and [time] counts collected
+    accesses from 0 (§2.2). *)
+
+type t = {
+  instr : int;
+  group : int;
+  obj : int;
+  offset : int;
+  time : int;
+  is_store : bool;
+      (** not part of the paper's 5-tuple, but every profiler consuming the
+          stream needs to tell loads from stores; keeping it here saves a
+          side table *)
+}
+
+val pp : Format.formatter -> t -> unit

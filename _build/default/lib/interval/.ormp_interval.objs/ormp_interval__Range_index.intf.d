@@ -1,0 +1,1 @@
+lib/interval/range_index.mli:

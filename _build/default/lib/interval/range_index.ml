@@ -1,0 +1,190 @@
+type 'a node = {
+  base : int;
+  size : int;
+  value : 'a;
+  mutable left : 'a node option;
+  mutable right : 'a node option;
+  mutable height : int;
+}
+
+type 'a t = {
+  mutable root : 'a node option;
+  mutable count : int;
+  mutable high_water : int;
+}
+
+let create () = { root = None; count = 0; high_water = 0 }
+
+let height = function None -> 0 | Some n -> n.height
+
+let update_height n = n.height <- 1 + max (height n.left) (height n.right)
+
+let balance_factor n = height n.left - height n.right
+
+(* Rotations rebuild in place by mutating child links; nodes themselves keep
+   their key/value immutable. *)
+let rotate_right n =
+  match n.left with
+  | None -> n
+  | Some l ->
+    n.left <- l.right;
+    l.right <- Some n;
+    update_height n;
+    update_height l;
+    l
+
+let rotate_left n =
+  match n.right with
+  | None -> n
+  | Some r ->
+    n.right <- r.left;
+    r.left <- Some n;
+    update_height n;
+    update_height r;
+    r
+
+let rebalance n =
+  update_height n;
+  let bf = balance_factor n in
+  if bf > 1 then begin
+    (match n.left with
+    | Some l when balance_factor l < 0 -> n.left <- Some (rotate_left l)
+    | _ -> ());
+    rotate_right n
+  end
+  else if bf < -1 then begin
+    (match n.right with
+    | Some r when balance_factor r > 0 -> n.right <- Some (rotate_right r)
+    | _ -> ());
+    rotate_left n
+  end
+  else n
+
+let overlaps b1 s1 b2 s2 = b1 < b2 + s2 && b2 < b1 + s1
+
+let insert t ~base ~size value =
+  if size <= 0 then invalid_arg "Range_index.insert: size must be positive";
+  let rec go = function
+    | None -> { base; size; value; left = None; right = None; height = 1 }
+    | Some n ->
+      if overlaps base size n.base n.size then
+        invalid_arg
+          (Printf.sprintf "Range_index.insert: [%d,%d) overlaps live range [%d,%d)" base
+             (base + size) n.base (n.base + n.size))
+      else if base < n.base then begin
+        n.left <- Some (go n.left);
+        rebalance n
+      end
+      else begin
+        n.right <- Some (go n.right);
+        rebalance n
+      end
+  in
+  t.root <- Some (go t.root);
+  t.count <- t.count + 1;
+  if t.count > t.high_water then t.high_water <- t.count
+
+let rec min_node n = match n.left with None -> n | Some l -> min_node l
+
+let remove t ~base =
+  let removed = ref false in
+  let rec go = function
+    | None -> None
+    | Some n ->
+      if base < n.base then begin
+        n.left <- go n.left;
+        Some (rebalance n)
+      end
+      else if base > n.base then begin
+        n.right <- go n.right;
+        Some (rebalance n)
+      end
+      else begin
+        removed := true;
+        match (n.left, n.right) with
+        | None, r -> r
+        | l, None -> l
+        | Some _, Some r ->
+          (* Replace with in-order successor. *)
+          let succ = min_node r in
+          let fresh =
+            {
+              base = succ.base;
+              size = succ.size;
+              value = succ.value;
+              left = n.left;
+              right = remove_min n.right;
+              height = 0;
+            }
+          in
+          Some (rebalance fresh)
+      end
+  and remove_min = function
+    | None -> None
+    | Some n -> (
+      match n.left with
+      | None -> n.right
+      | Some _ ->
+        n.left <- remove_min n.left;
+        Some (rebalance n))
+  in
+  t.root <- go t.root;
+  if !removed then t.count <- t.count - 1;
+  !removed
+
+let find t addr =
+  (* Walk down keeping the greatest base <= addr, then check containment. *)
+  let rec go best = function
+    | None -> best
+    | Some n ->
+      if addr < n.base then go best n.left
+      else go (Some n) n.right
+  in
+  match go None t.root with
+  | Some n when addr >= n.base && addr < n.base + n.size -> Some (n.base, n.size, n.value)
+  | _ -> None
+
+let mem t addr = Option.is_some (find t addr)
+
+let cardinal t = t.count
+let max_live t = t.high_water
+
+let iter t f =
+  let rec go = function
+    | None -> ()
+    | Some n ->
+      go n.left;
+      f ~base:n.base ~size:n.size n.value;
+      go n.right
+  in
+  go t.root
+
+let check_invariants t =
+  let exception Bad of string in
+  (* Structural pass: AVL balance and height bookkeeping. *)
+  let rec structural = function
+    | None -> 0
+    | Some n ->
+      let hl = structural n.left in
+      let hr = structural n.right in
+      if abs (hl - hr) > 1 then raise (Bad (Printf.sprintf "unbalanced at base=%d" n.base));
+      if n.height <> 1 + max hl hr then
+        raise (Bad (Printf.sprintf "stale height at base=%d" n.base));
+      1 + max hl hr
+  in
+  (* Order pass: in-order ranges must be sorted and pairwise disjoint. *)
+  try
+    ignore (structural t.root);
+    let prev = ref None in
+    let n_seen = ref 0 in
+    iter t (fun ~base ~size _ ->
+        incr n_seen;
+        (match !prev with
+        | Some (pb, ps) ->
+          if pb + ps > base then raise (Bad "in-order ranges overlap");
+          if pb >= base then raise (Bad "in-order bases not increasing")
+        | None -> ());
+        prev := Some (base, size));
+    if !n_seen <> t.count then raise (Bad "cardinal out of sync");
+    Ok ()
+  with Bad msg -> Error msg

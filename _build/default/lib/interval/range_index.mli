@@ -1,0 +1,44 @@
+(** Address-range index for the object-management component.
+
+    The paper speeds up raw-address-to-object lookup with "an auxiliary
+    B-tree-like data structure which stores the range of addresses that each
+    object takes up" (§3.1). This is that structure: a height-balanced
+    search tree over non-overlapping half-open ranges [\[base, base+size)],
+    supporting O(log n) insert, removal and stabbing queries.
+
+    Ranges must not overlap; the allocator substrate guarantees this, and
+    {!val:insert} enforces it defensively. *)
+
+type 'a t
+(** Index holding values of type ['a], one per live range. *)
+
+val create : unit -> 'a t
+(** Empty index. *)
+
+val insert : 'a t -> base:int -> size:int -> 'a -> unit
+(** [insert t ~base ~size v] maps the range [\[base, base+size)] to [v].
+    [size] must be positive.
+    @raise Invalid_argument if the range overlaps an existing one. *)
+
+val remove : 'a t -> base:int -> bool
+(** [remove t ~base] deletes the range starting exactly at [base]; returns
+    whether a range was present. *)
+
+val find : 'a t -> int -> (int * int * 'a) option
+(** [find t addr] returns [(base, size, v)] for the unique live range
+    containing [addr], if any. *)
+
+val mem : 'a t -> int -> bool
+(** Whether some live range contains the address. *)
+
+val cardinal : 'a t -> int
+(** Number of live ranges. *)
+
+val iter : 'a t -> (base:int -> size:int -> 'a -> unit) -> unit
+(** Visit all live ranges in increasing base order. *)
+
+val max_live : 'a t -> int
+(** High-water mark of {!cardinal} over the index's lifetime. *)
+
+val check_invariants : 'a t -> (unit, string) result
+(** Verify AVL balance, BST ordering and range disjointness; for tests. *)

@@ -1,0 +1,1 @@
+lib/leap/alias.ml: Float Leap List Ormp_lmad

@@ -1,0 +1,1 @@
+lib/leap/alias.mli: Leap

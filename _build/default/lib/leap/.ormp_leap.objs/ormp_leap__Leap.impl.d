@@ -1,0 +1,1 @@
+lib/leap/leap.ml: Array Hashtbl List Option Ormp_core Ormp_lmad Ormp_util Ormp_vm Printf

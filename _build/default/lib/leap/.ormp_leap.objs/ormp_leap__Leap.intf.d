@@ -1,0 +1,1 @@
+lib/leap/leap.mli: Hashtbl Ormp_core Ormp_lmad Ormp_trace Ormp_util Ormp_vm

@@ -1,0 +1,1 @@
+lib/leap/mdf.ml: Array Float Leap List Ormp_baselines Ormp_lmad Ormp_util

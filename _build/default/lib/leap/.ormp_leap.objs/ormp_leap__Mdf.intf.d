@@ -1,0 +1,1 @@
+lib/leap/mdf.mli: Leap Ormp_baselines

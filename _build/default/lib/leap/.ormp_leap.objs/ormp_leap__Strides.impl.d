@@ -1,0 +1,1 @@
+lib/leap/strides.ml: Array Hashtbl Leap List Option Ormp_lmad

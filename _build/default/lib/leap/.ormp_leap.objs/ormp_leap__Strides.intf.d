@@ -1,0 +1,1 @@
+lib/leap/strides.mli: Leap

@@ -1,0 +1,78 @@
+module L = Ormp_lmad.Lmad
+module Solver = Ormp_lmad.Solver
+
+(* Fraction of [of_s]'s iterations whose location [against] also touches:
+   per descriptor of [of_s], exact lattice matching scaled from lattice
+   points to the iterations the descriptor stands for (a no-op for
+   captured descriptors, a density estimate for summary boxes). *)
+let stream_alias_fraction ~(against : Leap.stream) ~(of_s : Leap.stream) =
+  let a_descs = Leap.descriptors against in
+  let matched, total =
+    List.fold_left
+      (fun (m, t) (d, _, cap) ->
+        let size = L.size d in
+        let hits =
+          List.fold_left
+            (fun acc (ad, _, acap) ->
+              let raw = Solver.count_matches ~store:ad ~load:d in
+              (* scale a summary box's evidence by its coverage density *)
+              let asize = L.size ad in
+              if acap = asize then acc +. float_of_int raw
+              else
+                acc
+                +. (float_of_int raw
+                   *. Float.min 1.0 (float_of_int acap /. float_of_int asize)))
+            0.0 a_descs
+        in
+        let frac = Float.min 1.0 (hits /. float_of_int (max 1 size)) in
+        (m +. (frac *. float_of_int cap), t + cap))
+      (0.0, 0) (Leap.descriptors of_s)
+  in
+  if total = 0 then 0.0 else matched /. float_of_int total
+
+let alias_rate p ~a ~b =
+  let total = Leap.instr_total p b in
+  if total = 0 then 0.0
+  else
+    let matched =
+      List.fold_left
+        (fun acc (bk, b_stream) ->
+          match List.assoc_opt { Leap.instr = a; group = bk.Leap.group } p.Leap.streams with
+          | Some a_stream ->
+            let stream_total = Ormp_lmad.Compressor.total b_stream.Leap.comp in
+            acc
+            +. (stream_alias_fraction ~against:a_stream ~of_s:b_stream
+               *. float_of_int stream_total)
+          | None -> acc)
+        0.0 (Leap.streams_of p b)
+    in
+    Float.min 1.0 (matched /. float_of_int total)
+
+let may_alias p ~a ~b =
+  List.exists
+    (fun (bk, b_stream) ->
+      match List.assoc_opt { Leap.instr = a; group = bk.Leap.group } p.Leap.streams with
+      | Some a_stream ->
+        List.exists
+          (fun (bd, _, _) ->
+            List.exists
+              (fun (ad, _, _) -> Solver.count_matches ~store:ad ~load:bd > 0)
+              (Leap.descriptors a_stream))
+          (Leap.descriptors b_stream)
+      | None -> false)
+    (Leap.streams_of p b)
+
+let rates p =
+  let instrs = Leap.instrs p in
+  let out = ref [] in
+  List.iter
+    (fun a ->
+      List.iter
+        (fun b ->
+          if a < b then begin
+            let r = Float.max (alias_rate p ~a ~b) (alias_rate p ~a:b ~b:a) in
+            if r > 0.0 then out := (a, b, r) :: !out
+          end)
+        instrs)
+    instrs;
+  List.sort compare !out

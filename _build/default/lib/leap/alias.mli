@@ -1,0 +1,25 @@
+(** Alias queries on a LEAP profile.
+
+    The paper's abstract claims LEAP "correctly characterizes the memory
+    alias rates" of instruction pairs: a compiler deciding whether two
+    memory operations may touch the same data wants, for any pair
+    (not just store -> load), the fraction of one instruction's accesses
+    that land on locations the other also touches. This module answers
+    that from the compact profile alone, using the same spatial
+    machinery as the dependence post-processor but without temporal
+    ordering (aliasing is direction- and time-agnostic). *)
+
+val may_alias : Leap.profile -> a:int -> b:int -> bool
+(** Do any descriptors (captured or summarized) of the two instructions
+    overlap in some shared group? Conservative in the summarized case (a
+    box may cover locations never touched). *)
+
+val alias_rate : Leap.profile -> a:int -> b:int -> float
+(** Estimated fraction of [b]'s accesses whose location instruction [a]
+    also accesses, in [\[0, 1\]]. 0 when the instructions share no group
+    or [b] never executed. *)
+
+val rates : Leap.profile -> (int * int * float) list
+(** [alias_rate] for every unordered instruction pair with a positive
+    rate, as [(a, b, rate)] with [a < b], sorted. The rate reported is the
+    larger of the two directions. *)

@@ -1,0 +1,180 @@
+module C = Ormp_lmad.Compressor
+module Vec = Ormp_util.Vec
+
+type key = { instr : int; group : int }
+
+type span = { mutable t_first : int; mutable t_last : int }
+
+type stream = { comp : C.t; spans : span Vec.t; off : C.t; mutable dspan : span option }
+
+type profile = {
+  streams : (key * stream) list;
+  store_instrs : (int, bool) Hashtbl.t;
+  collected : int;
+  wild : int;
+  elapsed : float;
+}
+
+(* The compressor can close-and-reopen descriptors internally (carrying a
+   partial iteration over), so placement indices may skip ahead of the span
+   table; pad with spans anchored at the current time — the carried points
+   are always recent. *)
+let span_at stream idx ~time =
+  while Vec.length stream.spans <= idx do
+    Vec.push stream.spans { t_first = time; t_last = time }
+  done;
+  Vec.get stream.spans idx
+
+let record stream ~time point =
+  (match C.add stream.comp point with
+  | C.Extended idx -> (span_at stream idx ~time).t_last <- time
+  | C.Opened idx -> ignore (span_at stream idx ~time)
+  | C.Discarded -> (
+    match stream.dspan with
+    | Some sp -> sp.t_last <- time
+    | None -> stream.dspan <- Some { t_first = time; t_last = time }));
+  ignore (C.add stream.off [| point.(1) |])
+
+let sink ?grouping ?budget ~site_name () =
+  let streams : (key, stream) Hashtbl.t = Hashtbl.create 256 in
+  let order : key Vec.t = Vec.create () in
+  let store_instrs : (int, bool) Hashtbl.t = Hashtbl.create 64 in
+  (* SCC: vertical decomposition by instruction then group; each sub-stream
+     is compressed online as (object, offset) points with per-descriptor
+     time spans. *)
+  let on_tuple (tu : Ormp_core.Tuple.t) =
+    let key = { instr = tu.instr; group = tu.group } in
+    let s =
+      match Hashtbl.find_opt streams key with
+      | Some s -> s
+      | None ->
+        let s =
+          {
+            comp = C.create ?budget ~dims:2 ();
+            spans = Vec.create ();
+            off = C.create ?budget ~dims:1 ();
+            dspan = None;
+          }
+        in
+        Hashtbl.replace streams key s;
+        Vec.push order key;
+        s
+    in
+    Hashtbl.replace store_instrs tu.instr tu.is_store;
+    record s ~time:tu.time [| tu.obj; tu.offset |]
+  in
+  let cdc = Ormp_core.Cdc.create ?grouping ~site_name ~on_tuple () in
+  let finalize ~elapsed =
+    let ordered =
+      List.rev (Vec.fold_left (fun acc k -> (k, Hashtbl.find streams k) :: acc) [] order)
+    in
+    {
+      streams = ordered;
+      store_instrs;
+      collected = Ormp_core.Cdc.collected cdc;
+      wild = Ormp_core.Cdc.wild cdc;
+      elapsed;
+    }
+  in
+  (Ormp_core.Cdc.sink cdc, finalize)
+
+let profile ?config ?grouping ?budget program =
+  let s, finalize = sink ?grouping ?budget ~site_name:(Printf.sprintf "site%d") () in
+  let result = Ormp_vm.Runner.run ?config program s in
+  finalize ~elapsed:result.Ormp_vm.Runner.elapsed
+
+let instrs p = List.sort_uniq compare (List.map (fun (k, _) -> k.instr) p.streams)
+
+let is_store p instr = Option.value ~default:false (Hashtbl.find_opt p.store_instrs instr)
+
+let loads p = List.filter (fun i -> not (is_store p i)) (instrs p)
+let stores p = List.filter (is_store p) (instrs p)
+
+let streams_of p instr = List.filter (fun (k, _) -> k.instr = instr) p.streams
+
+let groups_of p instr = List.map (fun (k, _) -> k.group) (streams_of p instr)
+
+let instr_total p instr =
+  List.fold_left (fun acc (_, s) -> acc + C.total s.comp) 0 (streams_of p instr)
+
+let byte_size p =
+  List.fold_left
+    (fun acc (k, s) ->
+      let span_bytes =
+        Vec.fold_left
+          (fun b sp -> b + Ormp_util.Bytesize.of_ints [ sp.t_first; sp.t_last ])
+          0 s.spans
+      in
+      acc + Ormp_util.Bytesize.of_ints [ k.instr; k.group ] + C.byte_size s.comp
+      + C.byte_size s.off + span_bytes)
+    0 p.streams
+
+let compression_ratio p =
+  let trace = p.collected * Ormp_util.Bytesize.fixed_record in
+  let prof = byte_size p in
+  if prof = 0 then 0.0 else float_of_int trace /. float_of_int prof
+
+let accesses_captured p =
+  (* Measured on the offset sub-streams, matching the paper's "fraction of
+     all memory accesses ... captured by LMADs at the level of offsets
+     inside objects (not including the timing information)". *)
+  let cap, tot =
+    List.fold_left
+      (fun (c, t) (_, s) -> (c + C.captured s.off, t + C.total s.off))
+      (0, 0) p.streams
+  in
+  if tot = 0 then 0.0 else float_of_int cap /. float_of_int tot
+
+(* The effective descriptors of a stream: every captured LMAD with its
+   time span, plus — when the stream overflowed — one pseudo-descriptor
+   built from the min/max/granularity summary (the "overall information"
+   §4.1 says the compressor keeps for what it discards): a box lattice
+   stepping by the granularity in each dimension. The count is the number
+   of iterations the descriptor stands for, which for the summary box is
+   the discarded count, not the (usually much larger) box size. *)
+let descriptors (s : stream) =
+  let module L = Ormp_lmad.Lmad in
+  let lmads = Array.of_list (C.lmads s.comp) in
+  (* A descriptor freshly re-opened by the compressor's carry-over may not
+     have a span entry yet; anchor it at the latest time the stream saw. *)
+  let span_of i =
+    if i < Vec.length s.spans then Vec.get s.spans i
+    else
+      let t =
+        if Vec.length s.spans > 0 then (Vec.get s.spans (Vec.length s.spans - 1)).t_last else 0
+      in
+      { t_first = t; t_last = t }
+  in
+  let base =
+    List.init (Array.length lmads) (fun i -> (lmads.(i), span_of i, L.size lmads.(i)))
+  in
+  match (C.summary s.comp, s.dspan) with
+  | Some sum, Some sp ->
+    let dims = Array.length sum.C.min_v in
+    let levels =
+      List.concat
+        (List.init dims (fun d ->
+             let extent = sum.C.max_v.(d) - sum.C.min_v.(d) in
+             if extent = 0 then []
+             else
+               let g = sum.C.granularity.(d) in
+               (* All discarded points are congruent modulo the per-dim
+                  granularity, so it divides the extent; gran 0 with a
+                  positive extent cannot happen. *)
+               let stride = Array.init dims (fun i -> if i = d then g else 0) in
+               [ { L.stride; count = (extent / g) + 1 } ]))
+    in
+    let pseudo = L.of_levels ~start:sum.C.min_v ~levels in
+    base @ [ (pseudo, { t_first = sp.t_first; t_last = sp.t_last }, sum.C.discarded) ]
+  | _ -> base
+
+let instructions_captured p =
+  let is = instrs p in
+  if is = [] then 0.0
+  else
+    let full =
+      List.filter
+        (fun i -> List.for_all (fun (_, s) -> C.fully_captured s.off) (streams_of p i))
+        is
+    in
+    float_of_int (List.length full) /. float_of_int (List.length is)

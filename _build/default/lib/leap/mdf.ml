@@ -1,0 +1,129 @@
+module C = Ormp_lmad.Compressor
+module L = Ormp_lmad.Lmad
+module Solver = Ormp_lmad.Solver
+module Vec = Ormp_util.Vec
+
+(* Number of distinct locations a descriptor touches: levels that do not
+   move the location only revisit it. *)
+let distinct_locations (d : L.t) =
+  List.fold_left
+    (fun acc (l : L.level) ->
+      if Array.exists (fun s -> s <> 0) l.L.stride then acc * l.L.count else acc)
+    1 d.L.levels
+
+(* Probability that a store time uniform in [s] precedes a load time
+   uniform in [l]: the coarse temporal model for summarized accesses, whose
+   exact times are gone. Exact piecewise-linear integration. *)
+let p_store_before (s : Leap.span) (l : Leap.span) =
+  let a = float_of_int s.Leap.t_first and b = float_of_int s.Leap.t_last in
+  let c = float_of_int l.Leap.t_first and d = float_of_int l.Leap.t_last in
+  if b <= c then 1.0
+  else if d <= a then 0.0
+  else
+    (* cdf t = P(store < t), piecewise linear with breaks at a and b *)
+    let cdf t = if t <= a then 0.0 else if t >= b then 1.0 else (t -. a) /. (b -. a) in
+    if d = c then cdf c
+    else
+      let breaks =
+        List.filter (fun t -> t > c && t < d) [ a; b ] |> List.sort_uniq compare
+      in
+      let pts = (c :: breaks) @ [ d ] in
+      let rec integrate acc = function
+        | t1 :: (t2 :: _ as rest) ->
+          integrate (acc +. ((t2 -. t1) *. (cdf t1 +. cdf t2) /. 2.0)) rest
+        | _ -> acc
+      in
+      integrate 0.0 pts /. (d -. c)
+
+let stream_conflicts ~(store_s : Leap.stream) ~(load_s : Leap.stream) =
+  let stores = Leap.descriptors store_s in
+  let loads = Leap.descriptors load_s in
+  List.fold_left
+    (fun acc (load_lmad, (lspan : Leap.span), lcap) ->
+      let lsize = L.size load_lmad in
+      let load_is_box = lcap <> lsize in
+      (* Evidence that a load iteration reads a stored location, per store
+         descriptor:
+         - exact x exact: the lattice intersection counts iterations and
+           the descriptor-granularity time filter is binary;
+         - once a summary box is involved, fine timing is gone. Model each
+           store descriptor by how often it rewrites a matched location:
+           lambda = iterations / distinct locations. The location is
+           written with probability 1 (captured store) or ~min(1, lambda)
+           (box); at least one of the lambda writes precedes the load with
+           probability 1 - (1-p)^lambda, p being the probability a single
+           uniformly-placed write does. Store descriptors combine by
+           complement product. *)
+      let exact = ref 0 in
+      let p_no_probabilistic = ref 1.0 in
+      List.iter
+        (fun (store_lmad, (sspan : Leap.span), scap) ->
+          let matches = Solver.count_matches ~store:store_lmad ~load:load_lmad in
+          if matches > 0 then begin
+            let ssize = L.size store_lmad in
+            let store_is_box = scap <> ssize in
+            if (not store_is_box) && not load_is_box then begin
+              if sspan.Leap.t_first < lspan.Leap.t_last then exact := !exact + matches
+            end
+            else begin
+              let frac = float_of_int matches /. float_of_int lsize in
+              let distinct = max 1 (distinct_locations store_lmad) in
+              let lambda = float_of_int scap /. float_of_int distinct in
+              let p_written = if store_is_box then Float.min 1.0 lambda else 1.0 in
+              let p = p_store_before sspan lspan in
+              let p_timing =
+                if p >= 1.0 then 1.0 else 1.0 -. ((1.0 -. p) ** Float.max lambda 1.0)
+              in
+              let contribution = frac *. p_written *. p_timing in
+              p_no_probabilistic := !p_no_probabilistic *. (1.0 -. Float.min 1.0 contribution)
+            end
+          end)
+        stores;
+      let flcap = float_of_int lcap in
+      acc +. Float.min flcap (float_of_int !exact +. (flcap *. (1.0 -. !p_no_probabilistic))))
+    0.0 loads
+
+let compute (p : Leap.profile) =
+  let deps = ref [] in
+  List.iter
+    (fun load ->
+      let total = Leap.instr_total p load in
+      if total > 0 then begin
+        let per_store =
+          List.filter_map
+            (fun store ->
+              (* Intersect group by group; streams of different groups can
+                 never alias. *)
+              let conflicts =
+                List.fold_left
+                  (fun acc (lk, load_s) ->
+                    match
+                      List.assoc_opt { Leap.instr = store; group = lk.Leap.group } p.Leap.streams
+                    with
+                    | Some store_s -> acc +. stream_conflicts ~store_s ~load_s
+                    | None -> acc)
+                  0.0
+                  (Leap.streams_of p load)
+              in
+              if conflicts >= 0.5 then Some (store, min 1.0 (conflicts /. float_of_int total))
+              else None)
+            (Leap.stores p)
+        in
+        (* Each load execution reads the value of exactly one (last) writer,
+           so the per-load frequencies form a sub-distribution — the paper's
+           own example sums to exactly 100%. Estimates that cannot tell
+           which of several overlapping writers was last are normalized. *)
+        let sum = List.fold_left (fun acc (_, f) -> acc +. f) 0.0 per_store in
+        let scale = if sum > 1.0 then 1.0 /. sum else 1.0 in
+        List.iter
+          (fun (store, f) ->
+            deps := { Ormp_baselines.Dep_types.store; load; freq = f *. scale } :: !deps)
+          per_store
+      end)
+    (Leap.loads p);
+  List.sort
+    (fun a b ->
+      compare
+        (a.Ormp_baselines.Dep_types.store, a.Ormp_baselines.Dep_types.load)
+        (b.Ormp_baselines.Dep_types.store, b.Ormp_baselines.Dep_types.load))
+    !deps

@@ -1,0 +1,17 @@
+(** Memory-dependence-frequency post-processor (§4.2.1).
+
+    For every (store, load) instruction pair, estimate the
+    read-after-write frequency
+
+    {v MDF(st, ld) = conflicts with st / total executions of ld v}
+
+    from the LMAD profile alone: store and load descriptors over the same
+    group are intersected with {!Ormp_lmad.Solver.count_conflicts} (the
+    omega-test-like closed form). The estimate errs in both directions —
+    discarded accesses hide conflicts, and the descriptors cannot see
+    intervening kills by other stores — which is exactly the two-sided
+    error distribution of Figure 6. *)
+
+val compute : Leap.profile -> Ormp_baselines.Dep_types.dep list
+(** All pairs with estimated frequency > 0, sorted by (store, load).
+    Frequencies are clamped to [\[0, 1\]]. *)

@@ -1,0 +1,71 @@
+module C = Ormp_lmad.Compressor
+module L = Ormp_lmad.Lmad
+
+(* The deltas between consecutive accesses described by a nested LMAD: a
+   transition at level j steps by stride_j and rewinds every inner level
+   from its last iteration back to 0. Level j transitions happen
+   (count_j - 1) times per iteration of the levels outside it. *)
+let consecutive_deltas (d : L.t) =
+  let n = L.dims d in
+  let levels = Array.of_list d.L.levels in
+  let rewind = Array.make n 0 in
+  let out = ref [] in
+  Array.iteri
+    (fun j (l : L.level) ->
+      let delta = Array.init n (fun i -> l.L.stride.(i) - rewind.(i)) in
+      let outer_iters = ref 1 in
+      for j' = j + 1 to Array.length levels - 1 do
+        outer_iters := !outer_iters * levels.(j').L.count
+      done;
+      let occ = (l.L.count - 1) * !outer_iters in
+      if occ > 0 then out := (delta, occ) :: !out;
+      for i = 0 to n - 1 do
+        rewind.(i) <- rewind.(i) + ((l.L.count - 1) * l.L.stride.(i))
+      done)
+    levels;
+  List.rev !out
+
+(* Stride evidence comes from the captured offset sub-streams (the paper's
+   post-process "examines all offset strides captured for a given
+   instruction", §4.2.2). *)
+let stride_weights (p : Leap.profile) instr =
+  let weights = Hashtbl.create 16 in
+  List.iter
+    (fun (_, (s : Leap.stream)) ->
+      List.iter
+        (fun d ->
+          List.iter
+            (fun (delta, occ) ->
+              let st = delta.(0) in
+              Hashtbl.replace weights st
+                (occ + Option.value ~default:0 (Hashtbl.find_opt weights st)))
+            (consecutive_deltas d))
+        (C.lmads s.off))
+    (Leap.streams_of p instr);
+  Hashtbl.fold (fun s w acc -> (s, w) :: acc) weights []
+  |> List.sort (fun (_, w1) (_, w2) -> compare w2 w1)
+
+let min_sample = 0.05
+
+let strongly_strided ?(threshold = 0.7) (p : Leap.profile) =
+  (* The threshold is applied to the stride evidence the profile actually
+     holds: LEAP's descriptors are "essentially a sample of the initial
+     part of the original data stream" (§4.1), so the dominant stride must
+     cover [threshold] of the *captured* stride instances — but a sample
+     below [min_sample] of the instruction's executions is too thin to
+     extrapolate from and never qualifies. *)
+  List.filter_map
+    (fun instr ->
+      let total = Leap.instr_total p instr in
+      match stride_weights p instr with
+      | [] -> None
+      | (s, w) :: _ as weights ->
+        let captured = List.fold_left (fun acc (_, w) -> acc + w) 0 weights in
+        if
+          captured >= 1
+          && float_of_int captured >= min_sample *. float_of_int (max 1 (total - 1))
+          && float_of_int w >= threshold *. float_of_int captured
+        then Some (instr, s)
+        else None)
+    (Leap.instrs p)
+  |> List.sort compare

@@ -1,0 +1,18 @@
+(** Stride post-processor (§4.2.2).
+
+    "With the collected LMADs, identifying strongly strided instructions
+    requires a trivial post-process which examines all offset strides
+    captured for a given instruction." Following the paper, only strides
+    {e within objects} are considered: descriptors whose object-dimension
+    stride is zero (the overwhelming majority, thanks to custom pools
+    being single objects). An instruction is strongly strided when one
+    offset stride covers at least [threshold] of its stride instances. *)
+
+val strongly_strided : ?threshold:float -> Leap.profile -> (int * int) list
+(** [(instruction, dominant stride)] pairs, sorted by instruction id.
+    Default threshold 0.7 (Wu's definition, adopted by the paper). *)
+
+val stride_weights : Leap.profile -> int -> (int * int) list
+(** [(stride, weight)] evidence the post-process sees for one instruction,
+    heaviest first; weight is the number of consecutive-access pairs inside
+    zero-object-stride descriptors. *)

@@ -1,0 +1,1 @@
+lib/lmad/compressor.ml: Array List Lmad Ormp_util

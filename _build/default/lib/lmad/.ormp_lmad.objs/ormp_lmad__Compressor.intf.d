@@ -1,0 +1,1 @@
+lib/lmad/compressor.mli: Lmad

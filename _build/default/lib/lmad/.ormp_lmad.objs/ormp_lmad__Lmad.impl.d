@@ -1,0 +1,1 @@
+lib/lmad/lmad.ml: Array Format List Ormp_util String

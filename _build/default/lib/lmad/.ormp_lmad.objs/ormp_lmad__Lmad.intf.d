@@ -1,0 +1,1 @@
+lib/lmad/lmad.mli: Format

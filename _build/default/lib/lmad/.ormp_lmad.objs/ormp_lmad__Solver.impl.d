@@ -1,0 +1,1 @@
+lib/lmad/solver.ml: Array List Lmad Option Ormp_util

@@ -1,0 +1,1 @@
+lib/lmad/solver.mli: Lmad

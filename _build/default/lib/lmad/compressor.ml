@@ -1,0 +1,316 @@
+type summary = {
+  min_v : int array;
+  max_v : int array;
+  granularity : int array;
+  discarded : int;
+}
+
+type placement = Extended of int | Opened of int | Discarded
+
+(* An open descriptor under construction.
+
+   [closed] are fully-determined inner levels (innermost first).
+   [top_stride]/[top_done] describe the outermost, still-growing level:
+   [top_done] complete iterations so far, [partial] points consumed of the
+   next iteration. Before the second point arrives, [top_stride] is [None].
+
+   The consumed points, in arrival order, are exactly
+
+     start + (i / inner_size) * top_stride + inner_offset (i mod inner_size)
+
+   for i in [0, inner_size * top_done + partial). *)
+type open_desc = {
+  o_start : int array;
+  mutable o_closed : Lmad.level list;
+  mutable o_top_stride : int array option;
+  mutable o_top_done : int;
+  mutable o_partial : int;
+}
+
+type t = {
+  dims : int;
+  budget : int;
+  max_depth : int;
+  mutable closed : Lmad.t list; (* reverse creation order *)
+  mutable current : open_desc option;
+  mutable total : int;
+  mutable discarded_count : int;
+  mutable sum_min : int array;
+  mutable sum_max : int array;
+  mutable sum_gran : int array;
+  mutable last_discarded : int array option;
+}
+
+let default_budget = 30
+
+let create ?(budget = default_budget) ?(max_depth = 3) ~dims () =
+  if dims <= 0 then invalid_arg "Compressor.create: dims must be positive";
+  if budget <= 0 then invalid_arg "Compressor.create: budget must be positive";
+  if max_depth <= 0 then invalid_arg "Compressor.create: max_depth must be positive";
+  {
+    dims;
+    budget;
+    max_depth;
+    closed = [];
+    current = None;
+    total = 0;
+    discarded_count = 0;
+    sum_min = [||];
+    sum_max = [||];
+    sum_gran = [||];
+    last_discarded = None;
+  }
+
+(* --- vector helpers ------------------------------------------------- *)
+
+let vsub a b = Array.init (Array.length a) (fun i -> a.(i) - b.(i))
+
+let vequal a b =
+  let n = Array.length a in
+  let rec go i = i >= n || (a.(i) = b.(i) && go (i + 1)) in
+  go 0
+
+(* --- open descriptor ------------------------------------------------ *)
+
+let inner_size od =
+  List.fold_left (fun acc (l : Lmad.level) -> acc * l.count) 1 od.o_closed
+
+let inner_offset od idx =
+  let p = Array.make (Array.length od.o_start) 0 in
+  let rem = ref idx in
+  List.iter
+    (fun (l : Lmad.level) ->
+      let k = !rem mod l.count in
+      rem := !rem / l.count;
+      for i = 0 to Array.length p - 1 do
+        p.(i) <- p.(i) + (k * l.stride.(i))
+      done)
+    od.o_closed;
+  p
+
+let consumed od =
+  match od.o_top_stride with
+  | None -> 1
+  | Some _ -> (inner_size od * od.o_top_done) + od.o_partial
+
+let open_point od i =
+  match od.o_top_stride with
+  | None -> Array.copy od.o_start
+  | Some ts ->
+    let isz = inner_size od in
+    let off = inner_offset od (i mod isz) in
+    Array.init (Array.length od.o_start) (fun d ->
+        od.o_start.(d) + (i / isz * ts.(d)) + off.(d))
+
+let open_points od = List.init (consumed od) (open_point od)
+
+(* Try to consume [p]; [true] on success. A mismatch on an iteration
+   boundary deepens the descriptor (the growing level is frozen as an inner
+   level and a new outer level starts) when depth allows. *)
+let add_open ~max_depth od p =
+  match od.o_top_stride with
+  | None ->
+    od.o_top_stride <- Some (vsub p od.o_start);
+    od.o_top_done <- 2;
+    true
+  | Some ts ->
+    let expected = open_point od (consumed od) in
+    if vequal p expected then begin
+      od.o_partial <- od.o_partial + 1;
+      if od.o_partial = inner_size od then begin
+        od.o_top_done <- od.o_top_done + 1;
+        od.o_partial <- 0
+      end;
+      true
+    end
+    else if
+      od.o_partial = 0 && od.o_top_done >= 2
+      && List.length od.o_closed + 2 <= max_depth
+      && Array.for_all (fun d -> d >= 0) (vsub p od.o_start)
+      (* Only deepen on a forward jump or a reset to the origin: loop nests
+         move forward. A backward jump to anywhere else is almost always a
+         phase-misaligned hypothesis (e.g. the tail of one inner-loop
+         instance paired with the head of the next); locking it in poisons
+         every later descriptor of the stream. *)
+    then begin
+      (* Deepen: freeze the growing level, open a new outer level whose
+         stride is the jump from the descriptor origin to this point. *)
+      od.o_closed <- od.o_closed @ [ { Lmad.stride = ts; count = od.o_top_done } ];
+      od.o_top_stride <- Some (vsub p od.o_start);
+      od.o_top_done <- 1;
+      od.o_partial <- 1;
+      (* A fresh outer iteration of a one-point inner pattern completes
+         immediately. *)
+      if od.o_partial = inner_size od then begin
+        od.o_top_done <- 2;
+        od.o_partial <- 0
+      end;
+      true
+    end
+    else false
+
+(* Close the descriptor: the complete iterations become the LMAD; the
+   pending partial iteration is returned for replay. *)
+let finalize od =
+  match od.o_top_stride with
+  | None -> (Lmad.of_levels ~start:od.o_start ~levels:[], [])
+  | Some ts ->
+    let levels =
+      if od.o_top_done >= 2 then od.o_closed @ [ { Lmad.stride = ts; count = od.o_top_done } ]
+      else od.o_closed
+    in
+    let base = consumed od - od.o_partial in
+    let leftover = List.init od.o_partial (fun i -> open_point od (base + i)) in
+    (Lmad.of_levels ~start:od.o_start ~levels, leftover)
+
+(* --- summary of discarded points ------------------------------------ *)
+
+let discard t p =
+  if t.discarded_count = 0 then begin
+    t.sum_min <- Array.copy p;
+    t.sum_max <- Array.copy p;
+    t.sum_gran <- Array.make t.dims 0
+  end
+  else begin
+    for i = 0 to t.dims - 1 do
+      if p.(i) < t.sum_min.(i) then t.sum_min.(i) <- p.(i);
+      if p.(i) > t.sum_max.(i) then t.sum_max.(i) <- p.(i)
+    done;
+    match t.last_discarded with
+    | Some prev ->
+      for i = 0 to t.dims - 1 do
+        t.sum_gran.(i) <- Ormp_util.Stats.gcd t.sum_gran.(i) (p.(i) - prev.(i))
+      done
+    | None -> ()
+  end;
+  t.last_discarded <- Some (Array.copy p);
+  t.discarded_count <- t.discarded_count + 1
+
+(* --- the compressor -------------------------------------------------- *)
+
+let new_open p =
+  { o_start = Array.copy p; o_closed = []; o_top_stride = None; o_top_done = 1; o_partial = 0 }
+
+let lmad_count t = List.length t.closed + match t.current with None -> 0 | Some _ -> 1
+
+(* Place [p], replaying [leftover] (the closed descriptor's pending partial
+   iteration) into a fresh descriptor first. Terminates because every
+   recursion permanently closes a descriptor holding at least one point. *)
+let rec place t leftover p =
+  match t.current with
+  | None ->
+    if lmad_count t < t.budget then begin
+      let od = new_open (match leftover with q :: _ -> q | [] -> p) in
+      t.current <- Some od;
+      (match leftover with
+      | [] -> Opened (List.length t.closed)
+      | _ :: rest ->
+        (* Replaying a prefix of a previously-consumed pattern never
+           mismatches: it re-traces the same discovery decisions. *)
+        List.iter (fun q -> assert (add_open ~max_depth:t.max_depth od q)) rest;
+        if add_open ~max_depth:t.max_depth od p then Opened (List.length t.closed)
+        else close_and_retry t p)
+    end
+    else begin
+      List.iter (discard t) leftover;
+      discard t p;
+      Discarded
+    end
+  | Some od ->
+    if add_open ~max_depth:t.max_depth od p then Extended (List.length t.closed)
+    else close_and_retry t p
+
+and close_and_retry t p =
+  match t.current with
+  | None -> assert false
+  | Some od ->
+    let lmad, leftover = finalize od in
+    t.closed <- lmad :: t.closed;
+    t.current <- None;
+    place t leftover p
+
+let add t p =
+  if Array.length p <> t.dims then invalid_arg "Compressor.add: dimension mismatch";
+  t.total <- t.total + 1;
+  place t [] p
+
+let lmads t =
+  let closed = List.rev t.closed in
+  match t.current with
+  | None -> closed
+  | Some od -> closed @ [ fst (finalize od) ]
+
+let total t = t.total
+let discarded t = t.discarded_count
+let captured t = t.total - t.discarded_count
+let fully_captured t = t.discarded_count = 0
+
+let summary t =
+  if t.discarded_count = 0 then None
+  else
+    Some
+      {
+        min_v = Array.copy t.sum_min;
+        max_v = Array.copy t.sum_max;
+        granularity = Array.copy t.sum_gran;
+        discarded = t.discarded_count;
+      }
+
+let byte_size t =
+  let lmad_bytes = List.fold_left (fun acc d -> acc + Lmad.byte_size d) 0 (lmads t) in
+  let summary_bytes =
+    match summary t with
+    | None -> 0
+    | Some s ->
+      Ormp_util.Bytesize.of_ints (Array.to_list s.min_v)
+      + Ormp_util.Bytesize.of_ints (Array.to_list s.max_v)
+      + Ormp_util.Bytesize.of_ints (Array.to_list s.granularity)
+      + Ormp_util.Bytesize.varint s.discarded
+  in
+  lmad_bytes + summary_bytes
+
+let reconstruct t =
+  let closed = List.concat_map Lmad.points (List.rev t.closed) in
+  match t.current with None -> closed | Some od -> closed @ open_points od
+
+type parts = {
+  p_dims : int;
+  p_budget : int;
+  p_max_depth : int;
+  p_lmads : Lmad.t list;
+  p_total : int;
+  p_discarded : int;
+  p_summary : summary option;
+}
+
+let parts t =
+  {
+    p_dims = t.dims;
+    p_budget = t.budget;
+    p_max_depth = t.max_depth;
+    p_lmads = lmads t;
+    p_total = t.total;
+    p_discarded = t.discarded_count;
+    p_summary = summary t;
+  }
+
+let of_parts p =
+  let t = create ~budget:p.p_budget ~max_depth:p.p_max_depth ~dims:p.p_dims () in
+  List.iter
+    (fun d ->
+      if Lmad.dims d <> p.p_dims then invalid_arg "Compressor.of_parts: descriptor dims mismatch")
+    p.p_lmads;
+  if List.length p.p_lmads > p.p_budget then invalid_arg "Compressor.of_parts: over budget";
+  t.closed <- List.rev p.p_lmads;
+  t.total <- p.p_total;
+  t.discarded_count <- p.p_discarded;
+  (match p.p_summary with
+  | Some s ->
+    if s.discarded <> p.p_discarded then
+      invalid_arg "Compressor.of_parts: summary count mismatch";
+    t.sum_min <- Array.copy s.min_v;
+    t.sum_max <- Array.copy s.max_v;
+    t.sum_gran <- Array.copy s.granularity
+  | None ->
+    if p.p_discarded <> 0 then invalid_arg "Compressor.of_parts: missing summary");
+  t

@@ -1,0 +1,96 @@
+(** The LEAP linear compressor (§4.1).
+
+    Reads an n-dimensional point stream and describes it with at most
+    [budget] LMADs. A new point first tries to extend the {e current}
+    descriptor; a mismatch that falls exactly on an iteration boundary can
+    instead {e deepen} the descriptor by one loop level (up to
+    [max_depth]), which is how a repeating inner-loop sweep becomes a
+    single two-level LMAD instead of one descriptor per sweep. Any other
+    mismatch closes the current descriptor and starts a new one. Once the
+    budget is exhausted, non-fitting points are {e discarded} and only an
+    overall summary (per-dimension min, max and granularity) is kept —
+    this is what makes LEAP lossy. The paper uses a budget of 30 LMADs per
+    (instruction, group) pair. *)
+
+type summary = {
+  min_v : int array;  (** per-dimension minimum over discarded points *)
+  max_v : int array;  (** per-dimension maximum over discarded points *)
+  granularity : int array;
+      (** per-dimension gcd of deltas between consecutive discarded points *)
+  discarded : int;    (** number of discarded points *)
+}
+
+type t
+
+type placement =
+  | Extended of int  (** the point extended the LMAD with this creation index *)
+  | Opened of int  (** a new LMAD with this creation index was started *)
+  | Discarded  (** budget exhausted; the point went into the summary *)
+
+val create : ?budget:int -> ?max_depth:int -> dims:int -> unit -> t
+(** [create ~dims ()] with the paper's default budget of 30 and at most 3
+    nesting levels per descriptor. *)
+
+val default_budget : int
+(** 30, per §4.1. *)
+
+val add : t -> int array -> placement
+(** Offer the next point of the stream; reports where it went so callers
+    can keep per-descriptor side metadata (LEAP keeps time spans). A point
+    that closes the current descriptor and opens a fresh one reports
+    [Opened]; the trailing partial iteration of the closed descriptor is
+    transparently carried into the fresh one.
+    @raise Invalid_argument on dimension mismatch. *)
+
+val lmads : t -> Lmad.t list
+(** Closed and open descriptors, in creation order. The open descriptor's
+    trailing partial iteration is not visible here (it is still pending). *)
+
+val total : t -> int
+(** Points offered so far. *)
+
+val captured : t -> int
+(** Points represented by the descriptors ([total - discarded]). *)
+
+val discarded : t -> int
+(** Points dropped into the summary. *)
+
+val fully_captured : t -> bool
+(** No point was discarded: the descriptors describe the stream
+    losslessly. *)
+
+val summary : t -> summary option
+(** Present iff at least one point was discarded. *)
+
+val byte_size : t -> int
+(** Serialized size of all LMADs plus the summary, in varint bytes. *)
+
+val reconstruct : t -> int array list
+(** Every captured point in arrival order (including the open descriptor's
+    pending partial iteration); equals the input stream when
+    [fully_captured]. For tests. *)
+
+(** {1 Persistence} *)
+
+type parts = {
+  p_dims : int;
+  p_budget : int;
+  p_max_depth : int;
+  p_lmads : Lmad.t list;  (** in creation order; the open descriptor is
+                              finalized (a trailing partial iteration, if
+                              any, is not representable and is dropped
+                              from the descriptors — totals keep counting
+                              it) *)
+  p_total : int;
+  p_discarded : int;
+  p_summary : summary option;
+}
+
+val parts : t -> parts
+(** A serializable snapshot of the compressor's state. *)
+
+val of_parts : parts -> t
+(** Rebuild a compressor from a snapshot. The result answers every query
+    like the original; further [add]s start a fresh descriptor, and the
+    summary's granularity chain restarts at the next discarded point.
+    @raise Invalid_argument on inconsistent parts. *)

@@ -1,0 +1,54 @@
+type level = { stride : int array; count : int }
+
+type t = { start : int array; levels : level list }
+
+let make p = { start = Array.copy p; levels = [] }
+
+let dims d = Array.length d.start
+
+let of_levels ~start ~levels =
+  let n = Array.length start in
+  List.iter
+    (fun l ->
+      if Array.length l.stride <> n then invalid_arg "Lmad.of_levels: dimension mismatch";
+      if l.count < 1 then invalid_arg "Lmad.of_levels: level count must be positive")
+    levels;
+  { start = Array.copy start; levels = List.filter (fun l -> l.count > 1) levels }
+
+let depth d = List.length d.levels
+
+let size d = List.fold_left (fun acc l -> acc * l.count) 1 d.levels
+
+let point d k =
+  if k < 0 || k >= size d then invalid_arg "Lmad.point: index out of range";
+  let p = Array.copy d.start in
+  let rem = ref k in
+  List.iter
+    (fun l ->
+      let idx = !rem mod l.count in
+      rem := !rem / l.count;
+      for i = 0 to dims d - 1 do
+        p.(i) <- p.(i) + (idx * l.stride.(i))
+      done)
+    d.levels;
+  p
+
+let last d = point d (size d - 1)
+
+let points d = List.init (size d) (point d)
+
+let byte_size d =
+  Ormp_util.Bytesize.of_ints (Array.to_list d.start)
+  + List.fold_left
+      (fun acc l ->
+        acc + Ormp_util.Bytesize.of_ints (Array.to_list l.stride)
+        + Ormp_util.Bytesize.varint l.count)
+      0 d.levels
+
+let pp_vec fmt v =
+  Format.fprintf fmt "(%s)" (String.concat "," (List.map string_of_int (Array.to_list v)))
+
+let pp fmt d =
+  Format.fprintf fmt "[%a" pp_vec d.start;
+  List.iter (fun l -> Format.fprintf fmt " +%ax%d" pp_vec l.stride l.count) d.levels;
+  Format.fprintf fmt "]"

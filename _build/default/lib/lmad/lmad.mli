@@ -1,0 +1,54 @@
+(** Linear memory access descriptors (LMADs).
+
+    Following Paek & Hoeflinger's model (the paper's reference [9]), an
+    LMAD describes the footprint of a loop nest: a start point plus one
+    {e level} per loop, each with a per-dimension stride and an iteration
+    count. A descriptor with levels [(s1,c1); (s2,c2); ...] (innermost
+    first) covers the points
+
+    {v start + k1*s1 + k2*s2 + ...   with 0 <= ki < ci v}
+
+    enumerated with the innermost index fastest — exactly the order a loop
+    nest touches them. A one-level LMAD is the paper's [\[start, stride,
+    count\]] triple; the empty-level descriptor is a single point. LEAP
+    uses points in (object, offset) space (n = 2). *)
+
+type level = { stride : int array; count : int }
+(** One loop level: [count] iterations stepping by [stride]. [count] >= 2
+    in well-formed descriptors (a 1-iteration level is redundant). *)
+
+type t = private {
+  start : int array;  (** first point *)
+  levels : level list;  (** innermost first; empty = single point *)
+}
+
+val make : int array -> t
+(** Single-point descriptor. The array is copied. *)
+
+val of_levels : start:int array -> levels:level list -> t
+(** Build a descriptor directly (innermost level first). Redundant levels
+    ([count <= 1]) are dropped.
+    @raise Invalid_argument on dimension mismatches. *)
+
+val dims : t -> int
+(** Dimensionality of the points. *)
+
+val depth : t -> int
+(** Number of levels. *)
+
+val size : t -> int
+(** Total number of points (product of level counts; 1 when no levels). *)
+
+val point : t -> int -> int array
+(** [point d k] is the [k]-th point in loop order, [0 <= k < size d]. *)
+
+val last : t -> int array
+val points : t -> int array list
+(** All points in order; for tests and small descriptors only. *)
+
+val byte_size : t -> int
+(** Serialized size: varint bytes of the start, every level's stride and
+    count. *)
+
+val pp : Format.formatter -> t -> unit
+(** "[(0,0) +(0,8)x64 +(32,0)x100]"-style rendering. *)

@@ -1,0 +1,1 @@
+lib/memsim/allocator.ml: Hashtbl Int Map Ormp_interval Ormp_util Printf Prng Seq

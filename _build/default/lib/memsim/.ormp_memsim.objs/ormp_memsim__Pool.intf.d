@@ -1,0 +1,1 @@
+lib/memsim/pool.mli: Allocator

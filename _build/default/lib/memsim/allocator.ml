@@ -1,0 +1,192 @@
+open Ormp_util
+module Ri = Ormp_interval.Range_index
+
+type policy = Bump | First_fit | Best_fit | Segregated | Randomized of int
+
+let all_policies = [ Bump; First_fit; Best_fit; Segregated; Randomized 1 ]
+
+let policy_name = function
+  | Bump -> "bump"
+  | First_fit -> "first-fit"
+  | Best_fit -> "best-fit"
+  | Segregated -> "segregated"
+  | Randomized s -> Printf.sprintf "randomized(%d)" s
+
+module IntMap = Map.Make (Int)
+
+type t = {
+  policy : policy;
+  base : int;
+  limit : int;
+  align : int;
+  (* Live blocks: range size is the reserved extent, payload the requested
+     size (they differ under rounding policies). *)
+  live : int Ri.t;
+  mutable brk : int;
+  mutable holes : int IntMap.t; (* hole base -> hole size (first/best fit) *)
+  classes : (int, int list ref) Hashtbl.t; (* size class -> freed bases *)
+  rng : Prng.t;
+  mutable live_bytes : int;
+  mutable total_allocs : int;
+}
+
+let create ?(base = 0x1000_0000) ?(limit = 256 * 1024 * 1024) ?(align = 16) policy =
+  if align <= 0 || base mod align <> 0 then invalid_arg "Allocator.create: bad alignment";
+  let seed = match policy with Randomized s -> s | _ -> 0 in
+  {
+    policy;
+    base;
+    limit;
+    align;
+    live = Ri.create ();
+    brk = base;
+    holes = IntMap.empty;
+    classes = Hashtbl.create 16;
+    rng = Prng.create ~seed;
+    live_bytes = 0;
+    total_allocs = 0;
+  }
+
+let round_up t n = (n + t.align - 1) / t.align * t.align
+
+let bump t reserved =
+  let addr = t.brk in
+  if addr + reserved > t.base + t.limit then raise Out_of_memory;
+  t.brk <- addr + reserved;
+  addr
+
+(* --- first/best fit hole management ------------------------------- *)
+
+let take_hole t hole_base hole_size reserved =
+  t.holes <- IntMap.remove hole_base t.holes;
+  if hole_size > reserved then
+    t.holes <- IntMap.add (hole_base + reserved) (hole_size - reserved) t.holes;
+  hole_base
+
+let first_fit t reserved =
+  let found =
+    IntMap.to_seq t.holes
+    |> Seq.find (fun (_, size) -> size >= reserved)
+  in
+  match found with
+  | Some (hb, hs) -> take_hole t hb hs reserved
+  | None -> bump t reserved
+
+let best_fit t reserved =
+  let best =
+    IntMap.fold
+      (fun hb hs acc ->
+        if hs < reserved then acc
+        else
+          match acc with
+          | Some (_, bs) when bs <= hs -> acc
+          | _ -> Some (hb, hs))
+      t.holes None
+  in
+  match best with
+  | Some (hb, hs) -> take_hole t hb hs reserved
+  | None -> bump t reserved
+
+let add_hole t base size =
+  (* Coalesce with the adjacent holes when they touch. *)
+  let base, size =
+    match IntMap.find_last_opt (fun b -> b < base) t.holes with
+    | Some (pb, ps) when pb + ps = base ->
+      t.holes <- IntMap.remove pb t.holes;
+      (pb, ps + size)
+    | _ -> (base, size)
+  in
+  let size =
+    match IntMap.find_first_opt (fun b -> b > base) t.holes with
+    | Some (sb, ss) when base + size = sb ->
+      t.holes <- IntMap.remove sb t.holes;
+      size + ss
+    | _ -> size
+  in
+  t.holes <- IntMap.add base size t.holes
+
+(* --- segregated size classes -------------------------------------- *)
+
+let class_of t reserved =
+  let rec go c = if c >= reserved then c else go (c * 2) in
+  go t.align
+
+let seg_alloc t reserved =
+  let cls = class_of t reserved in
+  match Hashtbl.find_opt t.classes cls with
+  | Some ({ contents = addr :: rest } as l) ->
+    l := rest;
+    addr
+  | _ -> bump t cls
+
+let seg_free t base reserved =
+  let cls = class_of t reserved in
+  match Hashtbl.find_opt t.classes cls with
+  | Some l -> l := base :: !l
+  | None -> Hashtbl.replace t.classes cls (ref [ base ])
+
+(* --- randomized placement ------------------------------------------ *)
+
+let rand_alloc t reserved =
+  let span = t.limit - reserved in
+  if span <= 0 then raise Out_of_memory;
+  let rec try_place attempts =
+    if attempts = 0 then raise Out_of_memory
+    else
+      let addr = t.base + (Prng.int t.rng (span / t.align) * t.align) in
+      (* Probe by trial insertion; the index rejects overlaps atomically. *)
+      match Ri.insert t.live ~base:addr ~size:reserved (-1) with
+      | () -> addr
+      | exception Invalid_argument _ -> try_place (attempts - 1)
+  in
+  try_place 64
+
+let alloc t size =
+  if size <= 0 then invalid_arg "Allocator.alloc: size must be positive";
+  let reserved = round_up t (max size 1) in
+  let addr =
+    match t.policy with
+    | Bump -> bump t reserved
+    | First_fit -> first_fit t reserved
+    | Best_fit -> best_fit t reserved
+    | Segregated -> seg_alloc t reserved
+    | Randomized _ ->
+      let a = rand_alloc t reserved in
+      ignore (Ri.remove t.live ~base:a);
+      a
+  in
+  Ri.insert t.live ~base:addr ~size:reserved size;
+  t.live_bytes <- t.live_bytes + size;
+  t.total_allocs <- t.total_allocs + 1;
+  addr
+
+let free t base =
+  match Ri.find t.live base with
+  | Some (b, reserved, requested) when b = base ->
+    ignore (Ri.remove t.live ~base);
+    t.live_bytes <- t.live_bytes - requested;
+    (match t.policy with
+    | Bump | Randomized _ -> ()
+    | First_fit | Best_fit -> add_hole t base reserved
+    | Segregated -> seg_free t base reserved)
+  | _ -> invalid_arg (Printf.sprintf "Allocator.free: %#x is not a live block base" base)
+
+let size_of t base =
+  match Ri.find t.live base with
+  | Some (b, _, requested) when b = base -> Some requested
+  | _ -> None
+
+let live_blocks t = Ri.cardinal t.live
+let live_bytes t = t.live_bytes
+let total_allocs t = t.total_allocs
+
+let check_no_overlap t =
+  match Ri.check_invariants t.live with
+  | Error _ as e -> e
+  | Ok () ->
+    let bad = ref None in
+    Ri.iter t.live (fun ~base ~size:_ _ ->
+        if base mod t.align <> 0 then bad := Some base);
+    (match !bad with
+    | Some b -> Error (Printf.sprintf "block %#x not aligned to %d" b t.align)
+    | None -> Ok ())

@@ -1,0 +1,27 @@
+type t = {
+  heap : Allocator.t;
+  base_addr : int;
+  pool_size : int;
+  mutable cursor : int;
+}
+
+let create heap ~size =
+  if size <= 0 then invalid_arg "Pool.create: size must be positive";
+  let base_addr = Allocator.alloc heap size in
+  { heap; base_addr; pool_size = size; cursor = 0 }
+
+let base t = t.base_addr
+let size t = t.pool_size
+
+let alloc t n =
+  if n <= 0 then invalid_arg "Pool.alloc: size must be positive";
+  let aligned = (n + 7) / 8 * 8 in
+  if t.cursor + aligned > t.pool_size then raise Out_of_memory;
+  let addr = t.base_addr + t.cursor in
+  t.cursor <- t.cursor + aligned;
+  addr
+
+let reset t = t.cursor <- 0
+let used t = t.cursor
+
+let destroy t = Allocator.free t.heap t.base_addr

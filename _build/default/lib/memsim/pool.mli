@@ -1,0 +1,32 @@
+(** Custom allocation pools.
+
+    The paper treats custom alloc pools as single objects (§3.1, footnote):
+    the profiler sees one allocation for the whole pool, while the program
+    carves many small pieces out of it. Workloads with custom allocators
+    (like the parser stand-in) use this module; the piece addresses it
+    returns land inside one profiled object, reproducing the paper's
+    within-object behaviour. *)
+
+type t
+
+val create : Allocator.t -> size:int -> t
+(** Carve a pool of [size] bytes out of the given heap. *)
+
+val base : t -> int
+(** Address of the pool block (also the address of the profiled object). *)
+
+val size : t -> int
+
+val alloc : t -> int -> int
+(** Bump-allocate a piece inside the pool (8-byte aligned).
+    @raise Out_of_memory when the pool is exhausted. *)
+
+val reset : t -> unit
+(** Recycle the whole pool: subsequent pieces start from the base again.
+    Models per-phase pool reuse (e.g. per-sentence in a parser). *)
+
+val used : t -> int
+(** Bytes handed out since the last reset. *)
+
+val destroy : t -> unit
+(** Return the pool block to the heap. The pool must not be used after. *)

@@ -1,0 +1,1 @@
+lib/persist/leap_io.ml: Array Hashtbl List Ormp_leap Ormp_lmad Ormp_util Printf Result

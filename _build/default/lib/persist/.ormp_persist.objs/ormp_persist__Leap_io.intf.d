@@ -1,0 +1,1 @@
+lib/persist/leap_io.mli: Ormp_leap Ormp_util

@@ -1,0 +1,1 @@
+lib/persist/whomp_io.ml: Hashtbl List Ormp_core Ormp_sequitur Ormp_util Ormp_whomp Printf Result String

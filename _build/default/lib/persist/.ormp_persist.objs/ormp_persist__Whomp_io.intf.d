@@ -1,0 +1,1 @@
+lib/persist/whomp_io.mli: Ormp_util Ormp_whomp

@@ -1,0 +1,179 @@
+module S = Ormp_util.Sexp
+module Seq_c = Ormp_sequitur.Sequitur
+module W = Ormp_whomp.Whomp
+module Omc = Ormp_core.Omc
+
+let version = 1
+
+let ( let* ) = Result.bind
+
+let rec collect_results = function
+  | [] -> Ok []
+  | Ok x :: rest ->
+    let* xs = collect_results rest in
+    Ok (x :: xs)
+  | Error e :: _ -> Error e
+
+let int_list args = collect_results (List.map S.as_int args)
+
+let int_field name t =
+  let* args = S.assoc name t in
+  match args with [ x ] -> S.as_int x | _ -> Error ("bad field " ^ name)
+
+(* --- writing --------------------------------------------------------- *)
+
+let grammar_to_sexp (name, g) =
+  S.field "grammar"
+    (S.field "dim" [ S.atom name ]
+    :: List.map
+         (fun (id, rhs) ->
+           S.field "rule"
+             (S.int id
+             :: List.map
+                  (function `T v -> S.int v | `N id -> S.atom (Printf.sprintf "R%d" id))
+                  rhs))
+         (Seq_c.rules g))
+
+let group_to_sexp (g : Omc.group_info) =
+  S.field "group"
+    [ S.int g.Omc.gid; S.int g.Omc.site; S.atom g.Omc.label; S.int g.Omc.population ]
+
+let lifetime_to_sexp (l : Omc.lifetime) =
+  S.field "object"
+    [
+      S.int l.Omc.group;
+      S.int l.Omc.serial;
+      S.int l.Omc.base;
+      S.int l.Omc.size;
+      S.int l.Omc.alloc_time;
+      S.int (match l.Omc.free_time with None -> -1 | Some t -> t);
+    ]
+
+let to_sexp (p : W.profile) =
+  S.field "ormp-whomp-profile"
+    ([
+       S.field "version" [ S.int version ];
+       S.field "collected" [ S.int p.W.collected ];
+       S.field "wild" [ S.int p.W.wild ];
+     ]
+    @ List.map grammar_to_sexp p.W.dims
+    @ List.map group_to_sexp p.W.groups
+    @ List.map lifetime_to_sexp p.W.lifetimes)
+
+let save path p = S.save path (to_sexp p)
+
+(* --- reading --------------------------------------------------------- *)
+
+(* Rebuild a live grammar by expanding the saved rules and re-running
+   Sequitur over the expansion: the algorithm is deterministic, so the
+   result is the grammar that was saved. *)
+let grammar_of_sexp args =
+  let body = S.List (S.Atom "_" :: args) in
+  let* dim_args = S.assoc "dim" body in
+  let* dim = match dim_args with [ a ] -> S.as_atom a | _ -> Error "bad dim" in
+  let rules = Hashtbl.create 64 in
+  let* () =
+    List.fold_left
+      (fun acc item ->
+        let* () = acc in
+        match item with
+        | S.List (S.Atom "rule" :: S.Atom id_s :: rhs) -> (
+          match int_of_string_opt id_s with
+          | None -> Error ("bad rule id " ^ id_s)
+          | Some id ->
+            let* syms =
+              collect_results
+                (List.map
+                   (fun s ->
+                     let* a = S.as_atom s in
+                     if String.length a > 1 && a.[0] = 'R' then
+                       match int_of_string_opt (String.sub a 1 (String.length a - 1)) with
+                       | Some r -> Ok (`N r)
+                       | None -> Error ("bad symbol " ^ a)
+                     else
+                       match int_of_string_opt a with
+                       | Some v -> Ok (`T v)
+                       | None -> Error ("bad symbol " ^ a))
+                   rhs)
+            in
+            Hashtbl.replace rules id syms;
+            Ok ())
+        | _ -> Ok ())
+      (Ok ()) args
+  in
+  if not (Hashtbl.mem rules 0) then Error "grammar has no start rule"
+  else begin
+    let memo = Hashtbl.create 64 in
+    let rec expand id =
+      match Hashtbl.find_opt memo id with
+      | Some e -> Ok e
+      | None -> (
+        match Hashtbl.find_opt rules id with
+        | None -> Error (Printf.sprintf "dangling rule R%d" id)
+        | Some rhs ->
+          let* parts =
+            collect_results
+              (List.map (function `T v -> Ok [ v ] | `N r -> expand r) rhs)
+          in
+          let e = List.concat parts in
+          Hashtbl.replace memo id e;
+          Ok e)
+    in
+    let* terminals = expand 0 in
+    let g = Seq_c.create () in
+    List.iter (Seq_c.push g) terminals;
+    Ok (dim, g)
+  end
+
+let group_of_sexp args =
+  match args with
+  | [ gid; site; label; population ] ->
+    let* gid = S.as_int gid in
+    let* site = S.as_int site in
+    let* label = S.as_atom label in
+    let* population = S.as_int population in
+    Ok { Omc.gid; site; label; population }
+  | _ -> Error "bad group"
+
+let lifetime_of_sexp args =
+  let* xs = int_list args in
+  match xs with
+  | [ group; serial; base; size; alloc_time; free ] ->
+    Ok
+      {
+        Omc.group;
+        serial;
+        base;
+        size;
+        alloc_time;
+        free_time = (if free < 0 then None else Some free);
+      }
+  | _ -> Error "bad object record"
+
+let of_sexp t =
+  let* args = S.as_list t in
+  match args with
+  | S.Atom "ormp-whomp-profile" :: rest ->
+    let body = S.List (S.Atom "_" :: rest) in
+    let* v = int_field "version" body in
+    if v <> version then Error (Printf.sprintf "unsupported version %d" v)
+    else
+      let* collected = int_field "collected" body in
+      let* wild = int_field "wild" body in
+      let pick name f =
+        collect_results
+          (List.filter_map
+             (function
+               | S.List (S.Atom n :: args) when n = name -> Some (f args)
+               | _ -> None)
+             rest)
+      in
+      let* dims = pick "grammar" grammar_of_sexp in
+      let* groups = pick "group" group_of_sexp in
+      let* lifetimes = pick "object" lifetime_of_sexp in
+      Ok { W.dims; collected; wild; groups; lifetimes; elapsed = 0.0 }
+  | _ -> Error "not an ormp-whomp-profile"
+
+let load path =
+  let* t = S.load path in
+  of_sexp t

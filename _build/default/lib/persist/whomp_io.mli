@@ -1,0 +1,14 @@
+(** WHOMP (OMSG) profile persistence.
+
+    The four dimension grammars are written as their rules — the compact
+    form is exactly the profile. Loading replays each grammar's expansion
+    through a fresh Sequitur compressor; the algorithm is deterministic,
+    so the reloaded grammars are structurally identical to the saved ones
+    (checked by the round-trip tests). Auxiliary group/lifetime output is
+    saved alongside. *)
+
+val save : string -> Ormp_whomp.Whomp.profile -> unit
+val load : string -> (Ormp_whomp.Whomp.profile, string) result
+
+val to_sexp : Ormp_whomp.Whomp.profile -> Ormp_util.Sexp.t
+val of_sexp : Ormp_util.Sexp.t -> (Ormp_whomp.Whomp.profile, string) result

@@ -1,0 +1,1 @@
+lib/report/error_dist.ml: Array Histogram List Ormp_baselines Ormp_util

@@ -1,0 +1,1 @@
+lib/report/error_dist.mli: Ormp_baselines Ormp_util

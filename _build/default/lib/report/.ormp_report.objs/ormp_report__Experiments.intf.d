@@ -1,0 +1,1 @@
+lib/report/experiments.mli: Ormp_baselines Ormp_leap Ormp_util Ormp_vm Ormp_workloads Registry

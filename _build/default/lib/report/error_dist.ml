@@ -1,0 +1,37 @@
+open Ormp_util
+module Dt = Ormp_baselines.Dep_types
+
+let half_buckets = 10
+
+let of_deps ~truth ~estimate =
+  let h = Histogram.centered ~half_width:100.0 ~half_buckets in
+  List.iter
+    (fun (store, load) ->
+      let t = Dt.find truth ~store ~load in
+      let e = Dt.find estimate ~store ~load in
+      Histogram.add h (100.0 *. (e -. t)))
+    (Dt.pairs [ truth; estimate ]);
+  h
+
+let center_index h = (Array.length (Histogram.counts h) - 1) / 2
+
+let frac h idx_pred =
+  let counts = Histogram.counts h in
+  let total = Histogram.total h in
+  if total = 0 then 0.0
+  else
+    let n = ref 0 in
+    Array.iteri (fun i c -> if idx_pred i then n := !n + c) counts;
+    float_of_int !n /. float_of_int total
+
+let good_fraction h =
+  let c = center_index h in
+  frac h (fun i -> i >= c - 1 && i <= c + 1)
+
+let overestimates h =
+  let c = center_index h in
+  frac h (fun i -> i > c)
+
+let underestimates h =
+  let c = center_index h in
+  frac h (fun i -> i < c)

@@ -1,0 +1,27 @@
+(** Error distributions for the dependence-frequency evaluations
+    (Figures 6-8).
+
+    For every (store, load) pair reported dependent by either the profiler
+    under test or the lossless baseline, the error is the estimated minus
+    the true frequency, in percentage points (missing pairs count as 0%).
+    Errors fall into 21 buckets: a dedicated exact-zero center bucket and
+    ten 10-point buckets on each side, matching the paper's plots. *)
+
+val half_buckets : int
+(** 10 buckets per side. *)
+
+val of_deps :
+  truth:Ormp_baselines.Dep_types.dep list ->
+  estimate:Ormp_baselines.Dep_types.dep list ->
+  Ormp_util.Histogram.t
+(** The error distribution over the union of dependent pairs. *)
+
+val good_fraction : Ormp_util.Histogram.t -> float
+(** Fraction of pairs "completely correct (center point) or off by no more
+    than 10%" — the center bucket plus its two neighbours. 0 when empty. *)
+
+val overestimates : Ormp_util.Histogram.t -> float
+(** Fraction of pairs with strictly positive error (all buckets right of
+    center). *)
+
+val underestimates : Ormp_util.Histogram.t -> float

@@ -1,0 +1,1 @@
+lib/sequitur/sequitur.ml: Array Format Hashtbl List Option Ormp_util Printf

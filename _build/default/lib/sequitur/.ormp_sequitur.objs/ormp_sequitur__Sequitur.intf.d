@@ -1,0 +1,1 @@
+lib/sequitur/sequitur.mli: Format

@@ -1,0 +1,313 @@
+(* Port of the reference Sequitur algorithm (Nevill-Manning & Witten) to
+   OCaml. Differences from the reference C++ implementation:
+
+   - Symbols carry a [dead] flag and every digram-index hit is re-validated
+     (liveness + key match) before use. The reference implementation instead
+     relies on a delicate "triples" re-indexing hack inside [join] to keep
+     the index exact across runs of equal symbols; validating on lookup is
+     simpler and makes stale entries harmless (worst case: one missed match,
+     re-discovered on the next repetition). Losslessness is unaffected.
+   - Rules are tracked in a live-rule table so the grammar can be sized,
+     printed and expanded without chasing pointers from the start rule. *)
+
+type symbol = {
+  mutable kind : kind;
+  mutable prev : symbol;
+  mutable next : symbol;
+  mutable dead : bool;
+}
+
+and kind =
+  | Guard of rule
+  | Term of int
+  | Nonterm of rule
+
+and rule = {
+  id : int;
+  mutable guard : symbol;
+  mutable refcount : int;
+}
+
+type t = {
+  start : rule;
+  digrams : (int * int, symbol) Hashtbl.t;
+  live_rules : (int, rule) Hashtbl.t;
+  mutable next_rule_id : int;
+  mutable input_len : int;
+}
+
+let is_guard s = match s.kind with Guard _ -> true | _ -> false
+
+(* Dense integer code for a symbol's identity, used in digram keys and in
+   byte-size accounting: terminals use the even codes, rule ids the odd. *)
+let code_of s =
+  match s.kind with
+  | Term v -> v lsl 1
+  | Nonterm r -> (r.id lsl 1) lor 1
+  | Guard _ -> invalid_arg "Sequitur.code_of: guard"
+
+let digram_key s = (code_of s, code_of s.next)
+
+let make_rule id =
+  let rec rule = { id; guard = g; refcount = 0 }
+  and g = { kind = Guard rule; prev = g; next = g; dead = false } in
+  rule
+
+let create () =
+  let start = make_rule 0 in
+  let t =
+    {
+      start;
+      digrams = Hashtbl.create 4096;
+      live_rules = Hashtbl.create 64;
+      next_rule_id = 1;
+      input_len = 0;
+    }
+  in
+  Hashtbl.replace t.live_rules 0 start;
+  t
+
+let first r = r.guard.next
+let last r = r.guard.prev
+
+let reuse r = r.refcount <- r.refcount + 1
+
+let kill_rule t r = Hashtbl.remove t.live_rules r.id
+
+let deuse t r =
+  r.refcount <- r.refcount - 1;
+  if r.refcount = 0 && r.id <> 0 then kill_rule t r
+
+(* Remove the index entry for the digram starting at [s], but only if the
+   index actually points at this occurrence. *)
+let delete_digram t s =
+  if (not (is_guard s)) && not (is_guard s.next) then
+    let key = digram_key s in
+    match Hashtbl.find_opt t.digrams key with
+    | Some m when m == s -> Hashtbl.remove t.digrams key
+    | _ -> ()
+
+(* Relink [left] -> [right]; drops the index entry of the digram that used
+   to start at [left]. *)
+let join t left right =
+  if not (is_guard left) then delete_digram t left;
+  left.next <- right;
+  right.prev <- left
+
+let insert_after t q ns =
+  join t ns q.next;
+  join t q ns
+
+(* Unlink [s] from its rule, cleaning the two digram entries it anchors and
+   releasing its rule reference if it is a non-terminal. *)
+let delete_symbol t s =
+  delete_digram t s;
+  join t s.prev s.next;
+  s.dead <- true;
+  match s.kind with Nonterm r -> deuse t r | _ -> ()
+
+let fresh kind =
+  let rec s = { kind; prev = s; next = s; dead = false } in
+  s
+
+let append_copy t r proto =
+  let ns = fresh proto.kind in
+  (match proto.kind with Nonterm r2 -> reuse r2 | _ -> ());
+  insert_after t (last r) ns
+
+(* [check t s] enforces digram uniqueness for the digram starting at [s].
+   Returns [true] iff a match was found and processed (in which case [s] is
+   dead and the caller must not use it further). *)
+let rec check t s =
+  if is_guard s || is_guard s.next then false
+  else
+    let key = digram_key s in
+    match Hashtbl.find_opt t.digrams key with
+    | None ->
+      Hashtbl.replace t.digrams key s;
+      false
+    | Some m when m == s -> false
+    | Some m when m.dead || m.next.dead || is_guard m.next || digram_key m <> key ->
+      (* Stale entry left behind by unindexed relinking; repoint it here. *)
+      Hashtbl.replace t.digrams key s;
+      false
+    | Some m when m.next == s || s.next == m ->
+      (* Overlapping occurrences (a run like "aaa"): not a usable match. *)
+      false
+    | Some m ->
+      process_match t s m;
+      true
+
+(* A duplicate digram was found: replace both occurrences by a non-terminal,
+   creating a rule if the stored occurrence is not already a whole rule. *)
+and process_match t s m =
+  let r =
+    if is_guard m.prev && is_guard m.next.next then begin
+      (* [m] spans the complete right-hand side of an existing rule. *)
+      let r = match m.prev.kind with Guard r -> r | _ -> assert false in
+      substitute t s r;
+      r
+    end
+    else begin
+      let r = make_rule t.next_rule_id in
+      t.next_rule_id <- t.next_rule_id + 1;
+      Hashtbl.replace t.live_rules r.id r;
+      append_copy t r s;
+      append_copy t r s.next;
+      substitute t m r;
+      substitute t s r;
+      Hashtbl.replace t.digrams (digram_key (first r)) (first r);
+      r
+    end
+  in
+  (* Rule utility: the substitution dropped one use of each component of the
+     matched digram, i.e. of [first r] and [last r] (a matched rule always
+     has a two-symbol right-hand side). Inline any that is now used once. *)
+  let underused s = match s.kind with Nonterm r2 -> r2.refcount = 1 | _ -> false in
+  let f = first r in
+  if underused f then expand_symbol t f;
+  let l = last r in
+  if underused l then expand_symbol t l
+
+(* Replace the digram starting at [s] with a single non-terminal for [r]. *)
+and substitute t s r =
+  let q = s.prev in
+  delete_symbol t s.next;
+  delete_symbol t s;
+  let ns = fresh (Nonterm r) in
+  reuse r;
+  insert_after t q ns;
+  if not (check t q) then ignore (check t ns)
+
+(* Rule utility repair: [s] is the only use of its rule; splice the rule's
+   right-hand side in place of [s] and retire the rule. *)
+and expand_symbol t s =
+  match s.kind with
+  | Nonterm r ->
+    let left = s.prev and right = s.next in
+    let f = first r and l = last r in
+    delete_digram t s;
+    s.dead <- true;
+    join t left f;
+    join t l right;
+    deuse t r;
+    kill_rule t r;
+    if (not (is_guard l)) && not (is_guard right) then
+      Hashtbl.replace t.digrams (code_of l, code_of right) l;
+    if (not (is_guard left)) && not (is_guard f) then
+      Hashtbl.replace t.digrams (code_of left, code_of f) left
+  | _ -> invalid_arg "Sequitur.expand_symbol: not a non-terminal"
+
+let push t v =
+  let s = fresh (Term v) in
+  insert_after t (last t.start) s;
+  t.input_len <- t.input_len + 1;
+  ignore (check t s.prev)
+
+let push_array t a = Array.iter (push t) a
+
+let input_length t = t.input_len
+
+let iter_rhs r f =
+  let rec go s = if not (is_guard s) then (f s; go s.next) in
+  go (first r)
+
+let fold_rules t init f =
+  (* Deterministic order: start rule first, then ascending rule id. *)
+  let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.live_rules [] in
+  let ids = List.sort compare ids in
+  List.fold_left (fun acc id -> f acc (Hashtbl.find t.live_rules id)) init ids
+
+let grammar_size t =
+  fold_rules t 0 (fun acc r ->
+      let n = ref 0 in
+      iter_rhs r (fun _ -> incr n);
+      acc + !n)
+
+let rule_count t = Hashtbl.length t.live_rules
+
+let byte_size t =
+  fold_rules t 0 (fun acc r ->
+      let n = ref 1 (* rule separator *) in
+      iter_rhs r (fun s -> n := !n + Ormp_util.Bytesize.varint (code_of s));
+      acc + !n)
+
+let expand t =
+  let out = ref [] in
+  let n = ref 0 in
+  let rec go r =
+    iter_rhs r (fun s ->
+        match s.kind with
+        | Term v ->
+          out := v :: !out;
+          incr n
+        | Nonterm r2 -> go r2
+        | Guard _ -> assert false)
+  in
+  go t.start;
+  let a = Array.make !n 0 in
+  List.iteri (fun i v -> a.(!n - 1 - i) <- v) !out;
+  a
+
+let rules t =
+  List.rev
+    (fold_rules t [] (fun acc r ->
+         let rhs = ref [] in
+         iter_rhs r (fun s ->
+             rhs :=
+               (match s.kind with
+               | Term v -> `T v
+               | Nonterm r2 -> `N r2.id
+               | Guard _ -> assert false)
+               :: !rhs);
+         (r.id, List.rev !rhs) :: acc))
+
+let pp fmt t =
+  List.iter
+    (fun (id, rhs) ->
+      Format.fprintf fmt "R%d ->" id;
+      List.iter
+        (fun sym ->
+          match sym with
+          | `T v -> Format.fprintf fmt " %d" v
+          | `N id -> Format.fprintf fmt " R%d" id)
+        rhs;
+      Format.fprintf fmt "@.")
+    (rules t)
+
+let check_invariants t =
+  let exception Bad of string in
+  try
+    let uses : (int, int) Hashtbl.t = Hashtbl.create 64 in
+    fold_rules t () (fun () r ->
+        if r.guard.dead then raise (Bad (Printf.sprintf "dead guard in rule %d" r.id));
+        let rec go s =
+          if not (is_guard s) then begin
+            if s.dead then raise (Bad (Printf.sprintf "dead symbol reachable in rule %d" r.id));
+            if s.next.prev != s then raise (Bad "broken next/prev link");
+            if s.prev.next != s then raise (Bad "broken prev/next link");
+            (match s.kind with
+            | Nonterm r2 ->
+              if not (Hashtbl.mem t.live_rules r2.id) then
+                raise (Bad (Printf.sprintf "rule %d references dead rule %d" r.id r2.id));
+              Hashtbl.replace uses r2.id (1 + Option.value ~default:0 (Hashtbl.find_opt uses r2.id))
+            | _ -> ());
+            go s.next
+          end
+        in
+        go (first r));
+    fold_rules t () (fun () r ->
+        if r.id <> 0 then begin
+          let u = Option.value ~default:0 (Hashtbl.find_opt uses r.id) in
+          if u <> r.refcount then
+            raise (Bad (Printf.sprintf "rule %d refcount %d but %d uses" r.id r.refcount u));
+          if u < 2 then raise (Bad (Printf.sprintf "rule %d violates utility (%d uses)" r.id u))
+        end);
+    Hashtbl.iter
+      (fun key s ->
+        if s.dead then raise (Bad "digram index entry points to dead symbol");
+        if is_guard s || is_guard s.next then raise (Bad "digram index entry anchored at guard");
+        if digram_key s <> key then raise (Bad "digram index entry key mismatch"))
+      t.digrams;
+    Ok ()
+  with Bad msg -> Error msg

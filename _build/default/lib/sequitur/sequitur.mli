@@ -1,0 +1,56 @@
+(** Sequitur grammar compression (Nevill-Manning & Witten, 1997).
+
+    Sequitur incrementally builds a context-free grammar for an input
+    sequence by enforcing two constraints: {e digram uniqueness} (no pair of
+    adjacent symbols occurs more than once in the grammar) and {e rule
+    utility} (every rule is used at least twice). WHOMP feeds each
+    decomposed object-relative stream to one instance of this compressor;
+    the RASG baseline feeds it the raw address stream.
+
+    Terminals are arbitrary OCaml [int]s. The grammar is lossless:
+    {!expand} reproduces exactly the pushed sequence. *)
+
+type t
+(** An incremental Sequitur compressor and the grammar built so far. *)
+
+val create : unit -> t
+(** Fresh compressor with an empty start rule. *)
+
+val push : t -> int -> unit
+(** Append one terminal to the input sequence and restore the grammar
+    constraints. Amortized ~O(1). *)
+
+val push_array : t -> int array -> unit
+(** [push] every element in order. *)
+
+val input_length : t -> int
+(** Number of terminals pushed so far. *)
+
+val grammar_size : t -> int
+(** Total number of symbols on the right-hand sides of all live rules —
+    the standard Sequitur size metric used for the paper's compression
+    comparisons. *)
+
+val rule_count : t -> int
+(** Number of live rules, including the start rule. *)
+
+val byte_size : t -> int
+(** Serialized size estimate in bytes: every RHS symbol is charged its
+    varint width (terminals by value, non-terminals by rule id, one tag
+    bit), plus one separator byte per rule. *)
+
+val expand : t -> int array
+(** Decompress: the exact sequence of terminals pushed so far. *)
+
+val rules : t -> (int * [ `T of int | `N of int ] list) list
+(** Live rules as [(rule-id, right-hand side)], start rule (id 0) first,
+    for display and testing. *)
+
+val pp : Format.formatter -> t -> unit
+(** Pretty-print the grammar, one rule per line ([R0 -> a R1 R1]). *)
+
+val check_invariants : t -> (unit, string) result
+(** Validate internal consistency: doubly-linked list integrity, no dead
+    symbol reachable, reference counts matching actual uses, every digram
+    index entry live and matching its key, and rule utility (every
+    non-start rule used at least twice). For tests. *)

@@ -1,0 +1,1 @@
+lib/trace/sink.ml: Event List Ormp_util

@@ -1,0 +1,1 @@
+lib/trace/trace_file.ml: Array Event Ormp_util Printf String

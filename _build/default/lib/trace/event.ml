@@ -1,0 +1,14 @@
+type t =
+  | Access of { instr : int; addr : int; size : int; is_store : bool }
+  | Alloc of { site : int; addr : int; size : int; type_name : string option }
+  | Free of { addr : int }
+
+let is_access = function Access _ -> true | _ -> false
+
+let pp fmt = function
+  | Access { instr; addr; size; is_store } ->
+    Format.fprintf fmt "%s i%d %#x+%d" (if is_store then "st" else "ld") instr addr size
+  | Alloc { site; addr; size; type_name } ->
+    Format.fprintf fmt "alloc s%d %#x+%d%s" site addr size
+      (match type_name with None -> "" | Some t -> " :" ^ t)
+  | Free { addr } -> Format.fprintf fmt "free %#x" addr

@@ -1,0 +1,18 @@
+(** Probe events.
+
+    These are exactly what the paper's inserted probes deliver to the
+    profiling machinery (§2.3): instruction probes report every executed
+    load/store with its raw address; object probes report creations and
+    destructions with address range, allocation site and optional type. *)
+
+type t =
+  | Access of { instr : int; addr : int; size : int; is_store : bool }
+      (** one executed load or store *)
+  | Alloc of { site : int; addr : int; size : int; type_name : string option }
+      (** an object was created: heap allocation, pool creation, or a
+          static object at program start *)
+  | Free of { addr : int }  (** an object was destroyed *)
+
+val is_access : t -> bool
+
+val pp : Format.formatter -> t -> unit

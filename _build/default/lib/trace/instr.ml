@@ -1,0 +1,29 @@
+type kind = Load | Store | Alloc_site | Free_site
+
+let kind_name = function
+  | Load -> "load"
+  | Store -> "store"
+  | Alloc_site -> "alloc"
+  | Free_site -> "free"
+
+type info = { id : int; name : string; kind : kind }
+
+type table = { entries : info Ormp_util.Vec.t }
+
+let create_table () = { entries = Ormp_util.Vec.create () }
+
+let register t ~name kind =
+  let id = Ormp_util.Vec.length t.entries in
+  Ormp_util.Vec.push t.entries { id; name; kind };
+  id
+
+let info t id =
+  if id < 0 || id >= Ormp_util.Vec.length t.entries then
+    invalid_arg (Printf.sprintf "Instr.info: unregistered id %d" id);
+  Ormp_util.Vec.get t.entries id
+
+let count t = Ormp_util.Vec.length t.entries
+
+let all t = List.rev (Ormp_util.Vec.fold_left (fun acc i -> i :: acc) [] t.entries)
+
+let mem_ops t = List.filter (fun i -> i.kind = Load || i.kind = Store) (all t)

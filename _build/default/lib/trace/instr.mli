@@ -1,0 +1,36 @@
+(** Static program points.
+
+    Probes are attached to static instructions: every load and store gets an
+    instruction id, and every allocation point gets a site id (the paper
+    "groups allocated dynamic objects by static instruction", §3.1). A
+    workload registers its program points once, up front, so the ids are
+    stable across runs regardless of allocator or layout configuration. *)
+
+type kind =
+  | Load
+  | Store
+  | Alloc_site
+  | Free_site
+
+val kind_name : kind -> string
+
+type info = { id : int; name : string; kind : kind }
+
+type table
+
+val create_table : unit -> table
+
+val register : table -> name:string -> kind -> int
+(** Assign the next id to a fresh program point. Names are for humans and
+    need not be unique; ids are dense from 0. *)
+
+val info : table -> int -> info
+(** @raise Invalid_argument for an unregistered id. *)
+
+val count : table -> int
+
+val all : table -> info list
+(** In id order. *)
+
+val mem_ops : table -> info list
+(** Only the loads and stores, in id order. *)

@@ -1,0 +1,77 @@
+let header = "ormp-trace 1"
+
+let write_event oc (ev : Event.t) =
+  match ev with
+  | Access { instr; addr; size; is_store } ->
+    Printf.fprintf oc "A %d %d %d %d\n" instr addr size (if is_store then 1 else 0)
+  | Alloc { site; addr; size; type_name } ->
+    Printf.fprintf oc "+ %d %d %d %s\n" site addr size
+      (match type_name with None -> "-" | Some t -> t)
+  | Free { addr } -> Printf.fprintf oc "- %d\n" addr
+
+let writer oc =
+  output_string oc header;
+  output_char oc '\n';
+  fun ev -> write_event oc ev
+
+let save path events =
+  let oc = open_out path in
+  let sink = writer oc in
+  Array.iter sink events;
+  close_out oc
+
+let parse_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "A"; instr; addr; size; st ] -> (
+    match (int_of_string_opt instr, int_of_string_opt addr, int_of_string_opt size, st) with
+    | Some instr, Some addr, Some size, ("0" | "1") ->
+      Ok (Event.Access { instr; addr; size; is_store = st = "1" })
+    | _ -> Error "malformed access")
+  | "+" :: site :: addr :: size :: rest -> (
+    let type_name =
+      match rest with [] | [ "-" ] -> None | parts -> Some (String.concat " " parts)
+    in
+    match (int_of_string_opt site, int_of_string_opt addr, int_of_string_opt size) with
+    | Some site, Some addr, Some size -> Ok (Event.Alloc { site; addr; size; type_name })
+    | _ -> Error "malformed alloc")
+  | [ "-"; addr ] -> (
+    match int_of_string_opt addr with
+    | Some addr -> Ok (Event.Free { addr })
+    | None -> Error "malformed free")
+  | _ -> Error "unrecognized event"
+
+let replay path sink =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic -> (
+    let finish r =
+      close_in ic;
+      r
+    in
+    match input_line ic with
+    | exception End_of_file -> finish (Error "empty trace file")
+    | first when String.trim first <> header ->
+      finish (Error (Printf.sprintf "bad header %S" first))
+    | _ ->
+      let count = ref 0 in
+      let lineno = ref 1 in
+      let rec go () =
+        match input_line ic with
+        | exception End_of_file -> Ok !count
+        | line when String.trim line = "" -> go ()
+        | line -> (
+          incr lineno;
+          match parse_line line with
+          | Ok ev ->
+            sink ev;
+            incr count;
+            go ()
+          | Error msg -> Error (Printf.sprintf "line %d: %s" !lineno msg))
+      in
+      finish (go ()))
+
+let load path =
+  let buf = Ormp_util.Vec.create () in
+  match replay path (Ormp_util.Vec.push buf) with
+  | Ok _ -> Ok (Ormp_util.Vec.to_array buf)
+  | Error _ as e -> e

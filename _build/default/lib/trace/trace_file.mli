@@ -1,0 +1,28 @@
+(** Raw probe-event traces on disk.
+
+    Trace-based memory profilers (the paper's reference [5] lineage)
+    separate trace collection from analysis: record the instrumented run
+    once, replay it through any profiler later. The format is a plain text
+    line per event:
+
+    {v ormp-trace 1
+A <instr> <addr> <size> <0|1>      an executed load (0) or store (1)
++ <site> <addr> <size> <type|->    object creation
+- <addr>                           object destruction v}
+
+    Reading streams line by line, so traces larger than memory replay
+    fine. *)
+
+val writer : out_channel -> Sink.t
+(** A sink that appends every event to the channel (header written
+    immediately). The caller owns the channel. *)
+
+val save : string -> Event.t array -> unit
+(** Write a recorded event array to a file. *)
+
+val replay : string -> Sink.t -> (int, string) result
+(** Stream the events of a trace file into a sink; returns the event
+    count, or a parse/IO error naming the offending line. *)
+
+val load : string -> (Event.t array, string) result
+(** Materialize a whole trace (tests and small traces). *)

@@ -1,0 +1,1 @@
+lib/util/ascii.ml: Array Float List Printf String

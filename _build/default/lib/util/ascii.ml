@@ -1,0 +1,53 @@
+let pad n s =
+  let len = String.length s in
+  if len >= n then s else s ^ String.make (n - len) ' '
+
+let table ~header ~rows =
+  let all = header :: rows in
+  let cols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let widths = Array.make cols 0 in
+  List.iter
+    (fun row ->
+      List.iteri (fun i cell -> widths.(i) <- max widths.(i) (String.length cell)) row)
+    all;
+  let sep =
+    "+" ^ String.concat "+" (Array.to_list (Array.map (fun w -> String.make (w + 2) '-') widths)) ^ "+"
+  in
+  let render_row row =
+    let cells =
+      List.mapi (fun i cell -> " " ^ pad widths.(i) cell ^ " ") row
+      @ List.init (cols - List.length row) (fun j ->
+            " " ^ pad widths.(List.length row + j) "" ^ " ")
+    in
+    "|" ^ String.concat "|" cells ^ "|"
+  in
+  String.concat "\n"
+    ((sep :: render_row header :: sep :: List.map render_row rows) @ [ sep ])
+
+let hbar ~width f =
+  let f = if f < 0.0 then 0.0 else if f > 1.0 then 1.0 else f in
+  let n = int_of_float (Float.round (f *. float_of_int width)) in
+  String.make n '#' ^ String.make (width - n) ' '
+
+let bar_chart ?(width = 40) ~labels ~values () =
+  if Array.length labels <> Array.length values then
+    invalid_arg "Ascii.bar_chart: labels/values length mismatch";
+  let maxv = Array.fold_left max 0.0 values in
+  let maxv = if maxv <= 0.0 then 1.0 else maxv in
+  let lw = Array.fold_left (fun acc l -> max acc (String.length l)) 0 labels in
+  let lines =
+    Array.to_list
+      (Array.mapi
+         (fun i v ->
+           Printf.sprintf "%s |%s| %.2f" (pad lw labels.(i)) (hbar ~width (v /. maxv)) v)
+         values)
+  in
+  String.concat "\n" lines
+
+let percent f = Printf.sprintf "%.1f%%" (100.0 *. f)
+
+let ratio f = if f >= 10.0 then Printf.sprintf "%.0fx" f else Printf.sprintf "%.1fx" f
+
+let section title =
+  let line = String.make (String.length title + 8) '=' in
+  Printf.sprintf "%s\n=== %s ===\n%s" line title line

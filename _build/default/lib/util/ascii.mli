@@ -1,0 +1,25 @@
+(** Plain-text tables and bar charts for experiment output.
+
+    Everything the benchmark harness prints (the reproduced figures and
+    tables) goes through this module so the output is uniform. *)
+
+val table : header:string list -> rows:string list list -> string
+(** Render a boxed table. Column widths are taken from the longest cell. *)
+
+val hbar : width:int -> float -> string
+(** [hbar ~width f] renders a bar of [f * width] filled cells ([f] clamped
+    to [\[0,1\]]). *)
+
+val bar_chart :
+  ?width:int -> labels:string array -> values:float array -> unit -> string
+(** Horizontal bar chart, one row per label, bars scaled to the maximum
+    value. Values are printed next to the bars. *)
+
+val percent : float -> string
+(** Format a fraction as a percentage with one decimal ("12.3%"). *)
+
+val ratio : float -> string
+(** Format a ratio like "3539x" (no decimals above 10, one below). *)
+
+val section : string -> string
+(** A visually distinct section banner. *)

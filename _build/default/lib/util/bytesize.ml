@@ -1,0 +1,10 @@
+let zigzag n = if n >= 0 then n lsl 1 else ((-n) lsl 1) - 1
+
+let varint n =
+  let u = zigzag n in
+  let rec go u acc = if u < 128 then acc else go (u lsr 7) (acc + 1) in
+  go u 1
+
+let of_ints xs = List.fold_left (fun acc n -> acc + varint n) 0 xs
+
+let fixed_record = 16

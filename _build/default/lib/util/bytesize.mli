@@ -1,0 +1,18 @@
+(** Byte-size accounting for profiles.
+
+    Profile sizes in the paper are compared in bytes. We charge every stored
+    integer its LEB128 (varint) width so that small object-relative values
+    cost less than large raw addresses — the same effect a real on-disk
+    encoding would have. *)
+
+val varint : int -> int
+(** Bytes needed to store [n] as an unsigned LEB128 varint (negative values
+    are zigzag-encoded first). At least 1. *)
+
+val of_ints : int list -> int
+(** Total varint bytes for a list of integers. *)
+
+val fixed_record : int
+(** Size charged for one raw trace record: 4-byte instruction id + 8-byte
+    address + 4-byte metadata = 16 bytes. Used as the uncompressed-trace
+    base for compression-ratio computations. *)

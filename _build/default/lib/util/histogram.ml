@@ -1,0 +1,83 @@
+type layout =
+  | Uniform of { lo : float; hi : float }
+  | Centered of { half_width : float; half_buckets : int }
+
+type t = {
+  layout : layout;
+  counts : int array;
+  mutable total : int;
+}
+
+let create ~lo ~hi ~buckets =
+  if buckets <= 0 then invalid_arg "Histogram.create: buckets must be positive";
+  if not (hi > lo) then invalid_arg "Histogram.create: hi must exceed lo";
+  { layout = Uniform { lo; hi }; counts = Array.make buckets 0; total = 0 }
+
+let centered ~half_width ~half_buckets =
+  if half_buckets <= 0 then invalid_arg "Histogram.centered: half_buckets must be positive";
+  if not (half_width > 0.0) then invalid_arg "Histogram.centered: half_width must be positive";
+  {
+    layout = Centered { half_width; half_buckets };
+    counts = Array.make ((2 * half_buckets) + 1) 0;
+    total = 0;
+  }
+
+let clamp lo hi v = if v < lo then lo else if v > hi then hi else v
+
+let bucket_of t x =
+  let n = Array.length t.counts in
+  match t.layout with
+  | Uniform { lo; hi } ->
+    let w = (hi -. lo) /. float_of_int n in
+    clamp 0 (n - 1) (int_of_float (floor ((x -. lo) /. w)))
+  | Centered { half_width; half_buckets } ->
+    if x = 0.0 then half_buckets
+    else
+      let w = half_width /. float_of_int half_buckets in
+      if x > 0.0 then
+        (* (0, w] -> first bucket right of center *)
+        half_buckets + clamp 1 half_buckets (int_of_float (ceil (x /. w)))
+      else half_buckets - clamp 1 half_buckets (int_of_float (ceil (-.x /. w)))
+
+let add_n t x n =
+  let i = bucket_of t x in
+  t.counts.(i) <- t.counts.(i) + n;
+  t.total <- t.total + n
+
+let add t x = add_n t x 1
+
+let counts t = Array.copy t.counts
+let total t = t.total
+
+let fractions t =
+  if t.total = 0 then Array.make (Array.length t.counts) 0.0
+  else Array.map (fun c -> float_of_int c /. float_of_int t.total) t.counts
+
+let labels t =
+  let n = Array.length t.counts in
+  match t.layout with
+  | Uniform { lo; hi } ->
+    let w = (hi -. lo) /. float_of_int n in
+    Array.init n (fun i ->
+        Printf.sprintf "[%g,%g)" (lo +. (w *. float_of_int i)) (lo +. (w *. float_of_int (i + 1))))
+  | Centered { half_width; half_buckets } ->
+    let w = half_width /. float_of_int half_buckets in
+    Array.init n (fun i ->
+        if i = half_buckets then "0"
+        else if i < half_buckets then
+          let k = half_buckets - i in
+          (* [0.0 -. x] rather than [-.x] so the upper bound prints as "0",
+             not "-0". *)
+          Printf.sprintf "[%g,%g)" (0.0 -. (w *. float_of_int k)) (0.0 -. (w *. float_of_int (k - 1)))
+        else
+          let k = i - half_buckets in
+          Printf.sprintf "(%g,%g]" (w *. float_of_int (k - 1)) (w *. float_of_int k))
+
+let merge a b =
+  if a.layout <> b.layout || Array.length a.counts <> Array.length b.counts then
+    invalid_arg "Histogram.merge: layout mismatch";
+  {
+    layout = a.layout;
+    counts = Array.init (Array.length a.counts) (fun i -> a.counts.(i) + b.counts.(i));
+    total = a.total + b.total;
+  }

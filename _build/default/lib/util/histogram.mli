@@ -1,0 +1,42 @@
+(** Fixed-bucket histograms.
+
+    The report layer uses these for the paper's error-distribution figures
+    (Figures 6-8); the buckets are symmetric around an exact-zero center
+    bucket when built with {!val:centered}. *)
+
+type t
+
+val create : lo:float -> hi:float -> buckets:int -> t
+(** [create ~lo ~hi ~buckets] covers [\[lo, hi)] with [buckets] equal-width
+    buckets. Samples outside the range are clamped into the edge buckets. *)
+
+val centered : half_width:float -> half_buckets:int -> t
+(** [centered ~half_width ~half_buckets] builds the paper-style layout:
+    [half_buckets] buckets on each side of a dedicated bucket that counts
+    exact zeros, covering [\[-half_width, +half_width\]]. Total bucket count
+    is [2*half_buckets + 1]. *)
+
+val add : t -> float -> unit
+(** Record one sample. *)
+
+val add_n : t -> float -> int -> unit
+(** Record [n] identical samples. *)
+
+val counts : t -> int array
+(** Per-bucket counts, low to high. *)
+
+val total : t -> int
+(** Number of recorded samples. *)
+
+val fractions : t -> float array
+(** Per-bucket fraction of all samples; all zeros when empty. *)
+
+val labels : t -> string array
+(** Human-readable bucket labels ("[-20,-10)", "0", ...). *)
+
+val bucket_of : t -> float -> int
+(** Index of the bucket a sample would land in. *)
+
+val merge : t -> t -> t
+(** Sum of two histograms with identical layouts.
+    @raise Invalid_argument on layout mismatch. *)

@@ -1,0 +1,1 @@
+lib/vm/config.mli: Ormp_memsim

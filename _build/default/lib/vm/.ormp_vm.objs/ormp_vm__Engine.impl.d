@@ -1,0 +1,1 @@
+lib/vm/engine.ml: Config Event Instr List Ormp_memsim Ormp_trace Ormp_util Printf Sink

@@ -1,0 +1,1 @@
+lib/vm/engine.mli: Config Ormp_memsim Ormp_trace Ormp_util

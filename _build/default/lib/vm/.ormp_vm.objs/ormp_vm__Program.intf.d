@@ -1,0 +1,1 @@
+lib/vm/program.mli: Engine Ormp_memsim

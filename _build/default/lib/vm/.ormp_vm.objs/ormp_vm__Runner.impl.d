@@ -1,0 +1,1 @@
+lib/vm/runner.ml: Config Engine Ormp_trace Program Sys

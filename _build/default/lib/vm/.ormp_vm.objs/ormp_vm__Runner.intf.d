@@ -1,0 +1,1 @@
+lib/vm/runner.mli: Config Ormp_trace Program

@@ -1,0 +1,30 @@
+type t = {
+  policy : Ormp_memsim.Allocator.policy;
+  heap_base : int;
+  static_base : int;
+  static_gap : int;
+  align : int;
+  seed : int;
+}
+
+let default =
+  {
+    policy = Ormp_memsim.Allocator.First_fit;
+    heap_base = 0x1000_0000;
+    static_base = 0x0804_8000;
+    static_gap = 0;
+    align = 16;
+    seed = 1;
+  }
+
+let variants c =
+  [
+    c;
+    { c with policy = Ormp_memsim.Allocator.Bump; heap_base = 0x2000_0000 };
+    { c with policy = Ormp_memsim.Allocator.Best_fit; static_gap = 48 };
+    { c with policy = Ormp_memsim.Allocator.Segregated; static_base = 0x0806_0000 };
+    { c with policy = Ormp_memsim.Allocator.Randomized 7 };
+  ]
+
+let name c =
+  Printf.sprintf "%s@%#x" (Ormp_memsim.Allocator.policy_name c.policy) c.heap_base

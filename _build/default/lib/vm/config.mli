@@ -1,0 +1,27 @@
+(** Run configuration: everything that changes a program's raw addresses
+    without changing its logic.
+
+    The paper's motivating problem is that allocator choice, linker layout
+    and probe insertion shift raw addresses between runs (§1). A [Config]
+    bundles exactly those knobs; running one workload under two configs
+    yields different raw traces but — as the tests verify — identical
+    object-relative streams. *)
+
+type t = {
+  policy : Ormp_memsim.Allocator.policy;  (** heap allocator *)
+  heap_base : int;  (** heap segment origin *)
+  static_base : int;  (** data segment origin (linker) *)
+  static_gap : int;  (** padding between statics; models relinking drift *)
+  align : int;  (** heap allocation alignment *)
+  seed : int;  (** workload-internal randomness *)
+}
+
+val default : t
+
+val variants : t -> t list
+(** The default config plus a set of perturbed ones (different allocator,
+    shifted segments) that keep [seed] fixed — i.e. "same input set,
+    different memory artifacts". *)
+
+val name : t -> string
+(** Short human-readable tag, e.g. "first-fit@0x10000000". *)

@@ -1,0 +1,123 @@
+open Ormp_trace
+
+type pool_state = {
+  mutable cursor : int;
+  exposed : int option; (* pieces' alloc-site id when pieces are probed *)
+  mutable live_pieces : (int * int) list; (* (base, size), exposed mode only *)
+}
+
+type obj = { base : int; size : int; pool : pool_state option }
+
+type t = {
+  table : Instr.table;
+  sink : Sink.t;
+  heap : Ormp_memsim.Allocator.t;
+  rng : Ormp_util.Prng.t;
+  statics : (string * obj) list;
+}
+
+let make ~config ~sink ~statics =
+  let open Config in
+  let heap =
+    Ormp_memsim.Allocator.create ~base:config.heap_base ~align:config.align config.policy
+  in
+  let table = Instr.create_table () in
+  let placements =
+    Ormp_memsim.Layout.assign ~base:config.static_base ~gap:config.static_gap statics
+  in
+  let static_objs =
+    List.map
+      (fun p ->
+        let open Ormp_memsim.Layout in
+        let site = Instr.register table ~name:("static:" ^ p.entry.name) Instr.Alloc_site in
+        sink (Event.Alloc { site; addr = p.address; size = p.entry.size; type_name = Some p.entry.name });
+        (p.entry.name, { base = p.address; size = p.entry.size; pool = None }))
+      placements
+  in
+  { table; sink; heap; rng = Ormp_util.Prng.create ~seed:config.seed; statics = static_objs }
+
+let table t = t.table
+let rng t = t.rng
+let allocator t = t.heap
+
+let instr t ~name kind = Instr.register t.table ~name kind
+
+let static t name =
+  match List.assoc_opt name t.statics with
+  | Some o -> o
+  | None -> raise Not_found
+
+let alloc t ~site ?type_name size =
+  let base = Ormp_memsim.Allocator.alloc t.heap size in
+  t.sink (Event.Alloc { site; addr = base; size; type_name });
+  { base; size; pool = None }
+
+let free t ~site o =
+  ignore site;
+  Ormp_memsim.Allocator.free t.heap o.base;
+  t.sink (Event.Free { addr = o.base })
+
+let addr o = o.base
+let obj_size o = o.size
+
+let access t ~instr ~size ~is_store o off =
+  if off < 0 || off + size > o.size then
+    invalid_arg
+      (Printf.sprintf "Engine: access [%d,%d) outside object of size %d" off (off + size) o.size);
+  t.sink (Event.Access { instr; addr = o.base + off; size; is_store })
+
+let load t ~instr ?(size = 8) o off = access t ~instr ~size ~is_store:false o off
+let store t ~instr ?(size = 8) o off = access t ~instr ~size ~is_store:true o off
+
+let load_raw t ~instr ?(size = 8) a =
+  t.sink (Event.Access { instr; addr = a; size; is_store = false })
+
+let store_raw t ~instr ?(size = 8) a =
+  t.sink (Event.Access { instr; addr = a; size; is_store = true })
+
+let pool_create t ~site ?type_name ?(expose_pieces = false) ?pieces_site size =
+  let exposed =
+    match (expose_pieces, pieces_site) with
+    | false, _ -> None
+    | true, Some s -> Some s
+    | true, None -> invalid_arg "Engine.pool_create: expose_pieces needs pieces_site"
+  in
+  let base = Ormp_memsim.Allocator.alloc t.heap size in
+  (* Targeting the custom alloc functions means the pool's own malloc goes
+     unprobed — otherwise the piece objects would overlap the pool object
+     in the OMC's range index. *)
+  if exposed = None then t.sink (Event.Alloc { site; addr = base; size; type_name });
+  { base; size; pool = Some { cursor = 0; exposed; live_pieces = [] } }
+
+let pool_piece t ~pool size =
+  match pool.pool with
+  | None -> invalid_arg "Engine.pool_piece: not a pool"
+  | Some st ->
+    let aligned = (size + 7) / 8 * 8 in
+    if st.cursor + aligned > pool.size then raise Out_of_memory;
+    let base = pool.base + st.cursor in
+    st.cursor <- st.cursor + aligned;
+    (match st.exposed with
+    | Some site ->
+      st.live_pieces <- (base, size) :: st.live_pieces;
+      t.sink (Event.Alloc { site; addr = base; size; type_name = None })
+    | None -> ());
+    { base; size; pool = None }
+
+let pool_reset t ~pool =
+  match pool.pool with
+  | None -> invalid_arg "Engine.pool_reset: not a pool"
+  | Some st ->
+    List.iter (fun (base, _) -> t.sink (Event.Free { addr = base })) st.live_pieces;
+    st.live_pieces <- [];
+    st.cursor <- 0
+
+let pool_destroy t ~site ~pool =
+  match pool.pool with
+  | None -> invalid_arg "Engine.pool_destroy: not a pool"
+  | Some { exposed = None; _ } -> free t ~site pool
+  | Some st ->
+    (* exposed mode: the pieces are the profiled objects *)
+    List.iter (fun (base, _) -> t.sink (Event.Free { addr = base })) st.live_pieces;
+    st.live_pieces <- [];
+    Ormp_memsim.Allocator.free t.heap pool.base

@@ -1,0 +1,8 @@
+type t = {
+  name : string;
+  description : string;
+  statics : Ormp_memsim.Layout.entry list;
+  run : Engine.t -> unit;
+}
+
+let make ~name ~description ?(statics = []) run = { name; description; statics; run }

@@ -1,0 +1,12 @@
+(** A profile-able workload. *)
+
+type t = {
+  name : string;  (** short identifier, e.g. "164.gzip-like" *)
+  description : string;  (** one line on the memory behaviour it models *)
+  statics : Ormp_memsim.Layout.entry list;  (** its global variables *)
+  run : Engine.t -> unit;  (** the program body *)
+}
+
+val make :
+  name:string -> description:string -> ?statics:Ormp_memsim.Layout.entry list ->
+  (Engine.t -> unit) -> t

@@ -1,0 +1,10 @@
+type result = { table : Ormp_trace.Instr.table; elapsed : float }
+
+let run ?(config = Config.default) (program : Program.t) sink =
+  let engine = Engine.make ~config ~sink ~statics:program.statics in
+  let t0 = Sys.time () in
+  program.run engine;
+  let elapsed = Sys.time () -. t0 in
+  { table = Engine.table engine; elapsed }
+
+let run_bare ?config program = run ?config program Ormp_trace.Sink.null

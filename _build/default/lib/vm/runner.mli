@@ -1,0 +1,16 @@
+(** Driving a workload under a configuration.
+
+    [run] is the whole "instrumented execution": it builds an engine for the
+    given config, points the probes at [sink], executes the program, and
+    reports wall time — which is how the dilation factors of Table 1 are
+    measured (profiled run time / bare run time on the same config). *)
+
+type result = {
+  table : Ormp_trace.Instr.table;  (** program points registered by the run *)
+  elapsed : float;  (** CPU seconds spent in the run, probes included *)
+}
+
+val run : ?config:Config.t -> Program.t -> Ormp_trace.Sink.t -> result
+
+val run_bare : ?config:Config.t -> Program.t -> result
+(** Same execution with all probes discarded — the "native" run. *)

@@ -1,0 +1,1 @@
+lib/whomp/rasg.mli: Ormp_sequitur Ormp_trace Ormp_vm

@@ -1,0 +1,1 @@
+lib/whomp/whomp.ml: Array List Ormp_core Ormp_sequitur Ormp_trace Ormp_vm Printf

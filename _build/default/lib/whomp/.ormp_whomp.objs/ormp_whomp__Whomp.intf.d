@@ -1,0 +1,1 @@
+lib/whomp/whomp.mli: Ormp_core Ormp_sequitur Ormp_trace Ormp_vm

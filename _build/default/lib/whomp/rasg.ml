@@ -1,0 +1,23 @@
+module Seq_c = Ormp_sequitur.Sequitur
+
+type profile = { grammar : Seq_c.t; accesses : int; elapsed : float }
+
+let sink () =
+  let grammar = Seq_c.create () in
+  let count = ref 0 in
+  let s (ev : Ormp_trace.Event.t) =
+    match ev with
+    | Access { addr; _ } ->
+      incr count;
+      Seq_c.push grammar addr
+    | Alloc _ | Free _ -> ()
+  in
+  (s, fun ~elapsed -> { grammar; accesses = !count; elapsed })
+
+let profile ?config program =
+  let s, finalize = sink () in
+  let result = Ormp_vm.Runner.run ?config program s in
+  finalize ~elapsed:result.Ormp_vm.Runner.elapsed
+
+let size p = Seq_c.grammar_size p.grammar
+let bytes p = Seq_c.byte_size p.grammar

@@ -1,0 +1,70 @@
+module Seq_c = Ormp_sequitur.Sequitur
+
+type profile = {
+  dims : (string * Seq_c.t) list;
+  collected : int;
+  wild : int;
+  groups : Ormp_core.Omc.group_info list;
+  lifetimes : Ormp_core.Omc.lifetime list;
+  elapsed : float;
+}
+
+let sink ?grouping ~site_name () =
+  let g_instr = Seq_c.create () in
+  let g_group = Seq_c.create () in
+  let g_object = Seq_c.create () in
+  let g_offset = Seq_c.create () in
+  (* SCC: horizontal decomposition straight into the four compressors. *)
+  let on_tuple (tu : Ormp_core.Tuple.t) =
+    Seq_c.push g_instr tu.instr;
+    Seq_c.push g_group tu.group;
+    Seq_c.push g_object tu.obj;
+    Seq_c.push g_offset tu.offset
+  in
+  let cdc = Ormp_core.Cdc.create ?grouping ~site_name ~on_tuple () in
+  let finalize ~elapsed =
+    {
+      dims =
+        [ ("instr", g_instr); ("group", g_group); ("object", g_object); ("offset", g_offset) ];
+      collected = Ormp_core.Cdc.collected cdc;
+      wild = Ormp_core.Cdc.wild cdc;
+      groups = Ormp_core.Omc.groups (Ormp_core.Cdc.omc cdc);
+      lifetimes = Ormp_core.Omc.lifetimes (Ormp_core.Cdc.omc cdc);
+      elapsed;
+    }
+  in
+  (Ormp_core.Cdc.sink cdc, finalize)
+
+let profile ?config ?grouping program =
+  (* Sites are named after the fact via the table the run produces, so the
+     CDC resolves names lazily through this reference. *)
+  let table = ref None in
+  let site_name site =
+    match !table with
+    | None -> Printf.sprintf "site%d" site
+    | Some t -> (Ormp_trace.Instr.info t site).Ormp_trace.Instr.name
+  in
+  let s, finalize = sink ?grouping ~site_name () in
+  let result = Ormp_vm.Runner.run ?config program s in
+  table := Some result.Ormp_vm.Runner.table;
+  finalize ~elapsed:result.Ormp_vm.Runner.elapsed
+
+let omsg_size p = List.fold_left (fun acc (_, g) -> acc + Seq_c.grammar_size g) 0 p.dims
+
+let omsg_bytes p = List.fold_left (fun acc (_, g) -> acc + Seq_c.byte_size g) 0 p.dims
+
+let expand p =
+  let dim name = Seq_c.expand (List.assoc name p.dims) in
+  let instrs = dim "instr" and groups = dim "group" in
+  let objects = dim "object" and offsets = dim "offset" in
+  let n = Array.length instrs in
+  assert (Array.length groups = n && Array.length objects = n && Array.length offsets = n);
+  List.init n (fun i ->
+      {
+        Ormp_core.Tuple.instr = instrs.(i);
+        group = groups.(i);
+        obj = objects.(i);
+        offset = offsets.(i);
+        time = i;
+        is_store = false;
+      })

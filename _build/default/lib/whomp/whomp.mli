@@ -1,0 +1,48 @@
+(** WHOMP — the whole-stream memory profiler (§3).
+
+    WHOMP is the lossless object-relative profiler: the CDC translates
+    every collected access into a 5-tuple, the SCC decomposes the stream
+    horizontally along the four dimensions (instruction, group, object,
+    offset — time is implicit in stream position), and each dimension
+    stream is fed to its own Sequitur compressor. The output is the OMSG:
+    the object-relative multi-dimensional Sequitur grammar. *)
+
+type profile = {
+  dims : (string * Ormp_sequitur.Sequitur.t) list;
+      (** the four dimension grammars, in paper order: instr, group,
+          object, offset *)
+  collected : int;  (** accesses translated and recorded *)
+  wild : int;  (** accesses outside any profiled object (not collected) *)
+  groups : Ormp_core.Omc.group_info list;
+  lifetimes : Ormp_core.Omc.lifetime list;
+      (** run-dependent auxiliary output (object lifetimes), kept separate
+          from the invariant grammars as §2.3 prescribes *)
+  elapsed : float;  (** collection CPU time, probes + compression *)
+}
+
+val profile :
+  ?config:Ormp_vm.Config.t ->
+  ?grouping:Ormp_core.Omc.grouping ->
+  Ormp_vm.Program.t ->
+  profile
+(** Run the program under WHOMP instrumentation. *)
+
+val sink :
+  ?grouping:Ormp_core.Omc.grouping ->
+  site_name:(int -> string) ->
+  unit ->
+  Ormp_trace.Sink.t * (elapsed:float -> profile)
+(** Streaming form: a probe sink plus a finalizer, for callers that drive
+    the VM themselves (used to share one run between several profilers). *)
+
+val omsg_size : profile -> int
+(** Total grammar size (symbols on all right-hand sides, all four
+    grammars). *)
+
+val omsg_bytes : profile -> int
+(** Serialized size estimate in bytes (varint accounting). *)
+
+val expand : profile -> Ormp_core.Tuple.t list
+(** Losslessly reconstruct the collected object-relative access stream
+    from the four grammars (is_store is not part of the grammars and is
+    reconstructed as [false]). Time stamps are re-derived from position. *)

@@ -1,0 +1,1 @@
+lib/workloads/bzip_like.ml: Array Engine Fun Instr Ormp_memsim Ormp_trace Ormp_util Ormp_vm Program

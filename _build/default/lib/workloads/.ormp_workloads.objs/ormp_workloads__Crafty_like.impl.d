@@ -1,0 +1,1 @@
+lib/workloads/crafty_like.ml: Engine Instr Ormp_memsim Ormp_trace Ormp_util Ormp_vm Program

@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Array Engine Fun Instr Ormp_trace Ormp_util Ormp_vm Program

@@ -1,0 +1,1 @@
+lib/workloads/parser_like.ml: Array Engine Instr Ormp_memsim Ormp_trace Ormp_util Ormp_vm Program

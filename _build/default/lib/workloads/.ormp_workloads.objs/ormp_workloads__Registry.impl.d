@@ -1,0 +1,1 @@
+lib/workloads/registry.ml: Bzip_like Crafty_like Gzip_like List Mcf_like Ormp_vm Parser_like Twolf_like Vpr_like

@@ -1,0 +1,1 @@
+lib/workloads/vpr_like.ml: Array Engine Instr List Ormp_trace Ormp_util Ormp_vm Program

@@ -1,0 +1,80 @@
+(* 256.bzip2 stand-in: block-sorting compression.
+
+   Memory character: very long sequential passes over a large block (fill,
+   bucket count, move-to-front, output) punctuated by content-dependent
+   suffix comparisons during sorting. The dominant linear passes compress
+   extremely well (7152x in Table 1) while the sort scatter holds access
+   capture down (31.6%). *)
+
+open Ormp_vm
+open Ormp_trace
+
+let program ?(scale = 6000) () =
+  Program.make ~name:"256.bzip2-like"
+    ~description:"block sort + MTF: long linear passes, sort scatter"
+    ~statics:
+      [
+        { Ormp_memsim.Layout.name = "freq"; size = 256 * 8 };
+        { Ormp_memsim.Layout.name = "mtf_order"; size = 256 * 8 };
+      ]
+    (fun e ->
+      let site = Engine.instr e ~name:"bzip.alloc_block" Instr.Alloc_site in
+      let st_fill = Engine.instr e ~name:"bzip.st_fill" Instr.Store in
+      let ld_count = Engine.instr e ~name:"bzip.ld_count" Instr.Load in
+      let ld_freq = Engine.instr e ~name:"bzip.ld_freq" Instr.Load in
+      let st_freq = Engine.instr e ~name:"bzip.st_freq" Instr.Store in
+      let ld_sort_a = Engine.instr e ~name:"bzip.ld_sort_a" Instr.Load in
+      let ld_sort_b = Engine.instr e ~name:"bzip.ld_sort_b" Instr.Load in
+      let ld_mtf_in = Engine.instr e ~name:"bzip.ld_mtf_input" Instr.Load in
+      let ld_mtf_scan = Engine.instr e ~name:"bzip.ld_mtf_scan" Instr.Load in
+      let st_mtf = Engine.instr e ~name:"bzip.st_mtf" Instr.Store in
+      let st_out = Engine.instr e ~name:"bzip.st_output" Instr.Store in
+      let rng = Engine.rng e in
+      let n = scale in
+      let block = Engine.alloc e ~site ~type_name:"block" (n * 8) in
+      let out = Engine.alloc e ~site ~type_name:"output" (n * 8) in
+      let freq = Engine.static e "freq" in
+      let mtf = Engine.static e "mtf_order" in
+      (* Fill the block with skewed random bytes. *)
+      let data = Array.make n 0 in
+      for i = 0 to n - 1 do
+        data.(i) <- (if Ormp_util.Prng.chance rng 0.6 then i mod 7 else Ormp_util.Prng.int rng 64);
+        Engine.store e ~instr:st_fill block (i * 8)
+      done;
+      (* Bucket counting: linear load, content-scattered store. *)
+      for i = 0 to n - 1 do
+        Engine.load e ~instr:ld_count block (i * 8);
+        Engine.load e ~instr:ld_freq freq (data.(i) mod 256 * 8);
+        Engine.store e ~instr:st_freq freq (data.(i) mod 256 * 8)
+      done;
+      (* Suffix comparisons: random pairs compared to bounded depth. *)
+      for _ = 1 to n / 2 do
+        let i = Ormp_util.Prng.int rng n and j = Ormp_util.Prng.int rng n in
+        let rec cmp k =
+          if k < 6 && i + k < n && j + k < n then begin
+            Engine.load e ~instr:ld_sort_a block ((i + k) * 8);
+            Engine.load e ~instr:ld_sort_b block ((j + k) * 8);
+            if data.(i + k) = data.(j + k) then cmp (k + 1)
+          end
+        in
+        cmp 0
+      done;
+      (* Move-to-front: linear input scan, small scan bursts in the order
+         table, sequential output. *)
+      let order = Array.init 256 Fun.id in
+      for i = 0 to n - 1 do
+        Engine.load e ~instr:ld_mtf_in block (i * 8);
+        let v = data.(i) mod 256 in
+        let pos = ref 0 in
+        while order.(!pos) <> v do
+          Engine.load e ~instr:ld_mtf_scan mtf (!pos * 8);
+          incr pos
+        done;
+        (* move to front *)
+        for k = !pos downto 1 do
+          order.(k) <- order.(k - 1)
+        done;
+        order.(0) <- v;
+        Engine.store e ~instr:st_mtf mtf (!pos * 8);
+        Engine.store e ~instr:st_out out (i * 8)
+      done)

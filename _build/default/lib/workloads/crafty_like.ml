@@ -1,0 +1,60 @@
+(* 186.crafty stand-in: chess search.
+
+   Memory character: scattered probes into a large transposition table and
+   static attack tables (hash-driven), against regular linear scans of the
+   board and piece lists during evaluation — roughly half the accesses are
+   capturable (50.3% in Table 1). *)
+
+open Ormp_vm
+open Ormp_trace
+
+let program ?(scale = 1200) () =
+  Program.make ~name:"186.crafty-like"
+    ~description:"chess search: ttable scatter + board-scan linearity"
+    ~statics:
+      [
+        { Ormp_memsim.Layout.name = "attack_table"; size = 64 * 64 * 8 };
+        { Ormp_memsim.Layout.name = "piece_square"; size = 12 * 64 * 8 };
+      ]
+    (fun e ->
+      let site = Engine.instr e ~name:"crafty.alloc" Instr.Alloc_site in
+      let ld_tt = Engine.instr e ~name:"crafty.ld_ttable" Instr.Load in
+      let st_tt = Engine.instr e ~name:"crafty.st_ttable" Instr.Store in
+      let ld_att = Engine.instr e ~name:"crafty.ld_attack" Instr.Load in
+      let ld_psq = Engine.instr e ~name:"crafty.ld_piece_square" Instr.Load in
+      let ld_board = Engine.instr e ~name:"crafty.ld_board" Instr.Load in
+      let st_board = Engine.instr e ~name:"crafty.st_board" Instr.Store in
+      let ld_hist = Engine.instr e ~name:"crafty.ld_history" Instr.Load in
+      let st_hist = Engine.instr e ~name:"crafty.st_history" Instr.Store in
+      let rng = Engine.rng e in
+      let tt_slots = 8192 in
+      let ttable = Engine.alloc e ~site ~type_name:"ttable" (tt_slots * 16) in
+      let board = Engine.alloc e ~site ~type_name:"board" (64 * 8) in
+      let history = Engine.alloc e ~site ~type_name:"history" (4096 * 8) in
+      let attack = Engine.static e "attack_table" in
+      let psq = Engine.static e "piece_square" in
+      for _node = 1 to scale do
+        (* Transposition probe: two slots of a random bucket. *)
+        let h = Ormp_util.Prng.int rng (tt_slots / 2) * 2 in
+        Engine.load e ~instr:ld_tt ttable (h * 16);
+        Engine.load e ~instr:ld_tt ttable ((h + 1) * 16);
+        (* Move generation: attack-table lookups for a handful of moves. *)
+        let moves = 4 + Ormp_util.Prng.int rng 8 in
+        for _ = 1 to moves do
+          let from_sq = Ormp_util.Prng.int rng 64 and to_sq = Ormp_util.Prng.int rng 64 in
+          Engine.load e ~instr:ld_att attack (((from_sq * 64) + to_sq) * 8);
+          Engine.load e ~instr:ld_psq psq
+            (((Ormp_util.Prng.int rng 12 * 64) + to_sq) * 8)
+        done;
+        (* Evaluation: full linear board scan. *)
+        for sq = 0 to 63 do
+          Engine.load e ~instr:ld_board board (sq * 8)
+        done;
+        (* Make/unmake: two board stores, a history store, a ttable store. *)
+        Engine.store e ~instr:st_board board (Ormp_util.Prng.int rng 64 * 8);
+        Engine.store e ~instr:st_board board (Ormp_util.Prng.int rng 64 * 8);
+        let hslot = Ormp_util.Prng.int rng 4096 * 8 in
+        Engine.load e ~instr:ld_hist history hslot;
+        Engine.store e ~instr:st_hist history hslot;
+        Engine.store e ~instr:st_tt ttable (h * 16)
+      done)

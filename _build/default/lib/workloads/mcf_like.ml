@@ -1,0 +1,91 @@
+(* 181.mcf stand-in: network-simplex-style pointer chasing.
+
+   Memory character: like the real mcf, nodes and arcs live in two big
+   arrays of structs (single allocations), visited in data-dependent,
+   effectively shuffled order — the offsets inside those objects are
+   almost never linear. mcf is the paper's worst case for LMAD capture
+   (6.5% of accesses in Table 1) while still compressing enormously
+   (9993x) because so little is kept. *)
+
+open Ormp_vm
+open Ormp_trace
+
+(* node fields *)
+let f_potential = 0
+let f_parent = 8
+let f_depth = 16
+
+(* arc fields *)
+let f_cost = 0
+let f_tail = 8
+let f_head = 16
+let f_flow = 24
+
+let program ?(scale = 12) () =
+  Program.make ~name:"181.mcf-like"
+    ~description:"network simplex: shuffled arc pricing + tree-path updates" (fun e ->
+      let site_node = Engine.instr e ~name:"mcf.alloc_node" Instr.Alloc_site in
+      let site_arc = Engine.instr e ~name:"mcf.alloc_arc" Instr.Alloc_site in
+      let ld_cost = Engine.instr e ~name:"mcf.ld_arc_cost" Instr.Load in
+      let ld_tail = Engine.instr e ~name:"mcf.ld_arc_tail" Instr.Load in
+      let ld_headf = Engine.instr e ~name:"mcf.ld_arc_head" Instr.Load in
+      let ld_pot_t = Engine.instr e ~name:"mcf.ld_tail_potential" Instr.Load in
+      let ld_pot_h = Engine.instr e ~name:"mcf.ld_head_potential" Instr.Load in
+      let ld_flow = Engine.instr e ~name:"mcf.ld_arc_flow" Instr.Load in
+      let st_flow = Engine.instr e ~name:"mcf.st_arc_flow" Instr.Store in
+      let ld_parent = Engine.instr e ~name:"mcf.ld_node_parent" Instr.Load in
+      let st_pot = Engine.instr e ~name:"mcf.st_node_potential" Instr.Store in
+      let ld_depth = Engine.instr e ~name:"mcf.ld_node_depth" Instr.Load in
+      let rng = Engine.rng e in
+      let n_nodes = 64 * scale in
+      let n_arcs = 4 * n_nodes in
+      let node_sz = 24 and arc_sz = 32 in
+      (* Arrays of structs, as in the real mcf: one allocation each. *)
+      let nodes = Engine.alloc e ~site:site_node ~type_name:"node[]" (n_nodes * node_sz) in
+      let arcs = Engine.alloc e ~site:site_arc ~type_name:"arc[]" (n_arcs * arc_sz) in
+      let node_field v f = (v * node_sz) + f in
+      let arc_field a f = (a * arc_sz) + f in
+      (* Shadow topology: random spanning-tree parents and random arc
+         endpoints. *)
+      let parent = Array.init n_nodes (fun i -> if i = 0 then -1 else Ormp_util.Prng.int rng i) in
+      let tail = Array.init n_arcs (fun _ -> Ormp_util.Prng.int rng n_nodes) in
+      let head = Array.init n_arcs (fun _ -> Ormp_util.Prng.int rng n_nodes) in
+      let st_init_arc = Engine.instr e ~name:"mcf.st_init_arc" Instr.Store in
+      let st_init_node = Engine.instr e ~name:"mcf.st_init_node" Instr.Store in
+      (* Sequential initialization, as in the real mcf's array setup. *)
+      for v = 0 to n_nodes - 1 do
+        Engine.store e ~instr:st_init_node nodes (node_field v f_potential)
+      done;
+      for a = 0 to n_arcs - 1 do
+        Engine.store e ~instr:st_init_arc arcs (arc_field a f_flow)
+      done;
+      let order = Array.init n_arcs Fun.id in
+      for _iter = 1 to 4 do
+        (* Pricing pass over arcs in shuffled order. *)
+        Ormp_util.Prng.shuffle rng order;
+        Array.iter
+          (fun ai ->
+            Engine.load e ~instr:ld_cost arcs (arc_field ai f_cost);
+            Engine.load e ~instr:ld_tail arcs (arc_field ai f_tail);
+            Engine.load e ~instr:ld_headf arcs (arc_field ai f_head);
+            Engine.load e ~instr:ld_pot_t nodes (node_field tail.(ai) f_potential);
+            Engine.load e ~instr:ld_pot_h nodes (node_field head.(ai) f_potential);
+            if Ormp_util.Prng.chance rng 0.25 then begin
+              (* read-modify-write of the flow field *)
+              Engine.load e ~instr:ld_flow arcs (arc_field ai f_flow);
+              Engine.store e ~instr:st_flow arcs (arc_field ai f_flow)
+            end)
+          order;
+        (* Potential update along a random tree path. *)
+        for _ = 1 to n_nodes / 4 do
+          let rec climb v =
+            if v >= 0 then begin
+              Engine.load e ~instr:ld_parent nodes (node_field v f_parent);
+              Engine.load e ~instr:ld_depth nodes (node_field v f_depth);
+              Engine.store e ~instr:st_pot nodes (node_field v f_potential);
+              climb parent.(v)
+            end
+          in
+          climb (Ormp_util.Prng.int rng n_nodes)
+        done
+      done)

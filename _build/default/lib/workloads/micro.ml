@@ -1,0 +1,224 @@
+open Ormp_vm
+open Ormp_trace
+
+(* Field offsets shared by the node-based workloads: a data word at 0 and a
+   link word at 8, as in the paper's linked-list figures. *)
+let f_data = 0
+let f_next = 8
+let node_size = 16
+
+let linked_list ?(nodes = 64) ?(sweeps = 32) () =
+  Program.make ~name:"micro.linked_list"
+    ~description:"Figure 1/3 list walk: regular object-relative, irregular raw" (fun e ->
+      let site_node = Engine.instr e ~name:"list.alloc_node" Instr.Alloc_site in
+      let site_decoy = Engine.instr e ~name:"list.alloc_decoy" Instr.Alloc_site in
+      let ld_data = Engine.instr e ~name:"list.ld_data" Instr.Load in
+      let st_data = Engine.instr e ~name:"list.st_data" Instr.Store in
+      let ld_next = Engine.instr e ~name:"list.ld_next" Instr.Load in
+      let rng = Engine.rng e in
+      (* Interleave decoy allocations of random size so consecutive list
+         nodes land at unrelated raw addresses. *)
+      let node_objs =
+        Array.init nodes (fun _ ->
+            let n = Engine.alloc e ~site:site_node ~type_name:"node" node_size in
+            if Ormp_util.Prng.chance rng 0.6 then
+              ignore
+                (Engine.alloc e ~site:site_decoy ~type_name:"decoy"
+                   (8 * (1 + Ormp_util.Prng.int rng 16)));
+            n)
+      in
+      for _ = 1 to sweeps do
+        Array.iter
+          (fun n ->
+            Engine.load e ~instr:ld_data n f_data;
+            Engine.store e ~instr:st_data n f_data;
+            Engine.load e ~instr:ld_next n f_next)
+          node_objs
+      done)
+
+let array_stride ?(elems = 1024) ?(stride = 8) ?(sweeps = 16) () =
+  Program.make ~name:"micro.array_stride" ~description:"strongly-strided array sweeps" (fun e ->
+      let site = Engine.instr e ~name:"array.alloc" Instr.Alloc_site in
+      let ld = Engine.instr e ~name:"array.ld" Instr.Load in
+      let st = Engine.instr e ~name:"array.st" Instr.Store in
+      let a = Engine.alloc e ~site ~type_name:"buffer" (elems * 8) in
+      for _ = 1 to sweeps do
+        let i = ref 0 in
+        while !i < elems * 8 do
+          Engine.load e ~instr:ld a !i;
+          Engine.store e ~instr:st a !i;
+          i := !i + stride
+        done
+      done)
+
+let matrix ?(n = 12) () =
+  Program.make ~name:"micro.matrix" ~description:"naive matrix multiply, nested strides" (fun e ->
+      let site = Engine.instr e ~name:"matrix.alloc" Instr.Alloc_site in
+      let ld_a = Engine.instr e ~name:"matrix.ld_a" Instr.Load in
+      let ld_b = Engine.instr e ~name:"matrix.ld_b" Instr.Load in
+      let st_c = Engine.instr e ~name:"matrix.st_c" Instr.Store in
+      let bytes = n * n * 8 in
+      let a = Engine.alloc e ~site ~type_name:"matrix" bytes in
+      let b = Engine.alloc e ~site ~type_name:"matrix" bytes in
+      let c = Engine.alloc e ~site ~type_name:"matrix" bytes in
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          for k = 0 to n - 1 do
+            Engine.load e ~instr:ld_a a (((i * n) + k) * 8);
+            Engine.load e ~instr:ld_b b (((k * n) + j) * 8)
+          done;
+          Engine.store e ~instr:st_c c (((i * n) + j) * 8)
+        done
+      done)
+
+let binary_tree ?(nodes = 256) ?(searches = 512) () =
+  Program.make ~name:"micro.binary_tree" ~description:"BST of heap nodes, random searches"
+    (fun e ->
+      let site = Engine.instr e ~name:"tree.alloc_node" Instr.Alloc_site in
+      let ld_key = Engine.instr e ~name:"tree.ld_key" Instr.Load in
+      let ld_left = Engine.instr e ~name:"tree.ld_left" Instr.Load in
+      let ld_right = Engine.instr e ~name:"tree.ld_right" Instr.Load in
+      let st_key = Engine.instr e ~name:"tree.st_key" Instr.Store in
+      let rng = Engine.rng e in
+      (* Shadow structure: the simulated pointers live here; the engine
+         events are what a real program's field accesses would emit. *)
+      let keys = Array.make nodes 0 in
+      let left = Array.make nodes (-1) in
+      let right = Array.make nodes (-1) in
+      let objs = Array.init nodes (fun _ -> Engine.alloc e ~site ~type_name:"tnode" 24) in
+      let insert idx =
+        let rec go cur =
+          Engine.load e ~instr:ld_key objs.(cur) 0;
+          if keys.(idx) < keys.(cur) then
+            if left.(cur) < 0 then left.(cur) <- idx
+            else begin
+              Engine.load e ~instr:ld_left objs.(cur) 8;
+              go left.(cur)
+            end
+          else if right.(cur) < 0 then right.(cur) <- idx
+          else begin
+            Engine.load e ~instr:ld_right objs.(cur) 16;
+            go right.(cur)
+          end
+        in
+        keys.(idx) <- Ormp_util.Prng.int rng 100000;
+        Engine.store e ~instr:st_key objs.(idx) 0;
+        if idx > 0 then go 0
+      in
+      for i = 0 to nodes - 1 do
+        insert i
+      done;
+      for _ = 1 to searches do
+        let needle = Ormp_util.Prng.int rng 100000 in
+        let rec go cur =
+          if cur >= 0 then begin
+            Engine.load e ~instr:ld_key objs.(cur) 0;
+            if needle < keys.(cur) then begin
+              Engine.load e ~instr:ld_left objs.(cur) 8;
+              go left.(cur)
+            end
+            else if needle > keys.(cur) then begin
+              Engine.load e ~instr:ld_right objs.(cur) 16;
+              go right.(cur)
+            end
+          end
+        in
+        go 0
+      done)
+
+let hash_probe ?(buckets = 4096) ?(ops = 4096) () =
+  Program.make ~name:"micro.hash_probe" ~description:"open-addressing probes, non-linear offsets"
+    (fun e ->
+      let site = Engine.instr e ~name:"hash.alloc_table" Instr.Alloc_site in
+      let ld = Engine.instr e ~name:"hash.ld_slot" Instr.Load in
+      let st = Engine.instr e ~name:"hash.st_slot" Instr.Store in
+      let rng = Engine.rng e in
+      let table = Engine.alloc e ~site ~type_name:"hashtable" (buckets * 8) in
+      let occupied = Array.make buckets false in
+      for _ = 1 to ops do
+        let h = Ormp_util.Prng.int rng buckets in
+        let rec probe i n =
+          Engine.load e ~instr:ld table (i * 8);
+          if occupied.(i) && n < 8 then probe ((i + 1) mod buckets) (n + 1)
+          else begin
+            occupied.(i) <- true;
+            Engine.store e ~instr:st table (i * 8)
+          end
+        in
+        probe h 0
+      done)
+
+let random_walk ?(nodes = 512) ?(steps = 8192) () =
+  Program.make ~name:"micro.random_walk" ~description:"pointer chase over a permutation cycle"
+    (fun e ->
+      let site = Engine.instr e ~name:"walk.alloc_node" Instr.Alloc_site in
+      let ld = Engine.instr e ~name:"walk.ld_next" Instr.Load in
+      let st = Engine.instr e ~name:"walk.st_visited" Instr.Store in
+      let rng = Engine.rng e in
+      let objs = Array.init nodes (fun _ -> Engine.alloc e ~site ~type_name:"wnode" 16) in
+      let perm = Array.init nodes Fun.id in
+      Ormp_util.Prng.shuffle rng perm;
+      let next = Array.make nodes 0 in
+      for i = 0 to nodes - 1 do
+        next.(perm.(i)) <- perm.((i + 1) mod nodes)
+      done;
+      let cur = ref 0 in
+      for _ = 1 to steps do
+        Engine.load e ~instr:ld objs.(!cur) f_next;
+        Engine.store e ~instr:st objs.(!cur) f_data;
+        cur := next.(!cur)
+      done)
+
+let churn ?(live = 32) ?(ops = 4096) () =
+  Program.make ~name:"micro.churn"
+    ~description:"alloc/access/free cycles with heavy address reuse" (fun e ->
+      let site = Engine.instr e ~name:"churn.alloc" Instr.Alloc_site in
+      let fsite = Engine.instr e ~name:"churn.free" Instr.Free_site in
+      let ld = Engine.instr e ~name:"churn.ld" Instr.Load in
+      let st = Engine.instr e ~name:"churn.st" Instr.Store in
+      let rng = Engine.rng e in
+      let slots = Array.init live (fun _ -> Engine.alloc e ~site ~type_name:"buf" 32) in
+      for _ = 1 to ops do
+        let i = Ormp_util.Prng.int rng live in
+        Engine.store e ~instr:st slots.(i) 0;
+        Engine.load e ~instr:ld slots.(i) 8;
+        if Ormp_util.Prng.chance rng 0.3 then begin
+          (* retire this object; its address is immediately reusable *)
+          Engine.free e ~site:fsite slots.(i);
+          slots.(i) <- Engine.alloc e ~site ~type_name:"buf" 32
+        end
+      done)
+
+let two_site_list ?(nodes = 64) ?(sweeps = 16) () =
+  Program.make ~name:"micro.two_site_list"
+    ~description:"one node type allocated at two static sites" (fun e ->
+      let site_front = Engine.instr e ~name:"list2.alloc_front" Instr.Alloc_site in
+      let site_back = Engine.instr e ~name:"list2.alloc_back" Instr.Alloc_site in
+      let ld_data = Engine.instr e ~name:"list2.ld_data" Instr.Load in
+      let st_data = Engine.instr e ~name:"list2.st_data" Instr.Store in
+      let ld_next = Engine.instr e ~name:"list2.ld_next" Instr.Load in
+      let node_objs =
+        Array.init nodes (fun i ->
+            let site = if i mod 2 = 0 then site_front else site_back in
+            Engine.alloc e ~site ~type_name:"node" node_size)
+      in
+      for _ = 1 to sweeps do
+        Array.iter
+          (fun n ->
+            Engine.load e ~instr:ld_data n f_data;
+            Engine.store e ~instr:st_data n f_data;
+            Engine.load e ~instr:ld_next n f_next)
+          node_objs
+      done)
+
+let all =
+  [
+    ("linked_list", linked_list ());
+    ("array_stride", array_stride ());
+    ("matrix", matrix ());
+    ("binary_tree", binary_tree ());
+    ("hash_probe", hash_probe ());
+    ("random_walk", random_walk ());
+    ("churn", churn ());
+    ("two_site_list", two_site_list ());
+  ]

@@ -1,0 +1,48 @@
+(** Small single-pattern workloads.
+
+    Each isolates one access pattern from the paper's discussion: the
+    linked-list traversal of Figures 1 and 3 (regular object-relative
+    behaviour hidden by allocation artifacts), plain strided array walks,
+    a blocked matrix multiply, a binary tree, hash-table probing, and a
+    pointer-chasing random walk. They are used by the unit tests, the
+    examples, and the ablation benches. *)
+
+val linked_list : ?nodes:int -> ?sweeps:int -> unit -> Ormp_vm.Program.t
+(** Build a list whose nodes are interleaved with decoy allocations (so raw
+    addresses look arbitrary, as in Figure 1), then repeatedly walk it:
+    [ld node->data; st node->data; ld node->next] per node. *)
+
+val array_stride : ?elems:int -> ?stride:int -> ?sweeps:int -> unit -> Ormp_vm.Program.t
+(** Strided walk over one heap array: the strongly-strided case. *)
+
+val matrix : ?n:int -> unit -> Ormp_vm.Program.t
+(** Naive n*n matrix multiply over three heap arrays: nested linear
+    patterns with three different stride scales. *)
+
+val binary_tree : ?nodes:int -> ?searches:int -> unit -> Ormp_vm.Program.t
+(** Build a BST of individually-allocated nodes, then search random keys:
+    data-dependent branching, same offsets per instruction. *)
+
+val hash_probe : ?buckets:int -> ?ops:int -> unit -> Ormp_vm.Program.t
+(** Open-addressing hash table in one heap object: pseudo-random offsets,
+    the predominantly non-linear case that defeats LMAD capture. *)
+
+val random_walk : ?nodes:int -> ?steps:int -> unit -> Ormp_vm.Program.t
+(** Pointer-chasing over a random permutation cycle: regular in the object
+    dimension only when viewed object-relatively. *)
+
+val churn : ?live:int -> ?ops:int -> unit -> Ormp_vm.Program.t
+(** Allocate/access/free cycles with heavy address reuse: the same raw
+    address hosts many different objects over the run — the false-aliasing
+    problem raw-address profiles suffer from (the paper's comparison with
+    Rubin et al.), which object serial numbers resolve. *)
+
+val two_site_list : ?nodes:int -> ?sweeps:int -> unit -> Ormp_vm.Program.t
+(** The linked-list walk, but nodes are allocated at two different static
+    sites (as a prepend path and an append path would be). Under [`Site]
+    grouping they form two groups; under [`Type] grouping ("the compiler
+    can provide type information to further refine this strategy", §3.1)
+    they merge into one. *)
+
+val all : (string * Ormp_vm.Program.t) list
+(** Default-sized instances of each, keyed by name. *)

@@ -1,0 +1,68 @@
+type entry = {
+  name : string;
+  spec_ref : string;
+  make : scale:int -> Ormp_vm.Program.t;
+  default_scale : int;
+  bench_scale : int;
+}
+
+let spec =
+  [
+    {
+      name = "164.gzip-like";
+      spec_ref = "164.gzip";
+      make = (fun ~scale -> Gzip_like.program ~scale ());
+      default_scale = 2000;
+      bench_scale = 12000;
+    };
+    {
+      name = "175.vpr-like";
+      spec_ref = "175.vpr";
+      make = (fun ~scale -> Vpr_like.program ~scale ());
+      default_scale = 800;
+      bench_scale = 6000;
+    };
+    {
+      name = "181.mcf-like";
+      spec_ref = "181.mcf";
+      make = (fun ~scale -> Mcf_like.program ~scale ());
+      default_scale = 8;
+      bench_scale = 40;
+    };
+    {
+      name = "186.crafty-like";
+      spec_ref = "186.crafty";
+      make = (fun ~scale -> Crafty_like.program ~scale ());
+      default_scale = 600;
+      bench_scale = 4000;
+    };
+    {
+      name = "197.parser-like";
+      spec_ref = "197.parser";
+      make = (fun ~scale -> Parser_like.program ~scale ());
+      default_scale = 60;
+      bench_scale = 500;
+    };
+    {
+      name = "256.bzip2-like";
+      spec_ref = "256.bzip2";
+      make = (fun ~scale -> Bzip_like.program ~scale ());
+      default_scale = 3000;
+      bench_scale = 20000;
+    };
+    {
+      name = "300.twolf-like";
+      spec_ref = "300.twolf";
+      make = (fun ~scale -> Twolf_like.program ~scale ());
+      default_scale = 500;
+      bench_scale = 3500;
+    };
+  ]
+
+let find key =
+  match List.find_opt (fun e -> e.name = key || e.spec_ref = key) spec with
+  | Some e -> e
+  | None -> raise Not_found
+
+let program ?(bench = false) e =
+  e.make ~scale:(if bench then e.bench_scale else e.default_scale)

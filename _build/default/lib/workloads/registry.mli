@@ -1,0 +1,22 @@
+(** The workload suite.
+
+    The seven SPEC2000 stand-ins the paper evaluates (its Table 1 rows),
+    each at two sizes: [default_scale] for tests and examples, and
+    [bench_scale] — the "training input" — for the benchmark harness. *)
+
+type entry = {
+  name : string;  (** e.g. "164.gzip-like" *)
+  spec_ref : string;  (** the SPEC benchmark it stands in for *)
+  make : scale:int -> Ormp_vm.Program.t;
+  default_scale : int;
+  bench_scale : int;
+}
+
+val spec : entry list
+(** The seven stand-ins, in the paper's Table 1 order. *)
+
+val find : string -> entry
+(** Lookup by [name] or by [spec_ref]. @raise Not_found. *)
+
+val program : ?bench:bool -> entry -> Ormp_vm.Program.t
+(** Instantiate at [default_scale], or [bench_scale] with [~bench:true]. *)

@@ -1,0 +1,99 @@
+(* 175.vpr stand-in: FPGA placement by simulated annealing.
+
+   Memory character, mirroring the real vpr: per-cell block structures
+   (small objects with fixed field offsets), one large occupancy grid
+   indexed by move-dependent positions (scattered offsets), and per-net
+   pin lists walked as short linear bursts. Annealing concentrates moves
+   on congested regions, so the same cells recur. The mix puts vpr in the
+   middle of the capture range (34.7% in Table 1). *)
+
+open Ormp_vm
+open Ormp_trace
+
+let cell_bytes = 24
+
+(* cell fields *)
+let f_x = 0
+let f_y = 8
+let f_net = 16
+
+let program ?(scale = 1500) () =
+  Program.make ~name:"175.vpr-like"
+    ~description:"placement annealing: cell structs + occupancy scatter + pin bursts" (fun e ->
+      let site_cell = Engine.instr e ~name:"vpr.alloc_cell" Instr.Alloc_site in
+      let site_grid = Engine.instr e ~name:"vpr.alloc_grid" Instr.Alloc_site in
+      let site_net = Engine.instr e ~name:"vpr.alloc_net" Instr.Alloc_site in
+      let ld_cx = Engine.instr e ~name:"vpr.ld_cell_x" Instr.Load in
+      let ld_cy = Engine.instr e ~name:"vpr.ld_cell_y" Instr.Load in
+      let ld_cnet = Engine.instr e ~name:"vpr.ld_cell_net" Instr.Load in
+      let ld_occ = Engine.instr e ~name:"vpr.ld_occupancy" Instr.Load in
+      let ld_pin = Engine.instr e ~name:"vpr.ld_net_pin" Instr.Load in
+      let ld_pincell = Engine.instr e ~name:"vpr.ld_pin_cell_x" Instr.Load in
+      let st_swap = Engine.instr e ~name:"vpr.st_cell_xy" Instr.Store in
+      let st_occ = Engine.instr e ~name:"vpr.st_occupancy" Instr.Store in
+      let rng = Engine.rng e in
+      let n_cells = 400 in
+      let grid_w = 20 in
+      let n_slots = 480 in
+      let n_nets = 120 in
+      let pins_per_net = 6 in
+      let cells =
+        Array.init n_cells (fun _ -> Engine.alloc e ~site:site_cell ~type_name:"cell" cell_bytes)
+      in
+      let occupancy = Engine.alloc e ~site:site_grid ~type_name:"occupancy" (n_slots * 8) in
+      let nets =
+        Array.init n_nets (fun _ ->
+            Engine.alloc e ~site:site_net ~type_name:"net" (8 + (pins_per_net * 8)))
+      in
+      (* Shadow: each cell's position, its net, and each net's pins. *)
+      let position = Array.init n_cells (fun i -> i) in
+      let cell_net = Array.init n_cells (fun _ -> Ormp_util.Prng.int rng n_nets) in
+      let net_pins =
+        Array.init n_nets (fun _ ->
+            Array.init pins_per_net (fun _ -> Ormp_util.Prng.int rng n_cells))
+      in
+      let cost_of_cell c =
+        Engine.load e ~instr:ld_cx cells.(c) f_x;
+        Engine.load e ~instr:ld_cy cells.(c) f_y;
+        Engine.load e ~instr:ld_cnet cells.(c) f_net;
+        (* Congestion term: the occupancy of the cell's slot and its four
+           neighbours — scattered bases, short local bursts. *)
+        let pos = position.(c) in
+        List.iter
+          (fun d ->
+            let slot = max 0 (min (n_slots - 1) (pos + d)) in
+            Engine.load e ~instr:ld_occ occupancy (slot * 8))
+          [ 0; 1; -1; grid_w; -grid_w ];
+        (* Wirelength term: walk the net's pin list. *)
+        let net = cell_net.(c) in
+        Array.iteri
+          (fun p pin_cell ->
+            Engine.load e ~instr:ld_pin nets.(net) (8 + (p * 8));
+            Engine.load e ~instr:ld_pincell cells.(pin_cell) f_x)
+          net_pins.(net)
+      in
+      let hot = Array.init 24 (fun _ -> Ormp_util.Prng.int rng n_cells) in
+      for _move = 1 to scale do
+        (* Annealing concentrates moves on congested regions: most picks
+           come from a small hot set, and the swap partner is nearby. *)
+        let a =
+          if Ormp_util.Prng.chance rng 0.8 then Ormp_util.Prng.choose rng hot
+          else Ormp_util.Prng.int rng n_cells
+        in
+        let b = min (n_cells - 1) (max 0 (a + Ormp_util.Prng.int_in rng (-6) 6)) in
+        cost_of_cell a;
+        cost_of_cell b;
+        if Ormp_util.Prng.chance rng 0.45 then begin
+          Engine.load e ~instr:ld_cx cells.(a) f_x;
+          Engine.load e ~instr:ld_cx cells.(b) f_x;
+          Engine.store e ~instr:st_swap cells.(a) f_x;
+          Engine.store e ~instr:st_swap cells.(a) f_y;
+          Engine.store e ~instr:st_swap cells.(b) f_x;
+          Engine.store e ~instr:st_swap cells.(b) f_y;
+          Engine.store e ~instr:st_occ occupancy (position.(a) * 8);
+          Engine.store e ~instr:st_occ occupancy (position.(b) * 8);
+          let tmp = position.(a) in
+          position.(a) <- position.(b);
+          position.(b) <- tmp
+        end
+      done)

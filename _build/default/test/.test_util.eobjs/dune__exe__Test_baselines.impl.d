@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Connors Dep_types Event Format List Lossless_dep Lossless_stride Ormp_baselines Ormp_trace QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_cachesim.ml: Alcotest Array Cache Gen List Ormp_cachesim Ormp_trace Ormp_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Cdc Decompose Format List Omc Ormp_core Ormp_trace Printf QCheck QCheck_alcotest Tuple

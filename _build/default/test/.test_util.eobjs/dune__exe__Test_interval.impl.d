@@ -1,0 +1,1 @@
+test/test_interval.ml: Alcotest Hashtbl List Option Ormp_interval Ormp_util Printf Prng QCheck QCheck_alcotest Range_index

@@ -1,0 +1,1 @@
+test/test_leap.ml: Alcotest Alias Array Config Engine Format Instr Leap List Mdf Ormp_baselines Ormp_leap Ormp_lmad Ormp_trace Ormp_util Ormp_vm Ormp_workloads Printf Program Runner Strides

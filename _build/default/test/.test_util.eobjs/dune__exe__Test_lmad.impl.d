@@ -1,0 +1,1 @@
+test/test_lmad.ml: Alcotest Array Compressor Format Gen List Lmad Ormp_lmad QCheck QCheck_alcotest Solver

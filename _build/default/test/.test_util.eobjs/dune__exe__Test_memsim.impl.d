@@ -1,0 +1,1 @@
+test/test_memsim.ml: Alcotest Allocator Layout List Ormp_memsim Ormp_util Pool Prng QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_persist.ml: Alcotest Filename List Ormp_leap Ormp_persist Ormp_sequitur Ormp_util Ormp_whomp Ormp_workloads QCheck QCheck_alcotest Result Sexp Sys

@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Error_dist Experiments Lazy List Ormp_baselines Ormp_leap Ormp_report Ormp_util Ormp_workloads String

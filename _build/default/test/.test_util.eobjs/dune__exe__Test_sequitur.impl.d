@@ -1,0 +1,1 @@
+test/test_sequitur.ml: Alcotest Array Char Format Gen List Ormp_sequitur QCheck QCheck_alcotest Sequitur String

@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Array Event Filename Format Instr List Ormp_trace Ormp_util Ormp_vm Ormp_whomp Ormp_workloads Printf Result Sink String Sys Trace_file

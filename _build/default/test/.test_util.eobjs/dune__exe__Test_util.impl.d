@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Ascii Bytesize Fun Histogram List Ormp_util Printf Prng QCheck QCheck_alcotest Stats String

@@ -1,0 +1,1 @@
+test/test_vm.ml: Alcotest Array Config Engine Event Instr List Ormp_core Ormp_memsim Ormp_trace Ormp_vm Ormp_workloads Printf Program Runner Sink

@@ -1,0 +1,1 @@
+test/test_whomp.ml: Alcotest Array Config Engine List Ormp_core Ormp_memsim Ormp_sequitur Ormp_trace Ormp_vm Ormp_whomp Ormp_workloads Printf Program Rasg Runner Whomp

@@ -1,0 +1,1 @@
+test/test_workloads.ml: Alcotest Array Config Event Hashtbl List Micro Ormp_core Ormp_leap Ormp_lmad Ormp_memsim Ormp_trace Ormp_vm Ormp_workloads Printf Registry Runner Sink

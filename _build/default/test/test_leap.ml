@@ -1,0 +1,341 @@
+open Ormp_leap
+open Ormp_vm
+open Ormp_trace
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A maximally regular workload: every stream is a handful of LMADs. *)
+let strided = Ormp_workloads.Micro.array_stride ~elems:256 ~stride:8 ~sweeps:4 ()
+
+(* ------------------------------------------------------------------ *)
+(* Profile structure and sample quality                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_profile_structure () =
+  let p = Leap.profile strided in
+  check_bool "streams exist" true (List.length p.Leap.streams > 0);
+  check_bool "collected accesses" true (p.Leap.collected > 0);
+  check_int "wild" 0 p.Leap.wild;
+  let ld = List.filter (fun i -> not (Leap.is_store p i)) (Leap.instrs p) in
+  let st = List.filter (Leap.is_store p) (Leap.instrs p) in
+  check_bool "loads classified" true (ld = Leap.loads p);
+  check_bool "stores classified" true (st = Leap.stores p)
+
+let test_fully_regular_capture () =
+  let p = Leap.profile strided in
+  Alcotest.(check (float 1e-9)) "all accesses captured" 1.0 (Leap.accesses_captured p);
+  Alcotest.(check (float 1e-9)) "all instructions captured" 1.0 (Leap.instructions_captured p)
+
+let test_instr_totals_sum_to_collected () =
+  let p = Leap.profile (Ormp_workloads.Micro.linked_list ()) in
+  let sum = List.fold_left (fun acc i -> acc + Leap.instr_total p i) 0 (Leap.instrs p) in
+  check_int "totals partition the collected stream" p.Leap.collected sum
+
+let test_budget_reduces_capture () =
+  let irregular = Ormp_workloads.Micro.hash_probe ~buckets:512 ~ops:2048 () in
+  let p_small = Leap.profile ~budget:2 irregular in
+  let p_big = Leap.profile ~budget:200 irregular in
+  check_bool "bigger budget captures at least as much" true
+    (Leap.accesses_captured p_big >= Leap.accesses_captured p_small);
+  check_bool "irregular stream is lossy at small budget" true
+    (Leap.accesses_captured p_small < 1.0)
+
+let test_compression_ratio () =
+  let p = Leap.profile strided in
+  check_bool "well above 1x on regular streams" true (Leap.compression_ratio p > 10.0);
+  check_bool "byte size positive" true (Leap.byte_size p > 0)
+
+let test_spans_ordered () =
+  let p = Leap.profile (Ormp_workloads.Micro.linked_list ()) in
+  List.iter
+    (fun (_, (s : Leap.stream)) ->
+      Ormp_util.Vec.iter
+        (fun (sp : Leap.span) ->
+          check_bool "span ordered" true (sp.Leap.t_first <= sp.Leap.t_last))
+        s.Leap.spans;
+      check_int "one span per descriptor" (Ormp_util.Vec.length s.Leap.spans)
+        (List.length (Ormp_lmad.Compressor.lmads s.Leap.comp)))
+    p.Leap.streams
+
+let test_object_relative_invariance () =
+  (* The LEAP profile (a lossy object-relative profile) must also be
+     invariant to allocator choice. *)
+  let mk config = Leap.profile ~config (Ormp_workloads.Micro.linked_list ()) in
+  let render p =
+    List.map
+      (fun (k, (s : Leap.stream)) ->
+        ( k.Leap.instr,
+          k.Leap.group,
+          List.map (Format.asprintf "%a" Ormp_lmad.Lmad.pp)
+            (Ormp_lmad.Compressor.lmads s.Leap.comp) ))
+      p.Leap.streams
+  in
+  let base = render (mk Config.default) in
+  List.iter
+    (fun c -> check_bool "identical LMADs" true (render (mk c) = base))
+    (Config.variants Config.default)
+
+(* ------------------------------------------------------------------ *)
+(* MDF post-processor                                                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-built program with an exactly-known dependence structure. *)
+let raw_program ~n =
+  Program.make ~name:"raw" ~description:"store array then load it twice" (fun e ->
+      let site = Engine.instr e ~name:"r.alloc" Instr.Alloc_site in
+      let st_a = Engine.instr e ~name:"r.st" Instr.Store in
+      let ld_hit = Engine.instr e ~name:"r.ld_hit" Instr.Load in
+      let ld_half = Engine.instr e ~name:"r.ld_half" Instr.Load in
+      let ld_miss = Engine.instr e ~name:"r.ld_miss" Instr.Load in
+      let a = Engine.alloc e ~site (2 * n * 8) in
+      for i = 0 to n - 1 do
+        Engine.store e ~instr:st_a a (i * 8)
+      done;
+      for i = 0 to n - 1 do
+        (* reads exactly the stored range *)
+        Engine.load e ~instr:ld_hit a (i * 8);
+        (* reads stored range for even i, unwritten range for odd i *)
+        Engine.load e ~instr:ld_half a (if i mod 2 = 0 then i * 8 else (n + i) * 8);
+        (* reads only the unwritten half *)
+        Engine.load e ~instr:ld_miss a ((n + i) * 8)
+      done)
+
+let find_deps p = Mdf.compute p
+
+let test_mdf_exact_frequencies () =
+  let p = Leap.profile (raw_program ~n:64) in
+  let deps = find_deps p in
+  (* instruction ids: 0 alloc, 1 st, 2 ld_hit, 3 ld_half, 4 ld_miss *)
+  let f ld = Ormp_baselines.Dep_types.find deps ~store:1 ~load:ld in
+  Alcotest.(check (float 0.01)) "full dependence" 1.0 (f 2);
+  Alcotest.(check (float 0.01)) "half dependence" 0.5 (f 3);
+  Alcotest.(check (float 0.01)) "no dependence" 0.0 (f 4)
+
+let test_mdf_respects_time_order () =
+  let prog =
+    Program.make ~name:"rev" ~description:"load everything before any store" (fun e ->
+        let site = Engine.instr e ~name:"v.alloc" Instr.Alloc_site in
+        let ld = Engine.instr e ~name:"v.ld" Instr.Load in
+        let st = Engine.instr e ~name:"v.st" Instr.Store in
+        let a = Engine.alloc e ~site 512 in
+        for i = 0 to 63 do
+          Engine.load e ~instr:ld a (i * 8)
+        done;
+        for i = 0 to 63 do
+          Engine.store e ~instr:st a (i * 8)
+        done)
+  in
+  let deps = find_deps (Leap.profile prog) in
+  Alcotest.(check (float 1e-9)) "no anti-dependence reported" 0.0
+    (Ormp_baselines.Dep_types.find deps ~store:2 ~load:1)
+
+let test_mdf_groups_do_not_alias () =
+  let prog =
+    Program.make ~name:"grp" ~description:"store one group, load another" (fun e ->
+        let site_a = Engine.instr e ~name:"g.alloc_a" Instr.Alloc_site in
+        let site_b = Engine.instr e ~name:"g.alloc_b" Instr.Alloc_site in
+        let st = Engine.instr e ~name:"g.st" Instr.Store in
+        let ld = Engine.instr e ~name:"g.ld" Instr.Load in
+        let a = Engine.alloc e ~site:site_a 512 in
+        let b = Engine.alloc e ~site:site_b 512 in
+        for i = 0 to 63 do
+          Engine.store e ~instr:st a (i * 8);
+          Engine.load e ~instr:ld b (i * 8)
+        done)
+  in
+  let deps = find_deps (Leap.profile prog) in
+  check_int "no cross-group dependence" 0 (List.length deps)
+
+let test_mdf_close_to_truth_on_suite () =
+  (* Sanity bound on a real workload: on mostly-regular workloads most
+     pairs should be within 25 points of the lossless truth. *)
+  let program = raw_program ~n:128 in
+  let truth = Ormp_baselines.Lossless_dep.profile program in
+  let td = Ormp_baselines.Lossless_dep.deps truth in
+  let ld = find_deps (Leap.profile program) in
+  List.iter
+    (fun (s, l) ->
+      let e =
+        Ormp_baselines.Dep_types.find ld ~store:s ~load:l
+        -. Ormp_baselines.Dep_types.find td ~store:s ~load:l
+      in
+      check_bool "within 25 points" true (abs_float e <= 0.25))
+    (Ormp_baselines.Dep_types.pairs [ td; ld ])
+
+(* ------------------------------------------------------------------ *)
+(* Stride post-processor                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_strides_on_strided_workload () =
+  let p = Leap.profile strided in
+  let strong = Strides.strongly_strided p in
+  (* both the load and the store of the sweep are strided by 8 *)
+  check_int "two strongly-strided instructions" 2 (List.length strong);
+  List.iter (fun (_, s) -> check_int "stride is 8" 8 s) strong
+
+let test_strides_none_on_random () =
+  let p = Leap.profile (Ormp_workloads.Micro.hash_probe ~buckets:512 ~ops:2048 ()) in
+  List.iter
+    (fun (i, s) ->
+      (* the only acceptable strong stride in a hash probe is the trivial
+         re-probe stride 8 or 0; anything else is a detector bug *)
+      check_bool (Printf.sprintf "instr %d stride %d plausible" i s) true (s = 8 || s = 0))
+    (Strides.strongly_strided p)
+
+let test_strides_threshold () =
+  let p = Leap.profile strided in
+  check_bool "lax threshold finds at least as many" true
+    (List.length (Strides.strongly_strided ~threshold:0.1 p)
+    >= List.length (Strides.strongly_strided ~threshold:0.9 p))
+
+let test_stride_weights_visible () =
+  let p = Leap.profile strided in
+  let lds = Leap.loads p in
+  check_bool "has loads" true (lds <> []);
+  let w = Strides.stride_weights p (List.hd lds) in
+  check_bool "weights non-empty" true (w <> []);
+  check_bool "dominant weight is stride 8" true (fst (List.hd w) = 8)
+
+let test_mdf_no_false_aliasing_across_reuse () =
+  (* Store to an object, free it, allocate a new object at the SAME raw
+     address, load from the new one: the raw-address baseline fabricates a
+     dependence (address reuse), the object-relative profile correctly
+     refuses it — the false-aliasing problem the paper contrasts with
+     Rubin et al. *)
+  let prog =
+    Program.make ~name:"reuse" ~description:"store, free, realloc, load" (fun e ->
+        let site = Engine.instr e ~name:"u.alloc" Instr.Alloc_site in
+        let fsite = Engine.instr e ~name:"u.free" Instr.Free_site in
+        let st = Engine.instr e ~name:"u.st" Instr.Store in
+        let ld = Engine.instr e ~name:"u.ld" Instr.Load in
+        for _ = 1 to 32 do
+          let a = Engine.alloc e ~site 32 in
+          Engine.store e ~instr:st a 0;
+          Engine.free e ~site:fsite a;
+          let b = Engine.alloc e ~site 32 in
+          check_bool "first-fit reuses the address" true (Engine.addr b = Engine.addr a);
+          Engine.load e ~instr:ld b 0;
+          Engine.free e ~site:fsite b
+        done)
+  in
+  let truth = Ormp_baselines.Lossless_dep.create () in
+  let leap_sink, leap_fin = Leap.sink ~site_name:(Printf.sprintf "s%d") () in
+  let result =
+    Runner.run prog
+      (Ormp_trace.Sink.fanout [ leap_sink; Ormp_baselines.Lossless_dep.sink truth ])
+  in
+  let leap = leap_fin ~elapsed:result.Runner.elapsed in
+  (* ids: 0 alloc, 1 free, 2 st, 3 ld *)
+  Alcotest.(check (float 1e-9))
+    "raw baseline fabricates a 100% dependence" 1.0
+    (Ormp_baselines.Dep_types.find (Ormp_baselines.Lossless_dep.deps truth) ~store:2 ~load:3);
+  Alcotest.(check (float 1e-9))
+    "object-relative profile refuses it" 0.0
+    (Ormp_baselines.Dep_types.find (Mdf.compute leap) ~store:2 ~load:3)
+
+let test_leap_on_churn_uses_serials () =
+  (* Reused addresses must appear as fresh serials in the object dim. *)
+  let p = Leap.profile (Ormp_workloads.Micro.churn ~live:4 ~ops:256 ()) in
+  let max_serial =
+    List.fold_left
+      (fun acc (_, (s : Leap.stream)) ->
+        List.fold_left
+          (fun acc d ->
+            List.fold_left (fun acc pt -> max acc pt.(0)) acc (Ormp_lmad.Lmad.points d))
+          acc
+          (Ormp_lmad.Compressor.lmads s.Leap.comp))
+      0 p.Leap.streams
+  in
+  check_bool "serials exceed the live-slot count" true (max_serial >= 4)
+
+(* ------------------------------------------------------------------ *)
+(* Alias queries                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let alias_program =
+  Program.make ~name:"alias" ~description:"overlapping and disjoint access sets" (fun e ->
+      let site = Engine.instr e ~name:"al.alloc" Instr.Alloc_site in
+      let ld_all = Engine.instr e ~name:"al.ld_all" Instr.Load in
+      let ld_even = Engine.instr e ~name:"al.ld_even" Instr.Load in
+      let ld_odd = Engine.instr e ~name:"al.ld_odd" Instr.Load in
+      let a = Engine.alloc e ~site 1024 in
+      for i = 0 to 127 do
+        Engine.load e ~instr:ld_all a (i * 8)
+      done;
+      for i = 0 to 63 do
+        Engine.load e ~instr:ld_even a (i * 16);
+        Engine.load e ~instr:ld_odd a ((i * 16) + 8)
+      done)
+
+let test_alias_rates () =
+  let p = Leap.profile alias_program in
+  (* ids: 0 alloc, 1 ld_all, 2 ld_even, 3 ld_odd *)
+  check_bool "even/odd disjoint" false (Alias.may_alias p ~a:2 ~b:3);
+  check_bool "all/even overlap" true (Alias.may_alias p ~a:1 ~b:2);
+  Alcotest.(check (float 0.01)) "even fully inside all" 1.0 (Alias.alias_rate p ~a:1 ~b:2);
+  Alcotest.(check (float 0.01)) "all covered half by even" 0.5 (Alias.alias_rate p ~a:2 ~b:1);
+  Alcotest.(check (float 0.01)) "disjoint rate" 0.0 (Alias.alias_rate p ~a:2 ~b:3)
+
+let test_alias_rates_listing () =
+  let p = Leap.profile alias_program in
+  let rs = Alias.rates p in
+  check_bool "symmetric max reported" true
+    (List.exists (fun (a, b, r) -> a = 1 && b = 2 && r > 0.99) rs);
+  check_bool "disjoint pair absent" true
+    (not (List.exists (fun (a, b, _) -> a = 2 && b = 3) rs))
+
+let test_alias_different_groups_never () =
+  let prog =
+    Program.make ~name:"alias2" ~description:"two groups" (fun e ->
+        let s1 = Engine.instr e ~name:"g1.alloc" Instr.Alloc_site in
+        let s2 = Engine.instr e ~name:"g2.alloc" Instr.Alloc_site in
+        let l1 = Engine.instr e ~name:"g1.ld" Instr.Load in
+        let l2 = Engine.instr e ~name:"g2.ld" Instr.Load in
+        let a = Engine.alloc e ~site:s1 64 in
+        let b = Engine.alloc e ~site:s2 64 in
+        for i = 0 to 7 do
+          Engine.load e ~instr:l1 a (i * 8);
+          Engine.load e ~instr:l2 b (i * 8)
+        done)
+  in
+  let p = Leap.profile prog in
+  check_bool "cross-group never aliases" false (Alias.may_alias p ~a:2 ~b:3)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ormp_leap"
+    [
+      ( "profile",
+        [
+          tc "structure" test_profile_structure;
+          tc "fully regular capture" test_fully_regular_capture;
+          tc "instr totals partition" test_instr_totals_sum_to_collected;
+          tc "budget reduces capture" test_budget_reduces_capture;
+          tc "compression ratio" test_compression_ratio;
+          tc "spans ordered" test_spans_ordered;
+          tc "object-relative invariance" test_object_relative_invariance;
+        ] );
+      ( "mdf",
+        [
+          tc "exact frequencies" test_mdf_exact_frequencies;
+          tc "respects time order" test_mdf_respects_time_order;
+          tc "groups do not alias" test_mdf_groups_do_not_alias;
+          tc "close to truth" test_mdf_close_to_truth_on_suite;
+          tc "no false aliasing across address reuse" test_mdf_no_false_aliasing_across_reuse;
+          tc "churn uses serials" test_leap_on_churn_uses_serials;
+        ] );
+      ( "strides",
+        [
+          tc "strided workload" test_strides_on_strided_workload;
+          tc "random workload" test_strides_none_on_random;
+          tc "threshold monotone" test_strides_threshold;
+          tc "weights visible" test_stride_weights_visible;
+        ] );
+      ( "alias",
+        [
+          tc "rates" test_alias_rates;
+          tc "rates listing" test_alias_rates_listing;
+          tc "different groups never alias" test_alias_different_groups_never;
+        ] );
+    ]

@@ -1,0 +1,200 @@
+open Ormp_util
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Sexp                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let roundtrip t =
+  match Sexp.of_string (Sexp.to_string t) with
+  | Ok t' -> Alcotest.(check string) "roundtrip" (Sexp.to_string t) (Sexp.to_string t')
+  | Error msg -> Alcotest.fail ("parse: " ^ msg)
+
+let test_sexp_atoms () =
+  roundtrip (Sexp.atom "hello");
+  roundtrip (Sexp.int (-42));
+  roundtrip (Sexp.atom "with space");
+  roundtrip (Sexp.atom "quote\"and\\slash");
+  roundtrip (Sexp.atom "");
+  roundtrip (Sexp.atom "line\nbreak")
+
+let test_sexp_lists () =
+  roundtrip (Sexp.list []);
+  roundtrip (Sexp.list [ Sexp.int 1; Sexp.list [ Sexp.atom "a"; Sexp.int 2 ]; Sexp.atom "b" ]);
+  roundtrip (Sexp.field "name" [ Sexp.int 1; Sexp.int 2 ])
+
+let test_sexp_parse_errors () =
+  let fails s = match Sexp.of_string s with Ok _ -> false | Error _ -> true in
+  check_bool "unterminated list" true (fails "(a b");
+  check_bool "stray paren" true (fails ")");
+  check_bool "trailing garbage" true (fails "(a) b");
+  check_bool "unterminated string" true (fails "\"abc");
+  check_bool "empty input" true (fails "   ")
+
+let test_sexp_comments_and_ws () =
+  match Sexp.of_string "  ; header comment\n (a ; inline\n b)  " with
+  | Ok t -> Alcotest.(check string) "parsed" "(a b)" (Sexp.to_string t)
+  | Error msg -> Alcotest.fail msg
+
+let test_sexp_accessors () =
+  let t = Sexp.list [ Sexp.field "x" [ Sexp.int 7 ]; Sexp.field "y" [ Sexp.atom "z" ] ] in
+  (match Sexp.assoc "x" t with
+  | Ok [ v ] -> check_int "field x" 7 (Result.get_ok (Sexp.as_int v))
+  | _ -> Alcotest.fail "assoc x");
+  check_bool "missing field" true (Result.is_error (Sexp.assoc "zz" t));
+  check_bool "as_int rejects list" true (Result.is_error (Sexp.as_int (Sexp.list [])));
+  check_bool "as_atom rejects list" true (Result.is_error (Sexp.as_atom (Sexp.list [])));
+  check_bool "as_list rejects atom" true (Result.is_error (Sexp.as_list (Sexp.atom "a")))
+
+let test_sexp_file_io () =
+  let path = Filename.temp_file "ormp_sexp" ".sexp" in
+  let t = Sexp.field "root" [ Sexp.int 1; Sexp.list [ Sexp.atom "nested"; Sexp.int 2 ] ] in
+  Sexp.save path t;
+  (match Sexp.load path with
+  | Ok t' -> Alcotest.(check string) "file roundtrip" (Sexp.to_string t) (Sexp.to_string t')
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
+let prop_sexp_roundtrip =
+  let gen =
+    QCheck.Gen.(
+      sized @@ fix (fun self n ->
+          if n <= 0 then map (fun i -> Sexp.int i) int
+          else
+            frequency
+              [
+                (2, map (fun i -> Sexp.int i) int);
+                (2, map (fun s -> Sexp.atom s) (string_size (int_range 0 8)));
+                (1, map (fun l -> Sexp.list l) (list_size (int_range 0 4) (self (n / 2))));
+              ]))
+  in
+  QCheck.Test.make ~name:"sexp print/parse roundtrip" ~count:500
+    (QCheck.make ~print:Sexp.to_string gen)
+    (fun t ->
+      match Sexp.of_string (Sexp.to_string t) with
+      | Ok t' -> Sexp.to_string t = Sexp.to_string t'
+      | Error _ -> false)
+
+(* ------------------------------------------------------------------ *)
+(* LEAP profile round-trip                                             *)
+(* ------------------------------------------------------------------ *)
+
+let leap_profile program = Ormp_leap.Leap.profile program
+
+let same_deps p q =
+  Ormp_leap.Mdf.compute p = Ormp_leap.Mdf.compute q
+  && Ormp_leap.Strides.strongly_strided p = Ormp_leap.Strides.strongly_strided q
+
+let test_leap_roundtrip_regular () =
+  let p = leap_profile (Ormp_workloads.Micro.array_stride ~elems:256 ~sweeps:4 ()) in
+  let path = Filename.temp_file "ormp_leap" ".ormp" in
+  Ormp_persist.Leap_io.save path p;
+  (match Ormp_persist.Leap_io.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok q ->
+    check_int "collected" p.Ormp_leap.Leap.collected q.Ormp_leap.Leap.collected;
+    check_int "wild" p.Ormp_leap.Leap.wild q.Ormp_leap.Leap.wild;
+    check_int "streams" (List.length p.Ormp_leap.Leap.streams)
+      (List.length q.Ormp_leap.Leap.streams);
+    check_bool "loads/stores preserved" true
+      (Ormp_leap.Leap.loads p = Ormp_leap.Leap.loads q
+      && Ormp_leap.Leap.stores p = Ormp_leap.Leap.stores q);
+    check_bool "post-processors agree" true (same_deps p q);
+    Alcotest.(check (float 1e-9))
+      "capture stats preserved"
+      (Ormp_leap.Leap.accesses_captured p)
+      (Ormp_leap.Leap.accesses_captured q));
+  Sys.remove path
+
+let test_leap_roundtrip_lossy () =
+  (* hash_probe overflows budgets: summaries and dspans must survive. *)
+  let p = leap_profile (Ormp_workloads.Micro.hash_probe ~buckets:512 ~ops:4096 ()) in
+  let path = Filename.temp_file "ormp_leap" ".ormp" in
+  Ormp_persist.Leap_io.save path p;
+  (match Ormp_persist.Leap_io.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok q ->
+    check_bool "post-processors agree" true (same_deps p q);
+    Alcotest.(check (float 1e-9))
+      "instructions captured preserved"
+      (Ormp_leap.Leap.instructions_captured p)
+      (Ormp_leap.Leap.instructions_captured q);
+    check_int "byte size close" (Ormp_leap.Leap.byte_size p) (Ormp_leap.Leap.byte_size q));
+  Sys.remove path
+
+let test_leap_load_errors () =
+  check_bool "missing file" true (Result.is_error (Ormp_persist.Leap_io.load "/nonexistent"));
+  let path = Filename.temp_file "ormp_leap" ".ormp" in
+  let oc = open_out path in
+  output_string oc "(wrong-tag)";
+  close_out oc;
+  check_bool "wrong tag" true (Result.is_error (Ormp_persist.Leap_io.load path));
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* WHOMP profile round-trip                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_whomp_roundtrip () =
+  let p = Ormp_whomp.Whomp.profile (Ormp_workloads.Micro.linked_list ~nodes:16 ~sweeps:4 ()) in
+  let path = Filename.temp_file "ormp_whomp" ".ormp" in
+  Ormp_persist.Whomp_io.save path p;
+  (match Ormp_persist.Whomp_io.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok q ->
+    check_int "collected" p.Ormp_whomp.Whomp.collected q.Ormp_whomp.Whomp.collected;
+    check_int "grammar sizes identical" (Ormp_whomp.Whomp.omsg_size p)
+      (Ormp_whomp.Whomp.omsg_size q);
+    check_int "byte sizes identical" (Ormp_whomp.Whomp.omsg_bytes p)
+      (Ormp_whomp.Whomp.omsg_bytes q);
+    check_bool "streams identical" true
+      (List.for_all2
+         (fun (d1, g1) (d2, g2) ->
+           d1 = d2 && Ormp_sequitur.Sequitur.expand g1 = Ormp_sequitur.Sequitur.expand g2)
+         p.Ormp_whomp.Whomp.dims q.Ormp_whomp.Whomp.dims);
+    check_int "lifetimes preserved"
+      (List.length p.Ormp_whomp.Whomp.lifetimes)
+      (List.length q.Ormp_whomp.Whomp.lifetimes);
+    check_bool "groups preserved" true (p.Ormp_whomp.Whomp.groups = q.Ormp_whomp.Whomp.groups));
+  Sys.remove path
+
+let test_whomp_expand_after_load () =
+  let program = Ormp_workloads.Micro.matrix ~n:6 () in
+  let p = Ormp_whomp.Whomp.profile program in
+  let path = Filename.temp_file "ormp_whomp" ".ormp" in
+  Ormp_persist.Whomp_io.save path p;
+  (match Ormp_persist.Whomp_io.load path with
+  | Error msg -> Alcotest.fail msg
+  | Ok q ->
+    let tuples_p = Ormp_whomp.Whomp.expand p and tuples_q = Ormp_whomp.Whomp.expand q in
+    check_bool "lossless through the file" true (tuples_p = tuples_q));
+  Sys.remove path
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ormp_persist"
+    [
+      ( "sexp",
+        [
+          tc "atoms" test_sexp_atoms;
+          tc "lists" test_sexp_lists;
+          tc "parse errors" test_sexp_parse_errors;
+          tc "comments and whitespace" test_sexp_comments_and_ws;
+          tc "accessors" test_sexp_accessors;
+          tc "file io" test_sexp_file_io;
+          QCheck_alcotest.to_alcotest prop_sexp_roundtrip;
+        ] );
+      ( "leap",
+        [
+          tc "roundtrip (regular)" test_leap_roundtrip_regular;
+          tc "roundtrip (lossy)" test_leap_roundtrip_lossy;
+          tc "load errors" test_leap_load_errors;
+        ] );
+      ( "whomp",
+        [
+          tc "roundtrip" test_whomp_roundtrip;
+          tc "expand after load" test_whomp_expand_after_load;
+        ] );
+    ]

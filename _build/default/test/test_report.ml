@@ -1,0 +1,194 @@
+open Ormp_report
+module Dt = Ormp_baselines.Dep_types
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let check_float = Alcotest.(check (float 1e-9))
+
+let dep s l f = { Dt.store = s; load = l; freq = f }
+
+(* ------------------------------------------------------------------ *)
+(* Error_dist                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_exact_match_is_center () =
+  let h = Error_dist.of_deps ~truth:[ dep 1 2 0.5 ] ~estimate:[ dep 1 2 0.5 ] in
+  check_int "one pair" 1 (Ormp_util.Histogram.total h);
+  check_float "good" 1.0 (Error_dist.good_fraction h);
+  check_float "no over" 0.0 (Error_dist.overestimates h);
+  check_float "no under" 0.0 (Error_dist.underestimates h)
+
+let test_missing_pair_counts_as_zero () =
+  let h = Error_dist.of_deps ~truth:[ dep 1 2 0.8 ] ~estimate:[] in
+  check_int "pair still counted" 1 (Ormp_util.Histogram.total h);
+  check_float "fully underestimated" 1.0 (Error_dist.underestimates h);
+  check_float "not good" 0.0 (Error_dist.good_fraction h)
+
+let test_spurious_pair_is_overestimate () =
+  let h = Error_dist.of_deps ~truth:[] ~estimate:[ dep 1 2 0.8 ] in
+  check_float "overestimate" 1.0 (Error_dist.overestimates h)
+
+let test_within_ten_points_is_good () =
+  let h = Error_dist.of_deps ~truth:[ dep 1 2 0.50; dep 3 4 0.50 ]
+      ~estimate:[ dep 1 2 0.59; dep 3 4 0.62 ] in
+  check_float "one of two good" 0.5 (Error_dist.good_fraction h)
+
+let test_union_of_pairs () =
+  let h =
+    Error_dist.of_deps ~truth:[ dep 1 2 0.5 ] ~estimate:[ dep 3 4 0.5 ]
+  in
+  check_int "two pairs in universe" 2 (Ormp_util.Histogram.total h)
+
+(* ------------------------------------------------------------------ *)
+(* Experiments (smallest real end-to-end runs)                         *)
+(* ------------------------------------------------------------------ *)
+
+let suite = lazy (Experiments.run_suite (Ormp_workloads.Registry.find "300.twolf-like"))
+
+let test_suite_components_share_run () =
+  let s = Lazy.force suite in
+  (* The same trace feeds all profilers: load exec counts must agree. *)
+  List.iter
+    (fun ld ->
+      let leap_total = Ormp_leap.Leap.instr_total s.Experiments.leap ld in
+      let truth_total = Ormp_baselines.Lossless_dep.load_execs s.Experiments.truth ld in
+      check_int "exec counts agree" truth_total leap_total)
+    (Ormp_leap.Leap.loads s.Experiments.leap)
+
+let test_fig6_7_shapes () =
+  let s = Lazy.force suite in
+  let f6 = Experiments.fig6 [ s ] and f7 = Experiments.fig7 [ s ] in
+  check_int "one row each" 1 (List.length f6);
+  let h7 = (List.hd f7).Experiments.hist in
+  check_float "Connors never overestimates" 0.0 (Error_dist.overestimates h7);
+  check_bool "histograms non-empty" true (Ormp_util.Histogram.total h7 > 0);
+  check_bool "leap histogram non-empty" true
+    (Ormp_util.Histogram.total (List.hd f6).Experiments.hist > 0)
+
+let test_fig8_consistency () =
+  let s = Lazy.force suite in
+  let d = Experiments.fig8 [ s ] in
+  check_bool "good fractions in range" true
+    (d.Experiments.leap_good >= 0.0 && d.Experiments.leap_good <= 1.0
+    && d.Experiments.connors_good >= 0.0 && d.Experiments.connors_good <= 1.0)
+
+let test_fig9_score_range () =
+  let s = Lazy.force suite in
+  match Experiments.fig9 [ s ] with
+  | [ r ] ->
+    check_bool "identified <= real" true (r.Experiments.identified <= r.Experiments.real);
+    check_bool "score in range" true (r.Experiments.score >= 0.0 && r.Experiments.score <= 1.0)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_table1_fields () =
+  let s = Lazy.force suite in
+  match Experiments.table1 ~repeats:1 [ s ] with
+  | [ r ] ->
+    check_bool "compression > 1" true (r.Experiments.compression_ratio > 1.0);
+    check_bool "captured fractions in range" true
+      (r.Experiments.accesses_captured >= 0.0 && r.Experiments.accesses_captured <= 1.0
+      && r.Experiments.instructions_captured >= 0.0
+      && r.Experiments.instructions_captured <= 1.0)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_fig5_row () =
+  let row = List.hd (Experiments.fig5 ()) in
+  check_bool "byte sizes positive" true (row.Experiments.rasg_bytes > 0 && row.Experiments.omsg_bytes > 0);
+  check_float "compression consistent"
+    (float_of_int (row.Experiments.rasg_bytes - row.Experiments.omsg_bytes)
+    /. float_of_int row.Experiments.rasg_bytes)
+    row.Experiments.compression_pct
+
+let test_budget_ablation_monotone () =
+  let rows =
+    Experiments.ablation_lmad_budget ~budgets:[ 2; 30 ]
+      (Ormp_workloads.Registry.find "300.twolf-like")
+  in
+  match rows with
+  | [ small; big ] ->
+    check_bool "capture grows with budget" true
+      (big.Experiments.accesses_captured_b >= small.Experiments.accesses_captured_b)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_window_ablation_monotone () =
+  let rows =
+    Experiments.ablation_connors_window ~windows:[ 8; 100000 ]
+      (Ormp_workloads.Registry.find "300.twolf-like")
+  in
+  match rows with
+  | [ small; huge ] ->
+    check_bool "bigger window finds at least as many pairs" true
+      (huge.Experiments.pairs_found >= small.Experiments.pairs_found);
+    check_bool "huge window is essentially lossless" true (huge.Experiments.connors_good > 0.99)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_grouping_ablation () =
+  let rows = Experiments.ablation_grouping () in
+  check_int "three workloads" 3 (List.length rows);
+  let two_site = List.find (fun r -> r.Experiments.workload_g = "micro.two_site_list") rows in
+  check_int "site grouping splits the list" 2 two_site.Experiments.site_groups;
+  check_int "type grouping merges it" 1 two_site.Experiments.type_groups;
+  List.iter
+    (fun r ->
+      check_bool "captures in range" true
+        (r.Experiments.site_capture >= 0.0 && r.Experiments.site_capture <= 1.0
+        && r.Experiments.type_capture >= 0.0 && r.Experiments.type_capture <= 1.0))
+    rows
+
+let test_phase_extension () =
+  let rows = Experiments.extension_phases () in
+  check_int "all workloads" 7 (List.length rows);
+  List.iter
+    (fun r ->
+      check_bool "at least one phase" true (r.Experiments.n_phases >= 1);
+      check_bool "phase-cognizant never worse" true
+        (r.Experiments.phased_capture >= r.Experiments.mono_capture -. 1e-9))
+    rows;
+  check_bool "some workload is multi-phase" true
+    (List.exists (fun r -> r.Experiments.n_phases > 1) rows)
+
+let test_pool_ablation () =
+  match Experiments.ablation_pool_handling () with
+  | [ single; exposed ] ->
+    check_bool "exposed mode sees many more objects" true
+      (exposed.Experiments.pool_objects > 10 * single.Experiments.pool_objects);
+    check_bool "captures in range" true
+      (single.Experiments.pool_capture >= 0.0 && exposed.Experiments.pool_capture <= 1.0)
+  | _ -> Alcotest.fail "expected two rows"
+
+let test_renderers_do_not_fail () =
+  let s = Lazy.force suite in
+  let nonempty str = check_bool "renders" true (String.length str > 0) in
+  nonempty (Experiments.render_dist ~title:"t" (Experiments.fig6 [ s ]));
+  nonempty (Experiments.render_fig8 (Experiments.fig8 [ s ]));
+  nonempty (Experiments.render_fig9 (Experiments.fig9 [ s ]));
+  nonempty (Experiments.render_table1 (Experiments.table1 ~repeats:1 [ s ]))
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ormp_report"
+    [
+      ( "error_dist",
+        [
+          tc "exact match" test_exact_match_is_center;
+          tc "missing pair" test_missing_pair_counts_as_zero;
+          tc "spurious pair" test_spurious_pair_is_overestimate;
+          tc "within ten points" test_within_ten_points_is_good;
+          tc "union of pairs" test_union_of_pairs;
+        ] );
+      ( "experiments",
+        [
+          tc "suite shares one run" test_suite_components_share_run;
+          tc "fig6/7 shapes" test_fig6_7_shapes;
+          tc "fig8 consistency" test_fig8_consistency;
+          tc "fig9 score range" test_fig9_score_range;
+          tc "table1 fields" test_table1_fields;
+          tc "fig5 row" test_fig5_row;
+          tc "budget ablation monotone" test_budget_ablation_monotone;
+          tc "window ablation monotone" test_window_ablation_monotone;
+          tc "grouping ablation" test_grouping_ablation;
+          tc "pool ablation" test_pool_ablation;
+          tc "phase extension" test_phase_extension;
+          tc "renderers" test_renderers_do_not_fail;
+        ] );
+    ]

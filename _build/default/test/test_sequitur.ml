@@ -1,0 +1,208 @@
+open Ormp_sequitur
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let of_string s = Array.init (String.length s) (fun i -> Char.code s.[i])
+
+let compress a =
+  let t = Sequitur.create () in
+  Sequitur.push_array t a;
+  t
+
+let ok t =
+  match Sequitur.check_invariants t with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("invariants: " ^ msg)
+
+let roundtrip name a =
+  let t = compress a in
+  Alcotest.(check (array int)) (name ^ ": lossless") a (Sequitur.expand t);
+  check_int (name ^ ": input length") (Array.length a) (Sequitur.input_length t);
+  ok t;
+  t
+
+let test_empty () =
+  let t = Sequitur.create () in
+  Alcotest.(check (array int)) "expand empty" [||] (Sequitur.expand t);
+  check_int "size" 0 (Sequitur.grammar_size t);
+  check_int "rules" 1 (Sequitur.rule_count t);
+  ok t
+
+let test_single () = ignore (roundtrip "single" [| 7 |])
+let test_pair () = ignore (roundtrip "pair" [| 7; 8 |])
+
+let test_paper_example () =
+  (* The paper's own example (§3.1): "abcbcabcbc" compresses to
+     S -> AA; A -> aBB; B -> bc. *)
+  let t = roundtrip "abcbcabcbc" (of_string "abcbcabcbc") in
+  check_int "three rules" 3 (Sequitur.rule_count t);
+  let by_id = Sequitur.rules t in
+  let s_rhs = List.assoc 0 by_id in
+  check_int "S has two symbols" 2 (List.length s_rhs);
+  (match s_rhs with
+  | [ `N a; `N b ] -> check_int "S -> AA" a b
+  | _ -> Alcotest.fail "start rule is not a doubled non-terminal");
+  (* 2 (S) + 3 (A -> aBB) + 2 (B -> bc) *)
+  check_int "grammar size" 7 (Sequitur.grammar_size t)
+
+let test_abab () =
+  let t = roundtrip "abab" (of_string "abab") in
+  (* S -> AA; A -> ab *)
+  check_int "rules" 2 (Sequitur.rule_count t);
+  check_int "size" 4 (Sequitur.grammar_size t)
+
+let test_no_repetition () =
+  let t = roundtrip "abcdefg" (of_string "abcdefg") in
+  check_int "no rules created" 1 (Sequitur.rule_count t);
+  check_int "size equals input" 7 (Sequitur.grammar_size t)
+
+let test_runs_of_equal_symbols () =
+  ignore (roundtrip "aa" (of_string "aa"));
+  ignore (roundtrip "aaa" (of_string "aaa"));
+  ignore (roundtrip "aaaa" (of_string "aaaa"));
+  ignore (roundtrip "aaaaa" (of_string "aaaaa"));
+  ignore (roundtrip "aaaaaaaaaaaaaaaa" (of_string "aaaaaaaaaaaaaaaa"));
+  ignore (roundtrip "aaabaaab" (of_string "aaabaaab"));
+  ignore (roundtrip "aabbaabb" (of_string "aabbaabb"))
+
+let test_long_repetition_compresses () =
+  let a = Array.init 4096 (fun i -> i mod 4) in
+  let t = roundtrip "cycle" a in
+  check_bool "compresses well" true (Sequitur.grammar_size t < 100)
+
+let test_nested_repetition () =
+  (* (ab)^2 repeated gives hierarchical rules. *)
+  let a = of_string (String.concat "" (List.init 64 (fun _ -> "abcabd"))) in
+  let t = roundtrip "nested" a in
+  check_bool "compresses" true (Sequitur.grammar_size t < 64)
+
+let test_negative_terminals () =
+  ignore (roundtrip "negatives" [| -1; -2; -1; -2; -1; -2; -1; -2 |])
+
+let test_large_terminals () =
+  let big = 1 lsl 40 in
+  ignore (roundtrip "large" [| big; big + 1; big; big + 1; big; big + 1 |])
+
+let test_incremental_equals_batch () =
+  let a = of_string "xyxyxyzxyxyxyz" in
+  let t1 = compress a in
+  let t2 = Sequitur.create () in
+  Array.iter (fun v -> Sequitur.push t2 v) a;
+  check_int "same size" (Sequitur.grammar_size t1) (Sequitur.grammar_size t2);
+  Alcotest.(check (array int)) "same expansion" (Sequitur.expand t1) (Sequitur.expand t2)
+
+let test_byte_size_positive () =
+  let t = compress (of_string "abcbcabcbc") in
+  check_bool "byte size positive" true (Sequitur.byte_size t > 0);
+  check_bool "byte size >= rule count (separators)" true
+    (Sequitur.byte_size t >= Sequitur.rule_count t)
+
+let test_byte_size_smaller_for_small_alphabet () =
+  (* Same structure, small vs. huge terminal values: varint accounting must
+     charge the huge ones more. *)
+  let small = compress [| 1; 2; 3; 1; 2; 3 |] in
+  let big_v = 1 lsl 40 in
+  let big = compress [| big_v + 1; big_v + 2; big_v + 3; big_v + 1; big_v + 2; big_v + 3 |] in
+  check_bool "small alphabet cheaper" true (Sequitur.byte_size small < Sequitur.byte_size big)
+
+let contains_substring hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  go 0
+
+let test_pp_output () =
+  let t = compress (of_string "abab") in
+  let s = Format.asprintf "%a" Sequitur.pp t in
+  check_bool "mentions R0" true (contains_substring s "R0 ->")
+
+(* Stress: digram uniqueness interacts with rule utility; a previously-used
+   rule's whole RHS matching a new digram exercises the reuse path. *)
+let test_rule_reuse_path () =
+  let t = roundtrip "reuse" (of_string "abcdbcabcdbc") in
+  ok t
+
+let gen_small_alphabet =
+  QCheck.Gen.(
+    sized (fun n ->
+        let n = min n 400 in
+        array_size (return n) (int_range 0 3)))
+
+let prop_roundtrip_small_alphabet =
+  QCheck.Test.make ~name:"roundtrip (alphabet of 4)" ~count:500
+    (QCheck.make ~print:QCheck.Print.(array int) gen_small_alphabet)
+    (fun a ->
+      let t = compress a in
+      Sequitur.expand t = a)
+
+let prop_invariants_small_alphabet =
+  QCheck.Test.make ~name:"invariants hold (alphabet of 4)" ~count:300
+    (QCheck.make ~print:QCheck.Print.(array int) gen_small_alphabet)
+    (fun a ->
+      let t = compress a in
+      match Sequitur.check_invariants t with Ok () -> true | Error _ -> false)
+
+let prop_roundtrip_any =
+  QCheck.Test.make ~name:"roundtrip (arbitrary ints)" ~count:300
+    QCheck.(array_of_size Gen.(int_range 0 200) int)
+    (fun a ->
+      let t = compress a in
+      Sequitur.expand t = a)
+
+let prop_grammar_never_larger =
+  QCheck.Test.make ~name:"grammar size <= input length (non-trivial inputs)" ~count:300
+    (QCheck.make ~print:QCheck.Print.(array int) gen_small_alphabet)
+    (fun a ->
+      let t = compress a in
+      Array.length a < 2 || Sequitur.grammar_size t <= Array.length a)
+
+let prop_runs =
+  QCheck.Test.make ~name:"roundtrip on runs (worst case for digram overlap)" ~count:200
+    QCheck.(pair (int_range 0 4) (int_range 0 64))
+    (fun (v, n) ->
+      let a = Array.make n v in
+      let t = compress a in
+      Sequitur.expand t = a
+      && (match Sequitur.check_invariants t with Ok () -> true | Error _ -> false))
+
+let prop_concat_runs =
+  QCheck.Test.make ~name:"roundtrip on concatenated runs" ~count:300
+    QCheck.(small_list (pair (int_range 0 2) (int_range 1 6)))
+    (fun spec ->
+      let a = Array.concat (List.map (fun (v, n) -> Array.make n v) spec) in
+      let t = compress a in
+      Sequitur.expand t = a)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ormp_sequitur"
+    [
+      ( "unit",
+        [
+          tc "empty" test_empty;
+          tc "single symbol" test_single;
+          tc "two symbols" test_pair;
+          tc "paper example abcbcabcbc" test_paper_example;
+          tc "abab" test_abab;
+          tc "no repetition" test_no_repetition;
+          tc "runs of equal symbols" test_runs_of_equal_symbols;
+          tc "long repetition compresses" test_long_repetition_compresses;
+          tc "nested repetition" test_nested_repetition;
+          tc "negative terminals" test_negative_terminals;
+          tc "large terminals" test_large_terminals;
+          tc "incremental equals batch" test_incremental_equals_batch;
+          tc "byte size positive" test_byte_size_positive;
+          tc "byte size scales with terminal width" test_byte_size_smaller_for_small_alphabet;
+          tc "pp output" test_pp_output;
+          tc "rule reuse path" test_rule_reuse_path;
+        ] );
+      ( "property",
+        [
+          QCheck_alcotest.to_alcotest prop_roundtrip_small_alphabet;
+          QCheck_alcotest.to_alcotest prop_invariants_small_alphabet;
+          QCheck_alcotest.to_alcotest prop_roundtrip_any;
+          QCheck_alcotest.to_alcotest prop_grammar_never_larger;
+          QCheck_alcotest.to_alcotest prop_runs;
+          QCheck_alcotest.to_alcotest prop_concat_runs;
+        ] );
+    ]

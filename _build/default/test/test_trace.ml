@@ -1,0 +1,210 @@
+open Ormp_trace
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Instr                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_register_dense_ids () =
+  let t = Instr.create_table () in
+  check_int "first id" 0 (Instr.register t ~name:"a" Instr.Load);
+  check_int "second id" 1 (Instr.register t ~name:"b" Instr.Store);
+  check_int "third id" 2 (Instr.register t ~name:"c" Instr.Alloc_site);
+  check_int "count" 3 (Instr.count t)
+
+let test_info () =
+  let t = Instr.create_table () in
+  let id = Instr.register t ~name:"x.load" Instr.Load in
+  let i = Instr.info t id in
+  Alcotest.(check string) "name" "x.load" i.Instr.name;
+  check_bool "kind" true (i.Instr.kind = Instr.Load);
+  check_int "id" id i.Instr.id
+
+let test_info_unregistered () =
+  let t = Instr.create_table () in
+  check_bool "raises" true
+    (try
+       ignore (Instr.info t 0);
+       false
+     with Invalid_argument _ -> true)
+
+let test_mem_ops_filter () =
+  let t = Instr.create_table () in
+  ignore (Instr.register t ~name:"l" Instr.Load);
+  ignore (Instr.register t ~name:"a" Instr.Alloc_site);
+  ignore (Instr.register t ~name:"s" Instr.Store);
+  ignore (Instr.register t ~name:"f" Instr.Free_site);
+  check_int "only loads and stores" 2 (List.length (Instr.mem_ops t));
+  check_int "all" 4 (List.length (Instr.all t))
+
+let test_kind_names () =
+  Alcotest.(check string) "load" "load" (Instr.kind_name Instr.Load);
+  Alcotest.(check string) "store" "store" (Instr.kind_name Instr.Store);
+  Alcotest.(check string) "alloc" "alloc" (Instr.kind_name Instr.Alloc_site);
+  Alcotest.(check string) "free" "free" (Instr.kind_name Instr.Free_site)
+
+(* ------------------------------------------------------------------ *)
+(* Event                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let ld = Event.Access { instr = 3; addr = 0x100; size = 8; is_store = false }
+let st = Event.Access { instr = 4; addr = 0x108; size = 8; is_store = true }
+let al = Event.Alloc { site = 1; addr = 0x200; size = 64; type_name = Some "node" }
+let fr = Event.Free { addr = 0x200 }
+
+let test_is_access () =
+  check_bool "load" true (Event.is_access ld);
+  check_bool "store" true (Event.is_access st);
+  check_bool "alloc" false (Event.is_access al);
+  check_bool "free" false (Event.is_access fr)
+
+let test_pp () =
+  Alcotest.(check string) "load" "ld i3 0x100+8" (Format.asprintf "%a" Event.pp ld);
+  Alcotest.(check string) "store" "st i4 0x108+8" (Format.asprintf "%a" Event.pp st);
+  Alcotest.(check string) "alloc" "alloc s1 0x200+64 :node" (Format.asprintf "%a" Event.pp al);
+  Alcotest.(check string) "free" "free 0x200" (Format.asprintf "%a" Event.pp fr)
+
+(* ------------------------------------------------------------------ *)
+(* Sink                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_recorder () =
+  let r = Sink.recorder () in
+  let s = Sink.recorder_sink r in
+  List.iter s [ ld; al; st; fr ];
+  check_int "events" 4 (Array.length (Sink.events r));
+  check_int "accesses" 2 (Sink.access_count r);
+  check_int "trace bytes" (2 * Ormp_util.Bytesize.fixed_record) (Sink.trace_bytes r);
+  check_bool "order preserved" true (Sink.events r = [| ld; al; st; fr |])
+
+let test_replay () =
+  let r = Sink.recorder () in
+  List.iter (Sink.recorder_sink r) [ ld; st; st ];
+  let c = Sink.counter () in
+  Sink.replay r (Sink.counter_sink c);
+  check_int "loads" 1 c.Sink.loads;
+  check_int "stores" 2 c.Sink.stores
+
+let test_counter () =
+  let c = Sink.counter () in
+  let s = Sink.counter_sink c in
+  List.iter s [ ld; al; st; fr; st ];
+  check_int "loads" 1 c.Sink.loads;
+  check_int "stores" 2 c.Sink.stores;
+  check_int "allocs" 1 c.Sink.allocs;
+  check_int "frees" 1 c.Sink.frees;
+  check_int "accesses" 3 (Sink.accesses c)
+
+let test_fanout () =
+  let c1 = Sink.counter () and c2 = Sink.counter () in
+  let s = Sink.fanout [ Sink.counter_sink c1; Sink.counter_sink c2 ] in
+  List.iter s [ ld; st ];
+  check_int "both sinks fed (1)" 2 (Sink.accesses c1);
+  check_int "both sinks fed (2)" 2 (Sink.accesses c2)
+
+let test_null () =
+  (* Must simply not fail. *)
+  List.iter Sink.null [ ld; st; al; fr ]
+
+(* ------------------------------------------------------------------ *)
+(* Trace_file                                                          *)
+(* ------------------------------------------------------------------ *)
+
+let sample_events =
+  [| ld; al; st; fr; Event.Alloc { site = 2; addr = 0x400; size = 8; type_name = None } |]
+
+let test_trace_file_roundtrip () =
+  let path = Filename.temp_file "ormp_trace" ".trace" in
+  Trace_file.save path sample_events;
+  (match Trace_file.load path with
+  | Ok evs -> check_bool "events identical" true (evs = sample_events)
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
+let test_trace_file_replay_streams () =
+  let path = Filename.temp_file "ormp_trace" ".trace" in
+  Trace_file.save path sample_events;
+  let c = Sink.counter () in
+  (match Trace_file.replay path (Sink.counter_sink c) with
+  | Ok n -> check_int "count returned" 5 n
+  | Error msg -> Alcotest.fail msg);
+  check_int "loads" 1 c.Sink.loads;
+  check_int "stores" 1 c.Sink.stores;
+  check_int "allocs" 2 c.Sink.allocs;
+  check_int "frees" 1 c.Sink.frees;
+  Sys.remove path
+
+let test_trace_file_type_names_with_spaces () =
+  let path = Filename.temp_file "ormp_trace" ".trace" in
+  let evs = [| Event.Alloc { site = 1; addr = 8; size = 16; type_name = Some "big node" } |] in
+  Trace_file.save path evs;
+  (match Trace_file.load path with
+  | Ok got -> check_bool "type preserved" true (got = evs)
+  | Error msg -> Alcotest.fail msg);
+  Sys.remove path
+
+let test_trace_file_errors () =
+  check_bool "missing file" true (Result.is_error (Trace_file.replay "/nonexistent" Sink.null));
+  let path = Filename.temp_file "ormp_trace" ".trace" in
+  let oc = open_out path in
+  output_string oc "not a trace\n";
+  close_out oc;
+  check_bool "bad header" true (Result.is_error (Trace_file.replay path Sink.null));
+  let oc = open_out path in
+  output_string oc "ormp-trace 1\nA x y z w\n";
+  close_out oc;
+  (match Trace_file.replay path Sink.null with
+  | Error msg -> check_bool "names line" true (String.length msg > 0)
+  | Ok _ -> Alcotest.fail "accepted malformed line");
+  Sys.remove path
+
+let test_trace_file_profiler_replay_equals_live () =
+  (* Record a workload, replay the file through WHOMP: identical profile. *)
+  let program = Ormp_workloads.Micro.linked_list ~nodes:8 ~sweeps:2 () in
+  let r = Sink.recorder () in
+  ignore (Ormp_vm.Runner.run program (Sink.recorder_sink r));
+  let path = Filename.temp_file "ormp_trace" ".trace" in
+  Trace_file.save path (Sink.events r);
+  let live = Ormp_whomp.Whomp.profile program in
+  let sink, fin = Ormp_whomp.Whomp.sink ~site_name:(Printf.sprintf "s%d") () in
+  (match Trace_file.replay path sink with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg);
+  let replayed = fin ~elapsed:0.0 in
+  check_int "same collected" live.Ormp_whomp.Whomp.collected replayed.Ormp_whomp.Whomp.collected;
+  check_int "same OMSG size" (Ormp_whomp.Whomp.omsg_size live)
+    (Ormp_whomp.Whomp.omsg_size replayed);
+  Sys.remove path
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ormp_trace"
+    [
+      ( "instr",
+        [
+          tc "dense ids" test_register_dense_ids;
+          tc "info" test_info;
+          tc "unregistered" test_info_unregistered;
+          tc "mem_ops filter" test_mem_ops_filter;
+          tc "kind names" test_kind_names;
+        ] );
+      ("event", [ tc "is_access" test_is_access; tc "pp" test_pp ]);
+      ( "sink",
+        [
+          tc "recorder" test_recorder;
+          tc "replay" test_replay;
+          tc "counter" test_counter;
+          tc "fanout" test_fanout;
+          tc "null" test_null;
+        ] );
+      ( "trace_file",
+        [
+          tc "roundtrip" test_trace_file_roundtrip;
+          tc "replay streams" test_trace_file_replay_streams;
+          tc "type names with spaces" test_trace_file_type_names_with_spaces;
+          tc "errors" test_trace_file_errors;
+          tc "profiler replay equals live" test_trace_file_profiler_replay_equals_live;
+        ] );
+    ]

@@ -1,0 +1,356 @@
+open Ormp_util
+
+let check_float = Alcotest.(check (float 1e-9))
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Prng                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_prng_deterministic () =
+  let a = Prng.create ~seed:42 and b = Prng.create ~seed:42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next a) (Prng.next b)
+  done
+
+let test_prng_seed_sensitivity () =
+  let a = Prng.create ~seed:1 and b = Prng.create ~seed:2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Prng.next a <> Prng.next b then differs := true
+  done;
+  check_bool "different seeds differ" true !differs
+
+let test_prng_int_bounds () =
+  let t = Prng.create ~seed:7 in
+  for _ = 1 to 1000 do
+    let v = Prng.int t 13 in
+    check_bool "in range" true (v >= 0 && v < 13)
+  done
+
+let test_prng_int_in_bounds () =
+  let t = Prng.create ~seed:8 in
+  for _ = 1 to 1000 do
+    let v = Prng.int_in t (-5) 5 in
+    check_bool "in range" true (v >= -5 && v <= 5)
+  done
+
+let test_prng_int_covers () =
+  let t = Prng.create ~seed:9 in
+  let seen = Array.make 6 false in
+  for _ = 1 to 500 do
+    seen.(Prng.int t 6) <- true
+  done;
+  Array.iteri (fun i s -> check_bool (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_prng_float_bounds () =
+  let t = Prng.create ~seed:10 in
+  for _ = 1 to 1000 do
+    let v = Prng.float t 3.5 in
+    check_bool "in range" true (v >= 0.0 && v < 3.5)
+  done
+
+let test_prng_chance_extremes () =
+  let t = Prng.create ~seed:11 in
+  for _ = 1 to 100 do
+    check_bool "p=1 always true" true (Prng.chance t 1.0)
+  done;
+  for _ = 1 to 100 do
+    check_bool "p=0 never true" false (Prng.chance t 0.0)
+  done
+
+let test_prng_shuffle_permutes () =
+  let t = Prng.create ~seed:12 in
+  let a = Array.init 50 Fun.id in
+  Prng.shuffle t a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "is a permutation" (Array.init 50 Fun.id) sorted
+
+let test_prng_split_independent () =
+  let t = Prng.create ~seed:13 in
+  let c1 = Prng.split t in
+  let c2 = Prng.split t in
+  check_bool "children differ" true (Prng.next c1 <> Prng.next c2)
+
+let test_prng_copy () =
+  let t = Prng.create ~seed:14 in
+  ignore (Prng.next t);
+  let c = Prng.copy t in
+  Alcotest.(check int64) "copy continues identically" (Prng.next t) (Prng.next c)
+
+let test_prng_geometric_mean () =
+  let t = Prng.create ~seed:15 in
+  let n = 20000 in
+  let sum = ref 0 in
+  for _ = 1 to n do
+    sum := !sum + Prng.geometric t ~p:0.5
+  done;
+  let m = float_of_int !sum /. float_of_int n in
+  check_bool "mean near 1.0" true (abs_float (m -. 1.0) < 0.1)
+
+let test_prng_invalid_args () =
+  let t = Prng.create ~seed:16 in
+  Alcotest.check_raises "int 0" (Invalid_argument "Prng.int: bound must be positive") (fun () ->
+      ignore (Prng.int t 0));
+  Alcotest.check_raises "int_in inverted" (Invalid_argument "Prng.int_in: lo > hi") (fun () ->
+      ignore (Prng.int_in t 3 2))
+
+(* ------------------------------------------------------------------ *)
+(* Stats                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats_mean () =
+  check_float "mean" 2.0 (Stats.mean [ 1.0; 2.0; 3.0 ]);
+  check_float "mean empty" 0.0 (Stats.mean []);
+  check_float "mean_a" 2.5 (Stats.mean_a [| 1.0; 4.0 |])
+
+let test_stats_stddev () =
+  check_float "constant" 0.0 (Stats.stddev [ 5.0; 5.0; 5.0 ]);
+  check_float "singleton" 0.0 (Stats.stddev [ 9.0 ]);
+  check_float "known" 2.0 (Stats.stddev [ 2.0; 4.0; 4.0; 4.0; 5.0; 5.0; 7.0; 9.0 ])
+
+let test_stats_median () =
+  check_float "odd" 3.0 (Stats.median [ 5.0; 1.0; 3.0 ]);
+  check_float "even" 2.5 (Stats.median [ 4.0; 1.0; 2.0; 3.0 ]);
+  check_float "empty" 0.0 (Stats.median [])
+
+let test_stats_percentile () =
+  let xs = List.init 100 (fun i -> float_of_int (i + 1)) in
+  check_float "p50" 50.0 (Stats.percentile xs 50.0);
+  check_float "p100" 100.0 (Stats.percentile xs 100.0);
+  check_float "p1" 1.0 (Stats.percentile xs 1.0)
+
+let test_stats_geomean () =
+  check_float "geomean" 4.0 (Stats.geomean [ 2.0; 8.0 ]);
+  check_float "geomean empty" 0.0 (Stats.geomean [])
+
+let test_stats_gcd () =
+  check_int "gcd" 6 (Stats.gcd 12 18);
+  check_int "gcd with zero" 5 (Stats.gcd 0 5);
+  check_int "gcd both zero" 0 (Stats.gcd 0 0);
+  check_int "gcd negatives" 4 (Stats.gcd (-8) 12)
+
+let test_stats_egcd () =
+  let check_egcd a b =
+    let g, x, y = Stats.egcd a b in
+    check_int (Printf.sprintf "egcd %d %d gcd" a b) (Stats.gcd a b) g;
+    check_int (Printf.sprintf "egcd %d %d bezout" a b) g ((a * x) + (b * y))
+  in
+  List.iter
+    (fun (a, b) -> check_egcd a b)
+    [ (12, 18); (18, 12); (1, 1); (0, 7); (7, 0); (-12, 18); (12, -18); (-5, -15); (17, 31) ]
+
+let test_stats_divisions () =
+  check_int "fdiv pos" 2 (Stats.fdiv 7 3);
+  check_int "fdiv neg" (-3) (Stats.fdiv (-7) 3);
+  check_int "cdiv pos" 3 (Stats.cdiv 7 3);
+  check_int "cdiv neg" (-2) (Stats.cdiv (-7) 3);
+  check_int "fdiv exact" (-2) (Stats.fdiv (-6) 3);
+  check_int "cdiv exact" (-2) (Stats.cdiv (-6) 3)
+
+let prop_fdiv_cdiv =
+  QCheck.Test.make ~name:"fdiv/cdiv bracket the rational quotient" ~count:500
+    QCheck.(pair (int_range (-10000) 10000) (int_range 1 100))
+    (fun (a, b) ->
+      let f = Stats.fdiv a b and c = Stats.cdiv a b in
+      f * b <= a && a <= c * b && c - f <= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Histogram                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let test_hist_uniform_buckets () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  Histogram.add h 0.5;
+  Histogram.add h 2.5;
+  Histogram.add h 9.9;
+  Alcotest.(check (array int)) "counts" [| 1; 1; 0; 0; 1 |] (Histogram.counts h);
+  check_int "total" 3 (Histogram.total h)
+
+let test_hist_clamping () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:2 in
+  Histogram.add h (-100.0);
+  Histogram.add h 100.0;
+  Alcotest.(check (array int)) "clamped to edges" [| 1; 1 |] (Histogram.counts h)
+
+let test_hist_centered_zero () =
+  let h = Histogram.centered ~half_width:100.0 ~half_buckets:10 in
+  check_int "zero bucket is center" 10 (Histogram.bucket_of h 0.0);
+  Histogram.add h 0.0;
+  check_int "center count" 1 (Histogram.counts h).(10)
+
+let test_hist_centered_sides () =
+  let h = Histogram.centered ~half_width:100.0 ~half_buckets:10 in
+  check_int "small positive" 11 (Histogram.bucket_of h 5.0);
+  check_int "exactly 10" 11 (Histogram.bucket_of h 10.0);
+  check_int "just above 10" 12 (Histogram.bucket_of h 10.5);
+  check_int "small negative" 9 (Histogram.bucket_of h (-5.0));
+  check_int "-100 clamps to 0" 0 (Histogram.bucket_of h (-100.0));
+  check_int "+100 clamps to last" 20 (Histogram.bucket_of h 100.0);
+  check_int "overflow clamps" 20 (Histogram.bucket_of h 9999.0)
+
+let test_hist_fractions () =
+  let h = Histogram.create ~lo:0.0 ~hi:4.0 ~buckets:2 in
+  Histogram.add_n h 1.0 3;
+  Histogram.add h 3.0;
+  let f = Histogram.fractions h in
+  check_float "left" 0.75 f.(0);
+  check_float "right" 0.25 f.(1)
+
+let test_hist_fractions_empty () =
+  let h = Histogram.create ~lo:0.0 ~hi:4.0 ~buckets:2 in
+  Alcotest.(check (array (float 0.0))) "all zero" [| 0.0; 0.0 |] (Histogram.fractions h)
+
+let test_hist_merge () =
+  let a = Histogram.centered ~half_width:10.0 ~half_buckets:2 in
+  let b = Histogram.centered ~half_width:10.0 ~half_buckets:2 in
+  Histogram.add a 0.0;
+  Histogram.add b 7.0;
+  let m = Histogram.merge a b in
+  check_int "total" 2 (Histogram.total m);
+  check_int "center" 1 (Histogram.counts m).(2)
+
+let test_hist_merge_mismatch () =
+  let a = Histogram.centered ~half_width:10.0 ~half_buckets:2 in
+  let b = Histogram.centered ~half_width:10.0 ~half_buckets:3 in
+  check_bool "raises" true
+    (try
+       ignore (Histogram.merge a b);
+       false
+     with Invalid_argument _ -> true)
+
+let test_hist_labels () =
+  let h = Histogram.centered ~half_width:20.0 ~half_buckets:2 in
+  let l = Histogram.labels h in
+  Alcotest.(check string) "center label" "0" l.(2);
+  Alcotest.(check string) "right label" "(0,10]" l.(3);
+  Alcotest.(check string) "left label" "[-10,0)" l.(1)
+
+let prop_hist_total =
+  QCheck.Test.make ~name:"histogram total equals samples added" ~count:200
+    QCheck.(list (float_range (-200.0) 200.0))
+    (fun xs ->
+      let h = Histogram.centered ~half_width:100.0 ~half_buckets:10 in
+      List.iter (Histogram.add h) xs;
+      Histogram.total h = List.length xs
+      && Array.fold_left ( + ) 0 (Histogram.counts h) = List.length xs)
+
+(* ------------------------------------------------------------------ *)
+(* Ascii                                                               *)
+(* ------------------------------------------------------------------ *)
+
+let test_ascii_table () =
+  let s = Ascii.table ~header:[ "a"; "bb" ] ~rows:[ [ "1"; "2" ]; [ "333"; "4" ] ] in
+  check_bool "contains header" true (String.length s > 0);
+  let lines = String.split_on_char '\n' s in
+  check_int "line count" 6 (List.length lines);
+  let widths = List.map String.length lines in
+  List.iter (fun w -> check_int "uniform width" (List.hd widths) w) widths
+
+let test_ascii_hbar () =
+  Alcotest.(check string) "full" "##########" (Ascii.hbar ~width:10 1.0);
+  Alcotest.(check string) "empty" "          " (Ascii.hbar ~width:10 0.0);
+  Alcotest.(check string) "half" "#####     " (Ascii.hbar ~width:10 0.5);
+  Alcotest.(check string) "clamped" "##########" (Ascii.hbar ~width:10 5.0)
+
+let test_ascii_percent_ratio () =
+  Alcotest.(check string) "percent" "12.3%" (Ascii.percent 0.123);
+  Alcotest.(check string) "big ratio" "3539x" (Ascii.ratio 3539.0);
+  Alcotest.(check string) "small ratio" "1.5x" (Ascii.ratio 1.5)
+
+let test_ascii_bar_chart () =
+  let s = Ascii.bar_chart ~width:10 ~labels:[| "x"; "yy" |] ~values:[| 1.0; 2.0 |] () in
+  let lines = String.split_on_char '\n' s in
+  check_int "two rows" 2 (List.length lines)
+
+(* ------------------------------------------------------------------ *)
+(* Bytesize                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let test_varint_widths () =
+  check_int "0" 1 (Bytesize.varint 0);
+  check_int "63" 1 (Bytesize.varint 63);
+  check_int "64" 2 (Bytesize.varint 64);
+  check_int "-1" 1 (Bytesize.varint (-1));
+  check_int "-64" 1 (Bytesize.varint (-64));
+  check_int "-65" 2 (Bytesize.varint (-65));
+  check_int "big" 5 (Bytesize.varint (1 lsl 33))
+
+let test_varint_monotone () =
+  let prev = ref 0 in
+  for k = 0 to 40 do
+    let w = Bytesize.varint (1 lsl k) in
+    check_bool "non-decreasing" true (w >= !prev);
+    prev := w
+  done
+
+let test_of_ints () =
+  check_int "sum" (Bytesize.varint 1 + Bytesize.varint 1000) (Bytesize.of_ints [ 1; 1000 ]);
+  check_int "empty" 0 (Bytesize.of_ints [])
+
+let prop_varint_positive =
+  QCheck.Test.make ~name:"varint always >= 1 and <= 10" ~count:500 QCheck.int (fun n ->
+      let w = Bytesize.varint n in
+      w >= 1 && w <= 10)
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ormp_util"
+    [
+      ( "prng",
+        [
+          tc "deterministic" test_prng_deterministic;
+          tc "seed sensitivity" test_prng_seed_sensitivity;
+          tc "int bounds" test_prng_int_bounds;
+          tc "int_in bounds" test_prng_int_in_bounds;
+          tc "int covers range" test_prng_int_covers;
+          tc "float bounds" test_prng_float_bounds;
+          tc "chance extremes" test_prng_chance_extremes;
+          tc "shuffle permutes" test_prng_shuffle_permutes;
+          tc "split independent" test_prng_split_independent;
+          tc "copy" test_prng_copy;
+          tc "geometric mean" test_prng_geometric_mean;
+          tc "invalid args" test_prng_invalid_args;
+        ] );
+      ( "stats",
+        [
+          tc "mean" test_stats_mean;
+          tc "stddev" test_stats_stddev;
+          tc "median" test_stats_median;
+          tc "percentile" test_stats_percentile;
+          tc "geomean" test_stats_geomean;
+          tc "gcd" test_stats_gcd;
+          tc "egcd" test_stats_egcd;
+          tc "divisions" test_stats_divisions;
+          QCheck_alcotest.to_alcotest prop_fdiv_cdiv;
+        ] );
+      ( "histogram",
+        [
+          tc "uniform buckets" test_hist_uniform_buckets;
+          tc "clamping" test_hist_clamping;
+          tc "centered zero" test_hist_centered_zero;
+          tc "centered sides" test_hist_centered_sides;
+          tc "fractions" test_hist_fractions;
+          tc "fractions empty" test_hist_fractions_empty;
+          tc "merge" test_hist_merge;
+          tc "merge mismatch" test_hist_merge_mismatch;
+          tc "labels" test_hist_labels;
+          QCheck_alcotest.to_alcotest prop_hist_total;
+        ] );
+      ( "ascii",
+        [
+          tc "table" test_ascii_table;
+          tc "hbar" test_ascii_hbar;
+          tc "percent/ratio" test_ascii_percent_ratio;
+          tc "bar chart" test_ascii_bar_chart;
+        ] );
+      ( "bytesize",
+        [
+          tc "varint widths" test_varint_widths;
+          tc "varint monotone" test_varint_monotone;
+          tc "of_ints" test_of_ints;
+          QCheck_alcotest.to_alcotest prop_varint_positive;
+        ] );
+    ]

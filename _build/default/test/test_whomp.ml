@@ -1,0 +1,151 @@
+open Ormp_whomp
+open Ormp_vm
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let list_prog = Ormp_workloads.Micro.linked_list ~nodes:16 ~sweeps:4 ()
+
+(* ------------------------------------------------------------------ *)
+(* Losslessness                                                        *)
+(* ------------------------------------------------------------------ *)
+
+let collect_tuples ?config program =
+  (* Reference object-relative stream via a bare CDC. *)
+  let tuples = ref [] in
+  let cdc =
+    Ormp_core.Cdc.create
+      ~site_name:(Printf.sprintf "site%d")
+      ~on_tuple:(fun tu -> tuples := tu :: !tuples)
+      ()
+  in
+  ignore (Runner.run ?config program (Ormp_core.Cdc.sink cdc));
+  List.rev !tuples
+
+let test_whomp_lossless () =
+  let p = Whomp.profile list_prog in
+  let expanded = Whomp.expand p in
+  let reference = collect_tuples list_prog in
+  check_int "same length" (List.length reference) (List.length expanded);
+  List.iter2
+    (fun (a : Ormp_core.Tuple.t) (b : Ormp_core.Tuple.t) ->
+      check_int "instr" a.instr b.instr;
+      check_int "group" a.group b.group;
+      check_int "object" a.obj b.obj;
+      check_int "offset" a.offset b.offset;
+      check_int "time" a.time b.time)
+    reference expanded
+
+let test_whomp_dimensions () =
+  let p = Whomp.profile list_prog in
+  Alcotest.(check (list string))
+    "paper dimension order"
+    [ "instr"; "group"; "object"; "offset" ]
+    (List.map fst p.Whomp.dims);
+  List.iter
+    (fun (_, g) ->
+      check_int "every dimension stream has all accesses" p.Whomp.collected
+        (Ormp_sequitur.Sequitur.input_length g))
+    p.Whomp.dims
+
+let test_whomp_auxiliary_output () =
+  let p = Whomp.profile list_prog in
+  check_bool "groups recorded" true (List.length p.Whomp.groups >= 2);
+  check_bool "lifetimes recorded" true (List.length p.Whomp.lifetimes >= 16);
+  check_int "no wild accesses in this workload" 0 p.Whomp.wild
+
+(* ------------------------------------------------------------------ *)
+(* The headline property: object-relative profiles are invariant to    *)
+(* allocator and layout artifacts, raw-address profiles are not.       *)
+(* ------------------------------------------------------------------ *)
+
+let test_object_relative_invariance () =
+  let configs = Config.variants Config.default in
+  let profiles = List.map (fun c -> Whomp.profile ~config:c list_prog) configs in
+  let streams =
+    List.map
+      (fun p ->
+        List.map (fun (_, g) -> Ormp_sequitur.Sequitur.expand g) p.Whomp.dims)
+      profiles
+  in
+  match streams with
+  | first :: rest ->
+    List.iteri
+      (fun i s ->
+        check_bool
+          (Printf.sprintf "object-relative stream identical under config %d" (i + 1))
+          true (s = first))
+      rest
+  | [] -> Alcotest.fail "no configs"
+
+let test_raw_streams_differ_across_allocators () =
+  let config2 =
+    { Config.default with Config.policy = Ormp_memsim.Allocator.Bump; heap_base = 0x2000_0000 }
+  in
+  let r0 = Rasg.profile list_prog in
+  let r1 = Rasg.profile ~config:config2 list_prog in
+  check_int "same access count" r0.Rasg.accesses r1.Rasg.accesses;
+  check_bool "raw address streams differ" true
+    (Ormp_sequitur.Sequitur.expand r0.Rasg.grammar
+    <> Ormp_sequitur.Sequitur.expand r1.Rasg.grammar)
+
+(* ------------------------------------------------------------------ *)
+(* Compression comparison (Figure 5 mechanics)                         *)
+(* ------------------------------------------------------------------ *)
+
+let test_omsg_beats_rasg_on_lists () =
+  (* The linked list with decoy allocations is the paper's motivating
+     example: object-relative dimensions are near-constant streams while
+     raw addresses are scattered. *)
+  let p = Whomp.profile list_prog in
+  let r = Rasg.profile list_prog in
+  check_bool "OMSG bytes < RASG bytes" true (Whomp.omsg_bytes p < Rasg.bytes r);
+  check_bool "sizes positive" true (Whomp.omsg_size p > 0 && Rasg.size r > 0)
+
+let test_rasg_lossless () =
+  let r = Rasg.profile list_prog in
+  check_int "records every access" r.Rasg.accesses
+    (Array.length (Ormp_sequitur.Sequitur.expand r.Rasg.grammar))
+
+let test_streaming_sink_equals_profile () =
+  let s, fin = Rasg.sink () in
+  let result = Runner.run list_prog s in
+  let via_sink = fin ~elapsed:result.Runner.elapsed in
+  let direct = Rasg.profile list_prog in
+  check_int "same accesses" direct.Rasg.accesses via_sink.Rasg.accesses;
+  check_int "same grammar size" (Rasg.size direct) (Rasg.size via_sink)
+
+let test_whomp_wild_accesses_not_collected () =
+  let prog =
+    Program.make ~name:"wild" ~description:"raw accesses outside objects" (fun e ->
+        let ld = Engine.instr e ~name:"w.ld" Ormp_trace.Instr.Load in
+        Engine.load_raw e ~instr:ld 0x9999;
+        Engine.load_raw e ~instr:ld 0x9999)
+  in
+  let p = Whomp.profile prog in
+  check_int "nothing collected" 0 p.Whomp.collected;
+  check_int "wild counted" 2 p.Whomp.wild
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ormp_whomp"
+    [
+      ( "whomp",
+        [
+          tc "lossless" test_whomp_lossless;
+          tc "dimension streams" test_whomp_dimensions;
+          tc "auxiliary output" test_whomp_auxiliary_output;
+          tc "wild accesses" test_whomp_wild_accesses_not_collected;
+        ] );
+      ( "invariance",
+        [
+          tc "object-relative invariance across configs" test_object_relative_invariance;
+          tc "raw streams differ across allocators" test_raw_streams_differ_across_allocators;
+        ] );
+      ( "compression",
+        [
+          tc "OMSG beats RASG on linked lists" test_omsg_beats_rasg_on_lists;
+          tc "RASG lossless" test_rasg_lossless;
+          tc "streaming sink" test_streaming_sink_equals_profile;
+        ] );
+    ]
