@@ -1,0 +1,143 @@
+(* Machine-readable run log for the benchmark harness: collects section
+   wall times and headline metrics as sections execute, then writes them
+   as BENCH_ormp.json. JSON is emitted by hand (the repo carries no JSON
+   dependency); the format is documented in README.md. *)
+
+type hotpath = {
+  events : int;  (** accesses per measured iteration *)
+  legacy_ns_per_event : float;
+  batched_ns_per_event : float;
+  speedup : float;  (** legacy / batched, per-event *)
+  events_per_sec : float;  (** through the batched translate path *)
+  cache_hit_rate : float;  (** OMC MRU cache, steady state *)
+}
+
+type suite_row = { suite_name : string; suite_events : int; suite_elapsed_s : float }
+
+type t = {
+  mode : string;  (** "fast" or "paper" *)
+  mutable sections : (string * float) list;  (** reverse execution order *)
+  mutable hotpath : hotpath option;
+  mutable suites_parallel : bool;
+  mutable suites_wall_s : float;
+  mutable suites : suite_row list;
+  mutable dilation : (string * float) list;  (** reverse Table 1 order *)
+}
+
+let create ~mode =
+  {
+    mode;
+    sections = [];
+    hotpath = None;
+    suites_parallel = false;
+    suites_wall_s = Float.nan;
+    suites = [];
+    dilation = [];
+  }
+
+let add_section t name wall_s = t.sections <- (name, wall_s) :: t.sections
+
+let set_hotpath t h = t.hotpath <- Some h
+
+let set_suites t ~parallel ~wall_s rows =
+  t.suites_parallel <- parallel;
+  t.suites_wall_s <- wall_s;
+  t.suites <- rows
+
+let add_dilation t ~workload ~dilation = t.dilation <- (workload, dilation) :: t.dilation
+
+(* --- JSON rendering -------------------------------------------------- *)
+
+let buf_str b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+(* NaN/inf have no JSON encoding; a dilation on a too-fast workload can be
+   NaN, so those render as null. *)
+let buf_float b f =
+  if Float.is_nan f || Float.abs f = Float.infinity then Buffer.add_string b "null"
+  else Buffer.add_string b (Printf.sprintf "%.6g" f)
+
+let buf_list b xs emit =
+  Buffer.add_char b '[';
+  List.iteri
+    (fun i x ->
+      if i > 0 then Buffer.add_string b ", ";
+      emit x)
+    xs;
+  Buffer.add_char b ']'
+
+let render t =
+  let b = Buffer.create 2048 in
+  Buffer.add_string b "{\n  \"mode\": ";
+  buf_str b t.mode;
+  Buffer.add_string b ",\n  \"sections\": ";
+  buf_list b (List.rev t.sections) (fun (name, s) ->
+      Buffer.add_string b "{\"name\": ";
+      buf_str b name;
+      Buffer.add_string b ", \"wall_s\": ";
+      buf_float b s;
+      Buffer.add_char b '}');
+  (match t.hotpath with
+  | None -> ()
+  | Some h ->
+    Buffer.add_string b ",\n  \"hotpath\": {";
+    Buffer.add_string b "\"events\": ";
+    Buffer.add_string b (string_of_int h.events);
+    Buffer.add_string b ", \"legacy_ns_per_event\": ";
+    buf_float b h.legacy_ns_per_event;
+    Buffer.add_string b ", \"batched_ns_per_event\": ";
+    buf_float b h.batched_ns_per_event;
+    Buffer.add_string b ", \"speedup\": ";
+    buf_float b h.speedup;
+    Buffer.add_string b ", \"events_per_sec\": ";
+    buf_float b h.events_per_sec;
+    Buffer.add_string b ", \"cache_hit_rate\": ";
+    buf_float b h.cache_hit_rate;
+    Buffer.add_char b '}');
+  if t.suites <> [] then begin
+    Buffer.add_string b ",\n  \"suites\": {\"parallel\": ";
+    Buffer.add_string b (string_of_bool t.suites_parallel);
+    Buffer.add_string b ", \"wall_s\": ";
+    buf_float b t.suites_wall_s;
+    Buffer.add_string b ", \"runs\": ";
+    buf_list b t.suites (fun r ->
+        Buffer.add_string b "{\"name\": ";
+        buf_str b r.suite_name;
+        Buffer.add_string b ", \"events\": ";
+        Buffer.add_string b (string_of_int r.suite_events);
+        Buffer.add_string b ", \"wall_s\": ";
+        buf_float b r.suite_elapsed_s;
+        Buffer.add_string b ", \"events_per_sec\": ";
+        buf_float b
+          (if r.suite_elapsed_s > 0.0 then float_of_int r.suite_events /. r.suite_elapsed_s
+           else Float.nan);
+        Buffer.add_char b '}');
+    Buffer.add_char b '}'
+  end;
+  if t.dilation <> [] then begin
+    Buffer.add_string b ",\n  \"dilation\": ";
+    buf_list b (List.rev t.dilation) (fun (w, d) ->
+        Buffer.add_string b "{\"workload\": ";
+        buf_str b w;
+        Buffer.add_string b ", \"dilation\": ";
+        buf_float b d;
+        Buffer.add_char b '}')
+  end;
+  Buffer.add_string b "\n}\n";
+  Buffer.contents b
+
+let write t path =
+  let oc = open_out path in
+  output_string oc (render t);
+  close_out oc;
+  Printf.printf "[wrote %s]\n%!" path

@@ -7,12 +7,20 @@
      main.exe                 -- everything, at paper ("training input") scale
      main.exe --fast          -- everything, at the small test scale
      main.exe fig5 table1 ... -- only the named sections
-   Section names: fig5 fig6 fig7 fig8 fig9 table1 ablations extensions micro *)
+   Section names: fig5 fig6 fig7 fig8 fig9 table1 ablations extensions
+   hotpath micro
+
+   Besides the human-readable report on stdout, every run writes
+   BENCH_ormp.json (schema documented in README.md) with the section wall
+   times and the headline machine-readable metrics. *)
 
 open Ormp_report
 
 let section_names =
-  [ "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "table1"; "ablations"; "extensions"; "micro" ]
+  [
+    "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "table1"; "ablations"; "extensions"; "hotpath";
+    "micro";
+  ]
 
 let parse_args () =
   let args = List.tl (Array.to_list Sys.argv) in
@@ -28,23 +36,43 @@ let parse_args () =
   let enabled name = wanted = [] || List.mem name wanted in
   (fast, enabled)
 
-let timed name f =
-  let t0 = Sys.time () in
+let timed log name f =
+  let t0 = Ormp_util.Clock.now_s () in
   let r = f () in
-  Printf.printf "[%s took %.1fs]\n\n%!" name (Sys.time () -. t0);
+  let dt = Ormp_util.Clock.now_s () -. t0 in
+  Printf.printf "[%s took %.1fs]\n\n%!" name dt;
+  Bench_log.add_section log name dt;
   r
 
 (* ------------------------------------------------------------------ *)
 (* Paper sections                                                      *)
 (* ------------------------------------------------------------------ *)
 
-let run_fig5 ~bench () =
-  timed "fig5" (fun () -> print_string (Experiments.render_fig5 (Experiments.fig5 ~bench ())))
+let run_fig5 log ~bench () =
+  timed log "fig5" (fun () ->
+      print_string (Experiments.render_fig5 (Experiments.fig5 ~bench ())))
 
-let run_dependence_figs ~bench ~enabled () =
+let run_dependence_figs log ~bench ~enabled () =
   let needs = List.exists enabled [ "fig6"; "fig7"; "fig8"; "fig9"; "table1" ] in
   if needs then begin
-    let suites = timed "instrumented runs (shared)" (fun () -> Experiments.run_suites ~bench ()) in
+    let suites =
+      timed log "instrumented runs (shared, one domain per workload)" (fun () ->
+          let t0 = Ormp_util.Clock.now_s () in
+          let suites = Experiments.run_suites ~bench ~parallel:true () in
+          let wall = Ormp_util.Clock.now_s () -. t0 in
+          Bench_log.set_suites log ~parallel:true ~wall_s:wall
+            (List.map
+               (fun s ->
+                 let leap = s.Experiments.leap in
+                 {
+                   Bench_log.suite_name = s.Experiments.entry.Ormp_workloads.Registry.name;
+                   suite_events =
+                     leap.Ormp_leap.Leap.collected + leap.Ormp_leap.Leap.wild;
+                   suite_elapsed_s = leap.Ormp_leap.Leap.elapsed;
+                 })
+               suites);
+          suites)
+    in
     if enabled "fig6" then
       print_string
         (Experiments.render_dist
@@ -58,12 +86,18 @@ let run_dependence_figs ~bench ~enabled () =
     if enabled "fig8" then print_string (Experiments.render_fig8 (Experiments.fig8 suites));
     if enabled "fig9" then print_string (Experiments.render_fig9 (Experiments.fig9 suites));
     if enabled "table1" then
-      timed "table1 (dilation reruns)" (fun () ->
-          print_string (Experiments.render_table1 (Experiments.table1 ~bench suites)))
+      timed log "table1 (dilation reruns)" (fun () ->
+          let rows = Experiments.table1 ~bench suites in
+          List.iter
+            (fun r ->
+              Bench_log.add_dilation log ~workload:r.Experiments.workload
+                ~dilation:r.Experiments.dilation)
+            rows;
+          print_string (Experiments.render_table1 rows))
   end
 
-let run_ablations ~bench () =
-  timed "ablations" (fun () ->
+let run_ablations log ~bench () =
+  timed log "ablations" (fun () ->
       let mcf = Ormp_workloads.Registry.find "181.mcf-like" in
       let gzip = Ormp_workloads.Registry.find "164.gzip-like" in
       print_string
@@ -79,9 +113,172 @@ let run_ablations ~bench () =
       print_string (Experiments.render_grouping (Experiments.ablation_grouping ~bench ()));
       print_string (Experiments.render_pool (Experiments.ablation_pool_handling ~bench ())))
 
-let run_extensions ~bench () =
-  timed "extensions" (fun () ->
+let run_extensions log ~bench () =
+  timed log "extensions" (fun () ->
       print_string (Experiments.render_phases (Experiments.extension_phases ~bench ())))
+
+(* ------------------------------------------------------------------ *)
+(* Hot path: per-event sink vs batched translation                     *)
+(* ------------------------------------------------------------------ *)
+
+(* Measures the access -> translate path in isolation, on a recorded
+   trace: the legacy path boxes one Event.Access per access, pattern-matches
+   it in a sink, and walks the AVL range index for every address; the
+   batched path writes four ints into the chunk buffer and translates each
+   chunk through the OMC's per-instruction MRU cache with
+   [Omc.translate_batch]. Everything downstream of translation (tuple
+   construction, the SCC compressors) is identical for both paths and is
+   excluded here; the micro section benches the full profiler pipelines
+   both ways. *)
+let run_hotpath log ~bench () =
+  timed log "hotpath" (fun () ->
+      let open Bechamel in
+      print_endline
+        (Ormp_util.Ascii.section "Hot path: per-event sink vs batched translation");
+      (* 164.gzip-like supplies the access stream: like most of the suite
+         (mcf, crafty, bzip2 too) its instructions keep touching the same
+         buffer they touched last, which is exactly the locality the MRU
+         translation cache exploits. The OMC is additionally pre-populated
+         with a few thousand long-lived decoy objects (the same trick
+         Micro.linked_list plays): the test-scale stand-ins keep only a
+         handful of objects live, while a real heap holds thousands, so
+         without the decoys the legacy AVL descent would be measured at
+         toy depth. Cache-hostile access shapes (linked-list node walks,
+         vpr/twolf-style wandering) are covered by the micro section and
+         the table1 dilation column rather than here. *)
+      let decoys = if bench then 4096 else 2048 in
+      let entry = Ormp_workloads.Registry.find "164.gzip-like" in
+      let rc = Ormp_trace.Sink.recorder () in
+      ignore
+        (Ormp_vm.Runner.run
+           (Ormp_workloads.Registry.program entry)
+           (Ormp_trace.Sink.recorder_sink rc));
+      let events = Ormp_trace.Sink.events rc in
+      (* Split the trace: object events populate an OMC once, the access
+         stream is what the measured loops replay (gzip-like never frees,
+         so every object stays live across iterations). *)
+      let accesses =
+        Array.of_list
+          (List.filter_map
+             (function
+               | Ormp_trace.Event.Access { instr; addr; size; is_store } ->
+                 Some (instr, addr, size, is_store)
+               | _ -> None)
+             (Array.to_list events))
+      in
+      let n = Array.length accesses in
+      let instr = Array.map (fun (i, _, _, _) -> i) accesses in
+      let addr = Array.map (fun (_, a, _, _) -> a) accesses in
+      let size = Array.map (fun (_, _, s, _) -> s) accesses in
+      let store = Array.map (fun (_, _, _, st) -> Bool.to_int st) accesses in
+      let fresh_omc () =
+        let omc = Ormp_core.Omc.create ~site_name:(Printf.sprintf "s%d") () in
+        (* Long-lived decoy heap population, allocated above the workload
+           allocator's 512 MiB ceiling so the two ranges never overlap. *)
+        for i = 0 to decoys - 1 do
+          Ormp_core.Omc.on_alloc omc ~time:0 ~site:9999
+            ~addr:(0x4000_0000 + (i * 256))
+            ~size:128 ~type_name:None
+        done;
+        Array.iteri
+          (fun i ev ->
+            match ev with
+            | Ormp_trace.Event.Alloc { site; addr; size; type_name } ->
+              Ormp_core.Omc.on_alloc omc ~time:i ~site ~addr ~size ~type_name
+            | Ormp_trace.Event.Free { addr; _ } -> Ormp_core.Omc.on_free omc ~time:i ~addr
+            | Ormp_trace.Event.Access _ -> ())
+          events;
+        omc
+      in
+      let omc_legacy = fresh_omc () in
+      let legacy_sink : Ormp_trace.Sink.t = function
+        | Ormp_trace.Event.Access { addr; _ } -> ignore (Ormp_core.Omc.translate omc_legacy addr)
+        | _ -> ()
+      in
+      let t_legacy =
+        Test.make ~name:"legacy"
+          (Staged.stage (fun () ->
+               for i = 0 to n - 1 do
+                 legacy_sink
+                   (Ormp_trace.Event.Access
+                      {
+                        instr = instr.(i);
+                        addr = addr.(i);
+                        size = size.(i);
+                        is_store = store.(i) <> 0;
+                      })
+               done))
+      in
+      let omc_batched = fresh_omc () in
+      let capacity = Ormp_trace.Batch.default_capacity in
+      let groups = Array.make capacity 0 in
+      let serials = Array.make capacity 0 in
+      let offsets = Array.make capacity 0 in
+      let batch =
+        Ormp_trace.Batch.create ~capacity
+          ~on_chunk:(fun c ->
+            Ormp_core.Omc.translate_batch omc_batched ~instrs:c.Ormp_trace.Batch.instr
+              ~addrs:c.Ormp_trace.Batch.addr ~len:c.Ormp_trace.Batch.len ~groups ~serials
+              ~offsets)
+          ~on_event:(fun _ -> ())
+          ()
+      in
+      let t_batched =
+        Test.make ~name:"batched"
+          (Staged.stage (fun () ->
+               for i = 0 to n - 1 do
+                 Ormp_trace.Batch.on_access batch ~instr:instr.(i) ~addr:addr.(i)
+                   ~size:size.(i)
+                   ~is_store:(store.(i) <> 0)
+               done;
+               Ormp_trace.Batch.flush batch))
+      in
+      let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+      let instances = Toolkit.Instance.[ monotonic_clock ] in
+      (* stabilize:false — per-sample GC stabilization would hide the
+         sustained allocation cost that is precisely what the legacy
+         boxed-event path pays; a profiler observes billions of events, so
+         steady-state throughput with GC included is the honest figure. *)
+      let cfg =
+        Benchmark.cfg ~limit:2000 ~quota:(Time.second 2.0) ~stabilize:false ()
+      in
+      let raw = Benchmark.all cfg instances (Test.make_grouped ~name:"hotpath" [ t_legacy; t_batched ]) in
+      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      let estimate suffix =
+        Hashtbl.fold
+          (fun name ols_result acc ->
+            if String.length name >= String.length suffix
+               && String.sub name (String.length name - String.length suffix)
+                    (String.length suffix)
+                  = suffix
+            then
+              match Analyze.OLS.estimates ols_result with Some [ ns ] -> Some ns | _ -> acc
+            else acc)
+          results None
+      in
+      match (estimate "legacy", estimate "batched") with
+      | Some legacy_ns, Some batched_ns ->
+        let legacy_pe = legacy_ns /. float_of_int n in
+        let batched_pe = batched_ns /. float_of_int n in
+        let speedup = legacy_pe /. batched_pe in
+        let eps = 1e9 /. batched_pe in
+        let hit_rate = Ormp_core.Omc.cache_hit_rate omc_batched in
+        Printf.printf
+          "%d accesses per iteration\n\
+           legacy  (boxed event + AVL lookup): %7.2f ns/event\n\
+           batched (SoA chunk + MRU cache)   : %7.2f ns/event\n\
+           speedup: %.2fx   throughput: %.1f M events/s   MRU hit rate: %.1f%%\n\n"
+          n legacy_pe batched_pe speedup (eps /. 1e6) (100.0 *. hit_rate);
+        Bench_log.set_hotpath log
+          {
+            Bench_log.events = n;
+            legacy_ns_per_event = legacy_pe;
+            batched_ns_per_event = batched_pe;
+            speedup;
+            events_per_sec = eps;
+            cache_hit_rate = hit_rate;
+          }
+      | _ -> print_endline "hotpath: estimation failed (no OLS estimates)")
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks                                           *)
@@ -121,6 +318,17 @@ let micro_tests () =
              ignore (Ormp_core.Omc.translate omc ((i * 128) + 8))
            done))
   in
+  let omc_translate_fast =
+    let omc = Ormp_core.Omc.create ~site_name:(Printf.sprintf "s%d") () in
+    for i = 0 to 999 do
+      Ormp_core.Omc.on_alloc omc ~time:i ~site:1 ~addr:(i * 128) ~size:64 ~type_name:None
+    done;
+    Test.make ~name:"omc: 1k translations (MRU cache)"
+      (Staged.stage (fun () ->
+           for i = 0 to 999 do
+             ignore (Ormp_core.Omc.translate_fast omc ~instr:(i land 7) ((i * 128) + 8))
+           done))
+  in
   let lmad_add name pts =
     Test.make ~name
       (Staged.stage (fun () ->
@@ -150,27 +358,45 @@ let micro_tests () =
            let sink = mk_sink () in
            Array.iter sink events))
   in
+  let profiler_batch name mk_batch =
+    let r = Ormp_trace.Sink.recorder () in
+    ignore
+      (Ormp_vm.Runner.run
+         (Ormp_workloads.Micro.linked_list ~nodes:64 ~sweeps:8 ())
+         (Ormp_trace.Sink.recorder_sink r));
+    let events = Ormp_trace.Sink.events r in
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let b = mk_batch () in
+           Array.iter (Ormp_trace.Batch.event b) events;
+           Ormp_trace.Batch.flush b))
+  in
   Test.make_grouped ~name:"ormp"
     [
       seq_push "sequitur: 4k repetitive symbols" repetitive;
       seq_push "sequitur: 4k scattered symbols" scattered;
       range_index;
       omc_translate;
+      omc_translate_fast;
       lmad_add "lmad: 4k-point regular stream" (Array.init 4096 (fun i -> i * 8));
       lmad_add "lmad: 4k-point scattered stream" scattered;
       solver;
       profiler_event "whomp: probe event cost (3k-event trace)" (fun () ->
           fst (Ormp_whomp.Whomp.sink ~site_name:(Printf.sprintf "s%d") ()));
+      profiler_batch "whomp: batched probe cost (3k-event trace)" (fun () ->
+          fst (Ormp_whomp.Whomp.sink_batched ~site_name:(Printf.sprintf "s%d") ()));
       profiler_event "leap: probe event cost (3k-event trace)" (fun () ->
           fst (Ormp_leap.Leap.sink ~site_name:(Printf.sprintf "s%d") ()));
+      profiler_batch "leap: batched probe cost (3k-event trace)" (fun () ->
+          fst (Ormp_leap.Leap.sink_batched ~site_name:(Printf.sprintf "s%d") ()));
       profiler_event "connors: probe event cost (3k-event trace)" (fun () ->
           Ormp_baselines.Connors.sink (Ormp_baselines.Connors.create ()));
       profiler_event "lossless-dep: probe event cost (3k-event trace)" (fun () ->
           Ormp_baselines.Lossless_dep.sink (Ormp_baselines.Lossless_dep.create ()));
     ]
 
-let run_micro () =
-  timed "micro" (fun () ->
+let run_micro log () =
+  timed log "micro" (fun () ->
       let open Bechamel in
       print_endline (Ormp_util.Ascii.section "Micro-benchmarks (Bechamel, monotonic clock)");
       let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
@@ -202,10 +428,13 @@ let run_micro () =
 let () =
   let fast, enabled = parse_args () in
   let bench = not fast in
+  let log = Bench_log.create ~mode:(if fast then "fast" else "paper") in
   Printf.printf "ORMP benchmark harness — %s scale\n\n%!"
     (if bench then "paper (training-input)" else "fast (test)");
-  if enabled "fig5" then run_fig5 ~bench ();
-  run_dependence_figs ~bench ~enabled ();
-  if enabled "ablations" then run_ablations ~bench ();
-  if enabled "extensions" then run_extensions ~bench ();
-  if enabled "micro" then run_micro ()
+  if enabled "fig5" then run_fig5 log ~bench ();
+  run_dependence_figs log ~bench ~enabled ();
+  if enabled "ablations" then run_ablations log ~bench ();
+  if enabled "extensions" then run_extensions log ~bench ();
+  if enabled "hotpath" then run_hotpath log ~bench ();
+  if enabled "micro" then run_micro log ();
+  Bench_log.write log "BENCH_ormp.json"

@@ -21,7 +21,18 @@ val create :
   t
 
 val sink : t -> Ormp_trace.Sink.t
-(** The probe-event entry point to hand to the VM runner. *)
+(** The per-event probe entry point: boxes nothing itself but pays one
+    full range-index lookup (and the caller one event allocation) per
+    access. *)
+
+val batch : ?capacity:int -> t -> Ormp_trace.Batch.t
+(** The batched probe entry point for {!Ormp_vm.Runner.run_batched} (or
+    for replaying a recorded trace with {!Ormp_trace.Batch.event}):
+    accesses arrive as struct-of-arrays chunks, are translated through the
+    OMC's MRU cache with {!Omc.translate_batch}, and come out as exactly
+    the same tuple sequence {!sink} would produce — object events flush
+    pending accesses first, so the interleaving and the time stamps are
+    identical. *)
 
 val omc : t -> Omc.t
 

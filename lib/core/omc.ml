@@ -29,10 +29,24 @@ type t = {
   group_ids : (group_key, int) Hashtbl.t;
   group_recs : ginfo Vec.t;
   all : lifetime Vec.t;
+  (* Two-way per-instruction MRU cache: [cache0] holds the last-hit
+     object, [cache1] the one it displaced. The second way costs nothing
+     on the (dominant) first-way hit and converts the common alternation
+     pattern — one instruction ping-ponging between two objects, as in a
+     copy loop or parent/child pointer chase — from guaranteed misses
+     into hits. *)
+  mutable cache0 : lifetime array;
+  mutable cache1 : lifetime array;
   mutable translations : int;
   mutable misses : int;
+  mutable cache_hits : int;
   mutable unknown_frees : int;
 }
+
+(* Cache slot for instructions that have not hit yet: an empty range at the
+   top of the address space, so the validity check fails for every addr. *)
+let sentinel =
+  { group = -1; serial = -1; base = max_int; size = 0; alloc_time = 0; free_time = None }
 
 let create ?(grouping = `Site) ~site_name () =
   {
@@ -42,8 +56,11 @@ let create ?(grouping = `Site) ~site_name () =
     group_ids = Hashtbl.create 64;
     group_recs = Vec.create ();
     all = Vec.create ();
+    cache0 = Array.make 64 sentinel;
+    cache1 = Array.make 64 sentinel;
     translations = 0;
     misses = 0;
+    cache_hits = 0;
     unknown_frees = 0;
   }
 
@@ -88,6 +105,110 @@ let translate t addr =
     t.misses <- t.misses + 1;
     None
 
+(* --- MRU translation cache ----------------------------------------- *)
+
+(* A cached lifetime answers for [addr] only while it is still live and
+   its range contains the address. Liveness is the invalidation rule: a
+   freed object keeps its range in the record, so without the [free_time]
+   check a new object allocated at the same base (bump allocators never
+   reuse, but every free-list allocator does) would be answered with the
+   dead object's (group, serial) — the classic stale-MRU bug. A live
+   cached object can never be overrun by a new allocation because the
+   range index rejects overlapping inserts. *)
+let[@inline] cache_valid lt addr =
+  (match lt.free_time with None -> true | Some _ -> false)
+  && addr >= lt.base
+  && addr - lt.base < lt.size
+
+let ensure_cache t instr =
+  let n = Array.length t.cache0 in
+  if instr >= n then begin
+    let m = max (instr + 1) (2 * n) in
+    let grown0 = Array.make m sentinel in
+    let grown1 = Array.make m sentinel in
+    Array.blit t.cache0 0 grown0 0 n;
+    Array.blit t.cache1 0 grown1 0 n;
+    t.cache0 <- grown0;
+    t.cache1 <- grown1
+  end
+
+(* Slow half of the cache lookup, shared by [translate_fast] and
+   [translate_batch]: try the second way, then the range index; either
+   way the winner moves to way 0 and the previous way-0 entry is demoted.
+   Returns [sentinel] for an untranslatable address. *)
+let cache_fill t instr addr lt0 =
+  let lt1 = Array.unsafe_get t.cache1 instr in
+  if cache_valid lt1 addr then begin
+    t.translations <- t.translations + 1;
+    t.cache_hits <- t.cache_hits + 1;
+    Array.unsafe_set t.cache1 instr lt0;
+    Array.unsafe_set t.cache0 instr lt1;
+    lt1
+  end
+  else
+    match Ri.find t.index addr with
+    | Some (_, _, lt) ->
+      t.translations <- t.translations + 1;
+      Array.unsafe_set t.cache1 instr lt0;
+      Array.unsafe_set t.cache0 instr lt;
+      lt
+    | None ->
+      t.misses <- t.misses + 1;
+      sentinel
+
+let translate_fast t ~instr addr =
+  ensure_cache t instr;
+  let lt0 = Array.unsafe_get t.cache0 instr in
+  if cache_valid lt0 addr then begin
+    t.translations <- t.translations + 1;
+    t.cache_hits <- t.cache_hits + 1;
+    Some (lt0.group, lt0.serial, addr - lt0.base)
+  end
+  else
+    let lt = cache_fill t instr addr lt0 in
+    if lt == sentinel then None else Some (lt.group, lt.serial, addr - lt.base)
+
+let translate_batch t ~instrs ~addrs ~len ~groups ~serials ~offsets =
+  if
+    len < 0 || len > Array.length instrs || len > Array.length addrs
+    || len > Array.length groups
+    || len > Array.length serials
+    || len > Array.length offsets
+  then invalid_arg "Omc.translate_batch: len exceeds an array";
+  (* Bounds are validated above, once per chunk, so the loop body — which
+     runs once per access — can use unchecked array operations. The cache
+     is also grown once, for the chunk's largest instruction id, keeping
+     the growth check off the per-access path. *)
+  let max_instr = ref (-1) in
+  for i = 0 to len - 1 do
+    let v = Array.unsafe_get instrs i in
+    if v > !max_instr then max_instr := v
+  done;
+  if !max_instr >= 0 then ensure_cache t !max_instr;
+  let cache0 = t.cache0 in
+  (* Way-0 hits are counted in locals (registers) and folded into the
+     per-OMC counters once per chunk; [cache_fill] maintains the counters
+     itself for the slow paths. *)
+  let hits = ref 0 in
+  for i = 0 to len - 1 do
+    let instr = Array.unsafe_get instrs i and addr = Array.unsafe_get addrs i in
+    let lt0 = Array.unsafe_get cache0 instr in
+    if cache_valid lt0 addr then begin
+      incr hits;
+      Array.unsafe_set groups i lt0.group;
+      Array.unsafe_set serials i lt0.serial;
+      Array.unsafe_set offsets i (addr - lt0.base)
+    end
+    else begin
+      let lt = cache_fill t instr addr lt0 in
+      Array.unsafe_set groups i lt.group;
+      Array.unsafe_set serials i lt.serial;
+      Array.unsafe_set offsets i (if lt == sentinel then -1 else addr - lt.base)
+    end
+  done;
+  t.translations <- t.translations + !hits;
+  t.cache_hits <- t.cache_hits + !hits
+
 let public_info t (g : ginfo) =
   let label =
     match g.g_key with By_type ty -> ty | By_site s -> t.site_name s
@@ -106,3 +227,7 @@ let live_objects t = Ri.cardinal t.index
 let max_live_objects t = Ri.max_live t.index
 let translations t = t.translations
 let misses t = t.misses
+let cache_hits t = t.cache_hits
+
+let cache_hit_rate t =
+  if t.translations = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int t.translations

@@ -47,7 +47,34 @@ val on_free : t -> time:int -> addr:int -> unit
 
 val translate : t -> int -> (int * int * int) option
 (** [translate t addr] is [Some (group, object-serial, offset)] for the
-    live object containing [addr], [None] for unprofiled memory. *)
+    live object containing [addr], [None] for unprofiled memory. Always
+    pays the full range-index lookup; the batched pipeline uses
+    {!translate_fast}/{!translate_batch} instead. *)
+
+val translate_fast : t -> instr:int -> int -> (int * int * int) option
+(** Same answer as {!translate}, but consults a two-way per-instruction
+    MRU cache first (DJXPerf-style "last touched object" plus the entry it
+    displaced): most instructions hit the same object repeatedly, so the
+    common case is three compares instead
+    of an AVL descent. A cached object answers only while it is live and
+    its range contains the address — freeing an object invalidates every
+    cache entry pointing at it, so an allocation reusing the same base can
+    never be answered with the dead object's identity. *)
+
+val translate_batch :
+  t ->
+  instrs:int array ->
+  addrs:int array ->
+  len:int ->
+  groups:int array ->
+  serials:int array ->
+  offsets:int array ->
+  unit
+(** Translate the first [len] (instr, addr) pairs through the MRU cache,
+    writing results into [groups]/[serials]/[offsets] (all [-1] for an
+    untranslatable address). This is the allocation-free hot path the
+    batched CDC drives. @raise Invalid_argument if any array is shorter
+    than [len]. *)
 
 val group : t -> int -> group_info
 (** @raise Invalid_argument for an unknown group id. *)
@@ -63,3 +90,10 @@ val live_objects : t -> int
 val max_live_objects : t -> int
 val translations : t -> int
 val misses : t -> int
+
+val cache_hits : t -> int
+(** Translations answered by the MRU cache (a subset of
+    {!translations}). *)
+
+val cache_hit_rate : t -> float
+(** [cache_hits / translations], 0 when nothing was translated. *)

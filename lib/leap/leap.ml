@@ -35,7 +35,7 @@ let record stream ~time point =
     | None -> stream.dspan <- Some { t_first = time; t_last = time }));
   ignore (C.add stream.off [| point.(1) |])
 
-let sink ?grouping ?budget ~site_name () =
+let make_cdc ?grouping ?budget ~site_name () =
   let streams : (key, stream) Hashtbl.t = Hashtbl.create 256 in
   let order : key Vec.t = Vec.create () in
   let store_instrs : (int, bool) Hashtbl.t = Hashtbl.create 64 in
@@ -76,11 +76,19 @@ let sink ?grouping ?budget ~site_name () =
       elapsed;
     }
   in
+  (cdc, finalize)
+
+let sink ?grouping ?budget ~site_name () =
+  let cdc, finalize = make_cdc ?grouping ?budget ~site_name () in
   (Ormp_core.Cdc.sink cdc, finalize)
 
+let sink_batched ?grouping ?budget ~site_name () =
+  let cdc, finalize = make_cdc ?grouping ?budget ~site_name () in
+  (Ormp_core.Cdc.batch cdc, finalize)
+
 let profile ?config ?grouping ?budget program =
-  let s, finalize = sink ?grouping ?budget ~site_name:(Printf.sprintf "site%d") () in
-  let result = Ormp_vm.Runner.run ?config program s in
+  let b, finalize = sink_batched ?grouping ?budget ~site_name:(Printf.sprintf "site%d") () in
+  let result = Ormp_vm.Runner.run_batched ?config program b in
   finalize ~elapsed:result.Ormp_vm.Runner.elapsed
 
 let instrs p = List.sort_uniq compare (List.map (fun (k, _) -> k.instr) p.streams)

@@ -63,6 +63,16 @@ val sink :
   Ormp_trace.Sink.t * (elapsed:float -> profile)
 (** Streaming form, for sharing a run with other profilers. *)
 
+val sink_batched :
+  ?grouping:Ormp_core.Omc.grouping ->
+  ?budget:int ->
+  site_name:(int -> string) ->
+  unit ->
+  Ormp_trace.Batch.t * (elapsed:float -> profile)
+(** Batched form of {!sink} for {!Ormp_vm.Runner.run_batched}; translation
+    goes through the OMC's MRU cache and yields an identical profile —
+    {!profile} uses this path. *)
+
 val instrs : profile -> int list
 (** All instruction ids seen, ascending. *)
 

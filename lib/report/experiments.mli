@@ -22,8 +22,11 @@ type suite = {
 val run_suite :
   ?bench:bool -> ?config:Ormp_vm.Config.t -> ?window:int -> Registry.entry -> suite
 
-val run_suites : ?bench:bool -> unit -> suite list
-(** All seven SPEC-like workloads. *)
+val run_suites : ?bench:bool -> ?parallel:bool -> unit -> suite list
+(** All seven SPEC-like workloads, in Table 1 order. With [~parallel:true]
+    each suite runs on its own domain ([Domain.spawn]); suites share no
+    mutable state, and the per-suite [elapsed] figures are monotonic wall
+    clock, so they stay meaningful under parallel execution. *)
 
 (** {1 Figure 5: OMSG vs RASG compression} *)
 

@@ -30,7 +30,7 @@ and rule = {
 
 type t = {
   start : rule;
-  digrams : (int * int, symbol) Hashtbl.t;
+  digrams : (int, symbol) Hashtbl.t; (* packed digram key -> first occurrence *)
   live_rules : (int, rule) Hashtbl.t;
   mutable next_rule_id : int;
   mutable input_len : int;
@@ -46,7 +46,25 @@ let code_of s =
   | Nonterm r -> (r.id lsl 1) lor 1
   | Guard _ -> invalid_arg "Sequitur.code_of: guard"
 
-let digram_key s = (code_of s, code_of s.next)
+(* Digram keys are a single packed int instead of an (int * int) tuple:
+   tuple keys cost one 3-word allocation plus a polymorphic structural
+   hash per index operation, on the hottest path of the whole compressor.
+   Packing is injective while both codes fit in 31 non-negative bits (the
+   low code occupies bits 0..30, the high code the bits above), which
+   holds for every stream the profilers compress: terminal codes are 2x
+   the input value — simulated addresses stay under the 512 MiB heap
+   segment ceiling — and rule-id codes are small and dense. Codes outside
+   that range (negative or oversized terminals) may collide; [check]
+   therefore validates every index hit against the actual digram, so a
+   collision costs at most a missed match — never a wrong merge. *)
+let pack hi lo = (hi lsl 31) lxor lo
+
+let digram_key s = pack (code_of s) (code_of s.next)
+
+(* Exact digram equality, used to re-validate index hits: with a packed
+   (possibly colliding) key, key equality alone is not proof the stored
+   occurrence is the same digram. *)
+let same_digram a b = code_of a = code_of b && code_of a.next = code_of b.next
 
 let make_rule id =
   let rec rule = { id; guard = g; refcount = 0 }
@@ -127,8 +145,9 @@ let rec check t s =
       Hashtbl.replace t.digrams key s;
       false
     | Some m when m == s -> false
-    | Some m when m.dead || m.next.dead || is_guard m.next || digram_key m <> key ->
-      (* Stale entry left behind by unindexed relinking; repoint it here. *)
+    | Some m when m.dead || m.next.dead || is_guard m.next || not (same_digram m s) ->
+      (* Stale entry left behind by unindexed relinking, or a packed-key
+         collision; repoint it here. *)
       Hashtbl.replace t.digrams key s;
       false
     | Some m when m.next == s || s.next == m ->
@@ -193,9 +212,9 @@ and expand_symbol t s =
     deuse t r;
     kill_rule t r;
     if (not (is_guard l)) && not (is_guard right) then
-      Hashtbl.replace t.digrams (code_of l, code_of right) l;
+      Hashtbl.replace t.digrams (pack (code_of l) (code_of right)) l;
     if (not (is_guard left)) && not (is_guard f) then
-      Hashtbl.replace t.digrams (code_of left, code_of f) left
+      Hashtbl.replace t.digrams (pack (code_of left) (code_of f)) left
   | _ -> invalid_arg "Sequitur.expand_symbol: not a non-terminal"
 
 let push t v =

@@ -1,0 +1,86 @@
+type chunk = {
+  instr : int array;
+  addr : int array;
+  size : int array;
+  store : int array;
+  mutable len : int;
+}
+
+(* Small enough that the four chunk arrays plus the consumer's scratch
+   arrays stay resident in L1/L2 across the fill and drain passes; large
+   enough that the per-chunk flush overhead is noise. *)
+let default_capacity = 512
+
+let is_store c i = c.store.(i) <> 0
+
+let iter c f =
+  for i = 0 to c.len - 1 do
+    f ~instr:c.instr.(i) ~addr:c.addr.(i) ~size:c.size.(i) ~is_store:(c.store.(i) <> 0)
+  done
+
+type t = {
+  chunk : chunk;
+  capacity : int;
+  on_chunk : chunk -> unit;
+  on_event : Event.t -> unit;
+}
+
+let create ?(capacity = default_capacity) ~on_chunk ~on_event () =
+  if capacity <= 0 then invalid_arg "Batch.create: capacity must be positive";
+  {
+    chunk =
+      {
+        instr = Array.make capacity 0;
+        addr = Array.make capacity 0;
+        size = Array.make capacity 0;
+        store = Array.make capacity 0;
+        len = 0;
+      };
+    capacity;
+    on_chunk;
+    on_event;
+  }
+
+let flush t =
+  if t.chunk.len > 0 then begin
+    t.on_chunk t.chunk;
+    t.chunk.len <- 0
+  end
+
+let[@inline] on_access t ~instr ~addr ~size ~is_store =
+  let c = t.chunk in
+  if c.len = t.capacity then begin
+    t.on_chunk c;
+    c.len <- 0
+  end;
+  (* [len < capacity = length of each array] holds here, so the writes
+     need no bounds checks — this function runs once per executed
+     load/store. *)
+  let i = c.len in
+  Array.unsafe_set c.instr i instr;
+  Array.unsafe_set c.addr i addr;
+  Array.unsafe_set c.size i size;
+  Array.unsafe_set c.store i (Bool.to_int is_store);
+  c.len <- i + 1
+
+let event t (ev : Event.t) =
+  match ev with
+  | Access { instr; addr; size; is_store } -> on_access t ~instr ~addr ~size ~is_store
+  | Alloc _ | Free _ ->
+    flush t;
+    t.on_event ev
+
+let of_sink ?capacity (sink : Sink.t) =
+  create ?capacity
+    ~on_chunk:(fun c ->
+      for i = 0 to c.len - 1 do
+        sink
+          (Event.Access
+             {
+               instr = c.instr.(i);
+               addr = c.addr.(i);
+               size = c.size.(i);
+               is_store = c.store.(i) <> 0;
+             })
+      done)
+    ~on_event:sink ()

@@ -1,7 +1,7 @@
 type t =
   | Access of { instr : int; addr : int; size : int; is_store : bool }
   | Alloc of { site : int; addr : int; size : int; type_name : string option }
-  | Free of { addr : int }
+  | Free of { addr : int; site : int option }
 
 let is_access = function Access _ -> true | _ -> false
 
@@ -11,4 +11,7 @@ let pp fmt = function
   | Alloc { site; addr; size; type_name } ->
     Format.fprintf fmt "alloc s%d %#x+%d%s" site addr size
       (match type_name with None -> "" | Some t -> " :" ^ t)
-  | Free { addr } -> Format.fprintf fmt "free %#x" addr
+  | Free { addr; site } ->
+    Format.fprintf fmt "free%s %#x"
+      (match site with None -> "" | Some s -> Printf.sprintf " s%d" s)
+      addr

@@ -11,7 +11,10 @@ type t =
   | Alloc of { site : int; addr : int; size : int; type_name : string option }
       (** an object was created: heap allocation, pool creation, or a
           static object at program start *)
-  | Free of { addr : int }  (** an object was destroyed *)
+  | Free of { addr : int; site : int option }
+      (** an object was destroyed; [site] is the static free-site program
+          point when the destruction is probed at one (pool recycling has
+          none) *)
 
 val is_access : t -> bool
 

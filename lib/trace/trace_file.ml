@@ -7,7 +7,8 @@ let write_event oc (ev : Event.t) =
   | Alloc { site; addr; size; type_name } ->
     Printf.fprintf oc "+ %d %d %d %s\n" site addr size
       (match type_name with None -> "-" | Some t -> t)
-  | Free { addr } -> Printf.fprintf oc "- %d\n" addr
+  | Free { addr; site = None } -> Printf.fprintf oc "- %d\n" addr
+  | Free { addr; site = Some site } -> Printf.fprintf oc "- %d %d\n" addr site
 
 let writer oc =
   output_string oc header;
@@ -36,8 +37,12 @@ let parse_line line =
     | _ -> Error "malformed alloc")
   | [ "-"; addr ] -> (
     match int_of_string_opt addr with
-    | Some addr -> Ok (Event.Free { addr })
+    | Some addr -> Ok (Event.Free { addr; site = None })
     | None -> Error "malformed free")
+  | [ "-"; addr; site ] -> (
+    match (int_of_string_opt addr, int_of_string_opt site) with
+    | Some addr, Some site -> Ok (Event.Free { addr; site = Some site })
+    | _ -> Error "malformed free")
   | _ -> Error "unrecognized event"
 
 let replay path sink =

@@ -1,0 +1,13 @@
+(** Monotonic wall clock.
+
+    [Sys.time] measures process CPU time, which is the wrong quantity for
+    anything run across domains (it sums all cores) and too coarse for
+    micro-timing. This wraps the OS monotonic clock that Bechamel vendors,
+    so every timing column in the system — runner elapsed times, bench
+    section times, dilation batches — reads the same wall clock. *)
+
+val now_ns : unit -> int64
+(** Nanoseconds from an arbitrary (but fixed) origin; never goes back. *)
+
+val now_s : unit -> float
+(** Same instant in seconds. *)

@@ -8,15 +8,28 @@ type pool_state = {
 
 type obj = { base : int; size : int; pool : pool_state option }
 
+(* Probe delivery: the legacy path boxes one event per probe and hands it
+   to the sink synchronously; the batched path writes accesses into a
+   struct-of-arrays buffer and only boxes the rare object events. *)
+type path = Direct of Sink.t | Batched of Batch.t
+
 type t = {
   table : Instr.table;
-  sink : Sink.t;
+  path : path;
   heap : Ormp_memsim.Allocator.t;
   rng : Ormp_util.Prng.t;
   statics : (string * obj) list;
 }
 
-let make ~config ~sink ~statics =
+let emit_event t ev =
+  match t.path with Direct sink -> sink ev | Batched b -> Batch.event b ev
+
+let emit_access t ~instr ~addr ~size ~is_store =
+  match t.path with
+  | Direct sink -> sink (Event.Access { instr; addr; size; is_store })
+  | Batched b -> Batch.on_access b ~instr ~addr ~size ~is_store
+
+let make_path ~config ~path ~statics =
   let open Config in
   let heap =
     Ormp_memsim.Allocator.create ~base:config.heap_base ~align:config.align config.policy
@@ -25,16 +38,23 @@ let make ~config ~sink ~statics =
   let placements =
     Ormp_memsim.Layout.assign ~base:config.static_base ~gap:config.static_gap statics
   in
+  let t =
+    { table; path; heap; rng = Ormp_util.Prng.create ~seed:config.seed; statics = [] }
+  in
   let static_objs =
     List.map
       (fun p ->
         let open Ormp_memsim.Layout in
         let site = Instr.register table ~name:("static:" ^ p.entry.name) Instr.Alloc_site in
-        sink (Event.Alloc { site; addr = p.address; size = p.entry.size; type_name = Some p.entry.name });
+        emit_event t
+          (Event.Alloc { site; addr = p.address; size = p.entry.size; type_name = Some p.entry.name });
         (p.entry.name, { base = p.address; size = p.entry.size; pool = None }))
       placements
   in
-  { table; sink; heap; rng = Ormp_util.Prng.create ~seed:config.seed; statics = static_objs }
+  { t with statics = static_objs }
+
+let make ~config ~sink ~statics = make_path ~config ~path:(Direct sink) ~statics
+let make_batched ~config ~batch ~statics = make_path ~config ~path:(Batched batch) ~statics
 
 let table t = t.table
 let rng t = t.rng
@@ -49,13 +69,12 @@ let static t name =
 
 let alloc t ~site ?type_name size =
   let base = Ormp_memsim.Allocator.alloc t.heap size in
-  t.sink (Event.Alloc { site; addr = base; size; type_name });
+  emit_event t (Event.Alloc { site; addr = base; size; type_name });
   { base; size; pool = None }
 
 let free t ~site o =
-  ignore site;
   Ormp_memsim.Allocator.free t.heap o.base;
-  t.sink (Event.Free { addr = o.base })
+  emit_event t (Event.Free { addr = o.base; site = Some site })
 
 let addr o = o.base
 let obj_size o = o.size
@@ -64,16 +83,14 @@ let access t ~instr ~size ~is_store o off =
   if off < 0 || off + size > o.size then
     invalid_arg
       (Printf.sprintf "Engine: access [%d,%d) outside object of size %d" off (off + size) o.size);
-  t.sink (Event.Access { instr; addr = o.base + off; size; is_store })
+  emit_access t ~instr ~addr:(o.base + off) ~size ~is_store
 
 let load t ~instr ?(size = 8) o off = access t ~instr ~size ~is_store:false o off
 let store t ~instr ?(size = 8) o off = access t ~instr ~size ~is_store:true o off
 
-let load_raw t ~instr ?(size = 8) a =
-  t.sink (Event.Access { instr; addr = a; size; is_store = false })
+let load_raw t ~instr ?(size = 8) a = emit_access t ~instr ~addr:a ~size ~is_store:false
 
-let store_raw t ~instr ?(size = 8) a =
-  t.sink (Event.Access { instr; addr = a; size; is_store = true })
+let store_raw t ~instr ?(size = 8) a = emit_access t ~instr ~addr:a ~size ~is_store:true
 
 let pool_create t ~site ?type_name ?(expose_pieces = false) ?pieces_site size =
   let exposed =
@@ -86,7 +103,7 @@ let pool_create t ~site ?type_name ?(expose_pieces = false) ?pieces_site size =
   (* Targeting the custom alloc functions means the pool's own malloc goes
      unprobed — otherwise the piece objects would overlap the pool object
      in the OMC's range index. *)
-  if exposed = None then t.sink (Event.Alloc { site; addr = base; size; type_name });
+  if exposed = None then emit_event t (Event.Alloc { site; addr = base; size; type_name });
   { base; size; pool = Some { cursor = 0; exposed; live_pieces = [] } }
 
 let pool_piece t ~pool size =
@@ -100,7 +117,7 @@ let pool_piece t ~pool size =
     (match st.exposed with
     | Some site ->
       st.live_pieces <- (base, size) :: st.live_pieces;
-      t.sink (Event.Alloc { site; addr = base; size; type_name = None })
+      emit_event t (Event.Alloc { site; addr = base; size; type_name = None })
     | None -> ());
     { base; size; pool = None }
 
@@ -108,7 +125,9 @@ let pool_reset t ~pool =
   match pool.pool with
   | None -> invalid_arg "Engine.pool_reset: not a pool"
   | Some st ->
-    List.iter (fun (base, _) -> t.sink (Event.Free { addr = base })) st.live_pieces;
+    List.iter
+      (fun (base, _) -> emit_event t (Event.Free { addr = base; site = None }))
+      st.live_pieces;
     st.live_pieces <- [];
     st.cursor <- 0
 
@@ -118,6 +137,8 @@ let pool_destroy t ~site ~pool =
   | Some { exposed = None; _ } -> free t ~site pool
   | Some st ->
     (* exposed mode: the pieces are the profiled objects *)
-    List.iter (fun (base, _) -> t.sink (Event.Free { addr = base })) st.live_pieces;
+    List.iter
+      (fun (base, _) -> emit_event t (Event.Free { addr = base; site = Some site }))
+      st.live_pieces;
     st.live_pieces <- [];
     Ormp_memsim.Allocator.free t.heap pool.base

@@ -20,7 +20,15 @@ val make :
   config:Config.t -> sink:Ormp_trace.Sink.t -> statics:Ormp_memsim.Layout.entry list -> t
 (** Build an engine: lays out [statics], registers one allocation site per
     static and emits their [Alloc] events (the paper inserts static-object
-    probes "at the beginning ... of the program", §3.1). *)
+    probes "at the beginning ... of the program", §3.1). Probes are
+    delivered per event, synchronously. *)
+
+val make_batched :
+  config:Config.t -> batch:Ormp_trace.Batch.t -> statics:Ormp_memsim.Layout.entry list -> t
+(** Same engine, but load/store probes take {!Ormp_trace.Batch.on_access}
+    — the unboxed struct-of-arrays fast path. The caller owns the batch
+    and must {!Ormp_trace.Batch.flush} it when the run ends
+    ({!Runner.run_batched} does). *)
 
 val table : t -> Ormp_trace.Instr.table
 (** The program-point table built so far. *)
@@ -41,7 +49,9 @@ val alloc : t -> site:int -> ?type_name:string -> int -> obj
     emits the object-creation probe event. *)
 
 val free : t -> site:int -> obj -> unit
-(** Destroy a heap object; emits the destruction probe event. *)
+(** Destroy a heap object; emits the destruction probe event carrying the
+    free-site program point, so free sites appear in the instruction
+    table and the event stream just like alloc sites do. *)
 
 val addr : obj -> int
 val obj_size : obj -> int

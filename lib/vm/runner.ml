@@ -2,9 +2,17 @@ type result = { table : Ormp_trace.Instr.table; elapsed : float }
 
 let run ?(config = Config.default) (program : Program.t) sink =
   let engine = Engine.make ~config ~sink ~statics:program.statics in
-  let t0 = Sys.time () in
+  let t0 = Ormp_util.Clock.now_s () in
   program.run engine;
-  let elapsed = Sys.time () -. t0 in
+  let elapsed = Ormp_util.Clock.now_s () -. t0 in
+  { table = Engine.table engine; elapsed }
+
+let run_batched ?(config = Config.default) (program : Program.t) batch =
+  let engine = Engine.make_batched ~config ~batch ~statics:program.statics in
+  let t0 = Ormp_util.Clock.now_s () in
+  program.run engine;
+  Ormp_trace.Batch.flush batch;
+  let elapsed = Ormp_util.Clock.now_s () -. t0 in
   { table = Engine.table engine; elapsed }
 
 let run_bare ?config program = run ?config program Ormp_trace.Sink.null

@@ -7,10 +7,17 @@
 
 type result = {
   table : Ormp_trace.Instr.table;  (** program points registered by the run *)
-  elapsed : float;  (** CPU seconds spent in the run, probes included *)
+  elapsed : float;
+      (** monotonic wall-clock seconds spent in the run, probes included
+          (CPU time would be wrong under the parallel bench harness) *)
 }
 
 val run : ?config:Config.t -> Program.t -> Ormp_trace.Sink.t -> result
+
+val run_batched : ?config:Config.t -> Program.t -> Ormp_trace.Batch.t -> result
+(** Same execution through the batched fast path: accesses are delivered
+    to the batch unboxed, and the batch is flushed before the run is
+    declared over (flush time is part of [elapsed]). *)
 
 val run_bare : ?config:Config.t -> Program.t -> result
 (** Same execution with all probes discarded — the "native" run. *)

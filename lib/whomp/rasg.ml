@@ -14,9 +14,21 @@ let sink () =
   in
   (s, fun ~elapsed -> { grammar; accesses = !count; elapsed })
 
+let sink_batched () =
+  let grammar = Seq_c.create () in
+  let count = ref 0 in
+  let on_chunk (c : Ormp_trace.Batch.chunk) =
+    count := !count + c.len;
+    for i = 0 to c.len - 1 do
+      Seq_c.push grammar c.addr.(i)
+    done
+  in
+  let b = Ormp_trace.Batch.create ~on_chunk ~on_event:(fun _ -> ()) () in
+  (b, fun ~elapsed -> { grammar; accesses = !count; elapsed })
+
 let profile ?config program =
-  let s, finalize = sink () in
-  let result = Ormp_vm.Runner.run ?config program s in
+  let b, finalize = sink_batched () in
+  let result = Ormp_vm.Runner.run_batched ?config program b in
   finalize ~elapsed:result.Ormp_vm.Runner.elapsed
 
 let size p = Seq_c.grammar_size p.grammar

@@ -16,6 +16,10 @@ val profile : ?config:Ormp_vm.Config.t -> Ormp_vm.Program.t -> profile
 val sink : unit -> Ormp_trace.Sink.t * (elapsed:float -> profile)
 (** Streaming form, mirroring {!Whomp.sink}. *)
 
+val sink_batched : unit -> Ormp_trace.Batch.t * (elapsed:float -> profile)
+(** Batched form for {!Ormp_vm.Runner.run_batched}; produces the same
+    grammar as {!sink} (the pushed address sequence is identical). *)
+
 val size : profile -> int
 (** Grammar size in symbols. *)
 

@@ -9,7 +9,7 @@ type profile = {
   elapsed : float;
 }
 
-let sink ?grouping ~site_name () =
+let make_cdc ?grouping ~site_name () =
   let g_instr = Seq_c.create () in
   let g_group = Seq_c.create () in
   let g_object = Seq_c.create () in
@@ -33,7 +33,15 @@ let sink ?grouping ~site_name () =
       elapsed;
     }
   in
+  (cdc, finalize)
+
+let sink ?grouping ~site_name () =
+  let cdc, finalize = make_cdc ?grouping ~site_name () in
   (Ormp_core.Cdc.sink cdc, finalize)
+
+let sink_batched ?grouping ~site_name () =
+  let cdc, finalize = make_cdc ?grouping ~site_name () in
+  (Ormp_core.Cdc.batch cdc, finalize)
 
 let profile ?config ?grouping program =
   (* Sites are named after the fact via the table the run produces, so the
@@ -44,8 +52,8 @@ let profile ?config ?grouping program =
     | None -> Printf.sprintf "site%d" site
     | Some t -> (Ormp_trace.Instr.info t site).Ormp_trace.Instr.name
   in
-  let s, finalize = sink ?grouping ~site_name () in
-  let result = Ormp_vm.Runner.run ?config program s in
+  let b, finalize = sink_batched ?grouping ~site_name () in
+  let result = Ormp_vm.Runner.run_batched ?config program b in
   table := Some result.Ormp_vm.Runner.table;
   finalize ~elapsed:result.Ormp_vm.Runner.elapsed
 

@@ -35,6 +35,15 @@ val sink :
 (** Streaming form: a probe sink plus a finalizer, for callers that drive
     the VM themselves (used to share one run between several profilers). *)
 
+val sink_batched :
+  ?grouping:Ormp_core.Omc.grouping ->
+  site_name:(int -> string) ->
+  unit ->
+  Ormp_trace.Batch.t * (elapsed:float -> profile)
+(** Batched form of {!sink} for {!Ormp_vm.Runner.run_batched}: translation
+    goes through the OMC's MRU cache ({!Ormp_core.Cdc.batch}) and produces
+    byte-identical grammars — {!profile} uses this path. *)
+
 val omsg_size : profile -> int
 (** Total grammar size (symbols on all right-hand sides, all four
     grammars). *)

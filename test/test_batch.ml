@@ -1,0 +1,133 @@
+(* Equivalence of the legacy per-event path and the batched fast path.
+
+   The batched pipeline (Batch -> Cdc.batch -> Omc.translate_batch with the
+   MRU translation cache) is a pure performance rework: it must produce
+   byte-identical profiles to the per-event sinks. The workload is
+   Micro.churn, which frees and re-allocates constantly — the hostile case
+   for the MRU cache, where any missed invalidation would surface as a
+   wrong (group, serial) in the profile. *)
+
+open Ormp_vm
+
+let check_string = Alcotest.(check string)
+let check_int = Alcotest.(check int)
+
+let churn = Ormp_workloads.Micro.churn ~live:24 ~ops:3000 ()
+let site_name = Printf.sprintf "site%d"
+
+(* Both paths get elapsed:0.0 so the serialized profiles are comparable
+   byte for byte; wall time is the one field allowed to differ. *)
+
+let whomp_pair () =
+  let s, fin = Ormp_whomp.Whomp.sink ~site_name () in
+  ignore (Runner.run churn s);
+  let legacy = fin ~elapsed:0.0 in
+  let b, finb = Ormp_whomp.Whomp.sink_batched ~site_name () in
+  ignore (Runner.run_batched churn b);
+  (legacy, finb ~elapsed:0.0)
+
+let test_whomp_equivalence () =
+  let legacy, batched = whomp_pair () in
+  check_int "same collected" legacy.Ormp_whomp.Whomp.collected
+    batched.Ormp_whomp.Whomp.collected;
+  check_int "same wild" legacy.Ormp_whomp.Whomp.wild batched.Ormp_whomp.Whomp.wild;
+  check_string "byte-identical WHOMP profile"
+    (Ormp_util.Sexp.to_string (Ormp_persist.Whomp_io.to_sexp legacy))
+    (Ormp_util.Sexp.to_string (Ormp_persist.Whomp_io.to_sexp batched))
+
+let test_rasg_equivalence () =
+  let s, fin = Ormp_whomp.Rasg.sink () in
+  ignore (Runner.run churn s);
+  let legacy = fin ~elapsed:0.0 in
+  let b, finb = Ormp_whomp.Rasg.sink_batched () in
+  ignore (Runner.run_batched churn b);
+  let batched = finb ~elapsed:0.0 in
+  check_int "same accesses" legacy.Ormp_whomp.Rasg.accesses batched.Ormp_whomp.Rasg.accesses;
+  check_string "identical RASG grammar"
+    (Format.asprintf "%a" Ormp_sequitur.Sequitur.pp legacy.Ormp_whomp.Rasg.grammar)
+    (Format.asprintf "%a" Ormp_sequitur.Sequitur.pp batched.Ormp_whomp.Rasg.grammar)
+
+let test_leap_equivalence () =
+  let s, fin = Ormp_leap.Leap.sink ~site_name () in
+  ignore (Runner.run churn s);
+  let legacy = fin ~elapsed:0.0 in
+  let b, finb = Ormp_leap.Leap.sink_batched ~site_name () in
+  ignore (Runner.run_batched churn b);
+  let batched = finb ~elapsed:0.0 in
+  check_int "same collected" legacy.Ormp_leap.Leap.collected batched.Ormp_leap.Leap.collected;
+  check_string "byte-identical LEAP profile"
+    (Ormp_util.Sexp.to_string (Ormp_persist.Leap_io.to_sexp legacy))
+    (Ormp_util.Sexp.to_string (Ormp_persist.Leap_io.to_sexp batched))
+
+(* ------------------------------------------------------------------ *)
+(* MRU cache invalidation: the stale-entry regression                  *)
+(* ------------------------------------------------------------------ *)
+
+(* Free an object an instruction has cached, then re-allocate a
+   different-sized object at the same base (what every free-list
+   allocator does). The cached lifetime is dead but its record still
+   covers the address; a cache that skips the liveness check would
+   answer with the dead object's (group, serial). *)
+let test_stale_mru_invalidated () =
+  let omc = Ormp_core.Omc.create ~site_name () in
+  Ormp_core.Omc.on_alloc omc ~time:0 ~site:1 ~addr:1000 ~size:64 ~type_name:None;
+  (match Ormp_core.Omc.translate_fast omc ~instr:0 1008 with
+  | Some (g, s, off) ->
+    check_int "first object group" 0 g;
+    check_int "first object serial" 0 s;
+    check_int "first object offset" 8 off
+  | None -> Alcotest.fail "first translation missed");
+  (* Hit once more so the MRU entry is warm (a way-0 hit). *)
+  (match Ormp_core.Omc.translate_fast omc ~instr:0 1016 with
+  | Some (_, _, off) -> check_int "warm hit offset" 16 off
+  | None -> Alcotest.fail "warm hit missed");
+  Ormp_core.Omc.on_free omc ~time:1 ~addr:1000;
+  Ormp_core.Omc.on_alloc omc ~time:2 ~site:2 ~addr:1000 ~size:128 ~type_name:None;
+  (match Ormp_core.Omc.translate_fast omc ~instr:0 1008 with
+  | Some (g, s, off) ->
+    check_int "new object's group, not the dead one's" 1 g;
+    check_int "new object's serial" 0 s;
+    check_int "offset within new object" 8 off
+  | None -> Alcotest.fail "translation after realloc missed");
+  (* The batched entry point shares the cache arrays; verify it too. *)
+  let groups = Array.make 1 (-7) and serials = Array.make 1 (-7) and offsets = Array.make 1 (-7) in
+  Ormp_core.Omc.translate_batch omc ~instrs:[| 0 |] ~addrs:[| 1100 |] ~len:1 ~groups
+    ~serials ~offsets;
+  check_int "batch: new object's group" 1 groups.(0);
+  check_int "batch: new object's serial" 0 serials.(0);
+  check_int "batch: offset within new object" 100 offsets.(0)
+
+(* An address past the end of the re-allocated (smaller) object must be
+   wild, even though the dead cached object once covered it. *)
+let test_stale_mru_shrunk_object () =
+  let omc = Ormp_core.Omc.create ~site_name () in
+  Ormp_core.Omc.on_alloc omc ~time:0 ~site:1 ~addr:2000 ~size:256 ~type_name:None;
+  ignore (Ormp_core.Omc.translate_fast omc ~instr:3 2128);
+  Ormp_core.Omc.on_free omc ~time:1 ~addr:2000;
+  Ormp_core.Omc.on_alloc omc ~time:2 ~site:1 ~addr:2000 ~size:64 ~type_name:None;
+  (match Ormp_core.Omc.translate_fast omc ~instr:3 2128 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "address past the new object's end must not translate");
+  match Ormp_core.Omc.translate_fast omc ~instr:3 2032 with
+  | Some (_, s, off) ->
+    check_int "new serial under same group" 1 s;
+    check_int "offset in the shrunk object" 32 off
+  | None -> Alcotest.fail "in-range address must translate"
+
+let () =
+  Alcotest.run "batch"
+    [
+      ( "equivalence",
+        [
+          Alcotest.test_case "whomp legacy = batched" `Quick test_whomp_equivalence;
+          Alcotest.test_case "rasg legacy = batched" `Quick test_rasg_equivalence;
+          Alcotest.test_case "leap legacy = batched" `Quick test_leap_equivalence;
+        ] );
+      ( "mru-cache",
+        [
+          Alcotest.test_case "stale entry invalidated by free" `Quick
+            test_stale_mru_invalidated;
+          Alcotest.test_case "shrunk realloc at same base" `Quick
+            test_stale_mru_shrunk_object;
+        ] );
+    ]

@@ -122,7 +122,7 @@ let test_cdc_wild_routing () =
 let test_cdc_free_routing () =
   let _, sink, tuples, _ = mk_cdc () in
   sink (Ormp_trace.Event.Alloc { site = 1; addr = 1000; size = 64; type_name = None });
-  sink (Ormp_trace.Event.Free { addr = 1000 });
+  sink (Ormp_trace.Event.Free { addr = 1000; site = None });
   sink (access ~instr:7 ~addr:1000 ~is_store:false);
   check_int "access after free is wild" 0 (List.length !tuples)
 

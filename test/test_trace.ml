@@ -52,7 +52,7 @@ let test_kind_names () =
 let ld = Event.Access { instr = 3; addr = 0x100; size = 8; is_store = false }
 let st = Event.Access { instr = 4; addr = 0x108; size = 8; is_store = true }
 let al = Event.Alloc { site = 1; addr = 0x200; size = 64; type_name = Some "node" }
-let fr = Event.Free { addr = 0x200 }
+let fr = Event.Free { addr = 0x200; site = None }
 
 let test_is_access () =
   check_bool "load" true (Event.is_access ld);

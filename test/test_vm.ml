@@ -77,7 +77,7 @@ let test_free_emits_probe_and_recycles () =
   let o = Engine.alloc e ~site 32 in
   Engine.free e ~site:fsite o;
   check_bool "free event emitted" true
-    (Array.exists (function Event.Free { addr } -> addr = Engine.addr o | _ -> false)
+    (Array.exists (function Event.Free { addr; _ } -> addr = Engine.addr o | _ -> false)
        (Sink.events r));
   check_int "allocator empty" 0
     (Ormp_memsim.Allocator.live_blocks (Engine.allocator e))
