@@ -8,7 +8,12 @@
      main.exe --fast          -- everything, at the small test scale
      main.exe fig5 table1 ... -- only the named sections
    Section names: fig5 fig6 fig7 fig8 fig9 table1 ablations extensions
-   hotpath micro
+   hotpath micro verify
+
+   The verify section (debug-mode checking pass: sanitize every workload,
+   verify every profile's structural invariants) runs in --fast mode and
+   when named explicitly, but not in default timing runs — it would
+   pollute the dilation measurements with redundant instrumented runs.
 
    Besides the human-readable report on stdout, every run writes
    BENCH_ormp.json (schema documented in README.md) with the section wall
@@ -19,7 +24,7 @@ open Ormp_report
 let section_names =
   [
     "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "table1"; "ablations"; "extensions"; "hotpath";
-    "micro";
+    "micro"; "verify";
   ]
 
 let parse_args () =
@@ -34,7 +39,7 @@ let parse_args () =
       end)
     wanted;
   let enabled name = wanted = [] || List.mem name wanted in
-  (fast, enabled)
+  (fast, wanted, enabled)
 
 let timed log name f =
   let t0 = Ormp_util.Clock.now_s () in
@@ -395,6 +400,43 @@ let micro_tests () =
           Ormp_baselines.Lossless_dep.sink (Ormp_baselines.Lossless_dep.create ()));
     ]
 
+(* ------------------------------------------------------------------ *)
+(* Verify: the debug-mode checking pass                                *)
+(* ------------------------------------------------------------------ *)
+
+let run_verify log ~bench () =
+  timed log "verify" (fun () ->
+      print_endline
+        (Ormp_util.Ascii.section "Checking layer: sanitizer + profile invariants");
+      let failures = ref 0 in
+      let verdict workload what = function
+        | Ok () -> Printf.printf "  %-18s %-16s OK\n" workload what
+        | Error e ->
+          incr failures;
+          Printf.printf "  %-18s %-16s FAIL: %s\n" workload what e
+      in
+      List.iter
+        (fun e ->
+          let name = e.Ormp_workloads.Registry.name in
+          let program = Ormp_workloads.Registry.program ~bench e in
+          let r = Ormp_check.Sanitizer.run program in
+          verdict name "sanitizer"
+            (if Ormp_check.Report.clean r then Ok ()
+             else
+               Error
+                 (Printf.sprintf "%d error(s), %d warning(s)" (Ormp_check.Report.errors r)
+                    (Ormp_check.Report.warnings r)));
+          verdict name "whomp profile"
+            (Ormp_check.Verify.whomp_profile (Ormp_whomp.Whomp.profile program));
+          verdict name "leap profile"
+            (Ormp_check.Verify.leap_profile (Ormp_leap.Leap.profile program)))
+        Ormp_workloads.Registry.spec;
+      if !failures > 0 then begin
+        Printf.printf "verify: %d check(s) FAILED\n" !failures;
+        exit 1
+      end
+      else print_newline ())
+
 let run_micro log () =
   timed log "micro" (fun () ->
       let open Bechamel in
@@ -426,7 +468,7 @@ let run_micro log () =
                 rows)))
 
 let () =
-  let fast, enabled = parse_args () in
+  let fast, wanted, enabled = parse_args () in
   let bench = not fast in
   let log = Bench_log.create ~mode:(if fast then "fast" else "paper") in
   Printf.printf "ORMP benchmark harness — %s scale\n\n%!"
@@ -437,4 +479,6 @@ let () =
   if enabled "extensions" then run_extensions log ~bench ();
   if enabled "hotpath" then run_hotpath log ~bench ();
   if enabled "micro" then run_micro log ();
+  (* Skipped in default timing runs; see the usage comment. *)
+  if List.mem "verify" wanted || (wanted = [] && fast) then run_verify log ~bench ();
   Bench_log.write log "BENCH_ormp.json"

@@ -7,6 +7,8 @@
      whomp         collect a WHOMP (OMSG) profile, compare against RASG
      leap          collect a LEAP profile; optionally run the dependence
                    and stride post-processors
+     check         sanitize a workload run (ORMP-San) or verify a saved
+                   profile's structural invariants
      compare       per-pair dependence table: lossless vs LEAP vs Connors
      record        write a raw probe-event trace to a file
      replay        stream a recorded trace through any profiler
@@ -22,7 +24,11 @@ let find_program name =
   | None -> (
     try Registry.program (Registry.find name)
     with Not_found ->
-      Printf.eprintf "unknown workload %S; try `ormp list`\n" name;
+      Printf.eprintf "unknown workload %S; available workloads:\n" name;
+      List.iter
+        (fun e -> Printf.eprintf "  %s\n" e.Registry.name)
+        Registry.spec;
+      List.iter (fun (n, _) -> Printf.eprintf "  %s\n" n) Ormp_workloads.Micro.all;
       exit 2)
 
 let workload_arg =
@@ -55,6 +61,21 @@ let policy_arg =
     & info [ "allocator" ] ~docv:"POLICY"
         ~doc:"Heap allocator: bump, first-fit, best-fit, segregated or randomized.")
 
+let sanitize_arg =
+  Arg.(
+    value & flag
+    & info [ "sanitize" ]
+        ~doc:
+          "Attach the object-relative memory sanitizer to the same instrumented run and \
+           append its report. Exit status 1 if it reports errors or warnings.")
+
+let emit_sanitizer_report san ~table ~subject =
+  let site_name i = (Ormp_trace.Instr.info table i).Ormp_trace.Instr.name in
+  let r = Ormp_check.Sanitizer.finish ~site_name ~subject san in
+  print_newline ();
+  Format.printf "%a" Ormp_check.Report.render r;
+  if not (Ormp_check.Report.clean r) then exit 1
+
 (* --- list ----------------------------------------------------------- *)
 
 let list_cmd =
@@ -75,37 +96,50 @@ let list_cmd =
 (* --- trace ---------------------------------------------------------- *)
 
 let trace_cmd =
-  let run workload seed policy limit object_relative =
+  let run workload seed policy limit object_relative sanitize =
     let program = find_program workload in
     let config = config_of ~seed ~policy in
     let printed = ref 0 in
-    if object_relative then begin
-      let cdc =
-        Ormp_core.Cdc.create
-          ~site_name:(Printf.sprintf "site%d")
-          ~on_tuple:(fun tu ->
-            if !printed < limit then begin
-              Format.printf "%a@." Ormp_core.Tuple.pp tu;
-              incr printed
-            end)
-          ()
-      in
-      ignore (Ormp_vm.Runner.run ~config program (Ormp_core.Cdc.sink cdc));
-      Printf.printf "... %d accesses collected, %d wild\n"
-        (Ormp_core.Cdc.collected cdc) (Ormp_core.Cdc.wild cdc)
-    end
-    else begin
-      let total = ref 0 in
-      let sink ev =
-        incr total;
-        if !printed < limit then begin
-          Format.printf "%a@." Ormp_trace.Event.pp ev;
-          incr printed
-        end
-      in
-      ignore (Ormp_vm.Runner.run ~config program sink);
-      Printf.printf "... %d events total\n" !total
-    end
+    let san = Ormp_check.Sanitizer.create () in
+    let with_sanitizer sink =
+      if sanitize then Ormp_trace.Sink.fanout [ sink; Ormp_check.Sanitizer.sink san ]
+      else sink
+    in
+    let result =
+      if object_relative then begin
+        let cdc =
+          Ormp_core.Cdc.create
+            ~site_name:(Printf.sprintf "site%d")
+            ~on_tuple:(fun tu ->
+              if !printed < limit then begin
+                Format.printf "%a@." Ormp_core.Tuple.pp tu;
+                incr printed
+              end)
+            ()
+        in
+        let result =
+          Ormp_vm.Runner.run ~config program (with_sanitizer (Ormp_core.Cdc.sink cdc))
+        in
+        Printf.printf "... %d accesses collected, %d wild\n"
+          (Ormp_core.Cdc.collected cdc) (Ormp_core.Cdc.wild cdc);
+        result
+      end
+      else begin
+        let total = ref 0 in
+        let sink ev =
+          incr total;
+          if !printed < limit then begin
+            Format.printf "%a@." Ormp_trace.Event.pp ev;
+            incr printed
+          end
+        in
+        let result = Ormp_vm.Runner.run ~config program (with_sanitizer sink) in
+        Printf.printf "... %d events total\n" !total;
+        result
+      end
+    in
+    if sanitize then
+      emit_sanitizer_report san ~table:result.Ormp_vm.Runner.table ~subject:workload
   in
   let limit =
     Arg.(value & opt int 40 & info [ "limit"; "n" ] ~docv:"N" ~doc:"Events to print.")
@@ -118,15 +152,31 @@ let trace_cmd =
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Dump a workload's probe events")
-    Term.(const run $ workload_arg $ seed_arg $ policy_arg $ limit $ object_relative)
+    Term.(
+      const run $ workload_arg $ seed_arg $ policy_arg $ limit $ object_relative
+      $ sanitize_arg)
 
 (* --- whomp ---------------------------------------------------------- *)
 
 let whomp_cmd =
-  let run workload seed policy show_grammar save =
+  let run workload seed policy show_grammar save sanitize =
     let program = find_program workload in
     let config = config_of ~seed ~policy in
-    let p = Ormp_whomp.Whomp.profile ~config program in
+    (* With --sanitize, one instrumented run feeds both the profiler and
+       the sanitizer through a batch fanout — the sanitizer sees exactly
+       the probe stream the profile was built from. *)
+    let san = Ormp_check.Sanitizer.create () in
+    let p, san_table =
+      if not sanitize then (Ormp_whomp.Whomp.profile ~config program, None)
+      else begin
+        let wb, fin =
+          Ormp_whomp.Whomp.sink_batched ~site_name:(Printf.sprintf "site%d") ()
+        in
+        let fan = Ormp_trace.Batch.fanout [ wb; Ormp_check.Sanitizer.batch san ] in
+        let result = Ormp_vm.Runner.run_batched ~config program fan in
+        (fin ~elapsed:result.Ormp_vm.Runner.elapsed, Some result.Ormp_vm.Runner.table)
+      end
+    in
     (match save with
     | Some path ->
       Ormp_persist.Whomp_io.save path p;
@@ -149,12 +199,15 @@ let whomp_cmd =
     Printf.printf "RASG baseline      : %d bytes\n" rb;
     Printf.printf "compression        : %.1f%% (RASG as base)\n"
       (100.0 *. float_of_int (rb - ob) /. float_of_int rb);
-    match show_grammar with
+    (match show_grammar with
     | None -> ()
     | Some dim -> (
       match List.assoc_opt dim p.Ormp_whomp.Whomp.dims with
       | Some g -> Format.printf "@.%s grammar:@.%a" dim Ormp_sequitur.Sequitur.pp g
-      | None -> Printf.eprintf "no dimension %S (instr/group/object/offset)\n" dim)
+      | None -> Printf.eprintf "no dimension %S (instr/group/object/offset)\n" dim));
+    match san_table with
+    | None -> ()
+    | Some table -> emit_sanitizer_report san ~table ~subject:workload
   in
   let show_grammar =
     Arg.(
@@ -171,15 +224,28 @@ let whomp_cmd =
   in
   Cmd.v
     (Cmd.info "whomp" ~doc:"Lossless object-relative profile (OMSG) vs the RASG baseline")
-    Term.(const run $ workload_arg $ seed_arg $ policy_arg $ show_grammar $ save)
+    Term.(
+      const run $ workload_arg $ seed_arg $ policy_arg $ show_grammar $ save
+      $ sanitize_arg)
 
 (* --- leap ----------------------------------------------------------- *)
 
 let leap_cmd =
-  let run workload seed policy budget show_deps show_strides save =
+  let run workload seed policy budget show_deps show_strides save sanitize =
     let program = find_program workload in
     let config = config_of ~seed ~policy in
-    let p = Ormp_leap.Leap.profile ~config ~budget program in
+    let san = Ormp_check.Sanitizer.create () in
+    let p, san_table =
+      if not sanitize then (Ormp_leap.Leap.profile ~config ~budget program, None)
+      else begin
+        let lb, fin =
+          Ormp_leap.Leap.sink_batched ~budget ~site_name:(Printf.sprintf "site%d") ()
+        in
+        let fan = Ormp_trace.Batch.fanout [ lb; Ormp_check.Sanitizer.batch san ] in
+        let result = Ormp_vm.Runner.run_batched ~config program fan in
+        (fin ~elapsed:result.Ormp_vm.Runner.elapsed, Some result.Ormp_vm.Runner.table)
+      end
+    in
     (match save with
     | Some path ->
       Ormp_persist.Leap_io.save path p;
@@ -206,7 +272,10 @@ let leap_cmd =
       List.iter
         (fun (i, s) -> Printf.printf "  instr %d: stride %d\n" i s)
         (Ormp_leap.Strides.strongly_strided p)
-    end
+    end;
+    match san_table with
+    | None -> ()
+    | Some table -> emit_sanitizer_report san ~table ~subject:workload
   in
   let budget =
     Arg.(
@@ -228,7 +297,7 @@ let leap_cmd =
     (Cmd.info "leap" ~doc:"Lossy object-relative LMAD profile and its post-processors")
     Term.(
       const run $ workload_arg $ seed_arg $ policy_arg $ budget $ show_deps $ show_strides
-      $ save)
+      $ save $ sanitize_arg)
 
 (* --- compare -------------------------------------------------------- *)
 
@@ -403,6 +472,121 @@ let post_cmd =
     (Cmd.info "post" ~doc:"Run the LEAP post-processors on a saved profile")
     Term.(const run $ path $ show_deps $ show_strides)
 
+(* --- check ----------------------------------------------------------- *)
+
+let check_cmd =
+  let run workload profile all seed policy faults leaks slack sexp =
+    if slack < 0 then begin
+      Printf.eprintf "--slack must be non-negative (got %d)\n" slack;
+      exit 2
+    end;
+    let check_workload name =
+      let config = config_of ~seed ~policy in
+      let program = find_program name in
+      let program = if faults then Ormp_workloads.Faults.inject program else program in
+      let r = Ormp_check.Sanitizer.run ~config ~slack ~leaks program in
+      if sexp then print_endline (Ormp_util.Sexp.to_string (Ormp_check.Report.to_sexp r))
+      else Format.printf "%a" Ormp_check.Report.render r;
+      Ormp_check.Report.clean r
+    in
+    let check_profile path =
+      match Ormp_persist.Whomp_io.load path with
+      | Ok p -> (
+        match Ormp_check.Verify.whomp_profile p with
+        | Ok () ->
+          Printf.printf "%s: WHOMP profile OK (%d accesses, %d objects)\n" path
+            p.Ormp_whomp.Whomp.collected
+            (List.length p.Ormp_whomp.Whomp.lifetimes);
+          true
+        | Error e ->
+          Printf.eprintf "%s: invalid WHOMP profile: %s\n" path e;
+          false)
+      | Error whomp_err -> (
+        match Ormp_persist.Leap_io.load path with
+        | Ok p -> (
+          match Ormp_check.Verify.leap_profile p with
+          | Ok () ->
+            Printf.printf "%s: LEAP profile OK (%d accesses, %d streams)\n" path
+              p.Ormp_leap.Leap.collected
+              (List.length p.Ormp_leap.Leap.streams);
+            true
+          | Error e ->
+            Printf.eprintf "%s: invalid LEAP profile: %s\n" path e;
+            false)
+        | Error leap_err ->
+          Printf.eprintf "%s: not a loadable profile\n  as WHOMP: %s\n  as LEAP: %s\n"
+            path whomp_err leap_err;
+          false)
+    in
+    let ok =
+      match (workload, profile, all) with
+      | Some w, None, false -> check_workload w
+      | None, Some f, false -> check_profile f
+      | None, None, true ->
+        let names =
+          List.map (fun e -> e.Registry.name) Registry.spec
+          @ List.map fst Ormp_workloads.Micro.all
+        in
+        List.fold_left (fun acc n -> check_workload n && acc) true names
+      | None, None, false ->
+        Printf.eprintf "one of --workload, --profile or --all is required\n";
+        exit 2
+      | _ ->
+        Printf.eprintf "--workload, --profile and --all are mutually exclusive\n";
+        exit 2
+    in
+    if not ok then exit 1
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "workload"; "w" ] ~docv:"WORKLOAD"
+          ~doc:"Sanitize one instrumented run of this workload.")
+  in
+  let profile =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "profile"; "p" ] ~docv:"FILE"
+          ~doc:"Verify the structural invariants of a saved WHOMP or LEAP profile.")
+  in
+  let all =
+    Arg.(value & flag & info [ "all" ] ~doc:"Sanitize every registered workload.")
+  in
+  let faults =
+    Arg.(
+      value & flag
+      & info [ "faults" ]
+          ~doc:
+            "Plant one defect of each class (use-after-free, out-of-bounds, double-free, \
+             leak, wild access) after the workload body — a sanitizer self-test; the run \
+             is expected to be dirty.")
+  in
+  let leaks =
+    Arg.(
+      value & flag
+      & info [ "leaks" ] ~doc:"Also report never-freed objects, one note per allocation site.")
+  in
+  let slack =
+    Arg.(
+      value
+      & opt int Ormp_check.Sanitizer.default_slack
+      & info [ "slack" ] ~docv:"BYTES"
+          ~doc:
+            "How far outside a live object an access may land and still be classified as \
+             out-of-bounds against it rather than as unmapped.")
+  in
+  let sexp =
+    Arg.(value & flag & info [ "sexp" ] ~doc:"Machine-readable s-expression report.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:"Sanitize a workload run or verify a saved profile's invariants")
+    Term.(
+      const run $ workload $ profile $ all $ seed_arg $ policy_arg $ faults $ leaks $ slack
+      $ sexp)
+
 (* --- analyze ---------------------------------------------------------- *)
 
 let analyze_cmd =
@@ -464,4 +648,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; trace_cmd; whomp_cmd; leap_cmd; compare_cmd; post_cmd; analyze_cmd; record_cmd; replay_cmd ]))
+          [ list_cmd; trace_cmd; whomp_cmd; leap_cmd; compare_cmd; check_cmd; post_cmd; analyze_cmd; record_cmd; replay_cmd ]))

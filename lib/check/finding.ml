@@ -1,0 +1,124 @@
+type severity = Error | Warning | Note
+
+let severity_name = function Error -> "error" | Warning -> "warning" | Note -> "note"
+let severity_rank = function Error -> 0 | Warning -> 1 | Note -> 2
+
+type kind =
+  | Use_after_free
+  | Out_of_bounds
+  | Double_free
+  | Invalid_free
+  | Unmapped_access
+  | Leak
+  | Overlapping_alloc
+
+let kind_name = function
+  | Use_after_free -> "use-after-free"
+  | Out_of_bounds -> "out-of-bounds"
+  | Double_free -> "double-free"
+  | Invalid_free -> "invalid-free"
+  | Unmapped_access -> "unmapped-access"
+  | Leak -> "leak"
+  | Overlapping_alloc -> "overlapping-alloc"
+
+let severity_of_kind = function
+  | Use_after_free | Out_of_bounds | Double_free | Invalid_free | Overlapping_alloc ->
+    Error
+  | Unmapped_access -> Warning
+  | Leak -> Note
+
+type object_info = {
+  group : string;
+  serial : int;
+  base : int;
+  size : int;
+  alloc_site : string;
+  alloc_time : int;
+  free_site : string option;
+  free_time : int option;
+}
+
+type t = {
+  kind : kind;
+  severity : severity;
+  instr : string option;
+  addr : int;
+  offset : int option;
+  obj : object_info option;
+  first_time : int;
+  count : int;
+}
+
+let make ?instr ?offset ?obj ~addr ~time kind =
+  {
+    kind;
+    severity = severity_of_kind kind;
+    instr;
+    addr;
+    offset;
+    obj;
+    first_time = time;
+    count = 1;
+  }
+
+let compare a b =
+  let c = Int.compare (severity_rank a.severity) (severity_rank b.severity) in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.first_time b.first_time in
+    if c <> 0 then c else Stdlib.compare (a.kind, a.addr) (b.kind, b.addr)
+
+let pp_obj fmt (o : object_info) =
+  Format.fprintf fmt "object %s#%d [%#x, +%d) allocated @t%d" o.group o.serial o.base
+    o.size o.alloc_time;
+  match o.free_time with
+  | None -> ()
+  | Some ft ->
+    Format.fprintf fmt ", freed @t%d%s" ft
+      (match o.free_site with None -> "" | Some s -> Printf.sprintf " by %s" s)
+
+let pp fmt t =
+  Format.fprintf fmt "%s %s:" (String.uppercase_ascii (severity_name t.severity))
+    (kind_name t.kind);
+  (match t.instr with Some i -> Format.fprintf fmt " %s" i | None -> ());
+  Format.fprintf fmt " addr %#x" t.addr;
+  (match t.offset with Some o -> Format.fprintf fmt " (offset %+d)" o | None -> ());
+  (match t.obj with Some o -> Format.fprintf fmt " in %a" pp_obj o | None -> ());
+  Format.fprintf fmt " — first @t%d" t.first_time;
+  if t.count > 1 then Format.fprintf fmt " ×%d" t.count
+
+let to_sexp t =
+  let module S = Ormp_util.Sexp in
+  let obj_fields =
+    match t.obj with
+    | None -> []
+    | Some o ->
+      [
+        S.field "object"
+          ([
+             S.field "group" [ S.atom o.group ];
+             S.field "serial" [ S.int o.serial ];
+             S.field "base" [ S.int o.base ];
+             S.field "size" [ S.int o.size ];
+             S.field "alloc-site" [ S.atom o.alloc_site ];
+             S.field "alloc-time" [ S.int o.alloc_time ];
+           ]
+          @ (match o.free_site with
+            | None -> []
+            | Some s -> [ S.field "free-site" [ S.atom s ] ])
+          @
+          match o.free_time with
+          | None -> []
+          | Some ft -> [ S.field "free-time" [ S.int ft ] ]);
+      ]
+  in
+  S.field "finding"
+    ([
+       S.field "kind" [ S.atom (kind_name t.kind) ];
+       S.field "severity" [ S.atom (severity_name t.severity) ];
+     ]
+    @ (match t.instr with None -> [] | Some i -> [ S.field "instr" [ S.atom i ] ])
+    @ [ S.field "addr" [ S.int t.addr ] ]
+    @ (match t.offset with None -> [] | Some o -> [ S.field "offset" [ S.int o ] ])
+    @ obj_fields
+    @ [ S.field "first-time" [ S.int t.first_time ]; S.field "count" [ S.int t.count ] ])

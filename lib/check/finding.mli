@@ -1,0 +1,70 @@
+(** One sanitizer finding — a memory-safety defect the checking layer
+    detected in the probe stream, attributed object-relatively.
+
+    Where a conventional sanitizer reports a raw address, ORMP-San reports
+    the same coordinates the profilers use: (group label, object serial,
+    offset), plus the allocation/free sites and times of the implicated
+    object. This is the object-relative view of §2.3 turned from a
+    profiling vocabulary into a diagnostic one. *)
+
+type severity =
+  | Error  (** definite memory-safety violation *)
+  | Warning  (** suspicious but conceivably intentional (unprofiled memory) *)
+  | Note  (** informational (e.g. never-freed objects) *)
+
+val severity_name : severity -> string
+val severity_rank : severity -> int
+(** 0 = most severe; for sorting. *)
+
+type kind =
+  | Use_after_free  (** access inside a freed object's former range *)
+  | Out_of_bounds  (** access just outside a live object (within slack) *)
+  | Double_free  (** free of an already-freed object's base *)
+  | Invalid_free  (** free of an address that is not a live object base *)
+  | Unmapped_access  (** access to memory no object ever covered nearby *)
+  | Leak  (** object still live at end of run (reported only on request) *)
+  | Overlapping_alloc  (** allocation overlapping a live object: corrupt stream *)
+
+val kind_name : kind -> string
+
+val severity_of_kind : kind -> severity
+(** [Error] for the definite violations, [Warning] for
+    {!Unmapped_access}, [Note] for {!Leak}. *)
+
+type object_info = {
+  group : string;  (** group label (allocation-site name) *)
+  serial : int;  (** object id within the group, dense from 0 *)
+  base : int;
+  size : int;
+  alloc_site : string;
+  alloc_time : int;
+  free_site : string option;
+  free_time : int option;
+}
+
+type t = {
+  kind : kind;
+  severity : severity;
+  instr : string option;  (** faulting program point, when the event had one *)
+  addr : int;  (** faulting raw address *)
+  offset : int option;  (** object-relative offset, when an object is implicated *)
+  obj : object_info option;
+  first_time : int;  (** sanitizer clock at the first occurrence *)
+  count : int;  (** occurrences folded into this finding *)
+}
+
+val make :
+  ?instr:string ->
+  ?offset:int ->
+  ?obj:object_info ->
+  addr:int ->
+  time:int ->
+  kind ->
+  t
+(** A fresh single-occurrence finding; severity is derived from the kind. *)
+
+val compare : t -> t -> int
+(** Severity-major order (errors first), then first occurrence time. *)
+
+val pp : Format.formatter -> t -> unit
+val to_sexp : t -> Ormp_util.Sexp.t

@@ -1,0 +1,35 @@
+type t = {
+  subject : string;
+  findings : Finding.t list;
+  accesses : int;
+  allocs : int;
+  frees : int;
+}
+
+let count sev t =
+  List.length (List.filter (fun (f : Finding.t) -> f.severity = sev) t.findings)
+
+let errors t = count Finding.Error t
+let warnings t = count Finding.Warning t
+let notes t = count Finding.Note t
+let clean t = errors t = 0 && warnings t = 0
+
+let render fmt t =
+  Format.fprintf fmt "ormp-san: %s — %d error(s), %d warning(s), %d note(s)@."
+    t.subject (errors t) (warnings t) (notes t);
+  Format.fprintf fmt "  accesses %d, allocs %d, frees %d@." t.accesses t.allocs t.frees;
+  List.iter (fun f -> Format.fprintf fmt "  %a@." Finding.pp f) t.findings
+
+let to_sexp t =
+  let module S = Ormp_util.Sexp in
+  S.field "ormp-check-report"
+    ([
+       S.field "subject" [ S.atom t.subject ];
+       S.field "errors" [ S.int (errors t) ];
+       S.field "warnings" [ S.int (warnings t) ];
+       S.field "notes" [ S.int (notes t) ];
+       S.field "accesses" [ S.int t.accesses ];
+       S.field "allocs" [ S.int t.allocs ];
+       S.field "frees" [ S.int t.frees ];
+     ]
+    @ List.map Finding.to_sexp t.findings)

@@ -1,0 +1,21 @@
+(** A sanitizer run's findings, severity-ranked, with a human renderer and
+    a machine-readable s-expression form. *)
+
+type t = {
+  subject : string;  (** what was checked — workload or profile path *)
+  findings : Finding.t list;  (** sorted by {!Finding.compare} *)
+  accesses : int;  (** accesses observed by the sanitizer *)
+  allocs : int;
+  frees : int;
+}
+
+val errors : t -> int
+val warnings : t -> int
+val notes : t -> int
+
+val clean : t -> bool
+(** No errors and no warnings (notes — e.g. leak reports — do not make a
+    run dirty; registered workloads legitimately never free). *)
+
+val render : Format.formatter -> t -> unit
+val to_sexp : t -> Ormp_util.Sexp.t

@@ -23,7 +23,7 @@ let sink t =
         t.on_wild ev)
     | Alloc { site; addr; size; type_name } ->
       Omc.on_alloc t.omc ~time:t.clock ~site ~addr ~size ~type_name
-    | Free { addr; _ } -> Omc.on_free t.omc ~time:t.clock ~addr
+    | Free { addr; site } -> Omc.on_free ?site t.omc ~time:t.clock ~addr
 
 let batch ?capacity t =
   let capacity =
@@ -74,7 +74,7 @@ let batch ?capacity t =
     match ev with
     | Alloc { site; addr; size; type_name } ->
       Omc.on_alloc t.omc ~time:t.clock ~site ~addr ~size ~type_name
-    | Free { addr; _ } -> Omc.on_free t.omc ~time:t.clock ~addr
+    | Free { addr; site } -> Omc.on_free ?site t.omc ~time:t.clock ~addr
     | Access _ -> assert false (* batches route accesses through on_chunk *)
   in
   Ormp_trace.Batch.create ~capacity ~on_chunk ~on_event ()

@@ -12,6 +12,7 @@ type lifetime = {
   size : int;
   alloc_time : int;
   mutable free_time : int option;
+  mutable free_site : int option;
 }
 
 type group_key = By_site of int | By_type of string
@@ -46,7 +47,15 @@ type t = {
 (* Cache slot for instructions that have not hit yet: an empty range at the
    top of the address space, so the validity check fails for every addr. *)
 let sentinel =
-  { group = -1; serial = -1; base = max_int; size = 0; alloc_time = 0; free_time = None }
+  {
+    group = -1;
+    serial = -1;
+    base = max_int;
+    size = 0;
+    alloc_time = 0;
+    free_time = None;
+    free_site = None;
+  }
 
 let create ?(grouping = `Site) ~site_name () =
   {
@@ -83,16 +92,25 @@ let group_of t ~site ~type_name =
 let on_alloc t ~time ~site ~addr ~size ~type_name =
   let g = group_of t ~site ~type_name in
   let lt =
-    { group = g.g_id; serial = g.g_population; base = addr; size; alloc_time = time; free_time = None }
+    {
+      group = g.g_id;
+      serial = g.g_population;
+      base = addr;
+      size;
+      alloc_time = time;
+      free_time = None;
+      free_site = None;
+    }
   in
   g.g_population <- g.g_population + 1;
   Ri.insert t.index ~base:addr ~size lt;
   Vec.push t.all lt
 
-let on_free t ~time ~addr =
+let on_free ?site t ~time ~addr =
   match Ri.find t.index addr with
   | Some (base, _, lt) when base = addr ->
     lt.free_time <- Some time;
+    lt.free_site <- site;
     ignore (Ri.remove t.index ~base)
   | _ -> t.unknown_frees <- t.unknown_frees + 1
 

@@ -29,6 +29,10 @@ type lifetime = {
   size : int;
   alloc_time : int;
   mutable free_time : int option;  (** [None] while live / never freed *)
+  mutable free_site : int option;
+      (** the static free-site program point, when the destruction probe
+          carried one — the attribution the checking layer reports as
+          "freed at site f @t" *)
 }
 
 type t
@@ -42,8 +46,9 @@ val on_alloc : t -> time:int -> site:int -> addr:int -> size:int -> type_name:st
 (** Object-creation probe. @raise Invalid_argument if the range overlaps a
     live object (a substrate bug). *)
 
-val on_free : t -> time:int -> addr:int -> unit
-(** Object-destruction probe; unknown addresses are counted but ignored. *)
+val on_free : ?site:int -> t -> time:int -> addr:int -> unit
+(** Object-destruction probe; [site] is the free-site program point when
+    the probe carried one. Unknown addresses are counted but ignored. *)
 
 val translate : t -> int -> (int * int * int) option
 (** [translate t addr] is [Some (group, object-serial, offset)] for the

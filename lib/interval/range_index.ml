@@ -144,6 +144,24 @@ let find t addr =
   | Some n when addr >= n.base && addr < n.base + n.size -> Some (n.base, n.size, n.value)
   | _ -> None
 
+let find_nearest_below t addr =
+  let rec go best = function
+    | None -> best
+    | Some n -> if addr < n.base then go best n.left else go (Some n) n.right
+  in
+  match go None t.root with
+  | Some n -> Some (n.base, n.size, n.value)
+  | None -> None
+
+let find_nearest_above t addr =
+  let rec go best = function
+    | None -> best
+    | Some n -> if n.base > addr then go (Some n) n.left else go best n.right
+  in
+  match go None t.root with
+  | Some n -> Some (n.base, n.size, n.value)
+  | None -> None
+
 let mem t addr = Option.is_some (find t addr)
 
 let cardinal t = t.count

@@ -28,6 +28,15 @@ val find : 'a t -> int -> (int * int * 'a) option
 (** [find t addr] returns [(base, size, v)] for the unique live range
     containing [addr], if any. *)
 
+val find_nearest_below : 'a t -> int -> (int * int * 'a) option
+(** [find_nearest_below t addr] is the range with the greatest [base <=
+    addr] (which may or may not contain [addr]), if any. Together with
+    {!find_nearest_above} this answers proximity queries — e.g. "which
+    object does this out-of-bounds address sit just past?". *)
+
+val find_nearest_above : 'a t -> int -> (int * int * 'a) option
+(** The range with the least [base > addr], if any. *)
+
 val mem : 'a t -> int -> bool
 (** Whether some live range contains the address. *)
 

@@ -176,6 +176,11 @@ let size_of t base =
   | Some (b, _, requested) when b = base -> Some requested
   | _ -> None
 
+let block_at t addr =
+  match Ri.find t.live addr with
+  | Some (base, _, requested) -> Some (base, requested)
+  | None -> None
+
 let live_blocks t = Ri.cardinal t.live
 let live_bytes t = t.live_bytes
 let total_allocs t = t.total_allocs

@@ -41,6 +41,12 @@ val free : t -> int -> unit
 val size_of : t -> int -> int option
 (** Size of the live block at exactly this base address, if any. *)
 
+val block_at : t -> int -> (int * int) option
+(** [(base, size)] of the live block whose reserved extent contains the
+    address, if any — lets a caller probe whether an arbitrary address is
+    mapped (the fault-injection harness uses this to pick genuinely
+    unmapped addresses). *)
+
 val live_blocks : t -> int
 (** Number of currently live blocks. *)
 

@@ -222,5 +222,10 @@ let of_sexp t =
   | _ -> Error "not an ormp-leap-profile"
 
 let load path =
-  let* t = S.load path in
-  of_sexp t
+  (* Mirror Whomp_io.load: no exception from a corrupt file may escape. *)
+  match
+    let* t = S.load path in
+    of_sexp t
+  with
+  | result -> result
+  | exception exn -> Error (Printf.sprintf "corrupt profile %s: %s" path (Printexc.to_string exn))

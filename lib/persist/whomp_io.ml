@@ -3,7 +3,8 @@ module Seq_c = Ormp_sequitur.Sequitur
 module W = Ormp_whomp.Whomp
 module Omc = Ormp_core.Omc
 
-let version = 1
+(* Version 2 added the free-site column to object records. *)
+let version = 2
 
 let ( let* ) = Result.bind
 
@@ -47,6 +48,7 @@ let lifetime_to_sexp (l : Omc.lifetime) =
       S.int l.Omc.size;
       S.int l.Omc.alloc_time;
       S.int (match l.Omc.free_time with None -> -1 | Some t -> t);
+      S.int (match l.Omc.free_site with None -> -1 | Some s -> s);
     ]
 
 let to_sexp (p : W.profile) =
@@ -104,20 +106,28 @@ let grammar_of_sexp args =
   if not (Hashtbl.mem rules 0) then Error "grammar has no start rule"
   else begin
     let memo = Hashtbl.create 64 in
+    let expanding = Hashtbl.create 16 in
     let rec expand id =
       match Hashtbl.find_opt memo id with
       | Some e -> Ok e
-      | None -> (
-        match Hashtbl.find_opt rules id with
-        | None -> Error (Printf.sprintf "dangling rule R%d" id)
-        | Some rhs ->
-          let* parts =
-            collect_results
-              (List.map (function `T v -> Ok [ v ] | `N r -> expand r) rhs)
-          in
-          let e = List.concat parts in
-          Hashtbl.replace memo id e;
-          Ok e)
+      | None ->
+        if Hashtbl.mem expanding id then
+          (* A corrupted file can reference a rule from its own expansion;
+             without this check the recursion would never terminate. *)
+          Error (Printf.sprintf "cyclic rule R%d" id)
+        else (
+          match Hashtbl.find_opt rules id with
+          | None -> Error (Printf.sprintf "dangling rule R%d" id)
+          | Some rhs ->
+            Hashtbl.replace expanding id ();
+            let* parts =
+              collect_results
+                (List.map (function `T v -> Ok [ v ] | `N r -> expand r) rhs)
+            in
+            Hashtbl.remove expanding id;
+            let e = List.concat parts in
+            Hashtbl.replace memo id e;
+            Ok e)
     in
     let* terminals = expand 0 in
     let g = Seq_c.create () in
@@ -138,7 +148,7 @@ let group_of_sexp args =
 let lifetime_of_sexp args =
   let* xs = int_list args in
   match xs with
-  | [ group; serial; base; size; alloc_time; free ] ->
+  | [ group; serial; base; size; alloc_time; free; free_site ] ->
     Ok
       {
         Omc.group;
@@ -147,6 +157,7 @@ let lifetime_of_sexp args =
         size;
         alloc_time;
         free_time = (if free < 0 then None else Some free);
+        free_site = (if free_site < 0 then None else Some free_site);
       }
   | _ -> Error "bad object record"
 
@@ -175,5 +186,13 @@ let of_sexp t =
   | _ -> Error "not an ormp-whomp-profile"
 
 let load path =
-  let* t = S.load path in
-  of_sexp t
+  (* A malformed file must never escape as an exception: Sexp.load already
+     returns [Error] for I/O and parse failures, and this wrapper converts
+     anything the structural decoding raises (e.g. Sequitur rejecting an
+     impossible rebuilt sequence) into one too. *)
+  match
+    let* t = S.load path in
+    of_sexp t
+  with
+  | result -> result
+  | exception exn -> Error (Printf.sprintf "corrupt profile %s: %s" path (Printexc.to_string exn))

@@ -23,6 +23,9 @@ type t = {
   capacity : int;
   on_chunk : chunk -> unit;
   on_event : Event.t -> unit;
+  children : t list;
+      (** downstream batches fed by [on_chunk]/[on_event] (fanout); they
+          buffer independently, so {!flush} cascades into them *)
 }
 
 let create ?(capacity = default_capacity) ~on_chunk ~on_event () =
@@ -39,13 +42,15 @@ let create ?(capacity = default_capacity) ~on_chunk ~on_event () =
     capacity;
     on_chunk;
     on_event;
+    children = [];
   }
 
-let flush t =
+let rec flush t =
   if t.chunk.len > 0 then begin
     t.on_chunk t.chunk;
     t.chunk.len <- 0
-  end
+  end;
+  List.iter flush t.children
 
 let[@inline] on_access t ~instr ~addr ~size ~is_store =
   let c = t.chunk in
@@ -69,6 +74,36 @@ let event t (ev : Event.t) =
   | Alloc _ | Free _ ->
     flush t;
     t.on_event ev
+
+let fanout ?(capacity = default_capacity) children =
+  if capacity <= 0 then invalid_arg "Batch.fanout: capacity must be positive";
+  let t =
+    {
+      chunk =
+        {
+          instr = Array.make capacity 0;
+          addr = Array.make capacity 0;
+          size = Array.make capacity 0;
+          store = Array.make capacity 0;
+          len = 0;
+        };
+      capacity;
+      on_chunk =
+        (fun c ->
+          List.iter
+            (fun child ->
+              for i = 0 to c.len - 1 do
+                on_access child ~instr:(Array.unsafe_get c.instr i)
+                  ~addr:(Array.unsafe_get c.addr i)
+                  ~size:(Array.unsafe_get c.size i)
+                  ~is_store:(Array.unsafe_get c.store i <> 0)
+              done)
+            children);
+      on_event = (fun ev -> List.iter (fun child -> event child ev) children);
+      children;
+    }
+  in
+  t
 
 let of_sink ?capacity (sink : Sink.t) =
   create ?capacity

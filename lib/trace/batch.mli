@@ -56,6 +56,15 @@ val event : t -> Event.t -> unit
 val flush : t -> unit
 (** Deliver any buffered accesses now. Call once at end of run. *)
 
+val fanout : ?capacity:int -> t list -> t
+(** One batch feeding several: every access and event is replayed, in
+    order, into each child batch, so one instrumented run can drive
+    several batch-aware consumers (e.g. a profiler plus the sanitizer)
+    without re-executing the workload. Children buffer independently and
+    flush at their own chunk boundaries; {!flush} on the fanout cascades
+    into every child, so the usual end-of-run flush still drains
+    everything. @raise Invalid_argument on capacity <= 0. *)
+
 val of_sink : ?capacity:int -> Sink.t -> t
 (** Adapter: a batch whose consumer re-boxes each chunk entry into
     {!Event.Access} records for a legacy per-event sink. *)

@@ -76,6 +76,8 @@ let free t ~site o =
   Ormp_memsim.Allocator.free t.heap o.base;
   emit_event t (Event.Free { addr = o.base; site = Some site })
 
+let free_raw t ?site a = emit_event t (Event.Free { addr = a; site })
+
 let addr o = o.base
 let obj_size o = o.size
 

@@ -69,6 +69,12 @@ val load_raw : t -> instr:int -> ?size:int -> int -> unit
 
 val store_raw : t -> instr:int -> ?size:int -> int -> unit
 
+val free_raw : t -> ?site:int -> int -> unit
+(** Emit a destruction probe for a raw address without touching the
+    allocator — the double-free analogue of {!load_raw}. The fault
+    harness uses this to plant invalid frees the allocator itself would
+    refuse to perform. *)
+
 (** Custom allocation pools (§3.1 footnote). By default a pool is profiled
     as a single object; with [~expose_pieces:true] the profiler instead
     "manually target[s] the custom alloc/dealloc functions": every piece

@@ -1,0 +1,84 @@
+module E = Ormp_vm.Engine
+
+type defect = Uaf | Oob | Double_free | Leak | Wild
+
+let all = [ Uaf; Oob; Double_free; Leak; Wild ]
+
+let name = function
+  | Uaf -> "uaf"
+  | Oob -> "oob"
+  | Double_free -> "double-free"
+  | Leak -> "leak"
+  | Wild -> "wild"
+
+(* Probe an address range the simulated program never maps: start well
+   above the heap segment and skip over any block that happens to live
+   there. *)
+let unmapped_addr e =
+  let rec go addr =
+    match Ormp_memsim.Allocator.block_at (E.allocator e) addr with
+    | None -> addr
+    | Some (base, size) -> go (base + size + 0x10000)
+  in
+  go 0x7fff_0000
+
+let plant e defects =
+  let has d = List.mem d defects in
+  (* Allocate every victim before planting any defect: a later allocation
+     could reuse a freed victim's address range, which (correctly) evicts
+     it from the sanitizer's graveyard and would mask the planted fault. *)
+  let uaf_victim =
+    if has Uaf then
+      let site = E.instr e ~name:"fault:uaf-alloc" Ormp_trace.Instr.Alloc_site in
+      Some (site, E.alloc e ~site 64)
+    else None
+  and df_victim =
+    if has Double_free then
+      let site = E.instr e ~name:"fault:df-alloc" Ormp_trace.Instr.Alloc_site in
+      Some (E.alloc e ~site 64)
+    else None
+  and oob_victim =
+    if has Oob then
+      let site = E.instr e ~name:"fault:oob-alloc" Ormp_trace.Instr.Alloc_site in
+      (* 57 bytes: the 16-byte-aligned reserved extent is 64, so offsets
+         57..63 are outside the object yet inside its own reservation —
+         guaranteed not to land in a neighbouring live object. *)
+      Some (E.alloc e ~site 57)
+    else None
+  in
+  if has Leak then begin
+    let site = E.instr e ~name:"fault:leak-alloc" Ormp_trace.Instr.Alloc_site in
+    ignore (E.alloc e ~site 48)
+  end;
+  (match uaf_victim with
+  | None -> ()
+  | Some (_, v) ->
+    let fsite = E.instr e ~name:"fault:uaf-free" Ormp_trace.Instr.Free_site in
+    let load = E.instr e ~name:"fault:uaf-load" Ormp_trace.Instr.Load in
+    E.free e ~site:fsite v;
+    E.load_raw e ~instr:load (E.addr v + 24));
+  (match df_victim with
+  | None -> ()
+  | Some v ->
+    let fsite = E.instr e ~name:"fault:df-free" Ormp_trace.Instr.Free_site in
+    let refree = E.instr e ~name:"fault:df-refree" Ormp_trace.Instr.Free_site in
+    E.free e ~site:fsite v;
+    E.free_raw e ~site:refree (E.addr v));
+  (match oob_victim with
+  | None -> ()
+  | Some v ->
+    let load = E.instr e ~name:"fault:oob-load" Ormp_trace.Instr.Load in
+    E.load_raw e ~instr:load (E.addr v + 60));
+  if has Wild then begin
+    let load = E.instr e ~name:"fault:wild-load" Ormp_trace.Instr.Load in
+    E.load_raw e ~instr:load (unmapped_addr e)
+  end
+
+let inject ?(defects = all) (p : Ormp_vm.Program.t) =
+  Ormp_vm.Program.make
+    ~name:(p.name ^ "+faults")
+    ~description:(p.description ^ " (with planted memory defects)")
+    ~statics:p.statics
+    (fun e ->
+      p.run e;
+      plant e defects)

@@ -1,0 +1,23 @@
+(** Fault injection for sanitizer validation.
+
+    Wraps any workload so that, after its normal body runs, it plants one
+    instance of each requested memory-defect class at dedicated,
+    recognizably-named program points ([fault:uaf-load],
+    [fault:df-refree], ...). The sanitizer must attribute every planted
+    defect to exactly these sites — that is what the acceptance tests
+    assert — and must report nothing extra on the unwrapped workload. *)
+
+type defect =
+  | Uaf  (** free an object, then load from inside its former range *)
+  | Oob  (** load a few bytes past the end of a live object *)
+  | Double_free  (** free the same base twice *)
+  | Leak  (** allocate from a dedicated site and never free *)
+  | Wild  (** load from an address no object ever covered *)
+
+val all : defect list
+
+val name : defect -> string
+
+val inject : ?defects:defect list -> Ormp_vm.Program.t -> Ormp_vm.Program.t
+(** [inject p] is a program named [p.name ^ "+faults"] that runs [p] and
+    then plants [defects] (default {!all}). *)

@@ -11,6 +11,7 @@ open Ormp_vm
 
 let check_string = Alcotest.(check string)
 let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
 
 let churn = Ormp_workloads.Micro.churn ~live:24 ~ops:3000 ()
 let site_name = Printf.sprintf "site%d"
@@ -114,6 +115,76 @@ let test_stale_mru_shrunk_object () =
     check_int "offset in the shrunk object" 32 off
   | None -> Alcotest.fail "in-range address must translate"
 
+(* ------------------------------------------------------------------ *)
+(* Fanout: one run driving several batched consumers                   *)
+(* ------------------------------------------------------------------ *)
+
+module Batch = Ormp_trace.Batch
+module Event = Ormp_trace.Event
+
+(* A child that records the exact event sequence it observes, re-boxed
+   through the legacy sink adapter. *)
+let recorder ~capacity =
+  let seen = ref [] in
+  let b = Batch.of_sink ~capacity (fun ev -> seen := ev :: !seen) in
+  (b, fun () -> List.rev !seen)
+
+let script =
+  List.concat_map
+    (fun i ->
+      [
+        Event.Alloc { site = i; addr = 0x100 * (i + 1); size = 32; type_name = None };
+        Event.Access
+          { instr = i; addr = (0x100 * (i + 1)) + 8; size = 8; is_store = i mod 2 = 0 };
+        Event.Access { instr = i; addr = (0x100 * (i + 1)) + 16; size = 8; is_store = false };
+        Event.Free { addr = 0x100 * (i + 1); site = Some (100 + i) };
+      ])
+    (List.init 37 Fun.id)
+
+(* Children with different capacities flush at different chunk
+   boundaries; both must still observe the exact event sequence. *)
+let test_fanout_order_preserved () =
+  let c1, seen1 = recorder ~capacity:4 and c2, seen2 = recorder ~capacity:64 in
+  let f = Batch.fanout ~capacity:16 [ c1; c2 ] in
+  List.iter (Batch.event f) script;
+  Batch.flush f;
+  check_bool "small-capacity child saw the script" true (seen1 () = script);
+  check_bool "large-capacity child saw the script" true (seen2 () = script)
+
+(* flush on the fanout must cascade into children even when the fanout's
+   own buffer is empty but a child still holds accesses. *)
+let test_fanout_flush_cascades () =
+  let c, seen = recorder ~capacity:1024 in
+  let f = Batch.fanout ~capacity:2 [ c ] in
+  Batch.on_access f ~instr:1 ~addr:0x10 ~size:8 ~is_store:false;
+  Batch.on_access f ~instr:1 ~addr:0x18 ~size:8 ~is_store:false;
+  (* The fanout's 2-entry buffer has flushed into the child, whose own
+     1024-entry buffer is still pending. *)
+  check_int "child buffers until flushed" 0 (List.length (seen ()));
+  Batch.flush f;
+  check_int "cascaded flush drains the child" 2 (List.length (seen ()))
+
+(* A profiler and the sanitizer sharing one fanout must each see a
+   faithful stream: the profiler's batched profile equals a direct run,
+   and the sanitizer still pins the planted defect. *)
+let test_fanout_profiler_plus_sanitizer () =
+  let p = Ormp_workloads.Faults.inject ~defects:[ Ormp_workloads.Faults.Uaf ] churn in
+  let wb, wfin = Ormp_whomp.Whomp.sink_batched ~site_name () in
+  let san = Ormp_check.Sanitizer.create () in
+  let f = Batch.fanout [ wb; Ormp_check.Sanitizer.batch san ] in
+  ignore (Runner.run_batched p f);
+  let shared = wfin ~elapsed:0.0 in
+  let direct =
+    let b, fin = Ormp_whomp.Whomp.sink_batched ~site_name () in
+    ignore (Runner.run_batched p b);
+    fin ~elapsed:0.0
+  in
+  check_string "profile unchanged by fanout"
+    (Ormp_util.Sexp.to_string (Ormp_persist.Whomp_io.to_sexp direct))
+    (Ormp_util.Sexp.to_string (Ormp_persist.Whomp_io.to_sexp shared));
+  let report = Ormp_check.Sanitizer.finish ~site_name ~subject:p.Ormp_vm.Program.name san in
+  check_int "sanitizer saw the planted uaf" 1 (Ormp_check.Report.errors report)
+
 let () =
   Alcotest.run "batch"
     [
@@ -129,5 +200,13 @@ let () =
             test_stale_mru_invalidated;
           Alcotest.test_case "shrunk realloc at same base" `Quick
             test_stale_mru_shrunk_object;
+        ] );
+      ( "fanout",
+        [
+          Alcotest.test_case "order preserved across children" `Quick
+            test_fanout_order_preserved;
+          Alcotest.test_case "flush cascades" `Quick test_fanout_flush_cascades;
+          Alcotest.test_case "profiler + sanitizer share one run" `Quick
+            test_fanout_profiler_plus_sanitizer;
         ] );
     ]

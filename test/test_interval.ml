@@ -118,6 +118,70 @@ let test_many_sequential () =
   ok t;
   check_int "remaining" 500 (Range_index.cardinal t)
 
+let test_nearest_queries () =
+  let t = Range_index.create () in
+  check_bool "below on empty" true (Range_index.find_nearest_below t 50 = None);
+  check_bool "above on empty" true (Range_index.find_nearest_above t 50 = None);
+  List.iter (fun b -> Range_index.insert t ~base:b ~size:8 b) [ 10; 40; 100 ];
+  (* Below: greatest base <= addr, containment not required. *)
+  check_bool "below between ranges" true
+    (Range_index.find_nearest_below t 60 = Some (40, 8, 40));
+  check_bool "below inside a range" true
+    (Range_index.find_nearest_below t 43 = Some (40, 8, 40));
+  check_bool "below at a base" true (Range_index.find_nearest_below t 40 = Some (40, 8, 40));
+  check_bool "below everything" true (Range_index.find_nearest_below t 9 = None);
+  check_bool "below past the top" true
+    (Range_index.find_nearest_below t 10_000 = Some (100, 8, 100));
+  (* Above: least base > addr, strictly. *)
+  check_bool "above between ranges" true
+    (Range_index.find_nearest_above t 60 = Some (100, 8, 100));
+  check_bool "above at a base is strict" true
+    (Range_index.find_nearest_above t 40 = Some (100, 8, 100));
+  check_bool "above from below everything" true
+    (Range_index.find_nearest_above t 0 = Some (10, 8, 10));
+  check_bool "above past the top" true (Range_index.find_nearest_above t 100 = None);
+  ok t
+
+(* Nearest queries against the naive model under random churn. *)
+let prop_nearest_model =
+  QCheck.Test.make ~name:"nearest queries agree with naive model" ~count:300
+    QCheck.(pair (int_range 1 1000) (int_range 1 60))
+    (fun (seed, queries) ->
+      let rng = Prng.create ~seed in
+      let t = Range_index.create () in
+      let model = ref [] in
+      for _ = 1 to 60 do
+        let base = Prng.int rng 50 * 10 in
+        if Prng.chance rng 0.6 then begin
+          if not (List.exists (fun (b, _) -> b < base + 8 && base < b + 8) !model) then begin
+            Range_index.insert t ~base ~size:8 base;
+            model := (base, 8) :: !model
+          end
+        end
+        else if List.mem_assoc base !model then begin
+          ignore (Range_index.remove t ~base);
+          model := List.remove_assoc base !model
+        end
+      done;
+      let below addr =
+        List.filter (fun (b, _) -> b <= addr) !model
+        |> List.fold_left (fun acc (b, s) ->
+               match acc with Some (b', _, _) when b' >= b -> acc | _ -> Some (b, s, b))
+             None
+      and above addr =
+        List.filter (fun (b, _) -> b > addr) !model
+        |> List.fold_left (fun acc (b, s) ->
+               match acc with Some (b', _, _) when b' <= b -> acc | _ -> Some (b, s, b))
+             None
+      in
+      let agree = ref true in
+      for _ = 1 to queries do
+        let addr = Prng.int rng 600 in
+        if Range_index.find_nearest_below t addr <> below addr then agree := false;
+        if Range_index.find_nearest_above t addr <> above addr then agree := false
+      done;
+      !agree)
+
 (* Model-based property test: the index must agree with a naive association
    list under a random schedule of inserts, removes and queries. *)
 let prop_model =
@@ -198,6 +262,8 @@ let () =
           tc "iter order" test_iter_order;
           tc "max live" test_max_live;
           tc "many sequential" test_many_sequential;
+          tc "nearest queries" test_nearest_queries;
+          QCheck_alcotest.to_alcotest prop_nearest_model;
           QCheck_alcotest.to_alcotest prop_model;
           QCheck_alcotest.to_alcotest prop_balance;
         ] );

@@ -134,6 +134,94 @@ let test_leap_load_errors () =
   Sys.remove path
 
 (* ------------------------------------------------------------------ *)
+(* Corruption paths: load must return Error, never raise               *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  let ic = open_in_bin path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  s
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let with_tempfile f =
+  let path = Filename.temp_file "ormp_corrupt" ".ormp" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None else if String.sub s i m = sub then Some i else go (i + 1)
+  in
+  go 0
+
+(* Rewrite the first "(field ...)" occurrence to "(field value)"; the
+   saved formats keep scalar fields flat, so scanning to the next ')'
+   is safe. *)
+let replace_field field value s =
+  match find_sub s ("(" ^ field) with
+  | None -> Alcotest.failf "field %s not present in file" field
+  | Some i ->
+    let j = String.index_from s i ')' in
+    String.sub s 0 i
+    ^ Printf.sprintf "(%s %s" field value
+    ^ String.sub s j (String.length s - j)
+
+(* Every mutation of a valid profile file must come back as a clean
+   [Error _] from load — a raised exception here would take down any
+   tool that inspects untrusted profile files. *)
+let corruption_cases load save =
+  let errs name loader = check_bool name true (Result.is_error loader) in
+  with_tempfile (fun path ->
+      save path;
+      let good = read_file path in
+      (* Sanity: the untouched file still loads. *)
+      check_bool "pristine file loads" true (Result.is_ok (load path));
+      write_file path (String.sub good 0 (String.length good / 2));
+      errs "truncated to half" (load path);
+      write_file path (String.sub good 0 (String.length good - 2));
+      errs "closing paren missing" (load path);
+      write_file path (replace_field "collected" "banana" good);
+      errs "non-numeric count" (load path);
+      write_file path (replace_field "version" "99" good);
+      errs "future version" (load path);
+      write_file path "";
+      errs "empty file" (load path))
+
+let test_leap_corruption () =
+  let p = leap_profile (Ormp_workloads.Micro.hash_probe ~buckets:128 ~ops:1024 ()) in
+  corruption_cases Ormp_persist.Leap_io.load (fun path -> Ormp_persist.Leap_io.save path p)
+
+let test_whomp_corruption () =
+  let p = Ormp_whomp.Whomp.profile (Ormp_workloads.Micro.churn ~live:8 ~ops:600 ()) in
+  corruption_cases Ormp_persist.Whomp_io.load (fun path -> Ormp_persist.Whomp_io.save path p)
+
+(* A grammar whose rules reference each other in a cycle would send a
+   naive expander into an infinite loop; the loader must detect it. *)
+let test_whomp_cyclic_grammar () =
+  let p = Ormp_whomp.Whomp.profile (Ormp_workloads.Micro.matrix ~n:4 ()) in
+  with_tempfile (fun path ->
+      Ormp_persist.Whomp_io.save path p;
+      let good = read_file path in
+      (* Insert a self-reference at the head of the first start rule:
+         "(rule 0 ..." becomes "(rule 0 R0 ...", so expanding R0 visits
+         R0 again. *)
+      let cyclic =
+        match find_sub good "(rule 0" with
+        | None -> Alcotest.fail "no start rule in file"
+        | Some i ->
+          String.sub good 0 (i + 7) ^ " R0" ^ String.sub good (i + 7) (String.length good - i - 7)
+      in
+      write_file path cyclic;
+      check_bool "cyclic grammar rejected" true
+        (Result.is_error (Ormp_persist.Whomp_io.load path)))
+
+(* ------------------------------------------------------------------ *)
 (* WHOMP profile round-trip                                            *)
 (* ------------------------------------------------------------------ *)
 
@@ -191,10 +279,13 @@ let () =
           tc "roundtrip (regular)" test_leap_roundtrip_regular;
           tc "roundtrip (lossy)" test_leap_roundtrip_lossy;
           tc "load errors" test_leap_load_errors;
+          tc "corruption paths" test_leap_corruption;
         ] );
       ( "whomp",
         [
           tc "roundtrip" test_whomp_roundtrip;
           tc "expand after load" test_whomp_expand_after_load;
+          tc "corruption paths" test_whomp_corruption;
+          tc "cyclic grammar" test_whomp_cyclic_grammar;
         ] );
     ]
