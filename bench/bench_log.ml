@@ -14,10 +14,24 @@ type hotpath = {
 
 type suite_row = { suite_name : string; suite_events : int; suite_elapsed_s : float }
 
+(* Non-timing durability figures from the recovery section: how big the
+   on-disk safety net is and how fast a killed session comes back. *)
+type recovery = {
+  rc_workload : string;
+  rc_events : int;  (** raw events in the full session *)
+  rc_checkpoints : int;  (** snapshots the uninterrupted run writes *)
+  rc_snapshot_bytes : int;  (** newest snapshot, sealed size on disk *)
+  rc_journal_bytes : int;  (** write-ahead journal at the kill point *)
+  rc_resume_s : float;  (** wall time of resume after the injected kill *)
+  rc_replayed : int;  (** journal-tail events replayed on resume *)
+  rc_identical : bool;  (** resumed profiles byte-identical to reference *)
+}
+
 type t = {
   mode : string;  (** "fast" or "paper" *)
   mutable sections : (string * float) list;  (** reverse execution order *)
   mutable hotpath : hotpath option;
+  mutable recovery : recovery option;
   mutable suites_parallel : bool;
   mutable suites_wall_s : float;
   mutable suites : suite_row list;
@@ -29,6 +43,7 @@ let create ~mode =
     mode;
     sections = [];
     hotpath = None;
+    recovery = None;
     suites_parallel = false;
     suites_wall_s = Float.nan;
     suites = [];
@@ -38,6 +53,8 @@ let create ~mode =
 let add_section t name wall_s = t.sections <- (name, wall_s) :: t.sections
 
 let set_hotpath t h = t.hotpath <- Some h
+
+let set_recovery t r = t.recovery <- Some r
 
 let set_suites t ~parallel ~wall_s rows =
   t.suites_parallel <- parallel;
@@ -103,6 +120,27 @@ let render t =
     buf_float b h.events_per_sec;
     Buffer.add_string b ", \"cache_hit_rate\": ";
     buf_float b h.cache_hit_rate;
+    Buffer.add_char b '}');
+  (match t.recovery with
+  | None -> ()
+  | Some r ->
+    Buffer.add_string b ",\n  \"recovery\": {";
+    Buffer.add_string b "\"workload\": ";
+    buf_str b r.rc_workload;
+    Buffer.add_string b ", \"events\": ";
+    Buffer.add_string b (string_of_int r.rc_events);
+    Buffer.add_string b ", \"checkpoints\": ";
+    Buffer.add_string b (string_of_int r.rc_checkpoints);
+    Buffer.add_string b ", \"snapshot_bytes\": ";
+    Buffer.add_string b (string_of_int r.rc_snapshot_bytes);
+    Buffer.add_string b ", \"journal_bytes\": ";
+    Buffer.add_string b (string_of_int r.rc_journal_bytes);
+    Buffer.add_string b ", \"resume_s\": ";
+    buf_float b r.rc_resume_s;
+    Buffer.add_string b ", \"replayed\": ";
+    Buffer.add_string b (string_of_int r.rc_replayed);
+    Buffer.add_string b ", \"identical\": ";
+    Buffer.add_string b (string_of_bool r.rc_identical);
     Buffer.add_char b '}');
   if t.suites <> [] then begin
     Buffer.add_string b ",\n  \"suites\": {\"parallel\": ";

@@ -8,7 +8,7 @@
      main.exe --fast          -- everything, at the small test scale
      main.exe fig5 table1 ... -- only the named sections
    Section names: fig5 fig6 fig7 fig8 fig9 table1 ablations extensions
-   hotpath micro verify
+   hotpath micro recovery verify
 
    The verify section (debug-mode checking pass: sanitize every workload,
    verify every profile's structural invariants) runs in --fast mode and
@@ -24,7 +24,7 @@ open Ormp_report
 let section_names =
   [
     "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "table1"; "ablations"; "extensions"; "hotpath";
-    "micro"; "verify";
+    "micro"; "recovery"; "verify";
   ]
 
 let parse_args () =
@@ -401,6 +401,97 @@ let micro_tests () =
     ]
 
 (* ------------------------------------------------------------------ *)
+(* Recovery: session durability figures (non-timing)                   *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs one crash-safe session end to end: an uninterrupted reference, a
+   copy killed at its second checkpoint, and a resume — reporting the
+   on-disk cost of the safety net (snapshot and journal sizes) and the
+   wall time of coming back, with a byte-identity cross-check against
+   the reference profiles. These are durability figures, not profiler
+   timings: the journal write on every event makes a session run a poor
+   dilation measurement by design. *)
+let run_recovery log ~bench () =
+  timed log "recovery" (fun () ->
+      print_endline
+        (Ormp_util.Ascii.section "Crash recovery: snapshot size and resume cost");
+      let module Session = Ormp_session.Session in
+      let module Fio = Ormp_workloads.Faults.Io in
+      let workload = if bench then "matrix" else "linked_list" in
+      let options = { Session.default_options with Session.checkpoint_every = 1000 } in
+      let rec rm_rf path =
+        if Sys.file_exists path then
+          if Sys.is_directory path then begin
+            Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+            Sys.rmdir path
+          end
+          else Sys.remove path
+      in
+      let read_file path =
+        In_channel.with_open_bin path In_channel.input_all
+      in
+      let file_size path = (Unix.stat path).Unix.st_size in
+      let base =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "ormp-bench-recovery-%d" (Unix.getpid ()))
+      in
+      let ref_dir = Filename.concat base "reference"
+      and kill_dir = Filename.concat base "killed" in
+      rm_rf base;
+      Fun.protect ~finally:(fun () -> rm_rf base) @@ fun () ->
+      let reference =
+        match Session.run ~options ~dir:ref_dir ~workload () with
+        | Ok o -> o
+        | Error msg -> failwith ("recovery reference run failed: " ^ msg)
+      in
+      let io = Fio.create { Fio.none with Fio.kill_at_checkpoint = Some 2 } in
+      (match Session.run ~io ~options ~dir:kill_dir ~workload () with
+      | exception Fio.Killed _ -> ()
+      | Ok _ -> failwith "recovery: injected kill did not fire"
+      | Error msg -> failwith ("recovery killed run failed early: " ^ msg));
+      let snapshot_bytes =
+        (* Newest surviving snapshot at the kill point. *)
+        Array.fold_left
+          (fun acc f ->
+            if String.length f > 9 && String.sub f 0 9 = "snapshot-" then
+              max acc (file_size (Filename.concat kill_dir f))
+            else acc)
+          0 (Sys.readdir kill_dir)
+      in
+      let journal_bytes = file_size (Filename.concat kill_dir "journal.trace") in
+      let t0 = Ormp_util.Clock.now_s () in
+      let resumed =
+        match Session.resume ~dir:kill_dir () with
+        | Ok o -> o
+        | Error msg -> failwith ("recovery resume failed: " ^ msg)
+      in
+      let resume_s = Ormp_util.Clock.now_s () -. t0 in
+      let identical =
+        List.for_all
+          (fun f ->
+            read_file (Filename.concat kill_dir f) = read_file (Filename.concat ref_dir f))
+          [ "whomp.profile"; "rasg.profile"; "leap.profile" ]
+      in
+      Printf.printf
+        "%s: %d events, %d checkpoints\n\
+         snapshot: %d bytes   journal at kill: %d bytes\n\
+         resume: %.3fs (%d journal events replayed)   byte-identical: %b\n\n"
+        workload reference.Session.oc_position reference.Session.oc_checkpoints
+        snapshot_bytes journal_bytes resume_s resumed.Session.oc_replayed identical;
+      if not identical then failwith "recovery: resumed profiles differ from reference";
+      Bench_log.set_recovery log
+        {
+          Bench_log.rc_workload = workload;
+          rc_events = reference.Session.oc_position;
+          rc_checkpoints = reference.Session.oc_checkpoints;
+          rc_snapshot_bytes = snapshot_bytes;
+          rc_journal_bytes = journal_bytes;
+          rc_resume_s = resume_s;
+          rc_replayed = resumed.Session.oc_replayed;
+          rc_identical = identical;
+        })
+
+(* ------------------------------------------------------------------ *)
 (* Verify: the debug-mode checking pass                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -479,6 +570,7 @@ let () =
   if enabled "extensions" then run_extensions log ~bench ();
   if enabled "hotpath" then run_hotpath log ~bench ();
   if enabled "micro" then run_micro log ();
+  if enabled "recovery" then run_recovery log ~bench ();
   (* Skipped in default timing runs; see the usage comment. *)
   if List.mem "verify" wanted || (wanted = [] && fast) then run_verify log ~bench ();
   Bench_log.write log "BENCH_ormp.json"

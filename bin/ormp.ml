@@ -13,7 +13,12 @@
      record        write a raw probe-event trace to a file
      replay        stream a recorded trace through any profiler
      post          run the LEAP post-processors on a saved profile
-     analyze       hot data streams, object clustering, phase detection *)
+     analyze       hot data streams, object clustering, phase detection
+     session       crash-safe sessions: run / resume / status, and the
+                   supervised suite runner
+
+   Exit codes: 0 success, 1 runtime failure, 2 argument error, 9 killed
+   by an injected checkpoint fault (the session remains resumable). *)
 
 open Cmdliner
 module Registry = Ormp_workloads.Registry
@@ -414,7 +419,10 @@ let replay_cmd =
           List.iter
             (fun d -> Format.printf "  %a@." Ormp_baselines.Dep_types.pp d)
             (Ormp_baselines.Connors.deps t))
-    | other -> fail (Printf.sprintf "unknown profiler %S (whomp/leap/lossless/connors)" other)
+    | other ->
+      (* A bad flag value is an argument error, not a replay failure. *)
+      Printf.eprintf "unknown profiler %S (whomp/leap/lossless/connors)\n" other;
+      exit 2
   in
   let path =
     Arg.(
@@ -642,10 +650,312 @@ let analyze_cmd =
     (Cmd.info "analyze" ~doc:"Run the optimization analyses on a workload's profile")
     Term.(const run $ workload_arg $ seed_arg $ policy_arg $ hot $ cluster $ phases)
 
+(* --- session ---------------------------------------------------------- *)
+
+module Session = Ormp_session.Session
+module Suite = Ormp_session.Suite
+module Supervise = Ormp_session.Supervise
+module Snapshot = Ormp_session.Snapshot
+module Fio = Ormp_workloads.Faults.Io
+
+(* Injected I/O faults from `ormp session run`: deliberately killing the
+   process at checkpoint N is how the crash-smoke alias (and any manual
+   durability experiment) produces a half-finished session to resume. *)
+let io_plan ~torn_write ~no_space ~crash_at =
+  match (torn_write, no_space, crash_at) with
+  | None, None, None -> None
+  | _ -> Some (Fio.create { Fio.torn_write; no_space; kill_at_checkpoint = crash_at })
+
+(* Exit 9 distinguishes "killed by the injected fault, session is
+   resumable" from real argument (2) or runtime (1) errors. *)
+let exit_killed f =
+  try f ()
+  with Fio.Killed n ->
+    Printf.eprintf
+      "killed by injected fault at checkpoint %d (journal is durable; run `ormp session resume`)\n"
+      n;
+    exit 9
+
+let nonneg name v =
+  if v < 0 then begin
+    Printf.eprintf "--%s must be non-negative (got %d)\n" name v;
+    exit 2
+  end
+
+let print_outcome (o : Session.outcome) =
+  Printf.printf "session %s: workload %s complete\n" o.Session.oc_dir o.Session.oc_workload;
+  Printf.printf "  events      : %d (%d collected, %d wild)\n" o.Session.oc_position
+    o.Session.oc_collected o.Session.oc_wild;
+  Printf.printf "  checkpoints : %d written\n" o.Session.oc_checkpoints;
+  (match o.Session.oc_resumed_from with
+  | Some p ->
+    Printf.printf "  resumed     : from event %d, %d journal events replayed\n" p
+      o.Session.oc_replayed
+  | None -> ());
+  if o.Session.oc_rotations > 0 then
+    Printf.printf "  rotations   : %d (%d sealed epoch files)\n" o.Session.oc_rotations
+      (List.length o.Session.oc_epochs);
+  List.iter
+    (fun (d : Snapshot.degradation) ->
+      Printf.printf "  degraded    : %s at event %d (%s)\n" d.Snapshot.dg_kind
+        d.Snapshot.dg_position d.Snapshot.dg_detail)
+    o.Session.oc_degradations;
+  Printf.printf "  elapsed     : %.3fs\n" o.Session.oc_elapsed
+
+let session_dir_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "dir"; "d" ] ~docv:"DIR" ~doc:"Session directory (journal, snapshots, profiles).")
+
+let session_run_cmd =
+  let run workload dir seed policy checkpoint_every watch_every grammar_budget max_streams
+      leap_budget keep torn_write no_space crash_at =
+    nonneg "checkpoint-every" checkpoint_every;
+    nonneg "watch-every" watch_every;
+    nonneg "grammar-budget" grammar_budget;
+    nonneg "max-streams" max_streams;
+    if keep < 1 then begin
+      Printf.eprintf "--keep must be at least 1 (got %d)\n" keep;
+      exit 2
+    end;
+    let config = config_of ~seed ~policy in
+    let options =
+      {
+        Session.checkpoint_every;
+        watch_every;
+        grammar_budget;
+        max_streams;
+        leap_budget;
+        keep;
+      }
+    in
+    let io = io_plan ~torn_write ~no_space ~crash_at in
+    exit_killed (fun () ->
+        match Session.run ?io ~config ~options ~dir ~workload () with
+        | Ok o -> print_outcome o
+        | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1)
+  in
+  let checkpoint_every =
+    Arg.(
+      value & opt int 4096
+      & info [ "checkpoint-every" ] ~docv:"N"
+          ~doc:"Snapshot the profiler state every N raw events (0 disables checkpoints).")
+  in
+  let watch_every =
+    Arg.(
+      value & opt int 0
+      & info [ "watch-every" ] ~docv:"N"
+          ~doc:"Poll the memory-budget watchdog every N raw events (0 disables it).")
+  in
+  let grammar_budget =
+    Arg.(
+      value & opt int 0
+      & info [ "grammar-budget" ] ~docv:"SYMBOLS"
+          ~doc:
+            "Total live Sequitur symbols (four OMSG dimensions plus RASG) above which the \
+             watchdog rotates the grammars into sealed on-disk epochs (0 = unlimited).")
+  in
+  let max_streams =
+    Arg.(
+      value & opt int 0
+      & info [ "max-streams" ] ~docv:"N"
+          ~doc:"Cap on LEAP (instruction, group) streams; extra streams are dropped and \
+                counted (0 = unlimited).")
+  in
+  let leap_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "leap-budget" ] ~docv:"N" ~doc:"Per-stream LMAD budget override.")
+  in
+  let keep =
+    Arg.(
+      value & opt int 2
+      & info [ "keep" ] ~docv:"N" ~doc:"Snapshots retained; older ones are pruned.")
+  in
+  let torn_write =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "torn-write" ] ~docv:"N"
+          ~doc:"Fault injection: tear the Nth journal/snapshot write in half.")
+  in
+  let no_space =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "no-space" ] ~docv:"N" ~doc:"Fault injection: fail the Nth write with ENOSPC.")
+  in
+  let crash_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-at-checkpoint" ] ~docv:"N"
+          ~doc:
+            "Fault injection: kill the process (exit 9) right after the Nth snapshot is \
+             written, leaving a resumable session behind.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Start a crash-safe profiling session (journal + checkpoints)")
+    Term.(
+      const run $ workload_arg $ session_dir_arg $ seed_arg $ policy_arg $ checkpoint_every
+      $ watch_every $ grammar_budget $ max_streams $ leap_budget $ keep $ torn_write
+      $ no_space $ crash_at)
+
+let session_resume_cmd =
+  let run dir torn_write no_space crash_at =
+    let io = io_plan ~torn_write ~no_space ~crash_at in
+    exit_killed (fun () ->
+        match Session.resume ?io ~dir () with
+        | Ok o -> print_outcome o
+        | Error msg ->
+          Printf.eprintf "%s\n" msg;
+          exit 1)
+  in
+  let torn_write =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "torn-write" ] ~docv:"N" ~doc:"Fault injection: tear the Nth write in half.")
+  in
+  let no_space =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "no-space" ] ~docv:"N" ~doc:"Fault injection: fail the Nth write with ENOSPC.")
+  in
+  let crash_at =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "crash-at-checkpoint" ] ~docv:"N"
+          ~doc:"Fault injection: kill the process again at the Nth new snapshot.")
+  in
+  Cmd.v
+    (Cmd.info "resume"
+       ~doc:"Resume a killed session from its newest valid snapshot and journal tail")
+    Term.(const run $ session_dir_arg $ torn_write $ no_space $ crash_at)
+
+let session_status_cmd =
+  let run dir =
+    match Session.status ~dir with
+    | Error msg ->
+      Printf.eprintf "%s\n" msg;
+      exit 1
+    | Ok st ->
+      Printf.printf "workload : %s\n" st.Session.st_workload;
+      (match st.Session.st_snapshot with
+      | Some (k, pos) -> Printf.printf "snapshot : #%d at event %d\n" k pos
+      | None -> print_endline "snapshot : none");
+      (match st.Session.st_journal with
+      | Some n -> Printf.printf "journal  : %d events\n" n
+      | None -> print_endline "journal  : none");
+      print_endline
+        (if st.Session.st_complete then "complete : yes (profiles and report written)"
+         else "complete : no (resumable)")
+  in
+  Cmd.v
+    (Cmd.info "status" ~doc:"Inspect a session directory: newest snapshot, journal, completion")
+    Term.(const run $ session_dir_arg)
+
+let session_suite_cmd =
+  let run seed policy timeout_s retries backoff_s faults out_dir report =
+    if retries < 0 then begin
+      Printf.eprintf "--retries must be non-negative (got %d)\n" retries;
+      exit 2
+    end;
+    let config = config_of ~seed ~policy in
+    let r = Suite.run ?timeout_s ~retries ?backoff_s ~faults ~config ?out_dir () in
+    List.iter
+      (fun (e : Suite.entry) ->
+        let tag =
+          match e.Suite.en_fault with
+          | Some f -> Printf.sprintf "%s (+%s)" e.Suite.en_workload (Suite.fault_name f)
+          | None -> e.Suite.en_workload
+        in
+        match e.Suite.en_outcome with
+        | Supervise.Completed s ->
+          Printf.printf "  %-28s ok      %8d accesses, OMSG %d symbols, %.2fs\n" tag
+            s.Suite.sc_collected s.Suite.sc_omsg s.Suite.sc_elapsed
+        | Supervise.Failed f ->
+          Printf.printf "  %-28s FAILED  after %d attempts: %s\n" tag f.Supervise.attempts
+            f.Supervise.error
+        | Supervise.Timed_out { attempts; timeout_s } ->
+          Printf.printf "  %-28s HUNG    cancelled after %.1fs (attempt %d)\n" tag timeout_s
+            attempts)
+      r.Suite.rp_entries;
+    Printf.printf "suite: %d completed, %d failed, %d timed out (%.1fs)\n" r.Suite.rp_completed
+      r.Suite.rp_failed r.Suite.rp_timed_out r.Suite.rp_elapsed;
+    match report with
+    | Some path ->
+      Suite.save_report path r;
+      Printf.printf "report written to %s\n" path
+    | None -> ()
+  in
+  let timeout_s =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "timeout" ] ~docv:"SECONDS"
+          ~doc:"Per-workload deadline; a hang is cooperatively cancelled past it.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 1
+      & info [ "retries" ] ~docv:"N" ~doc:"Crash retries per workload (with linear backoff).")
+  in
+  let backoff_s =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "backoff" ] ~docv:"SECONDS" ~doc:"Base retry backoff (grows linearly).")
+  in
+  let faults =
+    let fault = Arg.enum [ ("crash", Suite.Crash); ("hang", Suite.Hang) ] in
+    Arg.(
+      value
+      & opt_all (pair ~sep:'=' string fault) []
+      & info [ "fault" ] ~docv:"WORKLOAD=crash|hang"
+          ~doc:
+            "Inject a process-level fault into the named registry workload (repeatable) — \
+             validates that the supervisor isolates it from the rest of the suite.")
+  in
+  let out_dir =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "out-dir" ] ~docv:"DIR"
+          ~doc:"Save each completed workload's WHOMP profile as DIR/<name>.whomp.")
+  in
+  let report =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "report"; "o" ] ~docv:"FILE"
+          ~doc:"Write the structured partial-results report (s-expression) to FILE.")
+  in
+  Cmd.v
+    (Cmd.info "suite"
+       ~doc:
+         "Profile every registry workload under supervision: per-workload timeouts, crash \
+          retries, partial-results report; always exits 0 on workload failures")
+    Term.(
+      const run $ seed_arg $ policy_arg $ timeout_s $ retries $ backoff_s $ faults $ out_dir
+      $ report)
+
+let session_cmd =
+  Cmd.group
+    (Cmd.info "session"
+       ~doc:"Crash-safe profiling sessions: checkpoint/resume, status, supervised suite")
+    [ session_run_cmd; session_resume_cmd; session_status_cmd; session_suite_cmd ]
+
 let () =
   let doc = "object-relative memory profiling (WHOMP/LEAP, CGO 2004)" in
   let info = Cmd.info "ormp" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; trace_cmd; whomp_cmd; leap_cmd; compare_cmd; check_cmd; post_cmd; analyze_cmd; record_cmd; replay_cmd ]))
+          [ list_cmd; trace_cmd; whomp_cmd; leap_cmd; compare_cmd; check_cmd; post_cmd; analyze_cmd; record_cmd; replay_cmd; session_cmd ]))

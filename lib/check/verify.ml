@@ -258,8 +258,11 @@ let leap_profile (p : Ormp_leap.Leap.profile) =
       0 p.Ormp_leap.Leap.streams
   in
   let* () =
-    if total <> p.Ormp_leap.Leap.collected then
-      errf "streams hold %d accesses, profile collected %d" total p.Ormp_leap.Leap.collected
+    (* A budget-capped session routes accesses for dropped streams past the
+       compressors entirely; those are accounted in [dropped_accesses]. *)
+    if total + p.Ormp_leap.Leap.dropped_accesses <> p.Ormp_leap.Leap.collected then
+      errf "streams hold %d accesses (+%d dropped), profile collected %d" total
+        p.Ormp_leap.Leap.dropped_accesses p.Ormp_leap.Leap.collected
     else Ok ()
   in
   check_all

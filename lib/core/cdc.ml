@@ -82,3 +82,16 @@ let batch ?capacity t =
 let omc t = t.omc
 let collected t = t.clock
 let wild t = t.wild
+
+type state = { s_omc : Omc.state; s_clock : int; s_wild : int }
+
+let state t = { s_omc = Omc.state t.omc; s_clock = t.clock; s_wild = t.wild }
+
+let of_state ?(on_wild = fun _ -> ()) ~site_name ~on_tuple (s : state) =
+  {
+    omc = Omc.of_state ~site_name s.s_omc;
+    on_tuple;
+    on_wild;
+    clock = s.s_clock;
+    wild = s.s_wild;
+  }

@@ -42,3 +42,23 @@ val collected : t -> int
 
 val wild : t -> int
 (** Accesses that missed translation. *)
+
+(** {1 Checkpoint state} *)
+
+type state = { s_omc : Omc.state; s_clock : int; s_wild : int }
+
+val state : t -> state
+(** Deep snapshot: the OMC state plus the time-stamp and wild counters —
+    everything that determines how future events are translated and
+    stamped. *)
+
+val of_state :
+  ?on_wild:(Ormp_trace.Event.t -> unit) ->
+  site_name:(int -> string) ->
+  on_tuple:(Tuple.t -> unit) ->
+  state ->
+  t
+(** Rebuild a CDC mid-stream: the restored hub stamps the next collected
+    access with the saved clock and translates through the rebuilt object
+    table, so the tuple stream continues exactly where the snapshot was
+    taken. Consumers ([on_tuple]/[on_wild]) are supplied fresh. *)

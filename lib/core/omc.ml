@@ -249,3 +249,67 @@ let cache_hits t = t.cache_hits
 
 let cache_hit_rate t =
   if t.translations = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int t.translations
+
+(* --- checkpoint state ------------------------------------------------ *)
+
+type group_state = { gs_site : int; gs_type : string option; gs_population : int }
+
+type state = {
+  s_grouping : grouping;
+  s_groups : group_state list;
+  s_lifetimes : lifetime list;
+  s_unknown_frees : int;
+}
+
+let copy_lifetime l =
+  {
+    group = l.group;
+    serial = l.serial;
+    base = l.base;
+    size = l.size;
+    alloc_time = l.alloc_time;
+    free_time = l.free_time;
+    free_site = l.free_site;
+  }
+
+let state t =
+  {
+    s_grouping = t.grouping;
+    s_groups =
+      List.rev
+        (Vec.fold_left
+           (fun acc g ->
+             {
+               gs_site = g.g_site;
+               gs_type = (match g.g_key with By_type ty -> Some ty | By_site _ -> None);
+               gs_population = g.g_population;
+             }
+             :: acc)
+           [] t.group_recs);
+    s_lifetimes = List.rev (Vec.fold_left (fun acc l -> copy_lifetime l :: acc) [] t.all);
+    s_unknown_frees = t.unknown_frees;
+  }
+
+let of_state ~site_name (s : state) =
+  let t = create ~grouping:s.s_grouping ~site_name () in
+  List.iter
+    (fun gs ->
+      let key = match gs.gs_type with Some ty -> By_type ty | None -> By_site gs.gs_site in
+      if Hashtbl.mem t.group_ids key then invalid_arg "Omc.of_state: duplicate group key";
+      let gid = Vec.length t.group_recs in
+      Hashtbl.replace t.group_ids key gid;
+      Vec.push t.group_recs
+        { g_id = gid; g_site = gs.gs_site; g_key = key; g_population = gs.gs_population })
+    s.s_groups;
+  List.iter
+    (fun l ->
+      if l.group < 0 || l.group >= Vec.length t.group_recs then
+        invalid_arg "Omc.of_state: lifetime references unknown group";
+      let l = copy_lifetime l in
+      Vec.push t.all l;
+      (* Only live objects re-enter the range index; freed ones keep their
+         record but must not answer translations. *)
+      if l.free_time = None then Ri.insert t.index ~base:l.base ~size:l.size l)
+    s.s_lifetimes;
+  t.unknown_frees <- s.s_unknown_frees;
+  t

@@ -102,3 +102,33 @@ val cache_hits : t -> int
 
 val cache_hit_rate : t -> float
 (** [cache_hits / translations], 0 when nothing was translated. *)
+
+(** {1 Checkpoint state}
+
+    A deep, serializable snapshot of the object table, for the session
+    layer's checkpoint/resume. Translation statistics and the MRU cache are
+    deliberately not part of the state: neither ever influences profile
+    content, and the cache refills itself. *)
+
+type group_state = {
+  gs_site : int;  (** allocation site that first created the group *)
+  gs_type : string option;  (** type key under [`Type] grouping *)
+  gs_population : int;
+}
+
+type state = {
+  s_grouping : grouping;
+  s_groups : group_state list;  (** in group-id order *)
+  s_lifetimes : lifetime list;  (** allocation order; deep copies *)
+  s_unknown_frees : int;
+}
+
+val state : t -> state
+
+val of_state : site_name:(int -> string) -> state -> t
+(** Rebuild an OMC: groups are re-interned in id order, lifetimes re-added
+    in allocation order, and still-live objects re-inserted into the range
+    index, so subsequent probes and translations answer exactly as the
+    original would have. [max_live_objects] restarts from the restored
+    live count and the MRU cache restarts cold (statistics only).
+    @raise Invalid_argument on an inconsistent state. *)

@@ -12,6 +12,8 @@ type profile = {
   store_instrs : (int, bool) Hashtbl.t;
   collected : int;
   wild : int;
+  dropped_streams : int;
+  dropped_accesses : int;
   elapsed : float;
 }
 
@@ -35,46 +37,115 @@ let record stream ~time point =
     | None -> stream.dspan <- Some { t_first = time; t_last = time }));
   ignore (C.add stream.off [| point.(1) |])
 
-let make_cdc ?grouping ?budget ~site_name () =
-  let streams : (key, stream) Hashtbl.t = Hashtbl.create 256 in
-  let order : key Vec.t = Vec.create () in
-  let store_instrs : (int, bool) Hashtbl.t = Hashtbl.create 64 in
-  (* SCC: vertical decomposition by instruction then group; each sub-stream
-     is compressed online as (object, offset) points with per-descriptor
-     time spans. *)
-  let on_tuple (tu : Ormp_core.Tuple.t) =
-    let key = { instr = tu.instr; group = tu.group } in
-    let s =
-      match Hashtbl.find_opt streams key with
-      | Some s -> s
-      | None ->
-        let s =
-          {
-            comp = C.create ?budget ~dims:2 ();
-            spans = Vec.create ();
-            off = C.create ?budget ~dims:1 ();
-            dspan = None;
-          }
-        in
-        Hashtbl.replace streams key s;
-        Vec.push order key;
-        s
-    in
-    Hashtbl.replace store_instrs tu.instr tu.is_store;
-    record s ~time:tu.time [| tu.obj; tu.offset |]
-  in
-  let cdc = Ormp_core.Cdc.create ?grouping ~site_name ~on_tuple () in
-  let finalize ~elapsed =
-    let ordered =
-      List.rev (Vec.fold_left (fun acc k -> (k, Hashtbl.find streams k) :: acc) [] order)
-    in
+type live = {
+  lv_streams : (key * stream) list;
+  lv_stores : (int * bool) list;
+  lv_dropped : key list;
+  lv_dropped_accesses : int;
+}
+
+type collector = {
+  c_streams : (key, stream) Hashtbl.t;
+  c_order : key Vec.t;
+  c_store_instrs : (int, bool) Hashtbl.t;
+  c_budget : int option;
+  c_max_streams : int;
+  c_dropped : (key, unit) Hashtbl.t;
+  c_dropped_order : key Vec.t;
+  mutable c_dropped_accesses : int;
+}
+
+let collector ?budget ?(max_streams = 0) ?restore () =
+  let c =
     {
-      streams = ordered;
-      store_instrs;
-      collected = Ormp_core.Cdc.collected cdc;
-      wild = Ormp_core.Cdc.wild cdc;
-      elapsed;
+      c_streams = Hashtbl.create 256;
+      c_order = Vec.create ();
+      c_store_instrs = Hashtbl.create 64;
+      c_budget = budget;
+      c_max_streams = max_streams;
+      c_dropped = Hashtbl.create 16;
+      c_dropped_order = Vec.create ();
+      c_dropped_accesses = 0;
     }
+  in
+  (match restore with
+  | None -> ()
+  | Some lv ->
+    List.iter
+      (fun (k, s) ->
+        if Hashtbl.mem c.c_streams k then invalid_arg "Leap.collector: duplicate stream key";
+        Hashtbl.replace c.c_streams k s;
+        Vec.push c.c_order k)
+      lv.lv_streams;
+    List.iter (fun (i, st) -> Hashtbl.replace c.c_store_instrs i st) lv.lv_stores;
+    List.iter
+      (fun k ->
+        if not (Hashtbl.mem c.c_dropped k) then begin
+          Hashtbl.replace c.c_dropped k ();
+          Vec.push c.c_dropped_order k
+        end)
+      lv.lv_dropped;
+    c.c_dropped_accesses <- lv.lv_dropped_accesses);
+  c
+
+(* SCC: vertical decomposition by instruction then group; each sub-stream
+   is compressed online as (object, offset) points with per-descriptor
+   time spans. When [max_streams] caps the table, accesses of unseen keys
+   past the cap are counted but not compressed (graceful degradation under
+   a memory budget); established streams keep collecting. *)
+let collect c (tu : Ormp_core.Tuple.t) =
+  Hashtbl.replace c.c_store_instrs tu.instr tu.is_store;
+  let key = { instr = tu.instr; group = tu.group } in
+  match Hashtbl.find_opt c.c_streams key with
+  | Some s -> record s ~time:tu.time [| tu.obj; tu.offset |]
+  | None ->
+    if c.c_max_streams > 0 && Hashtbl.length c.c_streams >= c.c_max_streams then begin
+      if not (Hashtbl.mem c.c_dropped key) then begin
+        Hashtbl.replace c.c_dropped key ();
+        Vec.push c.c_dropped_order key
+      end;
+      c.c_dropped_accesses <- c.c_dropped_accesses + 1
+    end
+    else begin
+      let s =
+        {
+          comp = C.create ?budget:c.c_budget ~dims:2 ();
+          spans = Vec.create ();
+          off = C.create ?budget:c.c_budget ~dims:1 ();
+          dspan = None;
+        }
+      in
+      Hashtbl.replace c.c_streams key s;
+      Vec.push c.c_order key;
+      record s ~time:tu.time [| tu.obj; tu.offset |]
+    end
+
+let live c =
+  {
+    lv_streams =
+      List.rev (Vec.fold_left (fun acc k -> (k, Hashtbl.find c.c_streams k) :: acc) [] c.c_order);
+    lv_stores = List.sort compare (Hashtbl.fold (fun i st acc -> (i, st) :: acc) c.c_store_instrs []);
+    lv_dropped = List.rev (Vec.fold_left (fun acc k -> k :: acc) [] c.c_dropped_order);
+    lv_dropped_accesses = c.c_dropped_accesses;
+  }
+
+let finish c ~collected ~wild ~elapsed =
+  {
+    streams =
+      List.rev (Vec.fold_left (fun acc k -> (k, Hashtbl.find c.c_streams k) :: acc) [] c.c_order);
+    store_instrs = c.c_store_instrs;
+    collected;
+    wild;
+    dropped_streams = Hashtbl.length c.c_dropped;
+    dropped_accesses = c.c_dropped_accesses;
+    elapsed;
+  }
+
+let make_cdc ?grouping ?budget ~site_name () =
+  let c = collector ?budget () in
+  let cdc = Ormp_core.Cdc.create ?grouping ~site_name ~on_tuple:(collect c) () in
+  let finalize ~elapsed =
+    finish c ~collected:(Ormp_core.Cdc.collected cdc) ~wild:(Ormp_core.Cdc.wild cdc) ~elapsed
   in
   (cdc, finalize)
 

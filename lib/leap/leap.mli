@@ -45,6 +45,11 @@ type profile = {
       (** instr id -> is_store, for every instruction that appears *)
   collected : int;
   wild : int;
+  dropped_streams : int;
+      (** distinct (instr, group) keys refused because a stream cap was in
+          force (0 unless the session layer caps stream growth) *)
+  dropped_accesses : int;
+      (** accesses of refused keys; [collected] still counts them *)
   elapsed : float;
 }
 
@@ -72,6 +77,41 @@ val sink_batched :
 (** Batched form of {!sink} for {!Ormp_vm.Runner.run_batched}; translation
     goes through the OMC's MRU cache and yields an identical profile —
     {!profile} uses this path. *)
+
+(** {1 Collector}
+
+    The reusable collection core behind {!sink}/{!sink_batched}, exposed
+    so the session layer can drive it directly: restore it from a
+    checkpoint, cap its stream growth under a memory budget, and snapshot
+    its exact live state. *)
+
+type collector
+
+type live = {
+  lv_streams : (key * stream) list;
+      (** first-appearance order; shares the collector's mutable stream
+          records — serialize before feeding further tuples *)
+  lv_stores : (int * bool) list;  (** ascending instruction id *)
+  lv_dropped : key list;  (** refused keys, first-refusal order *)
+  lv_dropped_accesses : int;
+}
+(** The collector's exact state, for checkpointing. *)
+
+val collector : ?budget:int -> ?max_streams:int -> ?restore:live -> unit -> collector
+(** [max_streams] (default 0 = unlimited) caps the number of per-key
+    streams: once reached, accesses of unseen keys are counted into the
+    dropped totals instead of opening streams — established streams keep
+    collecting. [restore] rebuilds a collector mid-stream; admission
+    decisions and totals continue exactly as on the original. *)
+
+val collect : collector -> Ormp_core.Tuple.t -> unit
+(** Feed one object-relative tuple (what the CDC emits). *)
+
+val live : collector -> live
+
+val finish : collector -> collected:int -> wild:int -> elapsed:float -> profile
+(** Assemble the profile; [collected]/[wild] come from the CDC driving the
+    collector. *)
 
 val instrs : profile -> int list
 (** All instruction ids seen, ascending. *)

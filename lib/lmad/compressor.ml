@@ -314,3 +314,83 @@ let of_parts p =
   | None ->
     if p.p_discarded <> 0 then invalid_arg "Compressor.of_parts: missing summary");
   t
+
+type open_state = {
+  s_start : int array;
+  s_levels : Lmad.level list;
+  s_top_stride : int array option;
+  s_top_done : int;
+  s_partial : int;
+}
+
+type state = {
+  s_dims : int;
+  s_budget : int;
+  s_max_depth : int;
+  s_closed : Lmad.t list;
+  s_current : open_state option;
+  s_total : int;
+  s_summary : summary option;
+  s_last_discarded : int array option;
+}
+
+let state t =
+  let open_state od =
+    {
+      s_start = Array.copy od.o_start;
+      s_levels = od.o_closed;
+      s_top_stride = Option.map Array.copy od.o_top_stride;
+      s_top_done = od.o_top_done;
+      s_partial = od.o_partial;
+    }
+  in
+  {
+    s_dims = t.dims;
+    s_budget = t.budget;
+    s_max_depth = t.max_depth;
+    s_closed = List.rev t.closed;
+    s_current = Option.map open_state t.current;
+    s_total = t.total;
+    s_summary = summary t;
+    s_last_discarded = Option.map Array.copy t.last_discarded;
+  }
+
+let of_state s =
+  let t = create ~budget:s.s_budget ~max_depth:s.s_max_depth ~dims:s.s_dims () in
+  List.iter
+    (fun d ->
+      if Lmad.dims d <> s.s_dims then invalid_arg "Compressor.of_state: descriptor dims mismatch")
+    s.s_closed;
+  let open_count = match s.s_current with None -> 0 | Some _ -> 1 in
+  if List.length s.s_closed + open_count > s.s_budget then
+    invalid_arg "Compressor.of_state: over budget";
+  t.closed <- List.rev s.s_closed;
+  (match s.s_current with
+  | None -> ()
+  | Some os ->
+    if Array.length os.s_start <> s.s_dims then
+      invalid_arg "Compressor.of_state: open descriptor dims mismatch";
+    (match os.s_top_stride with
+    | Some ts when Array.length ts <> s.s_dims ->
+      invalid_arg "Compressor.of_state: open stride dims mismatch"
+    | _ -> ());
+    t.current <-
+      Some
+        {
+          o_start = Array.copy os.s_start;
+          o_closed = os.s_levels;
+          o_top_stride = Option.map Array.copy os.s_top_stride;
+          o_top_done = os.s_top_done;
+          o_partial = os.s_partial;
+        });
+  t.total <- s.s_total;
+  (match s.s_summary with
+  | None -> ()
+  | Some sum ->
+    if sum.discarded <= 0 then invalid_arg "Compressor.of_state: empty summary";
+    t.discarded_count <- sum.discarded;
+    t.sum_min <- Array.copy sum.min_v;
+    t.sum_max <- Array.copy sum.max_v;
+    t.sum_gran <- Array.copy sum.granularity);
+  t.last_discarded <- Option.map Array.copy s.s_last_discarded;
+  t

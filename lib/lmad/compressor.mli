@@ -94,3 +94,45 @@ val of_parts : parts -> t
     like the original; further [add]s start a fresh descriptor, and the
     summary's granularity chain restarts at the next discarded point.
     @raise Invalid_argument on inconsistent parts. *)
+
+(** {1 Exact state snapshots}
+
+    {!parts} is the {e lossy} persistence view: the open descriptor is
+    finalized, so a rebuilt compressor does not continue the stream the
+    way the original would have. Checkpoint/resume needs the exact live
+    state — open descriptor, pending partial iteration, discarded-summary
+    chain — so that a restored compressor placed back in a stream behaves
+    byte-for-byte like one that was never interrupted. *)
+
+type open_state = {
+  s_start : int array;  (** descriptor origin *)
+  s_levels : Lmad.level list;  (** frozen inner levels, innermost first *)
+  s_top_stride : int array option;
+      (** stride of the still-growing outermost level; [None] before the
+          second point arrives *)
+  s_top_done : int;  (** complete outer iterations consumed *)
+  s_partial : int;  (** points consumed of the next outer iteration *)
+}
+(** The in-flight descriptor, field for field. *)
+
+type state = {
+  s_dims : int;
+  s_budget : int;
+  s_max_depth : int;
+  s_closed : Lmad.t list;  (** closed descriptors, creation order *)
+  s_current : open_state option;
+  s_total : int;
+  s_summary : summary option;
+      (** present iff points were discarded; carries the discarded count *)
+  s_last_discarded : int array option;
+      (** last discarded point, so the granularity gcd chain continues *)
+}
+
+val state : t -> state
+(** Deep snapshot of the exact compressor state (arrays are copied). *)
+
+val of_state : state -> t
+(** Rebuild from {!state}. [add]s on the result behave exactly as they
+    would have on the original — extending the open descriptor, deepening
+    on the same boundaries, and continuing the summary's granularity
+    chain. @raise Invalid_argument on an inconsistent state. *)

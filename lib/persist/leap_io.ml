@@ -1,47 +1,11 @@
 module S = Ormp_util.Sexp
-module C = Ormp_lmad.Compressor
-module L = Ormp_lmad.Lmad
 module Leap = Ormp_leap.Leap
 
 let version = 1
 
 (* --- writing --------------------------------------------------------- *)
 
-let ints xs = List.map S.int xs
-
-let lmad_to_sexp (d : L.t) =
-  S.field "lmad"
-    (S.field "start" (ints (Array.to_list d.L.start))
-    :: List.map
-         (fun (l : L.level) ->
-           S.field "level"
-             [
-               S.field "stride" (ints (Array.to_list l.L.stride));
-               S.field "count" [ S.int l.L.count ];
-             ])
-         d.L.levels)
-
-let summary_to_sexp (s : C.summary) =
-  S.field "summary"
-    [
-      S.field "min" (ints (Array.to_list s.C.min_v));
-      S.field "max" (ints (Array.to_list s.C.max_v));
-      S.field "granularity" (ints (Array.to_list s.C.granularity));
-      S.field "discarded" [ S.int s.C.discarded ];
-    ]
-
-let comp_to_sexp name (c : C.t) =
-  let p = C.parts c in
-  S.field name
-    ([
-       S.field "dims" [ S.int p.C.p_dims ];
-       S.field "budget" [ S.int p.C.p_budget ];
-       S.field "max-depth" [ S.int p.C.p_max_depth ];
-       S.field "total" [ S.int p.C.p_total ];
-       S.field "discarded" [ S.int p.C.p_discarded ];
-     ]
-    @ List.map lmad_to_sexp p.C.p_lmads
-    @ match p.C.p_summary with None -> [] | Some s -> [ summary_to_sexp s ])
+let comp_to_sexp = Lmad_io.comp_to_sexp
 
 let stream_to_sexp (k : Leap.key) (s : Leap.stream) =
   S.field "stream"
@@ -73,6 +37,14 @@ let to_sexp (p : Leap.profile) =
             p.Leap.store_instrs []);
        S.field "instrs" (Hashtbl.fold (fun i _ acc -> S.int i :: acc) p.Leap.store_instrs []);
      ]
+    (* Degradation counters ride along only when a session capped stream
+       growth, keeping uncapped files (and version 1 readers) unchanged. *)
+    @ (if p.Leap.dropped_streams <> 0 then
+         [ S.field "dropped-streams" [ S.int p.Leap.dropped_streams ] ]
+       else [])
+    @ (if p.Leap.dropped_accesses <> 0 then
+         [ S.field "dropped-accesses" [ S.int p.Leap.dropped_accesses ] ]
+       else [])
     @ List.map (fun (k, s) -> stream_to_sexp k s) p.Leap.streams)
 
 let save path p = S.save path (to_sexp p)
@@ -94,87 +66,14 @@ let int_field name t =
   let* args = S.assoc name t in
   match args with [ x ] -> S.as_int x | _ -> Error ("bad field " ^ name)
 
-let lmad_of_sexp t =
-  let* args = S.as_list t in
-  match args with
-  | S.Atom "lmad" :: rest ->
-    let* start_args = S.assoc "start" (S.List (S.Atom "_" :: rest)) in
-    let* start = int_list start_args in
-    let levels_s =
-      List.filter
-        (function S.List (S.Atom "level" :: _) -> true | _ -> false)
-        rest
-    in
-    let* levels =
-      collect_results
-        (List.map
-           (fun l ->
-             let* stride_args = S.assoc "stride" l in
-             let* stride = int_list stride_args in
-             let* count = int_field "count" l in
-             Ok { L.stride = Array.of_list stride; count })
-           levels_s)
-    in
-    (match L.of_levels ~start:(Array.of_list start) ~levels with
-    | d -> Ok d
-    | exception Invalid_argument msg -> Error msg)
-  | _ -> Error "expected (lmad ...)"
-
-let summary_of_sexp t =
-  let* min_args = S.assoc "min" t in
-  let* min_v = int_list min_args in
-  let* max_args = S.assoc "max" t in
-  let* max_v = int_list max_args in
-  let* gran_args = S.assoc "granularity" t in
-  let* granularity = int_list gran_args in
-  let* discarded = int_field "discarded" t in
-  Ok
-    {
-      C.min_v = Array.of_list min_v;
-      max_v = Array.of_list max_v;
-      granularity = Array.of_list granularity;
-      discarded;
-    }
-
-let comp_of_sexp name t =
-  let* args = S.assoc name t in
-  let body = S.List (S.Atom name :: args) in
-  let* dims = int_field "dims" body in
-  let* budget = int_field "budget" body in
-  let* max_depth = int_field "max-depth" body in
-  let* total = int_field "total" body in
-  let* discarded = int_field "discarded" body in
-  let lmad_sexps =
-    List.filter (function S.List (S.Atom "lmad" :: _) -> true | _ -> false) args
-  in
-  let* lmads = collect_results (List.map lmad_of_sexp lmad_sexps) in
-  let* summary =
-    match S.assoc "summary" body with
-    | Ok sargs ->
-      let* s = summary_of_sexp (S.List (S.Atom "summary" :: sargs)) in
-      Ok (Some s)
-    | Error _ -> Ok None
-  in
-  match
-    C.of_parts
-      {
-        C.p_dims = dims;
-        p_budget = budget;
-        p_max_depth = max_depth;
-        p_lmads = lmads;
-        p_total = total;
-        p_discarded = discarded;
-        p_summary = summary;
-      }
-  with
-  | c -> Ok c
-  | exception Invalid_argument msg -> Error msg
+let opt_int_field ~default name t =
+  match S.assoc name t with Error _ -> Ok default | Ok _ -> int_field name t
 
 let stream_of_sexp t =
   let* instr = int_field "instr" t in
   let* group = int_field "group" t in
-  let* comp = comp_of_sexp "comp" t in
-  let* off = comp_of_sexp "off" t in
+  let* comp = Lmad_io.comp_of_sexp "comp" t in
+  let* off = Lmad_io.comp_of_sexp "off" t in
   let* span_args = S.assoc "spans" t in
   let* span_ints = int_list span_args in
   let spans = Ormp_util.Vec.create () in
@@ -207,6 +106,8 @@ let of_sexp t =
     else
       let* collected = int_field "collected" body in
       let* wild = int_field "wild" body in
+      let* dropped_streams = opt_int_field ~default:0 "dropped-streams" body in
+      let* dropped_accesses = opt_int_field ~default:0 "dropped-accesses" body in
       let* store_args = S.assoc "stores" body in
       let* stores = int_list store_args in
       let* instr_args = S.assoc "instrs" body in
@@ -218,7 +119,16 @@ let of_sexp t =
         List.filter (function S.List (S.Atom "stream" :: _) -> true | _ -> false) rest
       in
       let* streams = collect_results (List.map stream_of_sexp stream_sexps) in
-      Ok { Leap.streams; store_instrs; collected; wild; elapsed = 0.0 }
+      Ok
+        {
+          Leap.streams;
+          store_instrs;
+          collected;
+          wild;
+          dropped_streams;
+          dropped_accesses;
+          elapsed = 0.0;
+        }
   | _ -> Error "not an ormp-leap-profile"
 
 let load path =

@@ -1,0 +1,15 @@
+(** RASG baseline profiles on disk.
+
+    One Sequitur grammar over the raw address stream plus the access
+    count, via {!Grammar_io}. The session layer writes this next to the
+    WHOMP and LEAP profiles so byte-identical resume can be checked for
+    all three outputs; [elapsed] is deliberately not serialized (wall
+    time differs between byte-identical runs). *)
+
+val to_sexp : Ormp_whomp.Rasg.profile -> Ormp_util.Sexp.t
+val save : string -> Ormp_whomp.Rasg.profile -> unit
+
+val of_sexp : Ormp_util.Sexp.t -> (Ormp_whomp.Rasg.profile, string) result
+
+val load : string -> (Ormp_whomp.Rasg.profile, string) result
+(** [elapsed] reads back as 0. Never raises on a corrupt file. *)

@@ -23,17 +23,7 @@ let int_field name t =
 
 (* --- writing --------------------------------------------------------- *)
 
-let grammar_to_sexp (name, g) =
-  S.field "grammar"
-    (S.field "dim" [ S.atom name ]
-    :: List.map
-         (fun (id, rhs) ->
-           S.field "rule"
-             (S.int id
-             :: List.map
-                  (function `T v -> S.int v | `N id -> S.atom (Printf.sprintf "R%d" id))
-                  rhs))
-         (Seq_c.rules g))
+let grammar_to_sexp = Grammar_io.to_sexp
 
 let group_to_sexp (g : Omc.group_info) =
   S.field "group"
@@ -66,74 +56,10 @@ let save path p = S.save path (to_sexp p)
 
 (* --- reading --------------------------------------------------------- *)
 
-(* Rebuild a live grammar by expanding the saved rules and re-running
-   Sequitur over the expansion: the algorithm is deterministic, so the
-   result is the grammar that was saved. *)
-let grammar_of_sexp args =
-  let body = S.List (S.Atom "_" :: args) in
-  let* dim_args = S.assoc "dim" body in
-  let* dim = match dim_args with [ a ] -> S.as_atom a | _ -> Error "bad dim" in
-  let rules = Hashtbl.create 64 in
-  let* () =
-    List.fold_left
-      (fun acc item ->
-        let* () = acc in
-        match item with
-        | S.List (S.Atom "rule" :: S.Atom id_s :: rhs) -> (
-          match int_of_string_opt id_s with
-          | None -> Error ("bad rule id " ^ id_s)
-          | Some id ->
-            let* syms =
-              collect_results
-                (List.map
-                   (fun s ->
-                     let* a = S.as_atom s in
-                     if String.length a > 1 && a.[0] = 'R' then
-                       match int_of_string_opt (String.sub a 1 (String.length a - 1)) with
-                       | Some r -> Ok (`N r)
-                       | None -> Error ("bad symbol " ^ a)
-                     else
-                       match int_of_string_opt a with
-                       | Some v -> Ok (`T v)
-                       | None -> Error ("bad symbol " ^ a))
-                   rhs)
-            in
-            Hashtbl.replace rules id syms;
-            Ok ())
-        | _ -> Ok ())
-      (Ok ()) args
-  in
-  if not (Hashtbl.mem rules 0) then Error "grammar has no start rule"
-  else begin
-    let memo = Hashtbl.create 64 in
-    let expanding = Hashtbl.create 16 in
-    let rec expand id =
-      match Hashtbl.find_opt memo id with
-      | Some e -> Ok e
-      | None ->
-        if Hashtbl.mem expanding id then
-          (* A corrupted file can reference a rule from its own expansion;
-             without this check the recursion would never terminate. *)
-          Error (Printf.sprintf "cyclic rule R%d" id)
-        else (
-          match Hashtbl.find_opt rules id with
-          | None -> Error (Printf.sprintf "dangling rule R%d" id)
-          | Some rhs ->
-            Hashtbl.replace expanding id ();
-            let* parts =
-              collect_results
-                (List.map (function `T v -> Ok [ v ] | `N r -> expand r) rhs)
-            in
-            Hashtbl.remove expanding id;
-            let e = List.concat parts in
-            Hashtbl.replace memo id e;
-            Ok e)
-    in
-    let* terminals = expand 0 in
-    let g = Seq_c.create () in
-    List.iter (Seq_c.push g) terminals;
-    Ok (dim, g)
-  end
+(* The heavy lifting — rebuilding a live grammar from its rule listing,
+   with cyclic/dangling-reference detection — lives in {!Grammar_io} (and
+   ultimately {!Seq_c.of_rules}) so the session snapshots share it. *)
+let grammar_of_sexp = Grammar_io.of_sexp
 
 let group_of_sexp args =
   match args with

@@ -281,6 +281,43 @@ let rules t =
                :: !rhs);
          (r.id, List.rev !rhs) :: acc))
 
+let of_rules rule_list =
+  let table = Hashtbl.create 64 in
+  List.iter (fun (id, rhs) -> Hashtbl.replace table id rhs) rule_list;
+  if not (Hashtbl.mem table 0) then Error "grammar has no start rule"
+  else begin
+    let exception Bad of string in
+    let memo = Hashtbl.create 64 in
+    let expanding = Hashtbl.create 16 in
+    let rec expand_rule id =
+      match Hashtbl.find_opt memo id with
+      | Some e -> e
+      | None ->
+        if Hashtbl.mem expanding id then
+          (* A corrupted listing can reference a rule from its own
+             expansion; without this check the recursion would never
+             terminate. *)
+          raise (Bad (Printf.sprintf "cyclic rule R%d" id));
+        (match Hashtbl.find_opt table id with
+        | None -> raise (Bad (Printf.sprintf "dangling rule R%d" id))
+        | Some rhs ->
+          Hashtbl.replace expanding id ();
+          let parts = List.map (function `T v -> [ v ] | `N r -> expand_rule r) rhs in
+          Hashtbl.remove expanding id;
+          let e = List.concat parts in
+          Hashtbl.replace memo id e;
+          e)
+    in
+    match expand_rule 0 with
+    | terminals ->
+      (* The algorithm is deterministic: re-pushing the expansion rebuilds
+         exactly the saved grammar, rule ids included. *)
+      let g = create () in
+      List.iter (push g) terminals;
+      Ok g
+    | exception Bad msg -> Error msg
+  end
+
 let pp fmt t =
   List.iter
     (fun (id, rhs) ->

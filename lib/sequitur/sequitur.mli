@@ -46,6 +46,15 @@ val rules : t -> (int * [ `T of int | `N of int ] list) list
 (** Live rules as [(rule-id, right-hand side)], start rule (id 0) first,
     for display and testing. *)
 
+val of_rules : (int * [ `T of int | `N of int ] list) list -> (t, string) result
+(** Rebuild a live compressor from a {!rules} listing: the start rule is
+    expanded (rejecting dangling and cyclic rule references) and the
+    terminal sequence re-pushed. Sequitur is deterministic, so the rebuilt
+    grammar has exactly the saved rules — ids included — and further
+    {!push}es continue as if the original compressor had never stopped.
+    This is what makes grammar state checkpointable: a snapshot is just
+    {!rules}. *)
+
 val pp : Format.formatter -> t -> unit
 (** Pretty-print the grammar, one rule per line ([R0 -> a R1 R1]). *)
 

@@ -1,0 +1,594 @@
+module S = Ormp_util.Sexp
+module Seq_c = Ormp_sequitur.Sequitur
+module A = Ormp_memsim.Allocator
+module Cdc = Ormp_core.Cdc
+module Omc = Ormp_core.Omc
+module W = Ormp_whomp.Whomp
+module Rasg = Ormp_whomp.Rasg
+module Leap = Ormp_leap.Leap
+module Io = Ormp_workloads.Faults.Io
+module Tf = Ormp_trace.Trace_file
+module Event = Ormp_trace.Event
+
+let ( let* ) = Result.bind
+let ( // ) = Filename.concat
+
+exception Resume_diverged of string
+(* Raised when deterministic re-execution regenerates a different event
+   stream than the journal recorded: the workload, config, or code
+   changed between the original run and the resume. *)
+
+(* --- options and outcome ---------------------------------------------- *)
+
+type options = {
+  checkpoint_every : int;
+  watch_every : int;
+  grammar_budget : int;
+  max_streams : int;
+  leap_budget : int option;
+  keep : int;
+}
+
+let default_options =
+  {
+    checkpoint_every = 0;
+    watch_every = 0;
+    grammar_budget = 0;
+    max_streams = 0;
+    leap_budget = None;
+    keep = 2;
+  }
+
+type outcome = {
+  oc_dir : string;
+  oc_workload : string;
+  oc_position : int;
+  oc_collected : int;
+  oc_wild : int;
+  oc_checkpoints : int;
+  oc_resumed_from : int option;
+  oc_replayed : int;
+  oc_rotations : int;
+  oc_epochs : Snapshot.epoch list;
+  oc_degradations : Snapshot.degradation list;
+  oc_elapsed : float;
+}
+
+type status_info = {
+  st_workload : string;
+  st_snapshot : (int * int) option;
+  st_journal : int option;
+  st_complete : bool;
+}
+
+(* --- file layout ------------------------------------------------------- *)
+
+let manifest_file = "manifest"
+let journal_file = "journal.trace"
+let report_file = "report"
+let whomp_file = "whomp.profile"
+let rasg_file = "rasg.profile"
+let leap_file = "leap.profile"
+let snapshot_file k = Printf.sprintf "snapshot-%d" k
+
+let rec mkdirs path =
+  if path = "" || path = "." || Sys.file_exists path then ()
+  else begin
+    mkdirs (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+(* --- manifest ---------------------------------------------------------- *)
+
+let policy_to_string = function
+  | A.Bump -> "bump"
+  | A.First_fit -> "first-fit"
+  | A.Best_fit -> "best-fit"
+  | A.Segregated -> "segregated"
+  | A.Randomized n -> Printf.sprintf "randomized:%d" n
+
+let policy_of_string s =
+  match s with
+  | "bump" -> Ok A.Bump
+  | "first-fit" -> Ok A.First_fit
+  | "best-fit" -> Ok A.Best_fit
+  | "segregated" -> Ok A.Segregated
+  | _ -> (
+    match String.index_opt s ':' with
+    | Some i
+      when String.sub s 0 i = "randomized" ->
+      (match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+      | Some n -> Ok (A.Randomized n)
+      | None -> Error ("bad policy " ^ s))
+    | _ -> Error ("unknown policy " ^ s))
+
+let manifest_to_sexp ~workload ~(config : Ormp_vm.Config.t) ~(options : options) =
+  S.field "ormp-session"
+    [
+      S.field "version" [ S.int 1 ];
+      S.field "workload" [ S.atom workload ];
+      S.field "config"
+        [
+          S.field "policy" [ S.atom (policy_to_string config.policy) ];
+          S.field "heap-base" [ S.int config.heap_base ];
+          S.field "static-base" [ S.int config.static_base ];
+          S.field "static-gap" [ S.int config.static_gap ];
+          S.field "align" [ S.int config.align ];
+          S.field "seed" [ S.int config.seed ];
+        ];
+      S.field "options"
+        [
+          S.field "checkpoint-every" [ S.int options.checkpoint_every ];
+          S.field "watch-every" [ S.int options.watch_every ];
+          S.field "grammar-budget" [ S.int options.grammar_budget ];
+          S.field "max-streams" [ S.int options.max_streams ];
+          S.field "leap-budget"
+            [ S.int (match options.leap_budget with None -> -1 | Some b -> b) ];
+          S.field "keep" [ S.int options.keep ];
+        ];
+    ]
+
+let int_field name t =
+  let* args = S.assoc name t in
+  match args with [ x ] -> S.as_int x | _ -> Error ("bad field " ^ name)
+
+let atom_field name t =
+  let* args = S.assoc name t in
+  match args with [ x ] -> S.as_atom x | _ -> Error ("bad field " ^ name)
+
+let manifest_of_sexp t =
+  let* args = S.as_list t in
+  match args with
+  | S.Atom "ormp-session" :: rest ->
+    let body = S.List (S.Atom "_" :: rest) in
+    let* v = int_field "version" body in
+    if v <> 1 then Error (Printf.sprintf "unsupported manifest version %d" v)
+    else
+      let* workload = atom_field "workload" body in
+      let* cargs = S.assoc "config" body in
+      let cbody = S.List (S.Atom "_" :: cargs) in
+      let* policy_s = atom_field "policy" cbody in
+      let* policy = policy_of_string policy_s in
+      let* heap_base = int_field "heap-base" cbody in
+      let* static_base = int_field "static-base" cbody in
+      let* static_gap = int_field "static-gap" cbody in
+      let* align = int_field "align" cbody in
+      let* seed = int_field "seed" cbody in
+      let* oargs = S.assoc "options" body in
+      let obody = S.List (S.Atom "_" :: oargs) in
+      let* checkpoint_every = int_field "checkpoint-every" obody in
+      let* watch_every = int_field "watch-every" obody in
+      let* grammar_budget = int_field "grammar-budget" obody in
+      let* max_streams = int_field "max-streams" obody in
+      let* leap_budget = int_field "leap-budget" obody in
+      let* keep = int_field "keep" obody in
+      Ok
+        ( workload,
+          { Ormp_vm.Config.policy; heap_base; static_base; static_gap; align; seed },
+          {
+            checkpoint_every;
+            watch_every;
+            grammar_budget;
+            max_streams;
+            leap_budget = (if leap_budget < 0 then None else Some leap_budget);
+            keep;
+          } )
+  | _ -> Error "not an ormp-session manifest"
+
+(* --- workload lookup --------------------------------------------------- *)
+
+let find_workload name =
+  match Ormp_workloads.Registry.find name with
+  | entry -> Ok (Ormp_workloads.Registry.program entry)
+  | exception Not_found -> (
+    match List.assoc_opt name Ormp_workloads.Micro.all with
+    | Some p -> Ok p
+    | None -> Error (Printf.sprintf "unknown workload %S" name))
+
+(* --- the live session -------------------------------------------------- *)
+
+type ctx = {
+  dir : string;
+  io : Io.t option;
+  options : options;
+  mutable whomp : W.collector;
+  mutable rasg : Seq_c.t;
+  mutable leap : Leap.collector;
+  mutable rasg_accesses : int;
+  mutable position : int;  (* events applied to the profilers *)
+  mutable epoch_start : int;
+  mutable rotations : int;
+  mutable epochs : Snapshot.epoch list;  (* oldest first *)
+  mutable degradations : Snapshot.degradation list;  (* oldest first *)
+  mutable checkpoints_written : int;
+  mutable journal : Journal.writer option;
+  mutable jcrc : int;
+      (* CRC of the journal through [position] — tracked here (not just in
+         the writer) because replay re-derives it with no writer open *)
+  mutable checkpointing : bool;
+}
+
+let degrade ctx kind detail =
+  ctx.degradations <-
+    ctx.degradations
+    @ [ { Snapshot.dg_position = ctx.position; dg_kind = kind; dg_detail = detail } ]
+
+let total_symbols ctx =
+  List.fold_left
+    (fun acc (_, g) -> acc + Seq_c.grammar_size g)
+    (Seq_c.grammar_size ctx.rasg)
+    (W.collector_dims ctx.whomp)
+
+(* Seal every live grammar into epoch files and start fresh ones. Grammar
+   continuity across the seal is intentional only in the files: analysis
+   concatenates epochs. The trigger fires at exact raw-event positions, so
+   a resumed run re-rotates at exactly the same points (idempotently
+   rewriting the same epoch files). *)
+let rotate ctx =
+  ctx.rotations <- ctx.rotations + 1;
+  let seal (dim, g) =
+    let file = Printf.sprintf "epoch-%d-%s" ctx.rotations dim in
+    Storage.save_sealed (ctx.dir // file) (Ormp_persist.Grammar_io.to_sexp (dim, g));
+    {
+      Snapshot.ep_index = ctx.rotations;
+      ep_dim = dim;
+      ep_file = file;
+      ep_from = ctx.epoch_start;
+      ep_to = ctx.position;
+      ep_symbols = Seq_c.grammar_size g;
+    }
+  in
+  let eps = List.map seal (W.collector_dims ctx.whomp @ [ ("rasg", ctx.rasg) ]) in
+  ctx.epochs <- ctx.epochs @ eps;
+  ctx.whomp <- W.collector ();
+  ctx.rasg <- Seq_c.create ();
+  ctx.epoch_start <- ctx.position;
+  degrade ctx "rotate"
+    (Printf.sprintf "grammar budget exceeded; sealed epoch %d" ctx.rotations)
+
+let dims_tuple ctx =
+  match W.collector_dims ctx.whomp with
+  | [ (_, gi); (_, gg); (_, go); (_, gf) ] -> (gi, gg, go, gf)
+  | _ -> assert false
+
+let take_snapshot ctx cdc ~ordinal ~journal_crc =
+  {
+    Snapshot.position = ctx.position;
+    checkpoint = ordinal;
+    journal_crc;
+    rotations = ctx.rotations;
+    epochs = ctx.epochs;
+    degradations = ctx.degradations;
+    cdc = Cdc.state cdc;
+    whomp = dims_tuple ctx;
+    rasg = ctx.rasg;
+    leap = Leap.live ctx.leap;
+  }
+
+let prune_snapshots ctx ~ordinal =
+  if ctx.options.keep > 0 then begin
+    let stale = ordinal - ctx.options.keep in
+    if stale >= 1 then
+      let path = ctx.dir // snapshot_file stale in
+      if Sys.file_exists path then try Sys.remove path with Sys_error _ -> ()
+  end
+
+let checkpoint ctx cdc =
+  let ordinal = ctx.position / ctx.options.checkpoint_every in
+  (* The journal must be durable through [position] before the snapshot
+     that claims to cover it exists — the write-ahead discipline. *)
+  (match ctx.journal with Some j -> Journal.flush j | None -> ());
+  match Snapshot.save ?io:ctx.io (ctx.dir // snapshot_file ordinal)
+          (take_snapshot ctx cdc ~ordinal ~journal_crc:ctx.jcrc)
+  with
+  | () ->
+    ctx.checkpoints_written <- ctx.checkpoints_written + 1;
+    prune_snapshots ctx ~ordinal;
+    (match ctx.io with Some f -> Io.checkpoint_written f | None -> ())
+  | exception (Io.Torn_write msg | Io.No_space msg) ->
+    (* The atomic-write discipline already discarded the partial temp file;
+       the previous snapshot is intact, so the run can go on — only the
+       recovery point is older than intended. *)
+    degrade ctx "checkpoint-failed" msg
+
+(* Apply one raw event to every profiler. *)
+let apply ctx cdc_sink ev =
+  (match ev with
+  | Event.Access { addr; _ } ->
+    ctx.rasg_accesses <- ctx.rasg_accesses + 1;
+    Seq_c.push ctx.rasg addr
+  | Event.Alloc _ | Event.Free _ -> ());
+  cdc_sink ev;
+  ctx.position <- ctx.position + 1
+
+(* Post-application triggers, at exact raw-event positions so that replay
+   and re-execution hit them identically. *)
+let triggers ctx cdc =
+  let o = ctx.options in
+  if o.watch_every > 0 && ctx.position mod o.watch_every = 0 then
+    if o.grammar_budget > 0 && total_symbols ctx > o.grammar_budget then rotate ctx;
+  if ctx.checkpointing && o.checkpoint_every > 0 && ctx.position mod o.checkpoint_every = 0
+  then checkpoint ctx cdc
+
+let journal_append ctx ev =
+  match ctx.journal with
+  | None -> ()
+  | Some j -> (
+    match Journal.append j ev with
+    | () -> ctx.jcrc <- Journal.crc j
+    | exception (Io.Torn_write msg | Io.No_space msg) ->
+      (* Without a sound journal, a snapshot taken now could never be
+         replayed past — so checkpointing is disabled together with
+         journaling, and the run continues purely in memory. *)
+      Journal.close j;
+      ctx.journal <- None;
+      ctx.checkpointing <- false;
+      degrade ctx "journal-off" msg)
+
+(* --- finalization ------------------------------------------------------ *)
+
+let write_outputs ctx cdc ~elapsed =
+  (* Group labels resolve through the OMC's own [site_name] closure, which
+     reads the now-filled table reference — no plumbing needed here. *)
+  let omc = Cdc.omc cdc in
+  let whomp_profile =
+    {
+      W.dims = W.collector_dims ctx.whomp;
+      collected = Cdc.collected cdc;
+      wild = Cdc.wild cdc;
+      groups = Omc.groups omc;
+      lifetimes = Omc.lifetimes omc;
+      elapsed;
+    }
+  in
+  Ormp_persist.Whomp_io.save (ctx.dir // whomp_file) whomp_profile;
+  Ormp_persist.Rasg_io.save (ctx.dir // rasg_file)
+    { Rasg.grammar = ctx.rasg; accesses = ctx.rasg_accesses; elapsed };
+  Ormp_persist.Leap_io.save (ctx.dir // leap_file)
+    (Leap.finish ctx.leap ~collected:(Cdc.collected cdc) ~wild:(Cdc.wild cdc) ~elapsed)
+
+let outcome_to_sexp (o : outcome) =
+  S.field "ormp-session-report"
+    ([
+       S.field "workload" [ S.atom o.oc_workload ];
+       S.field "position" [ S.int o.oc_position ];
+       S.field "collected" [ S.int o.oc_collected ];
+       S.field "wild" [ S.int o.oc_wild ];
+       S.field "checkpoints" [ S.int o.oc_checkpoints ];
+       S.field "resumed-from"
+         [ S.int (match o.oc_resumed_from with None -> -1 | Some p -> p) ];
+       S.field "replayed" [ S.int o.oc_replayed ];
+       S.field "rotations" [ S.int o.oc_rotations ];
+     ]
+    @ List.map Snapshot.epoch_to_sexp o.oc_epochs
+    @ List.map Snapshot.degradation_to_sexp o.oc_degradations)
+
+(* --- run / resume core ------------------------------------------------- *)
+
+type restore = {
+  rs_snapshot : Snapshot.t;
+  rs_tail : Event.t array;  (* journal events [snapshot position, end) *)
+  rs_count : int;  (* total surviving journal events *)
+  rs_crc : int;  (* CRC over all of them *)
+}
+
+let execute ?io ~dir ~workload ~(config : Ormp_vm.Config.t) ~(options : options) ~restore () =
+  let* program = find_workload workload in
+  (* Sites are named through the table the run produces (cf. Whomp.profile);
+     the reference is filled once the workload finishes. *)
+  let table = ref None in
+  let site_name site =
+    match !table with
+    | None -> Printf.sprintf "site%d" site
+    | Some t -> (Ormp_trace.Instr.info t site).Ormp_trace.Instr.name
+  in
+  let ctx =
+    {
+      dir;
+      io;
+      options;
+      whomp = W.collector ();
+      rasg = Seq_c.create ();
+      leap = Leap.collector ?budget:options.leap_budget ~max_streams:options.max_streams ();
+      rasg_accesses = 0;
+      position = 0;
+      epoch_start = 0;
+      rotations = 0;
+      epochs = [];
+      degradations = [];
+      checkpoints_written = 0;
+      journal = None;
+      jcrc = 0;
+      checkpointing = options.checkpoint_every > 0;
+    }
+  in
+  let on_tuple tu =
+    W.collect ctx.whomp tu;
+    Leap.collect ctx.leap tu
+  in
+  let cdc, resumed_from, replayed =
+    match restore with
+    | None ->
+      ctx.journal <- Some (Journal.create ?io (dir // journal_file));
+      (Cdc.create ~site_name ~on_tuple (), None, 0)
+    | Some r ->
+      let snap = r.rs_snapshot in
+      let gi, gg, go, gf = snap.Snapshot.whomp in
+      ctx.whomp <- W.collector ~restore:(gi, gg, go, gf) ();
+      ctx.rasg <- snap.Snapshot.rasg;
+      ctx.leap <-
+        Leap.collector ?budget:options.leap_budget ~max_streams:options.max_streams
+          ~restore:snap.Snapshot.leap ();
+      ctx.position <- snap.Snapshot.position;
+      ctx.rotations <- snap.Snapshot.rotations;
+      ctx.epochs <- snap.Snapshot.epochs;
+      ctx.degradations <- snap.Snapshot.degradations;
+      ctx.epoch_start <-
+        (match List.rev snap.Snapshot.epochs with e :: _ -> e.Snapshot.ep_to | [] -> 0);
+      ctx.rasg_accesses <- snap.Snapshot.cdc.Cdc.s_clock + snap.Snapshot.cdc.Cdc.s_wild;
+      ctx.jcrc <- snap.Snapshot.journal_crc;
+      let cdc = Cdc.of_state ~site_name ~on_tuple snap.Snapshot.cdc in
+      (* Phase A: replay the journal tail the dead run wrote after its last
+         snapshot. Triggers re-fire (rotations must be re-applied; snapshot
+         rewrites are idempotent), but nothing is re-journaled — the CRC is
+         re-derived instead so rewritten snapshots carry the right value. *)
+      let cdc_sink = Cdc.sink cdc in
+      Array.iter
+        (fun ev ->
+          ctx.jcrc <- Ormp_util.Crc32.update ctx.jcrc (Tf.event_line ev);
+          apply ctx cdc_sink ev;
+          triggers ctx cdc)
+        r.rs_tail;
+      ctx.journal <- Some (Journal.create ?io ~resume:(r.rs_count, r.rs_crc) (dir // journal_file));
+      (cdc, Some snap.Snapshot.position, Array.length r.rs_tail)
+  in
+  let cdc_sink = Cdc.sink cdc in
+  (* Phase B: (re-)execute the workload. The first [skip] events were already
+     incorporated via snapshot + replay; they are regenerated (the VM is
+     deterministic), CRC-checked against the journal, and dropped. *)
+  let skip = match restore with None -> 0 | Some r -> r.rs_count in
+  let expect_crc = match restore with None -> 0 | Some r -> r.rs_crc in
+  let gen = ref 0 and regen_crc = ref 0 in
+  let sink ev =
+    if !gen < skip then begin
+      regen_crc := Ormp_util.Crc32.update !regen_crc (Tf.event_line ev);
+      incr gen;
+      if !gen = skip && !regen_crc <> expect_crc then
+        raise
+          (Resume_diverged
+             (Printf.sprintf "re-executed events [0,%d) differ from the journal (crc %d, journal %d)"
+                skip !regen_crc expect_crc))
+    end
+    else begin
+      incr gen;
+      journal_append ctx ev;
+      apply ctx cdc_sink ev;
+      triggers ctx cdc
+    end
+  in
+  let close_journal () =
+    match ctx.journal with
+    | None -> ()
+    | Some j ->
+      (try Journal.flush j with Sys_error _ -> ());
+      Journal.close j;
+      ctx.journal <- None
+  in
+  match Ormp_vm.Runner.run ~config program sink with
+  | exception Resume_diverged msg ->
+    close_journal ();
+    Error msg
+  | result ->
+    close_journal ();
+    table := Some result.Ormp_vm.Runner.table;
+    write_outputs ctx cdc ~elapsed:result.Ormp_vm.Runner.elapsed;
+    let outcome =
+      {
+        oc_dir = dir;
+        oc_workload = workload;
+        oc_position = ctx.position;
+        oc_collected = Cdc.collected cdc;
+        oc_wild = Cdc.wild cdc;
+        oc_checkpoints = ctx.checkpoints_written;
+        oc_resumed_from = resumed_from;
+        oc_replayed = replayed;
+        oc_rotations = ctx.rotations;
+        oc_epochs = ctx.epochs;
+        oc_degradations = ctx.degradations;
+        oc_elapsed = result.Ormp_vm.Runner.elapsed;
+      }
+    in
+    Storage.write_atomic ~path:(dir // report_file) (S.to_string (outcome_to_sexp outcome) ^ "\n");
+    Ok outcome
+  | exception exn ->
+    (* Leave the journal durable for a later [resume], then let the failure
+       travel with its original backtrace ([Io.Killed] reaches the CLI). *)
+    let bt = Printexc.get_raw_backtrace () in
+    close_journal ();
+    Printexc.raise_with_backtrace exn bt
+
+(* --- public entry points ----------------------------------------------- *)
+
+let run ?io ?(config = Ormp_vm.Config.default) ?(options = default_options) ~dir ~workload () =
+  let* _ = find_workload workload in
+  mkdirs dir;
+  if Sys.file_exists (dir // manifest_file) then
+    Error (Printf.sprintf "session already exists in %s (use resume)" dir)
+  else begin
+    Storage.write_atomic ~path:(dir // manifest_file)
+      (S.to_string (manifest_to_sexp ~workload ~config ~options) ^ "\n");
+    execute ?io ~dir ~workload ~config ~options ~restore:None ()
+  end
+
+let newest_snapshot dir =
+  let ordinals =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter_map (fun f ->
+           match String.length f > 9 && String.sub f 0 9 = "snapshot-" with
+           | true -> int_of_string_opt (String.sub f 9 (String.length f - 9))
+           | false -> None)
+    |> List.sort (fun a b -> compare b a)
+  in
+  let rec first_valid = function
+    | [] -> None
+    | k :: rest -> (
+      match Snapshot.load (dir // snapshot_file k) with
+      | Ok snap -> Some snap
+      | Error _ -> first_valid rest)
+  in
+  first_valid ordinals
+
+let resume ?io ~dir () =
+  let* manifest_sexp =
+    match S.load (dir // manifest_file) with
+    | Ok s -> Ok s
+    | Error e -> Error (Printf.sprintf "no session in %s: %s" dir e)
+  in
+  let* workload, config, options = manifest_of_sexp manifest_sexp in
+  let restore =
+    match newest_snapshot dir with
+    | None -> None
+    | Some snap -> (
+      match Journal.recover ~at:snap.Snapshot.position (dir // journal_file) with
+      | Error _ -> None
+      | Ok r ->
+        if r.Journal.crc_at <> snap.Snapshot.journal_crc then None
+        else
+          Some
+            {
+              rs_snapshot = snap;
+              rs_tail =
+                Array.sub r.Journal.events snap.Snapshot.position
+                  (Array.length r.Journal.events - snap.Snapshot.position);
+              rs_count = Array.length r.Journal.events;
+              rs_crc = r.Journal.r_crc;
+            })
+  in
+  (* With no usable snapshot (or a journal that contradicts it), fall back
+     to a from-scratch run over the same manifest — correct, just slower. *)
+  execute ?io ~dir ~workload ~config ~options ~restore ()
+
+let status ~dir =
+  let* manifest_sexp =
+    match S.load (dir // manifest_file) with
+    | Ok s -> Ok s
+    | Error e -> Error (Printf.sprintf "no session in %s: %s" dir e)
+  in
+  let* workload, _, _ = manifest_of_sexp manifest_sexp in
+  let st_snapshot =
+    match newest_snapshot dir with
+    | None -> None
+    | Some s -> Some (s.Snapshot.checkpoint, s.Snapshot.position)
+  in
+  let st_journal =
+    match Journal.recover (dir // journal_file) with
+    | Ok r -> Some (Array.length r.Journal.events)
+    | Error _ -> None
+  in
+  Ok
+    {
+      st_workload = workload;
+      st_snapshot;
+      st_journal;
+      st_complete = Sys.file_exists (dir // report_file);
+    }

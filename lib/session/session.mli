@@ -1,0 +1,83 @@
+(** Crash-safe profiling sessions.
+
+    A session runs one workload under all three profilers at once (WHOMP,
+    the RASG baseline, and LEAP) inside a directory that makes the run
+    durable: every raw probe event is written ahead to a {!Journal},
+    periodic {!Snapshot}s capture the exact profiler state, and a killed
+    run resumes from the newest valid snapshot. Resume replays the
+    journal tail, then deterministically re-executes the workload
+    skipping the already-incorporated prefix (CRC-checked against the
+    journal) — producing profiles {e byte-identical} to an uninterrupted
+    run.
+
+    Under a memory budget, a watchdog rotates the live grammars into
+    sealed on-disk epochs and the LEAP collector caps stream growth;
+    every such event is reported as a {!Snapshot.degradation}. *)
+
+type options = {
+  checkpoint_every : int;  (** snapshot every N raw events; 0 = never *)
+  watch_every : int;  (** poll the memory watchdog every N events; 0 = never *)
+  grammar_budget : int;
+      (** total live grammar symbols (4 WHOMP dims + RASG) above which the
+          watchdog rotates; 0 = unlimited *)
+  max_streams : int;  (** LEAP per-key stream cap; 0 = unlimited *)
+  leap_budget : int option;  (** per-stream LMAD budget override *)
+  keep : int;  (** snapshots retained (older ones pruned) *)
+}
+
+val default_options : options
+(** No checkpoints, no watchdog, no caps, [keep = 2]. *)
+
+type outcome = {
+  oc_dir : string;
+  oc_workload : string;
+  oc_position : int;  (** raw events consumed *)
+  oc_collected : int;
+  oc_wild : int;
+  oc_checkpoints : int;  (** snapshots written by this process *)
+  oc_resumed_from : int option;  (** snapshot position, if resumed *)
+  oc_replayed : int;  (** journal-tail events replayed, if resumed *)
+  oc_rotations : int;
+  oc_epochs : Snapshot.epoch list;
+  oc_degradations : Snapshot.degradation list;
+  oc_elapsed : float;
+}
+
+type status_info = {
+  st_workload : string;
+  st_snapshot : (int * int) option;  (** newest valid (ordinal, position) *)
+  st_journal : int option;  (** surviving journal events *)
+  st_complete : bool;  (** final profiles + report written *)
+}
+
+val outcome_to_sexp : outcome -> Ormp_util.Sexp.t
+
+val find_workload : string -> (Ormp_vm.Program.t, string) result
+(** Resolve by {!Ormp_workloads.Registry} name/spec-ref, then by
+    {!Ormp_workloads.Micro} name. *)
+
+val run :
+  ?io:Ormp_workloads.Faults.Io.t ->
+  ?config:Ormp_vm.Config.t ->
+  ?options:options ->
+  dir:string ->
+  workload:string ->
+  unit ->
+  (outcome, string) result
+(** Start a fresh session in [dir] (created; must not already hold one).
+    Writes [manifest], [journal.trace], snapshots, and on completion
+    [whomp.profile] / [rasg.profile] / [leap.profile] plus a [report].
+
+    Raises whatever kills the run — notably
+    {!Ormp_workloads.Faults.Io.Killed} from an injected crash — after
+    making the journal durable, so a later {!resume} can continue. *)
+
+val resume :
+  ?io:Ormp_workloads.Faults.Io.t -> dir:string -> unit -> (outcome, string) result
+(** Continue a session killed mid-run. Picks the newest snapshot whose
+    seal and journal cross-check hold (falling back to older ones, or to
+    a from-scratch re-run when none survive), replays the journal tail,
+    re-executes the remainder, and finishes exactly as {!run} would
+    have: the three profile files are byte-identical. *)
+
+val status : dir:string -> (status_info, string) result

@@ -1,0 +1,28 @@
+(** Durable file primitives for the session layer.
+
+    Everything a checkpoint touches goes through two disciplines: writes
+    are atomic (temp file + rename, so a crash never leaves a partial
+    file under the real name) and payloads are sealed with a CRC-32
+    trailer (so a corrupt file is detected, not trusted). The optional
+    {!Ormp_workloads.Faults.Io.t} threads the injected-fault plan through
+    every write for the durability tests. *)
+
+val read_file : string -> (string, string) result
+
+val write_atomic :
+  ?io:Ormp_workloads.Faults.Io.t -> path:string -> string -> unit
+(** Write [content] to [path ^ ".tmp"], then rename over [path]. On any
+    exception (injected or real) the temp file is removed and the real
+    path is untouched. *)
+
+val seal : string -> string
+(** [payload ^ "\n;crc <decimal CRC-32 of payload>\n"]. *)
+
+val unseal : string -> (string, string) result
+(** Recover and verify a sealed payload. *)
+
+val save_sealed : ?io:Ormp_workloads.Faults.Io.t -> string -> Ormp_util.Sexp.t -> unit
+(** Atomic write of a sealed rendered sexp. *)
+
+val load_sealed : string -> (Ormp_util.Sexp.t, string) result
+(** Read + unseal + parse; [Error] on missing, torn, or corrupt files. *)

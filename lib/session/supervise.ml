@@ -1,0 +1,74 @@
+exception Cancelled
+
+type failure = { attempts : int; error : string; backtrace : string }
+
+type 'a outcome =
+  | Completed of 'a
+  | Failed of failure
+  | Timed_out of { attempts : int; timeout_s : float }
+
+type 'a slot = Pending | Done of 'a | Raised of exn * string
+
+let attempt ?timeout_s task =
+  let cancel = Atomic.make false in
+  let slot = Atomic.make Pending in
+  let should_stop () = Atomic.get cancel in
+  let d =
+    Domain.spawn (fun () ->
+        (* Backtrace recording is per-domain state; without this the
+           failure report's backtrace is always empty. *)
+        Printexc.record_backtrace true;
+        match task ~should_stop with
+        | v -> Atomic.set slot (Done v)
+        | exception exn ->
+          Atomic.set slot (Raised (exn, Printexc.get_backtrace ())))
+  in
+  let deadline =
+    match timeout_s with None -> None | Some s -> Some (Unix.gettimeofday () +. s)
+  in
+  let timed_out = ref false in
+  let rec wait () =
+    match Atomic.get slot with
+    | Pending -> (
+      match deadline with
+      | Some t when Unix.gettimeofday () > t && not (Atomic.get cancel) ->
+        (* Past the deadline: flip the cooperative stop flag and keep
+           waiting — the task notices at its next guard poll and raises
+           {!Cancelled}, which ends the domain. OCaml domains cannot be
+           killed from outside, so this only terminates tasks that keep
+           emitting events (which is what a profiled hang looks like). *)
+        timed_out := true;
+        Atomic.set cancel true;
+        wait ()
+      | _ ->
+        Unix.sleepf 0.002;
+        wait ())
+    | Done _ | Raised _ -> ()
+  in
+  wait ();
+  Domain.join d;
+  match Atomic.get slot with
+  | Done v -> `Done v
+  | Raised (Cancelled, _) -> `Timed_out
+  | Raised _ when !timed_out ->
+    (* The cancel flag can surface as a secondary exception from inside the
+       workload; the root cause is still the deadline. *)
+    `Timed_out
+  | Raised (exn, bt) -> `Raised (Printexc.to_string exn, bt)
+  | Pending -> assert false
+
+let run ?timeout_s ?(retries = 0) ?(backoff_s = 0.05) task =
+  let rec go_attempt n =
+    match attempt ?timeout_s task with
+    | `Done v -> Completed v
+    | `Timed_out -> Timed_out { attempts = n; timeout_s = Option.value ~default:0.0 timeout_s }
+    | `Raised (error, backtrace) ->
+      if n <= retries then begin
+        (* Crashes retry with linear backoff; timeouts do not (a hang that
+           exhausted its budget once will again). *)
+        Unix.sleepf (backoff_s *. float_of_int n);
+        go_attempt (n + 1)
+      end
+      else Failed { attempts = n; error; backtrace }
+  in
+  go_attempt 1

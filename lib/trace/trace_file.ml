@@ -1,14 +1,16 @@
 let header = "ormp-trace 1"
 
-let write_event oc (ev : Event.t) =
+let event_line (ev : Event.t) =
   match ev with
   | Access { instr; addr; size; is_store } ->
-    Printf.fprintf oc "A %d %d %d %d\n" instr addr size (if is_store then 1 else 0)
+    Printf.sprintf "A %d %d %d %d\n" instr addr size (if is_store then 1 else 0)
   | Alloc { site; addr; size; type_name } ->
-    Printf.fprintf oc "+ %d %d %d %s\n" site addr size
+    Printf.sprintf "+ %d %d %d %s\n" site addr size
       (match type_name with None -> "-" | Some t -> t)
-  | Free { addr; site = None } -> Printf.fprintf oc "- %d\n" addr
-  | Free { addr; site = Some site } -> Printf.fprintf oc "- %d %d\n" addr site
+  | Free { addr; site = None } -> Printf.sprintf "- %d\n" addr
+  | Free { addr; site = Some site } -> Printf.sprintf "- %d %d\n" addr site
+
+let write_event oc ev = output_string oc (event_line ev)
 
 let writer oc =
   output_string oc header;
@@ -45,7 +47,9 @@ let parse_line line =
     | _ -> Error "malformed free")
   | _ -> Error "unrecognized event"
 
-let replay path sink =
+let default_truncation_warning msg = Printf.eprintf "trace: %s\n%!" msg
+
+let replay ?(on_truncated = default_truncation_warning) path sink =
   match open_in path with
   | exception Sys_error msg -> Error msg
   | ic -> (
@@ -58,6 +62,12 @@ let replay path sink =
     | first when String.trim first <> header ->
       finish (Error (Printf.sprintf "bad header %S" first))
     | _ ->
+      let len = in_channel_length ic in
+      (* A record that fails to parse, sits at the very end of the file, and
+         lacks its terminating newline is the signature of a torn write (the
+         process died mid-[write_event]). Every complete record before it is
+         intact, so warn and deliver those rather than rejecting the trace. *)
+      let torn_tail () = pos_in ic >= len && len > 0 && (seek_in ic (len - 1); input_char ic <> '\n') in
       let count = ref 0 in
       let lineno = ref 1 in
       let rec go () =
@@ -71,7 +81,14 @@ let replay path sink =
             sink ev;
             incr count;
             go ()
-          | Error msg -> Error (Printf.sprintf "line %d: %s" !lineno msg))
+          | Error msg ->
+            if torn_tail () then begin
+              on_truncated
+                (Printf.sprintf "%s: truncated final record at line %d (%s); keeping %d events"
+                   path !lineno msg !count);
+              Ok !count
+            end
+            else Error (Printf.sprintf "line %d: %s" !lineno msg))
       in
       finish (go ()))
 

@@ -13,6 +13,16 @@ A <instr> <addr> <size> <0|1>      an executed load (0) or store (1)
     Reading streams line by line, so traces larger than memory replay
     fine. *)
 
+val header : string
+(** The first line of every trace file. *)
+
+val event_line : Event.t -> string
+(** The exact line (newline included) {!writer} emits for an event — the
+    session journal CRCs these strings, so the two must never diverge. *)
+
+val parse_line : string -> (Event.t, string) result
+(** Decode one event line (header excluded). *)
+
 val writer : out_channel -> Sink.t
 (** A sink that appends every event to the channel (header written
     immediately). The caller owns the channel. *)
@@ -20,9 +30,14 @@ val writer : out_channel -> Sink.t
 val save : string -> Event.t array -> unit
 (** Write a recorded event array to a file. *)
 
-val replay : string -> Sink.t -> (int, string) result
+val replay : ?on_truncated:(string -> unit) -> string -> Sink.t -> (int, string) result
 (** Stream the events of a trace file into a sink; returns the event
-    count, or a parse/IO error naming the offending line. *)
+    count, or a parse/IO error naming the offending line.
+
+    A final record that both fails to parse and lacks its terminating
+    newline is treated as a torn write from a crashed recorder: the
+    events before it are delivered, [on_truncated] is told (default:
+    warns on stderr), and the result is [Ok]. *)
 
 val load : string -> (Event.t array, string) result
 (** Materialize a whole trace (tests and small traces). *)

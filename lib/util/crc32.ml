@@ -1,0 +1,23 @@
+(* Table-driven CRC-32 (the IEEE 802.3 / zlib polynomial, reflected form
+   0xEDB88320). OCaml ints are at least 63 bits, so the 32-bit value is
+   kept in the low bits of a plain [int]; all operations below stay within
+   32 bits. *)
+
+let table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let update crc s =
+  let t = Lazy.force table in
+  let c = ref (crc lxor 0xFFFFFFFF) in
+  String.iter
+    (fun ch -> c := Array.unsafe_get t ((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xFFFFFFFF
+
+let string s = update 0 s

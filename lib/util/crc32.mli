@@ -1,0 +1,14 @@
+(** CRC-32 checksums (IEEE 802.3 polynomial, as in zlib and gzip).
+
+    Used by the session layer to seal snapshot files and to fingerprint
+    write-ahead journal prefixes: a CRC mismatch on load means the file
+    was torn or corrupted and the loader must fall back, never trust the
+    content. *)
+
+val string : string -> int
+(** CRC-32 of a whole string. [string "123456789" = 0xCBF43926]. *)
+
+val update : int -> string -> int
+(** Incremental form: [update (string a) b = string (a ^ b)], with
+    [update 0 s = string s]. Lets a writer maintain the checksum of an
+    append-only stream without rereading it. *)

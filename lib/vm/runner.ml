@@ -10,8 +10,15 @@ let run ?(config = Config.default) (program : Program.t) sink =
 let run_batched ?(config = Config.default) (program : Program.t) batch =
   let engine = Engine.make_batched ~config ~batch ~statics:program.statics in
   let t0 = Ormp_util.Clock.now_s () in
-  program.run engine;
-  Ormp_trace.Batch.flush batch;
+  (match program.run engine with
+  | () -> Ormp_trace.Batch.flush batch
+  | exception exn ->
+    (* Deliver the events buffered before the crash — a supervisor or journal
+       downstream needs them — then re-raise with the workload's own
+       backtrace, not the flush site's. *)
+    let bt = Printexc.get_raw_backtrace () in
+    (try Ormp_trace.Batch.flush batch with _ -> ());
+    Printexc.raise_with_backtrace exn bt);
   let elapsed = Ormp_util.Clock.now_s () -. t0 in
   { table = Engine.table engine; elapsed }
 

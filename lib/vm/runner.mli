@@ -17,7 +17,12 @@ val run : ?config:Config.t -> Program.t -> Ormp_trace.Sink.t -> result
 val run_batched : ?config:Config.t -> Program.t -> Ormp_trace.Batch.t -> result
 (** Same execution through the batched fast path: accesses are delivered
     to the batch unboxed, and the batch is flushed before the run is
-    declared over (flush time is part of [elapsed]). *)
+    declared over (flush time is part of [elapsed]).
+
+    If the workload raises, the buffered tail of the batch is still
+    flushed (so crash-time journals are complete up to the failing
+    event) and the exception is re-raised with its original backtrace
+    preserved. *)
 
 val run_bare : ?config:Config.t -> Program.t -> result
 (** Same execution with all probes discarded — the "native" run. *)

@@ -9,23 +9,40 @@ type profile = {
   elapsed : float;
 }
 
+type collector = {
+  g_instr : Seq_c.t;
+  g_group : Seq_c.t;
+  g_object : Seq_c.t;
+  g_offset : Seq_c.t;
+}
+
+let collector ?restore () =
+  match restore with
+  | Some (g_instr, g_group, g_object, g_offset) -> { g_instr; g_group; g_object; g_offset }
+  | None ->
+    {
+      g_instr = Seq_c.create ();
+      g_group = Seq_c.create ();
+      g_object = Seq_c.create ();
+      g_offset = Seq_c.create ();
+    }
+
+(* SCC: horizontal decomposition straight into the four compressors. *)
+let collect c (tu : Ormp_core.Tuple.t) =
+  Seq_c.push c.g_instr tu.instr;
+  Seq_c.push c.g_group tu.group;
+  Seq_c.push c.g_object tu.obj;
+  Seq_c.push c.g_offset tu.offset
+
+let collector_dims c =
+  [ ("instr", c.g_instr); ("group", c.g_group); ("object", c.g_object); ("offset", c.g_offset) ]
+
 let make_cdc ?grouping ~site_name () =
-  let g_instr = Seq_c.create () in
-  let g_group = Seq_c.create () in
-  let g_object = Seq_c.create () in
-  let g_offset = Seq_c.create () in
-  (* SCC: horizontal decomposition straight into the four compressors. *)
-  let on_tuple (tu : Ormp_core.Tuple.t) =
-    Seq_c.push g_instr tu.instr;
-    Seq_c.push g_group tu.group;
-    Seq_c.push g_object tu.obj;
-    Seq_c.push g_offset tu.offset
-  in
-  let cdc = Ormp_core.Cdc.create ?grouping ~site_name ~on_tuple () in
+  let c = collector () in
+  let cdc = Ormp_core.Cdc.create ?grouping ~site_name ~on_tuple:(collect c) () in
   let finalize ~elapsed =
     {
-      dims =
-        [ ("instr", g_instr); ("group", g_group); ("object", g_object); ("offset", g_offset) ];
+      dims = collector_dims c;
       collected = Ormp_core.Cdc.collected cdc;
       wild = Ormp_core.Cdc.wild cdc;
       groups = Ormp_core.Omc.groups (Ormp_core.Cdc.omc cdc);

@@ -27,6 +27,33 @@ val profile :
   profile
 (** Run the program under WHOMP instrumentation. *)
 
+(** {1 Collector}
+
+    The four-grammar SCC core behind {!sink}/{!sink_batched}, exposed so
+    the session layer can checkpoint and restore it: a grammar snapshot is
+    its {!Ormp_sequitur.Sequitur.rules} listing, and a collector rebuilt
+    around grammars restored with {!Ormp_sequitur.Sequitur.of_rules}
+    continues the decomposition byte-for-byte. *)
+
+type collector
+
+val collector :
+  ?restore:
+    Ormp_sequitur.Sequitur.t
+    * Ormp_sequitur.Sequitur.t
+    * Ormp_sequitur.Sequitur.t
+    * Ormp_sequitur.Sequitur.t ->
+  unit ->
+  collector
+(** Fresh (or restored) dimension grammars, in paper order: instr, group,
+    object, offset. *)
+
+val collect : collector -> Ormp_core.Tuple.t -> unit
+(** Decompose one tuple into the four grammars. *)
+
+val collector_dims : collector -> (string * Ormp_sequitur.Sequitur.t) list
+(** The live grammars, named, in paper order — the {!profile} [dims]. *)
+
 val sink :
   ?grouping:Ormp_core.Omc.grouping ->
   site_name:(int -> string) ->

@@ -82,3 +82,78 @@ let inject ?(defects = all) (p : Ormp_vm.Program.t) =
     (fun e ->
       p.run e;
       plant e defects)
+
+(* --- process-level faults (supervisor / session validation) ----------- *)
+
+exception Injected_crash of string
+
+let crashing (p : Ormp_vm.Program.t) =
+  Ormp_vm.Program.make
+    ~name:(p.name ^ "+crash")
+    ~description:(p.description ^ " (raises after its body completes)")
+    ~statics:p.statics
+    (fun e ->
+      p.run e;
+      raise (Injected_crash (p.name ^ " injected crash")))
+
+let hanging ?(period = 64) (p : Ormp_vm.Program.t) =
+  Ormp_vm.Program.make
+    ~name:(p.name ^ "+hang")
+    ~description:(p.description ^ " (never terminates after its body)")
+    ~statics:p.statics
+    (fun e ->
+      p.run e;
+      (* Keep emitting events forever: a hang that stays inside the probe
+         stream is observable by cooperative cancellation (OCaml domains
+         cannot be killed from outside), unlike a silent spin. *)
+      let site = E.instr e ~name:"fault:hang-alloc" Ormp_trace.Instr.Alloc_site in
+      let load = E.instr e ~name:"fault:hang-load" Ormp_trace.Instr.Load in
+      let words = max 1 (period / 8) in
+      let v = E.alloc e ~site (words * 8) in
+      let i = ref 0 in
+      while true do
+        E.load e ~instr:load v (!i mod words * 8);
+        incr i
+      done)
+
+(* --- injected I/O faults (journal / checkpoint durability) ------------ *)
+
+module Io = struct
+  exception Torn_write of string
+  exception No_space of string
+  exception Killed of int
+
+  type plan = {
+    torn_write : int option;
+    no_space : int option;
+    kill_at_checkpoint : int option;
+  }
+
+  let none = { torn_write = None; no_space = None; kill_at_checkpoint = None }
+
+  type t = { plan : plan; mutable writes : int; mutable checkpoints : int }
+
+  let create plan = { plan; writes = 0; checkpoints = 0 }
+
+  let writes t = t.writes
+
+  let write t oc s =
+    t.writes <- t.writes + 1;
+    (match t.plan.no_space with
+    | Some n when t.writes = n -> raise (No_space (Printf.sprintf "injected ENOSPC at write %d" n))
+    | _ -> ());
+    match t.plan.torn_write with
+    | Some n when t.writes = n ->
+      (* Flush the first half to the descriptor so the file really is torn
+         on disk, exactly as a mid-write crash leaves it. *)
+      output_string oc (String.sub s 0 (String.length s / 2));
+      flush oc;
+      raise (Torn_write (Printf.sprintf "injected torn write at write %d" n))
+    | _ -> output_string oc s
+
+  let checkpoint_written t =
+    t.checkpoints <- t.checkpoints + 1;
+    match t.plan.kill_at_checkpoint with
+    | Some n when t.checkpoints = n -> raise (Killed n)
+    | _ -> ()
+end

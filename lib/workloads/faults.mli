@@ -21,3 +21,60 @@ val name : defect -> string
 val inject : ?defects:defect list -> Ormp_vm.Program.t -> Ormp_vm.Program.t
 (** [inject p] is a program named [p.name ^ "+faults"] that runs [p] and
     then plants [defects] (default {!all}). *)
+
+(** {2 Process-level faults}
+
+    For exercising the session supervisor: workloads that crash or hang
+    {e after} completing their real body, so the events up to the fault
+    are the unwrapped workload's events. *)
+
+exception Injected_crash of string
+
+val crashing : Ormp_vm.Program.t -> Ormp_vm.Program.t
+(** [p.name ^ "+crash"]: runs [p], then raises {!Injected_crash}. *)
+
+val hanging : ?period:int -> Ormp_vm.Program.t -> Ormp_vm.Program.t
+(** [p.name ^ "+hang"]: runs [p], then loops forever emitting one access
+    event per iteration over a [period]-byte scratch object — never
+    returns, but stays observable to cooperative cancellation checks in
+    the event stream. *)
+
+(** {2 Injected I/O faults}
+
+    A fault plan threaded through the session layer's file writes. Each
+    counter-triggered fault fires exactly once, at the Nth operation,
+    making durability failures deterministic and testable. *)
+module Io : sig
+  exception Torn_write of string
+  (** Raised after flushing only the first half of the requested bytes. *)
+
+  exception No_space of string
+  (** Raised before writing anything (the classic full-disk failure). *)
+
+  exception Killed of int
+  (** Simulated [kill -9] immediately after the Nth checkpoint landed. *)
+
+  type plan = {
+    torn_write : int option;  (** tear the Nth {!write} *)
+    no_space : int option;  (** fail the Nth {!write} with no effect *)
+    kill_at_checkpoint : int option;
+        (** die right after the Nth completed checkpoint *)
+  }
+
+  val none : plan
+
+  type t
+
+  val create : plan -> t
+
+  val writes : t -> int
+  (** Write operations attempted so far. *)
+
+  val write : t -> out_channel -> string -> unit
+  (** Write [s] to the channel, or fire the planned fault for this
+      ordinal. *)
+
+  val checkpoint_written : t -> unit
+  (** Notify the plan that a checkpoint completed (may raise
+      {!Killed}). *)
+end
