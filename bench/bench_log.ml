@@ -27,11 +27,31 @@ type recovery = {
   rc_identical : bool;  (** resumed profiles byte-identical to reference *)
 }
 
+(* Overhead of the self-profiling telemetry layer on the batched WHOMP
+   pipeline: the same recorded event stream pushed with telemetry off and
+   on, plus the per-stage histogram breakdown the instrumented runs
+   collected. The ratio is a guard figure, not a paper number. *)
+type telemetry_stage = {
+  tl_stage : string;
+  tl_count : int;  (** observations across the instrumented repetitions *)
+  tl_total_ns : float;
+  tl_p50_ns : float;
+}
+
+type telemetry = {
+  tl_events : int;  (** accesses per repetition *)
+  tl_off_ns_per_event : float;
+  tl_on_ns_per_event : float;
+  tl_ratio : float;  (** on / off; the guard fails above 1.10 *)
+  tl_stages : telemetry_stage list;
+}
+
 type t = {
   mode : string;  (** "fast" or "paper" *)
   mutable sections : (string * float) list;  (** reverse execution order *)
   mutable hotpath : hotpath option;
   mutable recovery : recovery option;
+  mutable telemetry : telemetry option;
   mutable suites_parallel : bool;
   mutable suites_wall_s : float;
   mutable suites : suite_row list;
@@ -44,6 +64,7 @@ let create ~mode =
     sections = [];
     hotpath = None;
     recovery = None;
+    telemetry = None;
     suites_parallel = false;
     suites_wall_s = Float.nan;
     suites = [];
@@ -55,6 +76,8 @@ let add_section t name wall_s = t.sections <- (name, wall_s) :: t.sections
 let set_hotpath t h = t.hotpath <- Some h
 
 let set_recovery t r = t.recovery <- Some r
+
+let set_telemetry t tl = t.telemetry <- Some tl
 
 let set_suites t ~parallel ~wall_s rows =
   t.suites_parallel <- parallel;
@@ -141,6 +164,30 @@ let render t =
     Buffer.add_string b (string_of_int r.rc_replayed);
     Buffer.add_string b ", \"identical\": ";
     Buffer.add_string b (string_of_bool r.rc_identical);
+    Buffer.add_char b '}');
+  (match t.telemetry with
+  | None -> ()
+  | Some tl ->
+    Buffer.add_string b ",\n  \"telemetry\": {";
+    Buffer.add_string b "\"events\": ";
+    Buffer.add_string b (string_of_int tl.tl_events);
+    Buffer.add_string b ", \"off_ns_per_event\": ";
+    buf_float b tl.tl_off_ns_per_event;
+    Buffer.add_string b ", \"on_ns_per_event\": ";
+    buf_float b tl.tl_on_ns_per_event;
+    Buffer.add_string b ", \"ratio\": ";
+    buf_float b tl.tl_ratio;
+    Buffer.add_string b ", \"stages\": ";
+    buf_list b tl.tl_stages (fun s ->
+        Buffer.add_string b "{\"stage\": ";
+        buf_str b s.tl_stage;
+        Buffer.add_string b ", \"count\": ";
+        Buffer.add_string b (string_of_int s.tl_count);
+        Buffer.add_string b ", \"total_ns\": ";
+        buf_float b s.tl_total_ns;
+        Buffer.add_string b ", \"p50_ns\": ";
+        buf_float b s.tl_p50_ns;
+        Buffer.add_char b '}');
     Buffer.add_char b '}');
   if t.suites <> [] then begin
     Buffer.add_string b ",\n  \"suites\": {\"parallel\": ";

@@ -24,7 +24,7 @@ open Ormp_report
 let section_names =
   [
     "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "table1"; "ablations"; "extensions"; "hotpath";
-    "micro"; "recovery"; "verify";
+    "micro"; "recovery"; "telemetry"; "verify";
   ]
 
 let parse_args () =
@@ -492,6 +492,111 @@ let run_recovery log ~bench () =
         })
 
 (* ------------------------------------------------------------------ *)
+(* Telemetry: instrumentation overhead guard                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Pushes the same recorded event stream through the batched WHOMP
+   pipeline with telemetry off and on, min-of-N on each, and fails the
+   run if switching the layer on costs more than 10%. The per-stage
+   histogram breakdown from the instrumented repetitions shows where the
+   enabled-path time goes. Min-of-N rather than Bechamel because the
+   figure is a guard ratio, not a reported number: the minimum is the
+   noise-robust estimator for "how fast can this path go". *)
+let run_telemetry log ~bench () =
+  timed log "telemetry" (fun () ->
+      let module Tm = Ormp_telemetry.Telemetry in
+      print_endline
+        (Ormp_util.Ascii.section "Telemetry: instrumentation overhead (on/off guard)");
+      let entry = Ormp_workloads.Registry.find "164.gzip-like" in
+      let rc = Ormp_trace.Sink.recorder () in
+      ignore
+        (Ormp_vm.Runner.run
+           (Ormp_workloads.Registry.program ~bench entry)
+           (Ormp_trace.Sink.recorder_sink rc));
+      let events = Ormp_trace.Sink.events rc in
+      let n =
+        Array.fold_left
+          (fun acc ev ->
+            match ev with Ormp_trace.Event.Access _ -> acc + 1 | _ -> acc)
+          0 events
+      in
+      let run_once () =
+        let b, fin =
+          Ormp_whomp.Whomp.sink_batched ~site_name:(Printf.sprintf "s%d") ()
+        in
+        let t0 = Ormp_util.Clock.now_ns () in
+        Array.iter (Ormp_trace.Batch.event b) events;
+        Ormp_trace.Batch.flush b;
+        let dt = Int64.to_float (Int64.sub (Ormp_util.Clock.now_ns ()) t0) in
+        ignore (fin ~elapsed:0.0);
+        dt
+      in
+      let min_of k f =
+        let best = ref Float.infinity in
+        for _ = 1 to k do
+          let v = f () in
+          if v < !best then best := v
+        done;
+        !best
+      in
+      let reps = if bench then 5 else 3 in
+      Tm.disable ();
+      ignore (run_once ());
+      (* warm-up *)
+      let off_ns = min_of reps run_once in
+      Tm.enable ();
+      Tm.reset ();
+      let on_ns = min_of reps run_once in
+      let snap = Tm.Metrics.snapshot () in
+      Tm.disable ();
+      let off_pe = off_ns /. float_of_int n in
+      let on_pe = on_ns /. float_of_int n in
+      let ratio = on_pe /. off_pe in
+      let stages =
+        List.map
+          (fun (name, h) ->
+            {
+              Bench_log.tl_stage = name;
+              tl_count = h.Ormp_telemetry.Metrics.count;
+              tl_total_ns = h.Ormp_telemetry.Metrics.sum;
+              tl_p50_ns = h.Ormp_telemetry.Metrics.p50;
+            })
+          snap.Ormp_telemetry.Metrics.snap_hists
+      in
+      Printf.printf
+        "%d accesses per repetition (min of %d)\n\
+         telemetry off: %7.2f ns/event\n\
+         telemetry on : %7.2f ns/event   ratio: %.3f\n\n"
+        n reps off_pe on_pe ratio;
+      if stages <> [] then
+        print_endline
+          (Ormp_util.Ascii.table
+             ~header:[ "stage"; "count"; "total"; "p50" ]
+             ~rows:
+               (List.map
+                  (fun (s : Bench_log.telemetry_stage) ->
+                    [
+                      s.Bench_log.tl_stage;
+                      string_of_int s.Bench_log.tl_count;
+                      Printf.sprintf "%.2f ms" (s.Bench_log.tl_total_ns /. 1e6);
+                      Printf.sprintf "%.0f ns" s.Bench_log.tl_p50_ns;
+                    ])
+                  stages));
+      Bench_log.set_telemetry log
+        {
+          Bench_log.tl_events = n;
+          tl_off_ns_per_event = off_pe;
+          tl_on_ns_per_event = on_pe;
+          tl_ratio = ratio;
+          tl_stages = stages;
+        };
+      if ratio > 1.10 then begin
+        Printf.printf "telemetry guard: FAILED — enabling telemetry costs %.1f%% (> 10%%)\n"
+          ((ratio -. 1.0) *. 100.0);
+        exit 1
+      end)
+
+(* ------------------------------------------------------------------ *)
 (* Verify: the debug-mode checking pass                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -571,6 +676,7 @@ let () =
   if enabled "hotpath" then run_hotpath log ~bench ();
   if enabled "micro" then run_micro log ();
   if enabled "recovery" then run_recovery log ~bench ();
+  if enabled "telemetry" then run_telemetry log ~bench ();
   (* Skipped in default timing runs; see the usage comment. *)
   if List.mem "verify" wanted || (wanted = [] && fast) then run_verify log ~bench ();
   Bench_log.write log "BENCH_ormp.json"

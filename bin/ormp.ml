@@ -22,6 +22,51 @@
 
 open Cmdliner
 module Registry = Ormp_workloads.Registry
+module Telemetry = Ormp_telemetry.Telemetry
+
+(* --- telemetry and logging flags (shared by the profiling commands) --- *)
+
+let telemetry_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry" ] ~docv:"DIR"
+        ~doc:
+          "Switch on the self-profiling telemetry layer and write its reports — \
+           metrics.sexp, metrics.json and a Chrome trace_event trace.json — to DIR \
+           after the run. Inspect with $(b,ormp stats) $(i,DIR).")
+
+let quiet_arg =
+  Arg.(
+    value & flag
+    & info [ "quiet"; "q" ]
+        ~doc:
+          "Suppress library diagnostics on stderr (log level quiet; the ORMP_LOG \
+           environment variable sets the default level).")
+
+let apply_quiet quiet =
+  if quiet then Ormp_telemetry.Log.set_level Ormp_telemetry.Log.Quiet
+
+(* Runs [f] with telemetry enabled when --telemetry DIR was given: the
+   whole profiled run becomes one top-level span, and the reports are
+   written to DIR even when [f] escapes with an exception (an injected
+   session crash still leaves inspectable telemetry behind). *)
+let with_telemetry telemetry ~name f =
+  match telemetry with
+  | None -> f ()
+  | Some dir ->
+    Telemetry.enable ();
+    Fun.protect
+      ~finally:(fun () ->
+        Telemetry.write_reports ~dir;
+        Telemetry.disable ())
+      (fun () -> Telemetry.span ~name f)
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
 
 let find_program name =
   match List.assoc_opt name Ormp_workloads.Micro.all with
@@ -101,7 +146,8 @@ let list_cmd =
 (* --- trace ---------------------------------------------------------- *)
 
 let trace_cmd =
-  let run workload seed policy limit object_relative sanitize =
+  let run workload seed policy limit object_relative sanitize telemetry quiet =
+    apply_quiet quiet;
     let program = find_program workload in
     let config = config_of ~seed ~policy in
     let printed = ref 0 in
@@ -111,6 +157,7 @@ let trace_cmd =
       else sink
     in
     let result =
+      with_telemetry telemetry ~name:("trace:" ^ workload) @@ fun () ->
       if object_relative then begin
         let cdc =
           Ormp_core.Cdc.create
@@ -159,20 +206,23 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Dump a workload's probe events")
     Term.(
       const run $ workload_arg $ seed_arg $ policy_arg $ limit $ object_relative
-      $ sanitize_arg)
+      $ sanitize_arg $ telemetry_arg $ quiet_arg)
 
 (* --- whomp ---------------------------------------------------------- *)
 
 let whomp_cmd =
-  let run workload seed policy show_grammar save sanitize =
+  let run workload seed policy show_grammar save sanitize telemetry quiet =
+    apply_quiet quiet;
     let program = find_program workload in
     let config = config_of ~seed ~policy in
     (* With --sanitize, one instrumented run feeds both the profiler and
        the sanitizer through a batch fanout — the sanitizer sees exactly
        the probe stream the profile was built from. *)
     let san = Ormp_check.Sanitizer.create () in
-    let p, san_table =
-      if not sanitize then (Ormp_whomp.Whomp.profile ~config program, None)
+    let san_table =
+      with_telemetry telemetry ~name:("whomp:" ^ workload) @@ fun () ->
+      let p, san_table =
+        if not sanitize then (Ormp_whomp.Whomp.profile ~config program, None)
       else begin
         let wb, fin =
           Ormp_whomp.Whomp.sink_batched ~site_name:(Printf.sprintf "site%d") ()
@@ -210,6 +260,8 @@ let whomp_cmd =
       match List.assoc_opt dim p.Ormp_whomp.Whomp.dims with
       | Some g -> Format.printf "@.%s grammar:@.%a" dim Ormp_sequitur.Sequitur.pp g
       | None -> Printf.eprintf "no dimension %S (instr/group/object/offset)\n" dim));
+      san_table
+    in
     match san_table with
     | None -> ()
     | Some table -> emit_sanitizer_report san ~table ~subject:workload
@@ -231,17 +283,21 @@ let whomp_cmd =
     (Cmd.info "whomp" ~doc:"Lossless object-relative profile (OMSG) vs the RASG baseline")
     Term.(
       const run $ workload_arg $ seed_arg $ policy_arg $ show_grammar $ save
-      $ sanitize_arg)
+      $ sanitize_arg $ telemetry_arg $ quiet_arg)
 
 (* --- leap ----------------------------------------------------------- *)
 
 let leap_cmd =
-  let run workload seed policy budget show_deps show_strides save sanitize =
+  let run workload seed policy budget show_deps show_strides save sanitize telemetry quiet
+      =
+    apply_quiet quiet;
     let program = find_program workload in
     let config = config_of ~seed ~policy in
     let san = Ormp_check.Sanitizer.create () in
-    let p, san_table =
-      if not sanitize then (Ormp_leap.Leap.profile ~config ~budget program, None)
+    let san_table =
+      with_telemetry telemetry ~name:("leap:" ^ workload) @@ fun () ->
+      let p, san_table =
+        if not sanitize then (Ormp_leap.Leap.profile ~config ~budget program, None)
       else begin
         let lb, fin =
           Ormp_leap.Leap.sink_batched ~budget ~site_name:(Printf.sprintf "site%d") ()
@@ -278,6 +334,8 @@ let leap_cmd =
         (fun (i, s) -> Printf.printf "  instr %d: stride %d\n" i s)
         (Ormp_leap.Strides.strongly_strided p)
     end;
+      san_table
+    in
     match san_table with
     | None -> ()
     | Some table -> emit_sanitizer_report san ~table ~subject:workload
@@ -302,7 +360,7 @@ let leap_cmd =
     (Cmd.info "leap" ~doc:"Lossy object-relative LMAD profile and its post-processors")
     Term.(
       const run $ workload_arg $ seed_arg $ policy_arg $ budget $ show_deps $ show_strides
-      $ save $ sanitize_arg)
+      $ save $ sanitize_arg $ telemetry_arg $ quiet_arg)
 
 (* --- compare -------------------------------------------------------- *)
 
@@ -381,7 +439,8 @@ let record_cmd =
     Term.(const run $ workload_arg $ seed_arg $ policy_arg $ out)
 
 let replay_cmd =
-  let run path profiler =
+  let run path profiler quiet =
+    apply_quiet quiet;
     let fail msg =
       Printf.eprintf "%s\n" msg;
       exit 1
@@ -439,7 +498,7 @@ let replay_cmd =
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a recorded trace through a profiler")
-    Term.(const run $ path $ profiler)
+    Term.(const run $ path $ profiler $ quiet_arg)
 
 (* --- post ----------------------------------------------------------- *)
 
@@ -710,11 +769,13 @@ let session_dir_arg =
 
 let session_run_cmd =
   let run workload dir seed policy checkpoint_every watch_every grammar_budget max_streams
-      leap_budget keep torn_write no_space crash_at =
+      leap_budget keep heartbeat_every torn_write no_space crash_at telemetry quiet =
+    apply_quiet quiet;
     nonneg "checkpoint-every" checkpoint_every;
     nonneg "watch-every" watch_every;
     nonneg "grammar-budget" grammar_budget;
     nonneg "max-streams" max_streams;
+    nonneg "heartbeat-every" heartbeat_every;
     if keep < 1 then begin
       Printf.eprintf "--keep must be at least 1 (got %d)\n" keep;
       exit 2
@@ -732,11 +793,21 @@ let session_run_cmd =
     in
     let io = io_plan ~torn_write ~no_space ~crash_at in
     exit_killed (fun () ->
-        match Session.run ?io ~config ~options ~dir ~workload () with
+        with_telemetry telemetry ~name:("session:" ^ workload) @@ fun () ->
+        match Session.run ?io ~heartbeat_every ~config ~options ~dir ~workload () with
         | Ok o -> print_outcome o
         | Error msg ->
           Printf.eprintf "%s\n" msg;
           exit 1)
+  in
+  let heartbeat_every =
+    Arg.(
+      value & opt int 0
+      & info [ "heartbeat-every" ] ~docv:"N"
+          ~doc:
+            "Append a progress sample (events/sec, live state sizes, journal footprint) \
+             to the session's heartbeat file every N raw events (0 disables; watch with \
+             $(b,ormp session status --watch)).")
   in
   let checkpoint_every =
     Arg.(
@@ -802,18 +873,30 @@ let session_run_cmd =
     (Cmd.info "run" ~doc:"Start a crash-safe profiling session (journal + checkpoints)")
     Term.(
       const run $ workload_arg $ session_dir_arg $ seed_arg $ policy_arg $ checkpoint_every
-      $ watch_every $ grammar_budget $ max_streams $ leap_budget $ keep $ torn_write
-      $ no_space $ crash_at)
+      $ watch_every $ grammar_budget $ max_streams $ leap_budget $ keep $ heartbeat_every
+      $ torn_write $ no_space $ crash_at $ telemetry_arg $ quiet_arg)
 
 let session_resume_cmd =
-  let run dir torn_write no_space crash_at =
+  let run dir heartbeat_every torn_write no_space crash_at telemetry quiet =
+    apply_quiet quiet;
+    nonneg "heartbeat-every" heartbeat_every;
     let io = io_plan ~torn_write ~no_space ~crash_at in
     exit_killed (fun () ->
-        match Session.resume ?io ~dir () with
+        with_telemetry telemetry ~name:"session:resume" @@ fun () ->
+        match Session.resume ?io ~heartbeat_every ~dir () with
         | Ok o -> print_outcome o
         | Error msg ->
           Printf.eprintf "%s\n" msg;
           exit 1)
+  in
+  let heartbeat_every =
+    Arg.(
+      value & opt int 0
+      & info [ "heartbeat-every" ] ~docv:"N"
+          ~doc:
+            "Append a progress sample to the session's heartbeat file every N raw \
+             events (0 disables). The cadence is per-process: a resume may pick a \
+             different one than the original run.")
   in
   let torn_write =
     Arg.(
@@ -837,38 +920,104 @@ let session_resume_cmd =
   Cmd.v
     (Cmd.info "resume"
        ~doc:"Resume a killed session from its newest valid snapshot and journal tail")
-    Term.(const run $ session_dir_arg $ torn_write $ no_space $ crash_at)
+    Term.(
+      const run $ session_dir_arg $ heartbeat_every $ torn_write $ no_space $ crash_at
+      $ telemetry_arg $ quiet_arg)
+
+let print_heartbeat_sample (s : Ormp_telemetry.Heartbeat.sample) =
+  Printf.printf "  %8.2fs  event %-9d %9.0f ev/s  objs %-6d syms %-6d streams %-5d ckpt @%-9d%s\n%!"
+    s.Ormp_telemetry.Heartbeat.wall_s s.Ormp_telemetry.Heartbeat.position
+    s.Ormp_telemetry.Heartbeat.events_per_sec s.Ormp_telemetry.Heartbeat.live_objects
+    s.Ormp_telemetry.Heartbeat.grammar_symbols s.Ormp_telemetry.Heartbeat.leap_streams
+    s.Ormp_telemetry.Heartbeat.last_checkpoint
+    (match s.Ormp_telemetry.Heartbeat.degraded with
+    | [] -> ""
+    | ds -> " degraded:" ^ String.concat "," ds)
 
 let session_status_cmd =
-  let run dir =
+  let print_status (st : Session.status_info) =
+    Printf.printf "workload : %s\n" st.Session.st_workload;
+    (match st.Session.st_snapshot with
+    | Some (k, pos) -> Printf.printf "snapshot : #%d at event %d\n" k pos
+    | None -> print_endline "snapshot : none");
+    (match st.Session.st_journal with
+    | Some n -> Printf.printf "journal  : %d events\n" n
+    | None -> print_endline "journal  : none");
+    print_endline
+      (if st.Session.st_complete then "complete : yes (profiles and report written)"
+       else "complete : no (resumable)")
+  in
+  let run dir watch interval =
+    if interval <= 0.0 then begin
+      Printf.eprintf "--interval must be positive (got %g)\n" interval;
+      exit 2
+    end;
     match Session.status ~dir with
     | Error msg ->
       Printf.eprintf "%s\n" msg;
       exit 1
     | Ok st ->
-      Printf.printf "workload : %s\n" st.Session.st_workload;
-      (match st.Session.st_snapshot with
-      | Some (k, pos) -> Printf.printf "snapshot : #%d at event %d\n" k pos
-      | None -> print_endline "snapshot : none");
-      (match st.Session.st_journal with
-      | Some n -> Printf.printf "journal  : %d events\n" n
-      | None -> print_endline "journal  : none");
-      print_endline
-        (if st.Session.st_complete then "complete : yes (profiles and report written)"
-         else "complete : no (resumable)")
+      print_status st;
+      if watch then begin
+        (* Tail the heartbeat file: print samples as the running process
+           appends them, stop once the session's final report exists (or
+           immediately after draining, if it is already complete). *)
+        let hb_path = Filename.concat dir Session.heartbeat_file in
+        let seen = ref 0 in
+        let drain () =
+          let samples = Ormp_telemetry.Heartbeat.load hb_path in
+          List.iteri (fun i s -> if i >= !seen then print_heartbeat_sample s) samples;
+          seen := max !seen (List.length samples)
+        in
+        let complete () =
+          match Session.status ~dir with
+          | Ok st -> st.Session.st_complete
+          | Error _ -> false
+        in
+        let rec loop () =
+          drain ();
+          if not (complete ()) then begin
+            Unix.sleepf interval;
+            loop ()
+          end
+        in
+        if not st.Session.st_complete then begin
+          loop ();
+          print_endline "complete : yes (profiles and report written)"
+        end
+        else drain ()
+      end
+  in
+  let watch =
+    Arg.(
+      value & flag
+      & info [ "watch" ]
+          ~doc:
+            "Tail the session's heartbeat file, printing each progress sample, until \
+             the final report is written. A session must be started with \
+             $(b,--heartbeat-every) for samples to appear.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECONDS" ~doc:"Polling interval for $(b,--watch).")
   in
   Cmd.v
     (Cmd.info "status" ~doc:"Inspect a session directory: newest snapshot, journal, completion")
-    Term.(const run $ session_dir_arg)
+    Term.(const run $ session_dir_arg $ watch $ interval)
 
 let session_suite_cmd =
-  let run seed policy timeout_s retries backoff_s faults out_dir report =
+  let run seed policy timeout_s retries backoff_s faults out_dir report telemetry quiet =
+    apply_quiet quiet;
     if retries < 0 then begin
       Printf.eprintf "--retries must be non-negative (got %d)\n" retries;
       exit 2
     end;
     let config = config_of ~seed ~policy in
-    let r = Suite.run ?timeout_s ~retries ?backoff_s ~faults ~config ?out_dir () in
+    let r =
+      with_telemetry telemetry ~name:"session:suite" @@ fun () ->
+      Suite.run ?timeout_s ~retries ?backoff_s ~faults ~config ?out_dir ()
+    in
     List.iter
       (fun (e : Suite.entry) ->
         let tag =
@@ -944,7 +1093,7 @@ let session_suite_cmd =
           retries, partial-results report; always exits 0 on workload failures")
     Term.(
       const run $ seed_arg $ policy_arg $ timeout_s $ retries $ backoff_s $ faults $ out_dir
-      $ report)
+      $ report $ telemetry_arg $ quiet_arg)
 
 let session_cmd =
   Cmd.group
@@ -952,10 +1101,117 @@ let session_cmd =
        ~doc:"Crash-safe profiling sessions: checkpoint/resume, status, supervised suite")
     [ session_run_cmd; session_resume_cmd; session_status_cmd; session_suite_cmd ]
 
+(* --- stats ------------------------------------------------------------ *)
+
+let stats_cmd =
+  let run dir check quiet =
+    apply_quiet quiet;
+    let module J = Ormp_util.Json in
+    let ( // ) = Filename.concat in
+    let failed = ref false in
+    let problem fmt =
+      Printf.ksprintf
+        (fun m ->
+          Printf.eprintf "%s\n" m;
+          failed := true)
+        fmt
+    in
+    let load_json path =
+      if not (Sys.file_exists path) then begin
+        problem "%s: missing" path;
+        None
+      end
+      else
+        match J.of_string (read_file path) with
+        | Ok j -> Some j
+        | Error msg ->
+          problem "%s: %s" path msg;
+          None
+    in
+    (match load_json (dir // Telemetry.metrics_json_file) with
+    | None -> ()
+    | Some j ->
+      let obj name = match J.member name j with Some (J.Obj fields) -> fields | _ -> [] in
+      let num v =
+        match J.to_float v with Some f -> Printf.sprintf "%.6g" f | None -> "?"
+      in
+      (match obj "counters" with
+      | [] -> ()
+      | counters ->
+        print_endline (Ormp_util.Ascii.section "counters");
+        print_endline
+          (Ormp_util.Ascii.table ~header:[ "counter"; "value" ]
+             ~rows:(List.map (fun (n, v) -> [ n; num v ]) counters)));
+      (match obj "gauges" with
+      | [] -> ()
+      | gauges ->
+        print_endline (Ormp_util.Ascii.section "gauges");
+        print_endline
+          (Ormp_util.Ascii.table ~header:[ "gauge"; "value" ]
+             ~rows:(List.map (fun (n, v) -> [ n; num v ]) gauges)));
+      match obj "histograms" with
+      | [] -> ()
+      | hists ->
+        let hrow (n, v) =
+          let f name =
+            match Option.bind (J.member name v) J.to_float with
+            | Some x -> Printf.sprintf "%.6g" x
+            | None -> "?"
+          in
+          [ n; f "count"; f "sum"; f "min"; f "max"; f "p50"; f "p90"; f "p99" ]
+        in
+        print_endline (Ormp_util.Ascii.section "histograms");
+        print_endline
+          (Ormp_util.Ascii.table
+             ~header:[ "histogram"; "count"; "sum"; "min"; "max"; "p50"; "p90"; "p99" ]
+             ~rows:(List.map hrow hists)));
+    (* The s-expression snapshot must stay loadable too — it is the form
+       other tooling in this repo consumes. *)
+    let sexp_path = dir // Telemetry.metrics_sexp_file in
+    (if Sys.file_exists sexp_path then
+       match Ormp_util.Sexp.load sexp_path with
+       | Ok _ -> ()
+       | Error msg -> problem "%s: %s" sexp_path msg
+     else problem "%s: missing" sexp_path);
+    (match load_json (dir // Telemetry.trace_file) with
+    | None -> ()
+    | Some j -> (
+      match Ormp_telemetry.Spans.validate_json j with
+      | Ok n -> Printf.printf "trace    : %d complete spans, nesting OK\n" n
+      | Error msg -> problem "%s: invalid trace: %s" (dir // Telemetry.trace_file) msg));
+    (let hb_path = dir // Session.heartbeat_file in
+     if Sys.file_exists hb_path then
+       match Ormp_telemetry.Heartbeat.load hb_path with
+       | [] -> ()
+       | samples ->
+         Printf.printf "heartbeat: %d samples, last:\n" (List.length samples);
+         print_heartbeat_sample (List.nth samples (List.length samples - 1)));
+    if check && !failed then exit 1
+  in
+  let dir =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"DIR"
+          ~doc:"A telemetry directory written by a $(b,--telemetry) run.")
+  in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Exit 1 unless the metrics files parse and every span in the trace is \
+             strictly nested (B/E pairs match per thread, LIFO).")
+  in
+  Cmd.v
+    (Cmd.info "stats"
+       ~doc:"Pretty-print (and validate) the telemetry reports of a --telemetry run")
+    Term.(const run $ dir $ check $ quiet_arg)
+
 let () =
   let doc = "object-relative memory profiling (WHOMP/LEAP, CGO 2004)" in
   let info = Cmd.info "ormp" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; trace_cmd; whomp_cmd; leap_cmd; compare_cmd; check_cmd; post_cmd; analyze_cmd; record_cmd; replay_cmd; session_cmd ]))
+          [ list_cmd; trace_cmd; whomp_cmd; leap_cmd; compare_cmd; check_cmd; post_cmd; analyze_cmd; record_cmd; replay_cmd; session_cmd; stats_cmd ]))

@@ -1,3 +1,11 @@
+module Tm = Ormp_telemetry.Telemetry
+
+(* Chunk-granularity telemetry: the per-access loop stays untouched. *)
+let m_chunk_ns = Tm.Metrics.histogram "cdc.chunk.ns"
+let m_chunks = Tm.Metrics.counter "cdc.chunks"
+let m_tuples = Tm.Metrics.counter "cdc.tuples"
+let m_wild = Tm.Metrics.counter "cdc.wild"
+
 type t = {
   omc : Omc.t;
   on_tuple : Tuple.t -> unit;
@@ -36,6 +44,8 @@ let batch ?capacity t =
   let on_chunk (c : Ormp_trace.Batch.chunk) =
     let len = c.len in
     if len > capacity then invalid_arg "Cdc.batch: chunk larger than capacity";
+    let t0 = if Tm.on () then Tm.now_ns () else 0L in
+    let clock0 = t.clock and wild0 = t.wild in
     Omc.translate_batch t.omc ~instrs:c.instr ~addrs:c.addr ~len ~groups ~serials ~offsets;
     (* [translate_batch] validated instr/addr and the scratch arrays
        against [len], and the guard above covers the size/store arrays
@@ -68,7 +78,13 @@ let batch ?capacity t =
                is_store = c.store.(i) <> 0;
              })
       end
-    done
+    done;
+    if Tm.on () then begin
+      Tm.Metrics.observe m_chunk_ns (Int64.to_float (Int64.sub (Tm.now_ns ()) t0));
+      Tm.Metrics.incr m_chunks;
+      Tm.Metrics.add m_tuples (t.clock - clock0);
+      Tm.Metrics.add m_wild (t.wild - wild0)
+    end
   in
   let on_event (ev : Ormp_trace.Event.t) =
     match ev with

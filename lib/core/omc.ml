@@ -1,5 +1,13 @@
 module Ri = Ormp_interval.Range_index
 module Vec = Ormp_util.Vec
+module Tm = Ormp_telemetry.Telemetry
+
+(* Telemetry handles, interned once at load. Instrumentation is per-chunk
+   (one clock pair and a few counter adds per translate_batch call), never
+   per-access — see DESIGN.md §10. *)
+let m_batch_ns = Tm.Metrics.histogram "omc.translate_batch.ns"
+let m_batches = Tm.Metrics.counter "omc.batches"
+let m_batch_accesses = Tm.Metrics.counter "omc.batch_accesses"
 
 type grouping = [ `Site | `Type ]
 
@@ -193,6 +201,9 @@ let translate_batch t ~instrs ~addrs ~len ~groups ~serials ~offsets =
     || len > Array.length serials
     || len > Array.length offsets
   then invalid_arg "Omc.translate_batch: len exceeds an array";
+  (* Disabled telemetry costs one atomic load and the 0L constant — no
+     allocation (verified by the Gc.minor_words test in test_telemetry). *)
+  let t0 = if Tm.on () then Tm.now_ns () else 0L in
   (* Bounds are validated above, once per chunk, so the loop body — which
      runs once per access — can use unchecked array operations. The cache
      is also grown once, for the chunk's largest instruction id, keeping
@@ -225,7 +236,12 @@ let translate_batch t ~instrs ~addrs ~len ~groups ~serials ~offsets =
     end
   done;
   t.translations <- t.translations + !hits;
-  t.cache_hits <- t.cache_hits + !hits
+  t.cache_hits <- t.cache_hits + !hits;
+  if Tm.on () then begin
+    Tm.Metrics.observe m_batch_ns (Int64.to_float (Int64.sub (Tm.now_ns ()) t0));
+    Tm.Metrics.incr m_batches;
+    Tm.Metrics.add m_batch_accesses len
+  end
 
 let public_info t (g : ginfo) =
   let label =
@@ -249,6 +265,19 @@ let cache_hits t = t.cache_hits
 
 let cache_hit_rate t =
   if t.translations = 0 then 0.0 else float_of_int t.cache_hits /. float_of_int t.translations
+
+(* Publish the OMC's lifetime totals as gauges — called at finalize (rare),
+   so the gauge-name interning cost does not matter. *)
+let publish_gauges t =
+  if Tm.on () then begin
+    let set name v = Tm.Metrics.set (Tm.Metrics.gauge name) (float_of_int v) in
+    set "omc.live_objects" (Ri.cardinal t.index);
+    set "omc.max_live_objects" (Ri.max_live t.index);
+    set "omc.translations" t.translations;
+    set "omc.misses" t.misses;
+    set "omc.cache_hits" t.cache_hits;
+    set "omc.unknown_frees" t.unknown_frees
+  end
 
 (* --- checkpoint state ------------------------------------------------ *)
 

@@ -103,6 +103,11 @@ val cache_hits : t -> int
 val cache_hit_rate : t -> float
 (** [cache_hits / translations], 0 when nothing was translated. *)
 
+val publish_gauges : t -> unit
+(** Publish the OMC lifetime totals (live/max objects, translations,
+    misses, cache hits, unknown frees) as telemetry gauges. No-op with
+    telemetry disabled; meant to be called once at finalize. *)
+
 (** {1 Checkpoint state}
 
     A deep, serializable snapshot of the object table, for the session

@@ -1,5 +1,15 @@
 module C = Ormp_lmad.Compressor
 module Vec = Ormp_util.Vec
+module Tm = Ormp_telemetry.Telemetry
+
+(* Instrumented only on the rare arms: a stream opening or dropping, an
+   LMAD descriptor opening or discarding a point. The Extended arm — the
+   per-access common case — stays untouched. *)
+let m_streams_opened = Tm.Metrics.counter "leap.streams_opened"
+let m_streams_dropped = Tm.Metrics.counter "leap.streams_dropped"
+let m_dropped_accesses = Tm.Metrics.counter "leap.dropped_accesses"
+let m_lmad_opened = Tm.Metrics.counter "leap.lmad.opened"
+let m_lmad_discarded = Tm.Metrics.counter "leap.lmad.discarded"
 
 type key = { instr : int; group : int }
 
@@ -30,8 +40,11 @@ let span_at stream idx ~time =
 let record stream ~time point =
   (match C.add stream.comp point with
   | C.Extended idx -> (span_at stream idx ~time).t_last <- time
-  | C.Opened idx -> ignore (span_at stream idx ~time)
+  | C.Opened idx ->
+    if Tm.on () then Tm.Metrics.incr m_lmad_opened;
+    ignore (span_at stream idx ~time)
   | C.Discarded -> (
+    if Tm.on () then Tm.Metrics.incr m_lmad_discarded;
     match stream.dspan with
     | Some sp -> sp.t_last <- time
     | None -> stream.dspan <- Some { t_first = time; t_last = time }));
@@ -102,9 +115,11 @@ let collect c (tu : Ormp_core.Tuple.t) =
     if c.c_max_streams > 0 && Hashtbl.length c.c_streams >= c.c_max_streams then begin
       if not (Hashtbl.mem c.c_dropped key) then begin
         Hashtbl.replace c.c_dropped key ();
-        Vec.push c.c_dropped_order key
+        Vec.push c.c_dropped_order key;
+        if Tm.on () then Tm.Metrics.incr m_streams_dropped
       end;
-      c.c_dropped_accesses <- c.c_dropped_accesses + 1
+      c.c_dropped_accesses <- c.c_dropped_accesses + 1;
+      if Tm.on () then Tm.Metrics.incr m_dropped_accesses
     end
     else begin
       let s =
@@ -117,8 +132,11 @@ let collect c (tu : Ormp_core.Tuple.t) =
       in
       Hashtbl.replace c.c_streams key s;
       Vec.push c.c_order key;
+      if Tm.on () then Tm.Metrics.incr m_streams_opened;
       record s ~time:tu.time [| tu.obj; tu.offset |]
     end
+
+let stream_count c = Hashtbl.length c.c_streams
 
 let live c =
   {
@@ -130,6 +148,12 @@ let live c =
   }
 
 let finish c ~collected ~wild ~elapsed =
+  if Tm.on () then begin
+    let set name v = Tm.Metrics.set (Tm.Metrics.gauge name) (float_of_int v) in
+    set "leap.streams" (Hashtbl.length c.c_streams);
+    set "leap.dropped_streams" (Hashtbl.length c.c_dropped);
+    set "leap.dropped_accesses.total" c.c_dropped_accesses
+  end;
   {
     streams =
       List.rev (Vec.fold_left (fun acc k -> (k, Hashtbl.find c.c_streams k) :: acc) [] c.c_order);
@@ -145,6 +169,7 @@ let make_cdc ?grouping ?budget ~site_name () =
   let c = collector ?budget () in
   let cdc = Ormp_core.Cdc.create ?grouping ~site_name ~on_tuple:(collect c) () in
   let finalize ~elapsed =
+    Ormp_core.Omc.publish_gauges (Ormp_core.Cdc.omc cdc);
     finish c ~collected:(Ormp_core.Cdc.collected cdc) ~wild:(Ormp_core.Cdc.wild cdc) ~elapsed
   in
   (cdc, finalize)

@@ -109,6 +109,9 @@ val collect : collector -> Ormp_core.Tuple.t -> unit
 
 val live : collector -> live
 
+val stream_count : collector -> int
+(** Streams currently admitted (dropped keys excluded). *)
+
 val finish : collector -> collected:int -> wild:int -> elapsed:float -> profile
 (** Assemble the profile; [collected]/[wild] come from the CDC driving the
     collector. *)

@@ -2,6 +2,9 @@ module C = Ormp_lmad.Compressor
 module L = Ormp_lmad.Lmad
 module Solver = Ormp_lmad.Solver
 module Vec = Ormp_util.Vec
+module Tm = Ormp_telemetry.Telemetry
+
+let m_solver_calls = Tm.Metrics.counter "leap.mdf.solver_calls"
 
 (* Number of distinct locations a descriptor touches: levels that do not
    move the location only revisit it. *)
@@ -58,6 +61,7 @@ let stream_conflicts ~(store_s : Leap.stream) ~(load_s : Leap.stream) =
       let p_no_probabilistic = ref 1.0 in
       List.iter
         (fun (store_lmad, (sspan : Leap.span), scap) ->
+          if Tm.on () then Tm.Metrics.incr m_solver_calls;
           let matches = Solver.count_matches ~store:store_lmad ~load:load_lmad in
           if matches > 0 then begin
             let ssize = L.size store_lmad in
@@ -84,6 +88,7 @@ let stream_conflicts ~(store_s : Leap.stream) ~(load_s : Leap.stream) =
     0.0 loads
 
 let compute (p : Leap.profile) =
+  Tm.span ~name:"leap.mdf" @@ fun () ->
   let deps = ref [] in
   List.iter
     (fun load ->

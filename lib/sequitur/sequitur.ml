@@ -10,6 +10,16 @@
    - Rules are tracked in a live-rule table so the grammar can be sized,
      printed and expanded without chasing pointers from the start rule. *)
 
+module Tm = Ormp_telemetry.Telemetry
+
+(* Telemetry only at the rare structural events (rule creation, retirement,
+   utility inlining) — never per push, which runs once per profiled access
+   across four grammar dimensions. *)
+let m_matches = Tm.Metrics.counter "sequitur.matches"
+let m_rules_created = Tm.Metrics.counter "sequitur.rules_created"
+let m_rules_retired = Tm.Metrics.counter "sequitur.rules_retired"
+let m_utility_inlines = Tm.Metrics.counter "sequitur.utility_inlines"
+
 type symbol = {
   mutable kind : kind;
   mutable prev : symbol;
@@ -90,7 +100,13 @@ let last r = r.guard.prev
 
 let reuse r = r.refcount <- r.refcount + 1
 
-let kill_rule t r = Hashtbl.remove t.live_rules r.id
+(* Guarded on membership: [expand_symbol] reaches here twice for the same
+   rule (via [deuse] and directly), and retirement must count once. *)
+let kill_rule t r =
+  if Hashtbl.mem t.live_rules r.id then begin
+    Hashtbl.remove t.live_rules r.id;
+    if Tm.on () then Tm.Metrics.incr m_rules_retired
+  end
 
 let deuse t r =
   r.refcount <- r.refcount - 1;
@@ -160,6 +176,7 @@ let rec check t s =
 (* A duplicate digram was found: replace both occurrences by a non-terminal,
    creating a rule if the stored occurrence is not already a whole rule. *)
 and process_match t s m =
+  if Tm.on () then Tm.Metrics.incr m_matches;
   let r =
     if is_guard m.prev && is_guard m.next.next then begin
       (* [m] spans the complete right-hand side of an existing rule. *)
@@ -171,6 +188,7 @@ and process_match t s m =
       let r = make_rule t.next_rule_id in
       t.next_rule_id <- t.next_rule_id + 1;
       Hashtbl.replace t.live_rules r.id r;
+      if Tm.on () then Tm.Metrics.incr m_rules_created;
       append_copy t r s;
       append_copy t r s.next;
       substitute t m r;
@@ -203,6 +221,7 @@ and substitute t s r =
 and expand_symbol t s =
   match s.kind with
   | Nonterm r ->
+    if Tm.on () then Tm.Metrics.incr m_utility_inlines;
     let left = s.prev and right = s.next in
     let f = first r and l = last r in
     delete_digram t s;

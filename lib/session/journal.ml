@@ -1,5 +1,11 @@
 module Tf = Ormp_trace.Trace_file
 module Io = Ormp_workloads.Faults.Io
+module Tm = Ormp_telemetry.Telemetry
+
+(* Per-event counters are fine here: sessions are I/O-bound, and the
+   append path already formats and writes a line per event. *)
+let m_appends = Tm.Metrics.counter "journal.appends"
+let m_bytes = Tm.Metrics.counter "journal.bytes"
 
 (* --- writing ---------------------------------------------------------- *)
 
@@ -27,9 +33,15 @@ let append w ev =
   (* The CRC covers event lines only (header excluded), and includes each
      line's newline — the same accumulation recovery performs. *)
   w.crc <- Ormp_util.Crc32.update w.crc line;
-  w.count <- w.count + 1
+  w.count <- w.count + 1;
+  if Tm.on () then begin
+    Tm.Metrics.incr m_appends;
+    Tm.Metrics.add m_bytes (String.length line)
+  end
 
 let flush w = flush w.oc
+
+let bytes w = pos_out w.oc
 let close w = close_out_noerr w.oc
 let count w = w.count
 let crc w = w.crc

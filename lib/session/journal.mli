@@ -27,6 +27,9 @@ val count : writer -> int
 val crc : writer -> int
 (** Running CRC-32 over all appended event lines. *)
 
+val bytes : writer -> int
+(** Bytes buffered/written to the journal so far (channel position). *)
+
 type recovered = {
   events : Ormp_trace.Event.t array;  (** the full surviving journal *)
   r_crc : int;  (** CRC over all surviving event lines *)

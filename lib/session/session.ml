@@ -9,6 +9,10 @@ module Leap = Ormp_leap.Leap
 module Io = Ormp_workloads.Faults.Io
 module Tf = Ormp_trace.Trace_file
 module Event = Ormp_trace.Event
+module Tm = Ormp_telemetry.Telemetry
+
+let m_snapshot_saves = Tm.Metrics.counter "snapshot.saves"
+let m_snapshot_bytes = Tm.Metrics.counter "snapshot.bytes_written"
 
 let ( let* ) = Result.bind
 let ( // ) = Filename.concat
@@ -66,6 +70,7 @@ type status_info = {
 let manifest_file = "manifest"
 let journal_file = "journal.trace"
 let report_file = "report"
+let heartbeat_file = "heartbeat"
 let whomp_file = "whomp.profile"
 let rasg_file = "rasg.profile"
 let leap_file = "leap.profile"
@@ -187,10 +192,23 @@ let find_workload name =
 
 (* --- the live session -------------------------------------------------- *)
 
+(* Heartbeat sampler state. Kept out of [options] (and thus out of the
+   manifest) on purpose: the sampling cadence is an observation knob of
+   one process, not part of the session's identity — resume must not
+   depend on it. *)
+type hb = {
+  hb_every : int;
+  hb_path : string;
+  hb_start_ns : int64;
+  mutable hb_last_ns : int64;
+  mutable hb_last_pos : int;
+}
+
 type ctx = {
   dir : string;
   io : Io.t option;
   options : options;
+  hb : hb option;
   mutable whomp : W.collector;
   mutable rasg : Seq_c.t;
   mutable leap : Leap.collector;
@@ -201,6 +219,8 @@ type ctx = {
   mutable epochs : Snapshot.epoch list;  (* oldest first *)
   mutable degradations : Snapshot.degradation list;  (* oldest first *)
   mutable checkpoints_written : int;
+  mutable last_snapshot_bytes : int;
+  mutable last_checkpoint_pos : int;
   mutable journal : Journal.writer option;
   mutable jcrc : int;
       (* CRC of the journal through [position] — tracked here (not just in
@@ -225,6 +245,7 @@ let total_symbols ctx =
    a resumed run re-rotates at exactly the same points (idempotently
    rewriting the same epoch files). *)
 let rotate ctx =
+  Tm.span ~name:"session.rotate" @@ fun () ->
   ctx.rotations <- ctx.rotations + 1;
   let seal (dim, g) =
     let file = Printf.sprintf "epoch-%d-%s" ctx.rotations dim in
@@ -274,15 +295,25 @@ let prune_snapshots ctx ~ordinal =
   end
 
 let checkpoint ctx cdc =
+  Tm.span ~name:"session.checkpoint" @@ fun () ->
   let ordinal = ctx.position / ctx.options.checkpoint_every in
   (* The journal must be durable through [position] before the snapshot
      that claims to cover it exists — the write-ahead discipline. *)
   (match ctx.journal with Some j -> Journal.flush j | None -> ());
-  match Snapshot.save ?io:ctx.io (ctx.dir // snapshot_file ordinal)
-          (take_snapshot ctx cdc ~ordinal ~journal_crc:ctx.jcrc)
+  let path = ctx.dir // snapshot_file ordinal in
+  match Snapshot.save ?io:ctx.io path (take_snapshot ctx cdc ~ordinal ~journal_crc:ctx.jcrc)
   with
   | () ->
     ctx.checkpoints_written <- ctx.checkpoints_written + 1;
+    ctx.last_checkpoint_pos <- ctx.position;
+    (match (Unix.stat path).Unix.st_size with
+    | size ->
+      ctx.last_snapshot_bytes <- size;
+      if Tm.on () then begin
+        Tm.Metrics.incr m_snapshot_saves;
+        Tm.Metrics.add m_snapshot_bytes size
+      end
+    | exception Unix.Unix_error _ -> ());
     prune_snapshots ctx ~ordinal;
     (match ctx.io with Some f -> Io.checkpoint_written f | None -> ())
   | exception (Io.Torn_write msg | Io.No_space msg) ->
@@ -301,14 +332,46 @@ let apply ctx cdc_sink ev =
   cdc_sink ev;
   ctx.position <- ctx.position + 1
 
+(* Write one heartbeat sample: rates since the previous sample plus the
+   live state sizes. Failures to append are swallowed — the heartbeat is
+   observation only and must never degrade the session itself. *)
+let heartbeat ctx cdc h =
+  let now = Ormp_util.Clock.now_ns () in
+  let dt_s = Int64.to_float (Int64.sub now h.hb_last_ns) /. 1e9 in
+  let events = ctx.position - h.hb_last_pos in
+  let sample =
+    {
+      Ormp_telemetry.Heartbeat.wall_s = Int64.to_float (Int64.sub now h.hb_start_ns) /. 1e9;
+      position = ctx.position;
+      events_per_sec = (if dt_s > 0.0 then float_of_int events /. dt_s else 0.0);
+      live_objects = Omc.live_objects (Cdc.omc cdc);
+      grammar_symbols = total_symbols ctx;
+      leap_streams = Leap.stream_count ctx.leap;
+      journal_bytes = (match ctx.journal with Some j -> Journal.bytes j | None -> 0);
+      snapshot_bytes = ctx.last_snapshot_bytes;
+      last_checkpoint = ctx.last_checkpoint_pos;
+      degraded =
+        List.sort_uniq compare
+          (List.map (fun d -> d.Snapshot.dg_kind) ctx.degradations);
+    }
+  in
+  h.hb_last_ns <- now;
+  h.hb_last_pos <- ctx.position;
+  try Ormp_telemetry.Heartbeat.append h.hb_path sample with Sys_error _ -> ()
+
 (* Post-application triggers, at exact raw-event positions so that replay
-   and re-execution hit them identically. *)
+   and re-execution hit them identically. (The heartbeat is the exception:
+   it observes wall-clock rates, so replay re-emits samples with replay
+   timing — the file is append-only and watchers read the latest line.) *)
 let triggers ctx cdc =
   let o = ctx.options in
   if o.watch_every > 0 && ctx.position mod o.watch_every = 0 then
     if o.grammar_budget > 0 && total_symbols ctx > o.grammar_budget then rotate ctx;
   if ctx.checkpointing && o.checkpoint_every > 0 && ctx.position mod o.checkpoint_every = 0
-  then checkpoint ctx cdc
+  then checkpoint ctx cdc;
+  match ctx.hb with
+  | Some h when ctx.position mod h.hb_every = 0 -> heartbeat ctx cdc h
+  | _ -> ()
 
 let journal_append ctx ev =
   match ctx.journal with
@@ -328,9 +391,15 @@ let journal_append ctx ev =
 (* --- finalization ------------------------------------------------------ *)
 
 let write_outputs ctx cdc ~elapsed =
+  Tm.span ~name:"session.finalize" @@ fun () ->
   (* Group labels resolve through the OMC's own [site_name] closure, which
      reads the now-filled table reference — no plumbing needed here. *)
   let omc = Cdc.omc cdc in
+  (* One finalize covers all five grammar dimensions (4 WHOMP + RASG),
+     the OMC and the LEAP table, so a --telemetry session snapshot spans
+     every profiler stage. *)
+  Omc.publish_gauges omc;
+  W.publish_dim_gauges (W.collector_dims ctx.whomp @ [ ("rasg", ctx.rasg) ]);
   let whomp_profile =
     {
       W.dims = W.collector_dims ctx.whomp;
@@ -372,7 +441,8 @@ type restore = {
   rs_crc : int;  (* CRC over all of them *)
 }
 
-let execute ?io ~dir ~workload ~(config : Ormp_vm.Config.t) ~(options : options) ~restore () =
+let execute ?io ?(heartbeat_every = 0) ~dir ~workload ~(config : Ormp_vm.Config.t)
+    ~(options : options) ~restore () =
   let* program = find_workload workload in
   (* Sites are named through the table the run produces (cf. Whomp.profile);
      the reference is filled once the workload finishes. *)
@@ -387,6 +457,19 @@ let execute ?io ~dir ~workload ~(config : Ormp_vm.Config.t) ~(options : options)
       dir;
       io;
       options;
+      hb =
+        (if heartbeat_every > 0 then begin
+           let now = Ormp_util.Clock.now_ns () in
+           Some
+             {
+               hb_every = heartbeat_every;
+               hb_path = dir // heartbeat_file;
+               hb_start_ns = now;
+               hb_last_ns = now;
+               hb_last_pos = 0;
+             }
+         end
+         else None);
       whomp = W.collector ();
       rasg = Seq_c.create ();
       leap = Leap.collector ?budget:options.leap_budget ~max_streams:options.max_streams ();
@@ -397,6 +480,8 @@ let execute ?io ~dir ~workload ~(config : Ormp_vm.Config.t) ~(options : options)
       epochs = [];
       degradations = [];
       checkpoints_written = 0;
+      last_snapshot_bytes = 0;
+      last_checkpoint_pos = 0;
       journal = None;
       jcrc = 0;
       checkpointing = options.checkpoint_every > 0;
@@ -433,12 +518,13 @@ let execute ?io ~dir ~workload ~(config : Ormp_vm.Config.t) ~(options : options)
          rewrites are idempotent), but nothing is re-journaled — the CRC is
          re-derived instead so rewritten snapshots carry the right value. *)
       let cdc_sink = Cdc.sink cdc in
-      Array.iter
-        (fun ev ->
-          ctx.jcrc <- Ormp_util.Crc32.update ctx.jcrc (Tf.event_line ev);
-          apply ctx cdc_sink ev;
-          triggers ctx cdc)
-        r.rs_tail;
+      (Tm.span ~name:"session.replay" @@ fun () ->
+       Array.iter
+         (fun ev ->
+           ctx.jcrc <- Ormp_util.Crc32.update ctx.jcrc (Tf.event_line ev);
+           apply ctx cdc_sink ev;
+           triggers ctx cdc)
+         r.rs_tail);
       ctx.journal <- Some (Journal.create ?io ~resume:(r.rs_count, r.rs_crc) (dir // journal_file));
       (cdc, Some snap.Snapshot.position, Array.length r.rs_tail)
   in
@@ -509,7 +595,8 @@ let execute ?io ~dir ~workload ~(config : Ormp_vm.Config.t) ~(options : options)
 
 (* --- public entry points ----------------------------------------------- *)
 
-let run ?io ?(config = Ormp_vm.Config.default) ?(options = default_options) ~dir ~workload () =
+let run ?io ?heartbeat_every ?(config = Ormp_vm.Config.default) ?(options = default_options)
+    ~dir ~workload () =
   let* _ = find_workload workload in
   mkdirs dir;
   if Sys.file_exists (dir // manifest_file) then
@@ -517,7 +604,7 @@ let run ?io ?(config = Ormp_vm.Config.default) ?(options = default_options) ~dir
   else begin
     Storage.write_atomic ~path:(dir // manifest_file)
       (S.to_string (manifest_to_sexp ~workload ~config ~options) ^ "\n");
-    execute ?io ~dir ~workload ~config ~options ~restore:None ()
+    execute ?io ?heartbeat_every ~dir ~workload ~config ~options ~restore:None ()
   end
 
 let newest_snapshot dir =
@@ -538,7 +625,7 @@ let newest_snapshot dir =
   in
   first_valid ordinals
 
-let resume ?io ~dir () =
+let resume ?io ?heartbeat_every ~dir () =
   let* manifest_sexp =
     match S.load (dir // manifest_file) with
     | Ok s -> Ok s
@@ -566,7 +653,7 @@ let resume ?io ~dir () =
   in
   (* With no usable snapshot (or a journal that contradicts it), fall back
      to a from-scratch run over the same manifest — correct, just slower. *)
-  execute ?io ~dir ~workload ~config ~options ~restore ()
+  execute ?io ?heartbeat_every ~dir ~workload ~config ~options ~restore ()
 
 let status ~dir =
   let* manifest_sexp =

@@ -56,8 +56,14 @@ val find_workload : string -> (Ormp_vm.Program.t, string) result
 (** Resolve by {!Ormp_workloads.Registry} name/spec-ref, then by
     {!Ormp_workloads.Micro} name. *)
 
+val heartbeat_file : string
+(** Name of the heartbeat sample file inside a session directory
+    ([heartbeat]) — one {!Ormp_telemetry.Heartbeat.sample} s-expression
+    per line, append-only. *)
+
 val run :
   ?io:Ormp_workloads.Faults.Io.t ->
+  ?heartbeat_every:int ->
   ?config:Ormp_vm.Config.t ->
   ?options:options ->
   dir:string ->
@@ -68,12 +74,21 @@ val run :
     Writes [manifest], [journal.trace], snapshots, and on completion
     [whomp.profile] / [rasg.profile] / [leap.profile] plus a [report].
 
+    [heartbeat_every] (0 = off, the default) appends a progress sample to
+    {!heartbeat_file} every N raw events. The cadence is deliberately not
+    stored in the manifest: it observes a process, it does not identify
+    the session, and resume is free to pick a different one.
+
     Raises whatever kills the run — notably
     {!Ormp_workloads.Faults.Io.Killed} from an injected crash — after
     making the journal durable, so a later {!resume} can continue. *)
 
 val resume :
-  ?io:Ormp_workloads.Faults.Io.t -> dir:string -> unit -> (outcome, string) result
+  ?io:Ormp_workloads.Faults.Io.t ->
+  ?heartbeat_every:int ->
+  dir:string ->
+  unit ->
+  (outcome, string) result
 (** Continue a session killed mid-run. Picks the newest snapshot whose
     seal and journal cross-check hold (falling back to older ones, or to
     a from-scratch re-run when none survive), replays the journal tail,

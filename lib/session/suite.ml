@@ -67,6 +67,7 @@ let run ?(bench = false) ?timeout_s ?(retries = 1) ?backoff_s ?(faults = []) ?co
         in
         let outcome =
           Supervise.run ?timeout_s ~retries ?backoff_s (fun ~should_stop ->
+              Ormp_telemetry.Telemetry.span ~name:("suite:" ^ e.Registry.name) @@ fun () ->
               let p = profile_task ?config program ~should_stop in
               (match out_dir with
               | Some d ->

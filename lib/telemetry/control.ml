@@ -1,0 +1,13 @@
+(* Global on/off switch for the whole telemetry layer.
+
+   Instrumentation sites in the hot path guard on [on ()], which compiles
+   to a single atomic load and branch — the bench overhead guard
+   (bench/main.ml, "telemetry" section) holds the disabled path to within
+   10% of the uninstrumented baseline. The flag is process-global rather
+   than per-domain: a profiling run either observes itself or it doesn't. *)
+
+let enabled = Atomic.make false
+
+let on () = Atomic.get enabled
+let enable () = Atomic.set enabled true
+let disable () = Atomic.set enabled false

@@ -1,0 +1,115 @@
+(* Heartbeat samples: periodic one-line progress records for a long
+   profiling session.
+
+   Written append-only as one s-expression per line so a crashed session
+   leaves a readable prefix and `ormp session status --watch` can tail the
+   file without any framing protocol. Fields capture the rates the paper
+   cares about (events/sec through the profiler) plus the state sizes
+   that govern memory: live objects in the OMC, grammar symbols across
+   the Sequitur dimensions, LEAP streams, and the on-disk journal and
+   snapshot footprint. *)
+
+type sample = {
+  wall_s : float;  (** seconds since session start (monotonic) *)
+  position : int;  (** events consumed so far *)
+  events_per_sec : float;  (** since the previous sample *)
+  live_objects : int;
+  grammar_symbols : int;  (** sum over all grammar dimensions *)
+  leap_streams : int;
+  journal_bytes : int;
+  snapshot_bytes : int;  (** newest snapshot on disk; 0 before the first *)
+  last_checkpoint : int;  (** position of the newest checkpoint; 0 if none *)
+  degraded : string list;  (** active degradation kinds, e.g. checkpointing *)
+}
+
+module S = Ormp_util.Sexp
+
+let to_sexp s =
+  let f v = S.Atom (Printf.sprintf "%.6g" v) in
+  S.List
+    [
+      S.field "wall_s" [ f s.wall_s ];
+      S.field "position" [ S.int s.position ];
+      S.field "events_per_sec" [ f s.events_per_sec ];
+      S.field "live_objects" [ S.int s.live_objects ];
+      S.field "grammar_symbols" [ S.int s.grammar_symbols ];
+      S.field "leap_streams" [ S.int s.leap_streams ];
+      S.field "journal_bytes" [ S.int s.journal_bytes ];
+      S.field "snapshot_bytes" [ S.int s.snapshot_bytes ];
+      S.field "last_checkpoint" [ S.int s.last_checkpoint ];
+      S.field "degraded" (List.map S.atom s.degraded);
+    ]
+
+let of_sexp sexp =
+  let ( let* ) = Result.bind in
+  let int1 name =
+    match S.assoc name sexp with
+    | Ok [ v ] -> S.as_int v
+    | Ok _ -> Error (name ^ ": expected one value")
+    | Error e -> Error e
+  in
+  let float1 name =
+    match S.assoc name sexp with
+    | Ok [ v ] -> Result.map float_of_string (S.as_atom v)
+    | Ok _ -> Error (name ^ ": expected one value")
+    | Error e -> Error e
+  in
+  try
+    let* wall_s = float1 "wall_s" in
+    let* position = int1 "position" in
+    let* events_per_sec = float1 "events_per_sec" in
+    let* live_objects = int1 "live_objects" in
+    let* grammar_symbols = int1 "grammar_symbols" in
+    let* leap_streams = int1 "leap_streams" in
+    let* journal_bytes = int1 "journal_bytes" in
+    let* snapshot_bytes = int1 "snapshot_bytes" in
+    let* last_checkpoint = int1 "last_checkpoint" in
+    let degraded =
+      match S.assoc "degraded" sexp with
+      | Ok atoms -> List.filter_map (fun a -> Result.to_option (S.as_atom a)) atoms
+      | Error _ -> []
+    in
+    Ok
+      {
+        wall_s;
+        position;
+        events_per_sec;
+        live_objects;
+        grammar_symbols;
+        leap_streams;
+        journal_bytes;
+        snapshot_bytes;
+        last_checkpoint;
+        degraded;
+      }
+  with Failure _ -> Error "heartbeat: malformed number"
+
+let append path s =
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  output_string oc (S.to_string (to_sexp s));
+  output_char oc '\n';
+  close_out oc
+
+(* Loads every well-formed line; a torn trailing line (crash mid-write)
+   is skipped rather than failing the whole file. *)
+let load path =
+  if not (Sys.file_exists path) then []
+  else begin
+    let ic = open_in path in
+    let rec go acc =
+      match input_line ic with
+      | exception End_of_file -> List.rev acc
+      | line ->
+        if String.trim line = "" then go acc
+        else
+          let acc =
+            match S.of_string line with
+            | Error _ -> acc
+            | Ok sexp -> ( match of_sexp sexp with Ok s -> s :: acc | Error _ -> acc)
+          in
+          go acc
+    in
+    let samples = go [] in
+    close_in ic;
+    samples
+  end

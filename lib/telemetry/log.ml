@@ -1,0 +1,71 @@
+(* Leveled diagnostics for library code.
+
+   Library modules must never write to stderr unconditionally (a --quiet
+   CLI run or an embedding application owns that stream); they report
+   through here instead. The level starts from the ORMP_LOG environment
+   variable (quiet|error|warn|info|debug, default warn) and the CLI can
+   override it with set_level. *)
+
+type level = Quiet | Error | Warn | Info | Debug
+
+let severity = function Quiet -> 0 | Error -> 1 | Warn -> 2 | Info -> 3 | Debug -> 4
+
+let level_of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "quiet" | "off" | "none" -> Some Quiet
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let level_name = function
+  | Quiet -> "quiet"
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let default_level () =
+  match Sys.getenv_opt "ORMP_LOG" with
+  | None -> Warn
+  | Some s -> ( match level_of_string s with Some l -> l | None -> Warn)
+
+let current = Atomic.make (severity (default_level ()))
+
+let set_level l = Atomic.set current (severity l)
+let level () =
+  match Atomic.get current with
+  | 0 -> Quiet
+  | 1 -> Error
+  | 2 -> Warn
+  | 3 -> Info
+  | _ -> Debug
+
+let enabled l = severity l <= Atomic.get current
+
+(* Tests capture output by swapping the emitter; default goes to stderr
+   in one write so concurrent domains don't interleave mid-line. *)
+let emitter : (string -> unit) ref =
+  ref (fun line ->
+      output_string stderr line;
+      flush stderr)
+
+let set_emitter f = emitter := f
+
+let logf lvl ?src fmt =
+  Printf.ksprintf
+    (fun msg ->
+      if enabled lvl then
+        let prefix =
+          match src with
+          | Some s -> Printf.sprintf "[%s] %s: " (level_name lvl) s
+          | None -> Printf.sprintf "[%s] " (level_name lvl)
+        in
+        !emitter (prefix ^ msg ^ "\n"))
+    fmt
+
+let errf ?src fmt = logf Error ?src fmt
+let warnf ?src fmt = logf Warn ?src fmt
+let infof ?src fmt = logf Info ?src fmt
+let debugf ?src fmt = logf Debug ?src fmt

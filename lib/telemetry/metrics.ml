@@ -1,0 +1,315 @@
+(* Domain-safe metrics registry: monotonic counters, latest-wins gauges,
+   and log2-bucketed histograms for latencies/sizes.
+
+   Layout is built for a write-heavy hot path read by an occasional
+   snapshot. Registration (rare, at module init) interns a name to a
+   small integer id under a mutex; recording (hot) indexes a per-domain
+   store obtained through Domain.DLS, so domains never contend on writes.
+   A snapshot walks every domain's store and merges: counters sum,
+   histograms merge bucket-wise, gauges keep the most recently stamped
+   value. Snapshot reads race with writers by design — observability
+   tolerates a torn read of an int; correctness-critical state lives
+   elsewhere.
+
+   Histograms record in log2 space (one bucket per eighth of a doubling,
+   0..2^64) so one layout serves nanoseconds and byte sizes; exact
+   count/sum/min/max ride alongside, and quantiles convert back with
+   exp2. *)
+
+module H = Ormp_util.Histogram
+
+type kind = Counter | Gauge | Hist
+
+type counter = int
+type gauge = int
+type histogram = int
+
+(* --- registry (rare path, mutex-protected) ---------------------------- *)
+
+let registry_mutex = Mutex.create ()
+let ids : (string, int) Hashtbl.t = Hashtbl.create 64
+let defs : (string * kind) Ormp_util.Vec.t = Ormp_util.Vec.create ()
+
+let intern name kind =
+  Mutex.lock registry_mutex;
+  let id =
+    match Hashtbl.find_opt ids name with
+    | Some id ->
+      let _, k = Ormp_util.Vec.get defs id in
+      if k <> kind then begin
+        Mutex.unlock registry_mutex;
+        invalid_arg (Printf.sprintf "Metrics: %S re-registered with a different kind" name)
+      end;
+      id
+    | None ->
+      let id = Ormp_util.Vec.length defs in
+      Hashtbl.replace ids name id;
+      Ormp_util.Vec.push defs (name, kind);
+      id
+  in
+  Mutex.unlock registry_mutex;
+  id
+
+let counter name : counter = intern name Counter
+let gauge name : gauge = intern name Gauge
+let histogram name : histogram = intern name Hist
+
+(* --- per-domain stores (hot path) ------------------------------------- *)
+
+(* log2 buckets: 8 per doubling over 0..2^64. *)
+let log2_buckets = 512
+let log2_hi = 64.0
+
+type hist_cell = {
+  h : H.t;
+  mutable hcount : int;
+  mutable hsum : float;
+  mutable hmin : float;
+  mutable hmax : float;
+}
+
+type store = {
+  mutable counters : int array;
+  mutable gauges : float array;
+  mutable gstamps : int array;
+  mutable hists : hist_cell option array;
+}
+
+let stores_mutex = Mutex.create ()
+let stores : store Ormp_util.Vec.t = Ormp_util.Vec.create ()
+
+(* Monotone stamp so a snapshot can pick the newest gauge write across
+   domains without any cross-domain ordering on the values themselves. *)
+let gauge_clock = Atomic.make 0
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let s =
+        { counters = [||]; gauges = [||]; gstamps = [||]; hists = [||] }
+      in
+      Mutex.lock stores_mutex;
+      Ormp_util.Vec.push stores s;
+      Mutex.unlock stores_mutex;
+      s)
+
+let grow_int a n = Array.append a (Array.make (n - Array.length a) 0)
+let grow_float a n = Array.append a (Array.make (n - Array.length a) 0.0)
+
+let ensure_counter s id =
+  if id >= Array.length s.counters then s.counters <- grow_int s.counters (max 16 (id + 1))
+
+let ensure_gauge s id =
+  if id >= Array.length s.gauges then begin
+    s.gauges <- grow_float s.gauges (max 16 (id + 1));
+    s.gstamps <- grow_int s.gstamps (max 16 (id + 1))
+  end
+
+let ensure_hist s id =
+  if id >= Array.length s.hists then
+    s.hists <- Array.append s.hists (Array.make (max 16 (id + 1) - Array.length s.hists) None);
+  match s.hists.(id) with
+  | Some c -> c
+  | None ->
+    let c =
+      {
+        h = H.create ~lo:0.0 ~hi:log2_hi ~buckets:log2_buckets;
+        hcount = 0;
+        hsum = 0.0;
+        hmin = Float.infinity;
+        hmax = Float.neg_infinity;
+      }
+    in
+    s.hists.(id) <- Some c;
+    c
+
+let add (id : counter) n =
+  let s = Domain.DLS.get key in
+  ensure_counter s id;
+  s.counters.(id) <- s.counters.(id) + n
+
+let incr id = add id 1
+
+let set (id : gauge) v =
+  let s = Domain.DLS.get key in
+  ensure_gauge s id;
+  s.gauges.(id) <- v;
+  s.gstamps.(id) <- 1 + Atomic.fetch_and_add gauge_clock 1
+
+let observe (id : histogram) v =
+  let s = Domain.DLS.get key in
+  let c = ensure_hist s id in
+  H.add c.h (if v <= 1.0 then 0.0 else Float.log2 v);
+  c.hcount <- c.hcount + 1;
+  c.hsum <- c.hsum +. v;
+  if v < c.hmin then c.hmin <- v;
+  if v > c.hmax then c.hmax <- v
+
+(* --- snapshot ---------------------------------------------------------- *)
+
+type hist_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type snapshot = {
+  snap_counters : (string * int) list;
+  snap_gauges : (string * float) list;
+  snap_hists : (string * hist_summary) list;
+}
+
+let snapshot () =
+  Mutex.lock registry_mutex;
+  let defs = Ormp_util.Vec.to_array defs in
+  Mutex.unlock registry_mutex;
+  Mutex.lock stores_mutex;
+  let stores = Ormp_util.Vec.to_array stores in
+  Mutex.unlock stores_mutex;
+  let counters = ref [] and gauges = ref [] and hists = ref [] in
+  Array.iteri
+    (fun id (name, kind) ->
+      match kind with
+      | Counter ->
+        let v =
+          Array.fold_left
+            (fun acc s -> if id < Array.length s.counters then acc + s.counters.(id) else acc)
+            0 stores
+        in
+        if v <> 0 then counters := (name, v) :: !counters
+      | Gauge ->
+        let v = ref 0.0 and stamp = ref 0 in
+        Array.iter
+          (fun s ->
+            if id < Array.length s.gauges && s.gstamps.(id) > !stamp then begin
+              stamp := s.gstamps.(id);
+              v := s.gauges.(id)
+            end)
+          stores;
+        if !stamp > 0 then gauges := (name, !v) :: !gauges
+      | Hist ->
+        let merged = ref None in
+        Array.iter
+          (fun s ->
+            if id < Array.length s.hists then
+              match s.hists.(id) with
+              | None -> ()
+              | Some c -> (
+                match !merged with
+                | None ->
+                  merged :=
+                    Some
+                      {
+                        h = H.merge c.h (H.create ~lo:0.0 ~hi:log2_hi ~buckets:log2_buckets);
+                        hcount = c.hcount;
+                        hsum = c.hsum;
+                        hmin = c.hmin;
+                        hmax = c.hmax;
+                      }
+                | Some m ->
+                  merged :=
+                    Some
+                      {
+                        h = H.merge m.h c.h;
+                        hcount = m.hcount + c.hcount;
+                        hsum = m.hsum +. c.hsum;
+                        hmin = Float.min m.hmin c.hmin;
+                        hmax = Float.max m.hmax c.hmax;
+                      }))
+          stores;
+        match !merged with
+        | None -> ()
+        | Some m when m.hcount = 0 -> ()
+        | Some m ->
+          let q p = Float.exp2 (H.quantile m.h p) in
+          hists :=
+            ( name,
+              {
+                count = m.hcount;
+                sum = m.hsum;
+                min = m.hmin;
+                max = m.hmax;
+                p50 = q 0.5;
+                p90 = q 0.9;
+                p99 = q 0.99;
+              } )
+            :: !hists)
+    defs;
+  {
+    snap_counters = List.rev !counters;
+    snap_gauges = List.rev !gauges;
+    snap_hists = List.rev !hists;
+  }
+
+(* Zero every store in place. Metric ids stay interned — handles held by
+   instrumentation sites remain valid. Used by benches between runs and by
+   tests; concurrent writers will race harmlessly. *)
+let reset () =
+  Mutex.lock stores_mutex;
+  let stores = Ormp_util.Vec.to_array stores in
+  Mutex.unlock stores_mutex;
+  Array.iter
+    (fun s ->
+      Array.fill s.counters 0 (Array.length s.counters) 0;
+      Array.fill s.gauges 0 (Array.length s.gauges) 0.0;
+      Array.fill s.gstamps 0 (Array.length s.gstamps) 0;
+      s.hists <- Array.make (Array.length s.hists) None)
+    stores
+
+(* --- export ------------------------------------------------------------ *)
+
+let to_sexp snap =
+  let module S = Ormp_util.Sexp in
+  let float_atom f = S.Atom (Printf.sprintf "%.6g" f) in
+  S.List
+    [
+      S.List
+        (S.Atom "counters"
+        :: List.map (fun (n, v) -> S.List [ S.Atom n; S.int v ]) snap.snap_counters);
+      S.List
+        (S.Atom "gauges"
+        :: List.map (fun (n, v) -> S.List [ S.Atom n; float_atom v ]) snap.snap_gauges);
+      S.List
+        (S.Atom "histograms"
+        :: List.map
+             (fun (n, h) ->
+               S.List
+                 [
+                   S.Atom n;
+                   S.field "count" [ S.int h.count ];
+                   S.field "sum" [ float_atom h.sum ];
+                   S.field "min" [ float_atom h.min ];
+                   S.field "max" [ float_atom h.max ];
+                   S.field "p50" [ float_atom h.p50 ];
+                   S.field "p90" [ float_atom h.p90 ];
+                   S.field "p99" [ float_atom h.p99 ];
+                 ])
+             snap.snap_hists);
+    ]
+
+let to_json snap =
+  let module J = Ormp_util.Json in
+  J.Obj
+    [
+      ("counters", J.Obj (List.map (fun (n, v) -> (n, J.Int v)) snap.snap_counters));
+      ("gauges", J.Obj (List.map (fun (n, v) -> (n, J.Float v)) snap.snap_gauges));
+      ( "histograms",
+        J.Obj
+          (List.map
+             (fun (n, h) ->
+               ( n,
+                 J.Obj
+                   [
+                     ("count", J.Int h.count);
+                     ("sum", J.Float h.sum);
+                     ("min", J.Float h.min);
+                     ("max", J.Float h.max);
+                     ("p50", J.Float h.p50);
+                     ("p90", J.Float h.p90);
+                     ("p99", J.Float h.p99);
+                   ] ))
+             snap.snap_hists) );
+    ]

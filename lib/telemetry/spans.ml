@@ -1,0 +1,175 @@
+(* Span tracing with Chrome trace_event export.
+
+   Each domain appends begin/end records to its own buffer (no locking on
+   the record path); export interleaves all buffers into one Perfetto-
+   compatible JSON document, with the domain id as the tid so per-domain
+   lanes render separately. Records carry B/E phases rather than complete
+   (X) events because strict pairing is itself a property we verify: a
+   crash inside a span would otherwise silently drop the interval.
+
+   Buffers are capped; once full, further spans count as dropped rather
+   than grow without bound — a profiler must not OOM the process it
+   observes. [span] still runs the thunk when disabled or saturated. *)
+
+type record = { name : string; phase : char; ts_ns : int64 }
+
+type buffer = {
+  tid : int;
+  records : record Ormp_util.Vec.t;
+  mutable dropped : int;
+  mutable depth : int;
+}
+
+let cap = 1 lsl 18
+
+let buffers_mutex = Mutex.create ()
+let buffers : buffer Ormp_util.Vec.t = Ormp_util.Vec.create ()
+
+(* Timestamps are exported relative to this module-load epoch so the
+   Perfetto timeline starts near zero instead of at machine uptime. *)
+let epoch_ns = Ormp_util.Clock.now_ns ()
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let b =
+        {
+          tid = (Domain.self () :> int);
+          records = Ormp_util.Vec.create ();
+          dropped = 0;
+          depth = 0;
+        }
+      in
+      Mutex.lock buffers_mutex;
+      Ormp_util.Vec.push buffers b;
+      Mutex.unlock buffers_mutex;
+      b)
+
+let emit b name phase =
+  if Ormp_util.Vec.length b.records < cap then
+    Ormp_util.Vec.push b.records { name; phase; ts_ns = Ormp_util.Clock.now_ns () }
+  else b.dropped <- b.dropped + 1
+
+let span ~name f =
+  if not (Control.on ()) then f ()
+  else begin
+    let b = Domain.DLS.get key in
+    emit b name 'B';
+    b.depth <- b.depth + 1;
+    (* The E record must go out even when [f] raises, or the export would
+       fail its own nesting validation after any error path. *)
+    Fun.protect
+      ~finally:(fun () ->
+        b.depth <- b.depth - 1;
+        emit b name 'E')
+      f
+  end
+
+let dropped () =
+  Mutex.lock buffers_mutex;
+  let n = Ormp_util.Vec.fold_left (fun acc b -> acc + b.dropped) 0 buffers in
+  Mutex.unlock buffers_mutex;
+  n
+
+let reset () =
+  Mutex.lock buffers_mutex;
+  Ormp_util.Vec.iter
+    (fun b ->
+      Ormp_util.Vec.clear b.records;
+      b.dropped <- 0;
+      b.depth <- 0)
+    buffers;
+  Mutex.unlock buffers_mutex
+
+(* --- Chrome trace_event export ---------------------------------------- *)
+
+let to_json () =
+  let module J = Ormp_util.Json in
+  Mutex.lock buffers_mutex;
+  let buffers = Ormp_util.Vec.to_array buffers in
+  Mutex.unlock buffers_mutex;
+  let events = ref [] in
+  Array.iter
+    (fun b ->
+      (* A domain can be mid-span when we export (e.g. the exporting span
+         itself); emit only the balanced prefix so the document always
+         validates. *)
+      let n = Ormp_util.Vec.length b.records in
+      let balanced = ref 0 in
+      let depth = ref 0 in
+      for i = 0 to n - 1 do
+        let r = Ormp_util.Vec.get b.records i in
+        (match r.phase with 'B' -> Stdlib.incr depth | _ -> Stdlib.decr depth);
+        if !depth = 0 then balanced := i + 1
+      done;
+      for i = !balanced - 1 downto 0 do
+        let r = Ormp_util.Vec.get b.records i in
+        let ts_us = Int64.to_float (Int64.sub r.ts_ns epoch_ns) /. 1000.0 in
+        events :=
+          J.Obj
+            [
+              ("name", J.String r.name);
+              ("cat", J.String "ormp");
+              ("ph", J.String (String.make 1 r.phase));
+              ("ts", J.Float ts_us);
+              ("pid", J.Int 1);
+              ("tid", J.Int b.tid);
+            ]
+          :: !events
+      done)
+    buffers;
+  J.Obj [ ("traceEvents", J.List !events); ("displayTimeUnit", J.String "ns") ]
+
+(* Validates a parsed trace document: every event well-formed, and per-tid
+   B/E phases strictly paired with matching names (LIFO). Returns the
+   number of complete spans. Used by [ormp stats --check] and tests. *)
+let validate_json (j : Ormp_util.Json.t) : (int, string) result =
+  let module J = Ormp_util.Json in
+  match J.member "traceEvents" j with
+  | None -> Error "missing traceEvents"
+  | Some ev -> (
+    match J.to_list ev with
+    | None -> Error "traceEvents is not a list"
+    | Some events -> (
+      let stacks : (int, string list ref) Hashtbl.t = Hashtbl.create 8 in
+      let spans = ref 0 in
+      let err = ref None in
+      List.iteri
+        (fun i e ->
+          if !err = None then
+            let field name conv =
+              match Option.bind (J.member name e) conv with
+              | Some v -> Ok v
+              | None -> Error (Printf.sprintf "event %d: bad %s" i name)
+            in
+            match (field "name" J.to_str, field "ph" J.to_str, field "tid" J.to_int) with
+            | Error m, _, _ | _, Error m, _ | _, _, Error m -> err := Some m
+            | Ok name, Ok ph, Ok tid -> (
+              let stack =
+                match Hashtbl.find_opt stacks tid with
+                | Some s -> s
+                | None ->
+                  let s = ref [] in
+                  Hashtbl.replace stacks tid s;
+                  s
+              in
+              match ph with
+              | "B" -> stack := name :: !stack
+              | "E" -> (
+                match !stack with
+                | top :: rest when top = name ->
+                  stack := rest;
+                  Stdlib.incr spans
+                | top :: _ ->
+                  err :=
+                    Some
+                      (Printf.sprintf "event %d: E %S closes open span %S (tid %d)" i name top
+                         tid)
+                | [] -> err := Some (Printf.sprintf "event %d: E %S with no open span" i name))
+              | _ -> err := Some (Printf.sprintf "event %d: unknown phase %S" i ph)))
+        events;
+      match !err with
+      | Some m -> Error m
+      | None ->
+        let unclosed = Hashtbl.fold (fun _ s acc -> acc + List.length !s) stacks 0 in
+        if unclosed > 0 then Error (Printf.sprintf "%d unclosed span(s)" unclosed)
+        else Ok !spans))

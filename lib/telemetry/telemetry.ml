@@ -1,0 +1,39 @@
+(* Facade for the telemetry layer: one module to open at instrumentation
+   sites and one entry point for the CLI to dump everything a run
+   collected. See DESIGN.md §10 for the metric and span schema. *)
+
+module Control = Control
+module Log = Log
+module Metrics = Metrics
+module Spans = Spans
+module Heartbeat = Heartbeat
+
+let on = Control.on
+let enable = Control.enable
+let disable = Control.disable
+
+let now_ns = Ormp_util.Clock.now_ns
+
+let span = Spans.span
+
+(* Export file names under the --telemetry directory. *)
+let metrics_sexp_file = "metrics.sexp"
+let metrics_json_file = "metrics.json"
+let trace_file = "trace.json"
+
+let write_reports ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let snap = Metrics.snapshot () in
+  Ormp_util.Sexp.save (Filename.concat dir metrics_sexp_file) (Metrics.to_sexp snap);
+  let write_json name j =
+    let oc = open_out (Filename.concat dir name) in
+    output_string oc (Ormp_util.Json.to_string j);
+    output_char oc '\n';
+    close_out oc
+  in
+  write_json metrics_json_file (Metrics.to_json snap);
+  write_json trace_file (Spans.to_json ())
+
+let reset () =
+  Metrics.reset ();
+  Spans.reset ()

@@ -47,7 +47,7 @@ let parse_line line =
     | _ -> Error "malformed free")
   | _ -> Error "unrecognized event"
 
-let default_truncation_warning msg = Printf.eprintf "trace: %s\n%!" msg
+let default_truncation_warning msg = Ormp_telemetry.Log.warnf ~src:"trace" "%s" msg
 
 let replay ?(on_truncated = default_truncation_warning) path sink =
   match open_in path with

@@ -73,6 +73,50 @@ let labels t =
           let k = i - half_buckets in
           Printf.sprintf "(%g,%g]" (w *. float_of_int (k - 1)) (w *. float_of_int k))
 
+(* Nominal [lo, hi) range of bucket [i]. Edge buckets also absorb clamped
+   out-of-range values, but their nominal bounds are what quantile
+   interpolation uses — the clamp already lost the true magnitudes. The
+   center bucket of a [Centered] layout is the exact point 0. *)
+let bucket_bounds t i =
+  let n = Array.length t.counts in
+  if i < 0 || i >= n then invalid_arg "Histogram.bucket_bounds: bucket out of range";
+  match t.layout with
+  | Uniform { lo; hi } ->
+    let w = (hi -. lo) /. float_of_int n in
+    (lo +. (w *. float_of_int i), lo +. (w *. float_of_int (i + 1)))
+  | Centered { half_width; half_buckets } ->
+    let w = half_width /. float_of_int half_buckets in
+    if i = half_buckets then (0.0, 0.0)
+    else if i < half_buckets then
+      let k = half_buckets - i in
+      (0.0 -. (w *. float_of_int k), 0.0 -. (w *. float_of_int (k - 1)))
+    else
+      let k = i - half_buckets in
+      (w *. float_of_int (k - 1), w *. float_of_int k)
+
+(* Inverse CDF with linear interpolation inside the winning bucket. [p] is
+   clamped to [0, 1]; an empty histogram has no quantiles (nan). *)
+let quantile t p =
+  if t.total = 0 then Float.nan
+  else begin
+    let p = if p < 0.0 then 0.0 else if p > 1.0 then 1.0 else p in
+    let target = p *. float_of_int t.total in
+    let n = Array.length t.counts in
+    let rec go i cum =
+      if i >= n then snd (bucket_bounds t (n - 1))
+      else
+        let c = t.counts.(i) in
+        let cum' = cum +. float_of_int c in
+        if c > 0 && cum' >= target then begin
+          let lo, hi = bucket_bounds t i in
+          if target <= cum then lo
+          else lo +. ((hi -. lo) *. ((target -. cum) /. float_of_int c))
+        end
+        else go (i + 1) cum'
+    in
+    go 0 0.0
+  end
+
 let merge a b =
   if a.layout <> b.layout || Array.length a.counts <> Array.length b.counts then
     invalid_arg "Histogram.merge: layout mismatch";

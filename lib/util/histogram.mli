@@ -37,6 +37,16 @@ val labels : t -> string array
 val bucket_of : t -> float -> int
 (** Index of the bucket a sample would land in. *)
 
+val bucket_bounds : t -> int -> float * float
+(** Nominal [(lo, hi)] range of a bucket. Edge buckets also absorb clamped
+    out-of-range samples; the center bucket of a {!val:centered} layout is
+    the exact point [(0, 0)].
+    @raise Invalid_argument when the index is out of range. *)
+
+val quantile : t -> float -> float
+(** [quantile t p] is the inverse CDF at [p] (clamped to [\[0, 1\]]), with
+    linear interpolation inside the winning bucket. [nan] when empty. *)
+
 val merge : t -> t -> t
 (** Sum of two histograms with identical layouts.
     @raise Invalid_argument on layout mismatch. *)

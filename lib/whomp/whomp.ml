@@ -1,4 +1,22 @@
 module Seq_c = Ormp_sequitur.Sequitur
+module Tm = Ormp_telemetry.Telemetry
+
+(* Publish per-grammar gauges at finalize; the session layer also routes
+   its RASG baseline through this so all five grammar dimensions show up
+   in one metrics snapshot. *)
+let publish_dim_gauges dims =
+  if Tm.on () then
+    List.iter
+      (fun (name, g) ->
+        let set suffix v =
+          Tm.Metrics.set
+            (Tm.Metrics.gauge (Printf.sprintf "sequitur.%s.%s" name suffix))
+            (float_of_int v)
+        in
+        set "symbols" (Seq_c.grammar_size g);
+        set "rules" (Seq_c.rule_count g);
+        set "input" (Seq_c.input_length g))
+      dims
 
 type profile = {
   dims : (string * Seq_c.t) list;
@@ -41,6 +59,8 @@ let make_cdc ?grouping ~site_name () =
   let c = collector () in
   let cdc = Ormp_core.Cdc.create ?grouping ~site_name ~on_tuple:(collect c) () in
   let finalize ~elapsed =
+    publish_dim_gauges (collector_dims c);
+    Ormp_core.Omc.publish_gauges (Ormp_core.Cdc.omc cdc);
     {
       dims = collector_dims c;
       collected = Ormp_core.Cdc.collected cdc;

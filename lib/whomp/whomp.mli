@@ -54,6 +54,10 @@ val collect : collector -> Ormp_core.Tuple.t -> unit
 val collector_dims : collector -> (string * Ormp_sequitur.Sequitur.t) list
 (** The live grammars, named, in paper order — the {!profile} [dims]. *)
 
+val publish_dim_gauges : (string * Ormp_sequitur.Sequitur.t) list -> unit
+(** Publish per-grammar telemetry gauges (symbols/rules/input per named
+    dimension). No-op with telemetry disabled; called at finalize. *)
+
 val sink :
   ?grouping:Ormp_core.Omc.grouping ->
   site_name:(int -> string) ->

@@ -237,6 +237,78 @@ let prop_hist_total =
       Histogram.total h = List.length xs
       && Array.fold_left ( + ) 0 (Histogram.counts h) = List.length xs)
 
+let test_hist_bucket_bounds_uniform () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  let lo, hi = Histogram.bucket_bounds h 0 in
+  check_float "first lo" 0.0 lo;
+  check_float "first hi" 2.0 hi;
+  let lo, hi = Histogram.bucket_bounds h 4 in
+  check_float "last lo" 8.0 lo;
+  check_float "last hi" 10.0 hi;
+  check_bool "out of range raises" true
+    (try
+       ignore (Histogram.bucket_bounds h 5);
+       false
+     with Invalid_argument _ -> true)
+
+(* The edge buckets of a centered layout: values exactly on a k*w
+   boundary belong to the bucket whose upper bound they are (labels print
+   "(lo,hi]" on the right side), ±half_width lands in the outermost
+   buckets, and anything beyond clamps into them. bucket_bounds must
+   agree with bucket_of on all of those. *)
+let test_hist_centered_edge_bounds () =
+  let h = Histogram.centered ~half_width:10.0 ~half_buckets:2 in
+  let check_bounds name i (elo, ehi) =
+    let lo, hi = Histogram.bucket_bounds h i in
+    check_float (name ^ " lo") elo lo;
+    check_float (name ^ " hi") ehi hi
+  in
+  check_bounds "leftmost" 0 (-10.0, -5.0);
+  check_bounds "left" 1 (-5.0, 0.0);
+  check_bounds "center" 2 (0.0, 0.0);
+  check_bounds "right" 3 (0.0, 5.0);
+  check_bounds "rightmost" 4 (5.0, 10.0);
+  (* Exactly on the k*w boundaries. *)
+  check_int "5.0 is bucket 3's upper bound" 3 (Histogram.bucket_of h 5.0);
+  check_int "+half_width" 4 (Histogram.bucket_of h 10.0);
+  check_int "-5.0" 1 (Histogram.bucket_of h (-5.0));
+  check_int "-half_width" 0 (Histogram.bucket_of h (-10.0));
+  (* Clamped overflow joins the edge buckets. *)
+  check_int "overflow right" 4 (Histogram.bucket_of h 1e9);
+  check_int "overflow left" 0 (Histogram.bucket_of h (-1e9))
+
+let test_hist_quantile_empty () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  check_bool "empty is nan" true (Float.is_nan (Histogram.quantile h 0.5))
+
+let test_hist_quantile_interpolates () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  Histogram.add_n h 1.0 100;
+  (* All mass in [0,2): the quantile interpolates linearly inside it. *)
+  check_float "p0" 0.0 (Histogram.quantile h 0.0);
+  check_float "p50" 1.0 (Histogram.quantile h 0.5);
+  check_float "p100" 2.0 (Histogram.quantile h 1.0);
+  (* p clamps to [0,1]. *)
+  check_float "p<0 clamps" 0.0 (Histogram.quantile h (-3.0));
+  check_float "p>1 clamps" 2.0 (Histogram.quantile h 7.0)
+
+let test_hist_quantile_across_buckets () =
+  let h = Histogram.create ~lo:0.0 ~hi:10.0 ~buckets:5 in
+  Histogram.add h 1.0;
+  Histogram.add h 9.0;
+  check_float "median exhausts first bucket" 2.0 (Histogram.quantile h 0.5);
+  check_float "p75 inside last bucket" 9.0 (Histogram.quantile h 0.75)
+
+let prop_hist_quantile_monotone =
+  QCheck.Test.make ~name:"histogram quantile is monotone and in range" ~count:200
+    QCheck.(pair (list_of_size Gen.(1 -- 50) (float_range 0.0 100.0)) (float_range 0.0 1.0))
+    (fun (xs, p) ->
+      let h = Histogram.create ~lo:0.0 ~hi:100.0 ~buckets:20 in
+      List.iter (Histogram.add h) xs;
+      let q = Histogram.quantile h p in
+      let q' = Histogram.quantile h (Float.min 1.0 (p +. 0.25)) in
+      q >= 0.0 && q <= 100.0 && q <= q')
+
 (* ------------------------------------------------------------------ *)
 (* Ascii                                                               *)
 (* ------------------------------------------------------------------ *)
@@ -337,7 +409,13 @@ let () =
           tc "merge" test_hist_merge;
           tc "merge mismatch" test_hist_merge_mismatch;
           tc "labels" test_hist_labels;
+          tc "bucket bounds uniform" test_hist_bucket_bounds_uniform;
+          tc "centered edge bounds" test_hist_centered_edge_bounds;
+          tc "quantile empty" test_hist_quantile_empty;
+          tc "quantile interpolates" test_hist_quantile_interpolates;
+          tc "quantile across buckets" test_hist_quantile_across_buckets;
           QCheck_alcotest.to_alcotest prop_hist_total;
+          QCheck_alcotest.to_alcotest prop_hist_quantile_monotone;
         ] );
       ( "ascii",
         [
