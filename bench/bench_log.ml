@@ -46,12 +46,32 @@ type telemetry = {
   tl_stages : telemetry_stage list;
 }
 
+(* One point of the pipeline-parallel --jobs sweep: a combined
+   WHOMP+LEAP instrumented run at a given domain count. Speedup is
+   against the jobs=1 row of the same sweep; [cores] records what the
+   machine could actually parallelise, so a flat curve on a 1-core box
+   reads as the physics it is, not a regression. *)
+type scaling_row = {
+  sl_jobs : int;
+  sl_wall_s : float;
+  sl_speedup : float;  (** serial wall / this wall *)
+  sl_events_per_sec : float;
+}
+
+type scaling = {
+  sl_workload : string;
+  sl_cores : int;  (** Domain.recommended_domain_count at run time *)
+  sl_events : int;  (** accesses per run (collected + wild) *)
+  sl_rows : scaling_row list;
+}
+
 type t = {
   mode : string;  (** "fast" or "paper" *)
   mutable sections : (string * float) list;  (** reverse execution order *)
   mutable hotpath : hotpath option;
   mutable recovery : recovery option;
   mutable telemetry : telemetry option;
+  mutable scaling : scaling option;
   mutable suites_parallel : bool;
   mutable suites_wall_s : float;
   mutable suites : suite_row list;
@@ -65,6 +85,7 @@ let create ~mode =
     hotpath = None;
     recovery = None;
     telemetry = None;
+    scaling = None;
     suites_parallel = false;
     suites_wall_s = Float.nan;
     suites = [];
@@ -78,6 +99,8 @@ let set_hotpath t h = t.hotpath <- Some h
 let set_recovery t r = t.recovery <- Some r
 
 let set_telemetry t tl = t.telemetry <- Some tl
+
+let set_scaling t s = t.scaling <- Some s
 
 let set_suites t ~parallel ~wall_s rows =
   t.suites_parallel <- parallel;
@@ -187,6 +210,28 @@ let render t =
         buf_float b s.tl_total_ns;
         Buffer.add_string b ", \"p50_ns\": ";
         buf_float b s.tl_p50_ns;
+        Buffer.add_char b '}');
+    Buffer.add_char b '}');
+  (match t.scaling with
+  | None -> ()
+  | Some s ->
+    Buffer.add_string b ",\n  \"scaling\": {";
+    Buffer.add_string b "\"workload\": ";
+    buf_str b s.sl_workload;
+    Buffer.add_string b ", \"cores\": ";
+    Buffer.add_string b (string_of_int s.sl_cores);
+    Buffer.add_string b ", \"events\": ";
+    Buffer.add_string b (string_of_int s.sl_events);
+    Buffer.add_string b ", \"rows\": ";
+    buf_list b s.sl_rows (fun r ->
+        Buffer.add_string b "{\"jobs\": ";
+        Buffer.add_string b (string_of_int r.sl_jobs);
+        Buffer.add_string b ", \"wall_s\": ";
+        buf_float b r.sl_wall_s;
+        Buffer.add_string b ", \"speedup\": ";
+        buf_float b r.sl_speedup;
+        Buffer.add_string b ", \"events_per_sec\": ";
+        buf_float b r.sl_events_per_sec;
         Buffer.add_char b '}');
     Buffer.add_char b '}');
   if t.suites <> [] then begin

@@ -119,6 +119,23 @@ let sanitize_arg =
           "Attach the object-relative memory sanitizer to the same instrumented run and \
            append its report. Exit status 1 if it reports errors or warnings.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Domains for the pipeline-parallel SCC, counting the producer: with N > 1 each \
+           compressor stream runs on its own domain behind a lock-free SPSC ring. 0 (the \
+           default) uses the machine's recommended domain count; 1 forces the serial \
+           path. Profiles are byte-identical for every N.")
+
+let resolve_jobs jobs =
+  if jobs < 0 then begin
+    Printf.eprintf "--jobs must be non-negative (got %d)\n" jobs;
+    exit 2
+  end;
+  if jobs = 0 then Domain.recommended_domain_count () else jobs
+
 let emit_sanitizer_report san ~table ~subject =
   let site_name i = (Ormp_trace.Instr.info table i).Ormp_trace.Instr.name in
   let r = Ormp_check.Sanitizer.finish ~site_name ~subject san in
@@ -146,8 +163,11 @@ let list_cmd =
 (* --- trace ---------------------------------------------------------- *)
 
 let trace_cmd =
-  let run workload seed policy limit object_relative sanitize telemetry quiet =
+  let run workload seed policy limit object_relative sanitize jobs telemetry quiet =
     apply_quiet quiet;
+    (* Tracing has no compressor stage to parallelize; the flag is accepted
+       (and validated) for CLI symmetry with whomp/leap/session. *)
+    ignore (resolve_jobs jobs);
     let program = find_program workload in
     let config = config_of ~seed ~policy in
     let printed = ref 0 in
@@ -206,13 +226,14 @@ let trace_cmd =
     (Cmd.info "trace" ~doc:"Dump a workload's probe events")
     Term.(
       const run $ workload_arg $ seed_arg $ policy_arg $ limit $ object_relative
-      $ sanitize_arg $ telemetry_arg $ quiet_arg)
+      $ sanitize_arg $ jobs_arg $ telemetry_arg $ quiet_arg)
 
 (* --- whomp ---------------------------------------------------------- *)
 
 let whomp_cmd =
-  let run workload seed policy show_grammar save sanitize telemetry quiet =
+  let run workload seed policy show_grammar save sanitize jobs telemetry quiet =
     apply_quiet quiet;
+    let jobs = resolve_jobs jobs in
     let program = find_program workload in
     let config = config_of ~seed ~policy in
     (* With --sanitize, one instrumented run feeds both the profiler and
@@ -222,7 +243,23 @@ let whomp_cmd =
     let san_table =
       with_telemetry telemetry ~name:("whomp:" ^ workload) @@ fun () ->
       let p, san_table =
-        if not sanitize then (Ormp_whomp.Whomp.profile ~config program, None)
+        if not sanitize then
+          ( (if jobs > 1 then Ormp_whomp.Par_scc.profile ~config ~jobs program
+             else Ormp_whomp.Whomp.profile ~config program),
+            None )
+        else if jobs > 1 then begin
+          let t = Ormp_whomp.Par_scc.create ~jobs ~site_name:(Printf.sprintf "site%d") () in
+          Fun.protect
+            ~finally:(fun () -> try Ormp_whomp.Par_scc.shutdown t with _ -> ())
+            (fun () ->
+              let fan =
+                Ormp_trace.Batch.fanout
+                  [ Ormp_whomp.Par_scc.batch t; Ormp_check.Sanitizer.batch san ]
+              in
+              let result = Ormp_vm.Runner.run_batched ~config program fan in
+              ( Ormp_whomp.Par_scc.finalize t ~elapsed:result.Ormp_vm.Runner.elapsed,
+                Some result.Ormp_vm.Runner.table ))
+        end
       else begin
         let wb, fin =
           Ormp_whomp.Whomp.sink_batched ~site_name:(Printf.sprintf "site%d") ()
@@ -283,21 +320,40 @@ let whomp_cmd =
     (Cmd.info "whomp" ~doc:"Lossless object-relative profile (OMSG) vs the RASG baseline")
     Term.(
       const run $ workload_arg $ seed_arg $ policy_arg $ show_grammar $ save
-      $ sanitize_arg $ telemetry_arg $ quiet_arg)
+      $ sanitize_arg $ jobs_arg $ telemetry_arg $ quiet_arg)
 
 (* --- leap ----------------------------------------------------------- *)
 
 let leap_cmd =
-  let run workload seed policy budget show_deps show_strides save sanitize telemetry quiet
-      =
+  let run workload seed policy budget show_deps show_strides save sanitize jobs telemetry
+      quiet =
     apply_quiet quiet;
+    let jobs = resolve_jobs jobs in
     let program = find_program workload in
     let config = config_of ~seed ~policy in
     let san = Ormp_check.Sanitizer.create () in
     let san_table =
       with_telemetry telemetry ~name:("leap:" ^ workload) @@ fun () ->
       let p, san_table =
-        if not sanitize then (Ormp_leap.Leap.profile ~config ~budget program, None)
+        if not sanitize then
+          ( (if jobs > 1 then Ormp_leap.Par_leap.profile ~config ~budget ~jobs program
+             else Ormp_leap.Leap.profile ~config ~budget program),
+            None )
+        else if jobs > 1 then begin
+          let t =
+            Ormp_leap.Par_leap.create ~budget ~jobs ~site_name:(Printf.sprintf "site%d") ()
+          in
+          Fun.protect
+            ~finally:(fun () -> try Ormp_leap.Par_leap.shutdown t with _ -> ())
+            (fun () ->
+              let fan =
+                Ormp_trace.Batch.fanout
+                  [ Ormp_leap.Par_leap.batch t; Ormp_check.Sanitizer.batch san ]
+              in
+              let result = Ormp_vm.Runner.run_batched ~config program fan in
+              ( Ormp_leap.Par_leap.finalize t ~elapsed:result.Ormp_vm.Runner.elapsed,
+                Some result.Ormp_vm.Runner.table ))
+        end
       else begin
         let lb, fin =
           Ormp_leap.Leap.sink_batched ~budget ~site_name:(Printf.sprintf "site%d") ()
@@ -360,7 +416,7 @@ let leap_cmd =
     (Cmd.info "leap" ~doc:"Lossy object-relative LMAD profile and its post-processors")
     Term.(
       const run $ workload_arg $ seed_arg $ policy_arg $ budget $ show_deps $ show_strides
-      $ save $ sanitize_arg $ telemetry_arg $ quiet_arg)
+      $ save $ sanitize_arg $ jobs_arg $ telemetry_arg $ quiet_arg)
 
 (* --- compare -------------------------------------------------------- *)
 
@@ -769,8 +825,9 @@ let session_dir_arg =
 
 let session_run_cmd =
   let run workload dir seed policy checkpoint_every watch_every grammar_budget max_streams
-      leap_budget keep heartbeat_every torn_write no_space crash_at telemetry quiet =
+      leap_budget keep heartbeat_every jobs torn_write no_space crash_at telemetry quiet =
     apply_quiet quiet;
+    let jobs = resolve_jobs jobs in
     nonneg "checkpoint-every" checkpoint_every;
     nonneg "watch-every" watch_every;
     nonneg "grammar-budget" grammar_budget;
@@ -794,7 +851,7 @@ let session_run_cmd =
     let io = io_plan ~torn_write ~no_space ~crash_at in
     exit_killed (fun () ->
         with_telemetry telemetry ~name:("session:" ^ workload) @@ fun () ->
-        match Session.run ?io ~heartbeat_every ~config ~options ~dir ~workload () with
+        match Session.run ?io ~heartbeat_every ~jobs ~config ~options ~dir ~workload () with
         | Ok o -> print_outcome o
         | Error msg ->
           Printf.eprintf "%s\n" msg;
@@ -874,16 +931,17 @@ let session_run_cmd =
     Term.(
       const run $ workload_arg $ session_dir_arg $ seed_arg $ policy_arg $ checkpoint_every
       $ watch_every $ grammar_budget $ max_streams $ leap_budget $ keep $ heartbeat_every
-      $ torn_write $ no_space $ crash_at $ telemetry_arg $ quiet_arg)
+      $ jobs_arg $ torn_write $ no_space $ crash_at $ telemetry_arg $ quiet_arg)
 
 let session_resume_cmd =
-  let run dir heartbeat_every torn_write no_space crash_at telemetry quiet =
+  let run dir heartbeat_every jobs torn_write no_space crash_at telemetry quiet =
     apply_quiet quiet;
+    let jobs = resolve_jobs jobs in
     nonneg "heartbeat-every" heartbeat_every;
     let io = io_plan ~torn_write ~no_space ~crash_at in
     exit_killed (fun () ->
         with_telemetry telemetry ~name:"session:resume" @@ fun () ->
-        match Session.resume ?io ~heartbeat_every ~dir () with
+        match Session.resume ?io ~heartbeat_every ~jobs ~dir () with
         | Ok o -> print_outcome o
         | Error msg ->
           Printf.eprintf "%s\n" msg;
@@ -921,8 +979,8 @@ let session_resume_cmd =
     (Cmd.info "resume"
        ~doc:"Resume a killed session from its newest valid snapshot and journal tail")
     Term.(
-      const run $ session_dir_arg $ heartbeat_every $ torn_write $ no_space $ crash_at
-      $ telemetry_arg $ quiet_arg)
+      const run $ session_dir_arg $ heartbeat_every $ jobs_arg $ torn_write $ no_space
+      $ crash_at $ telemetry_arg $ quiet_arg)
 
 let print_heartbeat_sample (s : Ormp_telemetry.Heartbeat.sample) =
   Printf.printf "  %8.2fs  event %-9d %9.0f ev/s  objs %-6d syms %-6d streams %-5d ckpt @%-9d%s\n%!"
@@ -1007,8 +1065,10 @@ let session_status_cmd =
     Term.(const run $ session_dir_arg $ watch $ interval)
 
 let session_suite_cmd =
-  let run seed policy timeout_s retries backoff_s faults out_dir report telemetry quiet =
+  let run seed policy timeout_s retries backoff_s faults jobs out_dir report telemetry
+      quiet =
     apply_quiet quiet;
+    let jobs = resolve_jobs jobs in
     if retries < 0 then begin
       Printf.eprintf "--retries must be non-negative (got %d)\n" retries;
       exit 2
@@ -1016,7 +1076,7 @@ let session_suite_cmd =
     let config = config_of ~seed ~policy in
     let r =
       with_telemetry telemetry ~name:"session:suite" @@ fun () ->
-      Suite.run ?timeout_s ~retries ?backoff_s ~faults ~config ?out_dir ()
+      Suite.run ?timeout_s ~retries ?backoff_s ~faults ~config ~jobs ?out_dir ()
     in
     List.iter
       (fun (e : Suite.entry) ->
@@ -1092,8 +1152,8 @@ let session_suite_cmd =
          "Profile every registry workload under supervision: per-workload timeouts, crash \
           retries, partial-results report; always exits 0 on workload failures")
     Term.(
-      const run $ seed_arg $ policy_arg $ timeout_s $ retries $ backoff_s $ faults $ out_dir
-      $ report $ telemetry_arg $ quiet_arg)
+      const run $ seed_arg $ policy_arg $ timeout_s $ retries $ backoff_s $ faults
+      $ jobs_arg $ out_dir $ report $ telemetry_arg $ quiet_arg)
 
 let session_cmd =
   Cmd.group

@@ -1,0 +1,54 @@
+module S = Ormp_util.Sexp
+
+let first_diff a b =
+  let n = min (String.length a) (String.length b) in
+  let i = ref 0 in
+  while !i < n && a.[!i] = b.[!i] do
+    incr i
+  done;
+  !i
+
+let excerpt s i =
+  let lo = max 0 (i - 40) in
+  let hi = min (String.length s) (i + 40) in
+  String.sub s lo (hi - lo)
+
+let check ~what a b =
+  if String.equal a b then Ok ()
+  else
+    let i = first_diff a b in
+    Error
+      (Printf.sprintf "%s profiles differ at byte %d (%d vs %d bytes): ...%s... vs ...%s..."
+         what i (String.length a) (String.length b) (excerpt a i) (excerpt b i))
+
+let rasg a b =
+  check ~what:"rasg"
+    (S.to_string (Ormp_persist.Rasg_io.to_sexp a))
+    (S.to_string (Ormp_persist.Rasg_io.to_sexp b))
+
+let leap a b =
+  check ~what:"leap"
+    (S.to_string (Ormp_persist.Leap_io.to_sexp a))
+    (S.to_string (Ormp_persist.Leap_io.to_sexp b))
+
+let whomp (a : Ormp_whomp.Whomp.profile) (b : Ormp_whomp.Whomp.profile) =
+  match
+    check ~what:"whomp"
+      (S.to_string (Ormp_persist.Whomp_io.to_sexp a))
+      (S.to_string (Ormp_persist.Whomp_io.to_sexp b))
+  with
+  | Ok () -> Ok ()
+  | Error e ->
+    (* Narrow the report to the first differing dimension grammar, when the
+       profiles are at least shaped alike. *)
+    let rec narrow = function
+      | (na, ga) :: ra, (nb, gb) :: rb ->
+        if na <> nb then Error (Printf.sprintf "%s (dimension order: %S vs %S)" e na nb)
+        else if
+          S.to_string (Ormp_persist.Grammar_io.to_sexp (na, ga))
+          <> S.to_string (Ormp_persist.Grammar_io.to_sexp (nb, gb))
+        then Error (Printf.sprintf "%s (first divergent dimension: %S)" e na)
+        else narrow (ra, rb)
+      | _ -> Error e
+    in
+    narrow (a.Ormp_whomp.Whomp.dims, b.Ormp_whomp.Whomp.dims)

@@ -1,0 +1,16 @@
+(** Byte-level profile equivalence.
+
+    The pipeline-parallel SCC promises profiles {e byte-identical} to the
+    serial path; these checkers state that promise as an executable
+    invariant. Each compares two profiles through their persisted
+    serialization (which deliberately excludes wall-clock [elapsed]) and
+    reports the first divergence — for WHOMP, narrowed to the first
+    differing dimension grammar. Used by the parallel-equivalence
+    property tests and available to any harness that runs both paths. *)
+
+val whomp :
+  Ormp_whomp.Whomp.profile -> Ormp_whomp.Whomp.profile -> (unit, string) result
+
+val rasg : Ormp_whomp.Rasg.profile -> Ormp_whomp.Rasg.profile -> (unit, string) result
+
+val leap : Ormp_leap.Leap.profile -> Ormp_leap.Leap.profile -> (unit, string) result

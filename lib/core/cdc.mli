@@ -34,6 +34,35 @@ val batch : ?capacity:int -> t -> Ormp_trace.Batch.t
     pending accesses first, so the interleaving and the time stamps are
     identical. *)
 
+(** {1 SoA tuple chunks}
+
+    The fan-out source for the pipeline-parallel SCC: instead of one
+    [on_tuple] callback per access, translated accesses are compacted
+    (wild ones removed) into a reused struct-of-arrays chunk and handed
+    over once per chunk, cheap enough to slice into per-dimension lane
+    copies for the compressor domains. *)
+
+type tuples = {
+  tp_instr : int array;
+  tp_group : int array;
+  tp_obj : int array;
+  tp_offset : int array;
+  tp_store : int array;  (** 0/1 *)
+  mutable tp_len : int;  (** live prefix of the five arrays *)
+  mutable tp_time0 : int;
+      (** time stamp of tuple 0; tuple [i] has stamp [tp_time0 + i] (the
+          clock advances only on translated accesses, so stamps inside a
+          chunk are consecutive) *)
+}
+
+val batch_tuples :
+  ?capacity:int -> t -> on_tuples:(tuples -> unit) -> unit -> Ormp_trace.Batch.t
+(** Like {!batch}, but emits SoA tuple chunks instead of per-access
+    callbacks. The chunk is reused: consumers must copy what they keep
+    before returning. The tuple sequence (concatenated over chunks) is
+    exactly what {!batch} would deliver; wild accesses still go to
+    [on_wild] one at a time. *)
+
 val omc : t -> Omc.t
 
 val collected : t -> int

@@ -165,6 +165,133 @@ let finish c ~collected ~wild ~elapsed =
     elapsed;
   }
 
+(* --- sharded collection (pipeline-parallel SCC) ----------------------- *)
+
+(* The vertical decomposition keys streams by (instruction, group), so
+   sharding the tuple stream by instruction keeps every (instr, group)
+   sub-stream wholly on one shard, in time order — each shard is just a
+   smaller serial collector. What sharding loses is the *global*
+   first-appearance order across shards (the [streams] order of the
+   profile and the admission order a [max_streams] cap depends on), so
+   each shard records the time stamp of every key's first admitted tuple
+   and the merge re-sorts on it; stamps are globally unique and
+   increasing, which makes the merged order exactly the serial order.
+   A [max_streams] cap is the one thing that cannot be sharded (admission
+   compares against a global count), so capped collectors must run on a
+   single shard — enforced in [shard_make]. *)
+
+type shard = {
+  sh_coll : collector;
+  sh_first : (key, int) Hashtbl.t;
+      (* key -> time of its first admitted tuple; for restored shards, the
+         key's index in the snapshot's stream order (indices are smaller
+         than any live time stamp, so mixed comparisons stay correct) *)
+}
+
+let shard_make ?budget ?(max_streams = 0) ~nshards ~restore () =
+  if nshards < 1 then invalid_arg "Leap.shards: need at least one shard";
+  if max_streams > 0 && nshards > 1 then
+    invalid_arg "Leap.shards: a max-streams cap requires a single shard";
+  match restore with
+  | None ->
+    Array.init nshards (fun _ ->
+        { sh_coll = collector ?budget ~max_streams (); sh_first = Hashtbl.create 64 })
+  | Some lv ->
+    (* Split the saved state by the shard key, preserving per-shard order;
+       synthetic first-seen stamps (global indices) preserve the global
+       order for later merges. Dropped-key state only exists under a cap,
+       i.e. with one shard, where the whole of it lands. *)
+    let parts = Array.init nshards (fun _ -> ref []) in
+    List.iteri
+      (fun i ((k : key), s) -> let r = parts.(k.instr mod nshards) in r := (i, k, s) :: !r)
+      lv.lv_streams;
+    Array.init nshards (fun w ->
+        let mine = List.rev !(parts.(w)) in
+        let sub =
+          {
+            lv_streams = List.map (fun (_, k, s) -> (k, s)) mine;
+            lv_stores =
+              List.filter (fun (i, _) -> i mod nshards = w) lv.lv_stores;
+            lv_dropped = (if w = 0 then lv.lv_dropped else []);
+            lv_dropped_accesses = (if w = 0 then lv.lv_dropped_accesses else 0);
+          }
+        in
+        let sh_first = Hashtbl.create 64 in
+        List.iter (fun (i, k, _) -> Hashtbl.replace sh_first k i) mine;
+        { sh_coll = collector ?budget ~max_streams ~restore:sub (); sh_first })
+
+let shards ?budget ?max_streams ?restore ~nshards () =
+  shard_make ?budget ?max_streams ~nshards ~restore ()
+
+let shard_index ~nshards instr = instr mod nshards
+
+let shard_collect sh (tu : Ormp_core.Tuple.t) =
+  let key = { instr = tu.instr; group = tu.group } in
+  let known = Hashtbl.mem sh.sh_coll.c_streams key in
+  collect sh.sh_coll tu;
+  if (not known) && Hashtbl.mem sh.sh_coll.c_streams key then
+    Hashtbl.replace sh.sh_first key tu.time
+
+let shards_stream_count shs =
+  Array.fold_left (fun acc sh -> acc + stream_count sh.sh_coll) 0 shs
+
+(* Every shard's streams tagged with their first-seen stamp, merged into
+   global first-appearance order. *)
+let merge_streams shs =
+  Array.to_list shs
+  |> List.concat_map (fun sh ->
+         List.rev
+           (Vec.fold_left
+              (fun acc k ->
+                (Hashtbl.find sh.sh_first k, k, Hashtbl.find sh.sh_coll.c_streams k) :: acc)
+              [] sh.sh_coll.c_order))
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  |> List.map (fun (_, k, s) -> (k, s))
+
+(* Instruction key spaces are disjoint across shards, so a plain union. *)
+let merge_stores shs =
+  let h = Hashtbl.create 64 in
+  Array.iter
+    (fun sh -> Hashtbl.iter (fun i st -> Hashtbl.replace h i st) sh.sh_coll.c_store_instrs)
+    shs;
+  h
+
+let shards_live shs =
+  {
+    lv_streams = merge_streams shs;
+    lv_stores =
+      List.sort compare (Hashtbl.fold (fun i st acc -> (i, st) :: acc) (merge_stores shs) []);
+    lv_dropped =
+      Array.to_list shs
+      |> List.concat_map (fun sh ->
+             List.rev (Vec.fold_left (fun acc k -> k :: acc) [] sh.sh_coll.c_dropped_order));
+    lv_dropped_accesses =
+      Array.fold_left (fun acc sh -> acc + sh.sh_coll.c_dropped_accesses) 0 shs;
+  }
+
+let shards_finish shs ~collected ~wild ~elapsed =
+  let dropped_streams =
+    Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.sh_coll.c_dropped) 0 shs
+  in
+  let dropped_accesses =
+    Array.fold_left (fun acc sh -> acc + sh.sh_coll.c_dropped_accesses) 0 shs
+  in
+  if Tm.on () then begin
+    let set name v = Tm.Metrics.set (Tm.Metrics.gauge name) (float_of_int v) in
+    set "leap.streams" (shards_stream_count shs);
+    set "leap.dropped_streams" dropped_streams;
+    set "leap.dropped_accesses.total" dropped_accesses
+  end;
+  {
+    streams = merge_streams shs;
+    store_instrs = merge_stores shs;
+    collected;
+    wild;
+    dropped_streams;
+    dropped_accesses;
+    elapsed;
+  }
+
 let make_cdc ?grouping ?budget ~site_name () =
   let c = collector ?budget () in
   let cdc = Ormp_core.Cdc.create ?grouping ~site_name ~on_tuple:(collect c) () in

@@ -1,0 +1,179 @@
+module Worker = Ormp_trace.Worker
+module Cdc = Ormp_core.Cdc
+
+(* --- shard worker pool ------------------------------------------------- *)
+
+(* One message: a chunk of one shard's tuple sub-stream, struct-of-arrays.
+   Unlike the grammar streams, a shard's tuples are not consecutive in
+   time (the other shards' tuples interleave), so the time lane travels
+   explicitly. Arrays are exactly the chunk length and owned by the
+   consumer once pushed. *)
+type msg = {
+  s_instr : int array;
+  s_group : int array;
+  s_obj : int array;
+  s_offset : int array;
+  s_store : int array;  (* 0/1 *)
+  s_time : int array;
+}
+
+type stage = {
+  b_instr : int array;
+  b_group : int array;
+  b_obj : int array;
+  b_offset : int array;
+  b_store : int array;
+  b_time : int array;
+  mutable b_len : int;
+}
+
+type pool = {
+  shards : Leap.shard array;
+      (* worker [i] re-reads [shards.(i)] for every message, so a swap
+         done while quiesced is published by the next ring operation *)
+  workers : msg Worker.t array;  (* exactly one per shard *)
+  stages : stage array;
+  mutable live : bool;
+}
+
+let consume sh (m : msg) =
+  for j = 0 to Array.length m.s_instr - 1 do
+    Leap.shard_collect sh
+      {
+        Ormp_core.Tuple.instr = m.s_instr.(j);
+        group = m.s_group.(j);
+        obj = m.s_obj.(j);
+        offset = m.s_offset.(j);
+        time = m.s_time.(j);
+        is_store = m.s_store.(j) <> 0;
+      }
+  done
+
+let pool ?ring_capacity ?stage_capacity ~name shards =
+  let n = Array.length shards in
+  if n = 0 then invalid_arg "Par_leap.pool: no shards";
+  let stage_capacity =
+    match stage_capacity with Some c -> c | None -> Ormp_trace.Batch.default_capacity
+  in
+  if stage_capacity < 1 then invalid_arg "Par_leap.pool: stage capacity must be positive";
+  {
+    shards;
+    workers =
+      Array.init n (fun i ->
+          Worker.spawn ?capacity:ring_capacity
+            ~name:(Printf.sprintf "%s.%d" name i)
+            ~f:(fun m -> consume shards.(i) m)
+            ());
+    stages =
+      Array.init n (fun _ ->
+          {
+            b_instr = Array.make stage_capacity 0;
+            b_group = Array.make stage_capacity 0;
+            b_obj = Array.make stage_capacity 0;
+            b_offset = Array.make stage_capacity 0;
+            b_store = Array.make stage_capacity 0;
+            b_time = Array.make stage_capacity 0;
+            b_len = 0;
+          });
+    live = true;
+  }
+
+let nshards p = Array.length p.shards
+
+let flush_shard p i =
+  let st = p.stages.(i) in
+  if st.b_len > 0 then begin
+    let n = st.b_len in
+    Worker.push p.workers.(i)
+      {
+        s_instr = Array.sub st.b_instr 0 n;
+        s_group = Array.sub st.b_group 0 n;
+        s_obj = Array.sub st.b_obj 0 n;
+        s_offset = Array.sub st.b_offset 0 n;
+        s_store = Array.sub st.b_store 0 n;
+        s_time = Array.sub st.b_time 0 n;
+      };
+    st.b_len <- 0
+  end
+
+let pool_stage p ~instr ~group ~obj ~offset ~store ~time =
+  let i = Leap.shard_index ~nshards:(Array.length p.shards) instr in
+  let st = p.stages.(i) in
+  if st.b_len = Array.length st.b_instr then flush_shard p i;
+  let j = st.b_len in
+  st.b_instr.(j) <- instr;
+  st.b_group.(j) <- group;
+  st.b_obj.(j) <- obj;
+  st.b_offset.(j) <- offset;
+  st.b_store.(j) <- store;
+  st.b_time.(j) <- time;
+  st.b_len <- j + 1
+
+let pool_drain p =
+  Array.iteri (fun i _ -> flush_shard p i) p.stages;
+  Array.iter Worker.drain p.workers
+
+let pool_shards p = p.shards
+let pool_set_shard p i sh = p.shards.(i) <- sh
+
+let pool_pending p = Array.fold_left (fun acc w -> acc + Worker.pending w) 0 p.workers
+
+let pool_shutdown p =
+  if p.live then begin
+    p.live <- false;
+    (try Array.iteri (fun i _ -> flush_shard p i) p.stages with _ -> ());
+    let failure = ref None in
+    Array.iter
+      (fun w ->
+        try Worker.stop w
+        with e -> if !failure = None then failure := Some (e, Printexc.get_raw_backtrace ()))
+      p.workers;
+    match !failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+(* --- parallel LEAP profiler ------------------------------------------- *)
+
+type t = { cdc : Cdc.t; p : pool }
+
+let stage_tuple p (tu : Ormp_core.Tuple.t) =
+  pool_stage p ~instr:tu.instr ~group:tu.group ~obj:tu.obj ~offset:tu.offset
+    ~store:(if tu.is_store then 1 else 0)
+    ~time:tu.time
+
+let create ?grouping ?budget ?ring_capacity ~jobs ~site_name () =
+  let shards = Leap.shards ?budget ~nshards:(max 1 (jobs - 1)) () in
+  let p = pool ?ring_capacity ~name:"leap" shards in
+  { cdc = Cdc.create ?grouping ~site_name ~on_tuple:(stage_tuple p) (); p }
+
+let batch t =
+  Cdc.batch_tuples t.cdc
+    ~on_tuples:(fun (tp : Cdc.tuples) ->
+      for i = 0 to tp.tp_len - 1 do
+        pool_stage t.p ~instr:tp.tp_instr.(i) ~group:tp.tp_group.(i) ~obj:tp.tp_obj.(i)
+          ~offset:tp.tp_offset.(i) ~store:tp.tp_store.(i)
+          ~time:(tp.tp_time0 + i)
+      done)
+    ()
+
+let sink t = Cdc.sink t.cdc
+
+let shutdown t = pool_shutdown t.p
+
+let finalize t ~elapsed =
+  pool_shutdown t.p;
+  Ormp_core.Omc.publish_gauges (Cdc.omc t.cdc);
+  Leap.shards_finish t.p.shards ~collected:(Cdc.collected t.cdc) ~wild:(Cdc.wild t.cdc)
+    ~elapsed
+
+let profile ?config ?grouping ?budget ?ring_capacity ~jobs program =
+  if jobs <= 1 then Leap.profile ?config ?grouping ?budget program
+  else begin
+    let t = create ?grouping ?budget ?ring_capacity ~jobs ~site_name:(Printf.sprintf "site%d") () in
+    Fun.protect
+      ~finally:(fun () -> try shutdown t with _ -> ())
+      (fun () ->
+        let result = Ormp_vm.Runner.run_batched ?config program (batch t) in
+        finalize t ~elapsed:result.Ormp_vm.Runner.elapsed)
+  end

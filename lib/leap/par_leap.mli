@@ -1,0 +1,92 @@
+(** Pipeline-parallel LEAP: sharded compressor domains behind SPSC rings.
+
+    The vertical decomposition keys streams by (instruction, group), so
+    the CDC shards its tuple stream by instruction id
+    ({!Leap.shard_index}) and fans each shard out over a bounded
+    lock-free SPSC ring ({!Ormp_trace.Spsc}) to its own consumer domain.
+    Each shard is an independent serial {!Leap.collector}; the merged
+    profile ({!Leap.shards_finish}) is byte-identical to a serial run.
+
+    {1 Shard worker pool}
+
+    The reusable core: one consumer domain per shard. The session layer
+    builds its combined WHOMP+RASG+LEAP pipeline on this. *)
+
+type pool
+
+val pool :
+  ?ring_capacity:int -> ?stage_capacity:int -> name:string -> Leap.shard array -> pool
+(** Spawn one consumer domain per shard. [ring_capacity] is the
+    per-worker ring size in messages (chunks); [stage_capacity] the
+    tuples staged per shard before a chunk is published (default
+    {!Ormp_trace.Batch.default_capacity}). *)
+
+val nshards : pool -> int
+
+val pool_stage :
+  pool -> instr:int -> group:int -> obj:int -> offset:int -> store:int -> time:int -> unit
+(** Append one tuple to its shard's stream (publishes a chunk when the
+    shard's stage fills). Producer domain only. [store] is 0/1. *)
+
+val pool_drain : pool -> unit
+(** Quiesce: publish every staged tuple and block until all workers have
+    consumed their rings. On return the shards are frozen and safe to
+    read ({!Leap.shards_live}) — and to replace with {!pool_set_shard} —
+    until the next stage call. *)
+
+val pool_shards : pool -> Leap.shard array
+(** The live shards. Read only between {!pool_drain} and the next stage
+    call (or after {!pool_shutdown}). *)
+
+val pool_set_shard : pool -> int -> Leap.shard -> unit
+(** Replace a shard (restore). Same discipline as {!pool_shards}. *)
+
+val pool_shutdown : pool -> unit
+(** Drain, stop and join every worker. Idempotent; safe on error paths.
+    Re-raises the first worker failure, after all domains are joined. *)
+
+val pool_pending : pool -> int
+(** Chunks published but not yet consumed (racy; for observation). *)
+
+(** {1 Parallel LEAP profiler}
+
+    Drop-in parallel counterparts of {!Leap.sink_batched} /
+    {!Leap.profile}. [jobs] counts domains including the producer, so
+    [jobs - 1] shard domains are spawned; [jobs <= 1] is the caller's cue
+    to use the serial path ({!profile} falls back by itself). *)
+
+type t
+
+val create :
+  ?grouping:Ormp_core.Omc.grouping ->
+  ?budget:int ->
+  ?ring_capacity:int ->
+  jobs:int ->
+  site_name:(int -> string) ->
+  unit ->
+  t
+
+val batch : t -> Ormp_trace.Batch.t
+(** Batched probe entry (cf. {!Ormp_core.Cdc.batch_tuples}). *)
+
+val sink : t -> Ormp_trace.Sink.t
+(** Per-event probe entry, for drivers that cannot batch. *)
+
+val finalize : t -> elapsed:float -> Leap.profile
+(** Drain, shut the pool down and merge the shards into a profile —
+    byte-identical to {!Leap.sink_batched}'s. *)
+
+val shutdown : t -> unit
+(** Abort path: stop and join the workers without assembling a profile.
+    Idempotent; {!finalize} calls it internally. *)
+
+val profile :
+  ?config:Ormp_vm.Config.t ->
+  ?grouping:Ormp_core.Omc.grouping ->
+  ?budget:int ->
+  ?ring_capacity:int ->
+  jobs:int ->
+  Ormp_vm.Program.t ->
+  Leap.profile
+(** Run the program under parallel LEAP instrumentation. [jobs <= 1]
+    delegates to the serial {!Leap.profile}. *)

@@ -31,11 +31,19 @@ let to_sexp (p : Leap.profile) =
        S.field "version" [ S.int version ];
        S.field "collected" [ S.int p.Leap.collected ];
        S.field "wild" [ S.int p.Leap.wild ];
+       (* Sorted: Hashtbl.fold order depends on insertion history, which
+          differs between a serial collector and merged shards — the file
+          must be byte-identical either way (the loader never cared). *)
        S.field "stores"
-         (Hashtbl.fold
-            (fun i is_store acc -> if is_store then S.int i :: acc else acc)
-            p.Leap.store_instrs []);
-       S.field "instrs" (Hashtbl.fold (fun i _ acc -> S.int i :: acc) p.Leap.store_instrs []);
+         (List.map S.int
+            (List.sort compare
+               (Hashtbl.fold
+                  (fun i is_store acc -> if is_store then i :: acc else acc)
+                  p.Leap.store_instrs [])));
+       S.field "instrs"
+         (List.map S.int
+            (List.sort compare
+               (Hashtbl.fold (fun i _ acc -> i :: acc) p.Leap.store_instrs [])));
      ]
     (* Degradation counters ride along only when a session capped stream
        growth, keeping uncapped files (and version 1 readers) unchanged. *)

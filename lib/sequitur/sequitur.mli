@@ -13,8 +13,11 @@
 type t
 (** An incremental Sequitur compressor and the grammar built so far. *)
 
-val create : unit -> t
-(** Fresh compressor with an empty start rule. *)
+val create : ?size_hint:int -> unit -> t
+(** Fresh compressor with an empty start rule. [size_hint] — the expected
+    input-stream length, when the caller knows it — pre-sizes the digram
+    hashtable so the incremental build never pays a rehash; the grammar
+    produced is identical either way. *)
 
 val push : t -> int -> unit
 (** Append one terminal to the input sequence and restore the grammar

@@ -1,0 +1,80 @@
+module Par_scc = Ormp_whomp.Par_scc
+module Par_leap = Ormp_leap.Par_leap
+module W = Ormp_whomp.Whomp
+module Leap = Ormp_leap.Leap
+
+(* The session's compressor pipeline: five grammar streams (4 WHOMP dims
+   + RASG) over a Par_scc pool, plus a sharded LEAP consumer pool. The
+   grammar slots alias the session's live collector objects — the workers
+   mutate the very grammars [ctx.whomp]/[ctx.rasg] hold, so everything
+   the serial session does with them (seal, snapshot, measure) stays
+   valid, as long as it happens between [drain] and the next stage. *)
+
+type t = { gpool : Par_scc.pool; lpool : Par_leap.pool }
+
+let rasg_slot = 4
+
+let grammar_slots ~whomp ~rasg =
+  match W.collector_dims whomp with
+  | [ (_, gi); (_, gg); (_, go); (_, gf) ] -> [| gi; gg; go; gf; rasg |]
+  | _ -> assert false
+
+let spawn ?ring_capacity ~jobs ~whomp ~rasg ~leap_budget ~max_streams ~leap_restore () =
+  (* [jobs] counts domains including the producer. The five grammar
+     streams take up to five consumer domains; whatever the budget has
+     left beyond them becomes extra LEAP shards (a stream cap forces a
+     single shard — admission order is global). On small budgets the
+     pools oversubscribe slightly rather than starve either side. *)
+  let gworkers = max 1 (min (jobs - 1) 5) in
+  let nshards = if max_streams > 0 then 1 else max 1 (min (jobs - 1 - gworkers) 8) in
+  let shards =
+    Leap.shards ?budget:leap_budget ~max_streams ?restore:leap_restore ~nshards ()
+  in
+  let lpool = Par_leap.pool ?ring_capacity ~name:"session.leap" shards in
+  match
+    Par_scc.pool ?ring_capacity ~name:"session.grammar" ~workers:gworkers
+      (grammar_slots ~whomp ~rasg)
+  with
+  | gpool -> { gpool; lpool }
+  | exception e ->
+    (try Par_leap.pool_shutdown lpool with _ -> ());
+    raise e
+
+let stage_tuple t (tu : Ormp_core.Tuple.t) =
+  Par_scc.pool_stage t.gpool ~slot:0 tu.instr;
+  Par_scc.pool_stage t.gpool ~slot:1 tu.group;
+  Par_scc.pool_stage t.gpool ~slot:2 tu.obj;
+  Par_scc.pool_stage t.gpool ~slot:3 tu.offset;
+  Par_leap.pool_stage t.lpool ~instr:tu.instr ~group:tu.group ~obj:tu.obj ~offset:tu.offset
+    ~store:(if tu.is_store then 1 else 0)
+    ~time:tu.time
+
+let stage_rasg t addr = Par_scc.pool_stage t.gpool ~slot:rasg_slot addr
+
+let drain t =
+  Par_scc.pool_drain t.gpool;
+  Par_leap.pool_drain t.lpool
+
+let rotate t ~whomp ~rasg =
+  Array.iteri (fun i g -> Par_scc.pool_set t.gpool i g) (grammar_slots ~whomp ~rasg)
+
+let leap_live t = Leap.shards_live (Par_leap.pool_shards t.lpool)
+let leap_stream_count t = Leap.shards_stream_count (Par_leap.pool_shards t.lpool)
+
+let leap_finish t ~collected ~wild ~elapsed =
+  Leap.shards_finish (Par_leap.pool_shards t.lpool) ~collected ~wild ~elapsed
+
+let pending t = Par_scc.pool_pending t.gpool + Par_leap.pool_pending t.lpool
+
+let shutdown t =
+  (* Join both pools even if one fails; the first failure wins. *)
+  let failure = ref None in
+  let guard f =
+    try f ()
+    with e -> if !failure = None then failure := Some (e, Printexc.get_raw_backtrace ())
+  in
+  guard (fun () -> Par_scc.pool_shutdown t.gpool);
+  guard (fun () -> Par_leap.pool_shutdown t.lpool);
+  match !failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> ()

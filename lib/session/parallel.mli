@@ -1,0 +1,60 @@
+(** The session's pipeline-parallel compressor stage.
+
+    Bundles a five-slot grammar pool ({!Ormp_whomp.Par_scc}: the 4 WHOMP
+    dimension streams + RASG) with a sharded LEAP pool
+    ({!Ormp_leap.Par_leap}). The grammar slots alias the live collector
+    objects the session context holds, so sealing, snapshotting and
+    measuring work exactly as in the serial path — but only while the
+    pipeline is quiesced: every such read must sit between {!drain} and
+    the next stage call. *)
+
+type t
+
+val spawn :
+  ?ring_capacity:int ->
+  jobs:int ->
+  whomp:Ormp_whomp.Whomp.collector ->
+  rasg:Ormp_sequitur.Sequitur.t ->
+  leap_budget:int option ->
+  max_streams:int ->
+  leap_restore:Ormp_leap.Leap.live option ->
+  unit ->
+  t
+(** Spawn the consumer domains over the given (possibly restored) live
+    state. [jobs] counts domains including the producer. A positive
+    [max_streams] cap forces a single LEAP shard. [leap_restore] splits a
+    snapshot's LEAP state onto the shards. *)
+
+val stage_tuple : t -> Ormp_core.Tuple.t -> unit
+(** Fan one object-relative tuple out to the four dimension streams and
+    its LEAP shard. Producer domain only. *)
+
+val stage_rasg : t -> int -> unit
+(** Append one raw address to the RASG stream. *)
+
+val drain : t -> unit
+(** Quiesce every ring. On return all compressor state is frozen and the
+    producer may read or swap it until the next stage call. *)
+
+val rotate : t -> whomp:Ormp_whomp.Whomp.collector -> rasg:Ormp_sequitur.Sequitur.t -> unit
+(** Point the grammar slots at a fresh collector/grammar (epoch
+    rotation). Call only while quiesced. *)
+
+val leap_live : t -> Ormp_leap.Leap.live
+(** Merged LEAP checkpoint state (cf. {!Ormp_leap.Leap.live}). Quiesced
+    only. *)
+
+val leap_stream_count : t -> int
+(** Quiesced only. *)
+
+val leap_finish :
+  t -> collected:int -> wild:int -> elapsed:float -> Ormp_leap.Leap.profile
+(** Merged LEAP profile — byte-identical to a serial collector's.
+    Quiesced (or shut down) only. *)
+
+val pending : t -> int
+(** Chunks published but not yet consumed (racy; for observation). *)
+
+val shutdown : t -> unit
+(** Drain, stop and join every domain in both pools. Idempotent;
+    re-raises the first worker failure after all domains are joined. *)

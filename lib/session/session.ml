@@ -226,6 +226,10 @@ type ctx = {
       (* CRC of the journal through [position] — tracked here (not just in
          the writer) because replay re-derives it with no writer open *)
   mutable checkpointing : bool;
+  mutable par : Parallel.t option;
+      (* the pipeline-parallel compressor stage, when running with jobs > 1;
+         its grammar slots alias [whomp]/[rasg], so those are read (and
+         swapped) only while the pipeline is quiesced *)
 }
 
 let degrade ctx kind detail =
@@ -263,6 +267,9 @@ let rotate ctx =
   ctx.epochs <- ctx.epochs @ eps;
   ctx.whomp <- W.collector ();
   ctx.rasg <- Seq_c.create ();
+  (match ctx.par with
+  | Some p -> Parallel.rotate p ~whomp:ctx.whomp ~rasg:ctx.rasg
+  | None -> ());
   ctx.epoch_start <- ctx.position;
   degrade ctx "rotate"
     (Printf.sprintf "grammar budget exceeded; sealed epoch %d" ctx.rotations)
@@ -283,7 +290,8 @@ let take_snapshot ctx cdc ~ordinal ~journal_crc =
     cdc = Cdc.state cdc;
     whomp = dims_tuple ctx;
     rasg = ctx.rasg;
-    leap = Leap.live ctx.leap;
+    leap =
+      (match ctx.par with None -> Leap.live ctx.leap | Some p -> Parallel.leap_live p);
   }
 
 let prune_snapshots ctx ~ordinal =
@@ -327,7 +335,9 @@ let apply ctx cdc_sink ev =
   (match ev with
   | Event.Access { addr; _ } ->
     ctx.rasg_accesses <- ctx.rasg_accesses + 1;
-    Seq_c.push ctx.rasg addr
+    (match ctx.par with
+    | None -> Seq_c.push ctx.rasg addr
+    | Some p -> Parallel.stage_rasg p addr)
   | Event.Alloc _ | Event.Free _ -> ());
   cdc_sink ev;
   ctx.position <- ctx.position + 1
@@ -346,7 +356,10 @@ let heartbeat ctx cdc h =
       events_per_sec = (if dt_s > 0.0 then float_of_int events /. dt_s else 0.0);
       live_objects = Omc.live_objects (Cdc.omc cdc);
       grammar_symbols = total_symbols ctx;
-      leap_streams = Leap.stream_count ctx.leap;
+      leap_streams =
+        (match ctx.par with
+        | None -> Leap.stream_count ctx.leap
+        | Some p -> Parallel.leap_stream_count p);
       journal_bytes = (match ctx.journal with Some j -> Journal.bytes j | None -> 0);
       snapshot_bytes = ctx.last_snapshot_bytes;
       last_checkpoint = ctx.last_checkpoint_pos;
@@ -365,13 +378,27 @@ let heartbeat ctx cdc h =
    timing — the file is append-only and watchers read the latest line.) *)
 let triggers ctx cdc =
   let o = ctx.options in
-  if o.watch_every > 0 && ctx.position mod o.watch_every = 0 then
-    if o.grammar_budget > 0 && total_symbols ctx > o.grammar_budget then rotate ctx;
-  if ctx.checkpointing && o.checkpoint_every > 0 && ctx.position mod o.checkpoint_every = 0
-  then checkpoint ctx cdc;
-  match ctx.hb with
-  | Some h when ctx.position mod h.hb_every = 0 -> heartbeat ctx cdc h
-  | _ -> ()
+  let fire_watch = o.watch_every > 0 && ctx.position mod o.watch_every = 0 in
+  let fire_ckpt =
+    ctx.checkpointing && o.checkpoint_every > 0 && ctx.position mod o.checkpoint_every = 0
+  in
+  let fire_hb =
+    match ctx.hb with Some h -> ctx.position mod h.hb_every = 0 | None -> false
+  in
+  if fire_watch || fire_ckpt || fire_hb then begin
+    (* Quiesce the parallel pipeline before any trigger runs: the watchdog
+       measures the live grammars, the checkpoint serializes them, and the
+       heartbeat sizes them — all of which require the compressor domains
+       to have consumed everything staged so far, so the observed state is
+       exactly the serial state at this position. *)
+    (match ctx.par with Some p -> Parallel.drain p | None -> ());
+    if fire_watch && o.grammar_budget > 0 && total_symbols ctx > o.grammar_budget then
+      rotate ctx;
+    if fire_ckpt then checkpoint ctx cdc;
+    match ctx.hb with
+    | Some h when fire_hb -> heartbeat ctx cdc h
+    | _ -> ()
+  end
 
 let journal_append ctx ev =
   match ctx.journal with
@@ -413,8 +440,13 @@ let write_outputs ctx cdc ~elapsed =
   Ormp_persist.Whomp_io.save (ctx.dir // whomp_file) whomp_profile;
   Ormp_persist.Rasg_io.save (ctx.dir // rasg_file)
     { Rasg.grammar = ctx.rasg; accesses = ctx.rasg_accesses; elapsed };
-  Ormp_persist.Leap_io.save (ctx.dir // leap_file)
-    (Leap.finish ctx.leap ~collected:(Cdc.collected cdc) ~wild:(Cdc.wild cdc) ~elapsed)
+  let leap_profile =
+    match ctx.par with
+    | None -> Leap.finish ctx.leap ~collected:(Cdc.collected cdc) ~wild:(Cdc.wild cdc) ~elapsed
+    | Some p ->
+      Parallel.leap_finish p ~collected:(Cdc.collected cdc) ~wild:(Cdc.wild cdc) ~elapsed
+  in
+  Ormp_persist.Leap_io.save (ctx.dir // leap_file) leap_profile
 
 let outcome_to_sexp (o : outcome) =
   S.field "ormp-session-report"
@@ -441,8 +473,8 @@ type restore = {
   rs_crc : int;  (* CRC over all of them *)
 }
 
-let execute ?io ?(heartbeat_every = 0) ~dir ~workload ~(config : Ormp_vm.Config.t)
-    ~(options : options) ~restore () =
+let execute ?io ?(heartbeat_every = 0) ?(jobs = 1) ~dir ~workload
+    ~(config : Ormp_vm.Config.t) ~(options : options) ~restore () =
   let* program = find_workload workload in
   (* Sites are named through the table the run produces (cf. Whomp.profile);
      the reference is filled once the workload finishes. *)
@@ -485,25 +517,31 @@ let execute ?io ?(heartbeat_every = 0) ~dir ~workload ~(config : Ormp_vm.Config.
       journal = None;
       jcrc = 0;
       checkpointing = options.checkpoint_every > 0;
+      par = None;
     }
   in
   let on_tuple tu =
-    W.collect ctx.whomp tu;
-    Leap.collect ctx.leap tu
-  in
-  let cdc, resumed_from, replayed =
-    match restore with
+    match ctx.par with
     | None ->
-      ctx.journal <- Some (Journal.create ?io (dir // journal_file));
-      (Cdc.create ~site_name ~on_tuple (), None, 0)
+      W.collect ctx.whomp tu;
+      Leap.collect ctx.leap tu
+    | Some p -> Parallel.stage_tuple p tu
+  in
+  let cdc, resumed_from, replay_tail, journal_resume =
+    match restore with
+    | None -> (Cdc.create ~site_name ~on_tuple (), None, [||], None)
     | Some r ->
       let snap = r.rs_snapshot in
       let gi, gg, go, gf = snap.Snapshot.whomp in
       ctx.whomp <- W.collector ~restore:(gi, gg, go, gf) ();
       ctx.rasg <- snap.Snapshot.rasg;
-      ctx.leap <-
-        Leap.collector ?budget:options.leap_budget ~max_streams:options.max_streams
-          ~restore:snap.Snapshot.leap ();
+      (* With jobs > 1 the LEAP state is restored into the shard pool
+         below instead; [ctx.leap] stays an unused empty collector (the
+         stream records are mutable — they must not be shared). *)
+      if jobs <= 1 then
+        ctx.leap <-
+          Leap.collector ?budget:options.leap_budget ~max_streams:options.max_streams
+            ~restore:snap.Snapshot.leap ();
       ctx.position <- snap.Snapshot.position;
       ctx.rotations <- snap.Snapshot.rotations;
       ctx.epochs <- snap.Snapshot.epochs;
@@ -512,23 +550,42 @@ let execute ?io ?(heartbeat_every = 0) ~dir ~workload ~(config : Ormp_vm.Config.
         (match List.rev snap.Snapshot.epochs with e :: _ -> e.Snapshot.ep_to | [] -> 0);
       ctx.rasg_accesses <- snap.Snapshot.cdc.Cdc.s_clock + snap.Snapshot.cdc.Cdc.s_wild;
       ctx.jcrc <- snap.Snapshot.journal_crc;
-      let cdc = Cdc.of_state ~site_name ~on_tuple snap.Snapshot.cdc in
-      (* Phase A: replay the journal tail the dead run wrote after its last
-         snapshot. Triggers re-fire (rotations must be re-applied; snapshot
-         rewrites are idempotent), but nothing is re-journaled — the CRC is
-         re-derived instead so rewritten snapshots carry the right value. *)
-      let cdc_sink = Cdc.sink cdc in
-      (Tm.span ~name:"session.replay" @@ fun () ->
-       Array.iter
-         (fun ev ->
-           ctx.jcrc <- Ormp_util.Crc32.update ctx.jcrc (Tf.event_line ev);
-           apply ctx cdc_sink ev;
-           triggers ctx cdc)
-         r.rs_tail);
-      ctx.journal <- Some (Journal.create ?io ~resume:(r.rs_count, r.rs_crc) (dir // journal_file));
-      (cdc, Some snap.Snapshot.position, Array.length r.rs_tail)
+      ( Cdc.of_state ~site_name ~on_tuple snap.Snapshot.cdc,
+        Some snap.Snapshot.position,
+        r.rs_tail,
+        Some (r.rs_count, r.rs_crc) )
   in
+  (* Spawn the compressor domains over the (possibly restored) live state —
+     before Phase A, so replayed events flow down the same pipeline. *)
+  if jobs > 1 then
+    ctx.par <-
+      Some
+        (Parallel.spawn ~jobs ~whomp:ctx.whomp ~rasg:ctx.rasg
+           ~leap_budget:options.leap_budget ~max_streams:options.max_streams
+           ~leap_restore:
+             (match restore with
+             | Some r -> Some r.rs_snapshot.Snapshot.leap
+             | None -> None)
+           ());
   let cdc_sink = Cdc.sink cdc in
+  (* Phase A: replay the journal tail the dead run wrote after its last
+     snapshot. Triggers re-fire (rotations must be re-applied; snapshot
+     rewrites are idempotent), but nothing is re-journaled — the CRC is
+     re-derived instead so rewritten snapshots carry the right value. *)
+  let replayed = Array.length replay_tail in
+  if replayed > 0 then
+    (Tm.span ~name:"session.replay" @@ fun () ->
+     Array.iter
+       (fun ev ->
+         ctx.jcrc <- Ormp_util.Crc32.update ctx.jcrc (Tf.event_line ev);
+         apply ctx cdc_sink ev;
+         triggers ctx cdc)
+       replay_tail);
+  ctx.journal <-
+    Some
+      (match journal_resume with
+      | None -> Journal.create ?io (dir // journal_file)
+      | Some (count, crc) -> Journal.create ?io ~resume:(count, crc) (dir // journal_file));
   (* Phase B: (re-)execute the workload. The first [skip] events were already
      incorporated via snapshot + replay; they are regenerated (the VM is
      deterministic), CRC-checked against the journal, and dropped. *)
@@ -560,12 +617,24 @@ let execute ?io ?(heartbeat_every = 0) ~dir ~workload ~(config : Ormp_vm.Config.
       Journal.close j;
       ctx.journal <- None
   in
+  (* No domain may outlive the run, whichever way it ends. On the failure
+     paths the original error wins over any secondary worker failure. *)
+  let abandon_pipeline () =
+    match ctx.par with
+    | Some p -> ( try Parallel.shutdown p with _ -> ())
+    | None -> ()
+  in
   match Ormp_vm.Runner.run ~config program sink with
   | exception Resume_diverged msg ->
+    abandon_pipeline ();
     close_journal ();
     Error msg
   | result ->
     close_journal ();
+    (* Quiesce and join the compressor domains: a worker failure surfaces
+       here (with the journal already durable for a resume), and afterwards
+       every grammar and shard is frozen for [write_outputs] to serialize. *)
+    (match ctx.par with Some p -> Parallel.shutdown p | None -> ());
     table := Some result.Ormp_vm.Runner.table;
     write_outputs ctx cdc ~elapsed:result.Ormp_vm.Runner.elapsed;
     let outcome =
@@ -590,13 +659,14 @@ let execute ?io ?(heartbeat_every = 0) ~dir ~workload ~(config : Ormp_vm.Config.
     (* Leave the journal durable for a later [resume], then let the failure
        travel with its original backtrace ([Io.Killed] reaches the CLI). *)
     let bt = Printexc.get_raw_backtrace () in
+    abandon_pipeline ();
     close_journal ();
     Printexc.raise_with_backtrace exn bt
 
 (* --- public entry points ----------------------------------------------- *)
 
-let run ?io ?heartbeat_every ?(config = Ormp_vm.Config.default) ?(options = default_options)
-    ~dir ~workload () =
+let run ?io ?heartbeat_every ?jobs ?(config = Ormp_vm.Config.default)
+    ?(options = default_options) ~dir ~workload () =
   let* _ = find_workload workload in
   mkdirs dir;
   if Sys.file_exists (dir // manifest_file) then
@@ -604,7 +674,7 @@ let run ?io ?heartbeat_every ?(config = Ormp_vm.Config.default) ?(options = defa
   else begin
     Storage.write_atomic ~path:(dir // manifest_file)
       (S.to_string (manifest_to_sexp ~workload ~config ~options) ^ "\n");
-    execute ?io ?heartbeat_every ~dir ~workload ~config ~options ~restore:None ()
+    execute ?io ?heartbeat_every ?jobs ~dir ~workload ~config ~options ~restore:None ()
   end
 
 let newest_snapshot dir =
@@ -625,7 +695,7 @@ let newest_snapshot dir =
   in
   first_valid ordinals
 
-let resume ?io ?heartbeat_every ~dir () =
+let resume ?io ?heartbeat_every ?jobs ~dir () =
   let* manifest_sexp =
     match S.load (dir // manifest_file) with
     | Ok s -> Ok s
@@ -653,7 +723,7 @@ let resume ?io ?heartbeat_every ~dir () =
   in
   (* With no usable snapshot (or a journal that contradicts it), fall back
      to a from-scratch run over the same manifest — correct, just slower. *)
-  execute ?io ?heartbeat_every ~dir ~workload ~config ~options ~restore ()
+  execute ?io ?heartbeat_every ?jobs ~dir ~workload ~config ~options ~restore ()
 
 let status ~dir =
   let* manifest_sexp =

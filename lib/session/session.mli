@@ -64,6 +64,7 @@ val heartbeat_file : string
 val run :
   ?io:Ormp_workloads.Faults.Io.t ->
   ?heartbeat_every:int ->
+  ?jobs:int ->
   ?config:Ormp_vm.Config.t ->
   ?options:options ->
   dir:string ->
@@ -79,6 +80,14 @@ val run :
     stored in the manifest: it observes a process, it does not identify
     the session, and resume is free to pick a different one.
 
+    [jobs] (default 1 = serial) sizes the pipeline-parallel compressor
+    stage: with [jobs > 1] the grammar and LEAP consumers run on their
+    own domains behind SPSC rings, quiesced at every checkpoint,
+    rotation and heartbeat. Like [heartbeat_every] it is a per-process
+    execution knob, not part of the session's identity — every profile,
+    snapshot and epoch file is byte-identical for any [jobs], and a
+    session may be resumed with a different value than it started with.
+
     Raises whatever kills the run — notably
     {!Ormp_workloads.Faults.Io.Killed} from an injected crash — after
     making the journal durable, so a later {!resume} can continue. *)
@@ -86,6 +95,7 @@ val run :
 val resume :
   ?io:Ormp_workloads.Faults.Io.t ->
   ?heartbeat_every:int ->
+  ?jobs:int ->
   dir:string ->
   unit ->
   (outcome, string) result

@@ -36,20 +36,36 @@ let guarded_sink should_stop inner =
     if !n land 1023 = 0 && should_stop () then raise Supervise.Cancelled;
     inner ev
 
-let profile_task ?config program ~should_stop =
+let profile_task ?config ?(jobs = 1) program ~should_stop =
   let table = ref None in
   let site_name site =
     match !table with
     | None -> Printf.sprintf "site%d" site
     | Some t -> (Ormp_trace.Instr.info t site).Ormp_trace.Instr.name
   in
-  let sink, finalize = W.sink ~site_name () in
-  let result = Ormp_vm.Runner.run ?config program (guarded_sink should_stop sink) in
-  table := Some result.Ormp_vm.Runner.table;
-  finalize ~elapsed:result.Ormp_vm.Runner.elapsed
+  if jobs <= 1 then begin
+    let sink, finalize = W.sink ~site_name () in
+    let result = Ormp_vm.Runner.run ?config program (guarded_sink should_stop sink) in
+    table := Some result.Ormp_vm.Runner.table;
+    finalize ~elapsed:result.Ormp_vm.Runner.elapsed
+  end
+  else begin
+    let t = Ormp_whomp.Par_scc.create ~jobs ~site_name () in
+    (* A cancellation (or any fault) raised by the guarded sink must still
+       join the compressor domains before it propagates to Supervise. *)
+    Fun.protect
+      ~finally:(fun () -> try Ormp_whomp.Par_scc.shutdown t with _ -> ())
+      (fun () ->
+        let result =
+          Ormp_vm.Runner.run ?config program
+            (guarded_sink should_stop (Ormp_whomp.Par_scc.sink t))
+        in
+        table := Some result.Ormp_vm.Runner.table;
+        Ormp_whomp.Par_scc.finalize t ~elapsed:result.Ormp_vm.Runner.elapsed)
+  end
 
-let run ?(bench = false) ?timeout_s ?(retries = 1) ?backoff_s ?(faults = []) ?config ?out_dir
-    () =
+let run ?(bench = false) ?timeout_s ?(retries = 1) ?backoff_s ?(faults = []) ?config ?jobs
+    ?out_dir () =
   let t0 = Ormp_util.Clock.now_s () in
   (match out_dir with
   | Some d -> if not (Sys.file_exists d) then Unix.mkdir d 0o755
@@ -68,7 +84,7 @@ let run ?(bench = false) ?timeout_s ?(retries = 1) ?backoff_s ?(faults = []) ?co
         let outcome =
           Supervise.run ?timeout_s ~retries ?backoff_s (fun ~should_stop ->
               Ormp_telemetry.Telemetry.span ~name:("suite:" ^ e.Registry.name) @@ fun () ->
-              let p = profile_task ?config program ~should_stop in
+              let p = profile_task ?config ?jobs program ~should_stop in
               (match out_dir with
               | Some d ->
                 Ormp_persist.Whomp_io.save (d // (e.Registry.name ^ ".whomp")) p

@@ -135,6 +135,18 @@ let set (id : gauge) v =
   s.gauges.(id) <- v;
   s.gstamps.(id) <- 1 + Atomic.fetch_and_add gauge_clock 1
 
+(* High-water gauge: keep the largest sample this domain has recorded
+   (first sample always sticks). With a single writing domain the merged
+   snapshot value is the true maximum; with several writers the snapshot's
+   latest-stamp-wins rule returns the most recent domain's high water. *)
+let set_max (id : gauge) v =
+  let s = Domain.DLS.get key in
+  ensure_gauge s id;
+  if s.gstamps.(id) = 0 || v > s.gauges.(id) then begin
+    s.gauges.(id) <- v;
+    s.gstamps.(id) <- 1 + Atomic.fetch_and_add gauge_clock 1
+  end
+
 let observe (id : histogram) v =
   let s = Domain.DLS.get key in
   let c = ensure_hist s id in

@@ -1,0 +1,84 @@
+(* Classic SPSC ring over monotonic positions: [tail] counts pushes,
+   [head] counts pops, slot = position mod capacity. Each side owns one
+   atomic and keeps a cached copy of the other side's, refreshed only
+   when the cached value says the ring looks full (producer) or empty
+   (consumer) — the common case touches no shared line at all beyond its
+   own atomic. *)
+
+type 'a t = {
+  slots : 'a option array;
+  cap : int;
+  head : int Atomic.t;  (* consumer position; written by the consumer only *)
+  _pad1 : int array;
+      (* Best-effort cache-line spacing: the pad keeps the two atomics
+         (allocated consecutively) from sharing a line, so producer and
+         consumer don't false-share. The pads must be reachable from the
+         record or the GC would slide the atomics back together. *)
+  tail : int Atomic.t;  (* producer position; written by the producer only *)
+  _pad2 : int array;
+  mutable cached_head : int;  (* producer's last view of [head] *)
+  mutable cached_tail : int;  (* consumer's last view of [tail] *)
+}
+
+let default_capacity = 16
+
+let pad () = Array.make 15 0
+
+let create ?(capacity = default_capacity) () =
+  if capacity < 1 then invalid_arg "Spsc.create: capacity must be at least 1";
+  let head = Atomic.make 0 in
+  let _pad1 = pad () in
+  let tail = Atomic.make 0 in
+  let _pad2 = pad () in
+  {
+    slots = Array.make capacity None;
+    cap = capacity;
+    head;
+    _pad1;
+    tail;
+    _pad2;
+    cached_head = 0;
+    cached_tail = 0;
+  }
+
+let capacity t = t.cap
+
+let length t = Atomic.get t.tail - Atomic.get t.head
+
+let try_push t v =
+  let tail = Atomic.get t.tail in
+  let full = tail - t.cached_head >= t.cap in
+  let full =
+    if not full then false
+    else begin
+      t.cached_head <- Atomic.get t.head;
+      tail - t.cached_head >= t.cap
+    end
+  in
+  if full then false
+  else begin
+    t.slots.(tail mod t.cap) <- Some v;
+    (* Release: the slot write above becomes visible before the new tail. *)
+    Atomic.set t.tail (tail + 1);
+    true
+  end
+
+let try_pop t =
+  let head = Atomic.get t.head in
+  let empty = t.cached_tail - head <= 0 in
+  let empty =
+    if not empty then false
+    else begin
+      t.cached_tail <- Atomic.get t.tail;
+      t.cached_tail - head <= 0
+    end
+  in
+  if empty then None
+  else begin
+    let i = head mod t.cap in
+    let v = t.slots.(i) in
+    t.slots.(i) <- None;
+    (* Release: the slot is cleared before the producer may reuse it. *)
+    Atomic.set t.head (head + 1);
+    v
+  end

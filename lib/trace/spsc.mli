@@ -1,0 +1,36 @@
+(** Bounded lock-free single-producer / single-consumer ring buffer.
+
+    The transport under the pipeline-parallel SCC: the translating
+    producer publishes batch-granularity messages to one dedicated
+    compressor domain per decomposed stream. Exactly one domain may call
+    {!try_push} and exactly one (other) domain may call {!try_pop}; under
+    that discipline every operation is wait-free and the messages arrive
+    in push order.
+
+    Publication safety follows from the OCaml memory model: a slot is
+    written before the tail {!Atomic} is advanced, and the consumer reads
+    the tail before the slot, so the slot contents happen-before the pop
+    (and symmetrically for slot reuse via the head). *)
+
+type 'a t
+
+val create : ?capacity:int -> unit -> 'a t
+(** Ring with room for [capacity] messages (default
+    {!default_capacity}). Capacity 1 is legal — the ring degenerates to a
+    rendezvous slot. Raises [Invalid_argument] on capacity < 1. *)
+
+val default_capacity : int
+
+val try_push : 'a t -> 'a -> bool
+(** Producer only. [false] when the ring is full (backpressure: the
+    caller decides how to wait). *)
+
+val try_pop : 'a t -> 'a option
+(** Consumer only. [None] when the ring is empty. The slot is cleared so
+    the ring never pins a consumed message for the GC. *)
+
+val length : 'a t -> int
+(** Messages currently buffered. Racy by nature (either end may be
+    mid-operation); exact when the ring is quiesced. For telemetry. *)
+
+val capacity : 'a t -> int

@@ -1,0 +1,99 @@
+module Tm = Ormp_telemetry.Telemetry
+
+type 'a t = {
+  ring : 'a Spsc.t;
+  mutable pushed : int;  (* producer-local; only read cross-domain via [processed] *)
+  processed : int Atomic.t;
+      (* advanced by the consumer *after* [f] returns, so
+         [processed = pushed] means fully processed, not merely popped *)
+  stop_flag : bool Atomic.t;
+  failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+  dom : unit Domain.t;
+  mutable joined : bool;
+  m_depth : Tm.Metrics.gauge;
+  m_stalls : Tm.Metrics.counter;
+  m_msgs : Tm.Metrics.counter;
+}
+
+(* Spin briefly (cheap when the other side is actively running on another
+   core), then sleep with exponential backoff capped at 1ms. On a machine
+   with fewer cores than domains the sleep is what lets the other side be
+   scheduled at all. *)
+let backoff n =
+  incr n;
+  if !n < 64 then Domain.cpu_relax ()
+  else Unix.sleepf (Float.min 0.001 (1e-6 *. float_of_int (!n - 63)))
+
+let run_consumer ring processed stop_flag failure f =
+  let idle = ref 0 in
+  let rec loop () =
+    match Spsc.try_pop ring with
+    | Some m ->
+      idle := 0;
+      (match Atomic.get failure with
+      | None -> (
+        try f m
+        with e -> Atomic.set failure (Some (e, Printexc.get_raw_backtrace ())))
+      | Some _ -> () (* failed: keep draining so the producer never blocks *));
+      Atomic.incr processed;
+      loop ()
+    | None -> if Atomic.get stop_flag then () else (backoff idle; loop ())
+  in
+  loop ()
+
+let spawn ?capacity ~name ~f () =
+  let ring = Spsc.create ?capacity () in
+  let processed = Atomic.make 0 in
+  let stop_flag = Atomic.make false in
+  let failure = Atomic.make None in
+  {
+    ring;
+    pushed = 0;
+    processed;
+    stop_flag;
+    failure;
+    dom = Domain.spawn (fun () -> run_consumer ring processed stop_flag failure f);
+    joined = false;
+    m_depth = Tm.Metrics.gauge (Printf.sprintf "ring.%s.depth" name);
+    m_stalls = Tm.Metrics.counter (Printf.sprintf "ring.%s.stalls" name);
+    m_msgs = Tm.Metrics.counter (Printf.sprintf "ring.%s.msgs" name);
+  }
+
+let check t =
+  match Atomic.get t.failure with
+  | None -> ()
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+
+let pending t = t.pushed - Atomic.get t.processed
+
+let push t m =
+  if not (Spsc.try_push t.ring m) then begin
+    if Tm.on () then Tm.Metrics.incr t.m_stalls;
+    let n = ref 0 in
+    while not (Spsc.try_push t.ring m) do
+      check t;
+      backoff n
+    done
+  end;
+  t.pushed <- t.pushed + 1;
+  if Tm.on () then begin
+    Tm.Metrics.incr t.m_msgs;
+    Tm.Metrics.set_max t.m_depth (float_of_int (Spsc.length t.ring))
+  end
+
+let drain t =
+  let n = ref 0 in
+  while Atomic.get t.processed < t.pushed do
+    backoff n
+  done;
+  check t
+
+let stop t =
+  if not t.joined then begin
+    (* Draining first is not required for correctness (the consumer empties
+       its ring before exiting) but bounds how long the join can take. *)
+    Atomic.set t.stop_flag true;
+    Domain.join t.dom;
+    t.joined <- true
+  end;
+  check t

@@ -1,0 +1,42 @@
+(** A dedicated consumer domain behind one {!Spsc} ring.
+
+    One worker owns one stream (or a fixed set of streams multiplexed
+    onto it): messages pushed from the producer domain are processed by
+    [f] on the worker's domain, strictly in push order. The state [f]
+    mutates belongs to the worker; the producer may touch it only between
+    {!drain} (or {!stop}) and its next {!push} — those operations
+    establish the happens-before edges both ways.
+
+    Backpressure is blocking: {!push} spins briefly, then sleeps with
+    exponential backoff — essential on machines with fewer cores than
+    domains, where pure spinning starves the consumer it is waiting on.
+
+    An exception escaping [f] marks the worker failed; the failure
+    surfaces (with its original backtrace) from the producer's next
+    {!push}, {!drain} or {!stop}. A failed worker keeps consuming and
+    discarding so the producer can never deadlock against it.
+
+    Telemetry (when enabled): per-ring high-water depth gauge
+    [ring.<name>.depth], stall counter [ring.<name>.stalls] (pushes that
+    had to wait) and message counter [ring.<name>.msgs]. *)
+
+type 'a t
+
+val spawn : ?capacity:int -> name:string -> f:('a -> unit) -> unit -> 'a t
+(** Spawn the consumer domain. [capacity] is the ring size in messages
+    (default {!Spsc.default_capacity}); [name] labels telemetry. *)
+
+val push : 'a t -> 'a -> unit
+(** Producer only. Blocks while the ring is full. *)
+
+val drain : 'a t -> unit
+(** Producer only. Block until every pushed message has been fully
+    processed. On return the worker is idle and its state is safe to
+    read — and to replace, provided nothing is pushed concurrently. *)
+
+val stop : 'a t -> unit
+(** Drain, signal shutdown, and join the domain. Idempotent. Re-raises a
+    worker failure after the join, so the domain is never leaked. *)
+
+val pending : 'a t -> int
+(** Messages pushed but not yet fully processed (racy, for telemetry). *)

@@ -1,0 +1,165 @@
+module Seq_c = Ormp_sequitur.Sequitur
+module Worker = Ormp_trace.Worker
+module Cdc = Ormp_core.Cdc
+
+(* --- grammar worker pool ---------------------------------------------- *)
+
+(* One message: a chunk of one slot's symbol stream. The array is owned
+   by the consumer once pushed (the producer allocates a fresh copy per
+   chunk — one small allocation per ~stage_capacity symbols). *)
+type msg = { m_slot : int; m_data : int array }
+
+type stage = { buf : int array; mutable len : int }
+
+type pool = {
+  slots : Seq_c.t array;
+      (* shared with the workers: a worker re-reads [slots.(i)] for every
+         message, so a swap done while quiesced is published to it by the
+         next ring operation's happens-before edge *)
+  workers : msg Worker.t array;  (* slot [i] is consumed by [i mod workers] *)
+  stages : stage array;  (* per-slot producer-side accumulation *)
+  mutable live : bool;
+}
+
+let pool ?ring_capacity ?stage_capacity ~name ~workers slots =
+  let n = Array.length slots in
+  if n = 0 then invalid_arg "Par_scc.pool: no slots";
+  if workers < 1 then invalid_arg "Par_scc.pool: workers must be at least 1";
+  let nw = min workers n in
+  let stage_capacity =
+    match stage_capacity with Some c -> c | None -> Ormp_trace.Batch.default_capacity
+  in
+  if stage_capacity < 1 then invalid_arg "Par_scc.pool: stage capacity must be positive";
+  {
+    slots;
+    workers =
+      Array.init nw (fun w ->
+          Worker.spawn ?capacity:ring_capacity
+            ~name:(Printf.sprintf "%s.%d" name w)
+            ~f:(fun m -> Seq_c.push_array slots.(m.m_slot) m.m_data)
+            ());
+    stages = Array.init n (fun _ -> { buf = Array.make stage_capacity 0; len = 0 });
+    live = true;
+  }
+
+let worker_of p slot = p.workers.(slot mod Array.length p.workers)
+
+let flush_slot p slot =
+  let st = p.stages.(slot) in
+  if st.len > 0 then begin
+    Worker.push (worker_of p slot) { m_slot = slot; m_data = Array.sub st.buf 0 st.len };
+    st.len <- 0
+  end
+
+let pool_stage p ~slot v =
+  let st = p.stages.(slot) in
+  if st.len = Array.length st.buf then flush_slot p slot;
+  st.buf.(st.len) <- v;
+  st.len <- st.len + 1
+
+let pool_stage_lane p ~slot lane len =
+  let st = p.stages.(slot) in
+  let cap = Array.length st.buf in
+  let i = ref 0 in
+  while !i < len do
+    if st.len = cap then flush_slot p slot;
+    let take = min (cap - st.len) (len - !i) in
+    Array.blit lane !i st.buf st.len take;
+    st.len <- st.len + take;
+    i := !i + take
+  done
+
+let pool_drain p =
+  Array.iteri (fun slot _ -> flush_slot p slot) p.stages;
+  Array.iter Worker.drain p.workers
+
+let pool_get p i = p.slots.(i)
+let pool_set p i g = p.slots.(i) <- g
+
+let pool_pending p = Array.fold_left (fun acc w -> acc + Worker.pending w) 0 p.workers
+
+let pool_shutdown p =
+  if p.live then begin
+    p.live <- false;
+    (* Publish whatever is staged so a graceful shutdown loses nothing,
+       then join every domain even if one of them failed — the first
+       failure is re-raised only after none can be leaked. *)
+    (try Array.iteri (fun slot _ -> flush_slot p slot) p.stages with _ -> ());
+    let failure = ref None in
+    Array.iter
+      (fun w ->
+        try Worker.stop w
+        with e -> if !failure = None then failure := Some (e, Printexc.get_raw_backtrace ()))
+      p.workers;
+    match !failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ()
+  end
+
+(* --- parallel WHOMP profiler ------------------------------------------ *)
+
+(* Slot order is the paper's dimension order — the same order
+   [Whomp.collector_dims] reports, so the assembled profile lists
+   grammars identically to the serial path. *)
+let dim_names = [| "instr"; "group"; "object"; "offset" |]
+
+type t = { cdc : Cdc.t; p : pool }
+
+let create ?grouping ?ring_capacity ~jobs ~site_name () =
+  let slots = Array.init 4 (fun _ -> Seq_c.create ()) in
+  let p =
+    pool ?ring_capacity ~name:"whomp" ~workers:(max 1 (min (jobs - 1) 4)) slots
+  in
+  let on_tuple (tu : Ormp_core.Tuple.t) =
+    pool_stage p ~slot:0 tu.instr;
+    pool_stage p ~slot:1 tu.group;
+    pool_stage p ~slot:2 tu.obj;
+    pool_stage p ~slot:3 tu.offset
+  in
+  { cdc = Cdc.create ?grouping ~site_name ~on_tuple (); p }
+
+let batch t =
+  Cdc.batch_tuples t.cdc
+    ~on_tuples:(fun (tp : Cdc.tuples) ->
+      pool_stage_lane t.p ~slot:0 tp.tp_instr tp.tp_len;
+      pool_stage_lane t.p ~slot:1 tp.tp_group tp.tp_len;
+      pool_stage_lane t.p ~slot:2 tp.tp_obj tp.tp_len;
+      pool_stage_lane t.p ~slot:3 tp.tp_offset tp.tp_len)
+    ()
+
+let sink t = Cdc.sink t.cdc
+
+let shutdown t = pool_shutdown t.p
+
+let finalize t ~elapsed =
+  pool_shutdown t.p;
+  let dims = List.init 4 (fun i -> (dim_names.(i), pool_get t.p i)) in
+  Whomp.publish_dim_gauges dims;
+  let omc = Cdc.omc t.cdc in
+  Ormp_core.Omc.publish_gauges omc;
+  {
+    Whomp.dims;
+    collected = Cdc.collected t.cdc;
+    wild = Cdc.wild t.cdc;
+    groups = Ormp_core.Omc.groups omc;
+    lifetimes = Ormp_core.Omc.lifetimes omc;
+    elapsed;
+  }
+
+let profile ?config ?grouping ?ring_capacity ~jobs program =
+  if jobs <= 1 then Whomp.profile ?config ?grouping program
+  else begin
+    let table = ref None in
+    let site_name site =
+      match !table with
+      | None -> Printf.sprintf "site%d" site
+      | Some tb -> (Ormp_trace.Instr.info tb site).Ormp_trace.Instr.name
+    in
+    let t = create ?grouping ?ring_capacity ~jobs ~site_name () in
+    Fun.protect
+      ~finally:(fun () -> try shutdown t with _ -> ())
+      (fun () ->
+        let result = Ormp_vm.Runner.run_batched ?config program (batch t) in
+        table := Some result.Ormp_vm.Runner.table;
+        finalize t ~elapsed:result.Ormp_vm.Runner.elapsed)
+  end

@@ -1,0 +1,103 @@
+(** Pipeline-parallel SCC for WHOMP (and any grammar-per-stream client).
+
+    The paper's horizontal decomposition (§3) makes the four OMSG
+    dimension streams independent by construction, so each one can be
+    compressed on its own domain: the CDC keeps translating on the
+    producer domain and fans the decomposed lanes out over bounded
+    lock-free SPSC rings ({!Ormp_trace.Spsc}) to dedicated Sequitur
+    domains. Every stream's symbols stay in order on a single consumer,
+    so the grammars — and therefore the persisted profile — are
+    byte-identical to a serial run.
+
+    {1 Grammar worker pool}
+
+    The reusable core: [n] grammar slots multiplexed onto at most [n]
+    worker domains (slot [i] is pinned to worker [i mod workers], so each
+    slot's stream still has exactly one consumer). The session layer
+    builds its five-grammar (4 OMSG dims + RASG) pipeline on this. *)
+
+type pool
+
+val pool :
+  ?ring_capacity:int ->
+  ?stage_capacity:int ->
+  name:string ->
+  workers:int ->
+  Ormp_sequitur.Sequitur.t array ->
+  pool
+(** Spawn [min workers n] consumer domains over the [n] grammar slots.
+    [ring_capacity] is the per-worker ring size in messages (chunks);
+    [stage_capacity] the symbols staged per slot before a chunk is
+    published (default {!Ormp_trace.Batch.default_capacity}). The array
+    is owned by the pool until {!pool_shutdown}. *)
+
+val pool_stage : pool -> slot:int -> int -> unit
+(** Append one symbol to a slot's stream (publishes a chunk when the
+    slot's stage fills). Producer domain only. *)
+
+val pool_stage_lane : pool -> slot:int -> int array -> int -> unit
+(** Append the first [len] elements of a lane array — the chunk-granular
+    form used by the batched CDC path. *)
+
+val pool_drain : pool -> unit
+(** Quiesce: publish every staged symbol and block until all workers have
+    consumed their rings. On return the grammars are frozen and safe to
+    read — and to replace with {!pool_set} — until the next stage call. *)
+
+val pool_get : pool -> int -> Ormp_sequitur.Sequitur.t
+(** The slot's live grammar. Call only between {!pool_drain} and the next
+    stage call (or after {!pool_shutdown}). *)
+
+val pool_set : pool -> int -> Ormp_sequitur.Sequitur.t -> unit
+(** Replace a slot's grammar (epoch rotation). Same discipline as
+    {!pool_get}. *)
+
+val pool_shutdown : pool -> unit
+(** Drain, stop and join every worker. Idempotent; safe on error paths.
+    Re-raises the first worker failure, after all domains are joined. *)
+
+val pool_pending : pool -> int
+(** Chunks published but not yet compressed (racy; for observation). *)
+
+(** {1 Parallel WHOMP profiler}
+
+    Drop-in parallel counterparts of {!Whomp.sink_batched} /
+    {!Whomp.profile}. [jobs] counts domains including the producer, so
+    [jobs - 1] compressor domains are spawned (capped at the four
+    dimension streams); [jobs <= 1] is the caller's cue to use the serial
+    path instead ({!profile} falls back by itself). *)
+
+type t
+
+val create :
+  ?grouping:Ormp_core.Omc.grouping ->
+  ?ring_capacity:int ->
+  jobs:int ->
+  site_name:(int -> string) ->
+  unit ->
+  t
+
+val batch : t -> Ormp_trace.Batch.t
+(** Batched probe entry (cf. {!Ormp_core.Cdc.batch_tuples}). *)
+
+val sink : t -> Ormp_trace.Sink.t
+(** Per-event probe entry, for drivers that cannot batch. *)
+
+val finalize : t -> elapsed:float -> Whomp.profile
+(** Drain, shut the pool down and assemble the profile. The grammars are
+    the worker-built ones — byte-identical to {!Whomp.sink_batched}'s. *)
+
+val shutdown : t -> unit
+(** Abort path: stop and join the workers without assembling a profile.
+    Idempotent; {!finalize} calls it internally. Wrap driver exceptions
+    with this (e.g. [Fun.protect]) so no domain outlives the run. *)
+
+val profile :
+  ?config:Ormp_vm.Config.t ->
+  ?grouping:Ormp_core.Omc.grouping ->
+  ?ring_capacity:int ->
+  jobs:int ->
+  Ormp_vm.Program.t ->
+  Whomp.profile
+(** Run the program under parallel WHOMP instrumentation. [jobs <= 1]
+    delegates to the serial {!Whomp.profile}. *)

@@ -1,0 +1,199 @@
+(* Pipeline-parallel SCC: the compressor domains behind the SPSC rings
+   must produce profiles byte-identical to the serial path — for every
+   workload, ring capacity (including the degenerate 1), and job count —
+   and a parallel session killed mid-run must resume to the same bytes. *)
+
+module Whomp = Ormp_whomp.Whomp
+module Leap = Ormp_leap.Leap
+module Par_scc = Ormp_whomp.Par_scc
+module Par_leap = Ormp_leap.Par_leap
+module Equiv = Ormp_check.Equiv
+module Session = Ormp_session.Session
+module Micro = Ormp_workloads.Micro
+module Faults = Ormp_workloads.Faults
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tmpdir () = Filename.temp_file "ormp_parallel" "" |> fun f ->
+  Sys.remove f;
+  Unix.mkdir f 0o755;
+  f
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let profile_bytes dir =
+  ( read_file (Filename.concat dir "whomp.profile"),
+    read_file (Filename.concat dir "rasg.profile"),
+    read_file (Filename.concat dir "leap.profile") )
+
+(* --- WHOMP: parallel = serial over every micro workload ---------------- *)
+
+let test_whomp_parallel_equiv () =
+  List.iter
+    (fun (name, prog) ->
+      let serial = Whomp.profile prog in
+      List.iter
+        (fun (ring_capacity, jobs) ->
+          let par = Par_scc.profile ~ring_capacity ~jobs prog in
+          match Equiv.whomp serial par with
+          | Ok () -> ()
+          | Error e ->
+            Alcotest.failf "%s (jobs %d, ring %d): %s" name jobs ring_capacity e)
+        [ (1, 2); (8, 5) ])
+    Micro.all
+
+(* --- LEAP: parallel = serial, including a capacity-1 ring --------------- *)
+
+let test_leap_parallel_equiv () =
+  List.iter
+    (fun (name, prog) ->
+      let serial = Leap.profile prog in
+      List.iter
+        (fun (ring_capacity, jobs) ->
+          let par = Par_leap.profile ~ring_capacity ~jobs prog in
+          match Equiv.leap serial par with
+          | Ok () -> ()
+          | Error e ->
+            Alcotest.failf "%s (jobs %d, ring %d): %s" name jobs ring_capacity e)
+        [ (1, 3); (4, 6) ])
+    Micro.all
+
+let test_leap_budget_parallel_equiv () =
+  (* The LMAD budget kicks in per stream; sharding must not change where. *)
+  let prog = Micro.hash_probe ~buckets:512 ~ops:2048 () in
+  let serial = Leap.profile ~budget:2 prog in
+  let par = Par_leap.profile ~budget:2 ~jobs:4 prog in
+  match Equiv.leap serial par with Ok () -> () | Error e -> Alcotest.fail e
+
+(* --- property: random workloads x ring capacities x job counts ---------- *)
+
+let prop_parallel_equals_serial =
+  QCheck.Test.make ~name:"parallel whomp+leap = serial (random workloads)"
+    ~count:20
+    QCheck.(
+      quad (int_range 4 48) (int_range 100 2000) (int_range 1 8) (int_range 2 6))
+    (fun (live, ops, ring_capacity, jobs) ->
+      let prog = Micro.churn ~live ~ops () in
+      (match Equiv.whomp (Whomp.profile prog) (Par_scc.profile ~ring_capacity ~jobs prog) with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report e);
+      (match Equiv.leap (Leap.profile prog) (Par_leap.profile ~ring_capacity ~jobs prog) with
+      | Ok () -> ()
+      | Error e -> QCheck.Test.fail_report e);
+      true)
+
+(* --- sessions: parallel run = serial run, files and all ------------------ *)
+
+let session_options =
+  { Session.default_options with checkpoint_every = 500; watch_every = 0 }
+
+let rotating_options =
+  (* Small budget so the watchdog actually rotates grammars mid-run: the
+     quiesce barrier must hand the rotation consistent frozen state. *)
+  { Session.default_options with
+    checkpoint_every = 500;
+    watch_every = 200;
+    grammar_budget = 400;
+  }
+
+let run_session ?io ?jobs ~options ~workload () =
+  let dir = tmpdir () in
+  match Session.run ?io ?jobs ~options ~dir ~workload () with
+  | Error e -> Alcotest.fail e
+  | Ok oc -> (dir, oc)
+
+let test_session_parallel_equiv () =
+  let workload = "linked_list" in
+  let ref_dir, ref_oc = run_session ~options:session_options ~workload () in
+  let ref_bytes = profile_bytes ref_dir in
+  List.iter
+    (fun jobs ->
+      let dir, oc = run_session ~jobs ~options:session_options ~workload () in
+      check_int (Printf.sprintf "position (jobs %d)" jobs)
+        ref_oc.Session.oc_position oc.Session.oc_position;
+      check_bool (Printf.sprintf "profile bytes (jobs %d)" jobs) true
+        (profile_bytes dir = ref_bytes);
+      rm_rf dir)
+    [ 2; 4; 8 ];
+  rm_rf ref_dir
+
+let test_session_parallel_rotation_equiv () =
+  let workload = "linked_list" in
+  let ref_dir, ref_oc = run_session ~options:rotating_options ~workload () in
+  check_bool "reference actually rotated" true (ref_oc.Session.oc_rotations > 0);
+  let ref_bytes = profile_bytes ref_dir in
+  let ref_epochs =
+    List.sort compare (List.filter (fun f ->
+        String.length f >= 6 && String.sub f 0 6 = "epoch-")
+      (Array.to_list (Sys.readdir ref_dir)))
+  in
+  let dir, oc = run_session ~jobs:4 ~options:rotating_options ~workload () in
+  check_int "same rotations" ref_oc.Session.oc_rotations oc.Session.oc_rotations;
+  check_bool "profile bytes" true (profile_bytes dir = ref_bytes);
+  List.iter
+    (fun epoch ->
+      check_bool (Printf.sprintf "epoch file %s" epoch) true
+        (read_file (Filename.concat dir epoch)
+        = read_file (Filename.concat ref_dir epoch)))
+    ref_epochs;
+  rm_rf dir;
+  rm_rf ref_dir
+
+(* --- kill mid-run, resume in parallel ------------------------------------ *)
+
+let test_parallel_kill_and_resume () =
+  let workload = "linked_list" in
+  let ref_dir, _ = run_session ~options:session_options ~workload () in
+  let ref_bytes = profile_bytes ref_dir in
+  (* (kill-run jobs, resume jobs): same, and crossed both ways — jobs is a
+     per-process knob, not session identity. *)
+  List.iter
+    (fun (run_jobs, resume_jobs) ->
+      let dir = tmpdir () in
+      let io = Faults.Io.create { Faults.Io.none with kill_at_checkpoint = Some 2 } in
+      (match Session.run ~io ~jobs:run_jobs ~options:session_options ~dir ~workload () with
+      | Ok _ -> Alcotest.fail "kill did not fire"
+      | Error e -> Alcotest.failf "unexpected session error: %s" e
+      | exception Faults.Io.Killed _ -> ());
+      check_bool "no final profile after kill" false
+        (Sys.file_exists (Filename.concat dir "whomp.profile"));
+      (match Session.resume ~jobs:resume_jobs ~dir () with
+      | Error e -> Alcotest.failf "resume (jobs %d->%d): %s" run_jobs resume_jobs e
+      | Ok oc ->
+        check_int "resumed from checkpoint 2"
+          (2 * session_options.Session.checkpoint_every)
+          (Option.value ~default:(-1) oc.Session.oc_resumed_from));
+      check_bool
+        (Printf.sprintf "bytes after kill/resume (jobs %d->%d)" run_jobs resume_jobs)
+        true
+        (profile_bytes dir = ref_bytes);
+      rm_rf dir)
+    [ (4, 4); (4, 1); (1, 4) ];
+  rm_rf ref_dir
+
+let () =
+  let tc name f = Alcotest.test_case name `Quick f in
+  Alcotest.run "ormp_parallel"
+    [
+      ( "profilers",
+        [
+          tc "whomp parallel = serial (all micros)" test_whomp_parallel_equiv;
+          tc "leap parallel = serial (all micros)" test_leap_parallel_equiv;
+          tc "leap budget under sharding" test_leap_budget_parallel_equiv;
+          QCheck_alcotest.to_alcotest prop_parallel_equals_serial;
+        ] );
+      ( "sessions",
+        [
+          tc "parallel session = serial session" test_session_parallel_equiv;
+          tc "rotation under quiesce barrier" test_session_parallel_rotation_equiv;
+          tc "kill mid-run, resume in parallel" test_parallel_kill_and_resume;
+        ] );
+    ]
