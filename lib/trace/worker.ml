@@ -26,18 +26,28 @@ let backoff n =
 
 let run_consumer ring processed stop_flag failure f =
   let idle = ref 0 in
+  let handle m =
+    idle := 0;
+    (match Atomic.get failure with
+    | None -> (
+      try f m
+      with e -> Atomic.set failure (Some (e, Printexc.get_raw_backtrace ())))
+    | Some _ -> () (* failed: keep draining so the producer never blocks *));
+    Atomic.incr processed
+  in
   let rec loop () =
     match Spsc.try_pop ring with
-    | Some m ->
-      idle := 0;
-      (match Atomic.get failure with
-      | None -> (
-        try f m
-        with e -> Atomic.set failure (Some (e, Printexc.get_raw_backtrace ())))
-      | Some _ -> () (* failed: keep draining so the producer never blocks *));
-      Atomic.incr processed;
-      loop ()
-    | None -> if Atomic.get stop_flag then () else (backoff idle; loop ())
+    | Some m -> handle m; loop ()
+    | None -> if Atomic.get stop_flag then final_drain () else (backoff idle; loop ())
+  and final_drain () =
+    (* The producer sets [stop_flag] only after its last push, and both are
+       seq_cst, so any pop performed *after* observing the flag sees every
+       preceding push. An empty pop observed *before* the flag proves
+       nothing (the final push may land in between), hence this re-poll:
+       exit only when a post-flag pop returns [None]. *)
+    match Spsc.try_pop ring with
+    | Some m -> handle m; final_drain ()
+    | None -> ()
   in
   loop ()
 
@@ -90,8 +100,10 @@ let drain t =
 
 let stop t =
   if not t.joined then begin
-    (* Draining first is not required for correctness (the consumer empties
-       its ring before exiting) but bounds how long the join can take. *)
+    (* Draining first is not required for correctness (after observing the
+       flag the consumer re-polls and exits only on an empty post-flag pop,
+       so everything pushed before this point is processed) but bounds how
+       long the join can take. *)
     Atomic.set t.stop_flag true;
     Domain.join t.dom;
     t.joined <- true

@@ -178,6 +178,29 @@ let test_trace_file_profiler_replay_equals_live () =
     (Ormp_whomp.Whomp.omsg_size replayed);
   Sys.remove path
 
+(* ------------------------------------------------------------------ *)
+(* Worker                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_worker_stop_without_drain_loses_nothing () =
+  (* Regression: stop with messages still in flight must process every
+     pushed message before the consumer exits — the consumer may observe
+     an empty ring, then the final push and stop_flag land, and it must
+     re-poll rather than exit. Many small rounds widen the race window. *)
+  for round = 1 to 200 do
+    let n = 16 + (round mod 7) in
+    let sum = ref 0 in
+    let w = Worker.spawn ~capacity:4 ~name:"test" ~f:(fun x -> sum := !sum + x) () in
+    let expected = ref 0 in
+    for i = 1 to n do
+      Worker.push w i;
+      expected := !expected + i
+    done;
+    Worker.stop w;
+    check_int (Printf.sprintf "round %d: all messages processed" round) !expected !sum;
+    check_int (Printf.sprintf "round %d: nothing pending" round) 0 (Worker.pending w)
+  done
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
   Alcotest.run "ormp_trace"
@@ -207,4 +230,6 @@ let () =
           tc "errors" test_trace_file_errors;
           tc "profiler replay equals live" test_trace_file_profiler_replay_equals_live;
         ] );
+      ( "worker",
+        [ tc "stop without drain loses nothing" test_worker_stop_without_drain_loses_nothing ] );
     ]
