@@ -14,6 +14,17 @@ type hotpath = {
 
 type suite_row = { suite_name : string; suite_events : int; suite_elapsed_s : float }
 
+(* One Bechamel micro-benchmark row. [mr_events] is the number of
+   symbols/events one run consumes (0 when the row has no natural event
+   count); the JSON derives ns/event and minor-GC words/event from it,
+   which is what the @perf-guard alias compares across commits. *)
+type micro_row = {
+  mr_name : string;
+  mr_ns_per_run : float;
+  mr_minor_words_per_run : float;  (** NaN when the allocation pass failed *)
+  mr_events : int;
+}
+
 (* Non-timing durability figures from the recovery section: how big the
    on-disk safety net is and how fast a killed session comes back. *)
 type recovery = {
@@ -69,6 +80,7 @@ type t = {
   mode : string;  (** "fast" or "paper" *)
   mutable sections : (string * float) list;  (** reverse execution order *)
   mutable hotpath : hotpath option;
+  mutable micro : micro_row list;
   mutable recovery : recovery option;
   mutable telemetry : telemetry option;
   mutable scaling : scaling option;
@@ -83,6 +95,7 @@ let create ~mode =
     mode;
     sections = [];
     hotpath = None;
+    micro = [];
     recovery = None;
     telemetry = None;
     scaling = None;
@@ -95,6 +108,8 @@ let create ~mode =
 let add_section t name wall_s = t.sections <- (name, wall_s) :: t.sections
 
 let set_hotpath t h = t.hotpath <- Some h
+
+let set_micro t rows = t.micro <- rows
 
 let set_recovery t r = t.recovery <- Some r
 
@@ -167,6 +182,25 @@ let render t =
     Buffer.add_string b ", \"cache_hit_rate\": ";
     buf_float b h.cache_hit_rate;
     Buffer.add_char b '}');
+  if t.micro <> [] then begin
+    Buffer.add_string b ",\n  \"micro\": ";
+    buf_list b t.micro (fun m ->
+        Buffer.add_string b "{\"name\": ";
+        buf_str b m.mr_name;
+        Buffer.add_string b ", \"ns_per_run\": ";
+        buf_float b m.mr_ns_per_run;
+        Buffer.add_string b ", \"minor_words_per_run\": ";
+        buf_float b m.mr_minor_words_per_run;
+        Buffer.add_string b ", \"events\": ";
+        Buffer.add_string b (string_of_int m.mr_events);
+        if m.mr_events > 0 then begin
+          Buffer.add_string b ", \"ns_per_event\": ";
+          buf_float b (m.mr_ns_per_run /. float_of_int m.mr_events);
+          Buffer.add_string b ", \"minor_words_per_event\": ";
+          buf_float b (m.mr_minor_words_per_run /. float_of_int m.mr_events)
+        end;
+        Buffer.add_char b '}')
+  end;
   (match t.recovery with
   | None -> ()
   | Some r ->

@@ -7,6 +7,13 @@
      main.exe                 -- everything, at paper ("training input") scale
      main.exe --fast          -- everything, at the small test scale
      main.exe fig5 table1 ... -- only the named sections
+     main.exe --baseline BENCH_ormp.json ...
+                              -- after the run, compare the hotpath and
+                                 sequitur micro rows against the named
+                                 baseline log and exit 1 if any ns figure
+                                 regressed more than 1.5x (the @perf-guard
+                                 alias runs this against the committed
+                                 baseline)
    Section names: fig5 fig6 fig7 fig8 fig9 table1 ablations extensions
    hotpath micro recovery verify
 
@@ -30,7 +37,16 @@ let section_names =
 let parse_args () =
   let args = List.tl (Array.to_list Sys.argv) in
   let fast = List.mem "--fast" args in
-  let wanted = List.filter (fun a -> a <> "--fast") args in
+  let rec split baseline acc = function
+    | [] -> (baseline, List.rev acc)
+    | "--baseline" :: path :: rest -> split (Some path) acc rest
+    | [ "--baseline" ] ->
+      prerr_endline "--baseline requires a path";
+      exit 2
+    | "--fast" :: rest -> split baseline acc rest
+    | a :: rest -> split baseline (a :: acc) rest
+  in
+  let baseline, wanted = split None [] args in
   List.iter
     (fun w ->
       if not (List.mem w section_names) then begin
@@ -39,7 +55,7 @@ let parse_args () =
       end)
     wanted;
   let enabled name = wanted = [] || List.mem name wanted in
-  (fast, wanted, enabled)
+  (fast, baseline, wanted, enabled)
 
 let timed log name f =
   let t0 = Ormp_util.Clock.now_s () in
@@ -302,6 +318,12 @@ let micro_tests () =
            let s = Ormp_sequitur.Sequitur.create ?size_hint () in
            Array.iter (Ormp_sequitur.Sequitur.push s) input))
   in
+  let seq_push_batch ?size_hint name input =
+    Test.make ~name
+      (Staged.stage (fun () ->
+           let s = Ormp_sequitur.Sequitur.create ?size_hint () in
+           Ormp_sequitur.Sequitur.push_batch s input ~off:0 ~len:(Array.length input)))
+  in
   let range_index =
     Test.make ~name:"range_index: 1k insert+find"
       (Staged.stage (fun () ->
@@ -389,6 +411,9 @@ let micro_tests () =
       seq_push "sequitur: 32k scattered symbols" scattered_big;
       seq_push ~size_hint:(Array.length scattered_big)
         "sequitur: 32k scattered symbols (size hint)" scattered_big;
+      seq_push_batch "sequitur: 4k repetitive symbols (push_batch)" repetitive;
+      seq_push_batch ~size_hint:(Array.length scattered_big)
+        "sequitur: 32k scattered symbols (push_batch, size hint)" scattered_big;
       range_index;
       omc_translate;
       omc_translate_fast;
@@ -749,38 +774,192 @@ let run_verify log ~bench () =
       end
       else print_newline ())
 
+(* Symbols/events one run of the named micro row consumes; rows with no
+   natural event count (the solver, the recorded-trace profiler probes
+   whose event totals vary with the workload generator) are omitted and
+   report per-run figures only. *)
+let micro_event_counts =
+  [
+    ("sequitur: 4k repetitive symbols", 4096);
+    ("sequitur: 4k scattered symbols", 4096);
+    ("sequitur: 32k scattered symbols", 32768);
+    ("sequitur: 32k scattered symbols (size hint)", 32768);
+    ("sequitur: 4k repetitive symbols (push_batch)", 4096);
+    ("sequitur: 32k scattered symbols (push_batch, size hint)", 32768);
+    ("range_index: 1k insert+find", 2000);
+    ("omc: 1k translations", 1000);
+    ("omc: 1k translations (MRU cache)", 1000);
+    ("lmad: 4k-point regular stream", 4096);
+    ("lmad: 4k-point scattered stream", 4096);
+  ]
+
 let run_micro log () =
   timed log "micro" (fun () ->
       let open Bechamel in
-      print_endline (Ormp_util.Ascii.section "Micro-benchmarks (Bechamel, monotonic clock)");
+      print_endline
+        (Ormp_util.Ascii.section "Micro-benchmarks (Bechamel, monotonic clock + minor words)");
       let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
-      let instances = Toolkit.Instance.[ monotonic_clock ] in
+      (* Both instances are sampled in the same runs, then analyzed per
+         witness: the second pass turns the same samples into minor-heap
+         words per run, the allocation column of the bench table. *)
+      let instances = Toolkit.Instance.[ monotonic_clock; minor_allocated ] in
       let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
       let raw = Benchmark.all cfg instances (micro_tests ()) in
-      let results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      let ns_results = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      let words_results = Analyze.all ols Toolkit.Instance.minor_allocated raw in
+      let estimate tbl name =
+        match Hashtbl.find_opt tbl name with
+        | None -> None
+        | Some r -> (
+          match Analyze.OLS.estimates r with Some [ v ] -> Some v | _ -> None)
+      in
       let rows = ref [] in
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some [ ns ] -> rows := (name, ns) :: !rows
+          | Some [ ns ] ->
+            let short =
+              match String.index_opt name '/' with
+              | Some i -> String.sub name (i + 1) (String.length name - i - 1)
+              | None -> name
+            in
+            rows :=
+              {
+                Bench_log.mr_name = short;
+                mr_ns_per_run = ns;
+                mr_minor_words_per_run =
+                  Option.value ~default:Float.nan (estimate words_results name);
+                mr_events =
+                  Option.value ~default:0 (List.assoc_opt short micro_event_counts);
+              }
+              :: !rows
           | _ -> ())
-        results;
-      let rows = List.sort compare !rows in
+        ns_results;
+      let rows =
+        List.sort (fun a b -> compare a.Bench_log.mr_name b.Bench_log.mr_name) !rows
+      in
+      Bench_log.set_micro log rows;
+      let pretty_ns ns =
+        if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
+        else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
+        else Printf.sprintf "%.0f ns" ns
+      in
       print_endline
-        (Ormp_util.Ascii.table ~header:[ "benchmark"; "time per run" ]
+        (Ormp_util.Ascii.table
+           ~header:[ "benchmark"; "time per run"; "minor alloc"; "ns/event"; "words/event" ]
            ~rows:
              (List.map
-                (fun (name, ns) ->
-                  let pretty =
-                    if ns > 1e6 then Printf.sprintf "%.2f ms" (ns /. 1e6)
-                    else if ns > 1e3 then Printf.sprintf "%.2f us" (ns /. 1e3)
-                    else Printf.sprintf "%.0f ns" ns
+                (fun (r : Bench_log.micro_row) ->
+                  let per_event f =
+                    if r.Bench_log.mr_events > 0 && not (Float.is_nan f) then
+                      Printf.sprintf "%.2f" (f /. float_of_int r.Bench_log.mr_events)
+                    else "-"
                   in
-                  [ name; pretty ])
+                  [
+                    r.Bench_log.mr_name;
+                    pretty_ns r.Bench_log.mr_ns_per_run;
+                    (if Float.is_nan r.Bench_log.mr_minor_words_per_run then "-"
+                     else Printf.sprintf "%.0f w" r.Bench_log.mr_minor_words_per_run);
+                    per_event r.Bench_log.mr_ns_per_run;
+                    per_event r.Bench_log.mr_minor_words_per_run;
+                  ])
                 rows)))
 
+(* ------------------------------------------------------------------ *)
+(* perf-guard: regression check against a committed baseline log       *)
+(* ------------------------------------------------------------------ *)
+
+(* Compares this run's hotpath and sequitur micro figures against a
+   baseline BENCH_ormp.json and exits 1 if any ns figure regressed more
+   than [guard_threshold]x. Only rows present in both runs participate;
+   sub-threshold drift prints but passes. Wired to `dune build
+   @perf-guard` (opt-in — timing under test concurrency is too noisy for
+   @runtest). *)
+let guard_threshold = 1.5
+
+let run_guard log ~baseline =
+  let module J = Ormp_util.Json in
+  print_endline
+    (Ormp_util.Ascii.section
+       (Printf.sprintf "perf-guard: vs %s (fail above %.1fx)" baseline guard_threshold));
+  let root =
+    match
+      J.of_string (In_channel.with_open_bin baseline In_channel.input_all)
+    with
+    | Ok t -> t
+    | Error e ->
+      Printf.eprintf "perf-guard: cannot parse %s: %s\n" baseline e;
+      exit 2
+    | exception Sys_error e ->
+      Printf.eprintf "perf-guard: cannot read baseline: %s\n" e;
+      exit 2
+  in
+  (match Option.bind (J.member "mode" root) J.to_str with
+  | Some mode when mode <> log.Bench_log.mode ->
+    Printf.printf
+      "note: baseline mode %S differs from this run's %S — ratios compare\n\
+       different scales and only gate gross regressions.\n" mode log.Bench_log.mode
+  | _ -> ());
+  let failures = ref 0 and compared = ref 0 in
+  let check name base cur =
+    match (base, cur) with
+    | Some bv, Some cv when bv > 0.0 ->
+      incr compared;
+      let ratio = cv /. bv in
+      let verdict =
+        if ratio > guard_threshold then begin
+          incr failures;
+          "FAIL"
+        end
+        else "ok"
+      in
+      Printf.printf "  %-56s %10.2f -> %10.2f ns  %5.2fx  %s\n" name bv cv ratio verdict
+    | _ -> Printf.printf "  %-56s not in both runs - skipped\n" name
+  in
+  let jfloat o k = Option.bind (Option.bind o (J.member k)) J.to_float in
+  check "hotpath.batched_ns_per_event"
+    (jfloat (J.member "hotpath" root) "batched_ns_per_event")
+    (Option.map (fun h -> h.Bench_log.batched_ns_per_event) log.Bench_log.hotpath);
+  let base_micro =
+    match Option.bind (J.member "micro" root) J.to_list with
+    | None -> []
+    | Some rows ->
+      List.filter_map
+        (fun r ->
+          match
+            (Option.bind (J.member "name" r) J.to_str, jfloat (Some r) "ns_per_run")
+          with
+          | Some n, Some ns -> Some (n, ns)
+          | _ -> None)
+        rows
+  in
+  List.iter
+    (fun (r : Bench_log.micro_row) ->
+      let is_sequitur =
+        String.length r.Bench_log.mr_name >= 8
+        && String.sub r.Bench_log.mr_name 0 8 = "sequitur"
+      in
+      if is_sequitur then
+        check r.Bench_log.mr_name
+          (List.assoc_opt r.Bench_log.mr_name base_micro)
+          (Some r.Bench_log.mr_ns_per_run))
+    log.Bench_log.micro;
+  print_newline ();
+  if !compared = 0 then begin
+    Printf.eprintf
+      "perf-guard: nothing to compare — run the hotpath and micro sections\n\
+       against a baseline that contains them.\n";
+    exit 2
+  end;
+  if !failures > 0 then begin
+    Printf.printf "perf-guard: FAILED — %d figure(s) regressed beyond %.1fx\n" !failures
+      guard_threshold;
+    exit 1
+  end
+  else Printf.printf "perf-guard: ok (%d figure(s) within %.1fx)\n" !compared guard_threshold
+
 let () =
-  let fast, wanted, enabled = parse_args () in
+  let fast, baseline, wanted, enabled = parse_args () in
   let bench = not fast in
   let log = Bench_log.create ~mode:(if fast then "fast" else "paper") in
   Printf.printf "ORMP benchmark harness — %s scale\n\n%!"
@@ -796,4 +975,5 @@ let () =
   if enabled "telemetry" then run_telemetry log ~bench ();
   (* Skipped in default timing runs; see the usage comment. *)
   if List.mem "verify" wanted || (wanted = [] && fast) then run_verify log ~bench ();
-  Bench_log.write log "BENCH_ormp.json"
+  Bench_log.write log "BENCH_ormp.json";
+  match baseline with None -> () | Some path -> run_guard log ~baseline:path

@@ -17,6 +17,11 @@ type msg = {
   s_time : int array;
 }
 
+(* [b_base] is the configured stage capacity, [b_target] the current flush
+   threshold — adapted from ring occupancy after each flush exactly like
+   [Par_scc] (see the comment there): double toward [growth_limit] x base
+   while the ring runs at least half full, halve back once it drains.
+   Chunking never reorders a shard's tuples, so results are unaffected. *)
 type stage = {
   b_instr : int array;
   b_group : int array;
@@ -25,7 +30,11 @@ type stage = {
   b_store : int array;
   b_time : int array;
   mutable b_len : int;
+  b_base : int;
+  mutable b_target : int;
 }
+
+let growth_limit = 8
 
 type pool = {
   shards : Leap.shard array;
@@ -66,14 +75,17 @@ let pool ?ring_capacity ?stage_capacity ~name shards =
             ());
     stages =
       Array.init n (fun _ ->
+          let cap = stage_capacity * growth_limit in
           {
-            b_instr = Array.make stage_capacity 0;
-            b_group = Array.make stage_capacity 0;
-            b_obj = Array.make stage_capacity 0;
-            b_offset = Array.make stage_capacity 0;
-            b_store = Array.make stage_capacity 0;
-            b_time = Array.make stage_capacity 0;
+            b_instr = Array.make cap 0;
+            b_group = Array.make cap 0;
+            b_obj = Array.make cap 0;
+            b_offset = Array.make cap 0;
+            b_store = Array.make cap 0;
+            b_time = Array.make cap 0;
             b_len = 0;
+            b_base = stage_capacity;
+            b_target = stage_capacity;
           });
     live = true;
   }
@@ -93,13 +105,16 @@ let flush_shard p i =
         s_store = Array.sub st.b_store 0 n;
         s_time = Array.sub st.b_time 0 n;
       };
-    st.b_len <- 0
+    st.b_len <- 0;
+    let occ = Worker.occupancy p.workers.(i) in
+    if occ >= 0.5 then st.b_target <- min (Array.length st.b_instr) (st.b_target * 2)
+    else if occ <= 0.125 then st.b_target <- max st.b_base (st.b_target / 2)
   end
 
 let pool_stage p ~instr ~group ~obj ~offset ~store ~time =
   let i = Leap.shard_index ~nshards:(Array.length p.shards) instr in
   let st = p.stages.(i) in
-  if st.b_len = Array.length st.b_instr then flush_shard p i;
+  if st.b_len >= st.b_target then flush_shard p i;
   let j = st.b_len in
   st.b_instr.(j) <- instr;
   st.b_group.(j) <- group;

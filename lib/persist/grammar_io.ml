@@ -11,18 +11,20 @@ let rec collect_results = function
   | Error e :: _ -> Error e
 
 (* One grammar as [(grammar (dim <name>) (rule <id> <sym>...)...)]:
-   terminals are bare ints, non-terminals [R<id>] atoms. *)
+   terminals are bare ints, non-terminals [R<id>] atoms. Rules are
+   enumerated with {!Ormp_sequitur.Sequitur.iter_rules} — same ascending-id
+   order as [rules], without materializing the intermediate listing. *)
 let to_sexp (name, g) =
-  S.field "grammar"
-    (S.field "dim" [ S.atom name ]
-    :: List.map
-         (fun (id, rhs) ->
-           S.field "rule"
-             (S.int id
-             :: List.map
-                  (function `T v -> S.int v | `N id -> S.atom (Printf.sprintf "R%d" id))
-                  rhs))
-         (Seq_c.rules g))
+  let rules = ref [] in
+  Seq_c.iter_rules g (fun id rhs ->
+      rules :=
+        S.field "rule"
+          (S.int id
+          :: List.map
+               (function `T v -> S.int v | `N id -> S.atom (Printf.sprintf "R%d" id))
+               rhs)
+        :: !rules);
+  S.field "grammar" (S.field "dim" [ S.atom name ] :: List.rev !rules)
 
 let sym_of_atom a =
   if String.length a > 1 && a.[0] = 'R' then

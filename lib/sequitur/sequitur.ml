@@ -1,309 +1,616 @@
-(* Port of the reference Sequitur algorithm (Nevill-Manning & Witten) to
-   OCaml. Differences from the reference C++ implementation:
+(* Flat-arena port of the reference Sequitur algorithm (Nevill-Manning &
+   Witten). The previous OCaml implementation boxed every symbol as a
+   4-mutable-word record and indexed digrams through a [Hashtbl] whose
+   [find_opt] allocated an option per push — per-access heap churn on the
+   hottest path of the whole profiler. This rewrite stores symbols as slots
+   in parallel int arrays and the digram index as an open-addressing
+   int->int table, so a [push] in the common no-match case touches no
+   allocator at all.
 
-   - Symbols carry a [dead] flag and every digram-index hit is re-validated
-     (liveness + key match) before use. The reference implementation instead
-     relies on a delicate "triples" re-indexing hack inside [join] to keep
-     the index exact across runs of equal symbols; validating on lookup is
-     simpler and makes stale entries harmless (worst case: one missed match,
-     re-discovered on the next repetition). Losslessness is unaffected.
-   - Rules are tracked in a live-rule table so the grammar can be sized,
-     printed and expanded without chasing pointers from the start rule. *)
+   Layout:
+
+   - Symbols are slot indices into four int columns: [code] (terminal
+     value or rule id, stored verbatim), [prv]/[nxt] (doubly-linked RHS
+     list), and [meta]. A [meta] word packs
+     [generation lsl 3 | nonterm lsl 2 | allocated lsl 1 | guard]. The
+     generation is bumped when a symbol dies, so a digram-index entry that
+     remembers the generation it was created under detects that its slot
+     has since died — the arena equivalent of the old [dead] flag, with
+     the same validate-on-lookup discipline instead of the reference
+     implementation's "triples" re-indexing hack.
+   - Dead slots keep their code, tag and links frozen until the current
+     push's constraint cascade has fully settled, and only then join the
+     free list (threaded through [nxt]): the record implementation's dead
+     records stayed intact under the GC, and the cascade does read through
+     them — e.g. re-indexing a just-created rule's first digram after a
+     deeper substitution already retired that rule. Freeing eagerly would
+     let a recycled slot alias a dead one mid-cascade and change the
+     grammar. Allocation is pop-or-bump-top.
+   - Rules are identified by their monotonically-assigned id. Two columns
+     indexed by id hold the guard slot ([rule_guard], bit-complemented on
+     retirement so dead rules stay addressable) and the reference count.
+     Ids are never recycled, so iterating ids in ascending order
+     enumerates live rules start-rule-first with no sort and no
+     allocation (the old implementation built a sorted id list per
+     [fold_rules] call).
+   - The digram index is linear-probing open addressing over three
+     parallel arrays (packed key, slot, slot generation at insert), with
+     -1/-2 empty/tombstone sentinels in the slot column and a
+     multiplicative hash — no polymorphic hashing, no per-operation
+     allocation. The table is kept at most half full (counting
+     tombstones), so probes terminate.
+
+   Symbol codes, digram keys, operation order and the digram-index binding
+   semantics (single binding per key, replace overwrites, remove deletes)
+   are carried over exactly from the record implementation, so the grammar
+   built for any input — including packed-key collisions from oversized or
+   negative terminals — is identical symbol-for-symbol, rule ids included.
+   [test/sequitur_legacy.ml] keeps the old implementation alive to prove
+   this property under qcheck. *)
 
 module Tm = Ormp_telemetry.Telemetry
 
 (* Telemetry only at the rare structural events (rule creation, retirement,
    utility inlining) — never per push, which runs once per profiled access
-   across four grammar dimensions. *)
+   across four grammar dimensions. Even the structural counts are batched:
+   cascades bump plain fields on [t] and [flush_tm] publishes them once
+   per [push]/[push_batch], so the domain-local store is touched a few
+   times per batch instead of once per match. *)
 let m_matches = Tm.Metrics.counter "sequitur.matches"
 let m_rules_created = Tm.Metrics.counter "sequitur.rules_created"
 let m_rules_retired = Tm.Metrics.counter "sequitur.rules_retired"
 let m_utility_inlines = Tm.Metrics.counter "sequitur.utility_inlines"
 
-type symbol = {
-  mutable kind : kind;
-  mutable prev : symbol;
-  mutable next : symbol;
-  mutable dead : bool;
-}
-
-and kind =
-  | Guard of rule
-  | Term of int
-  | Nonterm of rule
-
-and rule = {
-  id : int;
-  mutable guard : symbol;
-  mutable refcount : int;
-}
-
 type t = {
-  start : rule;
-  digrams : (int, symbol) Hashtbl.t; (* packed digram key -> first occurrence *)
-  live_rules : (int, rule) Hashtbl.t;
+  (* symbol arena *)
+  mutable code : int array;
+  mutable prv : int array;
+  mutable nxt : int array;
+  mutable meta : int array;
+  mutable sym_top : int;
+  mutable free_head : int;  (* free list through [nxt]; -1 = empty *)
+  mutable pend : int array;  (* dead slots awaiting end-of-push reclaim *)
+  mutable pend_len : int;
+  (* rules, indexed by id *)
+  mutable rule_guard : int array;  (* guard slot; [lnot slot] once retired *)
+  mutable rule_refs : int array;
   mutable next_rule_id : int;
+  mutable live_rule_count : int;
+  (* digram index: open addressing, linear probing. Entries are
+     interleaved [key; slot; gen] triplets in one array so a probe
+     touches one cache line instead of three parallel arrays — the four
+     dimension grammars share the cache when a chunk interleaves them.
+     Slot -1 = empty, -2 = tombstone; gen is the slot's generation at
+     insert time. *)
+  mutable dig : int array;
+  mutable dig_mask : int;
+  mutable dig_live : int;  (* live bindings *)
+  mutable dig_used : int;  (* live bindings + tombstones *)
   mutable input_len : int;
+  (* telemetry accumulators, published by [flush_tm] *)
+  mutable tm_matches : int;
+  mutable tm_created : int;
+  mutable tm_retired : int;
+  mutable tm_inlines : int;
 }
 
-let is_guard s = match s.kind with Guard _ -> true | _ -> false
+let flush_tm t =
+  if t.tm_matches <> 0 then begin
+    Tm.Metrics.add m_matches t.tm_matches;
+    t.tm_matches <- 0
+  end;
+  if t.tm_created <> 0 then begin
+    Tm.Metrics.add m_rules_created t.tm_created;
+    t.tm_created <- 0
+  end;
+  if t.tm_retired <> 0 then begin
+    Tm.Metrics.add m_rules_retired t.tm_retired;
+    t.tm_retired <- 0
+  end;
+  if t.tm_inlines <> 0 then begin
+    Tm.Metrics.add m_utility_inlines t.tm_inlines;
+    t.tm_inlines <- 0
+  end
 
-(* Dense integer code for a symbol's identity, used in digram keys and in
-   byte-size accounting: terminals use the even codes, rule ids the odd. *)
-let code_of s =
-  match s.kind with
-  | Term v -> v lsl 1
-  | Nonterm r -> (r.id lsl 1) lor 1
-  | Guard _ -> invalid_arg "Sequitur.code_of: guard"
+(* --- symbol arena ------------------------------------------------------ *)
 
-(* Digram keys are a single packed int instead of an (int * int) tuple:
-   tuple keys cost one 3-word allocation plus a polymorphic structural
-   hash per index operation, on the hottest path of the whole compressor.
-   Packing is injective while both codes fit in 31 non-negative bits (the
-   low code occupies bits 0..30, the high code the bits above), which
-   holds for every stream the profilers compress: terminal codes are 2x
-   the input value — simulated addresses stay under the 512 MiB heap
-   segment ceiling — and rule-id codes are small and dense. Codes outside
-   that range (negative or oversized terminals) may collide; [check]
-   therefore validates every index hit against the actual digram, so a
-   collision costs at most a missed match — never a wrong merge. *)
-let pack hi lo = (hi lsl 31) lxor lo
+let tag_guard = 1
+let tag_live = 2
+let tag_nonterm = 4
 
-let digram_key s = pack (code_of s) (code_of s.next)
+let is_guard t s = Array.unsafe_get t.meta s land tag_guard <> 0
+let is_live t s = Array.unsafe_get t.meta s land tag_live <> 0
+let is_nonterm t s = Array.unsafe_get t.meta s land tag_nonterm <> 0
+let gen t s = Array.unsafe_get t.meta s lsr 3
 
-(* Exact digram equality, used to re-validate index hits: with a packed
-   (possibly colliding) key, key equality alone is not proof the stored
-   occurrence is the same digram. *)
-let same_digram a b = code_of a = code_of b && code_of a.next = code_of b.next
+(* The record implementation's [code_of]: terminals on the even codes,
+   rule ids on the odd. Used for digram keys, digram comparison and
+   byte-size accounting only — the raw 63-bit value in [code] is what
+   [expand] reproduces, so the top-bit truncation here affects matching
+   exactly as before and storage not at all. *)
+let sym_code t s =
+  let c = Array.unsafe_get t.code s in
+  if is_nonterm t s then (c lsl 1) lor 1 else c lsl 1
 
-let make_rule id =
-  let rec rule = { id; guard = g; refcount = 0 }
-  and g = { kind = Guard rule; prev = g; next = g; dead = false } in
-  rule
-
-let create ?(size_hint = 0) () =
-  let start = make_rule 0 in
-  let t =
-    {
-      start;
-      (* A stream of n symbols keeps at most ~n live digram entries
-         (grammar size is bounded by input length), so pre-sizing to the
-         expected stream length eliminates every rehash of the table's
-         doubling schedule — measurable churn in the micro bench on
-         multi-thousand-symbol streams. Hashtbl rounds up internally. *)
-      digrams = Hashtbl.create (max 4096 size_hint);
-      live_rules = Hashtbl.create 64;
-      next_rule_id = 1;
-      input_len = 0;
-    }
+let grow_syms t =
+  let n = Array.length t.code in
+  let n' = n * 2 in
+  let g a =
+    let b = Array.make n' 0 in
+    Array.blit a 0 b 0 n;
+    b
   in
-  Hashtbl.replace t.live_rules 0 start;
-  t
+  t.code <- g t.code;
+  t.prv <- g t.prv;
+  t.nxt <- g t.nxt;
+  t.meta <- g t.meta
 
-let first r = r.guard.next
-let last r = r.guard.prev
+(* Fresh symbols are self-linked, like the record implementation's
+   [fresh]. The accumulated generation survives recycling. *)
+let alloc_sym t tag code =
+  let s =
+    match t.free_head with
+    | -1 ->
+      if t.sym_top = Array.length t.code then grow_syms t;
+      let s = t.sym_top in
+      t.sym_top <- s + 1;
+      s
+    | s ->
+      t.free_head <- t.nxt.(s);
+      s
+  in
+  t.code.(s) <- code;
+  t.prv.(s) <- s;
+  t.nxt.(s) <- s;
+  t.meta.(s) <- (gen t s lsl 3) lor tag_live lor tag;
+  s
 
-let reuse r = r.refcount <- r.refcount + 1
+(* Death bumps the generation (any digram-index entry still naming this
+   slot now reads as stale, exactly like the old [dead] flag) but freezes
+   code, tag and links, and only queues the slot for reclaim — see the
+   layout comment on why mid-cascade reads of dead slots must keep seeing
+   the dead symbol's data. *)
+let mark_dead t s =
+  t.meta.(s) <- ((gen t s + 1) lsl 3) lor (t.meta.(s) land (tag_guard lor tag_nonterm));
+  if t.pend_len = Array.length t.pend then begin
+    let b = Array.make (2 * t.pend_len) 0 in
+    Array.blit t.pend 0 b 0 t.pend_len;
+    t.pend <- b
+  end;
+  t.pend.(t.pend_len) <- s;
+  t.pend_len <- t.pend_len + 1
 
-(* Guarded on membership: [expand_symbol] reaches here twice for the same
+(* End-of-push reclaim: the cascade has settled, nothing references the
+   dead slots any more; thread them onto the free list. *)
+let reclaim_dead t =
+  for i = 0 to t.pend_len - 1 do
+    let s = t.pend.(i) in
+    t.nxt.(s) <- t.free_head;
+    t.free_head <- s
+  done;
+  t.pend_len <- 0
+
+(* --- rules ------------------------------------------------------------- *)
+
+let grow_rules t want =
+  let cap = Array.length t.rule_guard in
+  if want > cap then begin
+    let cap' = max want (cap * 2) in
+    let g def a =
+      let b = Array.make cap' def in
+      Array.blit a 0 b 0 cap;
+      b
+    in
+    t.rule_guard <- g (-1) t.rule_guard;
+    t.rule_refs <- g 0 t.rule_refs
+  end
+
+(* A guard slot's [code] is its rule id. *)
+let make_rule t id =
+  grow_rules t (id + 1);
+  t.rule_guard.(id) <- alloc_sym t tag_guard id;
+  t.rule_refs.(id) <- 0;
+  t.live_rule_count <- t.live_rule_count + 1
+
+(* Retired rules stay addressable ([lnot slot]): a deep cascade can retire
+   a rule the enclosing [process_match] still holds, which then re-reads
+   [first]/[last] through the dead guard — the record implementation did
+   the same through its garbage guard record. *)
+let guard_slot t r =
+  let g = t.rule_guard.(r) in
+  if g >= 0 then g else lnot g
+
+let first t r = t.nxt.(guard_slot t r)
+let last t r = t.prv.(guard_slot t r)
+let reuse t r = t.rule_refs.(r) <- t.rule_refs.(r) + 1
+
+(* Guarded on liveness: [expand_symbol] reaches here twice for the same
    rule (via [deuse] and directly), and retirement must count once. *)
 let kill_rule t r =
-  if Hashtbl.mem t.live_rules r.id then begin
-    Hashtbl.remove t.live_rules r.id;
-    if Tm.on () then Tm.Metrics.incr m_rules_retired
+  let g = t.rule_guard.(r) in
+  if g >= 0 then begin
+    mark_dead t g;
+    t.rule_guard.(r) <- lnot g;
+    t.live_rule_count <- t.live_rule_count - 1;
+    if Tm.on () then t.tm_retired <- t.tm_retired + 1
   end
 
 let deuse t r =
-  r.refcount <- r.refcount - 1;
-  if r.refcount = 0 && r.id <> 0 then kill_rule t r
+  t.rule_refs.(r) <- t.rule_refs.(r) - 1;
+  if t.rule_refs.(r) = 0 && r <> 0 then kill_rule t r
+
+(* --- digram index ------------------------------------------------------ *)
+
+(* Packed digram keys, identical to the record implementation (see the
+   comment there): injective while both codes fit in 31 non-negative bits;
+   collisions from oversized or negative codes are re-validated on every
+   hit, so they cost at most a missed match. *)
+let pack hi lo = (hi lsl 31) lxor lo
+
+(* Multiplicative finalizer: packed keys put most entropy in the high bits,
+   the table index wants it low. *)
+let mix k =
+  let h = k * 0x2545F4914F6CDD1D in
+  h lxor (h lsr 32)
+
+(* Find [key]. Returns the entry's base offset into [dig] (>= 0, a
+   multiple of 3), or [lnot b] where [b] is the insertion entry's base —
+   first tombstone on the probe path if any, else the terminating empty
+   entry. Single-int result so the hot path allocates nothing. *)
+let dig_probe t key =
+  let mask = t.dig_mask in
+  let d = t.dig in
+  let i = ref (mix key land mask) in
+  let ins = ref (-1) in
+  let res = ref 0 in
+  let probing = ref true in
+  while !probing do
+    let b = 3 * !i in
+    let v = Array.unsafe_get d (b + 1) in
+    if v = -1 then begin
+      res := lnot (if !ins >= 0 then !ins else b);
+      probing := false
+    end
+    else if v = -2 then begin
+      if !ins < 0 then ins := b;
+      i := (!i + 1) land mask
+    end
+    else if Array.unsafe_get d b = key then begin
+      res := b;
+      probing := false
+    end
+    else i := (!i + 1) land mask
+  done;
+  !res
+
+let dig_alloc cap =
+  let d = Array.make (3 * cap) 0 in
+  let i = ref 1 in
+  while !i < 3 * cap do
+    d.(!i) <- -1;
+    i := !i + 3
+  done;
+  d
+
+let dig_rehash t cap' =
+  let od = t.dig in
+  let n = Array.length od / 3 in
+  let d = dig_alloc cap' in
+  t.dig <- d;
+  t.dig_mask <- cap' - 1;
+  t.dig_used <- t.dig_live;
+  let mask = t.dig_mask in
+  for i = 0 to n - 1 do
+    let v = od.((3 * i) + 1) in
+    if v >= 0 then begin
+      let key = od.(3 * i) in
+      let j = ref (mix key land mask) in
+      while d.((3 * !j) + 1) >= 0 do
+        j := (!j + 1) land mask
+      done;
+      let b = 3 * !j in
+      d.(b) <- key;
+      d.(b + 1) <- v;
+      d.(b + 2) <- od.((3 * i) + 2)
+    end
+  done
+
+(* Keep at least half the table empty-or-reusable so probes stay short and
+   always terminate: resize when live+tombstones reach half capacity; grow
+   only when live bindings justify it, otherwise rehash in place to purge
+   tombstones. *)
+let dig_maybe_resize t =
+  let cap = t.dig_mask + 1 in
+  if t.dig_used * 2 >= cap then
+    dig_rehash t (if t.dig_live * 3 >= cap then cap * 2 else cap)
+
+(* Insert at probe-result base [ins]; no binding for [key] exists. *)
+let dig_insert_at t ins key slot =
+  let reused_tombstone = t.dig.(ins + 1) = -2 in
+  t.dig.(ins) <- key;
+  t.dig.(ins + 1) <- slot;
+  t.dig.(ins + 2) <- gen t slot;
+  t.dig_live <- t.dig_live + 1;
+  if not reused_tombstone then t.dig_used <- t.dig_used + 1;
+  dig_maybe_resize t
+
+(* [Hashtbl.replace] semantics: overwrite the single binding or insert. *)
+let dig_replace t key slot =
+  let p = dig_probe t key in
+  if p >= 0 then begin
+    t.dig.(p + 1) <- slot;
+    t.dig.(p + 2) <- gen t slot
+  end
+  else dig_insert_at t (lnot p) key slot
+
+(* Remove the binding for [key], but only if it names exactly this live
+   occurrence (slot and generation). *)
+let dig_remove_if t key slot =
+  let p = dig_probe t key in
+  if p >= 0 && t.dig.(p + 1) = slot && t.dig.(p + 2) = gen t slot then begin
+    t.dig.(p + 1) <- -2;
+    t.dig_live <- t.dig_live - 1
+  end
+
+(* --- construction ------------------------------------------------------ *)
+
+let next_pow2 n =
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let create ?(size_hint = 0) () =
+  (* A stream of n symbols keeps at most ~n live digram entries (grammar
+     size is bounded by input length); pre-sizing the index to twice the
+     expected stream length eliminates every rehash of the doubling
+     schedule while preserving the half-empty probe guarantee. The symbol
+     arena is likewise pre-sized — live symbols never exceed grammar size
+     plus live guards. *)
+  let dig_cap = next_pow2 (max 8192 (2 * size_hint)) in
+  let sym_cap = max 1024 (next_pow2 size_hint) in
+  let t =
+    {
+      code = Array.make sym_cap 0;
+      prv = Array.make sym_cap 0;
+      nxt = Array.make sym_cap 0;
+      meta = Array.make sym_cap 0;
+      sym_top = 0;
+      free_head = -1;
+      pend = Array.make 64 0;
+      pend_len = 0;
+      rule_guard = Array.make 64 (-1);
+      rule_refs = Array.make 64 0;
+      next_rule_id = 1;
+      live_rule_count = 0;
+      dig = dig_alloc dig_cap;
+      dig_mask = dig_cap - 1;
+      dig_live = 0;
+      dig_used = 0;
+      input_len = 0;
+      tm_matches = 0;
+      tm_created = 0;
+      tm_retired = 0;
+      tm_inlines = 0;
+    }
+  in
+  make_rule t 0;
+  t
+
+(* --- core algorithm ---------------------------------------------------- *)
 
 (* Remove the index entry for the digram starting at [s], but only if the
    index actually points at this occurrence. *)
 let delete_digram t s =
-  if (not (is_guard s)) && not (is_guard s.next) then
-    let key = digram_key s in
-    match Hashtbl.find_opt t.digrams key with
-    | Some m when m == s -> Hashtbl.remove t.digrams key
-    | _ -> ()
+  let n = t.nxt.(s) in
+  if (not (is_guard t s)) && not (is_guard t n) then
+    dig_remove_if t (pack (sym_code t s) (sym_code t n)) s
 
 (* Relink [left] -> [right]; drops the index entry of the digram that used
    to start at [left]. *)
 let join t left right =
-  if not (is_guard left) then delete_digram t left;
-  left.next <- right;
-  right.prev <- left
+  if not (is_guard t left) then delete_digram t left;
+  t.nxt.(left) <- right;
+  t.prv.(right) <- left
 
 let insert_after t q ns =
-  join t ns q.next;
+  join t ns t.nxt.(q);
   join t q ns
 
 (* Unlink [s] from its rule, cleaning the two digram entries it anchors and
    releasing its rule reference if it is a non-terminal. *)
 let delete_symbol t s =
   delete_digram t s;
-  join t s.prev s.next;
-  s.dead <- true;
-  match s.kind with Nonterm r -> deuse t r | _ -> ()
-
-let fresh kind =
-  let rec s = { kind; prev = s; next = s; dead = false } in
-  s
+  join t t.prv.(s) t.nxt.(s);
+  mark_dead t s;
+  if is_nonterm t s then deuse t t.code.(s)
 
 let append_copy t r proto =
-  let ns = fresh proto.kind in
-  (match proto.kind with Nonterm r2 -> reuse r2 | _ -> ());
-  insert_after t (last r) ns
+  let c = t.code.(proto) in
+  let nonterm = is_nonterm t proto in
+  let ns = alloc_sym t (if nonterm then tag_nonterm else 0) c in
+  if nonterm then reuse t c;
+  insert_after t (last t r) ns
 
 (* [check t s] enforces digram uniqueness for the digram starting at [s].
    Returns [true] iff a match was found and processed (in which case [s] is
-   dead and the caller must not use it further). *)
+   dead and the caller must not use it further). Branch order matches the
+   record implementation exactly — grammar equality depends on it. *)
 let rec check t s =
-  if is_guard s || is_guard s.next then false
-  else
-    let key = digram_key s in
-    match Hashtbl.find_opt t.digrams key with
-    | None ->
-      Hashtbl.replace t.digrams key s;
+  let sn = t.nxt.(s) in
+  if is_guard t s || is_guard t sn then false
+  else begin
+    let key = pack (sym_code t s) (sym_code t sn) in
+    let p = dig_probe t key in
+    if p < 0 then begin
+      dig_insert_at t (lnot p) key s;
       false
-    | Some m when m == s -> false
-    | Some m when m.dead || m.next.dead || is_guard m.next || not (same_digram m s) ->
-      (* Stale entry left behind by unindexed relinking, or a packed-key
-         collision; repoint it here. *)
-      Hashtbl.replace t.digrams key s;
-      false
-    | Some m when m.next == s || s.next == m ->
-      (* Overlapping occurrences (a run like "aaa"): not a usable match. *)
-      false
-    | Some m ->
-      process_match t s m;
-      true
+    end
+    else begin
+      let m = t.dig.(p + 1) in
+      if m = s && t.dig.(p + 2) = gen t s then false
+      else if
+        t.dig.(p + 2) <> gen t m
+        (* stale: the stored occurrence died (slot possibly recycled) *)
+        || is_guard t t.nxt.(m)
+        || not (sym_code t m = sym_code t s && sym_code t (t.nxt.(m)) = sym_code t sn)
+        (* packed-key collision: key equality is not digram equality *)
+      then begin
+        t.dig.(p + 1) <- s;
+        t.dig.(p + 2) <- gen t s;
+        false
+      end
+      else if t.nxt.(m) = s || sn = m then
+        (* Overlapping occurrences (a run like "aaa"): not a usable match. *)
+        false
+      else begin
+        process_match t s m;
+        true
+      end
+    end
+  end
 
 (* A duplicate digram was found: replace both occurrences by a non-terminal,
    creating a rule if the stored occurrence is not already a whole rule. *)
 and process_match t s m =
-  if Tm.on () then Tm.Metrics.incr m_matches;
+  if Tm.on () then t.tm_matches <- t.tm_matches + 1;
   let r =
-    if is_guard m.prev && is_guard m.next.next then begin
+    if is_guard t t.prv.(m) && is_guard t t.nxt.(t.nxt.(m)) then begin
       (* [m] spans the complete right-hand side of an existing rule. *)
-      let r = match m.prev.kind with Guard r -> r | _ -> assert false in
+      let r = t.code.(t.prv.(m)) in
       substitute t s r;
       r
     end
     else begin
-      let r = make_rule t.next_rule_id in
-      t.next_rule_id <- t.next_rule_id + 1;
-      Hashtbl.replace t.live_rules r.id r;
-      if Tm.on () then Tm.Metrics.incr m_rules_created;
+      let r = t.next_rule_id in
+      t.next_rule_id <- r + 1;
+      make_rule t r;
+      if Tm.on () then t.tm_created <- t.tm_created + 1;
       append_copy t r s;
-      append_copy t r s.next;
+      append_copy t r t.nxt.(s);
       substitute t m r;
       substitute t s r;
-      Hashtbl.replace t.digrams (digram_key (first r)) (first r);
+      let f = first t r in
+      dig_replace t (pack (sym_code t f) (sym_code t (t.nxt.(f)))) f;
       r
     end
   in
   (* Rule utility: the substitution dropped one use of each component of the
      matched digram, i.e. of [first r] and [last r] (a matched rule always
      has a two-symbol right-hand side). Inline any that is now used once. *)
-  let underused s = match s.kind with Nonterm r2 -> r2.refcount = 1 | _ -> false in
-  let f = first r in
+  let underused i = (not (is_guard t i)) && is_nonterm t i && t.rule_refs.(t.code.(i)) = 1 in
+  let f = first t r in
   if underused f then expand_symbol t f;
-  let l = last r in
+  let l = last t r in
   if underused l then expand_symbol t l
 
 (* Replace the digram starting at [s] with a single non-terminal for [r]. *)
 and substitute t s r =
-  let q = s.prev in
-  delete_symbol t s.next;
+  let q = t.prv.(s) in
+  delete_symbol t t.nxt.(s);
   delete_symbol t s;
-  let ns = fresh (Nonterm r) in
-  reuse r;
+  let ns = alloc_sym t tag_nonterm r in
+  reuse t r;
   insert_after t q ns;
   if not (check t q) then ignore (check t ns)
 
 (* Rule utility repair: [s] is the only use of its rule; splice the rule's
    right-hand side in place of [s] and retire the rule. *)
 and expand_symbol t s =
-  match s.kind with
-  | Nonterm r ->
-    if Tm.on () then Tm.Metrics.incr m_utility_inlines;
-    let left = s.prev and right = s.next in
-    let f = first r and l = last r in
-    delete_digram t s;
-    s.dead <- true;
-    join t left f;
-    join t l right;
-    deuse t r;
-    kill_rule t r;
-    if (not (is_guard l)) && not (is_guard right) then
-      Hashtbl.replace t.digrams (pack (code_of l) (code_of right)) l;
-    if (not (is_guard left)) && not (is_guard f) then
-      Hashtbl.replace t.digrams (pack (code_of left) (code_of f)) left
-  | _ -> invalid_arg "Sequitur.expand_symbol: not a non-terminal"
+  if Tm.on () then t.tm_inlines <- t.tm_inlines + 1;
+  let r = t.code.(s) in
+  let left = t.prv.(s) and right = t.nxt.(s) in
+  let f = first t r and l = last t r in
+  delete_digram t s;
+  mark_dead t s;
+  join t left f;
+  join t l right;
+  deuse t r;
+  kill_rule t r;
+  if (not (is_guard t l)) && not (is_guard t right) then
+    dig_replace t (pack (sym_code t l) (sym_code t right)) l;
+  if (not (is_guard t left)) && not (is_guard t f) then
+    dig_replace t (pack (sym_code t left) (sym_code t f)) left
+
+let push_one t v =
+  let s = alloc_sym t 0 v in
+  insert_after t (last t 0) s;
+  t.input_len <- t.input_len + 1;
+  ignore (check t t.prv.(s));
+  if t.pend_len > 0 then reclaim_dead t
 
 let push t v =
-  let s = fresh (Term v) in
-  insert_after t (last t.start) s;
-  t.input_len <- t.input_len + 1;
-  ignore (check t s.prev)
+  push_one t v;
+  flush_tm t
 
-let push_array t a = Array.iter (push t) a
+let push_batch t a ~off ~len =
+  if off < 0 || len < 0 || off > Array.length a - len then
+    invalid_arg "Sequitur.push_batch";
+  for i = off to off + len - 1 do
+    push_one t (Array.unsafe_get a i)
+  done;
+  flush_tm t
+
+let push_array t a = push_batch t a ~off:0 ~len:(Array.length a)
 
 let input_length t = t.input_len
 
-let iter_rhs r f =
-  let rec go s = if not (is_guard s) then (f s; go s.next) in
-  go (first r)
+(* --- observers --------------------------------------------------------- *)
 
-let fold_rules t init f =
-  (* Deterministic order: start rule first, then ascending rule id. *)
-  let ids = Hashtbl.fold (fun id _ acc -> id :: acc) t.live_rules [] in
-  let ids = List.sort compare ids in
-  List.fold_left (fun acc id -> f acc (Hashtbl.find t.live_rules id)) init ids
+(* Rule ids are monotonic and never recycled, so an ascending id scan
+   enumerates live rules deterministically (start rule first) with no
+   intermediate sorted id list. *)
+let fold_live_rules t init f =
+  let acc = ref init in
+  for id = 0 to t.next_rule_id - 1 do
+    if t.rule_guard.(id) >= 0 then acc := f !acc id
+  done;
+  !acc
+
+let iter_rhs t r f =
+  let g = t.rule_guard.(r) in
+  let s = ref t.nxt.(g) in
+  while !s <> g do
+    f !s;
+    s := t.nxt.(!s)
+  done
 
 let grammar_size t =
-  fold_rules t 0 (fun acc r ->
+  fold_live_rules t 0 (fun acc id ->
       let n = ref 0 in
-      iter_rhs r (fun _ -> incr n);
+      iter_rhs t id (fun _ -> incr n);
       acc + !n)
 
-let rule_count t = Hashtbl.length t.live_rules
+let rule_count t = t.live_rule_count
 
 let byte_size t =
-  fold_rules t 0 (fun acc r ->
+  fold_live_rules t 0 (fun acc id ->
       let n = ref 1 (* rule separator *) in
-      iter_rhs r (fun s -> n := !n + Ormp_util.Bytesize.varint (code_of s));
+      iter_rhs t id (fun s -> n := !n + Ormp_util.Bytesize.varint (sym_code t s));
       acc + !n)
 
 let expand t =
-  let out = ref [] in
-  let n = ref 0 in
+  let a = Array.make t.input_len 0 in
+  let k = ref 0 in
   let rec go r =
-    iter_rhs r (fun s ->
-        match s.kind with
-        | Term v ->
-          out := v :: !out;
-          incr n
-        | Nonterm r2 -> go r2
-        | Guard _ -> assert false)
+    iter_rhs t r (fun s ->
+        if is_nonterm t s then go t.code.(s)
+        else begin
+          a.(!k) <- t.code.(s);
+          incr k
+        end)
   in
-  go t.start;
-  let a = Array.make !n 0 in
-  List.iteri (fun i v -> a.(!n - 1 - i) <- v) !out;
+  go 0;
+  assert (!k = t.input_len);
   a
 
-let rules t =
-  List.rev
-    (fold_rules t [] (fun acc r ->
-         let rhs = ref [] in
-         iter_rhs r (fun s ->
-             rhs :=
-               (match s.kind with
-               | Term v -> `T v
-               | Nonterm r2 -> `N r2.id
-               | Guard _ -> assert false)
-               :: !rhs);
-         (r.id, List.rev !rhs) :: acc))
+let rhs_list t id =
+  let rhs = ref [] in
+  iter_rhs t id (fun s ->
+      rhs := (if is_nonterm t s then `N t.code.(s) else `T t.code.(s)) :: !rhs);
+  List.rev !rhs
+
+let iter_rules t f = fold_live_rules t () (fun () id -> f id (rhs_list t id))
+
+let rules t = List.rev (fold_live_rules t [] (fun acc id -> (id, rhs_list t id) :: acc))
 
 let of_rules rule_list =
   let table = Hashtbl.create 64 in
@@ -343,8 +650,7 @@ let of_rules rule_list =
   end
 
 let pp fmt t =
-  List.iter
-    (fun (id, rhs) ->
+  iter_rules t (fun id rhs ->
       Format.fprintf fmt "R%d ->" id;
       List.iter
         (fun sym ->
@@ -353,41 +659,50 @@ let pp fmt t =
           | `N id -> Format.fprintf fmt " R%d" id)
         rhs;
       Format.fprintf fmt "@.")
-    (rules t)
 
 let check_invariants t =
   let exception Bad of string in
   try
+    if t.pend_len <> 0 then raise (Bad "dead slots pending outside a push cascade");
     let uses : (int, int) Hashtbl.t = Hashtbl.create 64 in
-    fold_rules t () (fun () r ->
-        if r.guard.dead then raise (Bad (Printf.sprintf "dead guard in rule %d" r.id));
-        let rec go s =
-          if not (is_guard s) then begin
-            if s.dead then raise (Bad (Printf.sprintf "dead symbol reachable in rule %d" r.id));
-            if s.next.prev != s then raise (Bad "broken next/prev link");
-            if s.prev.next != s then raise (Bad "broken prev/next link");
-            (match s.kind with
-            | Nonterm r2 ->
-              if not (Hashtbl.mem t.live_rules r2.id) then
-                raise (Bad (Printf.sprintf "rule %d references dead rule %d" r.id r2.id));
-              Hashtbl.replace uses r2.id (1 + Option.value ~default:0 (Hashtbl.find_opt uses r2.id))
-            | _ -> ());
-            go s.next
-          end
-        in
-        go (first r));
-    fold_rules t () (fun () r ->
-        if r.id <> 0 then begin
-          let u = Option.value ~default:0 (Hashtbl.find_opt uses r.id) in
-          if u <> r.refcount then
-            raise (Bad (Printf.sprintf "rule %d refcount %d but %d uses" r.id r.refcount u));
-          if u < 2 then raise (Bad (Printf.sprintf "rule %d violates utility (%d uses)" r.id u))
+    fold_live_rules t () (fun () id ->
+        let g = t.rule_guard.(id) in
+        if not (is_live t g && is_guard t g) then
+          raise (Bad (Printf.sprintf "dead guard in rule %d" id));
+        if t.code.(g) <> id then raise (Bad (Printf.sprintf "guard code mismatch in rule %d" id));
+        iter_rhs t id (fun s ->
+            if not (is_live t s) then
+              raise (Bad (Printf.sprintf "dead symbol reachable in rule %d" id));
+            if is_guard t s then raise (Bad (Printf.sprintf "guard inside rule %d body" id));
+            if t.prv.(t.nxt.(s)) <> s then raise (Bad "broken next/prev link");
+            if t.nxt.(t.prv.(s)) <> s then raise (Bad "broken prev/next link");
+            if is_nonterm t s then begin
+              let r2 = t.code.(s) in
+              if r2 < 0 || r2 >= t.next_rule_id || t.rule_guard.(r2) < 0 then
+                raise (Bad (Printf.sprintf "rule %d references dead rule %d" id r2));
+              Hashtbl.replace uses r2 (1 + Option.value ~default:0 (Hashtbl.find_opt uses r2))
+            end));
+    fold_live_rules t () (fun () id ->
+        if id <> 0 then begin
+          let u = Option.value ~default:0 (Hashtbl.find_opt uses id) in
+          if u <> t.rule_refs.(id) then
+            raise (Bad (Printf.sprintf "rule %d refcount %d but %d uses" id t.rule_refs.(id) u));
+          if u < 2 then raise (Bad (Printf.sprintf "rule %d violates utility (%d uses)" id u))
         end);
-    Hashtbl.iter
-      (fun key s ->
-        if s.dead then raise (Bad "digram index entry points to dead symbol");
-        if is_guard s || is_guard s.next then raise (Bad "digram index entry anchored at guard");
-        if digram_key s <> key then raise (Bad "digram index entry key mismatch"))
-      t.digrams;
+    let entries = ref 0 in
+    for i = 0 to t.dig_mask do
+      let b = 3 * i in
+      let v = t.dig.(b + 1) in
+      if v >= 0 then begin
+        incr entries;
+        if t.dig.(b + 2) <> gen t v || not (is_live t v) then
+          raise (Bad "digram index entry points to dead symbol");
+        if is_guard t v || is_guard t t.nxt.(v) then
+          raise (Bad "digram index entry anchored at guard");
+        if pack (sym_code t v) (sym_code t t.nxt.(v)) <> t.dig.(b) then
+          raise (Bad "digram index entry key mismatch")
+      end
+    done;
+    if !entries <> t.dig_live then raise (Bad "digram index live-count drift");
     Ok ()
   with Bad msg -> Error msg

@@ -26,6 +26,13 @@ val push : t -> int -> unit
 val push_array : t -> int array -> unit
 (** [push] every element in order. *)
 
+val push_batch : t -> int array -> off:int -> len:int -> unit
+(** [push_batch t a ~off ~len] pushes [a.(off) .. a.(off + len - 1)] in
+    order — the bulk entry point the WHOMP/RASG/LEAP sinks and the
+    parallel compressor pools feed whole SoA chunk lanes through, avoiding
+    per-symbol call overhead. Equivalent to [len] single {!push}es.
+    @raise Invalid_argument if [off]/[len] do not denote a valid span. *)
+
 val input_length : t -> int
 (** Number of terminals pushed so far. *)
 
@@ -48,6 +55,14 @@ val expand : t -> int array
 val rules : t -> (int * [ `T of int | `N of int ] list) list
 (** Live rules as [(rule-id, right-hand side)], start rule (id 0) first,
     for display and testing. *)
+
+val iter_rules : t -> (int -> [ `T of int | `N of int ] list -> unit) -> unit
+(** Iterate live rules in ascending rule-id order (start rule first) —
+    the same deterministic order as {!rules} without materializing the
+    whole listing, and without the per-call sorted-id list the previous
+    implementation built: rule ids are monotonic, so an ascending id scan
+    is already sorted. Serialization ([persist]) and verification
+    ([check]) enumerate rules through this. *)
 
 val of_rules : (int * [ `T of int | `N of int ] list) list -> (t, string) result
 (** Rebuild a live compressor from a {!rules} listing: the start rule is

@@ -8,7 +8,14 @@ module Leap = Ormp_leap.Leap
    grammar slots alias the session's live collector objects — the workers
    mutate the very grammars [ctx.whomp]/[ctx.rasg] hold, so everything
    the serial session does with them (seal, snapshot, measure) stays
-   valid, as long as it happens between [drain] and the next stage. *)
+   valid, as long as it happens between [drain] and the next stage.
+
+   Both pools chunk adaptively: when a consumer ring runs persistently
+   full (the usual state when domains outnumber cores) the staging layer
+   grows its chunk target to amortize ring traffic, and ring waits back
+   off with exponentially capped microsleeps (see [Ormp_trace.Worker]).
+   Neither mechanism reorders a stream, so parallel sessions remain
+   byte-identical to serial ones at any [ring_capacity]. *)
 
 type t = { gpool : Par_scc.pool; lpool : Par_leap.pool }
 

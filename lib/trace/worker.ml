@@ -11,23 +11,55 @@ type 'a t = {
   dom : unit Domain.t;
   mutable joined : bool;
   m_depth : Tm.Metrics.gauge;
+  m_occupancy : Tm.Metrics.gauge;
   m_stalls : Tm.Metrics.counter;
   m_msgs : Tm.Metrics.counter;
+  m_push_spins : Tm.Metrics.counter;
+  m_sleeps : Tm.Metrics.counter;
 }
 
-(* Spin briefly (cheap when the other side is actively running on another
-   core), then sleep with exponential backoff capped at 1ms. On a machine
-   with fewer cores than domains the sleep is what lets the other side be
-   scheduled at all. *)
+(* Adaptive backpressure: spin briefly (cheap when the other side is
+   actively running on another core), then sleep with exponentially
+   doubling microsleeps capped at 1 ms. On a machine with fewer cores than
+   domains the sleeps are what let the other side be scheduled at all, and
+   the exponential ramp reaches the cap within ~10 syscalls — the previous
+   linear ramp burned hundreds of short sleeps (syscall each) before
+   yielding a useful quantum, which is where the jobs=2 < jobs=1 scaling
+   inversion came from on small machines. Returns whether it slept, so
+   callers can split spin/sleep telemetry without timing anything. *)
+let spin_limit = 32
+
 let backoff n =
   incr n;
-  if !n < 64 then Domain.cpu_relax ()
-  else Unix.sleepf (Float.min 0.001 (1e-6 *. float_of_int (!n - 63)))
+  let k = !n - spin_limit in
+  if k <= 0 then begin
+    Domain.cpu_relax ();
+    false
+  end
+  else begin
+    Unix.sleepf (Float.min 0.001 (1e-6 *. float_of_int (1 lsl Int.min 10 (k - 1))));
+    true
+  end
 
-let run_consumer ring processed stop_flag failure f =
+let run_consumer ring processed stop_flag failure ~m_pop_spins ~m_sleeps f =
   let idle = ref 0 in
+  (* Wait costs are accumulated locally and published when an idle episode
+     ends — per-iteration counter increments would put telemetry writes on
+     the spin path. *)
+  let spins = ref 0 and sleeps = ref 0 in
+  let flush_waits () =
+    if !spins > 0 || !sleeps > 0 then begin
+      if Tm.on () then begin
+        Tm.Metrics.add m_pop_spins !spins;
+        Tm.Metrics.add m_sleeps !sleeps
+      end;
+      spins := 0;
+      sleeps := 0
+    end
+  in
   let handle m =
     idle := 0;
+    flush_waits ();
     (match Atomic.get failure with
     | None -> (
       try f m
@@ -38,7 +70,12 @@ let run_consumer ring processed stop_flag failure f =
   let rec loop () =
     match Spsc.try_pop ring with
     | Some m -> handle m; loop ()
-    | None -> if Atomic.get stop_flag then final_drain () else (backoff idle; loop ())
+    | None ->
+      if Atomic.get stop_flag then final_drain ()
+      else begin
+        if backoff idle then incr sleeps else incr spins;
+        loop ()
+      end
   and final_drain () =
     (* The producer sets [stop_flag] only after its last push, and both are
        seq_cst, so any pop performed *after* observing the flag sees every
@@ -49,24 +86,32 @@ let run_consumer ring processed stop_flag failure f =
     | Some m -> handle m; final_drain ()
     | None -> ()
   in
-  loop ()
+  loop ();
+  flush_waits ()
 
 let spawn ?capacity ~name ~f () =
   let ring = Spsc.create ?capacity () in
   let processed = Atomic.make 0 in
   let stop_flag = Atomic.make false in
   let failure = Atomic.make None in
+  let m_pop_spins = Tm.Metrics.counter (Printf.sprintf "ring.%s.pop_spins" name) in
+  let m_sleeps = Tm.Metrics.counter (Printf.sprintf "ring.%s.sleeps" name) in
   {
     ring;
     pushed = 0;
     processed;
     stop_flag;
     failure;
-    dom = Domain.spawn (fun () -> run_consumer ring processed stop_flag failure f);
+    dom =
+      Domain.spawn (fun () ->
+          run_consumer ring processed stop_flag failure ~m_pop_spins ~m_sleeps f);
     joined = false;
     m_depth = Tm.Metrics.gauge (Printf.sprintf "ring.%s.depth" name);
+    m_occupancy = Tm.Metrics.gauge (Printf.sprintf "ring.%s.occupancy" name);
     m_stalls = Tm.Metrics.counter (Printf.sprintf "ring.%s.stalls" name);
     m_msgs = Tm.Metrics.counter (Printf.sprintf "ring.%s.msgs" name);
+    m_push_spins = Tm.Metrics.counter (Printf.sprintf "ring.%s.push_spins" name);
+    m_sleeps;
   }
 
 let check t =
@@ -76,26 +121,40 @@ let check t =
 
 let pending t = t.pushed - Atomic.get t.processed
 
+let occupancy t = float_of_int (Spsc.length t.ring) /. float_of_int (Spsc.capacity t.ring)
+
+(* Producer-side waiting (full-ring pushes and drains) shares one pair of
+   wait counters; like the consumer, counts are accumulated locally and
+   published once per episode. *)
+let wait_while t cond =
+  if cond () then begin
+    let n = ref 0 and spins = ref 0 and sleeps = ref 0 in
+    while cond () do
+      check t;
+      if backoff n then incr sleeps else incr spins
+    done;
+    if Tm.on () then begin
+      Tm.Metrics.add t.m_push_spins !spins;
+      Tm.Metrics.add t.m_sleeps !sleeps
+    end
+  end
+
 let push t m =
   if not (Spsc.try_push t.ring m) then begin
     if Tm.on () then Tm.Metrics.incr t.m_stalls;
-    let n = ref 0 in
-    while not (Spsc.try_push t.ring m) do
-      check t;
-      backoff n
-    done
+    wait_while t (fun () -> not (Spsc.try_push t.ring m))
   end;
   t.pushed <- t.pushed + 1;
   if Tm.on () then begin
     Tm.Metrics.incr t.m_msgs;
-    Tm.Metrics.set_max t.m_depth (float_of_int (Spsc.length t.ring))
+    let len = Spsc.length t.ring in
+    Tm.Metrics.set_max t.m_depth (float_of_int len);
+    Tm.Metrics.set_max t.m_occupancy
+      (float_of_int len /. float_of_int (Spsc.capacity t.ring))
   end
 
 let drain t =
-  let n = ref 0 in
-  while Atomic.get t.processed < t.pushed do
-    backoff n
-  done;
+  wait_while t (fun () -> Atomic.get t.processed < t.pushed);
   check t
 
 let stop t =

@@ -7,18 +7,23 @@
     {!drain} (or {!stop}) and its next {!push} — those operations
     establish the happens-before edges both ways.
 
-    Backpressure is blocking: {!push} spins briefly, then sleeps with
-    exponential backoff — essential on machines with fewer cores than
-    domains, where pure spinning starves the consumer it is waiting on.
+    Backpressure is blocking and adaptive: {!push} spins briefly, then
+    sleeps with exponentially doubling microsleeps capped at 1 ms —
+    essential on machines with fewer cores than domains, where pure
+    spinning starves the consumer it is waiting on, and where a slow ramp
+    to a useful sleep quantum burns a syscall per step.
 
     An exception escaping [f] marks the worker failed; the failure
     surfaces (with its original backtrace) from the producer's next
     {!push}, {!drain} or {!stop}. A failed worker keeps consuming and
     discarding so the producer can never deadlock against it.
 
-    Telemetry (when enabled): per-ring high-water depth gauge
-    [ring.<name>.depth], stall counter [ring.<name>.stalls] (pushes that
-    had to wait) and message counter [ring.<name>.msgs]. *)
+    Telemetry (when enabled), all per-ring under [ring.<name>.]:
+    high-water depth gauge [depth], peak occupancy-fraction gauge
+    [occupancy], stall counter [stalls] (pushes that had to wait), message
+    counter [msgs], producer wait-spin counter [push_spins], consumer
+    wait-spin counter [pop_spins], and microsleep counter [sleeps]
+    (producer + consumer). *)
 
 type 'a t
 
@@ -40,3 +45,11 @@ val stop : 'a t -> unit
 
 val pending : 'a t -> int
 (** Messages pushed but not yet fully processed (racy, for telemetry). *)
+
+val occupancy : 'a t -> float
+(** Instantaneous ring occupancy in [0, 1] (racy, producer-side). The
+    staging layers ([Par_scc], [Par_leap]) read this after each flush to
+    adapt their chunk size: a ring that stays near full means the
+    consumer is the bottleneck and larger chunks amortize per-message
+    overhead; a near-empty ring means staging can shrink back toward the
+    latency-friendly default. *)

@@ -9,7 +9,19 @@ module Cdc = Ormp_core.Cdc
    chunk — one small allocation per ~stage_capacity symbols). *)
 type msg = { m_slot : int; m_data : int array }
 
-type stage = { buf : int array; mutable len : int }
+(* Producer-side accumulation with occupancy-adaptive chunk sizing: [base]
+   is the configured stage capacity, [target] the current flush threshold.
+   After each flush the producer reads the ring's occupancy — a ring that
+   stays at least half full means the consumer can't keep up with this
+   message granularity, so the target doubles (up to [growth_limit] x
+   base, the staging buffer's size) to amortize per-message ring and
+   allocation overhead; once the ring drains to an eighth or less the
+   target halves back toward the latency-friendly default. Chunk size
+   never changes what order symbols reach a slot's compressor, so grammar
+   output is unaffected. *)
+type stage = { buf : int array; mutable len : int; base : int; mutable target : int }
+
+let growth_limit = 8
 
 type pool = {
   slots : Seq_c.t array;
@@ -36,9 +48,18 @@ let pool ?ring_capacity ?stage_capacity ~name ~workers slots =
       Array.init nw (fun w ->
           Worker.spawn ?capacity:ring_capacity
             ~name:(Printf.sprintf "%s.%d" name w)
-            ~f:(fun m -> Seq_c.push_array slots.(m.m_slot) m.m_data)
+            ~f:(fun m ->
+              Seq_c.push_batch slots.(m.m_slot) m.m_data ~off:0
+                ~len:(Array.length m.m_data))
             ());
-    stages = Array.init n (fun _ -> { buf = Array.make stage_capacity 0; len = 0 });
+    stages =
+      Array.init n (fun _ ->
+          {
+            buf = Array.make (stage_capacity * growth_limit) 0;
+            len = 0;
+            base = stage_capacity;
+            target = stage_capacity;
+          });
     live = true;
   }
 
@@ -47,23 +68,26 @@ let worker_of p slot = p.workers.(slot mod Array.length p.workers)
 let flush_slot p slot =
   let st = p.stages.(slot) in
   if st.len > 0 then begin
-    Worker.push (worker_of p slot) { m_slot = slot; m_data = Array.sub st.buf 0 st.len };
-    st.len <- 0
+    let w = worker_of p slot in
+    Worker.push w { m_slot = slot; m_data = Array.sub st.buf 0 st.len };
+    st.len <- 0;
+    let occ = Worker.occupancy w in
+    if occ >= 0.5 then st.target <- min (Array.length st.buf) (st.target * 2)
+    else if occ <= 0.125 then st.target <- max st.base (st.target / 2)
   end
 
 let pool_stage p ~slot v =
   let st = p.stages.(slot) in
-  if st.len = Array.length st.buf then flush_slot p slot;
+  if st.len >= st.target then flush_slot p slot;
   st.buf.(st.len) <- v;
   st.len <- st.len + 1
 
 let pool_stage_lane p ~slot lane len =
   let st = p.stages.(slot) in
-  let cap = Array.length st.buf in
   let i = ref 0 in
   while !i < len do
-    if st.len = cap then flush_slot p slot;
-    let take = min (cap - st.len) (len - !i) in
+    if st.len >= st.target then flush_slot p slot;
+    let take = min (st.target - st.len) (len - !i) in
     Array.blit lane !i st.buf st.len take;
     st.len <- st.len + take;
     i := !i + take

@@ -19,9 +19,7 @@ let sink_batched () =
   let count = ref 0 in
   let on_chunk (c : Ormp_trace.Batch.chunk) =
     count := !count + c.len;
-    for i = 0 to c.len - 1 do
-      Seq_c.push grammar c.addr.(i)
-    done
+    Seq_c.push_batch grammar c.addr ~off:0 ~len:c.len
   in
   let b = Ormp_trace.Batch.create ~on_chunk ~on_event:(fun _ -> ()) () in
   (b, fun ~elapsed -> { grammar; accesses = !count; elapsed })

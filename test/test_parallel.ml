@@ -11,6 +11,7 @@ module Equiv = Ormp_check.Equiv
 module Session = Ormp_session.Session
 module Micro = Ormp_workloads.Micro
 module Faults = Ormp_workloads.Faults
+module Seq_c = Ormp_sequitur.Sequitur
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -47,7 +48,7 @@ let test_whomp_parallel_equiv () =
           | Ok () -> ()
           | Error e ->
             Alcotest.failf "%s (jobs %d, ring %d): %s" name jobs ring_capacity e)
-        [ (1, 2); (8, 5) ])
+        [ (1, 2); (1, 5); (8, 5) ])
     Micro.all
 
 (* --- LEAP: parallel = serial, including a capacity-1 ring --------------- *)
@@ -63,8 +64,52 @@ let test_leap_parallel_equiv () =
           | Ok () -> ()
           | Error e ->
             Alcotest.failf "%s (jobs %d, ring %d): %s" name jobs ring_capacity e)
-        [ (1, 3); (4, 6) ])
+        [ (1, 3); (1, 6); (4, 6) ])
     Micro.all
+
+(* --- adaptive chunking: tiny stages against capacity-1 rings ------------ *)
+
+let test_adaptive_chunking_equiv () =
+  (* stage_capacity 3 over a capacity-1 ring keeps the consumer rings
+     persistently full, so the occupancy-driven chunk growth engages and
+     ring waits fall into the exponential-backoff path. Whatever targets
+     the stages settle on, each slot's grammar must equal a serial push
+     of the same stream. Half the input goes in symbol-by-symbol, half
+     through the lane (push_batch) path, in odd-sized spans that never
+     line up with a stage boundary. *)
+  let streams =
+    Array.init 3 (fun s -> Array.init 4097 (fun i -> i * (s + 7) mod 19))
+  in
+  let slots = Array.init 3 (fun _ -> Seq_c.create ()) in
+  let p =
+    Par_scc.pool ~ring_capacity:1 ~stage_capacity:3 ~name:"test.adaptive"
+      ~workers:3 slots
+  in
+  let half = Array.length streams.(0) / 2 in
+  for i = 0 to half - 1 do
+    for s = 0 to 2 do
+      Par_scc.pool_stage p ~slot:s streams.(s).(i)
+    done
+  done;
+  for s = 0 to 2 do
+    let off = ref half in
+    let len = Array.length streams.(s) in
+    while !off < len do
+      let span = min 37 (len - !off) in
+      let lane = Array.sub streams.(s) !off span in
+      Par_scc.pool_stage_lane p ~slot:s lane span;
+      off := !off + span
+    done
+  done;
+  Par_scc.pool_drain p;
+  Par_scc.pool_shutdown p;
+  Array.iteri
+    (fun s stream ->
+      let g = Seq_c.create () in
+      Array.iter (Seq_c.push g) stream;
+      check_bool (Printf.sprintf "slot %d grammar" s) true
+        (Seq_c.rules (Par_scc.pool_get p s) = Seq_c.rules g))
+    streams
 
 let test_leap_budget_parallel_equiv () =
   (* The LMAD budget kicks in per stream; sharding must not change where. *)
@@ -187,6 +232,7 @@ let () =
         [
           tc "whomp parallel = serial (all micros)" test_whomp_parallel_equiv;
           tc "leap parallel = serial (all micros)" test_leap_parallel_equiv;
+          tc "adaptive chunking over capacity-1 rings" test_adaptive_chunking_equiv;
           tc "leap budget under sharding" test_leap_budget_parallel_equiv;
           QCheck_alcotest.to_alcotest prop_parallel_equals_serial;
         ] );

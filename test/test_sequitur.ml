@@ -122,6 +122,117 @@ let test_rule_reuse_path () =
   let t = roundtrip "reuse" (of_string "abcdbcabcdbc") in
   ok t
 
+(* --- arena vs. legacy equivalence ------------------------------------- *)
+
+(* The flat-arena implementation must be indistinguishable from the record
+   implementation it replaced: identical rules (ids included), sizes and
+   expansion for any input. [Sequitur_legacy] is the old implementation
+   kept verbatim as the oracle. *)
+let equivalent a =
+  let arena = compress a in
+  let legacy = Sequitur_legacy.create () in
+  Sequitur_legacy.push_array legacy a;
+  Sequitur.rules arena = Sequitur_legacy.rules legacy
+  && Sequitur.grammar_size arena = Sequitur_legacy.grammar_size legacy
+  && Sequitur.rule_count arena = Sequitur_legacy.rule_count legacy
+  && Sequitur.byte_size arena = Sequitur_legacy.byte_size legacy
+  && Sequitur.expand arena = Sequitur_legacy.expand legacy
+  && Sequitur.input_length arena = Sequitur_legacy.input_length legacy
+
+let assert_equivalent name a =
+  check_bool (name ^ ": arena = legacy") true (equivalent a)
+
+let test_equivalence_corpus () =
+  List.iter
+    (fun s -> assert_equivalent s (of_string s))
+    [
+      "";
+      "a";
+      "ab";
+      "abcbcabcbc";
+      "abab";
+      "abcdefg";
+      "aaaa";
+      "aaaaaaaaaaaaaaaa";
+      "aaabaaab";
+      "aabbaabb";
+      "xyxyxyzxyxyxyz";
+      "abcdbcabcdbc";
+    ];
+  assert_equivalent "cycle4" (Array.init 4096 (fun i -> i mod 4));
+  assert_equivalent "negatives" [| -1; -2; -1; -2; -1; -2; -1; -2 |];
+  let big = 1 lsl 40 in
+  assert_equivalent "large terminals" [| big; big + 1; big; big + 1; big; big + 1 |]
+
+(* Oversized terminal codes overflow the 31-bit packing lanes of the digram
+   key, so distinct digrams can collide on the same packed key; both
+   implementations must resolve those collisions identically (validate on
+   lookup, repoint on mismatch). [pack (2v) (2w)] collides across values
+   differing by multiples of 2^30, which this alphabet is built from. *)
+let gen_collision_alphabet =
+  let values =
+    [| 0; 1; 2; 1 lsl 30; (1 lsl 30) + 1; 1 lsl 35; (1 lsl 35) + 1; -1; -2; 1 lsl 61 |]
+  in
+  QCheck.Gen.(
+    sized (fun n ->
+        let n = min n 300 in
+        array_size (return n) (map (Array.get values) (int_bound (Array.length values - 1)))))
+
+let gen_small_alphabet_ref =
+  QCheck.Gen.(
+    sized (fun n ->
+        let n = min n 400 in
+        array_size (return n) (int_range 0 3)))
+
+let prop_equiv_small_alphabet =
+  QCheck.Test.make ~name:"arena = legacy (alphabet of 4)" ~count:500
+    (QCheck.make ~print:QCheck.Print.(array int) gen_small_alphabet_ref)
+    equivalent
+
+let prop_equiv_any =
+  QCheck.Test.make ~name:"arena = legacy (arbitrary ints)" ~count:300
+    QCheck.(array_of_size Gen.(int_range 0 200) int)
+    equivalent
+
+let prop_equiv_collisions =
+  QCheck.Test.make ~name:"arena = legacy (digram-key collision stress)" ~count:400
+    (QCheck.make ~print:QCheck.Print.(array int) gen_collision_alphabet)
+    equivalent
+
+let prop_equiv_runs =
+  QCheck.Test.make ~name:"arena = legacy (concatenated runs)" ~count:300
+    QCheck.(small_list (pair (int_range 0 2) (int_range 1 6)))
+    (fun spec -> equivalent (Array.concat (List.map (fun (v, n) -> Array.make n v) spec)))
+
+(* --- push_batch -------------------------------------------------------- *)
+
+let test_push_batch_slice () =
+  let a = of_string "..abcbcabcbc.." in
+  let whole = compress (Array.sub a 2 10) in
+  let sliced = Sequitur.create () in
+  Sequitur.push_batch sliced a ~off:2 ~len:10;
+  Alcotest.(check (array int)) "slice expansion" (Sequitur.expand whole) (Sequitur.expand sliced);
+  check_int "slice size" (Sequitur.grammar_size whole) (Sequitur.grammar_size sliced);
+  ok sliced
+
+let test_push_batch_bad_span () =
+  let t = Sequitur.create () in
+  let raises off len =
+    match Sequitur.push_batch t [| 1; 2; 3 |] ~off ~len with
+    | () -> false
+    | exception Invalid_argument _ -> true
+  in
+  check_bool "negative off" true (raises (-1) 2);
+  check_bool "negative len" true (raises 0 (-1));
+  check_bool "overrun" true (raises 2 2);
+  check_int "nothing pushed" 0 (Sequitur.input_length t)
+
+let test_iter_rules_matches_rules () =
+  let t = compress (of_string "abcbcabcbc") in
+  let acc = ref [] in
+  Sequitur.iter_rules t (fun id rhs -> acc := (id, rhs) :: !acc);
+  check_bool "iter_rules = rules" true (List.rev !acc = Sequitur.rules t)
+
 let gen_small_alphabet =
   QCheck.Gen.(
     sized (fun n ->
@@ -195,6 +306,10 @@ let () =
           tc "byte size scales with terminal width" test_byte_size_smaller_for_small_alphabet;
           tc "pp output" test_pp_output;
           tc "rule reuse path" test_rule_reuse_path;
+          tc "arena = legacy on corpus" test_equivalence_corpus;
+          tc "push_batch slice" test_push_batch_slice;
+          tc "push_batch rejects bad spans" test_push_batch_bad_span;
+          tc "iter_rules matches rules" test_iter_rules_matches_rules;
         ] );
       ( "property",
         [
@@ -204,5 +319,9 @@ let () =
           QCheck_alcotest.to_alcotest prop_grammar_never_larger;
           QCheck_alcotest.to_alcotest prop_runs;
           QCheck_alcotest.to_alcotest prop_concat_runs;
+          QCheck_alcotest.to_alcotest prop_equiv_small_alphabet;
+          QCheck_alcotest.to_alcotest prop_equiv_any;
+          QCheck_alcotest.to_alcotest prop_equiv_collisions;
+          QCheck_alcotest.to_alcotest prop_equiv_runs;
         ] );
     ]
