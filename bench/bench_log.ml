@@ -76,6 +76,21 @@ type scaling = {
   sl_rows : scaling_row list;
 }
 
+(* One litmus case of the transport model checker: how much state space
+   the exploration covered and whether the expectation held. Non-timing
+   by design — interleaving counts are deterministic, so this section is
+   comparable across machines (unlike every ns figure in this file). *)
+type modelcheck_row = {
+  mk_name : string;
+  mk_interleavings : int;  (** complete executions explored *)
+  mk_steps : int;  (** scheduling points across all runs *)
+  mk_max_depth : int;  (** longest execution *)
+  mk_exhaustive : bool;  (** the case claims full coverage *)
+  mk_budget_exhausted : bool;
+  mk_violation : bool;  (** a violation was found (expected for the seeded race) *)
+  mk_ok : bool;
+}
+
 type t = {
   mode : string;  (** "fast" or "paper" *)
   mutable sections : (string * float) list;  (** reverse execution order *)
@@ -84,6 +99,7 @@ type t = {
   mutable recovery : recovery option;
   mutable telemetry : telemetry option;
   mutable scaling : scaling option;
+  mutable modelcheck : modelcheck_row list;
   mutable suites_parallel : bool;
   mutable suites_wall_s : float;
   mutable suites : suite_row list;
@@ -99,6 +115,7 @@ let create ~mode =
     recovery = None;
     telemetry = None;
     scaling = None;
+    modelcheck = [];
     suites_parallel = false;
     suites_wall_s = Float.nan;
     suites = [];
@@ -116,6 +133,8 @@ let set_recovery t r = t.recovery <- Some r
 let set_telemetry t tl = t.telemetry <- Some tl
 
 let set_scaling t s = t.scaling <- Some s
+
+let set_modelcheck t rows = t.modelcheck <- rows
 
 let set_suites t ~parallel ~wall_s rows =
   t.suites_parallel <- parallel;
@@ -268,6 +287,27 @@ let render t =
         buf_float b r.sl_events_per_sec;
         Buffer.add_char b '}');
     Buffer.add_char b '}');
+  if t.modelcheck <> [] then begin
+    Buffer.add_string b ",\n  \"modelcheck\": ";
+    buf_list b t.modelcheck (fun r ->
+        Buffer.add_string b "{\"name\": ";
+        buf_str b r.mk_name;
+        Buffer.add_string b ", \"interleavings\": ";
+        Buffer.add_string b (string_of_int r.mk_interleavings);
+        Buffer.add_string b ", \"steps\": ";
+        Buffer.add_string b (string_of_int r.mk_steps);
+        Buffer.add_string b ", \"max_depth\": ";
+        Buffer.add_string b (string_of_int r.mk_max_depth);
+        Buffer.add_string b ", \"exhaustive\": ";
+        Buffer.add_string b (string_of_bool r.mk_exhaustive);
+        Buffer.add_string b ", \"budget_exhausted\": ";
+        Buffer.add_string b (string_of_bool r.mk_budget_exhausted);
+        Buffer.add_string b ", \"violation_found\": ";
+        Buffer.add_string b (string_of_bool r.mk_violation);
+        Buffer.add_string b ", \"ok\": ";
+        Buffer.add_string b (string_of_bool r.mk_ok);
+        Buffer.add_char b '}')
+  end;
   if t.suites <> [] then begin
     Buffer.add_string b ",\n  \"suites\": {\"parallel\": ";
     Buffer.add_string b (string_of_bool t.suites_parallel);

@@ -31,7 +31,7 @@ open Ormp_report
 let section_names =
   [
     "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "table1"; "ablations"; "extensions"; "hotpath";
-    "micro"; "scaling"; "recovery"; "telemetry"; "verify";
+    "micro"; "scaling"; "recovery"; "telemetry"; "modelcheck"; "verify";
   ]
 
 let parse_args () =
@@ -738,6 +738,64 @@ let run_telemetry log ~bench () =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* Modelcheck: transport litmus suite coverage (non-timing)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Runs the full Ormp_modelcheck litmus suite and logs the per-case
+   state-space coverage: interleavings explored, scheduling points,
+   depth, and whether the expectation held (clean exhaustive pass, or —
+   for the seeded pre-fix consumer — a rediscovered violation). The
+   counts are deterministic, so unlike every timing figure in this
+   harness they are comparable across machines and commits: a jump in
+   interleavings means the protocol grew scheduling points. *)
+let run_modelcheck log () =
+  timed log "modelcheck" (fun () ->
+      print_endline
+        (Ormp_util.Ascii.section "Model checker: transport litmus coverage");
+      let module L = Ormp_modelcheck.Litmus in
+      let module Mc = Ormp_modelcheck.Mc in
+      let results = L.run_all () in
+      let rows =
+        List.map
+          (fun (r : L.result) ->
+            let s = r.L.stats in
+            {
+              Bench_log.mk_name = r.L.case.L.name;
+              mk_interleavings = s.Mc.interleavings;
+              mk_steps = s.Mc.steps_executed;
+              mk_max_depth = s.Mc.max_depth;
+              mk_exhaustive = r.L.case.L.exhaustive;
+              mk_budget_exhausted = s.Mc.budget_exhausted;
+              mk_violation = s.Mc.violation <> None;
+              mk_ok = r.L.ok;
+            })
+          results
+      in
+      print_endline
+        (Ormp_util.Ascii.table
+           ~header:[ "litmus"; "interleavings"; "steps"; "depth"; "coverage"; "ok" ]
+           ~rows:
+             (List.map
+                (fun (r : Bench_log.modelcheck_row) ->
+                  [
+                    r.Bench_log.mk_name;
+                    string_of_int r.Bench_log.mk_interleavings;
+                    string_of_int r.Bench_log.mk_steps;
+                    string_of_int r.Bench_log.mk_max_depth;
+                    (if r.Bench_log.mk_violation then "violation"
+                     else if r.Bench_log.mk_budget_exhausted then "bounded"
+                     else "exhaustive");
+                    (if r.Bench_log.mk_ok then "yes" else "NO");
+                  ])
+                rows));
+      Bench_log.set_modelcheck log rows;
+      if List.exists (fun (r : Bench_log.modelcheck_row) -> not r.Bench_log.mk_ok) rows
+      then begin
+        print_endline "modelcheck: FAILED — a litmus expectation did not hold";
+        exit 1
+      end)
+
+(* ------------------------------------------------------------------ *)
 (* Verify: the debug-mode checking pass                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -973,6 +1031,7 @@ let () =
   if enabled "scaling" then run_scaling log ~bench ();
   if enabled "recovery" then run_recovery log ~bench ();
   if enabled "telemetry" then run_telemetry log ~bench ();
+  if enabled "modelcheck" then run_modelcheck log ();
   (* Skipped in default timing runs; see the usage comment. *)
   if List.mem "verify" wanted || (wanted = [] && fast) then run_verify log ~bench ();
   Bench_log.write log "BENCH_ormp.json";

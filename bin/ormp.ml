@@ -710,6 +710,147 @@ let check_cmd =
       const run $ workload $ profile $ all $ seed_arg $ policy_arg $ faults $ leaks $ slack
       $ sexp)
 
+(* --- lint ------------------------------------------------------------- *)
+
+let lint_cmd =
+  let run dirs sexp =
+    let dirs = match dirs with [] -> [ "lib" ] | ds -> ds in
+    List.iter
+      (fun d ->
+        if not (Sys.file_exists d && Sys.is_directory d) then begin
+          Printf.eprintf "lint: no such directory: %s\n" d;
+          exit 2
+        end)
+      dirs;
+    let r = Ormp_check.Lint.scan dirs in
+    if sexp then print_endline (Ormp_util.Sexp.to_string (Ormp_check.Lint.to_sexp r))
+    else Format.printf "%a" Ormp_check.Lint.render r;
+    if not (Ormp_check.Lint.clean r) then exit 1
+  in
+  let dirs =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"DIR" ~doc:"Directories to scan recursively (default: lib).")
+  in
+  let sexp =
+    Arg.(value & flag & info [ "sexp" ] ~doc:"Machine-readable s-expression report.")
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Static source pass enforcing the repo's concurrency and output conventions \
+          (raw atomics outside the transport seam, Hashtbl iteration on output paths, \
+          allocation in hot-path files, stderr writes bypassing the logger)")
+    Term.(const run $ dirs $ sexp)
+
+(* --- modelcheck ------------------------------------------------------- *)
+
+let modelcheck_cmd =
+  let module L = Ormp_modelcheck.Litmus in
+  let module Mc = Ormp_modelcheck.Mc in
+  let run litmus budget sexp =
+    let cases =
+      match litmus with
+      | None -> L.cases
+      | Some n -> (
+        match L.find n with
+        | Some c -> [ c ]
+        | None ->
+          Printf.eprintf "modelcheck: unknown litmus %S; available:\n" n;
+          List.iter (fun (c : L.case) -> Printf.eprintf "  %s\n" c.name) L.cases;
+          exit 2)
+    in
+    let results = List.map (L.run_case ?max_interleavings:budget) cases in
+    let failed = List.filter (fun (r : L.result) -> not r.ok) results in
+    if sexp then begin
+      let module S = Ormp_util.Sexp in
+      let case_sexp (r : L.result) =
+        let s = r.stats in
+        S.field "case"
+          ([
+             S.field "name" [ S.atom r.case.name ];
+             S.field "ok" [ S.atom (if r.ok then "true" else "false") ];
+             S.field "expect-violation"
+               [ S.atom (if r.case.expect_violation then "true" else "false") ];
+             S.field "exhaustive" [ S.atom (if r.case.exhaustive then "true" else "false") ];
+             S.field "interleavings" [ S.int s.Mc.interleavings ];
+             S.field "steps" [ S.int s.Mc.steps_executed ];
+             S.field "max-depth" [ S.int s.Mc.max_depth ];
+             S.field "budget-exhausted"
+               [ S.atom (if s.Mc.budget_exhausted then "true" else "false") ];
+           ]
+          @
+          match s.Mc.violation with
+          | None -> []
+          | Some m ->
+            [
+              S.field "violation" [ S.atom m ];
+              S.field "trace" (List.map S.atom s.Mc.trace);
+            ])
+      in
+      print_endline
+        (S.to_string
+           (S.field "ormp-modelcheck-report"
+              (S.field "cases" [ S.int (List.length results) ]
+              :: S.field "failed" [ S.int (List.length failed) ]
+              :: List.map case_sexp results)))
+    end
+    else begin
+      Printf.printf "ormp-modelcheck: %d litmus case(s), %d failure(s)\n" (List.length results)
+        (List.length failed);
+      List.iter
+        (fun (r : L.result) ->
+          let s = r.stats in
+          let verdict = if r.ok then "PASS" else "FAIL" in
+          let outcome =
+            match s.Mc.violation with
+            | Some _ when r.case.expect_violation ->
+              Printf.sprintf "violation found as expected (%d interleavings)"
+                s.Mc.interleavings
+            | Some m -> Printf.sprintf "VIOLATION: %s" m
+            | None ->
+              Printf.sprintf "%s, %d interleavings, %d steps, depth %d"
+                (if s.Mc.budget_exhausted then "bounded (budget exhausted)" else "exhaustive")
+                s.Mc.interleavings s.Mc.steps_executed s.Mc.max_depth
+          in
+          Printf.printf "  %s %-30s %s\n" verdict r.case.name outcome;
+          (* The schedule is the actual diagnostic: print it whenever a
+             violation was found, expected (the seeded race) or not. *)
+          if s.Mc.violation <> None then begin
+            (match s.Mc.violation with
+            | Some m when r.case.expect_violation -> Printf.printf "       %s\n" m
+            | _ -> ());
+            List.iter (fun l -> Printf.printf "       | %s\n" l) s.Mc.trace
+          end)
+        results
+    end;
+    if failed <> [] then exit 1
+  in
+  let litmus =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "litmus"; "l" ] ~docv:"NAME" ~doc:"Run a single litmus case by name.")
+  in
+  let budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "budget" ] ~docv:"N"
+          ~doc:
+            "Cap the interleaving budget per case from above (never raises a case's own \
+             budget).")
+  in
+  let sexp =
+    Arg.(value & flag & info [ "sexp" ] ~doc:"Machine-readable s-expression report.")
+  in
+  Cmd.v
+    (Cmd.info "modelcheck"
+       ~doc:
+         "Exhaustively explore the transport litmus suite (SPSC ring, worker shutdown and \
+          drain barriers, pool slot pinning) under the DPOR model checker")
+    Term.(const run $ litmus $ budget $ sexp)
+
 (* --- analyze ---------------------------------------------------------- *)
 
 let analyze_cmd =
@@ -1274,4 +1415,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; trace_cmd; whomp_cmd; leap_cmd; compare_cmd; check_cmd; post_cmd; analyze_cmd; record_cmd; replay_cmd; session_cmd; stats_cmd ]))
+          [ list_cmd; trace_cmd; whomp_cmd; leap_cmd; compare_cmd; check_cmd; lint_cmd; modelcheck_cmd; post_cmd; analyze_cmd; record_cmd; replay_cmd; session_cmd; stats_cmd ]))

@@ -1,0 +1,54 @@
+(** Source-level lint for the repo's concurrency and output conventions.
+
+    Four rules, enforced over [.ml] files (comments and strings are
+    stripped before matching):
+
+    - [atomic] (error) — no raw [Atomic.] use outside the functorized
+      transport seam ({!Ormp_trace.Atomics_intf}); everything else must
+      go through the seam so the model checker can trace it.
+    - [hashtbl-order] (error) — no [Hashtbl.iter]/[Hashtbl.fold] under
+      [persist/]: iteration order depends on insertion history and would
+      make persisted output nondeterministic. Waive at sort sites.
+    - [hot-path-alloc] (warning) — no allocation-prone constructs
+      ([sprintf], [List.map], …) in files tagged [lint:hot-path].
+    - [bare-eprintf] (error) — no direct stderr writes ([eprintf],
+      [prerr_*], [output_string stderr]) bypassing
+      {!Ormp_telemetry.Log}.
+
+    Waivers are comments carrying their own justification:
+    [lint:allow <rule>] (same or preceding line),
+    [lint:allow-file <rule>] (whole file), [lint:hot-path] (tag). *)
+
+type finding = {
+  rule : string;
+  severity : Finding.severity;
+  file : string;
+  line : int;  (* 1-based *)
+  text : string;  (** the offending source line, trimmed *)
+  message : string;
+}
+
+type report = { roots : string list; files_scanned : int; findings : finding list }
+
+val rule_names : string list
+
+val scan_file : string -> finding list
+(** Findings for one file, in line order. *)
+
+val scan : string list -> report
+(** Walk the given roots (skipping [_build] and dot-entries), scan every
+    [.ml], and return findings sorted severity-major, then file, then
+    line. *)
+
+val errors : report -> int
+val warnings : report -> int
+val notes : report -> int
+
+val clean : report -> bool
+(** No errors and no warnings (mirrors {!Report.clean}). *)
+
+val render : Format.formatter -> report -> unit
+
+val to_sexp : report -> Ormp_util.Sexp.t
+(** Mirrors the [ormp-check-report] shape: subject, severity counts, then
+    the findings. *)

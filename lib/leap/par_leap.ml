@@ -3,6 +3,14 @@ module Cdc = Ormp_core.Cdc
 
 (* --- shard worker pool ------------------------------------------------- *)
 
+(* Concurrency note: this pool leans entirely on the Worker/Spsc
+   protocol — per-shard FIFO, the processed-counter drain barrier, and
+   stop-after-push completeness. Those properties are verified
+   exhaustively (every interleaving at small configurations) by the
+   litmus suite in [Ormp_modelcheck.Litmus], which runs the same
+   functorized transport code this pool instantiates; the pool layers
+   only deterministic staging on top. *)
+
 (* One message: a chunk of one shard's tuple sub-stream, struct-of-arrays.
    Unlike the grammar streams, a shard's tuples are not consecutive in
    time (the other shards' tuples interleave), so the time lane travels

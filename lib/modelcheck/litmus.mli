@@ -1,0 +1,38 @@
+(** The transport litmus suite.
+
+    Each case is a tiny configuration of the production ring / worker /
+    pool code (instantiated over the traced scheduler) plus assertions,
+    explored exhaustively by {!Mc.check}. One case —
+    [worker_stop_no_drain_racy] — runs a {e deliberately reverted}
+    consumer loop (the pre-PR-5 shutdown race) and expects the checker to
+    find the lost-message schedule; every other case expects a clean
+    exhaustive pass. *)
+
+type case = {
+  name : string;
+  descr : string;
+  expect_violation : bool;  (** true only for the seeded-race case *)
+  exhaustive : bool;
+      (** false for bounded-only cases (3-domain pool configs) where an
+          exhausted budget is expected, not a failure *)
+  budget : int;  (** per-case interleaving budget *)
+  prog : unit -> unit;
+}
+
+type result = {
+  case : case;
+  stats : Mc.stats;
+  ok : bool;
+      (** violation presence matched the expectation, and (for clean
+          exhaustive cases) the search finished within budget — an
+          exhausted budget proves nothing *)
+}
+
+val cases : case list
+val find : string -> case option
+
+val run_case : ?max_interleavings:int -> case -> result
+(** [max_interleavings] caps the per-case budget from above (CI wants a
+    ceiling); it never raises a case's own budget. *)
+
+val run_all : ?max_interleavings:int -> unit -> result list

@@ -1,0 +1,491 @@
+(* ORMP-MC: a dscheck-style systematic concurrency model checker for the
+   repo's atomics-based transport.
+
+   The code under test is the *production* Spsc/Worker source,
+   instantiated through the Atomics_intf seam with the traced scheduler
+   below: every atomic get/set/incr, spawn, join and backoff hint becomes
+   an effect, the explorer owns every continuation, and a DFS with
+   dynamic partial-order reduction (Flanagan–Godefroid backtrack sets
+   with vector-clock happens-before filtering) enumerates one
+   representative of every Mazurkiewicz trace of the program. Properties
+   are plain assertions in the litmus body ([check_that]); a failing
+   schedule is replayed into a printable step list.
+
+   Three design points worth naming:
+
+   - Threads are one-shot effect continuations, so backtracking
+     re-executes the whole litmus from scratch under a forced schedule
+     prefix (the dscheck approach). Litmus programs must therefore be
+     deterministic given the schedule — no clocks, no Random.
+
+   - Spin loops would make exhaustive exploration infinite, so
+     [cpu_relax]/[sleep] apply the standard await transformation: the
+     caller blocks until some other thread performs an atomic write.
+     A re-read with no intervening write cannot change a spin condition
+     that is a function of atomics (true of every wait in the transport),
+     so no observable behavior is lost; a thread still blocked when no
+     writer can ever run again is reported as a livelock, which is
+     exactly what the real spin loop would do — forever.
+
+   - The happens-before used for race filtering is the SC one: a read
+     synchronizes with the last write to the same location, a write with
+     the last write and every read since. Joins/spawns edge through
+     per-thread "lifetime" pseudo-objects, so producer-side assertions
+     after [Worker.stop]/[drain] are correctly ordered after consumer
+     steps — the drain-barrier litmus checks precisely that. *)
+
+module ISet = Set.Make (Int)
+
+let max_procs = 16
+let life_base = 1_000_000
+
+type op_kind = Start | Finish | Spawn | Join | Get | Set | Incr | Wait
+
+let op_name = function
+  | Start -> "start"
+  | Finish -> "finish"
+  | Spawn -> "spawn"
+  | Join -> "join"
+  | Get -> "get"
+  | Set -> "set"
+  | Incr -> "incr"
+  | Wait -> "wait"
+
+type descr = {
+  kind : op_kind;
+  mutable obj : int;  (* location id; [life_base + pid] for lifetimes; -1 = none *)
+  mutable label : string;
+  mutable target : int;  (* proc id for Spawn/Join; -1 otherwise *)
+}
+
+exception Violation of string
+
+let check_that cond msg = if not cond then raise (Violation msg)
+
+type proc = {
+  pid : int;
+  mutable resume : unit -> unit;
+  mutable pending : descr option;  (* next op; None while running or finished *)
+  mutable finished : bool;
+  mutable wait_from : int;  (* wake threshold: blocked while [wseq <= wait_from] *)
+  mutable wait_mark : int;  (* wseq when this proc's last Wait executed *)
+  mutable in_spin : bool;  (* a Wait executed with no write by this proc since *)
+}
+
+type exec = {
+  procs : proc option array;
+  mutable nprocs : int;
+  mutable next_obj : int;
+  mutable wseq : int;  (* count of executed atomic writes, for Wait wakeups *)
+}
+
+let cur : exec option ref = ref None
+
+let the_exec () =
+  match !cur with
+  | Some e -> e
+  | None -> failwith "Mc: traced primitive used outside Mc.check"
+
+type _ Effect.t += Op : descr * (descr -> 'a) -> 'a Effect.t
+
+let handler (p : proc) =
+  let open Effect.Deep in
+  {
+    retc = (fun () ->
+      p.finished <- true;
+      p.pending <- None);
+    exnc = (fun ex -> raise ex);
+    effc =
+      (fun (type a) (eff : a Effect.t) ->
+        match eff with
+        | Op (d, run) ->
+          Some
+            (fun (k : (a, unit) continuation) ->
+              p.pending <- Some d;
+              (* A first Wait after progress is always enabled — the spin
+                 condition was read across several earlier steps, so a write
+                 landing between those reads and this suspension must not be
+                 treated as already seen. Only a *repeated* Wait blocks, and
+                 it wakes on any write since the previous Wait executed
+                 (i.e. since the current spin iteration began re-reading). *)
+              if d.kind = Wait then p.wait_from <- (if p.in_spin then p.wait_mark else -1);
+              p.resume <- (fun () -> continue k (run d)))
+        | _ -> None);
+  }
+
+let make_proc e body =
+  if e.nprocs >= max_procs then failwith "Mc: too many threads";
+  let pid = e.nprocs in
+  e.nprocs <- pid + 1;
+  let p =
+    {
+      pid;
+      resume = (fun () -> ());
+      pending =
+        Some { kind = Start; obj = life_base + pid; label = Printf.sprintf "p%d" pid; target = -1 };
+      finished = false;
+      wait_from = -1;
+      wait_mark = -1;
+      in_spin = false;
+    }
+  in
+  e.procs.(pid) <- Some p;
+  (* Executing the Start op = beginning the fiber; it runs to its first
+     traced operation (or completion) and suspends there. *)
+  p.resume <-
+    (fun () ->
+      Effect.Deep.match_with
+        (fun () ->
+          body ();
+          Effect.perform
+            (Op
+               ( { kind = Finish; obj = life_base + pid; label = Printf.sprintf "p%d" pid; target = -1 },
+                 fun _ -> () )))
+        () (handler p));
+  p
+
+(* --- the traced seam implementation ----------------------------------- *)
+
+module TAtomic = struct
+  type 'a t = { mutable v : 'a; oid : int; oname : string }
+
+  let make ?(name = "atomic") v =
+    let e = the_exec () in
+    let oid = e.next_obj in
+    e.next_obj <- oid + 1;
+    { v; oid; oname = Printf.sprintf "%s#%d" name oid }
+
+  let op kind c run =
+    Effect.perform (Op ({ kind; obj = c.oid; label = c.oname; target = -1 }, run))
+
+  let get c = op Get c (fun _ -> c.v)
+  let set c v = op Set c (fun _ -> c.v <- v)
+  let incr c = op Incr c (fun _ -> c.v <- c.v + 1)
+end
+
+module Sched = struct
+  module Atomic = TAtomic
+
+  type handle = int
+
+  let spawn f =
+    Effect.perform
+      (Op
+         ( { kind = Spawn; obj = -1; label = "?"; target = -1 },
+           fun d ->
+             let e = the_exec () in
+             let p = make_proc e f in
+             d.obj <- life_base + p.pid;
+             d.target <- p.pid;
+             d.label <- Printf.sprintf "p%d" p.pid;
+             p.pid ))
+
+  let join h =
+    Effect.perform
+      (Op ({ kind = Join; obj = life_base + h; label = Printf.sprintf "p%d" h; target = h }, fun _ -> ()))
+
+  let wait label = Effect.perform (Op ({ kind = Wait; obj = -1; label; target = -1 }, fun _ -> ()))
+  let cpu_relax () = wait "cpu_relax"
+  let sleep _ = wait "sleep"
+end
+
+(* --- dependence and happens-before ------------------------------------ *)
+
+let is_store d = match d.kind with Set | Incr | Spawn | Finish -> true | _ -> false
+let is_read d = match d.kind with Get | Join | Start -> true | _ -> false
+
+(* Only real atomic writes wake a Wait: a spin condition is a function of
+   atomics, so nothing else can change it. *)
+let wake_store d = match d.kind with Set | Incr -> true | _ -> false
+
+let dependent a b =
+  (a.obj >= 0 && a.obj = b.obj && (is_store a || is_store b))
+  || (a.kind = Wait && wake_store b)
+  || (b.kind = Wait && wake_store a)
+
+(* --- exploration ------------------------------------------------------- *)
+
+type step = { st_proc : int; st_descr : descr; st_vc : int array }
+
+type node = {
+  nd_enabled : ISet.t;
+  mutable nd_backtrack : ISet.t;
+  mutable nd_done : ISet.t;
+  nd_sleep : ISet.t;
+      (* Godefroid sleep set: threads whose next transition from this state
+         was already explored under an equivalent order elsewhere. Never
+         selected here; inherited by children filtered for independence
+         with the step taken. Combined with the DPOR backtrack sets this
+         prunes the permutations of pairwise-independent runs — the bulk
+         of the tree once several rings are in play. *)
+}
+
+type stats = {
+  interleavings : int;  (** complete executions explored *)
+  violation : string option;  (** first violation found, if any *)
+  trace : string list;  (** the violating schedule, one line per step *)
+  budget_exhausted : bool;
+  max_depth : int;  (** longest execution, in scheduling points *)
+  steps_executed : int;  (** total scheduling points across all runs *)
+}
+
+module Dyn = struct
+  type 'a t = { mutable a : 'a array; mutable len : int }
+
+  let create () = { a = [||]; len = 0 }
+  let length t = t.len
+  let get t i = t.a.(i)
+
+  let push t x =
+    if t.len = Array.length t.a then begin
+      let b = Array.make (max 16 (2 * Array.length t.a)) x in
+      Array.blit t.a 0 b 0 t.len;
+      t.a <- b
+    end;
+    t.a.(t.len) <- x;
+    t.len <- t.len + 1
+
+  let truncate t n = t.len <- n
+  let clear t = t.len <- 0
+end
+
+let enabled_set e =
+  let s = ref ISet.empty in
+  for i = 0 to e.nprocs - 1 do
+    match e.procs.(i) with
+    | Some p when not p.finished -> (
+      match p.pending with
+      | None -> ()
+      | Some d ->
+        let ok =
+          match d.kind with
+          | Join -> (
+            match e.procs.(d.target) with Some t -> t.finished | None -> false)
+          | Wait -> e.wseq > p.wait_from
+          | _ -> true
+        in
+        if ok then s := ISet.add i !s)
+    | _ -> ()
+  done;
+  !s
+
+let all_finished e =
+  let ok = ref true in
+  for i = 0 to e.nprocs - 1 do
+    match e.procs.(i) with Some p -> if not p.finished then ok := false | None -> ()
+  done;
+  !ok
+
+let joinv dst src =
+  for q = 0 to max_procs - 1 do
+    if src.(q) > dst.(q) then dst.(q) <- src.(q)
+  done
+
+let fmt_step s =
+  Printf.sprintf "p%d: %s %s" s.st_proc (op_name s.st_descr.kind) s.st_descr.label
+
+let default_interleavings = 200_000
+
+let check ?(max_interleavings = default_interleavings) ?(max_total_steps = 30_000_000)
+    ?(max_run_steps = 20_000) prog =
+  (* Persistent DFS state: [nodes.(d)] is the pre-state of step [d] on the
+     current path, [choices.(d)] the thread scheduled there. Backtracking
+     re-executes from scratch under the truncated forced prefix. *)
+  let nodes = Dyn.create () and choices = Dyn.create () in
+  let steps = Dyn.create () in
+  let interleavings = ref 0 and total_steps = ref 0 and maxd = ref 0 in
+  let violation = ref None and vtrace = ref [] in
+  let exhausted = ref false in
+  let record_violation msg =
+    if !violation = None then begin
+      violation := Some msg;
+      vtrace := List.init (Dyn.length steps) (fun i -> fmt_step (Dyn.get steps i))
+    end
+  in
+  let run_once () =
+    let e = { procs = Array.make max_procs None; nprocs = 0; next_obj = 0; wseq = 0 } in
+    cur := Some e;
+    ignore (make_proc e prog);
+    Dyn.clear steps;
+    let cv = Array.init max_procs (fun _ -> Array.make max_procs 0) in
+    let wvc : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+    let rvc : (int, int array) Hashtbl.t = Hashtbl.create 64 in
+    let depth = ref 0 in
+    let stop = ref false in
+    while not !stop do
+      let enabled = enabled_set e in
+      if ISet.is_empty enabled then begin
+        if all_finished e then incr interleavings
+        else record_violation "deadlock/livelock: unfinished threads with nothing enabled";
+        stop := true
+      end
+      else if !total_steps >= max_total_steps || !depth >= max_run_steps then begin
+        exhausted := true;
+        stop := true
+      end
+      else begin
+        let node =
+          if Dyn.length nodes > !depth then Some (Dyn.get nodes !depth)
+          else begin
+            let sleep =
+              if !depth = 0 then ISet.empty
+              else begin
+                let parent = Dyn.get nodes (!depth - 1) in
+                let last = Dyn.get steps (!depth - 1) in
+                ISet.filter
+                  (fun q ->
+                    q <> last.st_proc
+                    &&
+                    match e.procs.(q) with
+                    | Some qp -> (
+                      match qp.pending with
+                      | Some dq -> not (dependent dq last.st_descr)
+                      | None -> false)
+                    | None -> false)
+                  (ISet.union parent.nd_sleep parent.nd_done)
+              end
+            in
+            let seed = ISet.diff enabled sleep in
+            if ISet.is_empty seed then None (* every continuation explored elsewhere *)
+            else begin
+              let n =
+                {
+                  nd_enabled = enabled;
+                  nd_backtrack = ISet.singleton (ISet.min_elt seed);
+                  nd_done = ISet.empty;
+                  nd_sleep = sleep;
+                }
+              in
+              Dyn.push nodes n;
+              Some n
+            end
+          end
+        in
+        match node with
+        | None -> stop := true (* sleep-set-blocked leaf: prune, don't count *)
+        | Some node ->
+        let choice =
+          if Dyn.length choices > !depth then Dyn.get choices !depth
+          else begin
+            let avail = ISet.diff (ISet.diff node.nd_backtrack node.nd_done) node.nd_sleep in
+            let c =
+              if ISet.is_empty avail then ISet.min_elt (ISet.diff node.nd_enabled node.nd_sleep)
+              else ISet.min_elt avail
+            in
+            Dyn.push choices c;
+            c
+          end
+        in
+        let p = match e.procs.(choice) with Some p -> p | None -> assert false in
+        let d = match p.pending with Some d -> d | None -> assert false in
+        (* DPOR: find the latest earlier step by another thread that is
+           dependent with this one and not already ordered before it by
+           happens-before; that step's pre-state must also explore running
+           this thread (or, if it was disabled there, everything). *)
+        let cvp = cv.(p.pid) in
+        let best = ref (-1) in
+        for i = 0 to Dyn.length steps - 1 do
+          let s = Dyn.get steps i in
+          if
+            s.st_proc <> p.pid && dependent s.st_descr d
+            && s.st_vc.(s.st_proc) > cvp.(s.st_proc)
+          then best := i
+        done;
+        if !best >= 0 then begin
+          let pre = Dyn.get nodes !best in
+          if ISet.mem p.pid pre.nd_enabled then
+            pre.nd_backtrack <- ISet.add p.pid pre.nd_backtrack
+          else pre.nd_backtrack <- ISet.union pre.nd_backtrack pre.nd_enabled
+        end;
+        (* Happens-before clocks (SC): reads join the last write's clock,
+           writes additionally join every read since it. *)
+        if d.obj >= 0 then begin
+          if is_read d then (
+            match Hashtbl.find_opt wvc d.obj with Some v -> joinv cvp v | None -> ())
+          else if is_store d then begin
+            (match Hashtbl.find_opt wvc d.obj with Some v -> joinv cvp v | None -> ());
+            match Hashtbl.find_opt rvc d.obj with Some v -> joinv cvp v | None -> ()
+          end
+        end;
+        cvp.(p.pid) <- cvp.(p.pid) + 1;
+        let svc = Array.copy cvp in
+        Dyn.push steps { st_proc = p.pid; st_descr = d; st_vc = svc };
+        if d.obj >= 0 then begin
+          if is_store d then begin
+            Hashtbl.replace wvc d.obj svc;
+            Hashtbl.remove rvc d.obj
+          end
+          else if is_read d then begin
+            match Hashtbl.find_opt rvc d.obj with
+            | Some v ->
+              let m = Array.copy v in
+              joinv m svc;
+              Hashtbl.replace rvc d.obj m
+            | None -> Hashtbl.replace rvc d.obj svc
+          end
+        end;
+        (* Commit the step: the op itself executes inside [resume], which
+           then runs the thread to its next suspension point. *)
+        p.pending <- None;
+        (match d.kind with
+        | Wait ->
+          p.wait_mark <- e.wseq;
+          p.in_spin <- true
+        | _ -> if is_store d then p.in_spin <- false);
+        if wake_store d then e.wseq <- e.wseq + 1;
+        incr total_steps;
+        (try p.resume () with
+        | Violation msg -> record_violation ("assertion failed: " ^ msg)
+        | ex ->
+          record_violation
+            ("uncaught exception: " ^ Printexc.to_string ex));
+        incr depth;
+        if !depth > !maxd then maxd := !depth;
+        if !violation <> None then stop := true
+      end
+    done;
+    cur := None
+  in
+  let rec backtrack_next () =
+    (* A sleep-blocked leaf leaves a node count equal to the choice count
+       already; nothing to trim. A normal leaf has none either — nodes and
+       choices stay in lockstep by construction. *)
+    if Dyn.length nodes = 0 then false
+    else begin
+      let dd = Dyn.length nodes - 1 in
+      let node = Dyn.get nodes dd in
+      let c = Dyn.get choices dd in
+      node.nd_done <- ISet.add c node.nd_done;
+      Dyn.truncate choices dd;
+      let avail = ISet.diff (ISet.diff node.nd_backtrack node.nd_done) node.nd_sleep in
+      if ISet.is_empty avail then begin
+        Dyn.truncate nodes dd;
+        backtrack_next ()
+      end
+      else begin
+        Dyn.push choices (ISet.min_elt avail);
+        true
+      end
+    end
+  in
+  run_once ();
+  let continue_ = ref (!violation = None && not !exhausted) in
+  while !continue_ do
+    if !interleavings >= max_interleavings then begin
+      exhausted := true;
+      continue_ := false
+    end
+    else if backtrack_next () then begin
+      run_once ();
+      if !violation <> None || !exhausted then continue_ := false
+    end
+    else continue_ := false
+  done;
+  {
+    interleavings = !interleavings;
+    violation = !violation;
+    trace = !vtrace;
+    budget_exhausted = !exhausted;
+    max_depth = !maxd;
+    steps_executed = !total_steps;
+  }

@@ -1,0 +1,65 @@
+(** ORMP-MC: exhaustive interleaving exploration for the transport layer.
+
+    A dscheck-style model checker: a litmus program written against the
+    traced {!Sched} (an {!Ormp_trace.Atomics_intf.SCHED}) is executed
+    repeatedly under every schedule a DFS with dynamic partial-order
+    reduction deems inequivalent. Every atomic get/set/incr, [spawn],
+    [join], [cpu_relax] and [sleep] is a scheduling point; threads are
+    effect continuations owned by the explorer, so the search is
+    deterministic and single-domain.
+
+    [cpu_relax]/[sleep] are modelled as "blocked until another thread
+    performs an atomic write" — the await transformation that makes spin
+    loops finite without losing observable behaviors. A thread still
+    blocked when every potential writer has finished is reported as a
+    livelock violation.
+
+    Litmus programs must be deterministic given the schedule: no time, no
+    randomness, no I/O. Keep configurations tiny (2–3 threads, ring
+    capacity 1–3, 2–3 messages) — the state space is exponential and the
+    checker explores all of it. *)
+
+exception Violation of string
+
+val check_that : bool -> string -> unit
+(** Assert inside a litmus; failure aborts the run, records the schedule
+    and stops the search. *)
+
+(** The traced scheduler seam. Instantiate the production functors with
+    it: [Ormp_trace.Worker.Make (Mc.Sched)],
+    [Ormp_trace.Spsc.Make (Mc.Sched.Atomic)]. Usable only inside the
+    program passed to {!check}. *)
+module Sched : sig
+  module Atomic : Ormp_trace.Atomics_intf.ATOMICS
+
+  type handle = int
+
+  val spawn : (unit -> unit) -> handle
+  val join : handle -> unit
+  val cpu_relax : unit -> unit
+  val sleep : float -> unit
+end
+
+type stats = {
+  interleavings : int;  (** complete executions explored *)
+  violation : string option;  (** first violation found, if any *)
+  trace : string list;  (** the violating schedule, one line per step *)
+  budget_exhausted : bool;
+      (** the search hit a budget before completing; absence of a
+          violation is then not a proof *)
+  max_depth : int;  (** longest execution, in scheduling points *)
+  steps_executed : int;  (** total scheduling points across all runs *)
+}
+
+val default_interleavings : int
+
+val check :
+  ?max_interleavings:int ->
+  ?max_total_steps:int ->
+  ?max_run_steps:int ->
+  (unit -> unit) ->
+  stats
+(** [check prog] explores [prog]'s interleavings exhaustively (up to the
+    budgets). [prog] runs as the root thread; it may [Sched.spawn]
+    others. Returns after the first violation or once the reduced state
+    space is exhausted. *)

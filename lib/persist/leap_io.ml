@@ -37,12 +37,14 @@ let to_sexp (p : Leap.profile) =
        S.field "stores"
          (List.map S.int
             (List.sort compare
+               (* lint:allow hashtbl-order — order erased by the sort above *)
                (Hashtbl.fold
                   (fun i is_store acc -> if is_store then i :: acc else acc)
                   p.Leap.store_instrs [])));
        S.field "instrs"
          (List.map S.int
             (List.sort compare
+               (* lint:allow hashtbl-order — order erased by the sort above *)
                (Hashtbl.fold (fun i _ acc -> i :: acc) p.Leap.store_instrs [])));
      ]
     (* Degradation counters ride along only when a session capped stream

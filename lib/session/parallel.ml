@@ -15,7 +15,14 @@ module Leap = Ormp_leap.Leap
    grows its chunk target to amortize ring traffic, and ring waits back
    off with exponentially capped microsleeps (see [Ormp_trace.Worker]).
    Neither mechanism reorders a stream, so parallel sessions remain
-   byte-identical to serial ones at any [ring_capacity]. *)
+   byte-identical to serial ones at any [ring_capacity].
+
+   The transport invariants this file assumes — FIFO per ring, drain
+   means drained, stop loses nothing, a failed worker cannot wedge the
+   producer — are checked over every interleaving at small
+   configurations by [Ormp_modelcheck.Litmus] (`ormp modelcheck`),
+   including a pool slot-pinning litmus shaped like the grammar pool
+   here: two slots multiplexed onto one worker at ring capacity 1. *)
 
 type t = { gpool : Par_scc.pool; lpool : Par_leap.pool }
 

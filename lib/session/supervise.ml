@@ -1,3 +1,7 @@
+(* lint:allow-file atomic — supervision-plane state (cancel flag, result
+   slot), not transport: it pairs with Unix timeouts and real wall-clock
+   deadlines, which the deterministic model checker cannot trace anyway. *)
+
 exception Cancelled
 
 type failure = { attempts : int; error : string; backtrace : string }

@@ -4,7 +4,12 @@
    to a single atomic load and branch — the bench overhead guard
    (bench/main.ml, "telemetry" section) holds the disabled path to within
    10% of the uninstrumented baseline. The flag is process-global rather
-   than per-domain: a profiling run either observes itself or it doesn't. *)
+   than per-domain: a profiling run either observes itself or it doesn't.
+
+   lint:allow-file atomic — the on/off flag must stay a single raw load:
+   routing it through the traced seam would put a scheduling point inside
+   every telemetry guard, and the model checker deliberately runs with
+   telemetry dark. *)
 
 let enabled = Atomic.make false
 

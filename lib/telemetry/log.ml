@@ -4,7 +4,12 @@
    CLI run or an embedding application owns that stream); they report
    through here instead. The level starts from the ORMP_LOG environment
    variable (quiet|error|warn|info|debug, default warn) and the CLI can
-   override it with set_level. *)
+   override it with set_level.
+
+   lint:allow-file atomic — the level gate is a raw load by design, same
+   reasoning as Control.on.
+   lint:allow-file bare-eprintf — this module IS the stderr sink the rule
+   points everyone else at. *)
 
 type level = Quiet | Error | Warn | Info | Debug
 

@@ -1,0 +1,76 @@
+(** The memory-model seam of the lock-free transport.
+
+    {!Spsc} and {!Worker} are functorized over these two signatures so
+    that the exact same ring/worker code runs in two worlds:
+
+    - production, over {!Real} / {!Real_sched} — the stdlib [Atomic] and
+      [Domain]/[Unix] primitives, with no extra allocation on the hot
+      path (the indirection is a static functor application at module
+      initialization);
+    - under the model checker ([Ormp_modelcheck.Mc]), over a traced,
+      schedule-controlled implementation in which every atomic operation
+      is a scheduling point of a DPOR exploration.
+
+    Keeping the signature minimal (exactly the operations the transport
+    uses) is deliberate: every primitive listed here is an event the
+    model checker must interleave, so anything not needed by the
+    protocol stays out. *)
+
+module type ATOMICS = sig
+  type 'a t
+
+  val make : ?name:string -> 'a -> 'a t
+  (** [name] labels the location in model-checker traces; production
+      ignores it. *)
+
+  val get : 'a t -> 'a
+  val set : 'a t -> 'a -> unit
+  val incr : int t -> unit
+end
+
+module type SCHED = sig
+  module Atomic : ATOMICS
+
+  type handle
+  (** A spawned consumer thread: a [Domain.t] in production, a scheduler
+      task id under the model checker. *)
+
+  val spawn : (unit -> unit) -> handle
+
+  val join : handle -> unit
+  (** Blocks until the thread finishes. *)
+
+  val cpu_relax : unit -> unit
+  (** Spin-wait hint. The model checker treats this as "blocked until
+      some other thread performs an atomic write" — the standard await
+      transformation that keeps spin loops finite under exhaustive
+      exploration without hiding any observable behavior (a re-read with
+      no intervening write cannot change the spin condition). *)
+
+  val sleep : float -> unit
+  (** Backpressure sleep; same model-checker semantics as {!cpu_relax}. *)
+end
+
+(* lint:allow-file atomic — this module IS the production atomics implementation
+   behind the functorized transport; everything else goes through it. *)
+
+module Real : ATOMICS with type 'a t = 'a Atomic.t = struct
+  type 'a t = 'a Atomic.t
+
+  let make ?name:_ v = Atomic.make v
+  let get = Atomic.get
+  let set = Atomic.set
+  let incr = Atomic.incr
+end
+
+module Real_sched : SCHED with module Atomic = Real and type handle = unit Domain.t =
+struct
+  module Atomic = Real
+
+  type handle = unit Domain.t
+
+  let spawn = Domain.spawn
+  let join = Domain.join
+  let cpu_relax = Domain.cpu_relax
+  let sleep = Unix.sleepf
+end

@@ -2,123 +2,148 @@ module Seq_c = Ormp_sequitur.Sequitur
 module Worker = Ormp_trace.Worker
 module Cdc = Ormp_core.Cdc
 
-(* --- grammar worker pool ---------------------------------------------- *)
+(* --- generic slot-pinned worker pool ----------------------------------- *)
 
-(* One message: a chunk of one slot's symbol stream. The array is owned
-   by the consumer once pushed (the producer allocates a fresh copy per
-   chunk — one small allocation per ~stage_capacity symbols). *)
-type msg = { m_slot : int; m_data : int array }
+(* The staging/pinning protocol, factored out as a functor over the
+   Worker seam so the model checker can instantiate it with the traced
+   scheduler and verify the protocol (slot order preserved, drain really
+   quiesces, shutdown loses nothing) over every interleaving — while
+   production applies it to the real [Ormp_trace.Worker] below. *)
+module Pool (Wk : Ormp_trace.Worker.S) = struct
+  (* One message: a chunk of one slot's symbol stream. The array is owned
+     by the consumer once pushed (the producer allocates a fresh copy per
+     chunk — one small allocation per ~stage_capacity symbols). *)
+  type msg = { m_slot : int; m_data : int array }
 
-(* Producer-side accumulation with occupancy-adaptive chunk sizing: [base]
-   is the configured stage capacity, [target] the current flush threshold.
-   After each flush the producer reads the ring's occupancy — a ring that
-   stays at least half full means the consumer can't keep up with this
-   message granularity, so the target doubles (up to [growth_limit] x
-   base, the staging buffer's size) to amortize per-message ring and
-   allocation overhead; once the ring drains to an eighth or less the
-   target halves back toward the latency-friendly default. Chunk size
-   never changes what order symbols reach a slot's compressor, so grammar
-   output is unaffected. *)
-type stage = { buf : int array; mutable len : int; base : int; mutable target : int }
+  (* Producer-side accumulation with occupancy-adaptive chunk sizing: [base]
+     is the configured stage capacity, [target] the current flush threshold.
+     After each flush the producer reads the ring's occupancy — a ring that
+     stays at least half full means the consumer can't keep up with this
+     message granularity, so the target doubles (up to [growth_limit] x
+     base, the staging buffer's size) to amortize per-message ring and
+     allocation overhead; once the ring drains to an eighth or less the
+     target halves back toward the latency-friendly default. Chunk size
+     never changes what order symbols reach a slot's consumer, so the
+     consumed streams are unaffected. *)
+  type stage = { buf : int array; mutable len : int; base : int; mutable target : int }
 
-let growth_limit = 8
+  let growth_limit = 8
+
+  type t = {
+    workers : msg Wk.t array;  (* slot [i] is consumed by [i mod workers] *)
+    stages : stage array;  (* per-slot producer-side accumulation *)
+    mutable live : bool;
+  }
+
+  let create ?ring_capacity ?stage_capacity ~name ~workers ~nslots ~handle () =
+    if nslots = 0 then invalid_arg "Par_scc.pool: no slots";
+    if workers < 1 then invalid_arg "Par_scc.pool: workers must be at least 1";
+    let nw = min workers nslots in
+    let stage_capacity =
+      match stage_capacity with Some c -> c | None -> Ormp_trace.Batch.default_capacity
+    in
+    if stage_capacity < 1 then invalid_arg "Par_scc.pool: stage capacity must be positive";
+    {
+      workers =
+        Array.init nw (fun w ->
+            Wk.spawn ?capacity:ring_capacity
+              ~name:(Printf.sprintf "%s.%d" name w)
+              ~f:(fun m -> handle m.m_slot m.m_data)
+              ());
+      stages =
+        Array.init nslots (fun _ ->
+            {
+              buf = Array.make (stage_capacity * growth_limit) 0;
+              len = 0;
+              base = stage_capacity;
+              target = stage_capacity;
+            });
+      live = true;
+    }
+
+  let worker_of p slot = p.workers.(slot mod Array.length p.workers)
+
+  let flush_slot p slot =
+    let st = p.stages.(slot) in
+    if st.len > 0 then begin
+      let w = worker_of p slot in
+      Wk.push w { m_slot = slot; m_data = Array.sub st.buf 0 st.len };
+      st.len <- 0;
+      let occ = Wk.occupancy w in
+      if occ >= 0.5 then st.target <- min (Array.length st.buf) (st.target * 2)
+      else if occ <= 0.125 then st.target <- max st.base (st.target / 2)
+    end
+
+  let stage p ~slot v =
+    let st = p.stages.(slot) in
+    if st.len >= st.target then flush_slot p slot;
+    st.buf.(st.len) <- v;
+    st.len <- st.len + 1
+
+  let stage_lane p ~slot lane len =
+    let st = p.stages.(slot) in
+    let i = ref 0 in
+    while !i < len do
+      if st.len >= st.target then flush_slot p slot;
+      let take = min (st.target - st.len) (len - !i) in
+      Array.blit lane !i st.buf st.len take;
+      st.len <- st.len + take;
+      i := !i + take
+    done
+
+  let drain p =
+    Array.iteri (fun slot _ -> flush_slot p slot) p.stages;
+    Array.iter Wk.drain p.workers
+
+  let pending p = Array.fold_left (fun acc w -> acc + Wk.pending w) 0 p.workers
+
+  let shutdown p =
+    if p.live then begin
+      p.live <- false;
+      (* Publish whatever is staged so a graceful shutdown loses nothing,
+         then join every domain even if one of them failed — the first
+         failure is re-raised only after none can be leaked. *)
+      (try Array.iteri (fun slot _ -> flush_slot p slot) p.stages with _ -> ());
+      let failure = ref None in
+      Array.iter
+        (fun w ->
+          try Wk.stop w
+          with e -> if !failure = None then failure := Some (e, Printexc.get_raw_backtrace ()))
+        p.workers;
+      match !failure with
+      | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+      | None -> ()
+    end
+end
+
+(* --- grammar worker pool (production instantiation) -------------------- *)
+
+module P = Pool (Worker)
 
 type pool = {
   slots : Seq_c.t array;
-      (* shared with the workers: a worker re-reads [slots.(i)] for every
-         message, so a swap done while quiesced is published to it by the
-         next ring operation's happens-before edge *)
-  workers : msg Worker.t array;  (* slot [i] is consumed by [i mod workers] *)
-  stages : stage array;  (* per-slot producer-side accumulation *)
-  mutable live : bool;
+      (* shared with the workers: the handle closure re-reads [slots.(i)]
+         for every message, so a swap done while quiesced is published to
+         the worker by the next ring operation's happens-before edge *)
+  core : P.t;
 }
 
 let pool ?ring_capacity ?stage_capacity ~name ~workers slots =
   let n = Array.length slots in
-  if n = 0 then invalid_arg "Par_scc.pool: no slots";
-  if workers < 1 then invalid_arg "Par_scc.pool: workers must be at least 1";
-  let nw = min workers n in
-  let stage_capacity =
-    match stage_capacity with Some c -> c | None -> Ormp_trace.Batch.default_capacity
+  let core =
+    P.create ?ring_capacity ?stage_capacity ~name ~workers ~nslots:n
+      ~handle:(fun slot data -> Seq_c.push_batch slots.(slot) data ~off:0 ~len:(Array.length data))
+      ()
   in
-  if stage_capacity < 1 then invalid_arg "Par_scc.pool: stage capacity must be positive";
-  {
-    slots;
-    workers =
-      Array.init nw (fun w ->
-          Worker.spawn ?capacity:ring_capacity
-            ~name:(Printf.sprintf "%s.%d" name w)
-            ~f:(fun m ->
-              Seq_c.push_batch slots.(m.m_slot) m.m_data ~off:0
-                ~len:(Array.length m.m_data))
-            ());
-    stages =
-      Array.init n (fun _ ->
-          {
-            buf = Array.make (stage_capacity * growth_limit) 0;
-            len = 0;
-            base = stage_capacity;
-            target = stage_capacity;
-          });
-    live = true;
-  }
+  { slots; core }
 
-let worker_of p slot = p.workers.(slot mod Array.length p.workers)
-
-let flush_slot p slot =
-  let st = p.stages.(slot) in
-  if st.len > 0 then begin
-    let w = worker_of p slot in
-    Worker.push w { m_slot = slot; m_data = Array.sub st.buf 0 st.len };
-    st.len <- 0;
-    let occ = Worker.occupancy w in
-    if occ >= 0.5 then st.target <- min (Array.length st.buf) (st.target * 2)
-    else if occ <= 0.125 then st.target <- max st.base (st.target / 2)
-  end
-
-let pool_stage p ~slot v =
-  let st = p.stages.(slot) in
-  if st.len >= st.target then flush_slot p slot;
-  st.buf.(st.len) <- v;
-  st.len <- st.len + 1
-
-let pool_stage_lane p ~slot lane len =
-  let st = p.stages.(slot) in
-  let i = ref 0 in
-  while !i < len do
-    if st.len >= st.target then flush_slot p slot;
-    let take = min (st.target - st.len) (len - !i) in
-    Array.blit lane !i st.buf st.len take;
-    st.len <- st.len + take;
-    i := !i + take
-  done
-
-let pool_drain p =
-  Array.iteri (fun slot _ -> flush_slot p slot) p.stages;
-  Array.iter Worker.drain p.workers
-
+let pool_stage p ~slot v = P.stage p.core ~slot v
+let pool_stage_lane p ~slot lane len = P.stage_lane p.core ~slot lane len
+let pool_drain p = P.drain p.core
 let pool_get p i = p.slots.(i)
 let pool_set p i g = p.slots.(i) <- g
-
-let pool_pending p = Array.fold_left (fun acc w -> acc + Worker.pending w) 0 p.workers
-
-let pool_shutdown p =
-  if p.live then begin
-    p.live <- false;
-    (* Publish whatever is staged so a graceful shutdown loses nothing,
-       then join every domain even if one of them failed — the first
-       failure is re-raised only after none can be leaked. *)
-    (try Array.iteri (fun slot _ -> flush_slot p slot) p.stages with _ -> ());
-    let failure = ref None in
-    Array.iter
-      (fun w ->
-        try Worker.stop w
-        with e -> if !failure = None then failure := Some (e, Printexc.get_raw_backtrace ()))
-      p.workers;
-    match !failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ()
-  end
+let pool_pending p = P.pending p.core
+let pool_shutdown p = P.shutdown p.core
 
 (* --- parallel WHOMP profiler ------------------------------------------ *)
 

@@ -16,6 +16,35 @@
     slot's stream still has exactly one consumer). The session layer
     builds its five-grammar (4 OMSG dims + RASG) pipeline on this. *)
 
+(** The staging/pinning protocol itself, as a functor over the Worker
+    seam: [n] slots multiplexed onto [min workers n] consumers (slot [i]
+    pinned to worker [i mod workers]), per-slot staging buffers with
+    occupancy-adaptive chunk sizing, and quiesce/shutdown that lose
+    nothing. The grammar pool below is [Pool (Ormp_trace.Worker)] plus
+    slot storage; [Ormp_modelcheck] applies it to a traced Worker to
+    verify the protocol exhaustively at small configurations. *)
+module Pool (Wk : Ormp_trace.Worker.S) : sig
+  type t
+
+  val create :
+    ?ring_capacity:int ->
+    ?stage_capacity:int ->
+    name:string ->
+    workers:int ->
+    nslots:int ->
+    handle:(int -> int array -> unit) ->
+    unit ->
+    t
+  (** [handle slot chunk] runs on the worker owning [slot]; chunks of one
+      slot arrive in stage order, each on that single worker. *)
+
+  val stage : t -> slot:int -> int -> unit
+  val stage_lane : t -> slot:int -> int array -> int -> unit
+  val drain : t -> unit
+  val pending : t -> int
+  val shutdown : t -> unit
+end
+
 type pool
 
 val pool :

@@ -1,0 +1,26 @@
+(* Seeded lint violations — this file is a fixture, never built. It must
+   trip the atomic, bare-eprintf and hot-path-alloc rules, and must NOT
+   trip them where a waiver or a comment/string context applies. *)
+
+(* lint:hot-path *)
+
+let flag = Atomic.make false (* finding: raw Atomic outside the seam *)
+
+let spin () =
+  while not (Atomic.get flag) do
+    (* a comment mentioning Atomic.get must not count *)
+    ()
+  done
+
+(* lint:allow atomic — waived on the next line, must not be reported *)
+let waived = Atomic.make 0
+
+let name = "Atomic.get in a string must not count"
+
+let shout msg = Printf.eprintf "boom: %s\n%!" msg (* finding: bare-eprintf *)
+
+let also_shout msg = prerr_endline msg (* finding: bare-eprintf *)
+
+let label i = Printf.sprintf "hot-%d" i (* finding: hot-path-alloc *)
+
+let twice xs = List.map (fun x -> x * 2) xs (* finding: hot-path-alloc *)

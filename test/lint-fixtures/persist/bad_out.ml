@@ -1,0 +1,14 @@
+(* Seeded lint violation: unsorted Hashtbl iteration on an output path.
+   Fixture only, never built. *)
+
+let dump tbl out =
+  Hashtbl.iter (fun k v -> Printf.fprintf out "%d %d\n" k v) tbl
+(* finding: hashtbl-order (iteration order is insertion-history dependent) *)
+
+let keys tbl = Hashtbl.fold (fun k _ acc -> k :: acc) tbl []
+(* finding: hashtbl-order *)
+
+let sorted_keys tbl =
+  List.sort compare
+    (* lint:allow hashtbl-order — order erased by the sort, must not be reported *)
+    (Hashtbl.fold (fun k _ acc -> k :: acc) tbl [])

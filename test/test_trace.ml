@@ -186,7 +186,13 @@ let test_worker_stop_without_drain_loses_nothing () =
   (* Regression: stop with messages still in flight must process every
      pushed message before the consumer exits — the consumer may observe
      an empty ring, then the final push and stop_flag land, and it must
-     re-poll rather than exit. Many small rounds widen the race window. *)
+     re-poll rather than exit. Many small rounds widen the race window.
+
+     Kept as a real-threads smoke test. The exhaustive counterpart is the
+     worker_stop_no_drain litmus in Ormp_modelcheck.Litmus, which explores
+     every interleaving at small configurations instead of sampling 200
+     random ones (and worker_stop_no_drain_racy, which reverts the fix and
+     watches the checker rediscover the lost message). *)
   for round = 1 to 200 do
     let n = 16 + (round mod 7) in
     let sum = ref 0 in
@@ -200,6 +206,37 @@ let test_worker_stop_without_drain_loses_nothing () =
     check_int (Printf.sprintf "round %d: all messages processed" round) !expected !sum;
     check_int (Printf.sprintf "round %d: nothing pending" round) 0 (Worker.pending w)
   done
+
+exception Boom of int
+
+let prop_worker_failure_containment =
+  (* An exception escaping [f] mid-stream surfaces on the producer with
+     the original exception (and backtrace), from whichever producer call
+     observes it first — a push blocked on a full ring, or the final stop.
+     The worker keeps consuming and discarding, so stop never hangs and
+     nothing stays pending. Exhaustive counterpart: the
+     worker_failure_containment litmus in Ormp_modelcheck.Litmus. *)
+  QCheck.Test.make ~name:"failure surfaces on producer; worker keeps draining" ~count:100
+    QCheck.(pair (int_range 1 40) (int_range 1 40))
+    (fun (a, k) ->
+      let n = max a k in
+      let seen = ref 0 in
+      let w =
+        Worker.spawn ~capacity:4 ~name:"qc-fail"
+          ~f:(fun x -> if x = k then raise (Boom x) else incr seen)
+          ()
+      in
+      let surfaced = ref None in
+      (try
+         for i = 1 to n do
+           Worker.push w i
+         done
+       with Boom x -> surfaced := Some x);
+      (try Worker.stop w with Boom x -> surfaced := Some x);
+      (* stop joined the thread, so [seen] is safe to read and nothing is
+         in flight; messages before the poisoned one were all processed,
+         in order, and everything after it was discarded. *)
+      !surfaced = Some k && !seen = k - 1 && Worker.pending w = 0)
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -231,5 +268,8 @@ let () =
           tc "profiler replay equals live" test_trace_file_profiler_replay_equals_live;
         ] );
       ( "worker",
-        [ tc "stop without drain loses nothing" test_worker_stop_without_drain_loses_nothing ] );
+        [
+          tc "stop without drain loses nothing" test_worker_stop_without_drain_loses_nothing;
+          QCheck_alcotest.to_alcotest prop_worker_failure_containment;
+        ] );
     ]
