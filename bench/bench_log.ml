@@ -91,6 +91,23 @@ type modelcheck_row = {
   mk_ok : bool;
 }
 
+(* Non-timing throughput shape of the `ormp serve` daemon: how many
+   sessions an in-process daemon absorbed, what the clients saw for ack
+   latency, and how often the admission ladder shed. The session and
+   shed counts are deterministic; the latency figures are machine-local
+   colour, not guard numbers. *)
+type serve = {
+  sv_sessions : int;  (** sessions driven to completion *)
+  sv_events : int;  (** raw events per session *)
+  sv_jobs : int;  (** daemon worker-pool size *)
+  sv_sessions_per_sec : float;
+  sv_p50_ack_ms : float;
+  sv_p99_ack_ms : float;
+  sv_reconnects : int;  (** retries across all sessions (0 unless faulted) *)
+  sv_sheds : int;  (** Shed replies absorbed by client backoff *)
+  sv_identical : bool;  (** every session byte-identical to the reference *)
+}
+
 type t = {
   mode : string;  (** "fast" or "paper" *)
   mutable sections : (string * float) list;  (** reverse execution order *)
@@ -100,6 +117,7 @@ type t = {
   mutable telemetry : telemetry option;
   mutable scaling : scaling option;
   mutable modelcheck : modelcheck_row list;
+  mutable serve : serve option;
   mutable suites_parallel : bool;
   mutable suites_wall_s : float;
   mutable suites : suite_row list;
@@ -116,6 +134,7 @@ let create ~mode =
     telemetry = None;
     scaling = None;
     modelcheck = [];
+    serve = None;
     suites_parallel = false;
     suites_wall_s = Float.nan;
     suites = [];
@@ -135,6 +154,8 @@ let set_telemetry t tl = t.telemetry <- Some tl
 let set_scaling t s = t.scaling <- Some s
 
 let set_modelcheck t rows = t.modelcheck <- rows
+
+let set_serve t s = t.serve <- Some s
 
 let set_suites t ~parallel ~wall_s rows =
   t.suites_parallel <- parallel;
@@ -308,6 +329,29 @@ let render t =
         Buffer.add_string b (string_of_bool r.mk_ok);
         Buffer.add_char b '}')
   end;
+  (match t.serve with
+  | None -> ()
+  | Some s ->
+    Buffer.add_string b ",\n  \"serve\": {";
+    Buffer.add_string b "\"sessions\": ";
+    Buffer.add_string b (string_of_int s.sv_sessions);
+    Buffer.add_string b ", \"events_per_session\": ";
+    Buffer.add_string b (string_of_int s.sv_events);
+    Buffer.add_string b ", \"jobs\": ";
+    Buffer.add_string b (string_of_int s.sv_jobs);
+    Buffer.add_string b ", \"sessions_per_sec\": ";
+    buf_float b s.sv_sessions_per_sec;
+    Buffer.add_string b ", \"p50_ack_ms\": ";
+    buf_float b s.sv_p50_ack_ms;
+    Buffer.add_string b ", \"p99_ack_ms\": ";
+    buf_float b s.sv_p99_ack_ms;
+    Buffer.add_string b ", \"reconnects\": ";
+    Buffer.add_string b (string_of_int s.sv_reconnects);
+    Buffer.add_string b ", \"sheds\": ";
+    Buffer.add_string b (string_of_int s.sv_sheds);
+    Buffer.add_string b ", \"identical\": ";
+    Buffer.add_string b (string_of_bool s.sv_identical);
+    Buffer.add_char b '}');
   if t.suites <> [] then begin
     Buffer.add_string b ",\n  \"suites\": {\"parallel\": ";
     Buffer.add_string b (string_of_bool t.suites_parallel);

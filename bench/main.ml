@@ -31,7 +31,7 @@ open Ormp_report
 let section_names =
   [
     "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "table1"; "ablations"; "extensions"; "hotpath";
-    "micro"; "scaling"; "recovery"; "telemetry"; "modelcheck"; "verify";
+    "micro"; "scaling"; "recovery"; "telemetry"; "modelcheck"; "serve"; "verify";
   ]
 
 let parse_args () =
@@ -796,6 +796,123 @@ let run_modelcheck log () =
       end)
 
 (* ------------------------------------------------------------------ *)
+(* Serve: multi-tenant daemon throughput shape (non-timing)            *)
+(* ------------------------------------------------------------------ *)
+
+(* Drives N concurrent client sessions against an in-process `ormp
+   serve` daemon whose admission cap is set below N, so the run
+   exercises the whole ladder: pooled ingest, ack round-trips, Shed +
+   client backoff, and the byte-identity contract. Sessions/sec and the
+   ack-latency percentiles are machine-local colour; the session count,
+   shed behaviour and byte-identity verdict are the figures the section
+   exists to pin down. *)
+let run_serve log ~bench () =
+  timed log "serve" (fun () ->
+      print_endline
+        (Ormp_util.Ascii.section "Serving: multi-tenant daemon session throughput");
+      let module Daemon = Ormp_server.Daemon in
+      let module Client = Ormp_server.Client in
+      let n_sessions = if bench then 16 else 8 in
+      let jobs = 2 in
+      let rec rm_rf path =
+        if Sys.file_exists path then
+          if Sys.is_directory path then begin
+            Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+            Sys.rmdir path
+          end
+          else Sys.remove path
+      in
+      let read_file path = In_channel.with_open_bin path In_channel.input_all in
+      let base =
+        Filename.concat (Filename.get_temp_dir_name ())
+          (Printf.sprintf "ormp-bench-serve-%d" (Unix.getpid ()))
+      in
+      rm_rf base;
+      Unix.mkdir base 0o755;
+      Fun.protect ~finally:(fun () -> rm_rf base) @@ fun () ->
+      let socket = Filename.concat base "ormp.sock" in
+      let events =
+        match Client.generate ~workload:"linked_list" ~seed:1 with
+        | Ok (evs, _) -> evs
+        | Error msg -> failwith ("serve: " ^ msg)
+      in
+      let options =
+        {
+          (Daemon.default_options ~socket ~root:base) with
+          Daemon.jobs;
+          (* below n_sessions, so latecomers see Shed + retry *)
+          max_sessions = max 2 (n_sessions / 2);
+          retry_after_s = 0.01;
+        }
+      in
+      let daemon = Daemon.create options in
+      let daemon_domain = Domain.spawn (fun () -> Daemon.run daemon) in
+      let t0 = Ormp_util.Clock.now_s () in
+      let clients =
+        Array.init n_sessions (fun i ->
+            Domain.spawn (fun () ->
+                Client.run_session ~socket ~token:(Printf.sprintf "bench-%d" i)
+                  ~workload:"linked_list" ~events ~ack_every:4
+                  ~retry:
+                    {
+                      Client.default_retry with
+                      Client.attempts = 60;
+                      backoff_s = 0.005;
+                      backoff_max_s = 0.05;
+                      seed = 0xbe7c + i;
+                    }
+                  ()))
+      in
+      let reconnects = ref 0 and sheds = ref 0 and latencies = ref [] in
+      Array.iteri
+        (fun i d ->
+          match Domain.join d with
+          | Ok (st : Client.stats) ->
+            reconnects := !reconnects + st.Client.st_reconnects;
+            sheds := !sheds + st.Client.st_sheds;
+            latencies := st.Client.st_ack_latencies @ !latencies
+          | Error msg -> failwith (Printf.sprintf "serve: session bench-%d failed: %s" i msg))
+        clients;
+      let wall_s = Ormp_util.Clock.now_s () -. t0 in
+      Daemon.stop daemon;
+      Domain.join daemon_domain;
+      let ref_dir = Filename.concat base "reference" in
+      Client.reference ~dir:ref_dir ~events;
+      let profiles dir =
+        List.map
+          (fun f -> read_file (Filename.concat dir f))
+          [ "whomp.profile"; "rasg.profile"; "leap.profile" ]
+      in
+      let want = profiles ref_dir in
+      let identical = ref true in
+      for i = 0 to n_sessions - 1 do
+        let dir =
+          Filename.concat base (Filename.concat "sessions" (Printf.sprintf "bench-%d" i))
+        in
+        if profiles dir <> want then identical := false
+      done;
+      let p q = 1000.0 *. Client.percentile !latencies q in
+      Printf.printf
+        "%d sessions x %d events, jobs=%d cap=%d: %.1f sessions/sec\n\
+         ack latency p50 %.2fms p99 %.2fms   sheds %d   reconnects %d   byte-identical: %b\n\n"
+        n_sessions (Array.length events) jobs options.Daemon.max_sessions
+        (float_of_int n_sessions /. wall_s)
+        (p 0.5) (p 0.99) !sheds !reconnects !identical;
+      if not !identical then failwith "serve: a session's profiles differ from reference";
+      Bench_log.set_serve log
+        {
+          Bench_log.sv_sessions = n_sessions;
+          sv_events = Array.length events;
+          sv_jobs = jobs;
+          sv_sessions_per_sec = float_of_int n_sessions /. wall_s;
+          sv_p50_ack_ms = p 0.5;
+          sv_p99_ack_ms = p 0.99;
+          sv_reconnects = !reconnects;
+          sv_sheds = !sheds;
+          sv_identical = !identical;
+        })
+
+(* ------------------------------------------------------------------ *)
 (* Verify: the debug-mode checking pass                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1032,6 +1149,7 @@ let () =
   if enabled "recovery" then run_recovery log ~bench ();
   if enabled "telemetry" then run_telemetry log ~bench ();
   if enabled "modelcheck" then run_modelcheck log ();
+  if enabled "serve" then run_serve log ~bench ();
   (* Skipped in default timing runs; see the usage comment. *)
   if List.mem "verify" wanted || (wanted = [] && fast) then run_verify log ~bench ();
   Bench_log.write log "BENCH_ormp.json";

@@ -1,0 +1,44 @@
+(* The ormp CLI exit-code contract, in one place.
+
+   Every subcommand exits through these values so that scripts (and the
+   smoke rules in bin/dune) can rely on one stable meaning per code:
+
+     0  ok             the run completed and found nothing wrong
+     1  findings       the run completed but reported findings or failed
+                       at runtime (dirty sanitizer report, invalid
+                       profile, lint errors, litmus violation, session
+                       error, exhausted client retry budget)
+     2  usage          the invocation itself was wrong (unknown
+                       workload, bad flag value, conflicting options)
+     9  injected_kill  an injected durability fault killed the process
+                       on purpose; the session on disk remains resumable
+
+   Argument-syntax errors caught by cmdliner itself (unknown flags,
+   unparseable values) exit with cmdliner's own code 124 before any
+   subcommand runs; the contract above covers ormp's own decisions. *)
+
+let ok = 0
+let findings = 1
+let usage = 2
+let injected_kill = 9
+
+let exit_findings () : 'a = exit findings
+let exit_usage () : 'a = exit usage
+let exit_injected_kill () : 'a = exit injected_kill
+
+(* Print one diagnostic line to stderr, then exit with the given
+   meaning — the common shape of almost every early-exit in the CLI. *)
+
+let findingsf fmt =
+  Printf.ksprintf
+    (fun m ->
+      Printf.eprintf "%s\n" m;
+      exit_findings ())
+    fmt
+
+let usagef fmt =
+  Printf.ksprintf
+    (fun m ->
+      Printf.eprintf "%s\n" m;
+      exit_usage ())
+    fmt

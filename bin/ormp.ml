@@ -16,9 +16,14 @@
      analyze       hot data streams, object clustering, phase detection
      session       crash-safe sessions: run / resume / status, and the
                    supervised suite runner
+     serve         long-running multi-tenant profiling daemon on a Unix
+                   socket, with crash-recoverable sessions and shedding
+     client        stream a workload to a serve daemon (with retry,
+                   resume, fault injection and a latency report)
 
-   Exit codes: 0 success, 1 runtime failure, 2 argument error, 9 killed
-   by an injected checkpoint fault (the session remains resumable). *)
+   Exit codes are centralized in {!Exit_codes}: 0 ok, 1 findings or
+   runtime failure, 2 usage error, 9 killed by an injected fault (the
+   session remains resumable). *)
 
 open Cmdliner
 module Registry = Ormp_workloads.Registry
@@ -79,7 +84,7 @@ let find_program name =
         (fun e -> Printf.eprintf "  %s\n" e.Registry.name)
         Registry.spec;
       List.iter (fun (n, _) -> Printf.eprintf "  %s\n" n) Ormp_workloads.Micro.all;
-      exit 2)
+      Exit_codes.exit_usage ())
 
 let workload_arg =
   Arg.(
@@ -95,9 +100,7 @@ let config_of ~seed ~policy =
     | "best-fit" -> Ormp_memsim.Allocator.Best_fit
     | "segregated" -> Ormp_memsim.Allocator.Segregated
     | "randomized" -> Ormp_memsim.Allocator.Randomized 7
-    | other ->
-      Printf.eprintf "unknown allocator %S\n" other;
-      exit 2
+    | other -> Exit_codes.usagef "unknown allocator %S" other
   in
   { Ormp_vm.Config.default with Ormp_vm.Config.policy; seed }
 
@@ -130,10 +133,7 @@ let jobs_arg =
            path. Profiles are byte-identical for every N.")
 
 let resolve_jobs jobs =
-  if jobs < 0 then begin
-    Printf.eprintf "--jobs must be non-negative (got %d)\n" jobs;
-    exit 2
-  end;
+  if jobs < 0 then Exit_codes.usagef "--jobs must be non-negative (got %d)" jobs;
   if jobs = 0 then Domain.recommended_domain_count () else jobs
 
 let emit_sanitizer_report san ~table ~subject =
@@ -141,7 +141,7 @@ let emit_sanitizer_report san ~table ~subject =
   let r = Ormp_check.Sanitizer.finish ~site_name ~subject san in
   print_newline ();
   Format.printf "%a" Ormp_check.Report.render r;
-  if not (Ormp_check.Report.clean r) then exit 1
+  if not (Ormp_check.Report.clean r) then Exit_codes.exit_findings ()
 
 (* --- list ----------------------------------------------------------- *)
 
@@ -497,10 +497,7 @@ let record_cmd =
 let replay_cmd =
   let run path profiler quiet =
     apply_quiet quiet;
-    let fail msg =
-      Printf.eprintf "%s\n" msg;
-      exit 1
-    in
+    let fail msg = Exit_codes.findingsf "%s" msg in
     let replay_into sink finish =
       match Ormp_trace.Trace_file.replay path sink with
       | Ok n ->
@@ -536,8 +533,7 @@ let replay_cmd =
             (Ormp_baselines.Connors.deps t))
     | other ->
       (* A bad flag value is an argument error, not a replay failure. *)
-      Printf.eprintf "unknown profiler %S (whomp/leap/lossless/connors)\n" other;
-      exit 2
+      Exit_codes.usagef "unknown profiler %S (whomp/leap/lossless/connors)" other
   in
   let path =
     Arg.(
@@ -561,9 +557,7 @@ let replay_cmd =
 let post_cmd =
   let run path show_deps show_strides =
     match Ormp_persist.Leap_io.load path with
-    | Error msg ->
-      Printf.eprintf "cannot load %s: %s\n" path msg;
-      exit 1
+    | Error msg -> Exit_codes.findingsf "cannot load %s: %s" path msg
     | Ok p ->
       Printf.printf "loaded LEAP profile: %d collected accesses, %d streams\n"
         p.Ormp_leap.Leap.collected
@@ -599,10 +593,7 @@ let post_cmd =
 
 let check_cmd =
   let run workload profile all seed policy faults leaks slack sexp =
-    if slack < 0 then begin
-      Printf.eprintf "--slack must be non-negative (got %d)\n" slack;
-      exit 2
-    end;
+    if slack < 0 then Exit_codes.usagef "--slack must be non-negative (got %d)" slack;
     let check_workload name =
       let config = config_of ~seed ~policy in
       let program = find_program name in
@@ -652,13 +643,10 @@ let check_cmd =
         in
         List.fold_left (fun acc n -> check_workload n && acc) true names
       | None, None, false ->
-        Printf.eprintf "one of --workload, --profile or --all is required\n";
-        exit 2
-      | _ ->
-        Printf.eprintf "--workload, --profile and --all are mutually exclusive\n";
-        exit 2
+        Exit_codes.usagef "one of --workload, --profile or --all is required"
+      | _ -> Exit_codes.usagef "--workload, --profile and --all are mutually exclusive"
     in
-    if not ok then exit 1
+    if not ok then Exit_codes.exit_findings ()
   in
   let workload =
     Arg.(
@@ -717,15 +705,13 @@ let lint_cmd =
     let dirs = match dirs with [] -> [ "lib" ] | ds -> ds in
     List.iter
       (fun d ->
-        if not (Sys.file_exists d && Sys.is_directory d) then begin
-          Printf.eprintf "lint: no such directory: %s\n" d;
-          exit 2
-        end)
+        if not (Sys.file_exists d && Sys.is_directory d) then
+          Exit_codes.usagef "lint: no such directory: %s" d)
       dirs;
     let r = Ormp_check.Lint.scan dirs in
     if sexp then print_endline (Ormp_util.Sexp.to_string (Ormp_check.Lint.to_sexp r))
     else Format.printf "%a" Ormp_check.Lint.render r;
-    if not (Ormp_check.Lint.clean r) then exit 1
+    if not (Ormp_check.Lint.clean r) then Exit_codes.exit_findings ()
   in
   let dirs =
     Arg.(
@@ -758,7 +744,7 @@ let modelcheck_cmd =
         | None ->
           Printf.eprintf "modelcheck: unknown litmus %S; available:\n" n;
           List.iter (fun (c : L.case) -> Printf.eprintf "  %s\n" c.name) L.cases;
-          exit 2)
+          Exit_codes.exit_usage ())
     in
     let results = List.map (L.run_case ?max_interleavings:budget) cases in
     let failed = List.filter (fun (r : L.result) -> not r.ok) results in
@@ -824,7 +810,7 @@ let modelcheck_cmd =
           end)
         results
     end;
-    if failed <> [] then exit 1
+    if failed <> [] then Exit_codes.exit_findings ()
   in
   let litmus =
     Arg.(
@@ -930,13 +916,10 @@ let exit_killed f =
     Printf.eprintf
       "killed by injected fault at checkpoint %d (journal is durable; run `ormp session resume`)\n"
       n;
-    exit 9
+    Exit_codes.exit_injected_kill ()
 
 let nonneg name v =
-  if v < 0 then begin
-    Printf.eprintf "--%s must be non-negative (got %d)\n" name v;
-    exit 2
-  end
+  if v < 0 then Exit_codes.usagef "--%s must be non-negative (got %d)" name v
 
 let print_outcome (o : Session.outcome) =
   Printf.printf "session %s: workload %s complete\n" o.Session.oc_dir o.Session.oc_workload;
@@ -974,10 +957,7 @@ let session_run_cmd =
     nonneg "grammar-budget" grammar_budget;
     nonneg "max-streams" max_streams;
     nonneg "heartbeat-every" heartbeat_every;
-    if keep < 1 then begin
-      Printf.eprintf "--keep must be at least 1 (got %d)\n" keep;
-      exit 2
-    end;
+    if keep < 1 then Exit_codes.usagef "--keep must be at least 1 (got %d)" keep;
     let config = config_of ~seed ~policy in
     let options =
       {
@@ -994,9 +974,7 @@ let session_run_cmd =
         with_telemetry telemetry ~name:("session:" ^ workload) @@ fun () ->
         match Session.run ?io ~heartbeat_every ~jobs ~config ~options ~dir ~workload () with
         | Ok o -> print_outcome o
-        | Error msg ->
-          Printf.eprintf "%s\n" msg;
-          exit 1)
+        | Error msg -> Exit_codes.findingsf "%s" msg)
   in
   let heartbeat_every =
     Arg.(
@@ -1084,9 +1062,7 @@ let session_resume_cmd =
         with_telemetry telemetry ~name:"session:resume" @@ fun () ->
         match Session.resume ?io ~heartbeat_every ~jobs ~dir () with
         | Ok o -> print_outcome o
-        | Error msg ->
-          Printf.eprintf "%s\n" msg;
-          exit 1)
+        | Error msg -> Exit_codes.findingsf "%s" msg)
   in
   let heartbeat_every =
     Arg.(
@@ -1147,14 +1123,10 @@ let session_status_cmd =
        else "complete : no (resumable)")
   in
   let run dir watch interval =
-    if interval <= 0.0 then begin
-      Printf.eprintf "--interval must be positive (got %g)\n" interval;
-      exit 2
-    end;
+    if interval <= 0.0 then
+      Exit_codes.usagef "--interval must be positive (got %g)" interval;
     match Session.status ~dir with
-    | Error msg ->
-      Printf.eprintf "%s\n" msg;
-      exit 1
+    | Error msg -> Exit_codes.findingsf "%s" msg
     | Ok st ->
       print_status st;
       if watch then begin
@@ -1210,10 +1182,7 @@ let session_suite_cmd =
       quiet =
     apply_quiet quiet;
     let jobs = resolve_jobs jobs in
-    if retries < 0 then begin
-      Printf.eprintf "--retries must be non-negative (got %d)\n" retries;
-      exit 2
-    end;
+    if retries < 0 then Exit_codes.usagef "--retries must be non-negative (got %d)" retries;
     let config = config_of ~seed ~policy in
     let r =
       with_telemetry telemetry ~name:"session:suite" @@ fun () ->
@@ -1302,6 +1271,270 @@ let session_cmd =
        ~doc:"Crash-safe profiling sessions: checkpoint/resume, status, supervised suite")
     [ session_run_cmd; session_resume_cmd; session_status_cmd; session_suite_cmd ]
 
+(* --- serve / client ---------------------------------------------------- *)
+
+module Daemon = Ormp_server.Daemon
+module Client = Ormp_server.Client
+module Net_fault = Ormp_workloads.Faults.Net
+
+let socket_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "socket"; "s" ] ~docv:"PATH" ~doc:"Unix-domain socket path.")
+
+let serve_cmd =
+  let run socket root jobs max_sessions grammar_budget max_occupancy idle_timeout
+      frame_timeout ping_every heartbeat_every retry_after leap_budget max_streams quiet =
+    apply_quiet quiet;
+    let jobs = resolve_jobs jobs in
+    nonneg "max-sessions" max_sessions;
+    nonneg "grammar-budget" grammar_budget;
+    nonneg "max-streams" max_streams;
+    if max_occupancy <= 0.0 || max_occupancy > 1.0 then
+      Exit_codes.usagef "--max-occupancy must be in (0, 1] (got %g)" max_occupancy;
+    if idle_timeout <= 0.0 || frame_timeout <= 0.0 || ping_every <= 0.0 then
+      Exit_codes.usagef "timeouts must be positive";
+    let opts =
+      {
+        (Daemon.default_options ~socket ~root) with
+        Daemon.jobs;
+        max_sessions;
+        grammar_budget;
+        max_occupancy;
+        idle_timeout_s = idle_timeout;
+        frame_timeout_s = frame_timeout;
+        ping_every_s = ping_every;
+        heartbeat_every_s = heartbeat_every;
+        retry_after_s = retry_after;
+        leap_budget;
+        max_streams;
+      }
+    in
+    let t =
+      try Daemon.create opts
+      with Unix.Unix_error (e, _, arg) ->
+        Exit_codes.findingsf "cannot listen on %s: %s (%s)" socket (Unix.error_message e)
+          arg
+    in
+    Printf.printf "ormp serve: listening on %s, sessions under %s/sessions\n%!" socket root;
+    Daemon.run ~handle_signals:true t;
+    Printf.printf "ormp serve: drained, exiting\n%!"
+  in
+  let root =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "root"; "d" ] ~docv:"DIR"
+          ~doc:"State directory; each session journals under DIR/sessions/<token>/.")
+  in
+  let max_sessions =
+    Arg.(
+      value & opt int 64
+      & info [ "max-sessions" ] ~docv:"N"
+          ~doc:"Shed new sessions past N concurrent ones (0 = unlimited).")
+  in
+  let grammar_budget =
+    Arg.(
+      value & opt int 0
+      & info [ "grammar-budget" ] ~docv:"SYMBOLS"
+          ~doc:
+            "Shed new sessions once the live Sequitur symbols across all attached \
+             sessions exceed this (0 = unlimited).")
+  in
+  let max_occupancy =
+    Arg.(
+      value & opt float 0.95
+      & info [ "max-occupancy" ] ~docv:"FRACTION"
+          ~doc:"Shed new sessions when compressor-ring occupancy exceeds this.")
+  in
+  let idle_timeout =
+    Arg.(
+      value & opt float 30.0
+      & info [ "idle-timeout" ] ~docv:"SECONDS"
+          ~doc:"Drop a connection that has sent nothing for this long.")
+  in
+  let frame_timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "frame-timeout" ] ~docv:"SECONDS"
+          ~doc:
+            "Treat a frame still partially received after this long as a slow-loris and \
+             drop the connection (protocol error on that session only).")
+  in
+  let ping_every =
+    Arg.(
+      value & opt float 5.0
+      & info [ "ping-every" ] ~docv:"SECONDS" ~doc:"Liveness ping cadence on quiet connections.")
+  in
+  let heartbeat_every =
+    Arg.(
+      value & opt float 1.0
+      & info [ "heartbeat-every" ] ~docv:"SECONDS"
+          ~doc:
+            "Aggregate heartbeat-sample cadence, appended to DIR/heartbeat (0 disables).")
+  in
+  let retry_after =
+    Arg.(
+      value & opt float 0.05
+      & info [ "retry-after" ] ~docv:"SECONDS" ~doc:"Retry hint carried by shed responses.")
+  in
+  let leap_budget =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "leap-budget" ] ~docv:"N" ~doc:"Per-session LEAP LMAD budget override.")
+  in
+  let max_streams =
+    Arg.(
+      value & opt int 0
+      & info [ "max-streams" ] ~docv:"N"
+          ~doc:"Per-session cap on LEAP streams (0 = unlimited).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the profiling daemon: many concurrent sessions over one Unix socket, each \
+          journaled and crash-recoverable, with overload shedding and graceful drain on \
+          SIGTERM")
+    Term.(
+      const run $ socket_arg $ root $ jobs_arg $ max_sessions $ grammar_budget
+      $ max_occupancy $ idle_timeout $ frame_timeout $ ping_every $ heartbeat_every
+      $ retry_after $ leap_budget $ max_streams $ quiet_arg)
+
+let client_cmd =
+  let run workload socket token seed sessions ack_every attempts timeout torn_frame
+      disconnect_before slow_frame dup_retry reference quiet =
+    apply_quiet quiet;
+    if sessions < 1 then Exit_codes.usagef "--sessions must be at least 1 (got %d)" sessions;
+    if ack_every < 1 then Exit_codes.usagef "--ack-every must be at least 1 (got %d)" ack_every;
+    if attempts < 1 then Exit_codes.usagef "--attempts must be at least 1 (got %d)" attempts;
+    if timeout <= 0.0 then Exit_codes.usagef "--timeout must be positive (got %g)" timeout;
+    List.iter
+      (fun (name, v) ->
+        match v with
+        | Some n when n < 1 -> Exit_codes.usagef "--%s must be at least 1 (got %d)" name n
+        | _ -> ())
+      [
+        ("torn-frame", torn_frame);
+        ("disconnect-before", disconnect_before);
+        ("slow-frame", slow_frame);
+        ("dup-retry", dup_retry);
+      ];
+    match Client.generate ~workload ~seed with
+    | Error msg -> Exit_codes.usagef "%s" msg
+    | Ok (events, n) ->
+      Printf.printf "generated %d events from %s (seed %d)\n%!" n workload seed;
+      (match reference with
+      | Some dir ->
+        Client.reference ~dir ~events;
+        Printf.printf "reference profiles written to %s\n" dir
+      | None -> ());
+      let plan = { Net_fault.torn_frame; disconnect_before; slow_frame; dup_retry } in
+      let t0 = Ormp_util.Clock.now_s () in
+      let failed = ref 0 in
+      let latencies = ref [] in
+      let frames = ref 0 and reconnects = ref 0 and sheds = ref 0 in
+      for i = 0 to sessions - 1 do
+        let tok = if sessions = 1 then token else Printf.sprintf "%s-%d" token i in
+        let retry = { Client.default_retry with Client.attempts; seed = 0x5eed + i } in
+        match
+          Client.run_session ~socket ~token:tok ~workload ~events ~ack_every ~retry
+            ~net:(Net_fault.create plan) ~io_timeout_s:timeout ()
+        with
+        | Ok st ->
+          frames := !frames + st.Client.st_frames;
+          reconnects := !reconnects + st.Client.st_reconnects;
+          sheds := !sheds + st.Client.st_sheds;
+          latencies := st.Client.st_ack_latencies @ !latencies;
+          Printf.printf "  %-24s ok      %6d frames, %4d acks, %d reconnects, %d sheds, %.3fs\n%!"
+            tok st.Client.st_frames st.Client.st_acks st.Client.st_reconnects
+            st.Client.st_sheds st.Client.st_wall_s
+        | Error msg ->
+          incr failed;
+          Printf.printf "  %-24s FAILED  %s\n%!" tok msg
+      done;
+      let wall = Ormp_util.Clock.now_s () -. t0 in
+      Printf.printf "client: %d session(s) in %.3fs (%.1f sessions/sec)\n"
+        sessions wall
+        (if wall > 0.0 then float_of_int sessions /. wall else 0.0);
+      Printf.printf "  frames %d, reconnects %d, sheds %d, ack p50 %.2fms p99 %.2fms\n"
+        !frames !reconnects !sheds
+        (1000.0 *. Client.percentile !latencies 0.50)
+        (1000.0 *. Client.percentile !latencies 0.99);
+      if !failed > 0 then Exit_codes.exit_findings ()
+  in
+  let token =
+    Arg.(
+      value & opt string "client"
+      & info [ "token" ] ~docv:"TOKEN"
+          ~doc:
+            "Session token; resume-after-crash identity, and the daemon-side directory \
+             name. With --sessions N the tokens are TOKEN-0 .. TOKEN-(N-1).")
+  in
+  let sessions =
+    Arg.(
+      value & opt int 1
+      & info [ "sessions" ] ~docv:"N"
+          ~doc:"Stream the generated events N times as N distinct sequential sessions.")
+  in
+  let ack_every =
+    Arg.(
+      value & opt int 4
+      & info [ "ack-every" ] ~docv:"N"
+          ~doc:"Ask the daemon to flush and acknowledge every N data frames.")
+  in
+  let attempts =
+    Arg.(
+      value & opt int Client.default_retry.Client.attempts
+      & info [ "attempts" ] ~docv:"N"
+          ~doc:"Connection attempts per session before giving up (exponential backoff).")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 10.0
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-operation I/O deadline.")
+  in
+  let fault name doc =
+    Arg.(value & opt (some int) None & info [ name ] ~docv:"N" ~doc)
+  in
+  let torn_frame =
+    fault "torn-frame" "Fault injection: send half of the Nth data frame, then drop the \
+                        connection."
+  in
+  let disconnect_before =
+    fault "disconnect-before" "Fault injection: drop the connection instead of sending \
+                               the Nth data frame."
+  in
+  let slow_frame =
+    fault "slow-frame" "Fault injection: dribble the Nth data frame out in tiny delayed \
+                        chunks."
+  in
+  let dup_retry =
+    fault "dup-retry" "Fault injection: on the first resumed reconnect, rewind the send \
+                       position by N events past the acknowledged point (the daemon must \
+                       deduplicate)."
+  in
+  let reference =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "reference" ] ~docv:"DIR"
+          ~doc:
+            "Also run the identical profiling pipeline locally and write the three \
+             profile files to DIR — the byte-comparison baseline for the daemon's \
+             session directory.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:
+         "Stream a workload's events to an $(b,ormp serve) daemon, surviving shedding, \
+          injected wire faults and daemon restarts; reports sessions/sec and ack latency")
+    Term.(
+      const run $ workload_arg $ socket_arg $ token $ seed_arg $ sessions $ ack_every
+      $ attempts $ timeout $ torn_frame $ disconnect_before $ slow_frame $ dup_retry
+      $ reference $ quiet_arg)
+
 (* --- stats ------------------------------------------------------------ *)
 
 let stats_cmd =
@@ -1387,7 +1620,7 @@ let stats_cmd =
        | samples ->
          Printf.printf "heartbeat: %d samples, last:\n" (List.length samples);
          print_heartbeat_sample (List.nth samples (List.length samples - 1)));
-    if check && !failed then exit 1
+    if check && !failed then Exit_codes.exit_findings ()
   in
   let dir =
     Arg.(
@@ -1415,4 +1648,4 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; trace_cmd; whomp_cmd; leap_cmd; compare_cmd; check_cmd; lint_cmd; modelcheck_cmd; post_cmd; analyze_cmd; record_cmd; replay_cmd; session_cmd; stats_cmd ]))
+          [ list_cmd; trace_cmd; whomp_cmd; leap_cmd; compare_cmd; check_cmd; lint_cmd; modelcheck_cmd; post_cmd; analyze_cmd; record_cmd; replay_cmd; session_cmd; serve_cmd; client_cmd; stats_cmd ]))

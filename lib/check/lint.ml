@@ -82,6 +82,26 @@ let rules =
       r_message = "allocation-prone construct in a hot-path-tagged file";
     };
     {
+      r_name = "blocking-io";
+      r_severity = Finding.Error;
+      r_doc = "no unbounded blocking calls outside the server's deadline-aware I/O seam";
+      r_applies = (fun p -> not (String.ends_with ~suffix:"server/net_io.ml" p));
+      r_needs_tag = false;
+      r_patterns =
+        [
+          "Unix.read";
+          "Unix.sleep";
+          "input_line";
+          "Unix.accept";
+          "Unix.connect";
+          "Unix.select";
+          "Unix.recv";
+        ];
+      r_message =
+        "unbounded blocking call — go through the deadline-aware Net_io seam \
+         (or waive with a justification)";
+    };
+    {
       r_name = "bare-eprintf";
       r_severity = Finding.Error;
       r_doc = "no direct stderr writes bypassing the telemetry logger";
@@ -202,6 +222,8 @@ let read_lines path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
       let rec go acc =
+        (* lint:allow blocking-io — reads a regular file the walk just
+           listed; no socket or pipe can reach here *)
         match input_line ic with
         | line -> go (line :: acc)
         | exception End_of_file -> List.rev acc

@@ -1,6 +1,6 @@
 (** Source-level lint for the repo's concurrency and output conventions.
 
-    Four rules, enforced over [.ml] files (comments and strings are
+    Five rules, enforced over [.ml] files (comments and strings are
     stripped before matching):
 
     - [atomic] (error) — no raw [Atomic.] use outside the functorized
@@ -11,6 +11,12 @@
       make persisted output nondeterministic. Waive at sort sites.
     - [hot-path-alloc] (warning) — no allocation-prone constructs
       ([sprintf], [List.map], …) in files tagged [lint:hot-path].
+    - [blocking-io] (error) — no unbounded blocking calls ([Unix.read],
+      [Unix.sleep*], [input_line], [Unix.accept]/[connect]/[select]/
+      [recv]) outside the server's deadline-aware I/O seam (any path
+      ending in [server/net_io.ml] is exempt): a call that can wait
+      forever turns one slow peer into a wedged daemon. Waive at sites
+      that provably touch only regular files or are startup-only.
     - [bare-eprintf] (error) — no direct stderr writes ([eprintf],
       [prerr_*], [output_string stderr]) bypassing
       {!Ormp_telemetry.Log}.

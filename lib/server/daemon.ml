@@ -1,0 +1,586 @@
+(* The select-loop daemon — see the mli. Single producer thread: every
+   journal append and pipeline apply happens here, so per-session state
+   needs no locking; only the compressor pool runs on other domains,
+   behind the Worker drain barrier. *)
+
+module Journal = Ormp_session.Journal
+module Event = Ormp_trace.Event
+module Log = Ormp_telemetry.Log
+module Tm = Ormp_telemetry.Telemetry
+module Hb = Ormp_telemetry.Heartbeat
+module S = Ormp_util.Sexp
+
+let ( // ) = Filename.concat
+
+let m_sessions = Tm.Metrics.counter "serve.sessions"
+let m_frames = Tm.Metrics.counter "serve.frames"
+let m_sheds = Tm.Metrics.counter "serve.sheds"
+let m_proto_errors = Tm.Metrics.counter "serve.protocol_errors"
+
+type options = {
+  socket : string;
+  root : string;
+  jobs : int;
+  max_sessions : int;
+  grammar_budget : int;
+  max_occupancy : float;
+  idle_timeout_s : float;
+  frame_timeout_s : float;
+  ping_every_s : float;
+  heartbeat_every_s : float;
+  retry_after_s : float;
+  leap_budget : int option;
+  max_streams : int;
+}
+
+let default_options ~socket ~root =
+  {
+    socket;
+    root;
+    jobs = 1;
+    max_sessions = 64;
+    grammar_budget = 0;
+    max_occupancy = 0.95;
+    idle_timeout_s = 30.0;
+    frame_timeout_s = 5.0;
+    ping_every_s = 5.0;
+    heartbeat_every_s = 1.0;
+    retry_after_s = 0.05;
+    leap_budget = None;
+    max_streams = 0;
+  }
+
+type session = {
+  token : string;
+  dir : string;
+  workload : string;
+  pipe : Pipeline.t;
+  journal : Journal.writer;
+  ack_every : int;
+  mutable frames_since_ack : int;
+}
+
+type conn = {
+  fd : Unix.file_descr;
+  dec : Wire.decoder;
+  outq : string Queue.t;
+  mutable out_off : int;  (* bytes of the queue head already written *)
+  mutable out_bytes : int;  (* total unsent bytes across the queue *)
+  mutable sess : session option;
+  mutable last_recv : float;
+  mutable last_ping : float;
+  mutable frame_since : float;  (* start of the current partial frame; 0 = none *)
+  mutable closing : bool;  (* close once the out queue drains *)
+  mutable close_by : float;  (* give a closing conn this long to drain *)
+  mutable dead : bool;
+}
+
+type t = {
+  opts : options;
+  listen_fd : Unix.file_descr;
+  pool : Pipeline.Pool.t option;
+  sessions : (string, session) Hashtbl.t;  (* attached (conn-bound) only *)
+  mutable conns : conn list;
+  stop_r : Unix.file_descr;
+  stop_w : Unix.file_descr;
+  mutable stopping : bool;
+  mutable next_slot : int;
+  mutable shed_count : int;
+  mutable total_events : int;
+  start_s : float;
+  mutable hb_last_s : float;
+  mutable hb_last_events : int;
+}
+
+let rec mkdirs path =
+  if path = "" || path = "." || Sys.file_exists path then ()
+  else begin
+    mkdirs (Filename.dirname path);
+    try Unix.mkdir path 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let create opts =
+  mkdirs (opts.root // "sessions");
+  let listen_fd = Net_io.listen_unix ~path:opts.socket ~backlog:64 in
+  let stop_r, stop_w = Unix.pipe ~cloexec:true () in
+  Unix.set_nonblock stop_r;
+  {
+    opts;
+    listen_fd;
+    pool = (if opts.jobs > 1 then Some (Pipeline.Pool.spawn ~jobs:opts.jobs) else None);
+    sessions = Hashtbl.create 64;
+    conns = [];
+    stop_r;
+    stop_w;
+    stopping = false;
+    next_slot = 0;
+    shed_count = 0;
+    total_events = 0;
+    start_s = Net_io.now ();
+    hb_last_s = Net_io.now ();
+    hb_last_events = 0;
+  }
+
+let stop t = try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1) with Unix.Unix_error _ -> ()
+
+(* --- output queue ------------------------------------------------------- *)
+
+(* Unsent output above this bound means the peer has stopped reading
+   while we keep producing — the write-side slow-loris. *)
+let max_out_bytes = 4 * 1024 * 1024
+
+let send c msg =
+  let s = Wire.encode msg in
+  Queue.add s c.outq;
+  c.out_bytes <- c.out_bytes + String.length s;
+  if c.out_bytes > max_out_bytes then c.dead <- true
+
+let flush_out c =
+  try
+    let progress = ref true in
+    while (not (Queue.is_empty c.outq)) && !progress do
+      let head = Queue.peek c.outq in
+      let len = String.length head - c.out_off in
+      let n =
+        Net_io.write_nonblock c.fd (Bytes.unsafe_of_string head) c.out_off len
+      in
+      c.out_bytes <- c.out_bytes - n;
+      if n = len then begin
+        ignore (Queue.pop c.outq);
+        c.out_off <- 0
+      end
+      else begin
+        c.out_off <- c.out_off + n;
+        progress := n > 0
+      end
+    done
+  with Unix.Unix_error _ -> c.dead <- true
+
+(* --- session lifecycle -------------------------------------------------- *)
+
+let session_dir t token = t.opts.root // "sessions" // token
+
+let token_ok token =
+  token <> ""
+  && String.length token <= 128
+  && String.for_all
+       (fun c ->
+         (c >= 'a' && c <= 'z')
+         || (c >= 'A' && c <= 'Z')
+         || (c >= '0' && c <= '9')
+         || c = '-' || c = '_' || c = '.')
+       token
+  && token.[0] <> '.'
+
+let write_report s =
+  let body =
+    S.field "ormp-serve-report"
+      [
+        S.field "workload" [ S.atom s.workload ];
+        S.field "position" [ S.int (Pipeline.position s.pipe) ];
+        S.field "collected" [ S.int (Pipeline.collected s.pipe) ];
+        S.field "wild" [ S.int (Pipeline.wild s.pipe) ];
+      ]
+  in
+  Ormp_session.Storage.write_atomic ~path:(s.dir // "report") (S.to_string body ^ "\n")
+
+(* Detach a session from its (dying) connection: flush what the journal
+   holds and forget the in-memory state. The next Hello with this token
+   rebuilds it from the journal — the same recovery a daemon restart
+   performs, so both paths stay exercised. *)
+let detach t c =
+  match c.sess with
+  | None -> ()
+  | Some s ->
+    c.sess <- None;
+    Hashtbl.remove t.sessions s.token;
+    (try Pipeline.quiesce s.pipe with _ -> ());
+    (try
+       Journal.flush s.journal;
+       Journal.close s.journal
+     with _ -> ())
+
+let kill_conn t c =
+  c.dead <- true;
+  detach t c
+
+let protocol_error t c msg =
+  if Tm.on () then Tm.Metrics.incr m_proto_errors;
+  Log.warnf ~src:"serve" "protocol error%s: %s"
+    (match c.sess with Some s -> " (session " ^ s.token ^ ")" | None -> "")
+    msg;
+  send c (Wire.Err msg);
+  detach t c;
+  (* Let the Err frame drain briefly, then close regardless. *)
+  c.closing <- true;
+  c.close_by <- Net_io.now () +. 1.0
+
+let shed t c reason =
+  t.shed_count <- t.shed_count + 1;
+  if Tm.on () then Tm.Metrics.incr m_sheds;
+  Log.infof ~src:"serve" "shedding session: %s" reason;
+  send c (Wire.Shed { retry_after_s = t.opts.retry_after_s; reason });
+  c.closing <- true;
+  c.close_by <- Net_io.now () +. 1.0
+
+let new_pipeline t =
+  let pool =
+    match t.pool with
+    | None -> None
+    | Some p ->
+      let slot = t.next_slot in
+      t.next_slot <- t.next_slot + 1;
+      Some (p, slot)
+  in
+  Pipeline.create ?pool
+    ?leap_budget:t.opts.leap_budget
+    ~max_streams:t.opts.max_streams ()
+
+(* Admission control, cheapest check first. The grammar-budget check
+   reads live grammars, which requires the pool drained; admission is
+   rare relative to frames, so the barrier is affordable. *)
+let admission_refusal t =
+  let o = t.opts in
+  if o.max_sessions > 0 && Hashtbl.length t.sessions >= o.max_sessions then
+    Some (Printf.sprintf "session limit (%d) reached" o.max_sessions)
+  else
+    match t.pool with
+    | Some p when Pipeline.Pool.occupancy p > o.max_occupancy ->
+      Some "compressor pool saturated"
+    | _ ->
+      if o.grammar_budget > 0 then begin
+        (match t.pool with Some p -> Pipeline.Pool.drain p | None -> ());
+        let total =
+          Hashtbl.fold (fun _ s acc -> acc + Pipeline.grammar_symbols s.pipe) t.sessions 0
+        in
+        if total > o.grammar_budget then
+          Some (Printf.sprintf "grammar budget exceeded (%d > %d symbols)" total o.grammar_budget)
+        else None
+      end
+      else None
+
+let handle_hello t c ~token ~workload ~ack_every =
+  if c.sess <> None then protocol_error t c "duplicate Hello on one connection"
+  else if not (token_ok token) then protocol_error t c "invalid session token"
+  else begin
+    let dir = session_dir t token in
+    if Sys.file_exists (dir // "report") then
+      (* Finalized earlier; the Finish_ok may have been lost in a crash —
+         at-most-once means we must not re-ingest. *)
+      send c (Wire.Hello_ok { fresh = false; complete = true; position = 0 })
+    else if Hashtbl.mem t.sessions token then begin
+      (* A live connection owns this token. Refuse the newcomer; if the
+         old connection is actually dead, its idle timeout frees the
+         token and the client's retry gets through. *)
+      send c (Wire.Err "session busy");
+      c.closing <- true;
+      c.close_by <- Net_io.now () +. 1.0
+    end
+    else if t.stopping then shed t c "draining for shutdown"
+    else
+      match admission_refusal t with
+      | Some reason -> shed t c reason
+      | None -> (
+        let journal_path = dir // "journal.trace" in
+        let resume = Sys.file_exists journal_path in
+        let attach s position fresh =
+          Hashtbl.replace t.sessions token s;
+          c.sess <- Some s;
+          if Tm.on () then Tm.Metrics.incr m_sessions;
+          (* The position we report must be durable before the client can
+             trust it as a resume point. *)
+          Journal.flush s.journal;
+          send c (Wire.Hello_ok { fresh; complete = false; position })
+        in
+        if not resume then begin
+          mkdirs dir;
+          Ormp_session.Storage.write_atomic ~path:(dir // "manifest")
+            (S.to_string (S.field "ormp-serve-session" [ S.field "workload" [ S.atom workload ] ])
+            ^ "\n");
+          let s =
+            {
+              token;
+              dir;
+              workload;
+              pipe = new_pipeline t;
+              journal = Journal.create journal_path;
+              ack_every;
+              frames_since_ack = 0;
+            }
+          in
+          attach s 0 true
+        end
+        else
+          match Journal.recover journal_path with
+          | Error e -> protocol_error t c (Printf.sprintf "session %s unrecoverable: %s" token e)
+          | Ok r -> (
+            let pipe = new_pipeline t in
+            Array.iter (fun ev -> Pipeline.apply pipe ev) r.Journal.events;
+            Pipeline.quiesce pipe;
+            match Pipeline.failure pipe with
+            | Some e ->
+              protocol_error t c
+                (Printf.sprintf "session %s replay failed: %s" token (Printexc.to_string e))
+            | None ->
+              let count = Array.length r.Journal.events in
+              t.total_events <- t.total_events + count;
+              let s =
+                {
+                  token;
+                  dir;
+                  workload;
+                  pipe;
+                  journal = Journal.create ~resume:(count, r.Journal.r_crc) journal_path;
+                  ack_every;
+                  frames_since_ack = 0;
+                }
+              in
+              Log.infof ~src:"serve" "resumed session %s at position %d%s" token count
+                (if r.Journal.truncated then " (torn tail truncated)" else "");
+              attach s count false))
+  end
+
+(* Apply the new suffix of a frame that claims to start at [start]. A
+   start beyond our position is a gap (protocol error — the client and
+   we disagree about durable history); a start before it is the overlap
+   a duplicated retry produces, and the overlap is dropped exactly. *)
+let ingest t c s ~start ~count ~event_at =
+  let pos = Pipeline.position s.pipe in
+  if start > pos then begin
+    protocol_error t c
+      (Printf.sprintf "position gap: frame starts at %d, session is at %d" start pos);
+    false
+  end
+  else begin
+    let skip = pos - start in
+    (try
+       for i = skip to count - 1 do
+         let ev = event_at i in
+         Journal.append s.journal ev;
+         Pipeline.apply s.pipe ev;
+         t.total_events <- t.total_events + 1
+       done;
+       true
+     with e ->
+       protocol_error t c
+         (Printf.sprintf "ingest failed at position %d: %s" (Pipeline.position s.pipe)
+            (Printexc.to_string e));
+       false)
+  end
+
+let after_frame c s =
+  s.frames_since_ack <- s.frames_since_ack + 1;
+  if s.ack_every > 0 && s.frames_since_ack >= s.ack_every then begin
+    s.frames_since_ack <- 0;
+    (* Ack only durable positions. *)
+    Journal.flush s.journal;
+    send c (Wire.Ack { position = Pipeline.position s.pipe })
+  end
+
+let handle_finish t c s ~position =
+  if position <> Pipeline.position s.pipe then
+    protocol_error t c
+      (Printf.sprintf "finish at %d but session is at %d" position (Pipeline.position s.pipe))
+  else begin
+    match
+      Journal.flush s.journal;
+      Pipeline.finalize s.pipe ~dir:s.dir ~elapsed:0.0
+    with
+    | () ->
+      write_report s;
+      Journal.close s.journal;
+      Hashtbl.remove t.sessions s.token;
+      c.sess <- None;
+      send c
+        (Wire.Finish_ok
+           {
+             position = Pipeline.position s.pipe;
+             collected = Pipeline.collected s.pipe;
+             wild = Pipeline.wild s.pipe;
+           })
+    | exception e ->
+      protocol_error t c (Printf.sprintf "finalize failed: %s" (Printexc.to_string e))
+  end
+
+let handle_msg t c (msg : Wire.msg) =
+  if Tm.on () then Tm.Metrics.incr m_frames;
+  match msg with
+  | Hello { token; workload; ack_every } -> handle_hello t c ~token ~workload ~ack_every
+  | Ping -> send c Wire.Pong
+  | Pong -> ()
+  | Batch { start; chunk } -> (
+    match c.sess with
+    | None -> protocol_error t c "Batch before Hello"
+    | Some s ->
+      let event_at i =
+        Event.Access
+          {
+            instr = chunk.Ormp_trace.Batch.instr.(i);
+            addr = chunk.Ormp_trace.Batch.addr.(i);
+            size = chunk.Ormp_trace.Batch.size.(i);
+            is_store = chunk.Ormp_trace.Batch.store.(i) <> 0;
+          }
+      in
+      if ingest t c s ~start ~count:chunk.Ormp_trace.Batch.len ~event_at then after_frame c s)
+  | Ev { position; event } -> (
+    match c.sess with
+    | None -> protocol_error t c "Ev before Hello"
+    | Some s ->
+      if ingest t c s ~start:position ~count:1 ~event_at:(fun _ -> event) then after_frame c s)
+  | Finish { position } -> (
+    match c.sess with
+    | None -> protocol_error t c "Finish before Hello"
+    | Some s -> handle_finish t c s ~position)
+  | Hello_ok _ | Shed _ | Err _ | Finish_ok _ | Ack _ ->
+    protocol_error t c "unexpected server-side frame from client"
+
+(* --- the event loop ----------------------------------------------------- *)
+
+let read_conn t ~scratch c =
+  match Net_io.read_nonblock c.fd scratch with
+  | `Again -> ()
+  | `Eof -> kill_conn t c
+  | `Read n ->
+    c.last_recv <- Net_io.now ();
+    Wire.feed c.dec scratch 0 n;
+    let continue = ref true in
+    while !continue && not c.dead && not c.closing do
+      match Wire.next c.dec with
+      | Ok None -> continue := false
+      | Ok (Some msg) -> handle_msg t c msg
+      | Error e ->
+        protocol_error t c e;
+        continue := false
+    done;
+    c.frame_since <-
+      (if Wire.buffered c.dec > 0 then
+         if c.frame_since = 0.0 then Net_io.now () else c.frame_since
+       else 0.0)
+
+let heartbeat t =
+  let now = Net_io.now () in
+  (match t.pool with Some p -> Pipeline.Pool.drain p | None -> ());
+  let sum f = Hashtbl.fold (fun _ s acc -> acc + f s) t.sessions 0 in
+  let dt = now -. t.hb_last_s in
+  let sample =
+    {
+      Hb.wall_s = now -. t.start_s;
+      position = t.total_events;
+      events_per_sec =
+        (if dt > 0.0 then float_of_int (t.total_events - t.hb_last_events) /. dt else 0.0);
+      live_objects = sum (fun s -> Pipeline.live_objects s.pipe);
+      grammar_symbols = sum (fun s -> Pipeline.grammar_symbols s.pipe);
+      leap_streams = sum (fun s -> Pipeline.leap_streams s.pipe);
+      journal_bytes = sum (fun s -> Journal.bytes s.journal);
+      snapshot_bytes = 0;
+      last_checkpoint = 0;
+      degraded =
+        (if t.stopping then [ "draining" ] else [])
+        @ (if t.shed_count > 0 then [ "shed" ] else []);
+    }
+  in
+  t.hb_last_s <- now;
+  t.hb_last_events <- t.total_events;
+  try Hb.append (t.opts.root // "heartbeat") sample with Sys_error _ -> ()
+
+let timers t =
+  let now = Net_io.now () in
+  let o = t.opts in
+  List.iter
+    (fun c ->
+      if not c.dead then begin
+        if c.closing then begin
+          if Queue.is_empty c.outq || now >= c.close_by then c.dead <- true
+        end
+        else if c.frame_since > 0.0 && now -. c.frame_since > o.frame_timeout_s then
+          protocol_error t c "frame deadline exceeded (slow or torn sender)"
+        else if now -. c.last_recv > o.idle_timeout_s then kill_conn t c
+        else if
+          now -. c.last_recv > o.ping_every_s && now -. c.last_ping > o.ping_every_s
+        then begin
+          c.last_ping <- now;
+          send c Wire.Ping
+        end
+      end)
+    t.conns;
+  if o.heartbeat_every_s > 0.0 && now -. t.hb_last_s >= o.heartbeat_every_s then heartbeat t
+
+let reap t =
+  let dead, live = List.partition (fun c -> c.dead) t.conns in
+  List.iter
+    (fun c ->
+      detach t c;
+      Net_io.close_noerr c.fd)
+    dead;
+  t.conns <- live
+
+let shutdown t =
+  Log.infof ~src:"serve" "draining %d session(s) for shutdown" (Hashtbl.length t.sessions);
+  List.iter (fun c -> kill_conn t c) t.conns;
+  reap t;
+  (match t.pool with Some p -> Pipeline.Pool.stop p | None -> ());
+  Net_io.close_noerr t.listen_fd;
+  Net_io.close_noerr t.stop_r;
+  Net_io.close_noerr t.stop_w;
+  (try Unix.unlink t.opts.socket with Unix.Unix_error _ -> ())
+
+let run ?(handle_signals = false) t =
+  (* A peer can close at any instant between our select and our write; a
+     select-loop server must see that as EPIPE on the one connection, not
+     a process-fatal signal. *)
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  if handle_signals then begin
+    let request _ = stop t in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle request);
+    Sys.set_signal Sys.sigint (Sys.Signal_handle request)
+  end;
+  Log.infof ~src:"serve" "listening on %s (root %s, jobs %d)" t.opts.socket t.opts.root
+    t.opts.jobs;
+  let scratch = Bytes.create 65536 in
+  let tick = 0.1 in
+  while not t.stopping do
+    let readable =
+      t.stop_r :: t.listen_fd :: List.map (fun c -> c.fd) (List.filter (fun c -> not c.dead) t.conns)
+    in
+    let writable =
+      List.filter_map
+        (fun c -> if (not c.dead) && not (Queue.is_empty c.outq) then Some c.fd else None)
+        t.conns
+    in
+    let r, w = Net_io.wait ~readable ~writable ~timeout_s:tick in
+    if List.mem t.stop_r r then t.stopping <- true
+    else begin
+      if List.mem t.listen_fd r then begin
+        let more = ref true in
+        while !more do
+          match Net_io.accept_nonblock t.listen_fd with
+          | None -> more := false
+          | Some fd ->
+            let now = Net_io.now () in
+            t.conns <-
+              {
+                fd;
+                dec = Wire.decoder ();
+                outq = Queue.create ();
+                out_off = 0;
+                out_bytes = 0;
+                sess = None;
+                last_recv = now;
+                last_ping = now;
+                frame_since = 0.0;
+                closing = false;
+                close_by = 0.0;
+                dead = false;
+              }
+              :: t.conns
+        done
+      end;
+      List.iter (fun c -> if (not c.dead) && List.memq c.fd r then read_conn t ~scratch c) t.conns;
+      List.iter (fun c -> if (not c.dead) && List.memq c.fd w then flush_out c) t.conns;
+      (* Opportunistic flush for freshly queued replies. *)
+      List.iter (fun c -> if (not c.dead) && not (Queue.is_empty c.outq) then flush_out c) t.conns;
+      timers t;
+      reap t
+    end
+  done;
+  shutdown t

@@ -1,0 +1,113 @@
+(* The blocking-I/O seam — see the mli. Everything here is written
+   against non-blocking descriptors plus select-based waits, so a caller
+   always holds a deadline while blocked and EINTR never aborts an
+   operation (signal flags are polled by the daemon loop between waits). *)
+
+exception Timeout
+
+let now () = Ormp_util.Clock.now_s ()
+
+let close_noerr fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let listen_unix ~path ~backlog =
+  (try Unix.unlink path with Unix.Unix_error _ -> ());
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  (try
+     Unix.bind fd (Unix.ADDR_UNIX path);
+     Unix.listen fd backlog;
+     Unix.set_nonblock fd
+   with e ->
+     close_noerr fd;
+     raise e);
+  fd
+
+let wait ~readable ~writable ~timeout_s =
+  let deadline = now () +. timeout_s in
+  let rec go () =
+    let left = deadline -. now () in
+    match Unix.select readable writable [] (Float.max 0.0 left) with
+    | r, w, _ -> (r, w)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+      (* A signal landed; give the caller a chance to observe its flag
+         once the remaining time is spent, but don't extend the wait. *)
+      if now () >= deadline then ([], []) else go ()
+  in
+  go ()
+
+let connect_unix ~path ~deadline_s =
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  try
+    Unix.set_nonblock fd;
+    (try Unix.connect fd (Unix.ADDR_UNIX path) with
+    | Unix.Unix_error ((Unix.EINPROGRESS | Unix.EWOULDBLOCK | Unix.EAGAIN), _, _) -> (
+      match wait ~readable:[] ~writable:[ fd ] ~timeout_s:(deadline_s -. now ()) with
+      | _, [ _ ] -> (
+        match Unix.getsockopt_error fd with
+        | None -> ()
+        | Some err -> raise (Unix.Unix_error (err, "connect", path)))
+      | _ -> raise Timeout));
+    fd
+  with e ->
+    close_noerr fd;
+    raise e
+
+let accept_nonblock fd =
+  match Unix.accept ~cloexec:true fd with
+  | conn, _ ->
+    Unix.set_nonblock conn;
+    Some conn
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> None
+
+let read_nonblock fd buf =
+  match Unix.read fd buf 0 (Bytes.length buf) with
+  | 0 -> `Eof
+  | n -> `Read n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> `Again
+  | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> `Eof
+
+let write_nonblock fd buf off len =
+  match Unix.write fd buf off len with
+  | n -> n
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR), _, _) -> 0
+
+let recv_into fd buf ~deadline_s =
+  let rec go () =
+    match read_nonblock fd buf with
+    | `Read n -> n
+    | `Eof -> 0
+    | `Again -> (
+      match wait ~readable:[ fd ] ~writable:[] ~timeout_s:(deadline_s -. now ()) with
+      | [ _ ], _ -> go ()
+      | _ -> if now () >= deadline_s then raise Timeout else go ())
+  in
+  go ()
+
+let send_all fd s ~deadline_s =
+  let b = Bytes.unsafe_of_string s in
+  let len = Bytes.length b in
+  let off = ref 0 in
+  while !off < len do
+    (match write_nonblock fd b !off (len - !off) with
+    | 0 -> (
+      match wait ~readable:[] ~writable:[ fd ] ~timeout_s:(deadline_s -. now ()) with
+      | _, [ _ ] -> ()
+      | _ -> if now () >= deadline_s then raise Timeout)
+    | n -> off := !off + n);
+    if !off < len && now () >= deadline_s then raise Timeout
+  done
+
+let send_prefix fd s n ~deadline_s = send_all fd (String.sub s 0 n) ~deadline_s
+
+(* lint:allow blocking-io — bounded by the explicit cap; the backoff seam. *)
+let sleep s = if s > 0.0 then Unix.sleepf (Float.min s 60.0)
+
+let send_slow fd s ~chunk ~delay_s ~deadline_s =
+  let chunk = max 1 chunk in
+  let len = String.length s in
+  let off = ref 0 in
+  while !off < len do
+    let n = min chunk (len - !off) in
+    send_all fd (String.sub s !off n) ~deadline_s;
+    off := !off + n;
+    if !off < len then sleep delay_s
+  done

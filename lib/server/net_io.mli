@@ -1,0 +1,72 @@
+(** The one deadline-wrapped blocking-I/O seam of the server stack.
+
+    Every blocking primitive the daemon and the client need — reads,
+    writes, waits, sleeps — lives here and carries an explicit deadline,
+    so the `blocking-io` lint rule can forbid raw [Unix.read]/
+    [Unix.select]/[Unix.sleepf] everywhere else in [lib/] and a hang-prone
+    path cannot be reintroduced by accident. This file itself is the
+    rule's single exemption. *)
+
+exception Timeout
+(** A deadline expired before the operation completed. *)
+
+val now : unit -> float
+(** Monotonic seconds ({!Ormp_util.Clock.now_s}); all deadlines below are
+    absolute values of this clock. *)
+
+(** {1 Connection setup} *)
+
+val listen_unix : path:string -> backlog:int -> Unix.file_descr
+(** Bind and listen on a Unix-domain socket, unlinking any stale socket
+    file first. The returned descriptor is non-blocking. *)
+
+val connect_unix : path:string -> deadline_s:float -> Unix.file_descr
+(** Connect to a Unix-domain socket; the returned descriptor is
+    non-blocking. Raises {!Timeout} past the deadline, [Unix.Unix_error]
+    if the daemon is not there. *)
+
+val close_noerr : Unix.file_descr -> unit
+
+(** {1 Readiness (the daemon's event loop)} *)
+
+val wait :
+  readable:Unix.file_descr list ->
+  writable:Unix.file_descr list ->
+  timeout_s:float ->
+  Unix.file_descr list * Unix.file_descr list
+(** [Unix.select], restarted on [EINTR] with the balance of the timeout
+    (an interrupting signal is observed by the caller's own flags on
+    return). *)
+
+val accept_nonblock : Unix.file_descr -> Unix.file_descr option
+(** Accept one pending connection, [None] if there is none. The accepted
+    descriptor is non-blocking. *)
+
+val read_nonblock : Unix.file_descr -> Bytes.t -> [ `Read of int | `Eof | `Again ]
+(** One non-blocking read into the whole buffer. *)
+
+val write_nonblock : Unix.file_descr -> Bytes.t -> int -> int -> int
+(** Write at most [len] bytes from [off]; returns bytes written (0 when
+    the kernel buffer is full). Raises on a dead peer ([EPIPE] &c). *)
+
+(** {1 Deadlined client-side I/O} *)
+
+val recv_into : Unix.file_descr -> Bytes.t -> deadline_s:float -> int
+(** Block (via {!wait}) until bytes arrive, EOF (returns 0) or the
+    deadline ({!Timeout}). *)
+
+val send_all : Unix.file_descr -> string -> deadline_s:float -> unit
+(** Write the whole string, waiting for writability as needed; raises
+    {!Timeout} past the deadline. *)
+
+val send_prefix : Unix.file_descr -> string -> int -> deadline_s:float -> unit
+(** [send_all] of the first [n] bytes only — the torn-frame fault. *)
+
+val send_slow :
+  Unix.file_descr -> string -> chunk:int -> delay_s:float -> deadline_s:float -> unit
+(** Write in [chunk]-byte pieces with [delay_s] sleeps between them — the
+    slow-loris fault. *)
+
+val sleep : float -> unit
+(** Bounded sleep (capped at 60 s) for retry backoff — the only sanctioned
+    way for server-stack code to sleep. *)

@@ -1,0 +1,84 @@
+(** One profiling session's in-memory state: the CDC + WHOMP + RASG +
+    LEAP stack of {!Ormp_session.Session}, repackaged so a daemon can run
+    many of them side by side and a client can run the identical stack
+    locally to produce reference profiles.
+
+    Byte-identity is the contract: feeding the same event sequence to any
+    two pipelines — serial or multiplexed over a shared worker {!Pool},
+    in one process or across a daemon kill/restart — produces identical
+    profile files. To that end group labels always come from the generic
+    [site<N>] namer (a daemon never sees the client's instruction table)
+    and the [elapsed] recorded in the profiles is the caller's, normally
+    0 — wall-clock truth lives in telemetry, not in comparable outputs. *)
+
+(** A shared pool of compressor workers (one SPSC ring + consumer domain
+    each) that many sessions multiplex onto. Each session pins each of
+    its five grammar slots (four WHOMP dimensions + RASG) to a fixed
+    worker, so per-grammar push order — and hence the grammar — is
+    exactly the serial one. *)
+module Pool : sig
+  type t
+
+  val spawn : jobs:int -> t
+  val size : t -> int
+
+  val drain : t -> unit
+  (** Producer only: barrier until all dispatched work is done. *)
+
+  val stop : t -> unit
+
+  val occupancy : t -> float
+  (** Max instantaneous ring occupancy across workers, in [0, 1] (racy;
+      the daemon's load-shedding signal). *)
+end
+
+type t
+
+val create :
+  ?pool:Pool.t * int ->
+  ?leap_budget:int ->
+  ?max_streams:int ->
+  unit ->
+  t
+(** A fresh session pipeline. [pool = (p, slot)] multiplexes compression
+    onto [p], with [slot] seeding the per-dimension worker pinning (pass
+    a distinct slot per session to spread load). Without [pool],
+    everything runs inline on the caller's thread. *)
+
+val apply : t -> Ormp_trace.Event.t -> unit
+(** Feed one event, exactly as {!Ormp_session.Session} applies events:
+    accesses also feed the RASG address grammar, alloc/free flush the
+    SoA batch. Caller's thread only. *)
+
+val position : t -> int
+(** Events applied so far. *)
+
+val quiesce : t -> unit
+(** Flush all staged work and drain the pool (when any) so the state
+    below is the exact serial state at {!position}. *)
+
+val failure : t -> exn option
+(** An exception a pooled compressor caught while working for this
+    session. Meaningful after {!quiesce}; a failed session must be
+    discarded (its journal remains the recovery source), but the shared
+    pool and every other session are unaffected. *)
+
+val collected : t -> int
+val wild : t -> int
+
+val grammar_symbols : t -> int
+(** Total symbols across the five grammars. Call only after {!quiesce}
+    (the grammars belong to the workers in between). *)
+
+val live_objects : t -> int
+val leap_streams : t -> int
+
+val finalize : t -> dir:string -> elapsed:float -> unit
+(** {!quiesce}, then write [whomp.profile], [rasg.profile] and
+    [leap.profile] into [dir] — the same files, bytes included, that a
+    serial {!Ormp_session.Session} run over the same events would leave.
+    Raises the pipeline {!failure} if there is one. *)
+
+val whomp_file : string
+val rasg_file : string
+val leap_file : string

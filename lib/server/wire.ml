@@ -1,0 +1,258 @@
+(* Frame codec for `ormp serve`. See the mli for the wire layout.
+
+   Encoding writes into a fresh Buffer per message — the daemon and the
+   client both send at most one frame per 512 events (the SoA chunk
+   capacity), so codec allocation is noise next to the grammar work the
+   payload triggers. Decoding is incremental over a compacting byte
+   buffer so a reader can feed whatever slice sizes the socket hands it. *)
+
+module Batch = Ormp_trace.Batch
+module Event = Ormp_trace.Event
+module Tf = Ormp_trace.Trace_file
+module Crc32 = Ormp_util.Crc32
+
+type msg =
+  | Hello of { token : string; workload : string; ack_every : int }
+  | Hello_ok of { fresh : bool; complete : bool; position : int }
+  | Shed of { retry_after_s : float; reason : string }
+  | Err of string
+  | Batch of { start : int; chunk : Batch.chunk }
+  | Ev of { position : int; event : Event.t }
+  | Finish of { position : int }
+  | Finish_ok of { position : int; collected : int; wild : int }
+  | Ack of { position : int }
+  | Ping
+  | Pong
+
+let max_frame = 1 lsl 20
+
+(* The length field bounds the count field transitively, but a direct cap
+   keeps a corrupt-yet-CRC-valid count from allocating wild arrays. *)
+let max_batch = 65536
+
+(* --- encoding ----------------------------------------------------------- *)
+
+let add_i64 b v = Buffer.add_int64_be b (Int64.of_int v)
+let add_u32 b v = Buffer.add_int32_be b (Int32.of_int v)
+
+let add_str16 b s =
+  if String.length s > 0xFFFF then invalid_arg "Wire: string field too long";
+  Buffer.add_uint16_be b (String.length s);
+  Buffer.add_string b s
+
+let payload = function
+  | Hello { token; workload; ack_every } ->
+    let b = Buffer.create 64 in
+    Buffer.add_char b 'H';
+    add_str16 b token;
+    add_str16 b workload;
+    add_i64 b ack_every;
+    Buffer.contents b
+  | Hello_ok { fresh; complete; position } ->
+    let b = Buffer.create 16 in
+    Buffer.add_char b 'O';
+    Buffer.add_uint8 b (Bool.to_int fresh);
+    Buffer.add_uint8 b (Bool.to_int complete);
+    add_i64 b position;
+    Buffer.contents b
+  | Shed { retry_after_s; reason } ->
+    let b = Buffer.create 32 in
+    Buffer.add_char b 'S';
+    Buffer.add_int64_be b (Int64.bits_of_float retry_after_s);
+    add_str16 b reason;
+    Buffer.contents b
+  | Err m ->
+    let b = Buffer.create 32 in
+    Buffer.add_char b 'E';
+    add_str16 b m;
+    Buffer.contents b
+  | Batch { start; chunk } ->
+    let n = chunk.Batch.len in
+    if n > max_batch then invalid_arg "Wire: oversized batch";
+    let b = Buffer.create (16 + (n * 21)) in
+    Buffer.add_char b 'B';
+    add_i64 b start;
+    add_u32 b n;
+    for i = 0 to n - 1 do
+      add_i64 b chunk.Batch.instr.(i)
+    done;
+    for i = 0 to n - 1 do
+      add_i64 b chunk.Batch.addr.(i)
+    done;
+    for i = 0 to n - 1 do
+      add_u32 b chunk.Batch.size.(i)
+    done;
+    for i = 0 to n - 1 do
+      Buffer.add_uint8 b (if chunk.Batch.store.(i) <> 0 then 1 else 0)
+    done;
+    Buffer.contents b
+  | Ev { position; event } ->
+    let b = Buffer.create 32 in
+    Buffer.add_char b 'V';
+    add_i64 b position;
+    Buffer.add_string b (Tf.event_line event);
+    Buffer.contents b
+  | Finish { position } ->
+    let b = Buffer.create 16 in
+    Buffer.add_char b 'F';
+    add_i64 b position;
+    Buffer.contents b
+  | Finish_ok { position; collected; wild } ->
+    let b = Buffer.create 32 in
+    Buffer.add_char b 'G';
+    add_i64 b position;
+    add_i64 b collected;
+    add_i64 b wild;
+    Buffer.contents b
+  | Ack { position } ->
+    let b = Buffer.create 16 in
+    Buffer.add_char b 'A';
+    add_i64 b position;
+    Buffer.contents b
+  | Ping -> "P"
+  | Pong -> "Q"
+
+let encode msg =
+  let p = payload msg in
+  let n = String.length p in
+  if n = 0 || n > max_frame then invalid_arg "Wire.encode: bad payload size";
+  let b = Buffer.create (n + 8) in
+  add_u32 b n;
+  Buffer.add_string b p;
+  add_u32 b (Crc32.string p);
+  Buffer.contents b
+
+(* --- payload parsing ---------------------------------------------------- *)
+
+exception Bad of string
+
+let get_i64 s pos =
+  if !pos + 8 > String.length s then raise (Bad "truncated integer");
+  let v = Int64.to_int (String.get_int64_be s !pos) in
+  pos := !pos + 8;
+  v
+
+(* Raw 64-bit read: [get_i64] narrows to the native 63-bit int, which
+   would corrupt the high exponent bits of an IEEE double. *)
+let get_f64 s pos =
+  if !pos + 8 > String.length s then raise (Bad "truncated float");
+  let v = Int64.float_of_bits (String.get_int64_be s !pos) in
+  pos := !pos + 8;
+  v
+
+let get_u32 s pos =
+  if !pos + 4 > String.length s then raise (Bad "truncated integer");
+  let v = Int32.to_int (String.get_int32_be s !pos) land 0xFFFFFFFF in
+  pos := !pos + 4;
+  v
+
+let get_u8 s pos =
+  if !pos + 1 > String.length s then raise (Bad "truncated byte");
+  let v = Char.code s.[!pos] in
+  incr pos;
+  v
+
+let get_str16 s pos =
+  if !pos + 2 > String.length s then raise (Bad "truncated string length");
+  let n = (Char.code s.[!pos] lsl 8) lor Char.code s.[!pos + 1] in
+  pos := !pos + 2;
+  if !pos + n > String.length s then raise (Bad "truncated string");
+  let v = String.sub s !pos n in
+  pos := !pos + n;
+  v
+
+let parse p =
+  let len = String.length p in
+  let pos = ref 1 in
+  let finish msg =
+    if !pos <> len then raise (Bad "trailing payload bytes");
+    msg
+  in
+  match p.[0] with
+  | 'H' ->
+    let token = get_str16 p pos in
+    let workload = get_str16 p pos in
+    let ack_every = get_i64 p pos in
+    finish (Hello { token; workload; ack_every })
+  | 'O' ->
+    let fresh = get_u8 p pos <> 0 in
+    let complete = get_u8 p pos <> 0 in
+    let position = get_i64 p pos in
+    finish (Hello_ok { fresh; complete; position })
+  | 'S' ->
+    let retry_after_s = get_f64 p pos in
+    let reason = get_str16 p pos in
+    finish (Shed { retry_after_s; reason })
+  | 'E' -> finish (Err (get_str16 p pos))
+  | 'B' ->
+    let start = get_i64 p pos in
+    let n = get_u32 p pos in
+    if n = 0 || n > max_batch then raise (Bad "bad batch count");
+    let instr = Array.init n (fun _ -> get_i64 p pos) in
+    let addr = Array.init n (fun _ -> get_i64 p pos) in
+    let size = Array.init n (fun _ -> get_u32 p pos) in
+    let store = Array.init n (fun _ -> get_u8 p pos) in
+    finish (Batch { start; chunk = { Batch.instr; addr; size; store; len = n } })
+  | 'V' ->
+    let position = get_i64 p pos in
+    let line = String.sub p !pos (len - !pos) in
+    pos := len;
+    (match Tf.parse_line line with
+    | Ok event -> finish (Ev { position; event })
+    | Error e -> raise (Bad ("bad event payload: " ^ e)))
+  | 'F' -> finish (Finish { position = get_i64 p pos })
+  | 'G' ->
+    let position = get_i64 p pos in
+    let collected = get_i64 p pos in
+    let wild = get_i64 p pos in
+    finish (Finish_ok { position; collected; wild })
+  | 'A' -> finish (Ack { position = get_i64 p pos })
+  | 'P' -> finish Ping
+  | 'Q' -> finish Pong
+  | c -> raise (Bad (Printf.sprintf "unknown frame tag %C" c))
+
+(* --- incremental decoding ----------------------------------------------- *)
+
+type decoder = { mutable buf : Bytes.t; mutable len : int }
+
+let decoder () = { buf = Bytes.create 4096; len = 0 }
+
+let buffered d = d.len
+
+let feed d src off n =
+  if off < 0 || n < 0 || off + n > Bytes.length src then invalid_arg "Wire.feed";
+  let need = d.len + n in
+  if need > Bytes.length d.buf then begin
+    let cap = ref (Bytes.length d.buf) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let bigger = Bytes.create !cap in
+    Bytes.blit d.buf 0 bigger 0 d.len;
+    d.buf <- bigger
+  end;
+  Bytes.blit src off d.buf d.len n;
+  d.len <- d.len + n
+
+let peek_u32 d off = Int32.to_int (Bytes.get_int32_be d.buf off) land 0xFFFFFFFF
+
+let next d =
+  if d.len < 4 then Ok None
+  else begin
+    let n = peek_u32 d 0 in
+    if n < 1 || n > max_frame then
+      Error (Printf.sprintf "bad frame length %d (max %d)" n max_frame)
+    else if d.len < 4 + n + 4 then Ok None
+    else begin
+      let p = Bytes.sub_string d.buf 4 n in
+      let crc = peek_u32 d (4 + n) in
+      let total = 8 + n in
+      Bytes.blit d.buf total d.buf 0 (d.len - total);
+      d.len <- d.len - total;
+      if Crc32.string p land 0xFFFFFFFF <> crc then Error "frame CRC mismatch"
+      else
+        match parse p with
+        | msg -> Ok (Some msg)
+        | exception Bad e -> Error e
+    end
+  end

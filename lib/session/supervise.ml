@@ -45,6 +45,7 @@ let attempt ?timeout_s task =
         Atomic.set cancel true;
         wait ()
       | _ ->
+        (* lint:allow blocking-io — 2ms poll tick, trivially bounded *)
         Unix.sleepf 0.002;
         wait ())
     | Done _ | Raised _ -> ()
@@ -70,6 +71,7 @@ let run ?timeout_s ?(retries = 0) ?(backoff_s = 0.05) task =
       if n <= retries then begin
         (* Crashes retry with linear backoff; timeouts do not (a hang that
            exhausted its budget once will again). *)
+        (* lint:allow blocking-io — finite retry backoff between attempts *)
         Unix.sleepf (backoff_s *. float_of_int n);
         go_attempt (n + 1)
       end

@@ -97,6 +97,7 @@ let load path =
   else begin
     let ic = open_in path in
     let rec go acc =
+      (* lint:allow blocking-io — tails a regular heartbeat file *)
       match input_line ic with
       | exception End_of_file -> List.rev acc
       | line ->

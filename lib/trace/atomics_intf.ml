@@ -72,5 +72,6 @@ struct
   let spawn = Domain.spawn
   let join = Domain.join
   let cpu_relax = Domain.cpu_relax
+  (* lint:allow blocking-io — real scheduler behind the seam; callers bound it *)
   let sleep = Unix.sleepf
 end

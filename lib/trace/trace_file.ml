@@ -57,6 +57,7 @@ let replay ?(on_truncated = default_truncation_warning) path sink =
       close_in ic;
       r
     in
+    (* lint:allow blocking-io — replay reads a recorded regular file *)
     match input_line ic with
     | exception End_of_file -> finish (Error "empty trace file")
     | first when String.trim first <> header ->
@@ -71,6 +72,7 @@ let replay ?(on_truncated = default_truncation_warning) path sink =
       let count = ref 0 in
       let lineno = ref 1 in
       let rec go () =
+        (* lint:allow blocking-io — same regular trace file as above *)
         match input_line ic with
         | exception End_of_file -> Ok !count
         | line when String.trim line = "" -> go ()

@@ -157,3 +157,42 @@ module Io = struct
     | Some n when t.checkpoints = n -> raise (Killed n)
     | _ -> ()
 end
+
+(* --- injected wire faults (ormp serve / client robustness) ------------- *)
+
+module Net = struct
+  type plan = {
+    torn_frame : int option;
+    disconnect_before : int option;
+    slow_frame : int option;
+    dup_retry : int option;
+  }
+
+  let none =
+    { torn_frame = None; disconnect_before = None; slow_frame = None; dup_retry = None }
+
+  type action = Send | Torn | Slow | Disconnect
+
+  type t = { plan : plan; mutable frames : int; mutable rewound : bool }
+
+  let create plan = { plan; frames = 0; rewound = false }
+
+  let frames t = t.frames
+
+  (* The frame counter runs across reconnects, and each fault matches one
+     exact ordinal, so every planned fault fires at most once even though
+     the stream around it is re-sent. *)
+  let next_frame t =
+    t.frames <- t.frames + 1;
+    if t.plan.disconnect_before = Some t.frames then Disconnect
+    else if t.plan.torn_frame = Some t.frames then Torn
+    else if t.plan.slow_frame = Some t.frames then Slow
+    else Send
+
+  let rewind t =
+    match t.plan.dup_retry with
+    | Some n when not t.rewound ->
+      t.rewound <- true;
+      n
+    | _ -> 0
+end

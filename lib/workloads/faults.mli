@@ -78,3 +78,45 @@ module Io : sig
   (** Notify the plan that a checkpoint completed (may raise
       {!Killed}). *)
 end
+
+(** {2 Injected wire faults}
+
+    A fault plan consulted by the `ormp client` sender once per outgoing
+    data frame, numbered from 1 across the whole session (reconnects
+    included), so each planned fault fires exactly once at a
+    deterministic frame ordinal. The daemon must turn the resulting
+    damage into a protocol error on this session alone, and a client
+    retry must then resume and complete it. *)
+module Net : sig
+  type plan = {
+    torn_frame : int option;
+        (** send only half of the Nth frame, then drop the connection *)
+    disconnect_before : int option;
+        (** drop the connection instead of sending the Nth frame *)
+    slow_frame : int option;
+        (** dribble the Nth frame out in tiny delayed chunks *)
+    dup_retry : int option;
+        (** after the first resumed reconnect, rewind the send position
+            by N events past the server-acknowledged point, forcing the
+            server to deduplicate the overlap *)
+  }
+
+  val none : plan
+
+  (** What the sender must do with the frame it is about to send. *)
+  type action = Send | Torn | Slow | Disconnect
+
+  type t
+
+  val create : plan -> t
+
+  val frames : t -> int
+  (** Data frames the plan has been consulted about so far. *)
+
+  val next_frame : t -> action
+  (** Count one outgoing data frame and return its fate. *)
+
+  val rewind : t -> int
+  (** Events to rewind the resume position by on this reconnect (0 when
+      no [dup_retry] is planned; fires once). *)
+end

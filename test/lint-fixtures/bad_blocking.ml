@@ -1,0 +1,17 @@
+(* Seeded blocking-io violations — this file is a fixture, never built.
+   Unbounded blocking calls must be reported everywhere except the
+   server's deadline-aware I/O seam (see server/net_io.ml beside this
+   file, which carries the same calls and must report nothing). *)
+
+let wait_forever fd buf = Unix.read fd buf 0 4096 (* finding: blocking-io *)
+
+let nap () = Unix.sleepf 0.25 (* finding: the sleep prefix matches sleepf too *)
+
+let first_line ic = input_line ic (* finding: blocking-io *)
+
+(* lint:allow blocking-io — startup-only read of a regular config file *)
+let waived ic = input_line ic
+
+let doc = "a string mentioning Unix.select must not count"
+
+(* prose mentioning Unix.accept in a comment must not count either *)

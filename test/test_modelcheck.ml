@@ -128,10 +128,24 @@ let test_lint_hashtbl_rule_scoped_to_persist () =
   let fs = Lint.scan_file (fixture "bad_atomic.ml") in
   check_int "no hashtbl findings outside persist" 0 (count_rule "hashtbl-order" fs)
 
+let test_lint_blocking_fixture () =
+  let fs = Lint.scan_file (fixture "bad_blocking.ml") in
+  check_int "blocking-io errors" 3 (count_rule "blocking-io" fs);
+  check_int "total findings" 3 (List.length fs);
+  Alcotest.(check (list int)) "blocking-io finding lines" [ 6; 8; 10 ]
+    (lines_of "blocking-io" fs);
+  check_bool "waived line absent" false (List.mem 13 (lines_of "blocking-io" fs))
+
+let test_lint_blocking_seam_exempt () =
+  (* The same primitives inside a server/net_io.ml path are the seam
+     itself — exempt by path, with no waiver comments needed. *)
+  let fs = Lint.scan_file (fixture "server/net_io.ml") in
+  check_int "seam findings" 0 (List.length fs)
+
 let test_lint_scan_fixtures () =
   let r = Lint.scan [ fixtures ] in
-  check_int "files" 2 r.Lint.files_scanned;
-  check_int "errors" 6 (Lint.errors r);
+  check_int "files" 4 r.Lint.files_scanned;
+  check_int "errors" 9 (Lint.errors r);
   check_int "warnings" 2 (Lint.warnings r);
   check_int "notes" 0 (Lint.notes r);
   check_bool "not clean" false (Lint.clean r);
@@ -179,6 +193,8 @@ let () =
           tc "atomic fixture counts" test_lint_atomic_fixture;
           tc "hashtbl fixture counts" test_lint_hashtbl_fixture;
           tc "hashtbl rule scoped to persist" test_lint_hashtbl_rule_scoped_to_persist;
+          tc "blocking fixture counts" test_lint_blocking_fixture;
+          tc "blocking rule exempts the net_io seam" test_lint_blocking_seam_exempt;
           tc "scan totals and ranking" test_lint_scan_fixtures;
           tc "sexp shape" test_lint_sexp_shape;
         ] );

@@ -1,0 +1,501 @@
+(* The serve stack, unit-tested in process: wire framing survives
+   arbitrary slicing and rejects corruption; a daemon running on its own
+   domain serves concurrent sessions whose on-disk profiles are
+   byte-identical to the serial reference; injected wire faults, raw
+   protocol garbage and position gaps kill exactly one session; shedding
+   and daemon restarts are absorbed by the client's retry loop. *)
+
+module Wire = Ormp_server.Wire
+module Net_io = Ormp_server.Net_io
+module Daemon = Ormp_server.Daemon
+module Client = Ormp_server.Client
+module Net_fault = Ormp_workloads.Faults.Net
+module Batch = Ormp_trace.Batch
+module Event = Ormp_trace.Event
+
+let check_bool = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_string = Alcotest.(check string)
+
+let tmpdir () =
+  Filename.temp_file "ormp_server" "" |> fun f ->
+  Sys.remove f;
+  Unix.mkdir f 0o755;
+  f
+
+let rec rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let profile_bytes dir =
+  ( read_file (Filename.concat dir "whomp.profile"),
+    read_file (Filename.concat dir "rasg.profile"),
+    read_file (Filename.concat dir "leap.profile") )
+
+(* One event stream shared by every test; linked_list is small and hits
+   alloc, access and free frames. *)
+let events =
+  match Client.generate ~workload:"linked_list" ~seed:1 with
+  | Ok (evs, _) -> evs
+  | Error m -> failwith m
+
+let reference_dir =
+  lazy
+    (let dir = tmpdir () in
+     Client.reference ~dir ~events;
+     at_exit (fun () -> try rm_rf dir with _ -> ());
+     dir)
+
+let check_matches_reference what dir =
+  let rw, rr, rl = profile_bytes (Lazy.force reference_dir) in
+  let sw, sr, sl = profile_bytes dir in
+  check_bool (what ^ ": whomp bytes") true (rw = sw);
+  check_bool (what ^ ": rasg bytes") true (rr = sr);
+  check_bool (what ^ ": leap bytes") true (rl = sl)
+
+(* --- wire framing ------------------------------------------------------ *)
+
+let sample_chunk () =
+  let c =
+    {
+      Batch.instr = Array.init 7 (fun i -> i * 3);
+      addr = Array.init 7 (fun i -> 0x1000 + (i * 8));
+      size = Array.make 7 8;
+      store = Array.init 7 (fun i -> i land 1);
+      len = 5;
+    }
+  in
+  c
+
+let eq_msg a b =
+  match (a, b) with
+  | Wire.Batch { start = s1; chunk = c1 }, Wire.Batch { start = s2; chunk = c2 } ->
+    s1 = s2 && c1.Batch.len = c2.Batch.len
+    && Array.for_all Fun.id
+         (Array.init c1.Batch.len (fun i ->
+              c1.Batch.instr.(i) = c2.Batch.instr.(i)
+              && c1.Batch.addr.(i) = c2.Batch.addr.(i)
+              && c1.Batch.size.(i) = c2.Batch.size.(i)
+              && c1.Batch.store.(i) = c2.Batch.store.(i)))
+  | a, b -> a = b
+
+let roundtrip_msgs () =
+  [
+    Wire.Hello { token = "tok-1"; workload = "linked_list"; ack_every = 4 };
+    Wire.Hello_ok { fresh = true; complete = false; position = 0 };
+    Wire.Hello_ok { fresh = false; complete = true; position = 6240 };
+    (* 2.5 has high exponent bits: a regression guard for float transport *)
+    Wire.Shed { retry_after_s = 2.5; reason = "draining for shutdown" };
+    Wire.Err "position gap";
+    Wire.Batch { start = 12345; chunk = sample_chunk () };
+    Wire.Ev
+      { position = 7; event = Event.Alloc { site = 3; addr = 0x2000; size = 64; type_name = None } };
+    Wire.Ev { position = 9; event = Event.Free { addr = 0x2000; site = Some 4 } };
+    Wire.Finish { position = 6240 };
+    Wire.Finish_ok { position = 6240; collected = 6000; wild = 0 };
+    Wire.Ack { position = 512 };
+    Wire.Ping;
+    Wire.Pong;
+  ]
+
+(* Feed the encoded stream in [slice]-byte pieces; every message must
+   come back out, regardless of where the frame boundaries fall. *)
+let decode_sliced slice encoded =
+  let dec = Wire.decoder () in
+  let out = ref [] in
+  let buf = Bytes.of_string encoded in
+  let n = Bytes.length buf in
+  let drain () =
+    let continue = ref true in
+    while !continue do
+      match Wire.next dec with
+      | Ok (Some m) -> out := m :: !out
+      | Ok None -> continue := false
+      | Error e -> failwith ("decode error: " ^ e)
+    done
+  in
+  let i = ref 0 in
+  while !i < n do
+    let k = min slice (n - !i) in
+    Wire.feed dec buf !i k;
+    drain ();
+    i := !i + k
+  done;
+  List.rev !out
+
+let test_wire_roundtrip () =
+  let msgs = roundtrip_msgs () in
+  let encoded = String.concat "" (List.map Wire.encode msgs) in
+  List.iter
+    (fun slice ->
+      let got = decode_sliced slice encoded in
+      check_int (Printf.sprintf "count at slice %d" slice) (List.length msgs)
+        (List.length got);
+      List.iter2
+        (fun want have ->
+          check_bool (Printf.sprintf "msg equal at slice %d" slice) true (eq_msg want have))
+        msgs got)
+    [ 1; 2; 3; 7; 64; String.length encoded ]
+
+let test_wire_crc_rejects_corruption () =
+  let s = Wire.encode (Wire.Hello { token = "t"; workload = "w"; ack_every = 1 }) in
+  (* flip one payload byte; the CRC trailer no longer matches *)
+  let b = Bytes.of_string s in
+  Bytes.set b 6 (Char.chr (Char.code (Bytes.get b 6) lxor 0xff));
+  let dec = Wire.decoder () in
+  Wire.feed dec b 0 (Bytes.length b);
+  (match Wire.next dec with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupted frame was accepted");
+  (* an insane length prefix is rejected before any buffering happens *)
+  let dec2 = Wire.decoder () in
+  let huge = Bytes.make 4 '\xff' in
+  Wire.feed dec2 huge 0 4;
+  match Wire.next dec2 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "oversized length prefix accepted"
+
+let test_wire_partial_frame_buffers () =
+  let s = Wire.encode Wire.Ping in
+  let dec = Wire.decoder () in
+  Wire.feed dec (Bytes.of_string s) 0 (String.length s - 1);
+  (match Wire.next dec with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "partial frame should need more bytes");
+  check_bool "partial frame is visibly buffered" true (Wire.buffered dec > 0);
+  Wire.feed dec (Bytes.of_string s) (String.length s - 1) 1;
+  (match Wire.next dec with
+  | Ok (Some Wire.Ping) -> ()
+  | _ -> Alcotest.fail "completed frame should decode");
+  check_int "drained" 0 (Wire.buffered dec)
+
+(* --- in-process daemon harness ----------------------------------------- *)
+
+type harness = {
+  root : string;
+  socket : string;
+  mutable daemon : (Daemon.t * unit Domain.t) option;
+}
+
+let start_daemon ?(jobs = 1) ?(max_sessions = 64) h =
+  assert (h.daemon = None);
+  let opts =
+    {
+      (Daemon.default_options ~socket:h.socket ~root:h.root) with
+      Daemon.jobs;
+      max_sessions;
+      idle_timeout_s = 10.0;
+      frame_timeout_s = 2.0;
+      ping_every_s = 2.0;
+      heartbeat_every_s = 0.2;
+      retry_after_s = 0.01;
+    }
+  in
+  (* create binds the socket synchronously: once this returns, clients
+     cannot race the listener *)
+  let t = Daemon.create opts in
+  h.daemon <- Some (t, Domain.spawn (fun () -> Daemon.run t))
+
+let stop_daemon h =
+  match h.daemon with
+  | None -> ()
+  | Some (t, d) ->
+    Daemon.stop t;
+    Domain.join d;
+    h.daemon <- None
+
+let with_harness ?jobs ?max_sessions f =
+  let root = tmpdir () in
+  let h = { root; socket = Filename.concat root "ormp.sock"; daemon = None } in
+  start_daemon ?jobs ?max_sessions h;
+  Fun.protect
+    ~finally:(fun () ->
+      stop_daemon h;
+      try rm_rf root with _ -> ())
+    (fun () -> f h)
+
+let session_dir h token = Filename.concat h.root (Filename.concat "sessions" token)
+
+let run ?(ack_every = 4) ?net ?(attempts = 20) h token =
+  Client.run_session ~socket:h.socket ~token ~workload:"linked_list" ~events ~ack_every
+    ~retry:{ Client.default_retry with Client.attempts; backoff_s = 0.005; backoff_max_s = 0.05 }
+    ?net ~io_timeout_s:5.0 ()
+
+let ok_stats what = function
+  | Ok (st : Client.stats) -> st
+  | Error m -> Alcotest.failf "%s: %s" what m
+
+(* --- clean path, serial and pooled ------------------------------------- *)
+
+let test_clean_session_byte_identical () =
+  with_harness (fun h ->
+      let st = ok_stats "clean" (run h "clean") in
+      check_int "no reconnects" 0 st.Client.st_reconnects;
+      check_bool "acks arrived" true (st.Client.st_acks > 0);
+      check_matches_reference "clean" (session_dir h "clean");
+      (* a second run of a finalized token is answered as complete
+         without re-streaming a single frame *)
+      let st2 = ok_stats "replayed token" (run h "clean") in
+      check_int "nothing re-sent" 0 st2.Client.st_frames)
+
+let test_pooled_daemon_byte_identical () =
+  with_harness ~jobs:4 (fun h ->
+      ignore (ok_stats "pooled" (run h "pooled"));
+      check_matches_reference "pooled" (session_dir h "pooled"))
+
+(* --- fault isolation: the heart of the PR ------------------------------- *)
+
+(* Session A suffers a torn frame mid-stream while session B streams
+   concurrently: A must recover through retry, B must never notice. *)
+let test_torn_frame_isolated_from_neighbor () =
+  with_harness (fun h ->
+      let a =
+        Domain.spawn (fun () ->
+            run h "torn-a"
+              ~net:
+                (Net_fault.create
+                   { Net_fault.none with Net_fault.torn_frame = Some 10; dup_retry = Some 700 }))
+      in
+      let b = run h "quiet-b" in
+      let sa = ok_stats "faulted session" (Domain.join a) in
+      let sb = ok_stats "neighbor session" b in
+      check_bool "fault forced a reconnect" true (sa.Client.st_reconnects >= 1);
+      check_int "neighbor saw no reconnects" 0 sb.Client.st_reconnects;
+      check_matches_reference "faulted session" (session_dir h "torn-a");
+      check_matches_reference "neighbor session" (session_dir h "quiet-b"))
+
+let test_every_fault_class_recovers () =
+  with_harness (fun h ->
+      List.iter
+        (fun (token, plan) ->
+          let st = ok_stats token (run h token ~net:(Net_fault.create plan)) in
+          check_bool (token ^ " reconnected") true
+            (st.Client.st_reconnects >= 1 || plan.Net_fault.slow_frame <> None);
+          check_matches_reference token (session_dir h token))
+        [
+          ("f-torn", { Net_fault.none with Net_fault.torn_frame = Some 7 });
+          ("f-drop", { Net_fault.none with Net_fault.disconnect_before = Some 13 });
+          ("f-slow", { Net_fault.none with Net_fault.slow_frame = Some 3 });
+          ( "f-dup",
+            {
+              Net_fault.none with
+              Net_fault.disconnect_before = Some 20;
+              dup_retry = Some 300;
+            } );
+        ])
+
+(* Raw protocol garbage on one connection must not disturb a concurrent
+   well-behaved session. *)
+let test_garbage_connection_isolated () =
+  with_harness (fun h ->
+      let deadline_s = Net_io.now () +. 5.0 in
+      let fd = Net_io.connect_unix ~path:h.socket ~deadline_s in
+      Net_io.send_all fd "\x00\x00\x00\x08not-ormp\xde\xad\xbe\xef" ~deadline_s;
+      let b = run h "beside-garbage" in
+      (* the daemon answers Err and closes us; drain to EOF *)
+      let buf = Bytes.create 4096 in
+      (try
+         while Net_io.recv_into fd buf ~deadline_s > 0 do
+           ()
+         done
+       with Net_io.Timeout -> Alcotest.fail "garbage connection was not closed");
+      Net_io.close_noerr fd;
+      let sb = ok_stats "neighbor of garbage" b in
+      check_int "neighbor saw no reconnects" 0 sb.Client.st_reconnects;
+      check_matches_reference "neighbor of garbage" (session_dir h "beside-garbage"))
+
+(* --- raw-wire protocol errors ------------------------------------------ *)
+
+let recv_msg fd dec ~deadline_s =
+  let buf = Bytes.create 4096 in
+  let rec go () =
+    match Wire.next dec with
+    | Error e -> Alcotest.failf "client-side decode error: %s" e
+    | Ok (Some m) -> m
+    | Ok None ->
+      let n = Net_io.recv_into fd buf ~deadline_s in
+      if n = 0 then Alcotest.fail "connection closed while awaiting a frame";
+      Wire.feed dec buf 0 n;
+      go ()
+  in
+  go ()
+
+let test_position_gap_is_protocol_error () =
+  with_harness (fun h ->
+      let deadline_s = Net_io.now () +. 5.0 in
+      let fd = Net_io.connect_unix ~path:h.socket ~deadline_s in
+      let dec = Wire.decoder () in
+      let send m = Net_io.send_all fd (Wire.encode m) ~deadline_s in
+      send (Wire.Hello { token = "gappy"; workload = "linked_list"; ack_every = 0 });
+      (match recv_msg fd dec ~deadline_s with
+      | Wire.Hello_ok { fresh = true; position = 0; _ } -> ()
+      | _ -> Alcotest.fail "expected a fresh Hello_ok");
+      (* claim to start at event 500 of a session that has seen nothing *)
+      send (Wire.Batch { start = 500; chunk = sample_chunk () });
+      (match recv_msg fd dec ~deadline_s with
+      | Wire.Err e ->
+        check_bool "error names the gap" true
+          (String.length e >= 3 && String.lowercase_ascii e |> fun s ->
+           let rec has i =
+             i + 3 <= String.length s && (String.sub s i 3 = "gap" || has (i + 1))
+           in
+           has 0)
+      | m -> Alcotest.failf "expected Err, got %s" (match m with Wire.Ack _ -> "ack" | _ -> "other"));
+      Net_io.close_noerr fd;
+      (* the gap killed the connection, not the session: it resumes *)
+      let st = ok_stats "resumed after gap" (run h "gappy") in
+      check_int "fresh stream, no reconnects" 0 st.Client.st_reconnects;
+      check_matches_reference "resumed after gap" (session_dir h "gappy"))
+
+let test_duplicate_token_refused_while_attached () =
+  with_harness (fun h ->
+      let deadline_s = Net_io.now () +. 5.0 in
+      let fd = Net_io.connect_unix ~path:h.socket ~deadline_s in
+      let dec = Wire.decoder () in
+      Net_io.send_all fd
+        (Wire.encode (Wire.Hello { token = "held"; workload = "linked_list"; ack_every = 0 }))
+        ~deadline_s;
+      (match recv_msg fd dec ~deadline_s with
+      | Wire.Hello_ok _ -> ()
+      | _ -> Alcotest.fail "expected Hello_ok");
+      let fd2 = Net_io.connect_unix ~path:h.socket ~deadline_s in
+      let dec2 = Wire.decoder () in
+      Net_io.send_all fd2
+        (Wire.encode (Wire.Hello { token = "held"; workload = "linked_list"; ack_every = 0 }))
+        ~deadline_s;
+      (match recv_msg fd2 dec2 ~deadline_s with
+      | Wire.Err _ -> ()
+      | _ -> Alcotest.fail "second claim on an attached token must be refused");
+      Net_io.close_noerr fd2;
+      Net_io.close_noerr fd)
+
+(* --- shedding ----------------------------------------------------------- *)
+
+let test_shed_past_max_sessions () =
+  with_harness ~max_sessions:1 (fun h ->
+      let deadline_s = Net_io.now () +. 5.0 in
+      (* occupy the single admission slot with a raw, idle session *)
+      let fd = Net_io.connect_unix ~path:h.socket ~deadline_s in
+      let dec = Wire.decoder () in
+      Net_io.send_all fd
+        (Wire.encode (Wire.Hello { token = "occupant"; workload = "linked_list"; ack_every = 0 }))
+        ~deadline_s;
+      (match recv_msg fd dec ~deadline_s with
+      | Wire.Hello_ok _ -> ()
+      | _ -> Alcotest.fail "occupant admission failed");
+      let fd2 = Net_io.connect_unix ~path:h.socket ~deadline_s in
+      let dec2 = Wire.decoder () in
+      Net_io.send_all fd2
+        (Wire.encode (Wire.Hello { token = "latecomer"; workload = "linked_list"; ack_every = 0 }))
+        ~deadline_s;
+      (match recv_msg fd2 dec2 ~deadline_s with
+      | Wire.Shed { retry_after_s; _ } -> check_bool "retry hint" true (retry_after_s > 0.0)
+      | _ -> Alcotest.fail "expected Shed past max_sessions");
+      Net_io.close_noerr fd2;
+      (* freeing the slot lets the shed client in; its retry loop absorbs
+         the shed responses in between *)
+      Net_io.close_noerr fd;
+      let st = ok_stats "latecomer" (run h "latecomer") in
+      ignore st;
+      check_matches_reference "latecomer" (session_dir h "latecomer"))
+
+(* --- daemon restart ------------------------------------------------------ *)
+
+(* Stream part of a session, drop the connection, take the whole daemon
+   down and start a fresh one on the same root: the client's next attempt
+   must resume from the journaled position and finish byte-identically. *)
+let test_restart_resumes_from_journal () =
+  with_harness (fun h ->
+      let deadline_s = Net_io.now () +. 5.0 in
+      let fd = Net_io.connect_unix ~path:h.socket ~deadline_s in
+      let dec = Wire.decoder () in
+      let send m = Net_io.send_all fd (Wire.encode m) ~deadline_s in
+      send (Wire.Hello { token = "phoenix"; workload = "linked_list"; ack_every = 1 });
+      (match recv_msg fd dec ~deadline_s with
+      | Wire.Hello_ok { position = 0; _ } -> ()
+      | _ -> Alcotest.fail "expected a fresh Hello_ok");
+      (* stream the first 300 events by hand, then vanish mid-session *)
+      let pos = ref 0 in
+      while !pos < 300 do
+        (match events.(!pos) with
+        | Event.Access { instr; addr; size; is_store } ->
+          let chunk =
+            {
+              Batch.instr = [| instr |];
+              addr = [| addr |];
+              size = [| size |];
+              store = [| Bool.to_int is_store |];
+              len = 1;
+            }
+          in
+          send (Wire.Batch { start = !pos; chunk })
+        | ev -> send (Wire.Ev { position = !pos; event = ev }));
+        (match recv_msg fd dec ~deadline_s with
+        | Wire.Ack { position } -> check_int "acked in order" (!pos + 1) position
+        | _ -> Alcotest.fail "expected an Ack per frame at ack_every=1");
+        incr pos
+      done;
+      Net_io.close_noerr fd;
+      stop_daemon h;
+      start_daemon h;
+      let st = ok_stats "after restart" (run h "phoenix") in
+      check_int "no reconnects against the new daemon" 0 st.Client.st_reconnects;
+      (* the resumed stream skipped what the journal already held *)
+      check_bool "resumed, not restarted" true
+        (st.Client.st_frames < Array.length events / Batch.default_capacity + 60);
+      check_matches_reference "after restart" (session_dir h "phoenix"))
+
+(* --- percentile helper --------------------------------------------------- *)
+
+let test_percentile () =
+  let xs = [ 5.0; 1.0; 4.0; 2.0; 3.0 ] in
+  check_string "p50" "3." (Printf.sprintf "%g." (Client.percentile xs 0.5));
+  check_string "p99" "5." (Printf.sprintf "%g." (Client.percentile xs 0.99));
+  check_string "empty" "0." (Printf.sprintf "%g." (Client.percentile [] 0.99))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "ormp_server"
+    [
+      ( "wire",
+        [
+          Alcotest.test_case "roundtrip at every slice size" `Quick test_wire_roundtrip;
+          Alcotest.test_case "crc rejects corruption" `Quick test_wire_crc_rejects_corruption;
+          Alcotest.test_case "partial frames buffer visibly" `Quick
+            test_wire_partial_frame_buffers;
+        ] );
+      ( "sessions",
+        [
+          Alcotest.test_case "clean session is byte-identical" `Quick
+            test_clean_session_byte_identical;
+          Alcotest.test_case "pooled daemon is byte-identical" `Quick
+            test_pooled_daemon_byte_identical;
+          Alcotest.test_case "percentile" `Quick test_percentile;
+        ] );
+      ( "faults",
+        [
+          Alcotest.test_case "torn frame isolated from neighbor" `Quick
+            test_torn_frame_isolated_from_neighbor;
+          Alcotest.test_case "every fault class recovers" `Quick
+            test_every_fault_class_recovers;
+          Alcotest.test_case "garbage connection isolated" `Quick
+            test_garbage_connection_isolated;
+          Alcotest.test_case "position gap is a protocol error" `Quick
+            test_position_gap_is_protocol_error;
+          Alcotest.test_case "attached token cannot be stolen" `Quick
+            test_duplicate_token_refused_while_attached;
+        ] );
+      ( "overload",
+        [ Alcotest.test_case "shed past max-sessions" `Quick test_shed_past_max_sessions ] );
+      ( "restart",
+        [
+          Alcotest.test_case "restart resumes from the journal" `Quick
+            test_restart_resumes_from_journal;
+        ] );
+    ]
