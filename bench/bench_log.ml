@@ -108,6 +108,22 @@ type serve = {
   sv_identical : bool;  (** every session byte-identical to the reference *)
 }
 
+(* Non-timing overhead shape of the ORMP-Watch introspection layer: the
+   same client load pushed through a daemon with the stats machinery off
+   and then on (registry enabled, an aggressive `ormp top`-style poller
+   attached, stats-file export running), and the resulting guard ratio.
+   The ratio is the figure the section exists to pin down: observation
+   must cost at most 10% of data-path throughput. *)
+type observe = {
+  ob_sessions : int;  (** concurrent sessions per repetition *)
+  ob_events : int;  (** raw events per session *)
+  ob_off_events_per_sec : float;  (** best-of-N, stats disabled *)
+  ob_on_events_per_sec : float;  (** best-of-N, stats + poller + export *)
+  ob_ratio : float;  (** off/on throughput ratio; guarded <= 1.10 *)
+  ob_stats_frames : int;  (** Stats snapshots served during the on runs *)
+  ob_flight_dumps : int;  (** flight bundles dumped (0 for a clean load) *)
+}
+
 type t = {
   mode : string;  (** "fast" or "paper" *)
   mutable sections : (string * float) list;  (** reverse execution order *)
@@ -118,6 +134,7 @@ type t = {
   mutable scaling : scaling option;
   mutable modelcheck : modelcheck_row list;
   mutable serve : serve option;
+  mutable observe : observe option;
   mutable suites_parallel : bool;
   mutable suites_wall_s : float;
   mutable suites : suite_row list;
@@ -135,6 +152,7 @@ let create ~mode =
     scaling = None;
     modelcheck = [];
     serve = None;
+    observe = None;
     suites_parallel = false;
     suites_wall_s = Float.nan;
     suites = [];
@@ -156,6 +174,8 @@ let set_scaling t s = t.scaling <- Some s
 let set_modelcheck t rows = t.modelcheck <- rows
 
 let set_serve t s = t.serve <- Some s
+
+let set_observe t o = t.observe <- Some o
 
 let set_suites t ~parallel ~wall_s rows =
   t.suites_parallel <- parallel;
@@ -351,6 +371,25 @@ let render t =
     Buffer.add_string b (string_of_int s.sv_sheds);
     Buffer.add_string b ", \"identical\": ";
     Buffer.add_string b (string_of_bool s.sv_identical);
+    Buffer.add_char b '}');
+  (match t.observe with
+  | None -> ()
+  | Some o ->
+    Buffer.add_string b ",\n  \"observe\": {";
+    Buffer.add_string b "\"sessions\": ";
+    Buffer.add_string b (string_of_int o.ob_sessions);
+    Buffer.add_string b ", \"events_per_session\": ";
+    Buffer.add_string b (string_of_int o.ob_events);
+    Buffer.add_string b ", \"off_events_per_sec\": ";
+    buf_float b o.ob_off_events_per_sec;
+    Buffer.add_string b ", \"on_events_per_sec\": ";
+    buf_float b o.ob_on_events_per_sec;
+    Buffer.add_string b ", \"ratio\": ";
+    buf_float b o.ob_ratio;
+    Buffer.add_string b ", \"stats_frames\": ";
+    Buffer.add_string b (string_of_int o.ob_stats_frames);
+    Buffer.add_string b ", \"flight_dumps\": ";
+    Buffer.add_string b (string_of_int o.ob_flight_dumps);
     Buffer.add_char b '}');
   if t.suites <> [] then begin
     Buffer.add_string b ",\n  \"suites\": {\"parallel\": ";

@@ -15,7 +15,8 @@
                                  alias runs this against the committed
                                  baseline)
    Section names: fig5 fig6 fig7 fig8 fig9 table1 ablations extensions
-   hotpath micro recovery verify
+   hotpath micro scaling recovery telemetry modelcheck serve observe
+   verify
 
    The verify section (debug-mode checking pass: sanitize every workload,
    verify every profile's structural invariants) runs in --fast mode and
@@ -31,7 +32,7 @@ open Ormp_report
 let section_names =
   [
     "fig5"; "fig6"; "fig7"; "fig8"; "fig9"; "table1"; "ablations"; "extensions"; "hotpath";
-    "micro"; "scaling"; "recovery"; "telemetry"; "modelcheck"; "serve"; "verify";
+    "micro"; "scaling"; "recovery"; "telemetry"; "modelcheck"; "serve"; "observe"; "verify";
   ]
 
 let parse_args () =
@@ -913,6 +914,158 @@ let run_serve log ~bench () =
         })
 
 (* ------------------------------------------------------------------ *)
+(* Observe: ORMP-Watch introspection overhead guard                    *)
+(* ------------------------------------------------------------------ *)
+
+(* Pushes the same concurrent client load through an in-process daemon
+   twice: once with the stats machinery fully off (registry disabled, no
+   flight consumers, no export), once with everything ORMP-Watch adds
+   turned on AND actively exercised — registry enabled, a poller domain
+   fetching Stats frames at `ormp top`-refresh cadence, stats-file
+   export at heartbeat cadence. Best-of-N walls on each side; the run
+   fails if watching the daemon costs more than 10% of data-path
+   throughput. DESIGN.md §15 documents this bound as part of the stats
+   channel's contract. *)
+let run_observe log ~bench () =
+  timed log "observe" (fun () ->
+      print_endline
+        (Ormp_util.Ascii.section "Observability: stats channel + flight recorder overhead");
+      let module Daemon = Ormp_server.Daemon in
+      let module Client = Ormp_server.Client in
+      let module Stats = Ormp_server.Stats in
+      let module Tm = Ormp_telemetry.Telemetry in
+      let n_sessions = if bench then 8 else 4 in
+      let reps = if bench then 5 else 3 in
+      let rec rm_rf path =
+        if Sys.file_exists path then
+          if Sys.is_directory path then begin
+            Array.iter (fun f -> rm_rf (Filename.concat path f)) (Sys.readdir path);
+            Sys.rmdir path
+          end
+          else Sys.remove path
+      in
+      let events =
+        match Client.generate ~workload:"linked_list" ~seed:1 with
+        | Ok (evs, _) -> evs
+        | Error msg -> failwith ("observe: " ^ msg)
+      in
+      let stats_frames = ref 0 and flight_dumps = ref 0 in
+      let run_id = ref 0 in
+      let run_once ~stats () =
+        incr run_id;
+        let base =
+          Filename.concat (Filename.get_temp_dir_name ())
+            (Printf.sprintf "ormp-bench-observe-%d-%d" (Unix.getpid ()) !run_id)
+        in
+        rm_rf base;
+        Unix.mkdir base 0o755;
+        Fun.protect ~finally:(fun () -> rm_rf base) @@ fun () ->
+        let socket = Filename.concat base "ormp.sock" in
+        let options =
+          {
+            (Daemon.default_options ~socket ~root:base) with
+            Daemon.jobs = 2;
+            max_sessions = 0;
+            heartbeat_every_s = 0.1;
+            stats;
+            stats_file = (if stats then Some (Filename.concat base "stats.json") else None);
+          }
+        in
+        (* Daemon.create enables the registry when [stats]; the off side
+           must measure with it genuinely off *)
+        if not stats then Tm.disable ();
+        let daemon = Daemon.create options in
+        let daemon_domain = Domain.spawn (fun () -> Daemon.run daemon) in
+        let stop_poll = Atomic.make false in
+        let poller =
+          if not stats then None
+          else
+            Some
+              (Domain.spawn (fun () ->
+                   let n = ref 0 in
+                   while not (Atomic.get stop_poll) do
+                     (match Client.fetch_stats ~socket ~io_timeout_s:5.0 () with
+                     | Ok s ->
+                       incr n;
+                       flight_dumps := s.Stats.s_flight_dumps
+                     | Error _ -> ());
+                     Ormp_server.Net_io.sleep 0.005
+                   done;
+                   !n))
+        in
+        let t0 = Ormp_util.Clock.now_s () in
+        let clients =
+          Array.init n_sessions (fun i ->
+              Domain.spawn (fun () ->
+                  Client.run_session ~socket ~token:(Printf.sprintf "ob-%d" i)
+                    ~workload:"linked_list" ~events ~ack_every:4
+                    ~retry:
+                      {
+                        Client.default_retry with
+                        Client.attempts = 60;
+                        backoff_s = 0.005;
+                        backoff_max_s = 0.05;
+                        seed = 0x0b5e + i;
+                      }
+                    ()))
+        in
+        Array.iteri
+          (fun i d ->
+            match Domain.join d with
+            | Ok (_ : Client.stats) -> ()
+            | Error msg -> failwith (Printf.sprintf "observe: session ob-%d failed: %s" i msg))
+          clients;
+        let wall_s = Ormp_util.Clock.now_s () -. t0 in
+        Atomic.set stop_poll true;
+        (match poller with
+        | Some p -> stats_frames := !stats_frames + Domain.join p
+        | None -> ());
+        Daemon.stop daemon;
+        Domain.join daemon_domain;
+        wall_s
+      in
+      let min_of k f =
+        let best = ref Float.infinity in
+        for _ = 1 to k do
+          let v = f () in
+          if v < !best then best := v
+        done;
+        !best
+      in
+      ignore (run_once ~stats:false ());
+      (* warm-up *)
+      let off_wall = min_of reps (run_once ~stats:false) in
+      let on_wall = min_of reps (run_once ~stats:true) in
+      Tm.disable ();
+      Tm.reset ();
+      let total = float_of_int (n_sessions * Array.length events) in
+      let off_eps = total /. off_wall and on_eps = total /. on_wall in
+      let ratio = off_eps /. on_eps in
+      Printf.printf
+        "%d sessions x %d events (best of %d)\n\
+         stats off: %10.0f events/s\n\
+         stats on : %10.0f events/s   ratio: %.3f   (%d stats frames served, %d flight \
+         dumps)\n\n"
+        n_sessions (Array.length events) reps off_eps on_eps ratio !stats_frames
+        !flight_dumps;
+      Bench_log.set_observe log
+        {
+          Bench_log.ob_sessions = n_sessions;
+          ob_events = Array.length events;
+          ob_off_events_per_sec = off_eps;
+          ob_on_events_per_sec = on_eps;
+          ob_ratio = ratio;
+          ob_stats_frames = !stats_frames;
+          ob_flight_dumps = !flight_dumps;
+        };
+      if ratio > 1.10 then begin
+        Printf.printf
+          "observe guard: FAILED — watching the daemon costs %.1f%% (> 10%%)\n"
+          ((ratio -. 1.0) *. 100.0);
+        exit 1
+      end)
+
+(* ------------------------------------------------------------------ *)
 (* Verify: the debug-mode checking pass                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -1150,6 +1303,7 @@ let () =
   if enabled "telemetry" then run_telemetry log ~bench ();
   if enabled "modelcheck" then run_modelcheck log ();
   if enabled "serve" then run_serve log ~bench ();
+  if enabled "observe" then run_observe log ~bench ();
   (* Skipped in default timing runs; see the usage comment. *)
   if List.mem "verify" wanted || (wanted = [] && fast) then run_verify log ~bench ();
   Bench_log.write log "BENCH_ormp.json";

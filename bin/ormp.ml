@@ -1285,7 +1285,8 @@ let socket_arg =
 
 let serve_cmd =
   let run socket root jobs max_sessions grammar_budget max_occupancy idle_timeout
-      frame_timeout ping_every heartbeat_every retry_after leap_budget max_streams quiet =
+      frame_timeout ping_every heartbeat_every retry_after leap_budget max_streams
+      stats_file no_stats quiet =
     apply_quiet quiet;
     let jobs = resolve_jobs jobs in
     nonneg "max-sessions" max_sessions;
@@ -1309,6 +1310,8 @@ let serve_cmd =
         retry_after_s = retry_after;
         leap_budget;
         max_streams;
+        stats = not no_stats;
+        stats_file;
       }
     in
     let t =
@@ -1391,6 +1394,23 @@ let serve_cmd =
       & info [ "max-streams" ] ~docv:"N"
           ~doc:"Per-session cap on LEAP streams (0 = unlimited).")
   in
+  let stats_file =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "stats-file" ] ~docv:"PATH"
+          ~doc:
+            "Also export the live stats snapshot to PATH as JSON (atomic rename) at \
+             heartbeat cadence — the scrape-friendly twin of $(b,ormp top).")
+  in
+  let no_stats =
+    Arg.(
+      value & flag
+      & info [ "no-stats" ]
+          ~doc:
+            "Do not enable the telemetry registry; Stats requests are still answered \
+             but carry only the select loop's own gauges. For overhead measurement.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
@@ -1400,7 +1420,7 @@ let serve_cmd =
     Term.(
       const run $ socket_arg $ root $ jobs_arg $ max_sessions $ grammar_budget
       $ max_occupancy $ idle_timeout $ frame_timeout $ ping_every $ heartbeat_every
-      $ retry_after $ leap_budget $ max_streams $ quiet_arg)
+      $ retry_after $ leap_budget $ max_streams $ stats_file $ no_stats $ quiet_arg)
 
 let client_cmd =
   let run workload socket token seed sessions ack_every attempts timeout torn_frame
@@ -1586,19 +1606,15 @@ let stats_cmd =
       match obj "histograms" with
       | [] -> ()
       | hists ->
+        let module M = Ormp_telemetry.Metrics in
         let hrow (n, v) =
-          let f name =
-            match Option.bind (J.member name v) J.to_float with
-            | Some x -> Printf.sprintf "%.6g" x
-            | None -> "?"
-          in
-          [ n; f "count"; f "sum"; f "min"; f "max"; f "p50"; f "p90"; f "p99" ]
+          match M.hist_summary_of_json v with
+          | Some h -> M.hist_row n h
+          | None -> [ n; "?" ]
         in
         print_endline (Ormp_util.Ascii.section "histograms");
         print_endline
-          (Ormp_util.Ascii.table
-             ~header:[ "histogram"; "count"; "sum"; "min"; "max"; "p50"; "p90"; "p99" ]
-             ~rows:(List.map hrow hists)));
+          (Ormp_util.Ascii.table ~header:M.hist_header ~rows:(List.map hrow hists)));
     (* The s-expression snapshot must stay loadable too — it is the form
        other tooling in this repo consumes. *)
     let sexp_path = dir // Telemetry.metrics_sexp_file in
@@ -1642,10 +1658,75 @@ let stats_cmd =
        ~doc:"Pretty-print (and validate) the telemetry reports of a --telemetry run")
     Term.(const run $ dir $ check $ quiet_arg)
 
+(* --- top -------------------------------------------------------------- *)
+
+let top_cmd =
+  let module Stats = Ormp_server.Stats in
+  let run socket interval once timeout quiet =
+    apply_quiet quiet;
+    if interval <= 0.0 then Exit_codes.usagef "--interval must be positive (got %g)" interval;
+    if timeout <= 0.0 then Exit_codes.usagef "--timeout must be positive (got %g)" timeout;
+    let fetch () = Client.fetch_stats ~socket ~io_timeout_s:timeout () in
+    if once then
+      match fetch () with
+      | Ok s -> print_string (Stats.render s)
+      | Error e -> Exit_codes.findingsf "cannot fetch stats from %s: %s" socket e
+    else begin
+      let failures = ref 0 in
+      while true do
+        (match fetch () with
+        | Ok s ->
+          failures := 0;
+          (* Clear + home, the watch(1) idiom, so the tables repaint in
+             place instead of scrolling. *)
+          print_string "\x1b[2J\x1b[H";
+          Printf.printf "ormp top — %s — every %.1fs (ctrl-c to quit)\n\n" socket interval;
+          print_string (Stats.render s);
+          flush stdout
+        | Error e ->
+          incr failures;
+          Printf.eprintf "ormp top: %s\n%!" e;
+          (* A restarting daemon deserves patience; a gone one does not. *)
+          if !failures >= 5 then
+            Exit_codes.findingsf "cannot fetch stats from %s after %d attempts" socket
+              !failures);
+        Ormp_server.Net_io.sleep interval
+      done
+    end
+  in
+  let socket =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"SOCKET" ~doc:"Unix-domain socket of a running $(b,ormp serve).")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval"; "n" ] ~docv:"SECONDS" ~doc:"Refresh cadence.")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ] ~doc:"Print a single snapshot and exit (no screen clearing).")
+  in
+  let timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECONDS" ~doc:"Per-fetch I/O deadline.")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live view of a running $(b,ormp serve): daemon gauges, per-session rows \
+          (position, events/s, ack latency, ring occupancy, journal lag) and the \
+          telemetry registry, refreshed in place")
+    Term.(const run $ socket $ interval $ once $ timeout $ quiet_arg)
+
 let () =
   let doc = "object-relative memory profiling (WHOMP/LEAP, CGO 2004)" in
   let info = Cmd.info "ormp" ~version:"1.0.0" ~doc in
   exit
     (Cmd.eval
        (Cmd.group info
-          [ list_cmd; trace_cmd; whomp_cmd; leap_cmd; compare_cmd; check_cmd; lint_cmd; modelcheck_cmd; post_cmd; analyze_cmd; record_cmd; replay_cmd; session_cmd; serve_cmd; client_cmd; stats_cmd ]))
+          [ list_cmd; trace_cmd; whomp_cmd; leap_cmd; compare_cmd; check_cmd; lint_cmd; modelcheck_cmd; post_cmd; analyze_cmd; record_cmd; replay_cmd; session_cmd; serve_cmd; client_cmd; stats_cmd; top_cmd ]))

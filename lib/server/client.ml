@@ -155,6 +155,42 @@ let rec recv_msg l =
     Wire.feed l.dec l.buf 0 n;
     recv_msg l
 
+(* One-shot stats fetch: connect, ask, read frames (answering pings)
+   until the snapshot arrives. No session, no retry loop — a monitor
+   polls, so the poller owns the retry policy. *)
+let fetch_stats ~socket ?(io_timeout_s = 10.0) () : (Stats.t, string) result =
+  match
+    let fd = Net_io.connect_unix ~path:socket ~deadline_s:(Net_io.now () +. io_timeout_s) in
+    Fun.protect
+      ~finally:(fun () -> Net_io.close_noerr fd)
+      (fun () ->
+        let l =
+          {
+            fd;
+            dec = Wire.decoder ();
+            buf = Bytes.create 65536;
+            io_timeout_s;
+            net = Net_fault.create Net_fault.none;
+            pending = Queue.create ();
+            frames = 0;
+            acks = 0;
+            latencies = [];
+          }
+        in
+        send_ctl l Wire.Stats_req;
+        let rec wait () =
+          match recv_msg l with
+          | Wire.Stats s -> Ok s
+          | Wire.Err e -> Error ("server error: " ^ e)
+          | _ -> wait ()
+        in
+        wait ())
+  with
+  | r -> r
+  | exception Reconnect reason -> Error reason
+  | exception Net_io.Timeout -> Error "i/o deadline expired"
+  | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e)
+
 type outcome = Done | Shed_off of float | Dropped of string
 
 let stream l ~events ~from =

@@ -51,6 +51,13 @@ val run_session :
     server-reported durable position. Returns [Error] only once the
     retry budget is exhausted. *)
 
+val fetch_stats :
+  socket:string -> ?io_timeout_s:float -> unit -> (Stats.t, string) result
+(** One-shot live snapshot from a running daemon: connect, send
+    [Stats_req], wait for the [Stats] reply (answering pings). The
+    building block behind [ormp top]; callers poll, so retry policy is
+    theirs. Errors are connection/timeout/protocol failures as text. *)
+
 val reference : dir:string -> events:Ormp_trace.Event.t array -> unit
 (** Run the serial {!Pipeline} locally over [events] and write the three
     profile files into [dir] — the byte-comparison baseline for any

@@ -16,6 +16,9 @@ let m_sessions = Tm.Metrics.counter "serve.sessions"
 let m_frames = Tm.Metrics.counter "serve.frames"
 let m_sheds = Tm.Metrics.counter "serve.sheds"
 let m_proto_errors = Tm.Metrics.counter "serve.protocol_errors"
+let m_stats_requests = Tm.Metrics.counter "serve.stats_requests"
+let m_hb_dropped = Tm.Metrics.counter "daemon.heartbeat.dropped"
+let m_ack_flush = Tm.Metrics.histogram "serve.ack_flush_ns"
 
 type options = {
   socket : string;
@@ -31,6 +34,8 @@ type options = {
   retry_after_s : float;
   leap_budget : int option;
   max_streams : int;
+  stats : bool;
+  stats_file : string option;
 }
 
 let default_options ~socket ~root =
@@ -48,6 +53,8 @@ let default_options ~socket ~root =
     retry_after_s = 0.05;
     leap_budget = None;
     max_streams = 0;
+    stats = true;
+    stats_file = None;
   }
 
 type session = {
@@ -58,6 +65,13 @@ type session = {
   journal : Journal.writer;
   ack_every : int;
   mutable frames_since_ack : int;
+  (* Introspection state, all owned by the select loop. *)
+  ack_ns : Tm.Metrics.Local.t;  (* ack-flush latency, ns *)
+  mutable durable : int;  (* Journal.count at the last flush *)
+  mutable rate : float;  (* events/s over the last rate window *)
+  mutable rate_last_pos : int;
+  mutable rate_last_s : float;
+  mutable cached_symbols : int;  (* grammar size; refreshed at heartbeat *)
 }
 
 type conn = {
@@ -90,6 +104,21 @@ type t = {
   start_s : float;
   mutable hb_last_s : float;
   mutable hb_last_events : int;
+  (* Introspection state. *)
+  flight : Ormp_telemetry.Flight.t;
+  mutable sessions_started : int;
+  mutable sessions_resumed : int;
+  mutable proto_errors : int;
+  mutable deadline_kills : int;
+  mutable out_hw : int;  (* high water of total unsent output bytes *)
+  mutable flight_dumps : int;
+  mutable flight_dumps_suppressed : int;
+  mutable hb_dropped : int;
+  mutable hb_drop_warned : bool;
+  mutable rate : float;  (* daemon-wide events/s over the last window *)
+  mutable rate_last_events : int;
+  mutable rate_last_s : float;
+  mutable stats_last_s : float;  (* last --stats-file export *)
 }
 
 let rec mkdirs path =
@@ -101,6 +130,9 @@ let rec mkdirs path =
 
 let create opts =
   mkdirs (opts.root // "sessions");
+  (* The stats channel reads the telemetry registry; a daemon that
+     serves Stats frames must have it recording. *)
+  if opts.stats then Tm.enable ();
   let listen_fd = Net_io.listen_unix ~path:opts.socket ~backlog:64 in
   let stop_r, stop_w = Unix.pipe ~cloexec:true () in
   Unix.set_nonblock stop_r;
@@ -119,9 +151,55 @@ let create opts =
     start_s = Net_io.now ();
     hb_last_s = Net_io.now ();
     hb_last_events = 0;
+    flight = Ormp_telemetry.Flight.create ();
+    sessions_started = 0;
+    sessions_resumed = 0;
+    proto_errors = 0;
+    deadline_kills = 0;
+    out_hw = 0;
+    flight_dumps = 0;
+    flight_dumps_suppressed = 0;
+    hb_dropped = 0;
+    hb_drop_warned = false;
+    rate = 0.0;
+    rate_last_events = 0;
+    rate_last_s = Net_io.now ();
+    stats_last_s = Net_io.now ();
   }
 
 let stop t = try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1) with Unix.Unix_error _ -> ()
+
+(* --- flight recorder ---------------------------------------------------- *)
+
+module Flight = Ormp_telemetry.Flight
+
+(* A fault storm must not turn the flight directory into its own outage:
+   past this many bundles we keep counting but stop writing. *)
+let max_flight_dumps = 64
+
+let flight_record t ~kind ~session ~detail = Flight.record t.flight ~kind ~session ~detail
+
+let conn_session c = match c.sess with Some s -> s.token | None -> ""
+
+(* Dump the ring as a post-mortem bundle under root/flight/. Called at
+   every fault class the protocol can produce: protocol errors, deadline
+   kills, sheds, crash-resumes. *)
+let flight_dump t ~kind ~session ~reason =
+  flight_record t ~kind ~session ~detail:reason;
+  if t.flight_dumps >= max_flight_dumps then
+    t.flight_dumps_suppressed <- t.flight_dumps_suppressed + 1
+  else begin
+    let name =
+      Printf.sprintf "%03d-%s-%s" t.flight_dumps kind
+        (if session = "" then "daemon" else session)
+    in
+    let dir = t.opts.root // "flight" // name in
+    match Flight.dump t.flight ~dir ~reason with
+    | Ok () -> t.flight_dumps <- t.flight_dumps + 1
+    | Error e ->
+      t.flight_dumps_suppressed <- t.flight_dumps_suppressed + 1;
+      Log.warnf ~src:"serve" "flight dump %s failed: %s" name e
+  end
 
 (* --- output queue ------------------------------------------------------- *)
 
@@ -129,11 +207,23 @@ let stop t = try ignore (Unix.write t.stop_w (Bytes.make 1 '!') 0 1) with Unix.U
    while we keep producing — the write-side slow-loris. *)
 let max_out_bytes = 4 * 1024 * 1024
 
-let send c msg =
+let total_out_bytes t =
+  List.fold_left (fun acc c -> if c.dead then acc else acc + c.out_bytes) 0 t.conns
+
+let send t c msg =
   let s = Wire.encode msg in
   Queue.add s c.outq;
   c.out_bytes <- c.out_bytes + String.length s;
-  if c.out_bytes > max_out_bytes then c.dead <- true
+  if c.out_bytes > max_out_bytes && not c.dead then begin
+    c.dead <- true;
+    t.deadline_kills <- t.deadline_kills + 1;
+    flight_dump t ~kind:"backlog-kill" ~session:(conn_session c)
+      ~reason:
+        (Printf.sprintf "output backlog %d exceeds %d bytes (peer stopped reading)"
+           c.out_bytes max_out_bytes)
+  end;
+  let total = total_out_bytes t in
+  if total > t.out_hw then t.out_hw <- total
 
 let flush_out c =
   try
@@ -194,6 +284,8 @@ let detach t c =
   | Some s ->
     c.sess <- None;
     Hashtbl.remove t.sessions s.token;
+    flight_record t ~kind:"detach" ~session:s.token
+      ~detail:(Printf.sprintf "position %d" (Pipeline.position s.pipe));
     (try Pipeline.quiesce s.pipe with _ -> ());
     (try
        Journal.flush s.journal;
@@ -204,22 +296,25 @@ let kill_conn t c =
   c.dead <- true;
   detach t c
 
-let protocol_error t c msg =
+let protocol_error ?(kind = "proto-error") t c msg =
   if Tm.on () then Tm.Metrics.incr m_proto_errors;
+  t.proto_errors <- t.proto_errors + 1;
   Log.warnf ~src:"serve" "protocol error%s: %s"
     (match c.sess with Some s -> " (session " ^ s.token ^ ")" | None -> "")
     msg;
-  send c (Wire.Err msg);
+  flight_dump t ~kind ~session:(conn_session c) ~reason:msg;
+  send t c (Wire.Err msg);
   detach t c;
   (* Let the Err frame drain briefly, then close regardless. *)
   c.closing <- true;
   c.close_by <- Net_io.now () +. 1.0
 
-let shed t c reason =
+let shed t c ~token reason =
   t.shed_count <- t.shed_count + 1;
   if Tm.on () then Tm.Metrics.incr m_sheds;
   Log.infof ~src:"serve" "shedding session: %s" reason;
-  send c (Wire.Shed { retry_after_s = t.opts.retry_after_s; reason });
+  flight_dump t ~kind:"shed" ~session:token ~reason;
+  send t c (Wire.Shed { retry_after_s = t.opts.retry_after_s; reason });
   c.closing <- true;
   c.close_by <- Net_io.now () +. 1.0
 
@@ -267,22 +362,40 @@ let handle_hello t c ~token ~workload ~ack_every =
     if Sys.file_exists (dir // "report") then
       (* Finalized earlier; the Finish_ok may have been lost in a crash —
          at-most-once means we must not re-ingest. *)
-      send c (Wire.Hello_ok { fresh = false; complete = true; position = 0 })
+      send t c (Wire.Hello_ok { fresh = false; complete = true; position = 0 })
     else if Hashtbl.mem t.sessions token then begin
       (* A live connection owns this token. Refuse the newcomer; if the
          old connection is actually dead, its idle timeout frees the
          token and the client's retry gets through. *)
-      send c (Wire.Err "session busy");
+      send t c (Wire.Err "session busy");
       c.closing <- true;
       c.close_by <- Net_io.now () +. 1.0
     end
-    else if t.stopping then shed t c "draining for shutdown"
+    else if t.stopping then shed t c ~token "draining for shutdown"
     else
       match admission_refusal t with
-      | Some reason -> shed t c reason
+      | Some reason -> shed t c ~token reason
       | None -> (
         let journal_path = dir // "journal.trace" in
         let resume = Sys.file_exists journal_path in
+        let now = Net_io.now () in
+        let make_session pipe journal =
+          {
+            token;
+            dir;
+            workload;
+            pipe;
+            journal;
+            ack_every;
+            frames_since_ack = 0;
+            ack_ns = Tm.Metrics.Local.create ();
+            durable = 0;
+            rate = 0.0;
+            rate_last_pos = Pipeline.position pipe;
+            rate_last_s = now;
+            cached_symbols = 0;
+          }
+        in
         let attach s position fresh =
           Hashtbl.replace t.sessions token s;
           c.sess <- Some s;
@@ -290,24 +403,17 @@ let handle_hello t c ~token ~workload ~ack_every =
           (* The position we report must be durable before the client can
              trust it as a resume point. *)
           Journal.flush s.journal;
-          send c (Wire.Hello_ok { fresh; complete = false; position })
+          s.durable <- Journal.count s.journal;
+          send t c (Wire.Hello_ok { fresh; complete = false; position })
         in
         if not resume then begin
           mkdirs dir;
           Ormp_session.Storage.write_atomic ~path:(dir // "manifest")
             (S.to_string (S.field "ormp-serve-session" [ S.field "workload" [ S.atom workload ] ])
             ^ "\n");
-          let s =
-            {
-              token;
-              dir;
-              workload;
-              pipe = new_pipeline t;
-              journal = Journal.create journal_path;
-              ack_every;
-              frames_since_ack = 0;
-            }
-          in
+          let s = make_session (new_pipeline t) (Journal.create journal_path) in
+          t.sessions_started <- t.sessions_started + 1;
+          flight_record t ~kind:"hello" ~session:token ~detail:workload;
           attach s 0 true
         end
         else
@@ -325,18 +431,18 @@ let handle_hello t c ~token ~workload ~ack_every =
               let count = Array.length r.Journal.events in
               t.total_events <- t.total_events + count;
               let s =
-                {
-                  token;
-                  dir;
-                  workload;
-                  pipe;
-                  journal = Journal.create ~resume:(count, r.Journal.r_crc) journal_path;
-                  ack_every;
-                  frames_since_ack = 0;
-                }
+                make_session pipe (Journal.create ~resume:(count, r.Journal.r_crc) journal_path)
               in
               Log.infof ~src:"serve" "resumed session %s at position %d%s" token count
                 (if r.Journal.truncated then " (torn tail truncated)" else "");
+              t.sessions_resumed <- t.sessions_resumed + 1;
+              (* A resume means the previous attachment ended abnormally
+                 (crash, kill, torn connection) — exactly when the recent
+                 event trail is worth keeping. *)
+              flight_dump t ~kind:"resume" ~session:token
+                ~reason:
+                  (Printf.sprintf "resumed at position %d%s" count
+                     (if r.Journal.truncated then " (torn tail truncated)" else ""));
               attach s count false))
   end
 
@@ -368,13 +474,20 @@ let ingest t c s ~start ~count ~event_at =
        false)
   end
 
-let after_frame c s =
+let after_frame t c s =
   s.frames_since_ack <- s.frames_since_ack + 1;
   if s.ack_every > 0 && s.frames_since_ack >= s.ack_every then begin
     s.frames_since_ack <- 0;
-    (* Ack only durable positions. *)
+    (* Ack only durable positions. The flush is the daemon's durability
+       wait, so its latency is what a client perceives as ack latency —
+       observed per session (for the stats rows) and daemon-wide. *)
+    let t0 = Tm.now_ns () in
     Journal.flush s.journal;
-    send c (Wire.Ack { position = Pipeline.position s.pipe })
+    let dt = Int64.to_float (Int64.sub (Tm.now_ns ()) t0) in
+    Tm.Metrics.Local.observe s.ack_ns dt;
+    if Tm.on () then Tm.Metrics.observe m_ack_flush dt;
+    s.durable <- Journal.count s.journal;
+    send t c (Wire.Ack { position = Pipeline.position s.pipe })
   end
 
 let handle_finish t c s ~position =
@@ -391,7 +504,9 @@ let handle_finish t c s ~position =
       Journal.close s.journal;
       Hashtbl.remove t.sessions s.token;
       c.sess <- None;
-      send c
+      flight_record t ~kind:"finish" ~session:s.token
+        ~detail:(Printf.sprintf "position %d" (Pipeline.position s.pipe));
+      send t c
         (Wire.Finish_ok
            {
              position = Pipeline.position s.pipe;
@@ -402,12 +517,121 @@ let handle_finish t c s ~position =
       protocol_error t c (Printf.sprintf "finalize failed: %s" (Printexc.to_string e))
   end
 
+(* --- the stats snapshot -------------------------------------------------- *)
+
+(* Events/s windows update lazily, only when asked and only once the
+   window is wide enough to mean something; a poller faster than the
+   window just reads the previous figure. *)
+let rate_window_s = 0.2
+
+let session_rate (s : session) ~now =
+  let dt = now -. s.rate_last_s in
+  if dt >= rate_window_s then begin
+    let pos = Pipeline.position s.pipe in
+    s.rate <- float_of_int (pos - s.rate_last_pos) /. dt;
+    s.rate_last_pos <- pos;
+    s.rate_last_s <- now
+  end;
+  s.rate
+
+let daemon_rate t ~now =
+  let dt = now -. t.rate_last_s in
+  if dt >= rate_window_s then begin
+    t.rate <- float_of_int (t.total_events - t.rate_last_events) /. dt;
+    t.rate_last_events <- t.total_events;
+    t.rate_last_s <- now
+  end;
+  t.rate
+
+(* Everything here is a plain read of select-loop-owned state — no pool
+   drain, no blocking, so serving Stats cannot stall the data path. The
+   one aggregate that would need a drain (grammar symbols) is served
+   from the per-session cache the heartbeat refreshes; with the pool
+   disabled it is exact. *)
+let build_snapshot t =
+  let now = Net_io.now () in
+  let ms_of_ns ns = ns /. 1e6 in
+  let rows, nrows =
+    Hashtbl.fold
+      (fun _ s (acc, n) ->
+        if n >= Wire.max_stats_rows then (acc, n + 1)
+        else
+          let position = Pipeline.position s.pipe in
+          let p50, p99 =
+            match Tm.Metrics.Local.summary s.ack_ns with
+            | None -> (0.0, 0.0)
+            | Some h -> (ms_of_ns h.Tm.Metrics.p50, ms_of_ns h.Tm.Metrics.p99)
+          in
+          let row =
+            {
+              Stats.r_token = s.token;
+              (* Workload names come from the client; cap them so no
+                 Hello can inflate the Stats frame. *)
+              r_workload =
+                (if String.length s.workload > 64 then String.sub s.workload 0 64
+                 else s.workload);
+              r_position = position;
+              r_journal_bytes = Journal.bytes s.journal;
+              r_journal_lag = max 0 (position - s.durable);
+              r_events_per_sec = session_rate s ~now;
+              r_ack_p50_ms = p50;
+              r_ack_p99_ms = p99;
+              r_ring_occupancy = Pipeline.occupancy s.pipe;
+            }
+          in
+          (row :: acc, n + 1))
+      t.sessions ([], 0)
+  in
+  let sum f = Hashtbl.fold (fun _ s acc -> acc + f s) t.sessions 0 in
+  let counters, gauges, hists =
+    if Tm.on () then
+      let snap = Tm.Metrics.snapshot () in
+      ( snap.Tm.Metrics.snap_counters,
+        snap.Tm.Metrics.snap_gauges,
+        snap.Tm.Metrics.snap_hists )
+    else ([], [], [])
+  in
+  {
+    Stats.s_wall_s = now -. t.start_s;
+    s_events_per_sec = daemon_rate t ~now;
+    s_pool_occupancy =
+      (match t.pool with Some p -> Pipeline.Pool.occupancy p | None -> 0.0);
+    s_sessions_live = Hashtbl.length t.sessions;
+    s_sessions_started = t.sessions_started;
+    s_sessions_resumed = t.sessions_resumed;
+    s_sheds = t.shed_count;
+    s_protocol_errors = t.proto_errors;
+    s_deadline_kills = t.deadline_kills;
+    s_events_total = t.total_events;
+    s_wal_bytes = sum (fun s -> Journal.bytes s.journal);
+    s_out_backlog = total_out_bytes t;
+    s_out_backlog_hw = t.out_hw;
+    s_grammar_symbols =
+      (match t.pool with
+      | None -> sum (fun s -> Pipeline.grammar_symbols s.pipe)
+      | Some _ -> sum (fun s -> s.cached_symbols));
+    s_grammar_budget = t.opts.grammar_budget;
+    s_flight_events = Flight.recorded t.flight;
+    s_flight_dropped = Flight.dropped t.flight;
+    s_flight_dumps = t.flight_dumps;
+    s_rows_truncated = nrows > Wire.max_stats_rows;
+    s_rows = rows;
+    s_counters = counters;
+    s_gauges = gauges;
+    s_hists = hists;
+  }
+
 let handle_msg t c (msg : Wire.msg) =
   if Tm.on () then Tm.Metrics.incr m_frames;
   match msg with
   | Hello { token; workload; ack_every } -> handle_hello t c ~token ~workload ~ack_every
-  | Ping -> send c Wire.Pong
+  | Ping -> send t c Wire.Pong
   | Pong -> ()
+  | Stats_req ->
+    (* Any connection may ask, session or not — a monitor need not own a
+       session, and answering costs only select-loop-owned reads. *)
+    if Tm.on () then Tm.Metrics.incr m_stats_requests;
+    send t c (Wire.Stats (build_snapshot t))
   | Batch { start; chunk } -> (
     match c.sess with
     | None -> protocol_error t c "Batch before Hello"
@@ -421,17 +645,17 @@ let handle_msg t c (msg : Wire.msg) =
             is_store = chunk.Ormp_trace.Batch.store.(i) <> 0;
           }
       in
-      if ingest t c s ~start ~count:chunk.Ormp_trace.Batch.len ~event_at then after_frame c s)
+      if ingest t c s ~start ~count:chunk.Ormp_trace.Batch.len ~event_at then after_frame t c s)
   | Ev { position; event } -> (
     match c.sess with
     | None -> protocol_error t c "Ev before Hello"
     | Some s ->
-      if ingest t c s ~start:position ~count:1 ~event_at:(fun _ -> event) then after_frame c s)
+      if ingest t c s ~start:position ~count:1 ~event_at:(fun _ -> event) then after_frame t c s)
   | Finish { position } -> (
     match c.sess with
     | None -> protocol_error t c "Finish before Hello"
     | Some s -> handle_finish t c s ~position)
-  | Hello_ok _ | Shed _ | Err _ | Finish_ok _ | Ack _ ->
+  | Hello_ok _ | Shed _ | Err _ | Finish_ok _ | Ack _ | Stats _ ->
     protocol_error t c "unexpected server-side frame from client"
 
 (* --- the event loop ----------------------------------------------------- *)
@@ -460,6 +684,12 @@ let read_conn t ~scratch c =
 let heartbeat t =
   let now = Net_io.now () in
   (match t.pool with Some p -> Pipeline.Pool.drain p | None -> ());
+  (* The pool is drained right now — the one moment grammar sizes may be
+     read — so refresh the per-session caches the stats snapshot serves
+     between heartbeats. *)
+  Hashtbl.iter
+    (fun _ s -> s.cached_symbols <- Pipeline.grammar_symbols s.pipe)
+    t.sessions;
   let sum f = Hashtbl.fold (fun _ s acc -> acc + f s) t.sessions 0 in
   let dt = now -. t.hb_last_s in
   let sample =
@@ -469,7 +699,7 @@ let heartbeat t =
       events_per_sec =
         (if dt > 0.0 then float_of_int (t.total_events - t.hb_last_events) /. dt else 0.0);
       live_objects = sum (fun s -> Pipeline.live_objects s.pipe);
-      grammar_symbols = sum (fun s -> Pipeline.grammar_symbols s.pipe);
+      grammar_symbols = sum (fun s -> s.cached_symbols);
       leap_streams = sum (fun s -> Pipeline.leap_streams s.pipe);
       journal_bytes = sum (fun s -> Journal.bytes s.journal);
       snapshot_bytes = 0;
@@ -481,7 +711,31 @@ let heartbeat t =
   in
   t.hb_last_s <- now;
   t.hb_last_events <- t.total_events;
-  try Hb.append (t.opts.root // "heartbeat") sample with Sys_error _ -> ()
+  try Hb.append (t.opts.root // "heartbeat") sample
+  with Sys_error e ->
+    (* A monitoring write must never take the daemon down, but it must
+       not vanish either: count every drop, warn once. *)
+    t.hb_dropped <- t.hb_dropped + 1;
+    if Tm.on () then Tm.Metrics.incr m_hb_dropped;
+    flight_record t ~kind:"heartbeat-drop" ~session:"" ~detail:e;
+    if not t.hb_drop_warned then begin
+      t.hb_drop_warned <- true;
+      Log.warnf ~src:"serve" "heartbeat append failed (%s); counting further drops" e
+    end
+
+let export_stats_file t ~now =
+  match t.opts.stats_file with
+  | None -> ()
+  | Some path ->
+    let every =
+      if t.opts.heartbeat_every_s > 0.0 then t.opts.heartbeat_every_s else 1.0
+    in
+    if now -. t.stats_last_s >= every then begin
+      t.stats_last_s <- now;
+      let json = Ormp_util.Json.to_string (Stats.to_json (build_snapshot t)) in
+      try Ormp_session.Storage.write_atomic ~path (json ^ "\n")
+      with Sys_error e -> Log.warnf ~src:"serve" "stats export failed: %s" e
+    end
 
 let timers t =
   let now = Net_io.now () in
@@ -492,18 +746,33 @@ let timers t =
         if c.closing then begin
           if Queue.is_empty c.outq || now >= c.close_by then c.dead <- true
         end
-        else if c.frame_since > 0.0 && now -. c.frame_since > o.frame_timeout_s then
-          protocol_error t c "frame deadline exceeded (slow or torn sender)"
-        else if now -. c.last_recv > o.idle_timeout_s then kill_conn t c
+        else if c.frame_since > 0.0 && now -. c.frame_since > o.frame_timeout_s then begin
+          t.deadline_kills <- t.deadline_kills + 1;
+          protocol_error ~kind:"deadline-kill" t c
+            "frame deadline exceeded (slow or torn sender)"
+        end
+        else if now -. c.last_recv > o.idle_timeout_s then begin
+          (* Idle sessionless connections (parked monitors) die quietly;
+             an idle *session* is a deadline kill worth a post-mortem. *)
+          if c.sess <> None then begin
+            t.deadline_kills <- t.deadline_kills + 1;
+            flight_dump t ~kind:"deadline-kill" ~session:(conn_session c)
+              ~reason:
+                (Printf.sprintf "idle for %.1fs (timeout %.1fs)" (now -. c.last_recv)
+                   o.idle_timeout_s)
+          end;
+          kill_conn t c
+        end
         else if
           now -. c.last_recv > o.ping_every_s && now -. c.last_ping > o.ping_every_s
         then begin
           c.last_ping <- now;
-          send c Wire.Ping
+          send t c Wire.Ping
         end
       end)
     t.conns;
-  if o.heartbeat_every_s > 0.0 && now -. t.hb_last_s >= o.heartbeat_every_s then heartbeat t
+  if o.heartbeat_every_s > 0.0 && now -. t.hb_last_s >= o.heartbeat_every_s then heartbeat t;
+  export_stats_file t ~now
 
 let reap t =
   let dead, live = List.partition (fun c -> c.dead) t.conns in

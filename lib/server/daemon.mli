@@ -18,7 +18,14 @@
       pool-occupancy threshold, new sessions get a [Shed] frame with a
       retry hint instead of service;
     - SIGTERM/SIGINT (or {!stop}) stops accepting, flushes and closes
-      every journal, and exits the loop cleanly. *)
+      every journal, and exits the loop cleanly.
+
+    Introspection (DESIGN.md §15): any connection may send [Stats_req]
+    and gets a {!Stats.t} snapshot built from select-loop-owned state
+    (never blocking the data path); a flight recorder keeps a bounded
+    ring of recent session events and dumps a Chrome-trace + sexp bundle
+    under [root/flight/] on every protocol error, deadline kill, shed
+    and crash-resume. *)
 
 type options = {
   socket : string;
@@ -37,6 +44,13 @@ type options = {
   retry_after_s : float;  (** hint carried by [Shed] frames *)
   leap_budget : int option;  (** per-session LEAP LMAD budget *)
   max_streams : int;  (** per-session LEAP stream cap; 0 = unlimited *)
+  stats : bool;
+      (** enable the telemetry registry at {!create} so [Stats_req]
+          frames get populated snapshots (default true); disable only
+          to measure the observability overhead itself *)
+  stats_file : string option;
+      (** also export the JSON stats snapshot here (atomic rename) at
+          heartbeat cadence, for scrapers that cannot speak the wire *)
 }
 
 val default_options : socket:string -> root:string -> options

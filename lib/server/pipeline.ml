@@ -201,6 +201,17 @@ let grammar_symbols t =
 let live_objects t = Omc.live_objects (Cdc.omc t.cdc)
 let leap_streams t = Leap.stream_count t.leap
 
+(* Worst ring occupancy across this session's pinned slots — the
+   backpressure this one session sees, as opposed to [Pool.occupancy]'s
+   daemon-wide view. Racy by design, like every occupancy read. *)
+let occupancy t =
+  match t.par with
+  | None -> 0.0
+  | Some p ->
+    Array.fold_left
+      (fun acc slot -> Float.max acc (Worker.occupancy p.pool.Pool.workers.(slot)))
+      0.0 p.slots
+
 let ( // ) = Filename.concat
 
 let finalize t ~dir ~elapsed =

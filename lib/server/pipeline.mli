@@ -73,6 +73,12 @@ val grammar_symbols : t -> int
 val live_objects : t -> int
 val leap_streams : t -> int
 
+val occupancy : t -> float
+(** Worst instantaneous ring occupancy across this session's pinned
+    worker slots, in [0, 1] (racy; 0.0 for a serial pipeline) — the
+    backpressure this one session sees, where {!Pool.occupancy} is the
+    daemon-wide maximum. *)
+
 val finalize : t -> dir:string -> elapsed:float -> unit
 (** {!quiesce}, then write [whomp.profile], [rasg.profile] and
     [leap.profile] into [dir] — the same files, bytes included, that a

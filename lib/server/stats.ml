@@ -1,0 +1,239 @@
+(* The daemon's live introspection snapshot: daemon-wide gauges, one row
+   per attached session, and the merged telemetry registry. Built by the
+   daemon's select loop from state it already owns (no pool drain, no
+   blocking) and shipped over the wire as a versioned Stats frame; this
+   module is the shared vocabulary between the daemon, the codec, and
+   the CLI renderers, so it depends on neither Wire nor Daemon. *)
+
+module Metrics = Ormp_telemetry.Metrics
+module J = Ormp_util.Json
+
+(* Bump when the snapshot layout changes; the codec refuses frames from
+   a different version rather than misreading them. *)
+let version = 1
+
+type hist = Metrics.hist_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+type row = {
+  r_token : string;
+  r_workload : string;
+  r_position : int;
+  r_journal_bytes : int;
+  r_journal_lag : int;  (* ingested events not yet durable in the WAL *)
+  r_events_per_sec : float;
+  r_ack_p50_ms : float;  (* 0.0 until the first ack flush *)
+  r_ack_p99_ms : float;
+  r_ring_occupancy : float;  (* worst SPSC ring of the session's slots *)
+}
+
+type t = {
+  s_wall_s : float;  (* daemon uptime *)
+  s_events_per_sec : float;  (* daemon-wide, over the last sample window *)
+  s_pool_occupancy : float;
+  s_sessions_live : int;
+  s_sessions_started : int;
+  s_sessions_resumed : int;
+  s_sheds : int;
+  s_protocol_errors : int;
+  s_deadline_kills : int;
+  s_events_total : int;
+  s_wal_bytes : int;
+  s_out_backlog : int;  (* unsent output bytes across live connections *)
+  s_out_backlog_hw : int;  (* high water since daemon start *)
+  s_grammar_symbols : int;  (* freshness bounded by heartbeat cadence *)
+  s_grammar_budget : int;  (* 0 = unlimited *)
+  s_flight_events : int;
+  s_flight_dropped : int;
+  s_flight_dumps : int;
+  s_rows_truncated : bool;  (* true when the frame row cap cut sessions *)
+  s_rows : row list;
+  s_counters : (string * int) list;
+  s_gauges : (string * float) list;
+  s_hists : (string * hist) list;
+}
+
+(* Fraction of the grammar budget still free; 1.0 when unlimited. *)
+let headroom t =
+  if t.s_grammar_budget <= 0 then 1.0
+  else
+    Float.max 0.0
+      (1.0 -. (float_of_int t.s_grammar_symbols /. float_of_int t.s_grammar_budget))
+
+(* --- export ------------------------------------------------------------ *)
+
+let row_to_json r =
+  J.Obj
+    [
+      ("token", J.String r.r_token);
+      ("workload", J.String r.r_workload);
+      ("position", J.Int r.r_position);
+      ("journal_bytes", J.Int r.r_journal_bytes);
+      ("journal_lag", J.Int r.r_journal_lag);
+      ("events_per_sec", J.Float r.r_events_per_sec);
+      ("ack_p50_ms", J.Float r.r_ack_p50_ms);
+      ("ack_p99_ms", J.Float r.r_ack_p99_ms);
+      ("ring_occupancy", J.Float r.r_ring_occupancy);
+    ]
+
+let to_json t =
+  J.Obj
+    [
+      ("version", J.Int version);
+      ( "daemon",
+        J.Obj
+          [
+            ("wall_s", J.Float t.s_wall_s);
+            ("events_per_sec", J.Float t.s_events_per_sec);
+            ("pool_occupancy", J.Float t.s_pool_occupancy);
+            ("sessions_live", J.Int t.s_sessions_live);
+            ("sessions_started", J.Int t.s_sessions_started);
+            ("sessions_resumed", J.Int t.s_sessions_resumed);
+            ("sheds", J.Int t.s_sheds);
+            ("protocol_errors", J.Int t.s_protocol_errors);
+            ("deadline_kills", J.Int t.s_deadline_kills);
+            ("events_total", J.Int t.s_events_total);
+            ("wal_bytes", J.Int t.s_wal_bytes);
+            ("out_backlog", J.Int t.s_out_backlog);
+            ("out_backlog_hw", J.Int t.s_out_backlog_hw);
+            ("grammar_symbols", J.Int t.s_grammar_symbols);
+            ("grammar_budget", J.Int t.s_grammar_budget);
+            ("grammar_headroom", J.Float (headroom t));
+            ("flight_events", J.Int t.s_flight_events);
+            ("flight_dropped", J.Int t.s_flight_dropped);
+            ("flight_dumps", J.Int t.s_flight_dumps);
+          ] );
+      ("rows_truncated", J.Bool t.s_rows_truncated);
+      ("sessions", J.List (List.map row_to_json t.s_rows));
+      ( "registry",
+        J.Obj
+          [
+            ("counters", J.Obj (List.map (fun (n, v) -> (n, J.Int v)) t.s_counters));
+            ("gauges", J.Obj (List.map (fun (n, v) -> (n, J.Float v)) t.s_gauges));
+            ( "histograms",
+              J.Obj
+                (List.map
+                   (fun (n, h) ->
+                     ( n,
+                       J.Obj
+                         [
+                           ("count", J.Int h.count);
+                           ("sum", J.Float h.sum);
+                           ("min", J.Float h.min);
+                           ("max", J.Float h.max);
+                           ("p50", J.Float h.p50);
+                           ("p90", J.Float h.p90);
+                           ("p99", J.Float h.p99);
+                         ] ))
+                   t.s_hists) );
+          ] );
+    ]
+
+(* --- rendering ---------------------------------------------------------- *)
+
+let pretty_bytes n =
+  let f = float_of_int n in
+  if n < 1024 then Printf.sprintf "%dB" n
+  else if f < 1024.0 *. 1024.0 then Printf.sprintf "%.1fKiB" (f /. 1024.0)
+  else if f < 1024.0 *. 1024.0 *. 1024.0 then
+    Printf.sprintf "%.1fMiB" (f /. (1024.0 *. 1024.0))
+  else Printf.sprintf "%.1fGiB" (f /. (1024.0 *. 1024.0 *. 1024.0))
+
+let render t =
+  let module A = Ormp_util.Ascii in
+  let buf = Buffer.create 4096 in
+  let out fmt = Printf.ksprintf (fun s -> Buffer.add_string buf s; Buffer.add_char buf '\n') fmt in
+  out "%s" (A.section "daemon");
+  let daemon_rows =
+    [
+      [ "uptime"; Printf.sprintf "%.1fs" t.s_wall_s ];
+      [ "events/s"; Printf.sprintf "%.0f" t.s_events_per_sec ];
+      [ "events total"; string_of_int t.s_events_total ];
+      [
+        "sessions";
+        Printf.sprintf "%d live / %d started / %d resumed" t.s_sessions_live
+          t.s_sessions_started t.s_sessions_resumed;
+      ];
+      [
+        "faults";
+        Printf.sprintf "%d shed / %d proto-err / %d deadline-kill" t.s_sheds
+          t.s_protocol_errors t.s_deadline_kills;
+      ];
+      [ "pool occupancy"; A.percent t.s_pool_occupancy ];
+      [ "WAL bytes"; pretty_bytes t.s_wal_bytes ];
+      [
+        "out backlog";
+        Printf.sprintf "%s (hw %s)" (pretty_bytes t.s_out_backlog)
+          (pretty_bytes t.s_out_backlog_hw);
+      ];
+      [
+        "grammar";
+        (if t.s_grammar_budget <= 0 then
+           Printf.sprintf "%d symbols (no budget)" t.s_grammar_symbols
+         else
+           Printf.sprintf "%d / %d symbols (headroom %s)" t.s_grammar_symbols
+             t.s_grammar_budget
+             (A.percent (headroom t)));
+      ];
+      [
+        "flight recorder";
+        Printf.sprintf "%d events (%d dropped), %d dumps" t.s_flight_events
+          t.s_flight_dropped t.s_flight_dumps;
+      ];
+    ]
+  in
+  out "%s" (A.table ~header:[ "gauge"; "value" ] ~rows:daemon_rows);
+  out "";
+  out "%s" (A.section "sessions");
+  if t.s_rows = [] then out "(no attached sessions)"
+  else begin
+    let rows =
+      List.map
+        (fun r ->
+          [
+            r.r_token;
+            r.r_workload;
+            string_of_int r.r_position;
+            Printf.sprintf "%.0f" r.r_events_per_sec;
+            Printf.sprintf "%.3f" r.r_ack_p50_ms;
+            Printf.sprintf "%.3f" r.r_ack_p99_ms;
+            A.percent r.r_ring_occupancy;
+            pretty_bytes r.r_journal_bytes;
+            string_of_int r.r_journal_lag;
+          ])
+        t.s_rows
+    in
+    out "%s"
+      (A.table
+         ~header:
+           [
+             "session"; "workload"; "position"; "ev/s"; "ack p50 ms"; "ack p99 ms";
+             "ring"; "wal"; "lag";
+           ]
+         ~rows);
+    if t.s_rows_truncated then out "(session rows truncated at the frame cap)"
+  end;
+  if t.s_counters <> [] || t.s_hists <> [] then begin
+    out "";
+    out "%s" (A.section "registry");
+    if t.s_counters <> [] then
+      out "%s"
+        (A.table ~header:[ "counter"; "value" ]
+           ~rows:(List.map (fun (n, v) -> [ n; string_of_int v ]) t.s_counters));
+    if t.s_gauges <> [] then
+      out "%s"
+        (A.table ~header:[ "gauge"; "value" ]
+           ~rows:(List.map (fun (n, v) -> [ n; Printf.sprintf "%.6g" v ]) t.s_gauges));
+    if t.s_hists <> [] then
+      out "%s"
+        (A.table ~header:Metrics.hist_header
+           ~rows:(List.map (fun (n, h) -> Metrics.hist_row n h) t.s_hists))
+  end;
+  Buffer.contents buf

@@ -1,0 +1,73 @@
+(** Live daemon introspection snapshot — the payload of the wire [Stats]
+    frame and the substance behind [ormp top] and [serve --stats-file].
+
+    The daemon builds one from state its select loop already owns: cheap
+    live reads (positions, WAL bytes, backlog) are exact, while
+    aggregates that would need a pool drain (grammar symbols) are served
+    from caches refreshed at heartbeat cadence. This module knows
+    nothing of the wire or the daemon; it is the shared vocabulary
+    between them and the CLI renderers. *)
+
+(** Snapshot layout version carried in the frame; parsers reject other
+    versions. *)
+val version : int
+
+type hist = Ormp_telemetry.Metrics.hist_summary = {
+  count : int;
+  sum : float;
+  min : float;
+  max : float;
+  p50 : float;
+  p90 : float;
+  p99 : float;
+}
+
+(** One attached session. *)
+type row = {
+  r_token : string;
+  r_workload : string;
+  r_position : int;
+  r_journal_bytes : int;
+  r_journal_lag : int;  (** ingested events not yet durable in the WAL *)
+  r_events_per_sec : float;
+  r_ack_p50_ms : float;  (** 0.0 until the first ack flush *)
+  r_ack_p99_ms : float;
+  r_ring_occupancy : float;  (** worst SPSC ring across the session's slots *)
+}
+
+type t = {
+  s_wall_s : float;
+  s_events_per_sec : float;
+  s_pool_occupancy : float;
+  s_sessions_live : int;
+  s_sessions_started : int;
+  s_sessions_resumed : int;
+  s_sheds : int;
+  s_protocol_errors : int;
+  s_deadline_kills : int;
+  s_events_total : int;
+  s_wal_bytes : int;
+  s_out_backlog : int;
+  s_out_backlog_hw : int;
+  s_grammar_symbols : int;
+  s_grammar_budget : int;  (** 0 = unlimited *)
+  s_flight_events : int;
+  s_flight_dropped : int;
+  s_flight_dumps : int;
+  s_rows_truncated : bool;
+  s_rows : row list;
+  s_counters : (string * int) list;
+  s_gauges : (string * float) list;
+  s_hists : (string * hist) list;
+}
+
+(** Fraction of the grammar budget still free; 1.0 when unlimited. *)
+val headroom : t -> float
+
+val to_json : t -> Ormp_util.Json.t
+
+(** Multi-table human rendering shared by [ormp top] and one-shot dumps. *)
+val render : t -> string
+
+(** Human-scale byte formatting ("3.2MiB"). *)
+val pretty_bytes : int -> string

@@ -48,11 +48,25 @@ type msg =
   | Ack of { position : int }  (** Journal durable through [position]. *)
   | Ping
   | Pong
+  | Stats_req
+      (** Ask the daemon for a live {!Stats.t} snapshot. Allowed on any
+          connection at any time, including before [Hello] — a monitor
+          need not own a session. *)
+  | Stats of Stats.t
+      (** The snapshot, versioned: the payload leads with a layout
+          version byte and parsers reject frames from another version
+          rather than misreading them. Floats travel as raw IEEE-754
+          bits, like [Shed]'s retry hint. *)
 
 val max_frame : int
 (** Upper bound on the payload length field; larger claims are protocol
     errors, so a torn or malicious length prefix cannot make the server
     buffer unboundedly. *)
+
+val max_stats_rows : int
+(** Per-session rows beyond this are dropped from a [Stats] frame (and
+    the snapshot flagged truncated) so the reply stays under
+    {!max_frame} on any daemon. *)
 
 val encode : msg -> string
 (** The full frame: header, payload and CRC trailer. *)

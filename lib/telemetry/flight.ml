@@ -1,0 +1,131 @@
+(* Flight recorder: a bounded ring of recent notable daemon events
+   (session lifecycle, acks, sheds, protocol errors, kills) kept in
+   memory at all times, dumped as a post-mortem bundle when a session
+   fails. The ring mirrors the Spans buffer discipline — fixed capacity,
+   overwrite-oldest with a dropped counter, never grow — because a
+   recorder must not OOM the process it is recording.
+
+   A dump writes two files: `trace.json`, a Chrome trace_event document
+   of zero-duration B/E pairs (one per recorded event, args carrying the
+   session token and detail) that passes [Spans.validate_json]; and
+   `record.sexp`, the same events plus the dump reason in a
+   grep-friendly sexp. Single-writer: the daemon's select loop owns the
+   ring, so there is no locking. *)
+
+type event = { ts_ns : int64; kind : string; session : string; detail : string }
+
+type t = {
+  cap : int;
+  ring : event array;
+  mutable total : int; (* events ever recorded; ring slot = total mod cap *)
+  epoch_ns : int64;
+}
+
+let default_cap = 1024
+
+let create ?(cap = default_cap) () =
+  if cap <= 0 then invalid_arg "Flight.create: cap must be positive";
+  {
+    cap;
+    ring = Array.make cap { ts_ns = 0L; kind = ""; session = ""; detail = "" };
+    total = 0;
+    epoch_ns = Ormp_util.Clock.now_ns ();
+  }
+
+let record t ~kind ~session ~detail =
+  t.ring.(t.total mod t.cap) <-
+    { ts_ns = Ormp_util.Clock.now_ns (); kind; session; detail };
+  t.total <- t.total + 1
+
+let recorded t = t.total
+let dropped t = if t.total > t.cap then t.total - t.cap else 0
+
+(* Oldest-to-newest fold over whatever the ring still holds. *)
+let fold f acc t =
+  let live = min t.total t.cap in
+  let first = t.total - live in
+  let acc = ref acc in
+  for i = first to t.total - 1 do
+    acc := f !acc t.ring.(i mod t.cap)
+  done;
+  !acc
+
+let events t = List.rev (fold (fun acc e -> e :: acc) [] t)
+
+(* --- export ------------------------------------------------------------ *)
+
+(* Each event becomes an instantaneous B/E pair (same name, same tid,
+   same timestamp) so the document satisfies the strict LIFO pairing
+   that [Spans.validate_json] enforces; session/detail ride in args,
+   which the validator ignores. *)
+let to_trace_json t =
+  let module J = Ormp_util.Json in
+  let events =
+    fold
+      (fun acc e ->
+        let ts_us = Int64.to_float (Int64.sub e.ts_ns t.epoch_ns) /. 1000.0 in
+        let ev ph =
+          J.Obj
+            [
+              ("name", J.String e.kind);
+              ("cat", J.String "flight");
+              ("ph", J.String ph);
+              ("ts", J.Float ts_us);
+              ("pid", J.Int 1);
+              ("tid", J.Int 0);
+              ( "args",
+                J.Obj
+                  [ ("session", J.String e.session); ("detail", J.String e.detail) ] );
+            ]
+        in
+        ev "E" :: ev "B" :: acc)
+      [] t
+  in
+  J.Obj
+    [ ("traceEvents", J.List (List.rev events)); ("displayTimeUnit", J.String "ns") ]
+
+let to_sexp ?(reason = "") t =
+  let module S = Ormp_util.Sexp in
+  let evs =
+    List.map
+      (fun e ->
+        S.List
+          [
+            S.Atom (Int64.to_string e.ts_ns);
+            S.Atom e.kind;
+            S.Atom e.session;
+            S.Atom e.detail;
+          ])
+      (events t)
+  in
+  S.List
+    [
+      S.Atom "flight";
+      S.field "reason" [ S.Atom reason ];
+      S.field "recorded" [ S.int (recorded t) ];
+      S.field "dropped" [ S.int (dropped t) ];
+      S.field "events" evs;
+    ]
+
+let trace_file = "trace.json"
+let record_file = "record.sexp"
+
+let rec mkdir_p dir =
+  if not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ -> ()
+  end
+
+(* Write the post-mortem bundle under [dir] (created as needed). Best
+   effort by design: a full disk must not take the daemon down with it,
+   so failures surface as [Error] for the caller to count, not raise. *)
+let dump t ~dir ~reason : (unit, string) result =
+  try
+    mkdir_p dir;
+    let oc = open_out_bin (Filename.concat dir trace_file) in
+    output_string oc (Ormp_util.Json.to_string (to_trace_json t));
+    output_char oc '\n';
+    close_out oc;
+    Ormp_util.Sexp.save (Filename.concat dir record_file) (to_sexp ~reason t);
+    Ok ()
+  with Sys_error m -> Error m

@@ -171,6 +171,55 @@ type hist_summary = {
   p99 : float;
 }
 
+(* Quantiles recorded in log2 space convert back with exp2; every
+   consumer of the registry's histograms (snapshot below, the daemon's
+   per-session latency cells, the CLI renderers) must use this one
+   conversion or their figures silently disagree. *)
+let exp2_quantile h p = Float.exp2 (H.quantile h p)
+
+let summarize h ~count ~sum ~min ~max =
+  {
+    count;
+    sum;
+    min;
+    max;
+    p50 = exp2_quantile h 0.5;
+    p90 = exp2_quantile h 0.9;
+    p99 = exp2_quantile h 0.99;
+  }
+
+(* --- single-writer histogram cell -------------------------------------- *)
+
+(* The registry above is domain-safe and daemon-global; a select-loop
+   server also wants per-session latency histograms that live and die
+   with the session. [Local] is the same log2 layout and summary math
+   without the DLS/merge machinery — single writer thread only. *)
+module Local = struct
+  type t = hist_cell
+
+  let create () : t =
+    {
+      h = H.create ~lo:0.0 ~hi:log2_hi ~buckets:log2_buckets;
+      hcount = 0;
+      hsum = 0.0;
+      hmin = Float.infinity;
+      hmax = Float.neg_infinity;
+    }
+
+  let observe (c : t) v =
+    H.add c.h (if v <= 1.0 then 0.0 else Float.log2 v);
+    c.hcount <- c.hcount + 1;
+    c.hsum <- c.hsum +. v;
+    if v < c.hmin then c.hmin <- v;
+    if v > c.hmax then c.hmax <- v
+
+  let count (c : t) = c.hcount
+
+  let summary (c : t) =
+    if c.hcount = 0 then None
+    else Some (summarize c.h ~count:c.hcount ~sum:c.hsum ~min:c.hmin ~max:c.hmax)
+end
+
 type snapshot = {
   snap_counters : (string * int) list;
   snap_gauges : (string * float) list;
@@ -239,18 +288,8 @@ let snapshot () =
         | None -> ()
         | Some m when m.hcount = 0 -> ()
         | Some m ->
-          let q p = Float.exp2 (H.quantile m.h p) in
           hists :=
-            ( name,
-              {
-                count = m.hcount;
-                sum = m.hsum;
-                min = m.hmin;
-                max = m.hmax;
-                p50 = q 0.5;
-                p90 = q 0.9;
-                p99 = q 0.99;
-              } )
+            (name, summarize m.h ~count:m.hcount ~sum:m.hsum ~min:m.hmin ~max:m.hmax)
             :: !hists)
     defs;
   {
@@ -304,6 +343,32 @@ let to_sexp snap =
                  ])
              snap.snap_hists);
     ]
+
+(* One histogram-rendering convention shared by `ormp stats` and the
+   daemon's live stats snapshot: same column order, same %.6g formatting. *)
+let hist_header = [ "histogram"; "count"; "sum"; "min"; "max"; "p50"; "p90"; "p99" ]
+
+let hist_row name (h : hist_summary) =
+  let f v = Printf.sprintf "%.6g" v in
+  [ name; string_of_int h.count; f h.sum; f h.min; f h.max; f h.p50; f h.p90; f h.p99 ]
+
+(* Parse one histogram object as emitted by [to_json] back into a summary
+   (used by the CLI renderers); [None] if any field is missing/mistyped. *)
+let hist_summary_of_json (j : Ormp_util.Json.t) : hist_summary option =
+  let module J = Ormp_util.Json in
+  try
+    let num k = Option.get (Option.bind (J.member k j) J.to_float) in
+    Some
+      {
+        count = Option.get (Option.bind (J.member "count" j) J.to_int);
+        sum = num "sum";
+        min = num "min";
+        max = num "max";
+        p50 = num "p50";
+        p90 = num "p90";
+        p99 = num "p99";
+      }
+  with Invalid_argument _ -> None
 
 let to_json snap =
   let module J = Ormp_util.Json in

@@ -7,6 +7,7 @@ module Log = Log
 module Metrics = Metrics
 module Spans = Spans
 module Heartbeat = Heartbeat
+module Flight = Flight
 
 let on = Control.on
 let enable = Control.enable

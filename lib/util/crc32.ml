@@ -3,17 +3,19 @@
    kept in the low bits of a plain [int]; all operations below stay within
    32 bits. *)
 
+(* Built eagerly at module init: a [lazy] here gets forced from several
+   domains at once (daemon + clients all encode frames), and a racy
+   first force raises in OCaml 5. 256 ints are cheaper than the guard. *)
 let table =
-  lazy
-    (Array.init 256 (fun n ->
-         let c = ref n in
-         for _ = 0 to 7 do
-           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
-         done;
-         !c))
+  Array.init 256 (fun n ->
+      let c = ref n in
+      for _ = 0 to 7 do
+        c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+      done;
+      !c)
 
 let update crc s =
-  let t = Lazy.force table in
+  let t = table in
   let c = ref (crc lxor 0xFFFFFFFF) in
   String.iter
     (fun ch -> c := Array.unsafe_get t ((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))

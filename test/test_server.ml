@@ -6,12 +6,17 @@
    and daemon restarts are absorbed by the client's retry loop. *)
 
 module Wire = Ormp_server.Wire
+module Stats = Ormp_server.Stats
 module Net_io = Ormp_server.Net_io
 module Daemon = Ormp_server.Daemon
 module Client = Ormp_server.Client
 module Net_fault = Ormp_workloads.Faults.Net
 module Batch = Ormp_trace.Batch
 module Event = Ormp_trace.Event
+module Spans = Ormp_telemetry.Spans
+module J = Ormp_util.Json
+module Sexp = Ormp_util.Sexp
+module Crc32 = Ormp_util.Crc32
 
 let check_bool = Alcotest.(check bool)
 let check_int = Alcotest.(check int)
@@ -173,6 +178,181 @@ let test_wire_partial_frame_buffers () =
   | Ok (Some Wire.Ping) -> ()
   | _ -> Alcotest.fail "completed frame should decode");
   check_int "drained" 0 (Wire.buffered dec)
+
+(* --- stats frame codec --------------------------------------------------- *)
+
+let sample_stats () =
+  {
+    Stats.s_wall_s = 12.5;
+    s_events_per_sec = 125000.0;
+    s_pool_occupancy = 0.25;
+    s_sessions_live = 1;
+    s_sessions_started = 3;
+    s_sessions_resumed = 1;
+    s_sheds = 2;
+    s_protocol_errors = 1;
+    s_deadline_kills = 0;
+    s_events_total = 6240;
+    s_wal_bytes = 73000;
+    s_out_backlog = 0;
+    s_out_backlog_hw = 4096;
+    s_grammar_symbols = 512;
+    s_grammar_budget = 0;
+    s_flight_events = 9;
+    s_flight_dropped = 0;
+    s_flight_dumps = 2;
+    s_rows_truncated = false;
+    s_rows =
+      [
+        {
+          Stats.r_token = "tok-1";
+          r_workload = "linked_list";
+          r_position = 6240;
+          r_journal_bytes = 73000;
+          r_journal_lag = 0;
+          r_events_per_sec = 125000.0;
+          (* 2.5 again stresses the high exponent bits in transit *)
+          r_ack_p50_ms = 2.5;
+          r_ack_p99_ms = 9.75;
+          r_ring_occupancy = 0.125;
+        };
+      ];
+    s_counters = [ ("serve.stats_requests", 4) ];
+    s_gauges = [ ("pool.occupancy", 0.25) ];
+    s_hists =
+      [
+        ( "serve.ack_flush_ns",
+          {
+            Stats.count = 4;
+            sum = 1500.0;
+            min = 100.0;
+            max = 800.0;
+            p50 = 300.0;
+            p90 = 700.0;
+            p99 = 800.0;
+          } );
+      ];
+  }
+
+let decode_one s =
+  let dec = Wire.decoder () in
+  Wire.feed dec (Bytes.of_string s) 0 (String.length s);
+  Wire.next dec
+
+(* Byte-for-byte re-encoding sidesteps float-equality pitfalls: if the
+   decoded snapshot encodes to the exact frame it came from, every field
+   survived transit. *)
+let gen_stats =
+  let open QCheck.Gen in
+  let str = string_size ~gen:printable (int_bound 12) in
+  let fin = float_bound_inclusive 1.0e9 in
+  let nat = int_bound 1_000_000 in
+  let row =
+    pair (pair str str) (pair (triple nat nat nat) (quad fin fin fin fin))
+    >|= fun ( (r_token, r_workload),
+              ( (r_position, r_journal_bytes, r_journal_lag),
+                (r_events_per_sec, r_ack_p50_ms, r_ack_p99_ms, r_ring_occupancy) ) ) ->
+    {
+      Stats.r_token;
+      r_workload;
+      r_position;
+      r_journal_bytes;
+      r_journal_lag;
+      r_events_per_sec;
+      r_ack_p50_ms;
+      r_ack_p99_ms;
+      r_ring_occupancy;
+    }
+  in
+  let hist =
+    pair nat (quad fin fin fin fin) >|= fun (count, (sum, mn, mx, q)) ->
+    { Stats.count; sum; min = mn; max = mx; p50 = q; p90 = q *. 2.0; p99 = q *. 3.0 }
+  in
+  pair
+    (pair (list_size (int_bound 5) row) (triple nat nat nat))
+    (pair
+       (pair (list_size (int_bound 4) (pair str nat)) (list_size (int_bound 4) (pair str fin)))
+       (pair (list_size (int_bound 3) (pair str hist)) (triple fin fin fin)))
+  >|= fun ( (s_rows, (a, b, c)),
+            ((s_counters, s_gauges), (s_hists, (s_wall_s, s_events_per_sec, s_pool_occupancy)))
+          ) ->
+  {
+    Stats.s_wall_s;
+    s_events_per_sec;
+    s_pool_occupancy;
+    s_sessions_live = List.length s_rows;
+    s_sessions_started = a;
+    s_sessions_resumed = b;
+    s_sheds = c;
+    s_protocol_errors = a land 15;
+    s_deadline_kills = b land 15;
+    s_events_total = a + b;
+    s_wal_bytes = c;
+    s_out_backlog = a land 1023;
+    s_out_backlog_hw = a;
+    s_grammar_symbols = b;
+    s_grammar_budget = c;
+    s_flight_events = a land 255;
+    s_flight_dropped = b land 255;
+    s_flight_dumps = c land 63;
+    s_rows_truncated = false;
+    s_rows;
+    s_counters;
+    s_gauges;
+    s_hists;
+  }
+
+let prop_stats_roundtrip =
+  QCheck.Test.make ~name:"stats frames re-encode byte-identically" ~count:60
+    (QCheck.make gen_stats) (fun s ->
+      let encoded = Wire.encode (Wire.Stats s) in
+      match decode_one encoded with
+      | Ok (Some (Wire.Stats s')) -> Wire.encode (Wire.Stats s') = encoded
+      | _ -> false)
+
+let test_stats_version_rejected () =
+  let s = Wire.encode (Wire.Stats (sample_stats ())) in
+  let b = Bytes.of_string s in
+  (* frame = u32 len | payload | u32 crc; payload byte 1 is the layout
+     version, so frame byte 5 — flip it and reseal the CRC so only the
+     version check can object *)
+  Bytes.set b 5 '\x63';
+  let len = Bytes.length b in
+  let payload = Bytes.sub_string b 4 (len - 8) in
+  Bytes.set_int32_be b (len - 4) (Int32.of_int (Crc32.string payload));
+  match decode_one (Bytes.to_string b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "unknown stats version was accepted"
+
+let test_stats_corruption_rejected () =
+  let s = Wire.encode (Wire.Stats (sample_stats ())) in
+  (* one flipped payload byte: the CRC trailer no longer matches *)
+  let b = Bytes.of_string s in
+  Bytes.set b 20 (Char.chr (Char.code (Bytes.get b 20) lxor 0x55));
+  (match decode_one (Bytes.to_string b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "corrupt stats frame was accepted");
+  (* truncation is not corruption: the decoder just waits for the rest *)
+  let dec = Wire.decoder () in
+  Wire.feed dec (Bytes.of_string s) 0 (String.length s - 5);
+  (match Wire.next dec with
+  | Ok None -> ()
+  | _ -> Alcotest.fail "truncated stats frame should buffer, not decode");
+  (* a CRC-valid frame whose table count lies past the payload length is
+     rejected before any array gets allocated *)
+  let empty =
+    { (sample_stats ()) with Stats.s_rows = []; s_counters = []; s_gauges = []; s_hists = [] }
+  in
+  let b = Bytes.of_string (Wire.encode (Wire.Stats empty)) in
+  (* ncounters lives right after tag+version+3 floats+15 i64s+flag+nrows:
+     payload offset 151, frame offset 155 *)
+  Bytes.set_int32_be b 155 0x00FFFFFFl;
+  let len = Bytes.length b in
+  let payload = Bytes.sub_string b 4 (len - 8) in
+  Bytes.set_int32_be b (len - 4) (Int32.of_int (Crc32.string payload));
+  match decode_one (Bytes.to_string b) with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "wild stats table count was accepted"
 
 (* --- in-process daemon harness ----------------------------------------- *)
 
@@ -450,6 +630,110 @@ let test_restart_resumes_from_journal () =
         (st.Client.st_frames < Array.length events / Batch.default_capacity + 60);
       check_matches_reference "after restart" (session_dir h "phoenix"))
 
+(* --- live introspection --------------------------------------------------- *)
+
+let validate_flight_bundles root =
+  let flight_dir = Filename.concat root "flight" in
+  let bundles = if Sys.file_exists flight_dir then Sys.readdir flight_dir else [||] in
+  Array.iter
+    (fun name ->
+      let dir = Filename.concat flight_dir name in
+      let trace = read_file (Filename.concat dir "trace.json") in
+      (match Option.map Spans.validate_json (Result.to_option (J.of_string trace)) with
+      | Some (Ok _) -> ()
+      | _ -> Alcotest.failf "flight bundle %s: trace.json does not validate" name);
+      match Sexp.load (Filename.concat dir "record.sexp") with
+      | Ok s -> (
+        match Sexp.assoc "reason" s with
+        | Ok _ -> ()
+        | Error e -> Alcotest.failf "flight bundle %s: no reason field (%s)" name e)
+      | Error e -> Alcotest.failf "flight bundle %s: record.sexp: %s" name e)
+    bundles;
+  Array.length bundles
+
+(* Stream 300 events by hand at ack_every=1, then ask for a snapshot on
+   the same connection: the row must show exactly the position the client
+   has had acked, with the WAL caught up. Then a faulted client resumes
+   through a torn frame and every flight bundle the daemon dumped for it
+   must validate. *)
+let test_live_stats_rows_track_positions () =
+  with_harness (fun h ->
+      let deadline_s = Net_io.now () +. 10.0 in
+      let fd = Net_io.connect_unix ~path:h.socket ~deadline_s in
+      let dec = Wire.decoder () in
+      let send m = Net_io.send_all fd (Wire.encode m) ~deadline_s in
+      send (Wire.Hello { token = "statly"; workload = "linked_list"; ack_every = 1 });
+      (match recv_msg fd dec ~deadline_s with
+      | Wire.Hello_ok { fresh = true; position = 0; _ } -> ()
+      | _ -> Alcotest.fail "expected a fresh Hello_ok");
+      let send_event pos =
+        match events.(pos) with
+        | Event.Access { instr; addr; size; is_store } ->
+          let chunk =
+            {
+              Batch.instr = [| instr |];
+              addr = [| addr |];
+              size = [| size |];
+              store = [| Bool.to_int is_store |];
+              len = 1;
+            }
+          in
+          send (Wire.Batch { start = pos; chunk })
+        | ev -> send (Wire.Ev { position = pos; event = ev })
+      in
+      let expect_ack pos =
+        match recv_msg fd dec ~deadline_s with
+        | Wire.Ack { position } -> check_int "acked in order" (pos + 1) position
+        | _ -> Alcotest.fail "expected an Ack per frame at ack_every=1"
+      in
+      for pos = 0 to 299 do
+        send_event pos;
+        expect_ack pos
+      done;
+      send Wire.Stats_req;
+      let rec recv_stats () =
+        match recv_msg fd dec ~deadline_s with
+        | Wire.Stats s -> s
+        | Wire.Ping ->
+          send Wire.Pong;
+          recv_stats ()
+        | _ -> Alcotest.fail "expected a Stats frame"
+      in
+      let s = recv_stats () in
+      check_int "one live session" 1 s.Stats.s_sessions_live;
+      check_bool "start was counted" true (s.Stats.s_sessions_started >= 1);
+      (match s.Stats.s_rows with
+      | [ r ] ->
+        check_string "row token" "statly" r.Stats.r_token;
+        check_string "row workload" "linked_list" r.Stats.r_workload;
+        check_int "row position is the acked position" 300 r.Stats.r_position;
+        check_bool "journal has bytes" true (r.Stats.r_journal_bytes > 0);
+        check_int "ack_every=1 leaves no journal lag" 0 r.Stats.r_journal_lag
+      | rows -> Alcotest.failf "expected one session row, got %d" (List.length rows));
+      (* the snapshot did not disturb the stream: it keeps flowing *)
+      for pos = 300 to 309 do
+        send_event pos;
+        expect_ack pos
+      done;
+      Net_io.close_noerr fd;
+      (* a torn-frame client forces a reconnect; the resume dumps a
+         flight bundle, and the registry counts both sessions *)
+      let st =
+        ok_stats "faulted beside stats"
+          (run h "flighty"
+             ~net:(Net_fault.create { Net_fault.none with Net_fault.torn_frame = Some 9 }))
+      in
+      check_bool "fault forced a reconnect" true (st.Client.st_reconnects >= 1);
+      match Client.fetch_stats ~socket:h.socket () with
+      | Error m -> Alcotest.fail ("fetch_stats: " ^ m)
+      | Ok s2 ->
+        check_bool "both sessions started" true (s2.Stats.s_sessions_started >= 2);
+        check_bool "resume was counted" true (s2.Stats.s_sessions_resumed >= 1);
+        check_bool "flight dump was counted" true (s2.Stats.s_flight_dumps >= 1);
+        check_bool "events flowed" true (s2.Stats.s_events_total > 300);
+        let n = validate_flight_bundles h.root in
+        check_bool "at least one flight bundle on disk" true (n >= 1))
+
 (* --- percentile helper --------------------------------------------------- *)
 
 let test_percentile () =
@@ -469,6 +753,15 @@ let () =
           Alcotest.test_case "crc rejects corruption" `Quick test_wire_crc_rejects_corruption;
           Alcotest.test_case "partial frames buffer visibly" `Quick
             test_wire_partial_frame_buffers;
+          QCheck_alcotest.to_alcotest prop_stats_roundtrip;
+          Alcotest.test_case "stats version is checked" `Quick test_stats_version_rejected;
+          Alcotest.test_case "stats corruption is rejected" `Quick
+            test_stats_corruption_rejected;
+        ] );
+      ( "introspection",
+        [
+          Alcotest.test_case "stats rows track client positions" `Quick
+            test_live_stats_rows_track_positions;
         ] );
       ( "sessions",
         [

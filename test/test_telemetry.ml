@@ -284,6 +284,82 @@ let test_log_level_parse () =
   check_bool "unknown" true (lvl "blah" = None)
 
 (* ------------------------------------------------------------------ *)
+(* Flight recorder                                                     *)
+(* ------------------------------------------------------------------ *)
+
+module Flight = Ormp_telemetry.Flight
+module Sexp = Ormp_util.Sexp
+
+let test_flight_ring_overwrites_oldest () =
+  let f = Flight.create ~cap:4 () in
+  for i = 1 to 10 do
+    Flight.record f ~kind:"k" ~session:(Printf.sprintf "s%d" i) ~detail:""
+  done;
+  check_int "recorded counts everything" 10 (Flight.recorded f);
+  check_int "dropped is recorded minus cap" 6 (Flight.dropped f);
+  let live = Flight.events f in
+  check_int "ring holds cap events" 4 (List.length live);
+  Alcotest.(check (list string))
+    "oldest-to-newest window"
+    [ "s7"; "s8"; "s9"; "s10" ]
+    (List.map (fun e -> e.Flight.session) live)
+
+let test_flight_trace_validates () =
+  let f = Flight.create ~cap:8 () in
+  List.iter
+    (fun k -> Flight.record f ~kind:k ~session:"sess-1" ~detail:"why it happened")
+    [ "hello"; "shed"; "proto-error"; "deadline-kill"; "finish" ];
+  match Spans.validate_json (Flight.to_trace_json f) with
+  | Ok n -> check_int "one span per event" 5 n
+  | Error e -> Alcotest.fail ("flight trace does not validate: " ^ e)
+
+let test_flight_empty_ring_exports () =
+  let f = Flight.create ~cap:4 () in
+  check_int "nothing dropped" 0 (Flight.dropped f);
+  match Spans.validate_json (Flight.to_trace_json f) with
+  | Ok n -> check_int "empty trace validates" 0 n
+  | Error e -> Alcotest.fail e
+
+let test_flight_dump_bundle () =
+  let dir = Filename.temp_file "ormp-flight" "" in
+  Sys.remove dir;
+  let nested = Filename.concat dir "deeper" in
+  Fun.protect ~finally:(fun () ->
+      List.iter
+        (fun p -> try Sys.remove p with Sys_error _ -> ())
+        [
+          Filename.concat nested Flight.trace_file;
+          Filename.concat nested Flight.record_file;
+        ];
+      (try Unix.rmdir nested with Unix.Unix_error _ -> ());
+      try Unix.rmdir dir with Unix.Unix_error _ -> ())
+  @@ fun () ->
+  let f = Flight.create ~cap:8 () in
+  Flight.record f ~kind:"resume" ~session:"tok a" ~detail:"position 300 (torn tail)";
+  Flight.record f ~kind:"proto-error" ~session:"tok b" ~detail:"position gap";
+  (match Flight.dump f ~dir:nested ~reason:"unit test" with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail ("dump failed: " ^ m));
+  (* the trace half parses as JSON and passes the span validator *)
+  let trace =
+    In_channel.with_open_bin (Filename.concat nested Flight.trace_file)
+      In_channel.input_all
+  in
+  (match Option.map Spans.validate_json (Result.to_option (J.of_string trace)) with
+  | Some (Ok n) -> check_int "dumped spans" 2 n
+  | _ -> Alcotest.fail "dumped trace.json does not validate");
+  (* the sexp half loads and carries the reason plus both events, with
+     the space-bearing atoms quoted well enough to survive the parse *)
+  match Sexp.load (Filename.concat nested Flight.record_file) with
+  | Error e -> Alcotest.fail ("record.sexp does not load: " ^ e)
+  | Ok s -> (
+    match (Sexp.assoc "reason" s, Sexp.assoc "events" s) with
+    | Ok [ Sexp.Atom r ], Ok evs ->
+      check_bool "reason preserved" true (r = "unit test");
+      check_int "both events present" 2 (List.length evs)
+    | _ -> Alcotest.fail "record.sexp missing reason/events fields")
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
@@ -314,4 +390,11 @@ let () =
         ] );
       ( "log",
         [ tc "levels" test_log_levels; tc "level parse" test_log_level_parse ] );
+      ( "flight",
+        [
+          tc "ring overwrites oldest" test_flight_ring_overwrites_oldest;
+          tc "trace validates as spans" test_flight_trace_validates;
+          tc "empty ring exports" test_flight_empty_ring_exports;
+          tc "dump bundle roundtrips" test_flight_dump_bundle;
+        ] );
     ]
