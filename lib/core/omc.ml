@@ -1,3 +1,5 @@
+(* lint:hot-path *)
+
 module Ri = Ormp_interval.Range_index
 module Vec = Ormp_util.Vec
 module Tm = Ormp_telemetry.Telemetry
@@ -31,6 +33,23 @@ type group_key = By_site of int | By_type of string
    complete. *)
 type ginfo = { g_id : int; g_site : int; g_key : group_key; mutable g_population : int }
 
+(* Two-way per-instruction MRU cache, packed into int lanes (PR 10). Each
+   instruction owns [cache_stride] consecutive ints — five per way
+   [generation; base; size; group; serial], way 0 first — so a lookup
+   touches one flat array and no boxed lifetime record. An entry answers
+   only while its generation equals the range index's current one: any
+   insert or remove bumps that counter, invalidating every entry at once.
+   Whole-cache invalidation is deliberately coarse — profiling is
+   access-dominated, so two int compares on the hot path beat precise
+   per-object invalidation — and it subsumes the stale-MRU liveness rule:
+   a free removes the object from the index and bumps the generation, so
+   a dead object can never answer for a reused address. The second way
+   costs nothing on the (dominant) first-way hit and converts the common
+   alternation pattern — one instruction ping-ponging between two
+   objects, as in a copy loop or parent/child pointer chase — from
+   guaranteed misses into hits. *)
+let cache_stride = 10
+
 type t = {
   grouping : grouping;
   site_name : int -> string;
@@ -38,32 +57,22 @@ type t = {
   group_ids : (group_key, int) Hashtbl.t;
   group_recs : ginfo Vec.t;
   all : lifetime Vec.t;
-  (* Two-way per-instruction MRU cache: [cache0] holds the last-hit
-     object, [cache1] the one it displaced. The second way costs nothing
-     on the (dominant) first-way hit and converts the common alternation
-     pattern — one instruction ping-ponging between two objects, as in a
-     copy loop or parent/child pointer chase — from guaranteed misses
-     into hits. *)
-  mutable cache0 : lifetime array;
-  mutable cache1 : lifetime array;
+  mutable cache : int array;  (* cache_stride ints per instruction *)
   mutable translations : int;
   mutable misses : int;
   mutable cache_hits : int;
   mutable unknown_frees : int;
 }
 
-(* Cache slot for instructions that have not hit yet: an empty range at the
-   top of the address space, so the validity check fails for every addr. *)
-let sentinel =
-  {
-    group = -1;
-    serial = -1;
-    base = max_int;
-    size = 0;
-    alloc_time = 0;
-    free_time = None;
-    free_site = None;
-  }
+(* Generation -1 marks a never-filled way: the index's counter starts at 0
+   and only grows, so it can never match. *)
+let new_cache n =
+  let a = Array.make (cache_stride * n) 0 in
+  for i = 0 to n - 1 do
+    a.(cache_stride * i) <- -1;
+    a.((cache_stride * i) + 5) <- -1
+  done;
+  a
 
 let create ?(grouping = `Site) ~site_name () =
   {
@@ -73,8 +82,7 @@ let create ?(grouping = `Site) ~site_name () =
     group_ids = Hashtbl.create 64;
     group_recs = Vec.create ();
     all = Vec.create ();
-    cache0 = Array.make 64 sentinel;
-    cache1 = Array.make 64 sentinel;
+    cache = new_cache 64;
     translations = 0;
     misses = 0;
     cache_hits = 0;
@@ -133,66 +141,79 @@ let translate t addr =
 
 (* --- MRU translation cache ----------------------------------------- *)
 
-(* A cached lifetime answers for [addr] only while it is still live and
-   its range contains the address. Liveness is the invalidation rule: a
-   freed object keeps its range in the record, so without the [free_time]
-   check a new object allocated at the same base (bump allocators never
-   reuse, but every free-list allocator does) would be answered with the
-   dead object's (group, serial) — the classic stale-MRU bug. A live
-   cached object can never be overrun by a new allocation because the
-   range index rejects overlapping inserts. *)
-let[@inline] cache_valid lt addr =
-  (match lt.free_time with None -> true | Some _ -> false)
-  && addr >= lt.base
-  && addr - lt.base < lt.size
-
 let ensure_cache t instr =
-  let n = Array.length t.cache0 in
+  let n = Array.length t.cache / cache_stride in
   if instr >= n then begin
     let m = max (instr + 1) (2 * n) in
-    let grown0 = Array.make m sentinel in
-    let grown1 = Array.make m sentinel in
-    Array.blit t.cache0 0 grown0 0 n;
-    Array.blit t.cache1 0 grown1 0 n;
-    t.cache0 <- grown0;
-    t.cache1 <- grown1
+    let grown = new_cache m in
+    Array.blit t.cache 0 grown 0 (cache_stride * n);
+    t.cache <- grown
   end
 
 (* Slow half of the cache lookup, shared by [translate_fast] and
    [translate_batch]: try the second way, then the range index; either
    way the winner moves to way 0 and the previous way-0 entry is demoted.
-   Returns [sentinel] for an untranslatable address. *)
-let cache_fill t instr addr lt0 =
-  let lt1 = Array.unsafe_get t.cache1 instr in
-  if cache_valid lt1 addr then begin
+   [b] is the instruction's lane base; on [true] the way-0 lanes hold the
+   answer. The range-index probe goes through [Ri.find_idx] and the flat
+   lanes, so even the fill path allocates nothing. *)
+let cache_fill t gen addr b =
+  let cache = t.cache in
+  let base1 = Array.unsafe_get cache (b + 6) in
+  if
+    Array.unsafe_get cache (b + 5) = gen
+    && addr - base1 >= 0
+    && addr - base1 < Array.unsafe_get cache (b + 7)
+  then begin
     t.translations <- t.translations + 1;
     t.cache_hits <- t.cache_hits + 1;
-    Array.unsafe_set t.cache1 instr lt0;
-    Array.unsafe_set t.cache0 instr lt1;
-    lt1
+    for f = 0 to 4 do
+      let v0 = Array.unsafe_get cache (b + f) in
+      Array.unsafe_set cache (b + f) (Array.unsafe_get cache (b + 5 + f));
+      Array.unsafe_set cache (b + 5 + f) v0
+    done;
+    true
   end
-  else
-    match Ri.find t.index addr with
-    | Some (_, _, lt) ->
+  else begin
+    let idx = Ri.find_idx t.index addr in
+    if idx >= 0 then begin
       t.translations <- t.translations + 1;
-      Array.unsafe_set t.cache1 instr lt0;
-      Array.unsafe_set t.cache0 instr lt;
-      lt
-    | None ->
+      Array.blit cache b cache (b + 5) 5;
+      let lt = Ri.idx_value t.index idx in
+      Array.unsafe_set cache b gen;
+      Array.unsafe_set cache (b + 1) (Ri.idx_base t.index idx);
+      Array.unsafe_set cache (b + 2) (Ri.idx_size t.index idx);
+      Array.unsafe_set cache (b + 3) lt.group;
+      Array.unsafe_set cache (b + 4) lt.serial;
+      true
+    end
+    else begin
       t.misses <- t.misses + 1;
-      sentinel
+      false
+    end
+  end
 
 let translate_fast t ~instr addr =
   ensure_cache t instr;
-  let lt0 = Array.unsafe_get t.cache0 instr in
-  if cache_valid lt0 addr then begin
+  let cache = t.cache in
+  let gen = Ri.generation t.index in
+  let b = cache_stride * instr in
+  let base0 = Array.unsafe_get cache (b + 1) in
+  if
+    Array.unsafe_get cache b = gen
+    && addr - base0 >= 0
+    && addr - base0 < Array.unsafe_get cache (b + 2)
+  then begin
     t.translations <- t.translations + 1;
     t.cache_hits <- t.cache_hits + 1;
-    Some (lt0.group, lt0.serial, addr - lt0.base)
+    Some (Array.unsafe_get cache (b + 3), Array.unsafe_get cache (b + 4), addr - base0)
   end
-  else
-    let lt = cache_fill t instr addr lt0 in
-    if lt == sentinel then None else Some (lt.group, lt.serial, addr - lt.base)
+  else if cache_fill t gen addr b then
+    let cache = t.cache in
+    Some
+      ( Array.unsafe_get cache (b + 3),
+        Array.unsafe_get cache (b + 4),
+        addr - Array.unsafe_get cache (b + 1) )
+  else None
 
 let translate_batch t ~instrs ~addrs ~len ~groups ~serials ~offsets =
   if
@@ -207,32 +228,43 @@ let translate_batch t ~instrs ~addrs ~len ~groups ~serials ~offsets =
   (* Bounds are validated above, once per chunk, so the loop body — which
      runs once per access — can use unchecked array operations. The cache
      is also grown once, for the chunk's largest instruction id, keeping
-     the growth check off the per-access path. *)
+     the growth check off the per-access path, and the index generation is
+     hoisted: nothing inside a batch mutates the index. *)
   let max_instr = ref (-1) in
   for i = 0 to len - 1 do
     let v = Array.unsafe_get instrs i in
     if v > !max_instr then max_instr := v
   done;
   if !max_instr >= 0 then ensure_cache t !max_instr;
-  let cache0 = t.cache0 in
+  let cache = t.cache in
+  let gen = Ri.generation t.index in
   (* Way-0 hits are counted in locals (registers) and folded into the
      per-OMC counters once per chunk; [cache_fill] maintains the counters
      itself for the slow paths. *)
   let hits = ref 0 in
   for i = 0 to len - 1 do
     let instr = Array.unsafe_get instrs i and addr = Array.unsafe_get addrs i in
-    let lt0 = Array.unsafe_get cache0 instr in
-    if cache_valid lt0 addr then begin
+    let b = cache_stride * instr in
+    let base0 = Array.unsafe_get cache (b + 1) in
+    if
+      Array.unsafe_get cache b = gen
+      && addr - base0 >= 0
+      && addr - base0 < Array.unsafe_get cache (b + 2)
+    then begin
       incr hits;
-      Array.unsafe_set groups i lt0.group;
-      Array.unsafe_set serials i lt0.serial;
-      Array.unsafe_set offsets i (addr - lt0.base)
+      Array.unsafe_set groups i (Array.unsafe_get cache (b + 3));
+      Array.unsafe_set serials i (Array.unsafe_get cache (b + 4));
+      Array.unsafe_set offsets i (addr - base0)
+    end
+    else if cache_fill t gen addr b then begin
+      Array.unsafe_set groups i (Array.unsafe_get cache (b + 3));
+      Array.unsafe_set serials i (Array.unsafe_get cache (b + 4));
+      Array.unsafe_set offsets i (addr - Array.unsafe_get cache (b + 1))
     end
     else begin
-      let lt = cache_fill t instr addr lt0 in
-      Array.unsafe_set groups i lt.group;
-      Array.unsafe_set serials i lt.serial;
-      Array.unsafe_set offsets i (if lt == sentinel then -1 else addr - lt.base)
+      Array.unsafe_set groups i (-1);
+      Array.unsafe_set serials i (-1);
+      Array.unsafe_set offsets i (-1)
     end
   done;
   t.translations <- t.translations + !hits;

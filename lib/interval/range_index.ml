@@ -1,208 +1,163 @@
-type 'a node = {
-  base : int;
-  size : int;
-  value : 'a;
-  mutable left : 'a node option;
-  mutable right : 'a node option;
-  mutable height : int;
-}
+(* lint:hot-path *)
+(* Flat sorted-interval lanes (PR 10). The old AVL tree allocated a boxed
+   node per range and a [Some (base, size, v)] tuple per query; the OMC
+   translates hundreds of accesses per allocation event, so queries must
+   be allocation-free. Ranges now live in three parallel lanes sorted by
+   base — [bases], [sizes], [values] — searched with a branch-minimal
+   binary search ([find_idx]) and mutated with memmove-style shifts.
+   Inserts/removes are O(n) but ride the rare alloc/free path; the
+   [generation] counter (bumped on every mutation) lets callers cache
+   lane indices (the OMC's packed-int MRU) and invalidate them with one
+   compare instead of a pointer chase. *)
 
 type 'a t = {
-  mutable root : 'a node option;
+  mutable bases : int array;
+  mutable sizes : int array;
+  mutable values : 'a array;  (* dummy-filled past [count] with a live 'a *)
   mutable count : int;
   mutable high_water : int;
+  mutable generation : int;
 }
 
-let create () = { root = None; count = 0; high_water = 0 }
-
-let height = function None -> 0 | Some n -> n.height
-
-let update_height n = n.height <- 1 + max (height n.left) (height n.right)
-
-let balance_factor n = height n.left - height n.right
-
-(* Rotations rebuild in place by mutating child links; nodes themselves keep
-   their key/value immutable. *)
-let rotate_right n =
-  match n.left with
-  | None -> n
-  | Some l ->
-    n.left <- l.right;
-    l.right <- Some n;
-    update_height n;
-    update_height l;
-    l
-
-let rotate_left n =
-  match n.right with
-  | None -> n
-  | Some r ->
-    n.right <- r.left;
-    r.left <- Some n;
-    update_height n;
-    update_height r;
-    r
-
-let rebalance n =
-  update_height n;
-  let bf = balance_factor n in
-  if bf > 1 then begin
-    (match n.left with
-    | Some l when balance_factor l < 0 -> n.left <- Some (rotate_left l)
-    | _ -> ());
-    rotate_right n
-  end
-  else if bf < -1 then begin
-    (match n.right with
-    | Some r when balance_factor r > 0 -> n.right <- Some (rotate_right r)
-    | _ -> ());
-    rotate_left n
-  end
-  else n
-
-let overlaps b1 s1 b2 s2 = b1 < b2 + s2 && b2 < b1 + s1
-
-let insert t ~base ~size value =
-  if size <= 0 then invalid_arg "Range_index.insert: size must be positive";
-  let rec go = function
-    | None -> { base; size; value; left = None; right = None; height = 1 }
-    | Some n ->
-      if overlaps base size n.base n.size then
-        invalid_arg
-          (Printf.sprintf "Range_index.insert: [%d,%d) overlaps live range [%d,%d)" base
-             (base + size) n.base (n.base + n.size))
-      else if base < n.base then begin
-        n.left <- Some (go n.left);
-        rebalance n
-      end
-      else begin
-        n.right <- Some (go n.right);
-        rebalance n
-      end
-  in
-  t.root <- Some (go t.root);
-  t.count <- t.count + 1;
-  if t.count > t.high_water then t.high_water <- t.count
-
-let rec min_node n = match n.left with None -> n | Some l -> min_node l
-
-let remove t ~base =
-  let removed = ref false in
-  let rec go = function
-    | None -> None
-    | Some n ->
-      if base < n.base then begin
-        n.left <- go n.left;
-        Some (rebalance n)
-      end
-      else if base > n.base then begin
-        n.right <- go n.right;
-        Some (rebalance n)
-      end
-      else begin
-        removed := true;
-        match (n.left, n.right) with
-        | None, r -> r
-        | l, None -> l
-        | Some _, Some r ->
-          (* Replace with in-order successor. *)
-          let succ = min_node r in
-          let fresh =
-            {
-              base = succ.base;
-              size = succ.size;
-              value = succ.value;
-              left = n.left;
-              right = remove_min n.right;
-              height = 0;
-            }
-          in
-          Some (rebalance fresh)
-      end
-  and remove_min = function
-    | None -> None
-    | Some n -> (
-      match n.left with
-      | None -> n.right
-      | Some _ ->
-        n.left <- remove_min n.left;
-        Some (rebalance n))
-  in
-  t.root <- go t.root;
-  if !removed then t.count <- t.count - 1;
-  !removed
-
-let find t addr =
-  (* Walk down keeping the greatest base <= addr, then check containment. *)
-  let rec go best = function
-    | None -> best
-    | Some n ->
-      if addr < n.base then go best n.left
-      else go (Some n) n.right
-  in
-  match go None t.root with
-  | Some n when addr >= n.base && addr < n.base + n.size -> Some (n.base, n.size, n.value)
-  | _ -> None
-
-let find_nearest_below t addr =
-  let rec go best = function
-    | None -> best
-    | Some n -> if addr < n.base then go best n.left else go (Some n) n.right
-  in
-  match go None t.root with
-  | Some n -> Some (n.base, n.size, n.value)
-  | None -> None
-
-let find_nearest_above t addr =
-  let rec go best = function
-    | None -> best
-    | Some n -> if n.base > addr then go (Some n) n.left else go best n.right
-  in
-  match go None t.root with
-  | Some n -> Some (n.base, n.size, n.value)
-  | None -> None
-
-let mem t addr = Option.is_some (find t addr)
+let create () =
+  {
+    bases = [||];
+    sizes = [||];
+    values = [||];
+    count = 0;
+    high_water = 0;
+    generation = 0;
+  }
 
 let cardinal t = t.count
 let max_live t = t.high_water
+let generation t = t.generation
+let bases_lane t = t.bases
+let sizes_lane t = t.sizes
+let values_lane t = t.values
+
+(* Index of the greatest base <= addr, or -1. The loop halves a
+   [len]-wide window in place; the only data-dependent branch is the
+   window-advance compare, which compiles to a conditional add. *)
+let[@inline] pred_idx t addr =
+  let bases = t.bases in
+  let off = ref 0 in
+  let len = ref t.count in
+  while !len > 1 do
+    let half = !len asr 1 in
+    if Array.unsafe_get bases (!off + half) <= addr then off := !off + half;
+    len := !len - half
+  done;
+  if t.count > 0 && Array.unsafe_get bases !off <= addr then !off else -1
+
+let[@inline] find_idx t addr =
+  let i = pred_idx t addr in
+  if i >= 0 && addr - Array.unsafe_get t.bases i < Array.unsafe_get t.sizes i
+  then i
+  else -1
+
+let[@inline] idx_base t i = Array.unsafe_get t.bases i
+let[@inline] idx_size t i = Array.unsafe_get t.sizes i
+let[@inline] idx_value t i = Array.unsafe_get t.values i
+
+let find t addr =
+  let i = find_idx t addr in
+  if i < 0 then None else Some (t.bases.(i), t.sizes.(i), t.values.(i))
+
+let mem t addr = find_idx t addr >= 0
+
+let find_nearest_below t addr =
+  let i = pred_idx t addr in
+  if i < 0 then None else Some (t.bases.(i), t.sizes.(i), t.values.(i))
+
+let find_nearest_above t addr =
+  let i = pred_idx t addr + 1 in
+  if i >= t.count then None else Some (t.bases.(i), t.sizes.(i), t.values.(i))
+
+let overlap_msg base size b s =
+  "Range_index.insert: [" ^ string_of_int base ^ ","
+  ^ string_of_int (base + size)
+  ^ ") overlaps live range [" ^ string_of_int b ^ ","
+  ^ string_of_int (b + s) ^ ")"
+
+let grow t value =
+  let cap = Array.length t.bases in
+  let cap' = if cap = 0 then 16 else cap * 2 in
+  let bases = Array.make cap' 0 in
+  let sizes = Array.make cap' 0 in
+  let values = Array.make cap' value in
+  Array.blit t.bases 0 bases 0 t.count;
+  Array.blit t.sizes 0 sizes 0 t.count;
+  Array.blit t.values 0 values 0 t.count;
+  t.bases <- bases;
+  t.sizes <- sizes;
+  t.values <- values
+
+let insert t ~base ~size value =
+  if size <= 0 then invalid_arg "Range_index.insert: size must be positive";
+  let p = pred_idx t base in
+  (* Predecessor may reach into [base, base+size); successor may start
+     before base+size. Sortedness + disjointness make these the only two
+     candidates. *)
+  if p >= 0 && t.bases.(p) + t.sizes.(p) > base then
+    invalid_arg (overlap_msg base size t.bases.(p) t.sizes.(p));
+  let at = p + 1 in
+  if at < t.count && base + size > t.bases.(at) then
+    invalid_arg (overlap_msg base size t.bases.(at) t.sizes.(at));
+  if t.count = Array.length t.bases then grow t value;
+  let tail = t.count - at in
+  if tail > 0 then begin
+    Array.blit t.bases at t.bases (at + 1) tail;
+    Array.blit t.sizes at t.sizes (at + 1) tail;
+    Array.blit t.values at t.values (at + 1) tail
+  end;
+  t.bases.(at) <- base;
+  t.sizes.(at) <- size;
+  t.values.(at) <- value;
+  t.count <- t.count + 1;
+  t.generation <- t.generation + 1;
+  if t.count > t.high_water then t.high_water <- t.count
+
+let remove t ~base =
+  let i = pred_idx t base in
+  if i < 0 || t.bases.(i) <> base then false
+  else begin
+    let tail = t.count - i - 1 in
+    if tail > 0 then begin
+      Array.blit t.bases (i + 1) t.bases i tail;
+      Array.blit t.sizes (i + 1) t.sizes i tail;
+      Array.blit t.values (i + 1) t.values i tail
+    end;
+    t.count <- t.count - 1;
+    (* Drop the vacated slot's reference so the GC can reclaim it; reuse
+       an existing live value as the filler. *)
+    if t.count > 0 then t.values.(t.count) <- t.values.(0);
+    t.generation <- t.generation + 1;
+    true
+  end
 
 let iter t f =
-  let rec go = function
-    | None -> ()
-    | Some n ->
-      go n.left;
-      f ~base:n.base ~size:n.size n.value;
-      go n.right
-  in
-  go t.root
+  for i = 0 to t.count - 1 do
+    f ~base:t.bases.(i) ~size:t.sizes.(i) t.values.(i)
+  done
 
 let check_invariants t =
   let exception Bad of string in
-  (* Structural pass: AVL balance and height bookkeeping. *)
-  let rec structural = function
-    | None -> 0
-    | Some n ->
-      let hl = structural n.left in
-      let hr = structural n.right in
-      if abs (hl - hr) > 1 then raise (Bad (Printf.sprintf "unbalanced at base=%d" n.base));
-      if n.height <> 1 + max hl hr then
-        raise (Bad (Printf.sprintf "stale height at base=%d" n.base));
-      1 + max hl hr
-  in
-  (* Order pass: in-order ranges must be sorted and pairwise disjoint. *)
   try
-    ignore (structural t.root);
-    let prev = ref None in
-    let n_seen = ref 0 in
-    iter t (fun ~base ~size _ ->
-        incr n_seen;
-        (match !prev with
-        | Some (pb, ps) ->
-          if pb + ps > base then raise (Bad "in-order ranges overlap");
-          if pb >= base then raise (Bad "in-order bases not increasing")
-        | None -> ());
-        prev := Some (base, size));
-    if !n_seen <> t.count then raise (Bad "cardinal out of sync");
+    if t.count < 0 || t.count > Array.length t.bases then
+      raise (Bad "count out of bounds");
+    if Array.length t.sizes <> Array.length t.bases
+       || Array.length t.values <> Array.length t.bases
+    then raise (Bad "lane lengths disagree");
+    for i = 0 to t.count - 1 do
+      if t.sizes.(i) <= 0 then raise (Bad "non-positive size");
+      if i > 0 then begin
+        if t.bases.(i - 1) >= t.bases.(i) then
+          raise (Bad "in-order bases not increasing");
+        if t.bases.(i - 1) + t.sizes.(i - 1) > t.bases.(i) then
+          raise (Bad "in-order ranges overlap")
+      end
+    done;
+    if t.high_water < t.count then raise (Bad "high_water below count");
     Ok ()
   with Bad msg -> Error msg

@@ -2,9 +2,11 @@
 
     The paper speeds up raw-address-to-object lookup with "an auxiliary
     B-tree-like data structure which stores the range of addresses that each
-    object takes up" (§3.1). This is that structure: a height-balanced
-    search tree over non-overlapping half-open ranges [\[base, base+size)],
-    supporting O(log n) insert, removal and stabbing queries.
+    object takes up" (§3.1). This is that structure, flattened (PR 10)
+    into three parallel lanes sorted by base — no per-range boxing, and
+    stabbing queries ({!find_idx}) are allocation-free binary searches.
+    Inserts and removals shift the lanes (O(n)) but ride the rare
+    alloc/free path; profiling streams are access-dominated.
 
     Ranges must not overlap; the allocator substrate guarantees this, and
     {!val:insert} enforces it defensively. *)
@@ -50,4 +52,39 @@ val max_live : 'a t -> int
 (** High-water mark of {!cardinal} over the index's lifetime. *)
 
 val check_invariants : 'a t -> (unit, string) result
-(** Verify AVL balance, BST ordering and range disjointness; for tests. *)
+(** Verify lane ordering, range disjointness and bookkeeping; for tests. *)
+
+(** {2 Flat-lane access}
+
+    Allocation-free query surface for hot paths (the OMC's packed-int
+    MRU). Indices returned by {!find_idx} are positions in the sorted
+    lanes and stay valid only while {!generation} is unchanged — any
+    {!insert} or {!remove} shifts the lanes and bumps the generation. *)
+
+val find_idx : 'a t -> int -> int
+(** [find_idx t addr] is the lane index of the live range containing
+    [addr], or [-1]. Never allocates. *)
+
+val generation : 'a t -> int
+(** Mutation counter: bumped by every {!insert} and {!remove}. *)
+
+val idx_base : 'a t -> int -> int
+(** Base of the range at a lane index. Unsafe: the index must come from
+    {!find_idx} under the current {!generation}. *)
+
+val idx_size : 'a t -> int -> int
+(** Size of the range at a lane index (same contract as {!idx_base}). *)
+
+val idx_value : 'a t -> int -> 'a
+(** Value of the range at a lane index (same contract as {!idx_base}). *)
+
+val bases_lane : 'a t -> int array
+(** Borrowed read-only view of the sorted base lane; entries beyond
+    {!cardinal} are garbage. Invalidated (possibly replaced wholesale)
+    by any mutation — callers must re-fetch when {!generation} moves. *)
+
+val sizes_lane : 'a t -> int array
+(** Borrowed read-only size lane (same contract as {!bases_lane}). *)
+
+val values_lane : 'a t -> 'a array
+(** Borrowed read-only value lane (same contract as {!bases_lane}). *)

@@ -30,14 +30,19 @@ let stream_alias_fraction ~(against : Leap.stream) ~(of_s : Leap.stream) =
   in
   if total = 0 then 0.0 else matched /. float_of_int total
 
-let alias_rate p ~a ~b =
+(* The probe loops key on (instr, group) for every instruction pair; the
+   sorted-lane [Leap.stream_index] answers those probes without allocating
+   a key record per lookup (internal forms take the index so [rates] can
+   build it once for its quadratic sweep). *)
+
+let alias_rate_ix lookup p ~a ~b =
   let total = Leap.instr_total p b in
   if total = 0 then 0.0
   else
     let matched =
       List.fold_left
-        (fun acc (bk, b_stream) ->
-          match List.assoc_opt { Leap.instr = a; group = bk.Leap.group } p.Leap.streams with
+        (fun acc ((bk : Leap.key), b_stream) ->
+          match lookup ~instr:a ~group:bk.Leap.group with
           | Some a_stream ->
             let stream_total = Ormp_lmad.Compressor.total b_stream.Leap.comp in
             acc
@@ -48,10 +53,12 @@ let alias_rate p ~a ~b =
     in
     Float.min 1.0 (matched /. float_of_int total)
 
-let may_alias p ~a ~b =
+let alias_rate p ~a ~b = alias_rate_ix (Leap.stream_index p) p ~a ~b
+
+let may_alias_ix lookup p ~a ~b =
   List.exists
-    (fun (bk, b_stream) ->
-      match List.assoc_opt { Leap.instr = a; group = bk.Leap.group } p.Leap.streams with
+    (fun ((bk : Leap.key), b_stream) ->
+      match lookup ~instr:a ~group:bk.Leap.group with
       | Some a_stream ->
         List.exists
           (fun (bd, _, _) ->
@@ -62,7 +69,10 @@ let may_alias p ~a ~b =
       | None -> false)
     (Leap.streams_of p b)
 
+let may_alias p ~a ~b = may_alias_ix (Leap.stream_index p) p ~a ~b
+
 let rates p =
+  let lookup = Leap.stream_index p in
   let instrs = Leap.instrs p in
   let out = ref [] in
   List.iter
@@ -70,7 +80,9 @@ let rates p =
       List.iter
         (fun b ->
           if a < b then begin
-            let r = Float.max (alias_rate p ~a ~b) (alias_rate p ~a:b ~b:a) in
+            let r =
+              Float.max (alias_rate_ix lookup p ~a ~b) (alias_rate_ix lookup p ~a:b ~b:a)
+            in
             if r > 0.0 then out := (a, b, r) :: !out
           end)
         instrs)

@@ -37,18 +37,25 @@ let span_at stream idx ~time =
   done;
   Vec.get stream.spans idx
 
-let record stream ~time point =
-  (match C.add stream.comp point with
-  | C.Extended idx -> (span_at stream idx ~time).t_last <- time
-  | C.Opened idx ->
-    if Tm.on () then Tm.Metrics.incr m_lmad_opened;
-    ignore (span_at stream idx ~time)
-  | C.Discarded -> (
-    if Tm.on () then Tm.Metrics.incr m_lmad_discarded;
-    match stream.dspan with
-    | Some sp -> sp.t_last <- time
-    | None -> stream.dspan <- Some { t_first = time; t_last = time }));
-  ignore (C.add stream.off [| point.(1) |])
+(* Feed one (object, offset) point through both compressors using the
+   packed-code entry points: the common arms (extend, over-budget discard)
+   allocate nothing — the only steady-state allocation left in a stream is
+   a span record per descriptor. *)
+let record2 stream ~time ~obj ~offset =
+  let code = C.add2_code stream.comp obj offset in
+  let tag = C.code_tag code in
+  (if tag = C.code_extended then (span_at stream (C.code_index code) ~time).t_last <- time
+   else if tag = C.code_opened then begin
+     if Tm.on () then Tm.Metrics.incr m_lmad_opened;
+     ignore (span_at stream (C.code_index code) ~time)
+   end
+   else begin
+     if Tm.on () then Tm.Metrics.incr m_lmad_discarded;
+     match stream.dspan with
+     | Some sp -> sp.t_last <- time
+     | None -> stream.dspan <- Some { t_first = time; t_last = time }
+   end);
+  ignore (C.add1_code stream.off offset)
 
 type live = {
   lv_streams : (key * stream) list;
@@ -57,26 +64,113 @@ type live = {
   lv_dropped_accesses : int;
 }
 
+(* --- flat collector ---------------------------------------------------
+
+   PR 10: the per-event tables are open-addressing int arenas
+   ({!Key_table}, the PR 6 Sequitur style — no boxed keys, no polymorphic
+   hashing, no per-event allocation):
+
+   - [c_idx] maps (instr, group) -> stream slot. Admitted streams live in
+     parallel slot lanes in admission order
+     ([c_key_instr]/[c_key_group]/[c_strs]/[c_first]); slot order IS the
+     first-appearance order the profile reports, and [c_first] keeps each
+     key's first-admitted time stamp for the sharded merge.
+   - [c_st] maps instr -> is_store (0/1); instruction ids are arbitrary
+     ints (future trace-import frontends may feed raw IPs), so this stays
+     a hash table rather than a direct-indexed lane.
+   - Dropped keys (only under a [max_streams] cap) get the same table for
+     membership (slot = first-refusal index) plus a key Vec holding that
+     order — the rare path keeps its boxed order list. *)
+
 type collector = {
-  c_streams : (key, stream) Hashtbl.t;
-  c_order : key Vec.t;
-  c_store_instrs : (int, bool) Hashtbl.t;
+  c_idx : Key_table.t;  (* (instr, group) -> slot *)
+  mutable c_key_instr : int array;  (* slot lanes, admission order *)
+  mutable c_key_group : int array;
+  mutable c_strs : stream array;
+  mutable c_first : int array;  (* slot -> first-admitted time stamp *)
+  mutable c_n : int;
+  c_dummy : stream;  (* filler for unused [c_strs] capacity *)
+  c_st : Key_table.pairs;  (* instr -> is_store (0/1) *)
   c_budget : int option;
   c_max_streams : int;
-  c_dropped : (key, unit) Hashtbl.t;
+  c_d : Key_table.t;  (* refused keys -> first-refusal index *)
   c_dropped_order : key Vec.t;
   mutable c_dropped_accesses : int;
 }
 
+let[@inline] find_slot c instr group = Key_table.find c.c_idx instr group
+
+let grow_slots c =
+  let cap = Array.length c.c_strs in
+  let cap' = cap * 2 in
+  let ki = Array.make cap' 0 in
+  let kg = Array.make cap' 0 in
+  let ss = Array.make cap' c.c_dummy in
+  let fs = Array.make cap' 0 in
+  Array.blit c.c_key_instr 0 ki 0 c.c_n;
+  Array.blit c.c_key_group 0 kg 0 c.c_n;
+  Array.blit c.c_strs 0 ss 0 c.c_n;
+  Array.blit c.c_first 0 fs 0 c.c_n;
+  c.c_key_instr <- ki;
+  c.c_key_group <- kg;
+  c.c_strs <- ss;
+  c.c_first <- fs
+
+(* Append a stream in the next admission slot, bypassing the cap (used by
+   both live admission and checkpoint restore). *)
+let push_stream c instr group stream ~first =
+  if c.c_n = Array.length c.c_strs then grow_slots c;
+  let s = c.c_n in
+  c.c_key_instr.(s) <- instr;
+  c.c_key_group.(s) <- group;
+  c.c_strs.(s) <- stream;
+  c.c_first.(s) <- first;
+  c.c_n <- s + 1;
+  Key_table.add c.c_idx instr group s;
+  s
+
+(* instr -> is_store, last write wins (exactly [Hashtbl.replace]). *)
+let[@inline] set_store c instr is_store =
+  Key_table.pairs_set c.c_st instr (if is_store then 1 else 0)
+
+let stores_list c =
+  let acc = ref [] in
+  Key_table.pairs_iter (fun i f -> acc := (i, f = 1) :: !acc) c.c_st;
+  List.sort compare !acc
+
+(* First refusal of (instr, group): record it in the membership table and
+   the order Vec. *)
+let drop_key c instr group =
+  Key_table.add c.c_d instr group (Vec.length c.c_dropped_order);
+  Vec.push c.c_dropped_order { instr; group }
+
+(* --- collection -------------------------------------------------------- *)
+
+let fresh_stream c =
+  {
+    comp = C.create ?budget:c.c_budget ~dims:2 ();
+    spans = Vec.create ();
+    off = C.create ?budget:c.c_budget ~dims:1 ();
+    dspan = None;
+  }
+
 let collector ?budget ?(max_streams = 0) ?restore () =
+  let dummy =
+    { comp = C.create ~dims:2 (); spans = Vec.create (); off = C.create ~dims:1 (); dspan = None }
+  in
   let c =
     {
-      c_streams = Hashtbl.create 256;
-      c_order = Vec.create ();
-      c_store_instrs = Hashtbl.create 64;
+      c_idx = Key_table.create ();
+      c_key_instr = Array.make 32 0;
+      c_key_group = Array.make 32 0;
+      c_strs = Array.make 32 dummy;
+      c_first = Array.make 32 0;
+      c_n = 0;
+      c_dummy = dummy;
+      c_st = Key_table.pairs_create ();
       c_budget = budget;
       c_max_streams = max_streams;
-      c_dropped = Hashtbl.create 16;
+      c_d = Key_table.create ~capacity:16 ();
       c_dropped_order = Vec.create ();
       c_dropped_accesses = 0;
     }
@@ -84,19 +178,18 @@ let collector ?budget ?(max_streams = 0) ?restore () =
   (match restore with
   | None -> ()
   | Some lv ->
+    (* Synthetic first-seen stamps (local indices) keep the saved order;
+       [shard_make] overwrites them with the snapshot's global indices. *)
     List.iter
-      (fun (k, s) ->
-        if Hashtbl.mem c.c_streams k then invalid_arg "Leap.collector: duplicate stream key";
-        Hashtbl.replace c.c_streams k s;
-        Vec.push c.c_order k)
+      (fun ((k : key), s) ->
+        if find_slot c k.instr k.group >= 0 then
+          invalid_arg "Leap.collector: duplicate stream key";
+        ignore (push_stream c k.instr k.group s ~first:c.c_n))
       lv.lv_streams;
-    List.iter (fun (i, st) -> Hashtbl.replace c.c_store_instrs i st) lv.lv_stores;
+    List.iter (fun (i, st) -> set_store c i st) lv.lv_stores;
     List.iter
-      (fun k ->
-        if not (Hashtbl.mem c.c_dropped k) then begin
-          Hashtbl.replace c.c_dropped k ();
-          Vec.push c.c_dropped_order k
-        end)
+      (fun (k : key) ->
+        if not (Key_table.mem c.c_d k.instr k.group) then drop_key c k.instr k.group)
       lv.lv_dropped;
     c.c_dropped_accesses <- lv.lv_dropped_accesses);
   c
@@ -106,43 +199,55 @@ let collector ?budget ?(max_streams = 0) ?restore () =
    time spans. When [max_streams] caps the table, accesses of unseen keys
    past the cap are counted but not compressed (graceful degradation under
    a memory budget); established streams keep collecting. *)
-let collect c (tu : Ormp_core.Tuple.t) =
-  Hashtbl.replace c.c_store_instrs tu.instr tu.is_store;
-  let key = { instr = tu.instr; group = tu.group } in
-  match Hashtbl.find_opt c.c_streams key with
-  | Some s -> record s ~time:tu.time [| tu.obj; tu.offset |]
-  | None ->
-    if c.c_max_streams > 0 && Hashtbl.length c.c_streams >= c.c_max_streams then begin
-      if not (Hashtbl.mem c.c_dropped key) then begin
-        Hashtbl.replace c.c_dropped key ();
-        Vec.push c.c_dropped_order key;
-        if Tm.on () then Tm.Metrics.incr m_streams_dropped
-      end;
-      c.c_dropped_accesses <- c.c_dropped_accesses + 1;
-      if Tm.on () then Tm.Metrics.incr m_dropped_accesses
-    end
-    else begin
-      let s =
-        {
-          comp = C.create ?budget:c.c_budget ~dims:2 ();
-          spans = Vec.create ();
-          off = C.create ?budget:c.c_budget ~dims:1 ();
-          dspan = None;
-        }
-      in
-      Hashtbl.replace c.c_streams key s;
-      Vec.push c.c_order key;
-      if Tm.on () then Tm.Metrics.incr m_streams_opened;
-      record s ~time:tu.time [| tu.obj; tu.offset |]
-    end
+let[@inline] collect_one c ~instr ~group ~obj ~offset ~is_store ~time =
+  set_store c instr is_store;
+  let slot = find_slot c instr group in
+  if slot >= 0 then record2 (Array.unsafe_get c.c_strs slot) ~time ~obj ~offset
+  else if c.c_max_streams > 0 && c.c_n >= c.c_max_streams then begin
+    if not (Key_table.mem c.c_d instr group) then begin
+      drop_key c instr group;
+      if Tm.on () then Tm.Metrics.incr m_streams_dropped
+    end;
+    c.c_dropped_accesses <- c.c_dropped_accesses + 1;
+    if Tm.on () then Tm.Metrics.incr m_dropped_accesses
+  end
+  else begin
+    let s = push_stream c instr group (fresh_stream c) ~first:time in
+    if Tm.on () then Tm.Metrics.incr m_streams_opened;
+    record2 (Array.unsafe_get c.c_strs s) ~time ~obj ~offset
+  end
 
-let stream_count c = Hashtbl.length c.c_streams
+let collect c (tu : Ormp_core.Tuple.t) =
+  collect_one c ~instr:tu.instr ~group:tu.group ~obj:tu.obj ~offset:tu.offset
+    ~is_store:tu.is_store ~time:tu.time
+
+(* SoA lane entry points: one call per chunk, no per-tuple boxing. Stamps
+   are [time0 + i] (CDC chunks carry consecutive stamps). *)
+let collect_lanes c ~instr ~group ~obj ~offset ~store ~time0 ~len =
+  for i = 0 to len - 1 do
+    collect_one c
+      ~instr:(Array.unsafe_get instr i)
+      ~group:(Array.unsafe_get group i)
+      ~obj:(Array.unsafe_get obj i)
+      ~offset:(Array.unsafe_get offset i)
+      ~is_store:(Array.unsafe_get store i <> 0)
+      ~time:(time0 + i)
+  done
+
+let collect_tuples c (tp : Ormp_core.Cdc.tuples) =
+  collect_lanes c ~instr:tp.tp_instr ~group:tp.tp_group ~obj:tp.tp_obj ~offset:tp.tp_offset
+    ~store:tp.tp_store ~time0:tp.tp_time0 ~len:tp.tp_len
+
+let stream_count c = c.c_n
+
+let ordered_streams c =
+  List.init c.c_n (fun s ->
+      ({ instr = c.c_key_instr.(s); group = c.c_key_group.(s) }, c.c_strs.(s)))
 
 let live c =
   {
-    lv_streams =
-      List.rev (Vec.fold_left (fun acc k -> (k, Hashtbl.find c.c_streams k) :: acc) [] c.c_order);
-    lv_stores = List.sort compare (Hashtbl.fold (fun i st acc -> (i, st) :: acc) c.c_store_instrs []);
+    lv_streams = ordered_streams c;
+    lv_stores = stores_list c;
     lv_dropped = List.rev (Vec.fold_left (fun acc k -> k :: acc) [] c.c_dropped_order);
     lv_dropped_accesses = c.c_dropped_accesses;
   }
@@ -150,17 +255,18 @@ let live c =
 let finish c ~collected ~wild ~elapsed =
   if Tm.on () then begin
     let set name v = Tm.Metrics.set (Tm.Metrics.gauge name) (float_of_int v) in
-    set "leap.streams" (Hashtbl.length c.c_streams);
-    set "leap.dropped_streams" (Hashtbl.length c.c_dropped);
+    set "leap.streams" c.c_n;
+    set "leap.dropped_streams" (Key_table.length c.c_d);
     set "leap.dropped_accesses.total" c.c_dropped_accesses
   end;
+  let store_instrs = Hashtbl.create 64 in
+  List.iter (fun (i, st) -> Hashtbl.replace store_instrs i st) (stores_list c);
   {
-    streams =
-      List.rev (Vec.fold_left (fun acc k -> (k, Hashtbl.find c.c_streams k) :: acc) [] c.c_order);
-    store_instrs = c.c_store_instrs;
+    streams = ordered_streams c;
+    store_instrs;
     collected;
     wild;
-    dropped_streams = Hashtbl.length c.c_dropped;
+    dropped_streams = Key_table.length c.c_d;
     dropped_accesses = c.c_dropped_accesses;
     elapsed;
   }
@@ -173,29 +279,24 @@ let finish c ~collected ~wild ~elapsed =
    smaller serial collector. What sharding loses is the *global*
    first-appearance order across shards (the [streams] order of the
    profile and the admission order a [max_streams] cap depends on), so
-   each shard records the time stamp of every key's first admitted tuple
-   and the merge re-sorts on it; stamps are globally unique and
-   increasing, which makes the merged order exactly the serial order.
-   A [max_streams] cap is the one thing that cannot be sharded (admission
-   compares against a global count), so capped collectors must run on a
-   single shard — enforced in [shard_make]. *)
+   each shard's [c_first] lane records the time stamp of every key's
+   first admitted tuple and the merge re-sorts on it; stamps are globally
+   unique and increasing, which makes the merged order exactly the serial
+   order. For restored shards the stamps are the key's index in the
+   snapshot's stream order (indices are smaller than any live time stamp,
+   so mixed comparisons stay correct). A [max_streams] cap is the one
+   thing that cannot be sharded (admission compares against a global
+   count), so capped collectors must run on a single shard — enforced in
+   [shard_make]. *)
 
-type shard = {
-  sh_coll : collector;
-  sh_first : (key, int) Hashtbl.t;
-      (* key -> time of its first admitted tuple; for restored shards, the
-         key's index in the snapshot's stream order (indices are smaller
-         than any live time stamp, so mixed comparisons stay correct) *)
-}
+type shard = collector
 
 let shard_make ?budget ?(max_streams = 0) ~nshards ~restore () =
   if nshards < 1 then invalid_arg "Leap.shards: need at least one shard";
   if max_streams > 0 && nshards > 1 then
     invalid_arg "Leap.shards: a max-streams cap requires a single shard";
   match restore with
-  | None ->
-    Array.init nshards (fun _ ->
-        { sh_coll = collector ?budget ~max_streams (); sh_first = Hashtbl.create 64 })
+  | None -> Array.init nshards (fun _ -> collector ?budget ~max_streams ())
   | Some lv ->
     (* Split the saved state by the shard key, preserving per-shard order;
        synthetic first-seen stamps (global indices) preserve the global
@@ -210,50 +311,53 @@ let shard_make ?budget ?(max_streams = 0) ~nshards ~restore () =
         let sub =
           {
             lv_streams = List.map (fun (_, k, s) -> (k, s)) mine;
-            lv_stores =
-              List.filter (fun (i, _) -> i mod nshards = w) lv.lv_stores;
+            lv_stores = List.filter (fun (i, _) -> i mod nshards = w) lv.lv_stores;
             lv_dropped = (if w = 0 then lv.lv_dropped else []);
             lv_dropped_accesses = (if w = 0 then lv.lv_dropped_accesses else 0);
           }
         in
-        let sh_first = Hashtbl.create 64 in
-        List.iter (fun (i, k, _) -> Hashtbl.replace sh_first k i) mine;
-        { sh_coll = collector ?budget ~max_streams ~restore:sub (); sh_first })
+        let c = collector ?budget ~max_streams ~restore:sub () in
+        List.iter
+          (fun (i, (k : key), _) -> c.c_first.(find_slot c k.instr k.group) <- i)
+          mine;
+        c)
 
 let shards ?budget ?max_streams ?restore ~nshards () =
   shard_make ?budget ?max_streams ~nshards ~restore ()
 
 let shard_index ~nshards instr = instr mod nshards
 
-let shard_collect sh (tu : Ormp_core.Tuple.t) =
-  let key = { instr = tu.instr; group = tu.group } in
-  let known = Hashtbl.mem sh.sh_coll.c_streams key in
-  collect sh.sh_coll tu;
-  if (not known) && Hashtbl.mem sh.sh_coll.c_streams key then
-    Hashtbl.replace sh.sh_first key tu.time
+let shard_collect (sh : shard) tu = collect sh tu
 
-let shards_stream_count shs =
-  Array.fold_left (fun acc sh -> acc + stream_count sh.sh_coll) 0 shs
+let shard_collect_lanes (sh : shard) ~instr ~group ~obj ~offset ~store ~time ~len =
+  for i = 0 to len - 1 do
+    collect_one sh
+      ~instr:(Array.unsafe_get instr i)
+      ~group:(Array.unsafe_get group i)
+      ~obj:(Array.unsafe_get obj i)
+      ~offset:(Array.unsafe_get offset i)
+      ~is_store:(Array.unsafe_get store i <> 0)
+      ~time:(Array.unsafe_get time i)
+  done
+
+let shards_stream_count shs = Array.fold_left (fun acc sh -> acc + sh.c_n) 0 shs
 
 (* Every shard's streams tagged with their first-seen stamp, merged into
    global first-appearance order. *)
 let merge_streams shs =
   Array.to_list shs
   |> List.concat_map (fun sh ->
-         List.rev
-           (Vec.fold_left
-              (fun acc k ->
-                (Hashtbl.find sh.sh_first k, k, Hashtbl.find sh.sh_coll.c_streams k) :: acc)
-              [] sh.sh_coll.c_order))
+         List.init sh.c_n (fun s ->
+             ( sh.c_first.(s),
+               { instr = sh.c_key_instr.(s); group = sh.c_key_group.(s) },
+               sh.c_strs.(s) )))
   |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
   |> List.map (fun (_, k, s) -> (k, s))
 
 (* Instruction key spaces are disjoint across shards, so a plain union. *)
 let merge_stores shs =
   let h = Hashtbl.create 64 in
-  Array.iter
-    (fun sh -> Hashtbl.iter (fun i st -> Hashtbl.replace h i st) sh.sh_coll.c_store_instrs)
-    shs;
+  Array.iter (fun sh -> List.iter (fun (i, st) -> Hashtbl.replace h i st) (stores_list sh)) shs;
   h
 
 let shards_live shs =
@@ -264,17 +368,16 @@ let shards_live shs =
     lv_dropped =
       Array.to_list shs
       |> List.concat_map (fun sh ->
-             List.rev (Vec.fold_left (fun acc k -> k :: acc) [] sh.sh_coll.c_dropped_order));
-    lv_dropped_accesses =
-      Array.fold_left (fun acc sh -> acc + sh.sh_coll.c_dropped_accesses) 0 shs;
+             List.rev (Vec.fold_left (fun acc k -> k :: acc) [] sh.c_dropped_order));
+    lv_dropped_accesses = Array.fold_left (fun acc sh -> acc + sh.c_dropped_accesses) 0 shs;
   }
 
 let shards_finish shs ~collected ~wild ~elapsed =
   let dropped_streams =
-    Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.sh_coll.c_dropped) 0 shs
+    Array.fold_left (fun acc sh -> acc + Key_table.length sh.c_d) 0 shs
   in
   let dropped_accesses =
-    Array.fold_left (fun acc sh -> acc + sh.sh_coll.c_dropped_accesses) 0 shs
+    Array.fold_left (fun acc sh -> acc + sh.c_dropped_accesses) 0 shs
   in
   if Tm.on () then begin
     let set name v = Tm.Metrics.set (Tm.Metrics.gauge name) (float_of_int v) in
@@ -299,15 +402,23 @@ let make_cdc ?grouping ?budget ~site_name () =
     Ormp_core.Omc.publish_gauges (Ormp_core.Cdc.omc cdc);
     finish c ~collected:(Ormp_core.Cdc.collected cdc) ~wild:(Ormp_core.Cdc.wild cdc) ~elapsed
   in
-  (cdc, finalize)
+  (cdc, c, finalize)
 
 let sink ?grouping ?budget ~site_name () =
-  let cdc, finalize = make_cdc ?grouping ?budget ~site_name () in
+  let cdc, _, finalize = make_cdc ?grouping ?budget ~site_name () in
   (Ormp_core.Cdc.sink cdc, finalize)
 
+(* The batched sink consumes SoA tuple chunks directly — one callback and
+   zero tuple boxing per chunk, instead of one [Tuple.t] per access. *)
 let sink_batched ?grouping ?budget ~site_name () =
-  let cdc, finalize = make_cdc ?grouping ?budget ~site_name () in
-  (Ormp_core.Cdc.batch cdc, finalize)
+  let c = collector ?budget () in
+  let cdc = Ormp_core.Cdc.create ?grouping ~site_name ~on_tuple:(collect c) () in
+  let batch = Ormp_core.Cdc.batch_tuples cdc ~on_tuples:(collect_tuples c) () in
+  let finalize ~elapsed =
+    Ormp_core.Omc.publish_gauges (Ormp_core.Cdc.omc cdc);
+    finish c ~collected:(Ormp_core.Cdc.collected cdc) ~wild:(Ormp_core.Cdc.wild cdc) ~elapsed
+  in
+  (batch, finalize)
 
 let profile ?config ?grouping ?budget program =
   let b, finalize = sink_batched ?grouping ?budget ~site_name:(Printf.sprintf "site%d") () in
@@ -324,6 +435,32 @@ let stores p = List.filter (is_store p) (instrs p)
 let streams_of p instr = List.filter (fun (k, _) -> k.instr = instr) p.streams
 
 let groups_of p instr = List.map (fun (k, _) -> k.group) (streams_of p instr)
+
+(* Sorted-lane lookup for the post-processors: freeze the stream list once
+   and answer (instr, group) probes by binary search, with no per-probe key
+   allocation (the old [List.assoc_opt { instr; group }] pattern allocated
+   a key record per probe and scanned the whole list). *)
+let stream_index p =
+  let arr = Array.of_list p.streams in
+  Array.sort
+    (fun ((a : key), _) ((b : key), _) ->
+      if a.instr <> b.instr then compare a.instr b.instr else compare a.group b.group)
+    arr;
+  fun ~instr ~group ->
+    let lo = ref 0 in
+    let hi = ref (Array.length arr) in
+    let res = ref None in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      let k, s = arr.(mid) in
+      if k.instr < instr || (k.instr = instr && k.group < group) then lo := mid + 1
+      else if k.instr = instr && k.group = group then begin
+        res := Some s;
+        lo := !hi
+      end
+      else hi := mid
+    done;
+    !res
 
 let instr_total p instr =
   List.fold_left (fun acc (_, s) -> acc + C.total s.comp) 0 (streams_of p instr)

@@ -107,6 +107,24 @@ val collector : ?budget:int -> ?max_streams:int -> ?restore:live -> unit -> coll
 val collect : collector -> Ormp_core.Tuple.t -> unit
 (** Feed one object-relative tuple (what the CDC emits). *)
 
+val collect_lanes :
+  collector ->
+  instr:int array ->
+  group:int array ->
+  obj:int array ->
+  offset:int array ->
+  store:int array ->
+  time0:int ->
+  len:int ->
+  unit
+(** Feed [len] tuples from parallel SoA lanes — the zero-boxing batched
+    path. [store] holds 0/1 flags; stamps are [time0 + i] (CDC chunks
+    carry consecutive stamps). Lanes are read, never retained. *)
+
+val collect_tuples : collector -> Ormp_core.Cdc.tuples -> unit
+(** {!collect_lanes} on a CDC tuple chunk, for
+    {!Ormp_core.Cdc.batch_tuples} consumers. *)
+
 val live : collector -> live
 
 val stream_count : collector -> int
@@ -144,6 +162,20 @@ val shard_index : nshards:int -> int -> int
 val shard_collect : shard -> Ormp_core.Tuple.t -> unit
 (** Feed one tuple; the shard's single consumer only. *)
 
+val shard_collect_lanes :
+  shard ->
+  instr:int array ->
+  group:int array ->
+  obj:int array ->
+  offset:int array ->
+  store:int array ->
+  time:int array ->
+  len:int ->
+  unit
+(** Lane form of {!shard_collect}: [len] tuples from parallel SoA arrays,
+    with an explicit [time] lane (a shard's stamps are not consecutive —
+    it only sees its slice of the stream). *)
+
 val shards_stream_count : shard array -> int
 
 val shards_live : shard array -> live
@@ -163,6 +195,12 @@ val stores : profile -> int list
 
 val streams_of : profile -> int -> (key * stream) list
 (** The per-group streams of one instruction. *)
+
+val stream_index : profile -> instr:int -> group:int -> stream option
+(** [stream_index p] freezes the profile's streams into sorted lanes once
+    and returns a lookup answering (instr, group) probes by binary search
+    with no per-probe key allocation — for post-processors that probe many
+    pairs ({!Mdf}, {!Alias}). *)
 
 val groups_of : profile -> int -> int list
 (** Groups an instruction touches. *)

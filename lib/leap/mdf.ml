@@ -89,6 +89,7 @@ let stream_conflicts ~(store_s : Leap.stream) ~(load_s : Leap.stream) =
 
 let compute (p : Leap.profile) =
   Tm.span ~name:"leap.mdf" @@ fun () ->
+  let lookup = Leap.stream_index p in
   let deps = ref [] in
   List.iter
     (fun load ->
@@ -102,9 +103,7 @@ let compute (p : Leap.profile) =
               let conflicts =
                 List.fold_left
                   (fun acc (lk, load_s) ->
-                    match
-                      List.assoc_opt { Leap.instr = store; group = lk.Leap.group } p.Leap.streams
-                    with
+                    match lookup ~instr:store ~group:lk.Leap.group with
                     | Some store_s -> acc +. stream_conflicts ~store_s ~load_s
                     | None -> acc)
                   0.0

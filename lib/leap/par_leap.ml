@@ -53,18 +53,12 @@ type pool = {
   mutable live : bool;
 }
 
+(* The message's lanes go straight into the shard's lane entry point —
+   no per-tuple re-boxing on the consumer side. *)
 let consume sh (m : msg) =
-  for j = 0 to Array.length m.s_instr - 1 do
-    Leap.shard_collect sh
-      {
-        Ormp_core.Tuple.instr = m.s_instr.(j);
-        group = m.s_group.(j);
-        obj = m.s_obj.(j);
-        offset = m.s_offset.(j);
-        time = m.s_time.(j);
-        is_store = m.s_store.(j) <> 0;
-      }
-  done
+  Leap.shard_collect_lanes sh ~instr:m.s_instr ~group:m.s_group ~obj:m.s_obj
+    ~offset:m.s_offset ~store:m.s_store ~time:m.s_time
+    ~len:(Array.length m.s_instr)
 
 let pool ?ring_capacity ?stage_capacity ~name shards =
   let n = Array.length shards in
@@ -132,6 +126,20 @@ let pool_stage p ~instr ~group ~obj ~offset ~store ~time =
   st.b_time.(j) <- time;
   st.b_len <- j + 1
 
+(* Stage a whole SoA tuple chunk. The shard split makes a wholesale lane
+   copy impossible, but each tuple moves as six scalar ints — no per-tuple
+   boxing. Times are stamped [tp_time0 + i], matching the CDC's clock. *)
+let pool_stage_tuples p (tp : Cdc.tuples) =
+  for i = 0 to tp.tp_len - 1 do
+    pool_stage p
+      ~instr:(Array.unsafe_get tp.tp_instr i)
+      ~group:(Array.unsafe_get tp.tp_group i)
+      ~obj:(Array.unsafe_get tp.tp_obj i)
+      ~offset:(Array.unsafe_get tp.tp_offset i)
+      ~store:(Array.unsafe_get tp.tp_store i)
+      ~time:(tp.tp_time0 + i)
+  done
+
 let pool_drain p =
   Array.iteri (fun i _ -> flush_shard p i) p.stages;
   Array.iter Worker.drain p.workers
@@ -170,15 +178,7 @@ let create ?grouping ?budget ?ring_capacity ~jobs ~site_name () =
   let p = pool ?ring_capacity ~name:"leap" shards in
   { cdc = Cdc.create ?grouping ~site_name ~on_tuple:(stage_tuple p) (); p }
 
-let batch t =
-  Cdc.batch_tuples t.cdc
-    ~on_tuples:(fun (tp : Cdc.tuples) ->
-      for i = 0 to tp.tp_len - 1 do
-        pool_stage t.p ~instr:tp.tp_instr.(i) ~group:tp.tp_group.(i) ~obj:tp.tp_obj.(i)
-          ~offset:tp.tp_offset.(i) ~store:tp.tp_store.(i)
-          ~time:(tp.tp_time0 + i)
-      done)
-    ()
+let batch t = Cdc.batch_tuples t.cdc ~on_tuples:(pool_stage_tuples t.p) ()
 
 let sink t = Cdc.sink t.cdc
 

@@ -28,6 +28,11 @@ val pool_stage :
 (** Append one tuple to its shard's stream (publishes a chunk when the
     shard's stage fills). Producer domain only. [store] is 0/1. *)
 
+val pool_stage_tuples : pool -> Ormp_core.Cdc.tuples -> unit
+(** Stage a whole SoA tuple chunk (times stamped [tp_time0 + i]). Each
+    tuple moves as scalar ints — no per-tuple boxing. Producer domain
+    only. *)
+
 val pool_drain : pool -> unit
 (** Quiesce: publish every staged tuple and block until all workers have
     consumed their rings. On return the shards are frozen and safe to

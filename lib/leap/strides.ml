@@ -29,21 +29,38 @@ let consecutive_deltas (d : L.t) =
    post-process "examines all offset strides captured for a given
    instruction", §4.2.2). *)
 let stride_weights (p : Leap.profile) instr =
-  let weights = Hashtbl.create 16 in
+  (* Distinct strides per instruction are few (one per LMAD level shape),
+     so the accumulator is a pair of parallel int lanes probed linearly —
+     no boxed keys, and a deterministic result: ties in weight break on
+     the smaller stride (a Hashtbl fold order would be arbitrary). *)
+  let strides = ref (Array.make 8 0) in
+  let occs = ref (Array.make 8 0) in
+  let n = ref 0 in
+  let bump st occ =
+    let i = ref 0 in
+    while !i < !n && !strides.(!i) <> st do incr i done;
+    if !i < !n then !occs.(!i) <- !occs.(!i) + occ
+    else begin
+      if !n = Array.length !strides then begin
+        let s' = Array.make (2 * !n) 0 and o' = Array.make (2 * !n) 0 in
+        Array.blit !strides 0 s' 0 !n;
+        Array.blit !occs 0 o' 0 !n;
+        strides := s';
+        occs := o'
+      end;
+      !strides.(!n) <- st;
+      !occs.(!n) <- occ;
+      incr n
+    end
+  in
   List.iter
     (fun (_, (s : Leap.stream)) ->
       List.iter
-        (fun d ->
-          List.iter
-            (fun (delta, occ) ->
-              let st = delta.(0) in
-              Hashtbl.replace weights st
-                (occ + Option.value ~default:0 (Hashtbl.find_opt weights st)))
-            (consecutive_deltas d))
+        (fun d -> List.iter (fun (delta, occ) -> bump delta.(0) occ) (consecutive_deltas d))
         (C.lmads s.off))
     (Leap.streams_of p instr);
-  Hashtbl.fold (fun s w acc -> (s, w) :: acc) weights []
-  |> List.sort (fun (_, w1) (_, w2) -> compare w2 w1)
+  List.init !n (fun i -> (!strides.(i), !occs.(i)))
+  |> List.sort (fun (s1, w1) (s2, w2) -> if w1 <> w2 then compare w2 w1 else compare s1 s2)
 
 let min_sample = 0.05
 

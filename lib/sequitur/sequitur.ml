@@ -3,21 +3,32 @@
    4-mutable-word record and indexed digrams through a [Hashtbl] whose
    [find_opt] allocated an option per push — per-access heap churn on the
    hottest path of the whole profiler. This rewrite stores symbols as slots
-   in parallel int arrays and the digram index as an open-addressing
+   in one interleaved int array and the digram index as an open-addressing
    int->int table, so a [push] in the common no-match case touches no
    allocator at all.
 
    Layout:
 
-   - Symbols are slot indices into four int columns: [code] (terminal
-     value or rule id, stored verbatim), [prv]/[nxt] (doubly-linked RHS
-     list), and [meta]. A [meta] word packs
+   - Symbols are stride-4 records in one int array [sym]; a slot is the
+     base offset (a multiple of 4) of its record, whose four words are
+     [code] (terminal value or rule id, stored verbatim), [prv]/[nxt]
+     (doubly-linked RHS list, holding slot base offsets), and [meta]. The
+     four words of a symbol share one cache line (a 64-byte line holds two
+     whole records), where the previous four-parallel-column layout
+     touched four lines per symbol — the constraint cascade walks
+     code+links+meta of the same symbol constantly, and the large
+     dimension grammars (thousands of live symbols) were paying a miss per
+     column. A [meta] word packs
      [generation lsl 3 | nonterm lsl 2 | allocated lsl 1 | guard]. The
      generation is bumped when a symbol dies, so a digram-index entry that
      remembers the generation it was created under detects that its slot
      has since died — the arena equivalent of the old [dead] flag, with
      the same validate-on-lookup discipline instead of the reference
      implementation's "triples" re-indexing hack.
+   - Arena accesses on the push path are unchecked ([Array.unsafe_get]):
+     every slot that reaches them came out of [alloc_sym] below [sym_top],
+     and links only ever hold such slots — [check_invariants] validates
+     the link structure in tests.
    - Dead slots keep their code, tag and links frozen until the current
      push's constraint cascade has fully settled, and only then join the
      free list (threaded through [nxt]): the record implementation's dead
@@ -55,18 +66,19 @@ module Tm = Ormp_telemetry.Telemetry
    across four grammar dimensions. Even the structural counts are batched:
    cascades bump plain fields on [t] and [flush_tm] publishes them once
    per [push]/[push_batch], so the domain-local store is touched a few
-   times per batch instead of once per match. *)
+   times per batch instead of once per match. The enable flag is likewise
+   sampled once per push entry ([tm_on]) instead of per structural event —
+   [Tm.on] is a cross-module atomic read the cascade would otherwise pay
+   several times per match. *)
 let m_matches = Tm.Metrics.counter "sequitur.matches"
 let m_rules_created = Tm.Metrics.counter "sequitur.rules_created"
 let m_rules_retired = Tm.Metrics.counter "sequitur.rules_retired"
 let m_utility_inlines = Tm.Metrics.counter "sequitur.utility_inlines"
 
 type t = {
-  (* symbol arena *)
-  mutable code : int array;
-  mutable prv : int array;
-  mutable nxt : int array;
-  mutable meta : int array;
+  (* symbol arena: interleaved [code; prv; nxt; meta] records, slots are
+     base offsets (multiples of 4) *)
+  mutable sym : int array;
   mutable sym_top : int;
   mutable free_head : int;  (* free list through [nxt]; -1 = empty *)
   mutable pend : int array;  (* dead slots awaiting end-of-push reclaim *)
@@ -77,17 +89,22 @@ type t = {
   mutable next_rule_id : int;
   mutable live_rule_count : int;
   (* digram index: open addressing, linear probing. Entries are
-     interleaved [key; slot; gen] triplets in one array so a probe
-     touches one cache line instead of three parallel arrays — the four
-     dimension grammars share the cache when a chunk interleaves them.
-     Slot -1 = empty, -2 = tombstone; gen is the slot's generation at
-     insert time. *)
+     interleaved [key; slot lor (gen lsl 34)] pairs in one array: a
+     16-byte entry never straddles a cache line (the old [key;slot;gen]
+     triplet did every third entry) and the table is a third smaller —
+     the offset dimension's index is the single largest structure the
+     combined profile touches, and the four dimension grammars share the
+     cache when a chunk interleaves them. The packed word -1 = empty,
+     -2 = tombstone; gen is the slot's generation at insert time, and
+     [gen_sweep] restarts generations before the 29-bit field can wrap. *)
   mutable dig : int array;
   mutable dig_mask : int;
   mutable dig_live : int;  (* live bindings *)
   mutable dig_used : int;  (* live bindings + tombstones *)
   mutable input_len : int;
+  mutable need_sweep : bool;  (* a generation reached the packed-field limit *)
   (* telemetry accumulators, published by [flush_tm] *)
+  mutable tm_on : bool;
   mutable tm_matches : int;
   mutable tm_created : int;
   mutable tm_retired : int;
@@ -118,10 +135,23 @@ let tag_guard = 1
 let tag_live = 2
 let tag_nonterm = 4
 
-let is_guard t s = Array.unsafe_get t.meta s land tag_guard <> 0
-let is_live t s = Array.unsafe_get t.meta s land tag_live <> 0
-let is_nonterm t s = Array.unsafe_get t.meta s land tag_nonterm <> 0
-let gen t s = Array.unsafe_get t.meta s lsr 3
+(* Digram-index entries pack [slot lor (gen lsl slot_bits)] into one word;
+   [gen_sweep] re-baselines all generations before one can outgrow the
+   field. *)
+let slot_bits = 34
+let slot_mask = (1 lsl slot_bits) - 1
+let gen_limit = (1 lsl 29) - 1
+
+let s_code t s = Array.unsafe_get t.sym s
+let s_prv t s = Array.unsafe_get t.sym (s + 1)
+let s_nxt t s = Array.unsafe_get t.sym (s + 2)
+let s_meta t s = Array.unsafe_get t.sym (s + 3)
+let set_prv t s v = Array.unsafe_set t.sym (s + 1) v
+let set_nxt t s v = Array.unsafe_set t.sym (s + 2) v
+let is_guard t s = s_meta t s land tag_guard <> 0
+let is_live t s = s_meta t s land tag_live <> 0
+let is_nonterm t s = s_meta t s land tag_nonterm <> 0
+let gen t s = s_meta t s lsr 3
 
 (* The record implementation's [code_of]: terminals on the even codes,
    rule ids on the odd. Used for digram keys, digram comparison and
@@ -129,21 +159,18 @@ let gen t s = Array.unsafe_get t.meta s lsr 3
    [expand] reproduces, so the top-bit truncation here affects matching
    exactly as before and storage not at all. *)
 let sym_code t s =
-  let c = Array.unsafe_get t.code s in
+  let c = s_code t s in
   if is_nonterm t s then (c lsl 1) lor 1 else c lsl 1
 
 let grow_syms t =
-  let n = Array.length t.code in
-  let n' = n * 2 in
-  let g a =
-    let b = Array.make n' 0 in
-    Array.blit a 0 b 0 n;
-    b
-  in
-  t.code <- g t.code;
-  t.prv <- g t.prv;
-  t.nxt <- g t.nxt;
-  t.meta <- g t.meta
+  let n = Array.length t.sym in
+  (* Slots must fit the digram entries' 34-bit slot field; 2^34 words of
+     arena is 128 GiB — unreachable, but fail loud rather than pack a
+     truncated slot. *)
+  if n * 2 > (1 lsl 34) - 1 then failwith "Sequitur: symbol arena limit";
+  let b = Array.make (n * 2) 0 in
+  Array.blit t.sym 0 b 0 n;
+  t.sym <- b
 
 (* Fresh symbols are self-linked, like the record implementation's
    [fresh]. The accumulated generation survives recycling. *)
@@ -151,18 +178,20 @@ let alloc_sym t tag code =
   let s =
     match t.free_head with
     | -1 ->
-      if t.sym_top = Array.length t.code then grow_syms t;
+      if t.sym_top = Array.length t.sym then grow_syms t;
       let s = t.sym_top in
-      t.sym_top <- s + 1;
+      t.sym_top <- s + 4;
       s
     | s ->
-      t.free_head <- t.nxt.(s);
+      t.free_head <- s_nxt t s;
       s
   in
-  t.code.(s) <- code;
-  t.prv.(s) <- s;
-  t.nxt.(s) <- s;
-  t.meta.(s) <- (gen t s lsl 3) lor tag_live lor tag;
+  let g = gen t s in
+  let a = t.sym in
+  Array.unsafe_set a s code;
+  Array.unsafe_set a (s + 1) s;
+  Array.unsafe_set a (s + 2) s;
+  Array.unsafe_set a (s + 3) ((g lsl 3) lor tag_live lor tag);
   s
 
 (* Death bumps the generation (any digram-index entry still naming this
@@ -171,21 +200,24 @@ let alloc_sym t tag code =
    layout comment on why mid-cascade reads of dead slots must keep seeing
    the dead symbol's data. *)
 let mark_dead t s =
-  t.meta.(s) <- ((gen t s + 1) lsl 3) lor (t.meta.(s) land (tag_guard lor tag_nonterm));
+  let m = s_meta t s in
+  let g = (m lsr 3) + 1 in
+  Array.unsafe_set t.sym (s + 3) ((g lsl 3) lor (m land (tag_guard lor tag_nonterm)));
+  if g >= gen_limit then t.need_sweep <- true;
   if t.pend_len = Array.length t.pend then begin
     let b = Array.make (2 * t.pend_len) 0 in
     Array.blit t.pend 0 b 0 t.pend_len;
     t.pend <- b
   end;
-  t.pend.(t.pend_len) <- s;
+  Array.unsafe_set t.pend t.pend_len s;
   t.pend_len <- t.pend_len + 1
 
 (* End-of-push reclaim: the cascade has settled, nothing references the
    dead slots any more; thread them onto the free list. *)
 let reclaim_dead t =
   for i = 0 to t.pend_len - 1 do
-    let s = t.pend.(i) in
-    t.nxt.(s) <- t.free_head;
+    let s = Array.unsafe_get t.pend i in
+    set_nxt t s t.free_head;
     t.free_head <- s
   done;
   t.pend_len <- 0
@@ -217,11 +249,11 @@ let make_rule t id =
    [first]/[last] through the dead guard — the record implementation did
    the same through its garbage guard record. *)
 let guard_slot t r =
-  let g = t.rule_guard.(r) in
+  let g = Array.unsafe_get t.rule_guard r in
   if g >= 0 then g else lnot g
 
-let first t r = t.nxt.(guard_slot t r)
-let last t r = t.prv.(guard_slot t r)
+let first t r = s_nxt t (guard_slot t r)
+let last t r = s_prv t (guard_slot t r)
 let reuse t r = t.rule_refs.(r) <- t.rule_refs.(r) + 1
 
 (* Guarded on liveness: [expand_symbol] reaches here twice for the same
@@ -232,7 +264,7 @@ let kill_rule t r =
     mark_dead t g;
     t.rule_guard.(r) <- lnot g;
     t.live_rule_count <- t.live_rule_count - 1;
-    if Tm.on () then t.tm_retired <- t.tm_retired + 1
+    if t.tm_on then t.tm_retired <- t.tm_retired + 1
   end
 
 let deuse t r =
@@ -254,7 +286,7 @@ let mix k =
   h lxor (h lsr 32)
 
 (* Find [key]. Returns the entry's base offset into [dig] (>= 0, a
-   multiple of 3), or [lnot b] where [b] is the insertion entry's base —
+   multiple of 2), or [lnot b] where [b] is the insertion entry's base —
    first tombstone on the probe path if any, else the terminating empty
    entry. Single-int result so the hot path allocates nothing. *)
 let dig_probe t key =
@@ -265,7 +297,7 @@ let dig_probe t key =
   let res = ref 0 in
   let probing = ref true in
   while !probing do
-    let b = 3 * !i in
+    let b = 2 * !i in
     let v = Array.unsafe_get d (b + 1) in
     if v = -1 then begin
       res := lnot (if !ins >= 0 then !ins else b);
@@ -284,34 +316,33 @@ let dig_probe t key =
   !res
 
 let dig_alloc cap =
-  let d = Array.make (3 * cap) 0 in
+  let d = Array.make (2 * cap) 0 in
   let i = ref 1 in
-  while !i < 3 * cap do
+  while !i < 2 * cap do
     d.(!i) <- -1;
-    i := !i + 3
+    i := !i + 2
   done;
   d
 
 let dig_rehash t cap' =
   let od = t.dig in
-  let n = Array.length od / 3 in
+  let n = Array.length od / 2 in
   let d = dig_alloc cap' in
   t.dig <- d;
   t.dig_mask <- cap' - 1;
   t.dig_used <- t.dig_live;
   let mask = t.dig_mask in
   for i = 0 to n - 1 do
-    let v = od.((3 * i) + 1) in
+    let v = od.((2 * i) + 1) in
     if v >= 0 then begin
-      let key = od.(3 * i) in
+      let key = od.(2 * i) in
       let j = ref (mix key land mask) in
-      while d.((3 * !j) + 1) >= 0 do
+      while d.((2 * !j) + 1) >= 0 do
         j := (!j + 1) land mask
       done;
-      let b = 3 * !j in
+      let b = 2 * !j in
       d.(b) <- key;
-      d.(b + 1) <- v;
-      d.(b + 2) <- od.((3 * i) + 2)
+      d.(b + 1) <- v
     end
   done
 
@@ -326,10 +357,10 @@ let dig_maybe_resize t =
 
 (* Insert at probe-result base [ins]; no binding for [key] exists. *)
 let dig_insert_at t ins key slot =
-  let reused_tombstone = t.dig.(ins + 1) = -2 in
-  t.dig.(ins) <- key;
-  t.dig.(ins + 1) <- slot;
-  t.dig.(ins + 2) <- gen t slot;
+  let d = t.dig in
+  let reused_tombstone = Array.unsafe_get d (ins + 1) = -2 in
+  Array.unsafe_set d ins key;
+  Array.unsafe_set d (ins + 1) (slot lor (gen t slot lsl slot_bits));
   t.dig_live <- t.dig_live + 1;
   if not reused_tombstone then t.dig_used <- t.dig_used + 1;
   dig_maybe_resize t
@@ -337,20 +368,54 @@ let dig_insert_at t ins key slot =
 (* [Hashtbl.replace] semantics: overwrite the single binding or insert. *)
 let dig_replace t key slot =
   let p = dig_probe t key in
-  if p >= 0 then begin
-    t.dig.(p + 1) <- slot;
-    t.dig.(p + 2) <- gen t slot
-  end
+  if p >= 0 then
+    Array.unsafe_set t.dig (p + 1) (slot lor (gen t slot lsl slot_bits))
   else dig_insert_at t (lnot p) key slot
 
 (* Remove the binding for [key], but only if it names exactly this live
-   occurrence (slot and generation). *)
+   occurrence (slot and generation — one packed compare). *)
 let dig_remove_if t key slot =
   let p = dig_probe t key in
-  if p >= 0 && t.dig.(p + 1) = slot && t.dig.(p + 2) = gen t slot then begin
-    t.dig.(p + 1) <- -2;
-    t.dig_live <- t.dig_live - 1
+  if p >= 0 then begin
+    let d = t.dig in
+    if Array.unsafe_get d (p + 1) = slot lor (gen t slot lsl slot_bits) then begin
+      Array.unsafe_set d (p + 1) (-2);
+      t.dig_live <- t.dig_live - 1
+    end
   end
+
+(* Generations are packed into 29 bits of a digram entry. A pathological
+   stream could in principle drive one slot's death count to the field
+   limit (hundreds of millions of deaths of a single recycled slot);
+   before that happens, re-baseline: drop stale entries outright, then
+   restart every generation — stored and live — at zero. Entry validity
+   is preserved exactly (stale entries were already dead to every lookup,
+   live entries still name their slot's current generation), so the
+   grammar is unaffected. O(table + arena), amortized over 2^29 deaths.
+   Runs between pushes, never mid-cascade — [push_one] checks the flag
+   after the cascade settles, and a slot dies at most once per cascade
+   (dead slots are not recycled until [reclaim_dead]), so a generation
+   exceeds [gen_limit] by at most the one increment that set the flag. *)
+let gen_sweep t =
+  let d = t.dig in
+  for i = 0 to t.dig_mask do
+    let b = 2 * i in
+    let v = d.(b + 1) in
+    if v >= 0 then begin
+      let slot = v land slot_mask in
+      if v lsr slot_bits <> gen t slot then begin
+        d.(b + 1) <- -2;
+        t.dig_live <- t.dig_live - 1
+      end
+      else d.(b + 1) <- slot (* generation 0 *)
+    end
+  done;
+  let s = ref 0 in
+  while !s < t.sym_top do
+    t.sym.(!s + 3) <- t.sym.(!s + 3) land (tag_guard lor tag_live lor tag_nonterm);
+    s := !s + 4
+  done;
+  t.need_sweep <- false
 
 (* --- construction ------------------------------------------------------ *)
 
@@ -369,10 +434,7 @@ let create ?(size_hint = 0) () =
   let sym_cap = max 1024 (next_pow2 size_hint) in
   let t =
     {
-      code = Array.make sym_cap 0;
-      prv = Array.make sym_cap 0;
-      nxt = Array.make sym_cap 0;
-      meta = Array.make sym_cap 0;
+      sym = Array.make (4 * sym_cap) 0;
       sym_top = 0;
       free_head = -1;
       pend = Array.make 64 0;
@@ -386,6 +448,8 @@ let create ?(size_hint = 0) () =
       dig_live = 0;
       dig_used = 0;
       input_len = 0;
+      need_sweep = false;
+      tm_on = false;
       tm_matches = 0;
       tm_created = 0;
       tm_retired = 0;
@@ -400,7 +464,7 @@ let create ?(size_hint = 0) () =
 (* Remove the index entry for the digram starting at [s], but only if the
    index actually points at this occurrence. *)
 let delete_digram t s =
-  let n = t.nxt.(s) in
+  let n = s_nxt t s in
   if (not (is_guard t s)) && not (is_guard t n) then
     dig_remove_if t (pack (sym_code t s) (sym_code t n)) s
 
@@ -408,57 +472,80 @@ let delete_digram t s =
    to start at [left]. *)
 let join t left right =
   if not (is_guard t left) then delete_digram t left;
-  t.nxt.(left) <- right;
-  t.prv.(right) <- left
+  set_nxt t left right;
+  set_prv t right left
 
-let insert_after t q ns =
-  join t ns t.nxt.(q);
+(* Insert [ns] right after [q]. Every insertion site allocates [ns] fresh,
+   which licenses skipping the symmetric [delete_digram t ns] a generic
+   two-[join] insert would perform: [ns] was never indexed since its
+   allocation, and any stale index entry naming its slot carries a
+   pre-death generation ([mark_dead] bumps it) so [dig_remove_if] rejects
+   it. Skipping that probe halves the digram-table traffic of a no-match
+   push. *)
+let insert_fresh_after t q ns =
+  let r = s_nxt t q in
+  set_nxt t ns r;
+  set_prv t r ns;
   join t q ns
 
 (* Unlink [s] from its rule, cleaning the two digram entries it anchors and
    releasing its rule reference if it is a non-terminal. *)
 let delete_symbol t s =
   delete_digram t s;
-  join t t.prv.(s) t.nxt.(s);
+  join t (s_prv t s) (s_nxt t s);
   mark_dead t s;
-  if is_nonterm t s then deuse t t.code.(s)
+  if is_nonterm t s then deuse t (s_code t s)
+
+(* [delete_symbol] minus the leading [delete_digram], for a slot that
+   provably has no index binding anchored at it. Bindings always carry
+   their anchor's current digram key, and every successor change at a
+   slot goes through a [join] there that deletes the then-current
+   binding — so at most one binding names a live slot, keyed by its
+   current digram. When a [join] at [s] just ran, that binding is gone
+   and the probe would find nothing. *)
+let delete_symbol_unanchored t s =
+  join t (s_prv t s) (s_nxt t s);
+  mark_dead t s;
+  if is_nonterm t s then deuse t (s_code t s)
 
 let append_copy t r proto =
-  let c = t.code.(proto) in
+  let c = s_code t proto in
   let nonterm = is_nonterm t proto in
   let ns = alloc_sym t (if nonterm then tag_nonterm else 0) c in
   if nonterm then reuse t c;
-  insert_after t (last t r) ns
+  insert_fresh_after t (last t r) ns
 
 (* [check t s] enforces digram uniqueness for the digram starting at [s].
    Returns [true] iff a match was found and processed (in which case [s] is
    dead and the caller must not use it further). Branch order matches the
    record implementation exactly — grammar equality depends on it. *)
 let rec check t s =
-  let sn = t.nxt.(s) in
+  let sn = s_nxt t s in
   if is_guard t s || is_guard t sn then false
   else begin
-    let key = pack (sym_code t s) (sym_code t sn) in
+    let cs = sym_code t s and csn = sym_code t sn in
+    let key = pack cs csn in
     let p = dig_probe t key in
     if p < 0 then begin
       dig_insert_at t (lnot p) key s;
       false
     end
     else begin
-      let m = t.dig.(p + 1) in
-      if m = s && t.dig.(p + 2) = gen t s then false
+      let d = t.dig in
+      let mp = Array.unsafe_get d (p + 1) in
+      let m = mp land slot_mask in
+      if mp = s lor (gen t s lsl slot_bits) then false
       else if
-        t.dig.(p + 2) <> gen t m
+        mp lsr slot_bits <> gen t m
         (* stale: the stored occurrence died (slot possibly recycled) *)
-        || is_guard t t.nxt.(m)
-        || not (sym_code t m = sym_code t s && sym_code t (t.nxt.(m)) = sym_code t sn)
+        || is_guard t (s_nxt t m)
+        || not (sym_code t m = cs && sym_code t (s_nxt t m) = csn)
         (* packed-key collision: key equality is not digram equality *)
       then begin
-        t.dig.(p + 1) <- s;
-        t.dig.(p + 2) <- gen t s;
+        Array.unsafe_set d (p + 1) (s lor (gen t s lsl slot_bits));
         false
       end
-      else if t.nxt.(m) = s || sn = m then
+      else if s_nxt t m = s || sn = m then
         (* Overlapping occurrences (a run like "aaa"): not a usable match. *)
         false
       else begin
@@ -471,11 +558,11 @@ let rec check t s =
 (* A duplicate digram was found: replace both occurrences by a non-terminal,
    creating a rule if the stored occurrence is not already a whole rule. *)
 and process_match t s m =
-  if Tm.on () then t.tm_matches <- t.tm_matches + 1;
+  if t.tm_on then t.tm_matches <- t.tm_matches + 1;
   let r =
-    if is_guard t t.prv.(m) && is_guard t t.nxt.(t.nxt.(m)) then begin
+    if is_guard t (s_prv t m) && is_guard t (s_nxt t (s_nxt t m)) then begin
       (* [m] spans the complete right-hand side of an existing rule. *)
-      let r = t.code.(t.prv.(m)) in
+      let r = s_code t (s_prv t m) in
       substitute t s r;
       r
     end
@@ -483,20 +570,22 @@ and process_match t s m =
       let r = t.next_rule_id in
       t.next_rule_id <- r + 1;
       make_rule t r;
-      if Tm.on () then t.tm_created <- t.tm_created + 1;
+      if t.tm_on then t.tm_created <- t.tm_created + 1;
       append_copy t r s;
-      append_copy t r t.nxt.(s);
+      append_copy t r (s_nxt t s);
       substitute t m r;
       substitute t s r;
       let f = first t r in
-      dig_replace t (pack (sym_code t f) (sym_code t (t.nxt.(f)))) f;
+      dig_replace t (pack (sym_code t f) (sym_code t (s_nxt t f))) f;
       r
     end
   in
   (* Rule utility: the substitution dropped one use of each component of the
      matched digram, i.e. of [first r] and [last r] (a matched rule always
      has a two-symbol right-hand side). Inline any that is now used once. *)
-  let underused i = (not (is_guard t i)) && is_nonterm t i && t.rule_refs.(t.code.(i)) = 1 in
+  let underused i =
+    (not (is_guard t i)) && is_nonterm t i && t.rule_refs.(s_code t i) = 1
+  in
   let f = first t r in
   if underused f then expand_symbol t f;
   let l = last t r in
@@ -504,20 +593,29 @@ and process_match t s m =
 
 (* Replace the digram starting at [s] with a single non-terminal for [r]. *)
 and substitute t s r =
-  let q = t.prv.(s) in
-  delete_symbol t t.nxt.(s);
-  delete_symbol t s;
+  let q = s_prv t s in
+  (* The first deletion's [join] at [s] drops the binding anchored at [s]
+     (the matched digram's, when it named this occurrence), so the second
+     deletion skips its fruitless probe; that deletion's own [join] at [q]
+     likewise drops the binding anchored at [q], so the replacement symbol
+     is spliced in with no probe at all. *)
+  delete_symbol t (s_nxt t s);
+  delete_symbol_unanchored t s;
   let ns = alloc_sym t tag_nonterm r in
   reuse t r;
-  insert_after t q ns;
+  let nq = s_nxt t q in
+  set_nxt t ns nq;
+  set_prv t nq ns;
+  set_nxt t q ns;
+  set_prv t ns q;
   if not (check t q) then ignore (check t ns)
 
 (* Rule utility repair: [s] is the only use of its rule; splice the rule's
    right-hand side in place of [s] and retire the rule. *)
 and expand_symbol t s =
-  if Tm.on () then t.tm_inlines <- t.tm_inlines + 1;
-  let r = t.code.(s) in
-  let left = t.prv.(s) and right = t.nxt.(s) in
+  if t.tm_on then t.tm_inlines <- t.tm_inlines + 1;
+  let r = s_code t s in
+  let left = s_prv t s and right = s_nxt t s in
   let f = first t r and l = last t r in
   delete_digram t s;
   mark_dead t s;
@@ -532,18 +630,23 @@ and expand_symbol t s =
 
 let push_one t v =
   let s = alloc_sym t 0 v in
-  insert_after t (last t 0) s;
+  insert_fresh_after t (last t 0) s;
   t.input_len <- t.input_len + 1;
-  ignore (check t t.prv.(s));
-  if t.pend_len > 0 then reclaim_dead t
+  ignore (check t (s_prv t s));
+  if t.pend_len > 0 then begin
+    reclaim_dead t;
+    if t.need_sweep then gen_sweep t
+  end
 
 let push t v =
+  t.tm_on <- Tm.on ();
   push_one t v;
   flush_tm t
 
 let push_batch t a ~off ~len =
   if off < 0 || len < 0 || off > Array.length a - len then
     invalid_arg "Sequitur.push_batch";
+  t.tm_on <- Tm.on ();
   for i = off to off + len - 1 do
     push_one t (Array.unsafe_get a i)
   done;
@@ -567,10 +670,10 @@ let fold_live_rules t init f =
 
 let iter_rhs t r f =
   let g = t.rule_guard.(r) in
-  let s = ref t.nxt.(g) in
+  let s = ref (s_nxt t g) in
   while !s <> g do
     f !s;
-    s := t.nxt.(!s)
+    s := s_nxt t !s
   done
 
 let grammar_size t =
@@ -592,9 +695,9 @@ let expand t =
   let k = ref 0 in
   let rec go r =
     iter_rhs t r (fun s ->
-        if is_nonterm t s then go t.code.(s)
+        if is_nonterm t s then go (s_code t s)
         else begin
-          a.(!k) <- t.code.(s);
+          a.(!k) <- s_code t s;
           incr k
         end)
   in
@@ -605,7 +708,7 @@ let expand t =
 let rhs_list t id =
   let rhs = ref [] in
   iter_rhs t id (fun s ->
-      rhs := (if is_nonterm t s then `N t.code.(s) else `T t.code.(s)) :: !rhs);
+      rhs := (if is_nonterm t s then `N (s_code t s) else `T (s_code t s)) :: !rhs);
   List.rev !rhs
 
 let iter_rules t f = fold_live_rules t () (fun () id -> f id (rhs_list t id))
@@ -669,15 +772,16 @@ let check_invariants t =
         let g = t.rule_guard.(id) in
         if not (is_live t g && is_guard t g) then
           raise (Bad (Printf.sprintf "dead guard in rule %d" id));
-        if t.code.(g) <> id then raise (Bad (Printf.sprintf "guard code mismatch in rule %d" id));
+        if s_code t g <> id then
+          raise (Bad (Printf.sprintf "guard code mismatch in rule %d" id));
         iter_rhs t id (fun s ->
             if not (is_live t s) then
               raise (Bad (Printf.sprintf "dead symbol reachable in rule %d" id));
             if is_guard t s then raise (Bad (Printf.sprintf "guard inside rule %d body" id));
-            if t.prv.(t.nxt.(s)) <> s then raise (Bad "broken next/prev link");
-            if t.nxt.(t.prv.(s)) <> s then raise (Bad "broken prev/next link");
+            if s_prv t (s_nxt t s) <> s then raise (Bad "broken next/prev link");
+            if s_nxt t (s_prv t s) <> s then raise (Bad "broken prev/next link");
             if is_nonterm t s then begin
-              let r2 = t.code.(s) in
+              let r2 = s_code t s in
               if r2 < 0 || r2 >= t.next_rule_id || t.rule_guard.(r2) < 0 then
                 raise (Bad (Printf.sprintf "rule %d references dead rule %d" id r2));
               Hashtbl.replace uses r2 (1 + Option.value ~default:0 (Hashtbl.find_opt uses r2))
@@ -691,15 +795,16 @@ let check_invariants t =
         end);
     let entries = ref 0 in
     for i = 0 to t.dig_mask do
-      let b = 3 * i in
+      let b = 2 * i in
       let v = t.dig.(b + 1) in
       if v >= 0 then begin
         incr entries;
-        if t.dig.(b + 2) <> gen t v || not (is_live t v) then
+        let s = v land slot_mask in
+        if v lsr slot_bits <> gen t s || not (is_live t s) then
           raise (Bad "digram index entry points to dead symbol");
-        if is_guard t v || is_guard t t.nxt.(v) then
+        if is_guard t s || is_guard t (s_nxt t s) then
           raise (Bad "digram index entry anchored at guard");
-        if pack (sym_code t v) (sym_code t t.nxt.(v)) <> t.dig.(b) then
+        if pack (sym_code t s) (sym_code t (s_nxt t s)) <> t.dig.(b) then
           raise (Bad "digram index entry key mismatch")
       end
     done;

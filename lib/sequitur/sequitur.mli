@@ -81,3 +81,13 @@ val check_invariants : t -> (unit, string) result
     symbol reachable, reference counts matching actual uses, every digram
     index entry live and matching its key, and rule utility (every
     non-start rule used at least twice). For tests. *)
+
+(**/**)
+
+val gen_sweep : t -> unit
+(** Re-baseline the generation counters that detect stale digram-index
+    entries: drop stale entries, restart every live generation at zero.
+    Runs automatically (between pushes) before a counter can outgrow its
+    packed field — after hundreds of millions of symbol deaths — so tests
+    exercise it directly; calling it at any push boundary must leave the
+    grammar and all subsequent pushes unchanged. *)

@@ -7,7 +7,6 @@
 
 module Cdc = Ormp_core.Cdc
 module Omc = Ormp_core.Omc
-module Tuple = Ormp_core.Tuple
 module W = Ormp_whomp.Whomp
 module Rasg = Ormp_whomp.Rasg
 module Leap = Ormp_leap.Leap
@@ -76,16 +75,18 @@ let create ?pool ?leap_budget ?max_streams () =
   let failed = ref None in
   match pool with
   | None ->
-    let cdc =
-      Cdc.create ~site_name
-        ~on_tuple:(fun tu ->
-          W.collect whomp tu;
-          Leap.collect leap tu)
-        ()
+    (* Serial twin of the pool path below: push each CDC lane into its
+       grammar as a batch (no copies — the push consumes the chunk
+       synchronously) and hand the whole chunk to LEAP's lane sink. *)
+    let on_tuples (tp : Cdc.tuples) =
+      W.collect_tuples whomp tp;
+      Leap.collect_tuples leap tp
     in
+    let cdc = Cdc.create ~site_name ~on_tuple:(fun _ -> assert false) () in
+    let batch = Cdc.batch_tuples cdc ~on_tuples () in
     {
       cdc;
-      batch = Cdc.batch cdc;
+      batch;
       whomp;
       rasg;
       leap;
@@ -124,17 +125,7 @@ let create ?pool ?leap_budget ?max_streams () =
         done;
         (* LEAP admission order is global per session, so it stays on the
            producer thread — it is cheap next to grammar maintenance. *)
-        for i = 0 to len - 1 do
-          Leap.collect leap
-            {
-              Tuple.instr = tp.tp_instr.(i);
-              group = tp.tp_group.(i);
-              obj = tp.tp_obj.(i);
-              offset = tp.tp_offset.(i);
-              time = tp.tp_time0 + i;
-              is_store = tp.tp_store.(i) <> 0;
-            }
-        done
+        Leap.collect_tuples leap tp
       end
     in
     (* The tuple-chunk path never calls [on_tuple]; all events go through

@@ -54,14 +54,15 @@ let spawn ?ring_capacity ~jobs ~whomp ~rasg ~leap_budget ~max_streams ~leap_rest
     (try Par_leap.pool_shutdown lpool with _ -> ());
     raise e
 
-let stage_tuple t (tu : Ormp_core.Tuple.t) =
-  Par_scc.pool_stage t.gpool ~slot:0 tu.instr;
-  Par_scc.pool_stage t.gpool ~slot:1 tu.group;
-  Par_scc.pool_stage t.gpool ~slot:2 tu.obj;
-  Par_scc.pool_stage t.gpool ~slot:3 tu.offset;
-  Par_leap.pool_stage t.lpool ~instr:tu.instr ~group:tu.group ~obj:tu.obj ~offset:tu.offset
-    ~store:(if tu.is_store then 1 else 0)
-    ~time:tu.time
+(* SoA tuple chunks from the batched CDC: each dimension lane is staged
+   wholesale into its pinned grammar slot, and the chunk goes to the LEAP
+   pool's lane entry — no per-tuple boxing anywhere on the producer. *)
+let stage_tuples t (tp : Ormp_core.Cdc.tuples) =
+  Par_scc.pool_stage_lane t.gpool ~slot:0 tp.tp_instr tp.tp_len;
+  Par_scc.pool_stage_lane t.gpool ~slot:1 tp.tp_group tp.tp_len;
+  Par_scc.pool_stage_lane t.gpool ~slot:2 tp.tp_obj tp.tp_len;
+  Par_scc.pool_stage_lane t.gpool ~slot:3 tp.tp_offset tp.tp_len;
+  Par_leap.pool_stage_tuples t.lpool tp
 
 let stage_rasg t addr = Par_scc.pool_stage t.gpool ~slot:rasg_slot addr
 

@@ -25,9 +25,10 @@ val spawn :
     [max_streams] cap forces a single LEAP shard. [leap_restore] splits a
     snapshot's LEAP state onto the shards. *)
 
-val stage_tuple : t -> Ormp_core.Tuple.t -> unit
-(** Fan one object-relative tuple out to the four dimension streams and
-    its LEAP shard. Producer domain only. *)
+val stage_tuples : t -> Ormp_core.Cdc.tuples -> unit
+(** Fan a whole SoA tuple chunk out: each dimension lane goes wholesale
+    to its grammar stream, the chunk to its LEAP shards. Producer domain
+    only. *)
 
 val stage_rasg : t -> int -> unit
 (** Append one raw address to the RASG stream. *)

@@ -9,6 +9,7 @@ module Leap = Ormp_leap.Leap
 module Io = Ormp_workloads.Faults.Io
 module Tf = Ormp_trace.Trace_file
 module Event = Ormp_trace.Event
+module Batch = Ormp_trace.Batch
 module Tm = Ormp_telemetry.Telemetry
 
 let m_snapshot_saves = Tm.Metrics.counter "snapshot.saves"
@@ -330,8 +331,10 @@ let checkpoint ctx cdc =
        recovery point is older than intended. *)
     degrade ctx "checkpoint-failed" msg
 
-(* Apply one raw event to every profiler. *)
-let apply ctx cdc_sink ev =
+(* Apply one raw event to every profiler. The CDC side stages into the
+   batched translation path; [triggers] flushes it before anything
+   position-exact (watchdog, checkpoint, heartbeat) observes state. *)
+let apply ctx batch ev =
   (match ev with
   | Event.Access { addr; _ } ->
     ctx.rasg_accesses <- ctx.rasg_accesses + 1;
@@ -339,7 +342,7 @@ let apply ctx cdc_sink ev =
     | None -> Seq_c.push ctx.rasg addr
     | Some p -> Parallel.stage_rasg p addr)
   | Event.Alloc _ | Event.Free _ -> ());
-  cdc_sink ev;
+  Batch.event batch ev;
   ctx.position <- ctx.position + 1
 
 (* Write one heartbeat sample: rates since the previous sample plus the
@@ -376,7 +379,7 @@ let heartbeat ctx cdc h =
    and re-execution hit them identically. (The heartbeat is the exception:
    it observes wall-clock rates, so replay re-emits samples with replay
    timing — the file is append-only and watchers read the latest line.) *)
-let triggers ctx cdc =
+let triggers ctx cdc batch =
   let o = ctx.options in
   let fire_watch = o.watch_every > 0 && ctx.position mod o.watch_every = 0 in
   let fire_ckpt =
@@ -386,11 +389,13 @@ let triggers ctx cdc =
     match ctx.hb with Some h -> ctx.position mod h.hb_every = 0 | None -> false
   in
   if fire_watch || fire_ckpt || fire_hb then begin
-    (* Quiesce the parallel pipeline before any trigger runs: the watchdog
+    (* Quiesce the whole pipeline before any trigger runs: the watchdog
        measures the live grammars, the checkpoint serializes them, and the
-       heartbeat sizes them — all of which require the compressor domains
-       to have consumed everything staged so far, so the observed state is
-       exactly the serial state at this position. *)
+       heartbeat sizes them — all of which require the staged batch to be
+       translated and the compressor domains to have consumed everything
+       published so far, so the observed state is exactly the serial state
+       at this position. *)
+    Batch.flush batch;
     (match ctx.par with Some p -> Parallel.drain p | None -> ());
     if fire_watch && o.grammar_budget > 0 && total_symbols ctx > o.grammar_budget then
       rotate ctx;
@@ -520,13 +525,18 @@ let execute ?io ?(heartbeat_every = 0) ?(jobs = 1) ~dir ~workload
       par = None;
     }
   in
-  let on_tuple tu =
+  (* Tuples arrive as SoA chunks from the batched CDC. [ctx.whomp] and
+     [ctx.leap] are re-read per chunk, so epoch rotation and restore swaps
+     stay visible. The per-tuple [on_tuple] entry is never called — every
+     event goes through the batch below. *)
+  let on_tuples (tp : Cdc.tuples) =
     match ctx.par with
     | None ->
-      W.collect ctx.whomp tu;
-      Leap.collect ctx.leap tu
-    | Some p -> Parallel.stage_tuple p tu
+      W.collect_tuples ctx.whomp tp;
+      Leap.collect_tuples ctx.leap tp
+    | Some p -> Parallel.stage_tuples p tp
   in
+  let on_tuple _ = assert false in
   let cdc, resumed_from, replay_tail, journal_resume =
     match restore with
     | None -> (Cdc.create ~site_name ~on_tuple (), None, [||], None)
@@ -567,7 +577,7 @@ let execute ?io ?(heartbeat_every = 0) ?(jobs = 1) ~dir ~workload
              | Some r -> Some r.rs_snapshot.Snapshot.leap
              | None -> None)
            ());
-  let cdc_sink = Cdc.sink cdc in
+  let batch = Cdc.batch_tuples cdc ~on_tuples () in
   (* Phase A: replay the journal tail the dead run wrote after its last
      snapshot. Triggers re-fire (rotations must be re-applied; snapshot
      rewrites are idempotent), but nothing is re-journaled — the CRC is
@@ -578,8 +588,8 @@ let execute ?io ?(heartbeat_every = 0) ?(jobs = 1) ~dir ~workload
      Array.iter
        (fun ev ->
          ctx.jcrc <- Ormp_util.Crc32.update ctx.jcrc (Tf.event_line ev);
-         apply ctx cdc_sink ev;
-         triggers ctx cdc)
+         apply ctx batch ev;
+         triggers ctx cdc batch)
        replay_tail);
   ctx.journal <-
     Some
@@ -605,8 +615,8 @@ let execute ?io ?(heartbeat_every = 0) ?(jobs = 1) ~dir ~workload
     else begin
       incr gen;
       journal_append ctx ev;
-      apply ctx cdc_sink ev;
-      triggers ctx cdc
+      apply ctx batch ev;
+      triggers ctx cdc batch
     end
   in
   let close_journal () =
@@ -631,9 +641,11 @@ let execute ?io ?(heartbeat_every = 0) ?(jobs = 1) ~dir ~workload
     Error msg
   | result ->
     close_journal ();
-    (* Quiesce and join the compressor domains: a worker failure surfaces
-       here (with the journal already durable for a resume), and afterwards
-       every grammar and shard is frozen for [write_outputs] to serialize. *)
+    (* Translate the staged tail, then quiesce and join the compressor
+       domains: a worker failure surfaces here (with the journal already
+       durable for a resume), and afterwards every grammar and shard is
+       frozen for [write_outputs] to serialize. *)
+    Batch.flush batch;
     (match ctx.par with Some p -> Parallel.shutdown p | None -> ());
     table := Some result.Ormp_vm.Runner.table;
     write_outputs ctx cdc ~elapsed:result.Ormp_vm.Runner.elapsed;

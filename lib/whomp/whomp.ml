@@ -84,18 +84,16 @@ let sink ?grouping ~site_name () =
    Symbol order per grammar is identical to the per-tuple path, so the
    profile is byte-identical — only the call and allocation overhead per
    event changes. *)
+let collect_tuples c (tp : Ormp_core.Cdc.tuples) =
+  Seq_c.push_batch c.g_instr tp.tp_instr ~off:0 ~len:tp.tp_len;
+  Seq_c.push_batch c.g_group tp.tp_group ~off:0 ~len:tp.tp_len;
+  Seq_c.push_batch c.g_object tp.tp_obj ~off:0 ~len:tp.tp_len;
+  Seq_c.push_batch c.g_offset tp.tp_offset ~off:0 ~len:tp.tp_len
+
 let sink_batched ?grouping ~site_name () =
   let c = collector () in
   let cdc = Ormp_core.Cdc.create ?grouping ~site_name ~on_tuple:(collect c) () in
-  let b =
-    Ormp_core.Cdc.batch_tuples cdc
-      ~on_tuples:(fun (tp : Ormp_core.Cdc.tuples) ->
-        Seq_c.push_batch c.g_instr tp.tp_instr ~off:0 ~len:tp.tp_len;
-        Seq_c.push_batch c.g_group tp.tp_group ~off:0 ~len:tp.tp_len;
-        Seq_c.push_batch c.g_object tp.tp_obj ~off:0 ~len:tp.tp_len;
-        Seq_c.push_batch c.g_offset tp.tp_offset ~off:0 ~len:tp.tp_len)
-      ()
-  in
+  let b = Ormp_core.Cdc.batch_tuples cdc ~on_tuples:(collect_tuples c) () in
   (b, make_finalize c cdc)
 
 let profile ?config ?grouping program =

@@ -51,6 +51,11 @@ val collector :
 val collect : collector -> Ormp_core.Tuple.t -> unit
 (** Decompose one tuple into the four grammars. *)
 
+val collect_tuples : collector -> Ormp_core.Cdc.tuples -> unit
+(** Decompose a whole SoA tuple chunk: each lane goes into its grammar
+    via [push_batch]. Symbol order per grammar matches the per-tuple
+    path, so profiles stay byte-identical. *)
+
 val collector_dims : collector -> (string * Ormp_sequitur.Sequitur.t) list
 (** The live grammars, named, in paper order — the {!profile} [dims]. *)
 

@@ -1,3 +1,8 @@
+(* Verbatim pre-PR-10 copy of lib/lmad/compressor.ml: the boxed reference
+   implementation kept as the equivalence oracle for the zero-allocation
+   rewrite (same pattern as sequitur_legacy.ml). Do not modernize. *)
+module Lmad = Ormp_lmad.Lmad
+
 type summary = {
   min_v : int array;
   max_v : int array;
@@ -18,34 +23,13 @@ type placement = Extended of int | Opened of int | Discarded
 
      start + (i / inner_size) * top_stride + inner_offset (i mod inner_size)
 
-   for i in [0, inner_size * top_done + partial).
-
-   The o_* cache fields below [o_partial] are derived from the
-   authoritative fields above them and rebuilt by [refresh] on every
-   rare-path mutation (stride discovery, deepen, state restore). They
-   exist so the hot path — "does the next point match?" — is two integer
-   compares against [o_expected] plus an in-place mixed-radix advance,
-   with no per-point allocation. Invariant (when [o_top_stride] is
-   [Some ts]):
-
-     o_expected = open_point (consumed od)
-                = o_start + o_top_done * ts + Σ_k o_digits.(k) * stride_k
-
-   where [o_digits] is [o_partial] in the mixed radix given by the closed
-   level counts (innermost digit first), [o_counts]/[o_strides] are the
-   closed levels flattened into lanes, and [o_inner] is their product. *)
+   for i in [0, inner_size * top_done + partial). *)
 type open_desc = {
   o_start : int array;
   mutable o_closed : Lmad.level list;
   mutable o_top_stride : int array option;
   mutable o_top_done : int;
   mutable o_partial : int;
-  (* derived caches — see above *)
-  mutable o_inner : int;
-  mutable o_counts : int array;
-  mutable o_strides : int array;  (* [level][dim], innermost level first *)
-  mutable o_digits : int array;
-  mutable o_expected : int array;
 }
 
 type t = {
@@ -53,7 +37,6 @@ type t = {
   budget : int;
   max_depth : int;
   mutable closed : Lmad.t list; (* reverse creation order *)
-  mutable n_closed : int;  (* List.length closed, cached for the hot path *)
   mutable current : open_desc option;
   mutable total : int;
   mutable discarded_count : int;
@@ -74,7 +57,6 @@ let create ?(budget = default_budget) ?(max_depth = 3) ~dims () =
     budget;
     max_depth;
     closed = [];
-    n_closed = 0;
     current = None;
     total = 0;
     discarded_count = 0;
@@ -127,98 +109,6 @@ let open_point od i =
 
 let open_points od = List.init (consumed od) (open_point od)
 
-(* Rebuild every derived cache from the authoritative fields. Allocates;
-   called only on rare-path mutations. *)
-let refresh od =
-  let dims = Array.length od.o_start in
-  let n = List.length od.o_closed in
-  let counts = Array.make n 0 in
-  let strides = Array.make (n * dims) 0 in
-  List.iteri
-    (fun k (l : Lmad.level) ->
-      counts.(k) <- l.count;
-      Array.blit l.stride 0 strides (k * dims) dims)
-    od.o_closed;
-  od.o_counts <- counts;
-  od.o_strides <- strides;
-  od.o_inner <- Array.fold_left ( * ) 1 counts;
-  let digits = Array.make n 0 in
-  let rem = ref od.o_partial in
-  for k = 0 to n - 1 do
-    digits.(k) <- !rem mod counts.(k);
-    rem := !rem / counts.(k)
-  done;
-  od.o_digits <- digits;
-  match od.o_top_stride with
-  | None -> ()
-  | Some ts ->
-    let e =
-      if Array.length od.o_expected = dims then od.o_expected
-      else Array.make dims 0
-    in
-    for d = 0 to dims - 1 do
-      let acc = ref (od.o_start.(d) + (od.o_top_done * ts.(d))) in
-      for k = 0 to n - 1 do
-        acc := !acc + (digits.(k) * strides.((k * dims) + d))
-      done;
-      e.(d) <- !acc
-    done;
-    od.o_expected <- e
-
-(* The matched point was [o_expected]; consume it, sliding [o_expected]
-   to the next point in place. Allocation-free. *)
-let advance od =
-  od.o_partial <- od.o_partial + 1;
-  if od.o_partial = od.o_inner then begin
-    (* Inner pattern complete: a full outer iteration closes and the next
-       expected point restarts the inner pattern one top-stride later. *)
-    od.o_partial <- 0;
-    od.o_top_done <- od.o_top_done + 1;
-    (match od.o_top_stride with
-    | Some ts ->
-      let e = od.o_expected in
-      let start = od.o_start in
-      let td = od.o_top_done in
-      for d = 0 to Array.length start - 1 do
-        Array.unsafe_set e d (Array.unsafe_get start d + (td * Array.unsafe_get ts d))
-      done
-    | None -> assert false);
-    Array.fill od.o_digits 0 (Array.length od.o_digits) 0
-  end
-  else begin
-    (* Mixed-radix increment of the digit vector, adjusting the expected
-       point by the stride of each digit touched. Cannot carry off the
-       end: [o_partial] stayed below [o_inner]. *)
-    let dims = Array.length od.o_start in
-    let digits = od.o_digits in
-    let counts = od.o_counts in
-    let strides = od.o_strides in
-    let e = od.o_expected in
-    let k = ref 0 in
-    let carry = ref true in
-    while !carry do
-      let c = Array.unsafe_get counts !k in
-      let d0 = Array.unsafe_get digits !k + 1 in
-      let base = !k * dims in
-      if d0 = c then begin
-        Array.unsafe_set digits !k 0;
-        for d = 0 to dims - 1 do
-          Array.unsafe_set e d
-            (Array.unsafe_get e d - ((c - 1) * Array.unsafe_get strides (base + d)))
-        done;
-        incr k
-      end
-      else begin
-        Array.unsafe_set digits !k d0;
-        for d = 0 to dims - 1 do
-          Array.unsafe_set e d
-            (Array.unsafe_get e d + Array.unsafe_get strides (base + d))
-        done;
-        carry := false
-      end
-    done
-  end
-
 (* Try to consume [p]; [true] on success. A mismatch on an iteration
    boundary deepens the descriptor (the growing level is frozen as an inner
    level and a new outer level starts) when depth allows. *)
@@ -227,16 +117,20 @@ let add_open ~max_depth od p =
   | None ->
     od.o_top_stride <- Some (vsub p od.o_start);
     od.o_top_done <- 2;
-    refresh od;
     true
   | Some ts ->
-    if vequal p od.o_expected then begin
-      advance od;
+    let expected = open_point od (consumed od) in
+    if vequal p expected then begin
+      od.o_partial <- od.o_partial + 1;
+      if od.o_partial = inner_size od then begin
+        od.o_top_done <- od.o_top_done + 1;
+        od.o_partial <- 0
+      end;
       true
     end
     else if
       od.o_partial = 0 && od.o_top_done >= 2
-      && Array.length od.o_counts + 2 <= max_depth
+      && List.length od.o_closed + 2 <= max_depth
       && Array.for_all (fun d -> d >= 0) (vsub p od.o_start)
       (* Only deepen on a forward jump or a reset to the origin: loop nests
          move forward. A backward jump to anywhere else is almost always a
@@ -256,7 +150,6 @@ let add_open ~max_depth od p =
         od.o_top_done <- 2;
         od.o_partial <- 0
       end;
-      refresh od;
       true
     end
     else false
@@ -301,20 +194,9 @@ let discard t p =
 (* --- the compressor -------------------------------------------------- *)
 
 let new_open p =
-  {
-    o_start = Array.copy p;
-    o_closed = [];
-    o_top_stride = None;
-    o_top_done = 1;
-    o_partial = 0;
-    o_inner = 1;
-    o_counts = [||];
-    o_strides = [||];
-    o_digits = [||];
-    o_expected = Array.make (Array.length p) 0;
-  }
+  { o_start = Array.copy p; o_closed = []; o_top_stride = None; o_top_done = 1; o_partial = 0 }
 
-let lmad_count t = t.n_closed + match t.current with None -> 0 | Some _ -> 1
+let lmad_count t = List.length t.closed + match t.current with None -> 0 | Some _ -> 1
 
 (* Place [p], replaying [leftover] (the closed descriptor's pending partial
    iteration) into a fresh descriptor first. Terminates because every
@@ -326,12 +208,12 @@ let rec place t leftover p =
       let od = new_open (match leftover with q :: _ -> q | [] -> p) in
       t.current <- Some od;
       (match leftover with
-      | [] -> Opened t.n_closed
+      | [] -> Opened (List.length t.closed)
       | _ :: rest ->
         (* Replaying a prefix of a previously-consumed pattern never
            mismatches: it re-traces the same discovery decisions. *)
         List.iter (fun q -> assert (add_open ~max_depth:t.max_depth od q)) rest;
-        if add_open ~max_depth:t.max_depth od p then Opened t.n_closed
+        if add_open ~max_depth:t.max_depth od p then Opened (List.length t.closed)
         else close_and_retry t p)
     end
     else begin
@@ -340,7 +222,7 @@ let rec place t leftover p =
       Discarded
     end
   | Some od ->
-    if add_open ~max_depth:t.max_depth od p then Extended t.n_closed
+    if add_open ~max_depth:t.max_depth od p then Extended (List.length t.closed)
     else close_and_retry t p
 
 and close_and_retry t p =
@@ -349,7 +231,6 @@ and close_and_retry t p =
   | Some od ->
     let lmad, leftover = finalize od in
     t.closed <- lmad :: t.closed;
-    t.n_closed <- t.n_closed + 1;
     t.current <- None;
     place t leftover p
 
@@ -357,121 +238,6 @@ let add t p =
   if Array.length p <> t.dims then invalid_arg "Compressor.add: dimension mismatch";
   t.total <- t.total + 1;
   place t [] p
-
-(* --- packed-code entry points ---------------------------------------
-   [add] allocates its [placement] result (and scalar callers would also
-   box each point into an array); the LEAP hot path feeds millions of 1-
-   and 2-dimensional points, so these variants return the placement as a
-   packed int — tag in the low 2 bits, descriptor index above — and take
-   the point as scalars. Semantics are identical to [add]: the same
-   machinery runs on every path that changes descriptor structure; only
-   the steady states (extend a matched descriptor, discard over budget)
-   are specialized to avoid allocation. *)
-
-let ext_code n = n lsl 2
-let open_code n = (n lsl 2) lor 1
-let discard_code = 2
-
-let code_extended = 0
-let code_opened = 1
-let code_discarded = 2
-
-let[@inline] code_tag c = c land 3
-let[@inline] code_index c = c asr 2
-
-let encode = function
-  | Extended i -> ext_code i
-  | Opened i -> open_code i
-  | Discarded -> discard_code
-
-(* Over-budget steady state, scalar: mutate the summary lanes and the
-   last-discarded buffer in place. *)
-let discard2 t a b =
-  if t.discarded_count = 0 then begin
-    t.sum_min <- [| a; b |];
-    t.sum_max <- [| a; b |];
-    t.sum_gran <- [| 0; 0 |]
-  end
-  else begin
-    if a < t.sum_min.(0) then t.sum_min.(0) <- a;
-    if a > t.sum_max.(0) then t.sum_max.(0) <- a;
-    if b < t.sum_min.(1) then t.sum_min.(1) <- b;
-    if b > t.sum_max.(1) then t.sum_max.(1) <- b;
-    match t.last_discarded with
-    | Some prev ->
-      t.sum_gran.(0) <- Ormp_util.Stats.gcd t.sum_gran.(0) (a - prev.(0));
-      t.sum_gran.(1) <- Ormp_util.Stats.gcd t.sum_gran.(1) (b - prev.(1))
-    | None -> ()
-  end;
-  (match t.last_discarded with
-  | Some prev ->
-    prev.(0) <- a;
-    prev.(1) <- b
-  | None -> t.last_discarded <- Some [| a; b |]);
-  t.discarded_count <- t.discarded_count + 1
-
-let discard1 t a =
-  if t.discarded_count = 0 then begin
-    t.sum_min <- [| a |];
-    t.sum_max <- [| a |];
-    t.sum_gran <- [| 0 |]
-  end
-  else begin
-    if a < t.sum_min.(0) then t.sum_min.(0) <- a;
-    if a > t.sum_max.(0) then t.sum_max.(0) <- a;
-    match t.last_discarded with
-    | Some prev -> t.sum_gran.(0) <- Ormp_util.Stats.gcd t.sum_gran.(0) (a - prev.(0))
-    | None -> ()
-  end;
-  (match t.last_discarded with
-  | Some prev -> prev.(0) <- a
-  | None -> t.last_discarded <- Some [| a |]);
-  t.discarded_count <- t.discarded_count + 1
-
-let[@inline never] add2_slow t a b = encode (place t [] [| a; b |])
-
-let add2_code t a b =
-  if t.dims <> 2 then invalid_arg "Compressor.add2_code: dimension mismatch";
-  t.total <- t.total + 1;
-  match t.current with
-  | Some od -> (
-    match od.o_top_stride with
-    | Some _ ->
-      let e = od.o_expected in
-      if Array.unsafe_get e 0 = a && Array.unsafe_get e 1 = b then begin
-        advance od;
-        ext_code t.n_closed
-      end
-      else add2_slow t a b
-    | None -> add2_slow t a b)
-  | None ->
-    if lmad_count t < t.budget then add2_slow t a b
-    else begin
-      discard2 t a b;
-      discard_code
-    end
-
-let[@inline never] add1_slow t a = encode (place t [] [| a |])
-
-let add1_code t a =
-  if t.dims <> 1 then invalid_arg "Compressor.add1_code: dimension mismatch";
-  t.total <- t.total + 1;
-  match t.current with
-  | Some od -> (
-    match od.o_top_stride with
-    | Some _ ->
-      if Array.unsafe_get od.o_expected 0 = a then begin
-        advance od;
-        ext_code t.n_closed
-      end
-      else add1_slow t a
-    | None -> add1_slow t a)
-  | None ->
-    if lmad_count t < t.budget then add1_slow t a
-    else begin
-      discard1 t a;
-      discard_code
-    end
 
 let lmads t =
   let closed = List.rev t.closed in
@@ -541,7 +307,6 @@ let of_parts p =
     p.p_lmads;
   if List.length p.p_lmads > p.p_budget then invalid_arg "Compressor.of_parts: over budget";
   t.closed <- List.rev p.p_lmads;
-  t.n_closed <- List.length p.p_lmads;
   t.total <- p.p_total;
   t.discarded_count <- p.p_discarded;
   (match p.p_summary with
@@ -605,7 +370,6 @@ let of_state s =
   if List.length s.s_closed + open_count > s.s_budget then
     invalid_arg "Compressor.of_state: over budget";
   t.closed <- List.rev s.s_closed;
-  t.n_closed <- List.length s.s_closed;
   (match s.s_current with
   | None -> ()
   | Some os ->
@@ -615,22 +379,15 @@ let of_state s =
     | Some ts when Array.length ts <> s.s_dims ->
       invalid_arg "Compressor.of_state: open stride dims mismatch"
     | _ -> ());
-    let od =
-      {
-        o_start = Array.copy os.s_start;
-        o_closed = os.s_levels;
-        o_top_stride = Option.map Array.copy os.s_top_stride;
-        o_top_done = os.s_top_done;
-        o_partial = os.s_partial;
-        o_inner = 1;
-        o_counts = [||];
-        o_strides = [||];
-        o_digits = [||];
-        o_expected = [||];
-      }
-    in
-    refresh od;
-    t.current <- Some od);
+    t.current <-
+      Some
+        {
+          o_start = Array.copy os.s_start;
+          o_closed = os.s_levels;
+          o_top_stride = Option.map Array.copy os.s_top_stride;
+          o_top_done = os.s_top_done;
+          o_partial = os.s_partial;
+        });
   t.total <- s.s_total;
   (match s.s_summary with
   | None -> ()

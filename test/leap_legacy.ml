@@ -1,0 +1,244 @@
+(* Verbatim pre-PR-10 copy of the lib/leap/leap.ml collection core: the
+   Hashtbl-based collector (plus its sharded form) kept as the equivalence
+   oracle for the flat-arena rewrite, the same pattern as
+   sequitur_legacy.ml / compressor_legacy.ml. Type equations re-export the
+   public profile types from [Ormp_leap.Leap] so oracle profiles flow
+   through the real Leap_io/Equiv pipeline. Telemetry calls are dropped
+   (counters do not affect profiles); nothing else is modernized. *)
+
+module C = Ormp_lmad.Compressor
+module Vec = Ormp_util.Vec
+
+type key = Ormp_leap.Leap.key = { instr : int; group : int }
+type span = Ormp_leap.Leap.span = { mutable t_first : int; mutable t_last : int }
+
+type stream = Ormp_leap.Leap.stream = {
+  comp : C.t;
+  spans : span Vec.t;
+  off : C.t;
+  mutable dspan : span option;
+}
+
+type profile = Ormp_leap.Leap.profile = {
+  streams : (key * stream) list;
+  store_instrs : (int, bool) Hashtbl.t;
+  collected : int;
+  wild : int;
+  dropped_streams : int;
+  dropped_accesses : int;
+  elapsed : float;
+}
+
+type live = Ormp_leap.Leap.live = {
+  lv_streams : (key * stream) list;
+  lv_stores : (int * bool) list;
+  lv_dropped : key list;
+  lv_dropped_accesses : int;
+}
+
+let span_at stream idx ~time =
+  while Vec.length stream.spans <= idx do
+    Vec.push stream.spans { t_first = time; t_last = time }
+  done;
+  Vec.get stream.spans idx
+
+let record stream ~time point =
+  (match C.add stream.comp point with
+  | C.Extended idx -> (span_at stream idx ~time).t_last <- time
+  | C.Opened idx -> ignore (span_at stream idx ~time)
+  | C.Discarded -> (
+    match stream.dspan with
+    | Some sp -> sp.t_last <- time
+    | None -> stream.dspan <- Some { t_first = time; t_last = time }));
+  ignore (C.add stream.off [| point.(1) |])
+
+type collector = {
+  c_streams : (key, stream) Hashtbl.t;
+  c_order : key Vec.t;
+  c_store_instrs : (int, bool) Hashtbl.t;
+  c_budget : int option;
+  c_max_streams : int;
+  c_dropped : (key, unit) Hashtbl.t;
+  c_dropped_order : key Vec.t;
+  mutable c_dropped_accesses : int;
+}
+
+let collector ?budget ?(max_streams = 0) ?restore () =
+  let c =
+    {
+      c_streams = Hashtbl.create 256;
+      c_order = Vec.create ();
+      c_store_instrs = Hashtbl.create 64;
+      c_budget = budget;
+      c_max_streams = max_streams;
+      c_dropped = Hashtbl.create 16;
+      c_dropped_order = Vec.create ();
+      c_dropped_accesses = 0;
+    }
+  in
+  (match restore with
+  | None -> ()
+  | Some lv ->
+    List.iter
+      (fun (k, s) ->
+        if Hashtbl.mem c.c_streams k then invalid_arg "Leap.collector: duplicate stream key";
+        Hashtbl.replace c.c_streams k s;
+        Vec.push c.c_order k)
+      lv.lv_streams;
+    List.iter (fun (i, st) -> Hashtbl.replace c.c_store_instrs i st) lv.lv_stores;
+    List.iter
+      (fun k ->
+        if not (Hashtbl.mem c.c_dropped k) then begin
+          Hashtbl.replace c.c_dropped k ();
+          Vec.push c.c_dropped_order k
+        end)
+      lv.lv_dropped;
+    c.c_dropped_accesses <- lv.lv_dropped_accesses);
+  c
+
+let collect c (tu : Ormp_core.Tuple.t) =
+  Hashtbl.replace c.c_store_instrs tu.instr tu.is_store;
+  let key = { instr = tu.instr; group = tu.group } in
+  match Hashtbl.find_opt c.c_streams key with
+  | Some s -> record s ~time:tu.time [| tu.obj; tu.offset |]
+  | None ->
+    if c.c_max_streams > 0 && Hashtbl.length c.c_streams >= c.c_max_streams then begin
+      if not (Hashtbl.mem c.c_dropped key) then begin
+        Hashtbl.replace c.c_dropped key ();
+        Vec.push c.c_dropped_order key
+      end;
+      c.c_dropped_accesses <- c.c_dropped_accesses + 1
+    end
+    else begin
+      let s =
+        {
+          comp = C.create ?budget:c.c_budget ~dims:2 ();
+          spans = Vec.create ();
+          off = C.create ?budget:c.c_budget ~dims:1 ();
+          dspan = None;
+        }
+      in
+      Hashtbl.replace c.c_streams key s;
+      Vec.push c.c_order key;
+      record s ~time:tu.time [| tu.obj; tu.offset |]
+    end
+
+let stream_count c = Hashtbl.length c.c_streams
+
+let live c =
+  {
+    lv_streams =
+      List.rev (Vec.fold_left (fun acc k -> (k, Hashtbl.find c.c_streams k) :: acc) [] c.c_order);
+    lv_stores = List.sort compare (Hashtbl.fold (fun i st acc -> (i, st) :: acc) c.c_store_instrs []);
+    lv_dropped = List.rev (Vec.fold_left (fun acc k -> k :: acc) [] c.c_dropped_order);
+    lv_dropped_accesses = c.c_dropped_accesses;
+  }
+
+let finish c ~collected ~wild ~elapsed =
+  {
+    streams =
+      List.rev (Vec.fold_left (fun acc k -> (k, Hashtbl.find c.c_streams k) :: acc) [] c.c_order);
+    store_instrs = c.c_store_instrs;
+    collected;
+    wild;
+    dropped_streams = Hashtbl.length c.c_dropped;
+    dropped_accesses = c.c_dropped_accesses;
+    elapsed;
+  }
+
+(* --- sharded collection ------------------------------------------------ *)
+
+type shard = {
+  sh_coll : collector;
+  sh_first : (key, int) Hashtbl.t;
+}
+
+let shard_make ?budget ?(max_streams = 0) ~nshards ~restore () =
+  if nshards < 1 then invalid_arg "Leap.shards: need at least one shard";
+  if max_streams > 0 && nshards > 1 then
+    invalid_arg "Leap.shards: a max-streams cap requires a single shard";
+  match restore with
+  | None ->
+    Array.init nshards (fun _ ->
+        { sh_coll = collector ?budget ~max_streams (); sh_first = Hashtbl.create 64 })
+  | Some lv ->
+    let parts = Array.init nshards (fun _ -> ref []) in
+    List.iteri
+      (fun i ((k : key), s) -> let r = parts.(k.instr mod nshards) in r := (i, k, s) :: !r)
+      lv.lv_streams;
+    Array.init nshards (fun w ->
+        let mine = List.rev !(parts.(w)) in
+        let sub =
+          {
+            lv_streams = List.map (fun (_, k, s) -> (k, s)) mine;
+            lv_stores = List.filter (fun (i, _) -> i mod nshards = w) lv.lv_stores;
+            lv_dropped = (if w = 0 then lv.lv_dropped else []);
+            lv_dropped_accesses = (if w = 0 then lv.lv_dropped_accesses else 0);
+          }
+        in
+        let sh_first = Hashtbl.create 64 in
+        List.iter (fun (i, k, _) -> Hashtbl.replace sh_first k i) mine;
+        { sh_coll = collector ?budget ~max_streams ~restore:sub (); sh_first })
+
+let shards ?budget ?max_streams ?restore ~nshards () =
+  shard_make ?budget ?max_streams ~nshards ~restore ()
+
+let shard_index ~nshards instr = instr mod nshards
+
+let shard_collect sh (tu : Ormp_core.Tuple.t) =
+  let key = { instr = tu.instr; group = tu.group } in
+  let known = Hashtbl.mem sh.sh_coll.c_streams key in
+  collect sh.sh_coll tu;
+  if (not known) && Hashtbl.mem sh.sh_coll.c_streams key then
+    Hashtbl.replace sh.sh_first key tu.time
+
+let shards_stream_count shs =
+  Array.fold_left (fun acc sh -> acc + stream_count sh.sh_coll) 0 shs
+
+let merge_streams shs =
+  Array.to_list shs
+  |> List.concat_map (fun sh ->
+         List.rev
+           (Vec.fold_left
+              (fun acc k ->
+                (Hashtbl.find sh.sh_first k, k, Hashtbl.find sh.sh_coll.c_streams k) :: acc)
+              [] sh.sh_coll.c_order))
+  |> List.sort (fun (a, _, _) (b, _, _) -> compare a b)
+  |> List.map (fun (_, k, s) -> (k, s))
+
+let merge_stores shs =
+  let h = Hashtbl.create 64 in
+  Array.iter
+    (fun sh -> Hashtbl.iter (fun i st -> Hashtbl.replace h i st) sh.sh_coll.c_store_instrs)
+    shs;
+  h
+
+let shards_live shs =
+  {
+    lv_streams = merge_streams shs;
+    lv_stores =
+      List.sort compare (Hashtbl.fold (fun i st acc -> (i, st) :: acc) (merge_stores shs) []);
+    lv_dropped =
+      Array.to_list shs
+      |> List.concat_map (fun sh ->
+             List.rev (Vec.fold_left (fun acc k -> k :: acc) [] sh.sh_coll.c_dropped_order));
+    lv_dropped_accesses =
+      Array.fold_left (fun acc sh -> acc + sh.sh_coll.c_dropped_accesses) 0 shs;
+  }
+
+let shards_finish shs ~collected ~wild ~elapsed =
+  let dropped_streams =
+    Array.fold_left (fun acc sh -> acc + Hashtbl.length sh.sh_coll.c_dropped) 0 shs
+  in
+  let dropped_accesses =
+    Array.fold_left (fun acc sh -> acc + sh.sh_coll.c_dropped_accesses) 0 shs
+  in
+  {
+    streams = merge_streams shs;
+    store_instrs = merge_stores shs;
+    collected;
+    wild;
+    dropped_streams;
+    dropped_accesses;
+    elapsed;
+  }

@@ -115,6 +115,54 @@ let test_stale_mru_shrunk_object () =
     check_int "offset in the shrunk object" 32 off
   | None -> Alcotest.fail "in-range address must translate"
 
+(* The two-way cache must convert a strict two-object alternation (copy
+   loop) into hits once warm: way 0 holds the last object, way 1 the one
+   it displaced, so the ping-pong never reaches the range index. *)
+let test_mru_two_way_ping_pong () =
+  let omc = Ormp_core.Omc.create ~site_name () in
+  Ormp_core.Omc.on_alloc omc ~time:0 ~site:1 ~addr:1000 ~size:64 ~type_name:None;
+  Ormp_core.Omc.on_alloc omc ~time:1 ~site:1 ~addr:2000 ~size:64 ~type_name:None;
+  let n = 64 in
+  let instrs = Array.make n 5 in
+  let addrs = Array.init n (fun i -> (if i land 1 = 0 then 1000 else 2000) + (i land 7) * 8) in
+  let groups = Array.make n 0 and serials = Array.make n 0 and offsets = Array.make n 0 in
+  (* warm-up fills both ways *)
+  Ormp_core.Omc.translate_batch omc ~instrs ~addrs ~len:2 ~groups ~serials ~offsets;
+  let hits0 = Ormp_core.Omc.cache_hits omc in
+  Ormp_core.Omc.translate_batch omc ~instrs ~addrs ~len:n ~groups ~serials ~offsets;
+  check_int "every alternating access hits a cache way"
+    (hits0 + n)
+    (Ormp_core.Omc.cache_hits omc);
+  for i = 0 to n - 1 do
+    check_int "serial tracks the alternation" (i land 1) serials.(i);
+    check_int "offset inside the right object" (i land 7 * 8) offsets.(i)
+  done
+
+(* Steady-state translation allocates nothing: the cache is int lanes and
+   misses resolve through the range index's flat lanes. *)
+let test_translate_batch_alloc_free () =
+  let omc = Ormp_core.Omc.create ~site_name () in
+  for k = 0 to 15 do
+    Ormp_core.Omc.on_alloc omc ~time:k ~site:1 ~addr:(1000 * (k + 1)) ~size:512 ~type_name:None
+  done;
+  let n = 4096 in
+  let instrs = Array.init n (fun i -> i land 7) in
+  (* mixes warm hits, way-1 promotions, index fills and wild misses *)
+  let addrs =
+    Array.init n (fun i ->
+        if i land 31 = 31 then 999 (* below every object: a miss *)
+        else (1000 * (1 + (i land 15))) + ((i land 63) * 8))
+  in
+  let groups = Array.make n 0 and serials = Array.make n 0 and offsets = Array.make n 0 in
+  Ormp_core.Omc.translate_batch omc ~instrs ~addrs ~len:n ~groups ~serials ~offsets;
+  let w0 = Gc.minor_words () in
+  Ormp_core.Omc.translate_batch omc ~instrs ~addrs ~len:n ~groups ~serials ~offsets;
+  let w1 = Gc.minor_words () in
+  let per_event = (w1 -. w0) /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "translate_batch words/event %.4f = 0" per_event)
+    true (per_event <= 0.01)
+
 (* ------------------------------------------------------------------ *)
 (* Fanout: one run driving several batched consumers                   *)
 (* ------------------------------------------------------------------ *)
@@ -200,6 +248,9 @@ let () =
             test_stale_mru_invalidated;
           Alcotest.test_case "shrunk realloc at same base" `Quick
             test_stale_mru_shrunk_object;
+          Alcotest.test_case "two-way ping-pong hits" `Quick test_mru_two_way_ping_pong;
+          Alcotest.test_case "translate_batch allocation-free" `Quick
+            test_translate_batch_alloc_free;
         ] );
       ( "fanout",
         [

@@ -302,10 +302,265 @@ let test_alias_different_groups_never () =
   let p = Leap.profile prog in
   check_bool "cross-group never aliases" false (Alias.may_alias p ~a:2 ~b:3)
 
+(* ------------------------------------------------------------------ *)
+(* Flat collector vs. legacy copy                                      *)
+(* ------------------------------------------------------------------ *)
+
+(* The PR 10 flat-arena collector against the verbatim pre-rewrite
+   Hashtbl collector (leap_legacy.ml): identical tuple streams must give
+   byte-identical profiles — through the persistence sexp, so stream
+   order, LMADs, summaries, spans, store flags and dropped-key state are
+   all covered — and identical post-processor output. The legacy copy
+   shares the (independently proven) flat compressor, so these
+   properties isolate the collection layer: key tables, admission order,
+   sharded merge, caps, and checkpoint restore. *)
+
+let profile_bytes p = Ormp_util.Sexp.to_string (Ormp_persist.Leap_io.to_sexp p)
+
+(* Random tuple streams with enough regular structure to exercise every
+   compressor arm: strided runs (one key sweeping offsets), plus random
+   singles. [is_store] is a function of the instruction id and time is
+   the stream position, as in a real collected trace. *)
+let render_segs segs =
+  let out = ref [] in
+  let time = ref 0 in
+  let push instr group obj offset =
+    out :=
+      { Ormp_core.Tuple.instr; group; obj; offset; time = !time; is_store = instr land 1 = 1 }
+      :: !out;
+    incr time
+  in
+  List.iter
+    (fun seg ->
+      match seg with
+      | `Run (instr, group, obj, start, stride, count) ->
+        for i = 0 to count - 1 do
+          push instr group obj (start + (i * stride))
+        done
+      | `Rand l -> List.iter (fun (instr, group, obj, offset) -> push instr group obj offset) l)
+    segs;
+  Array.of_list (List.rev !out)
+
+let gen_seg =
+  QCheck.Gen.(
+    frequency
+      [
+        ( 4,
+          map
+            (fun ((instr, group), (obj, start), (stride, count)) ->
+              `Run (instr, group, obj, start, stride, count))
+            (triple
+               (pair (int_range 0 5) (int_range 0 3))
+               (pair (int_range 0 3) (int_range 0 32))
+               (pair (int_range 1 12) (int_range 2 24))) );
+        ( 2,
+          map
+            (fun l -> `Rand l)
+            (list_size (int_range 1 12)
+               (quad (int_range 0 5) (int_range 0 3) (int_range 0 3) (int_range 0 64))) );
+      ])
+
+let print_segs segs =
+  String.concat ";"
+    (List.map
+       (function
+         | `Run (i, g, o, s, st, c) -> Printf.sprintf "run(%d,%d,%d,%d,%d,%d)" i g o s st c
+         | `Rand l -> Printf.sprintf "rand(%d)" (List.length l))
+       segs)
+
+let arb_stream =
+  QCheck.make ~print:print_segs QCheck.Gen.(list_size (int_range 1 16) gen_seg)
+
+let arb_budget = QCheck.make QCheck.Gen.(opt (int_range 1 8))
+
+let legacy_profile ?budget ?max_streams tuples =
+  let c = Leap_legacy.collector ?budget ?max_streams () in
+  Array.iter (Leap_legacy.collect c) tuples;
+  Leap_legacy.finish c ~collected:(Array.length tuples) ~wild:0 ~elapsed:0.0
+
+let finish_flat c tuples = Leap.finish c ~collected:(Array.length tuples) ~wild:0 ~elapsed:0.0
+
+(* Post-processors on both profiles: the issue's "strides, MDF pairs,
+   alias sets" equivalence. *)
+let post_eq ~ctx pa pb =
+  QCheck.assume (pa.Leap.streams <> []);
+  if Mdf.compute pa <> Mdf.compute pb then QCheck.Test.fail_reportf "%s: mdf differs" ctx;
+  if Alias.rates pa <> Alias.rates pb then QCheck.Test.fail_reportf "%s: alias differs" ctx;
+  List.iter
+    (fun i ->
+      if Strides.stride_weights pa i <> Strides.stride_weights pb i then
+        QCheck.Test.fail_reportf "%s: stride weights differ (instr %d)" ctx i)
+    (Leap.instrs pa);
+  if Strides.strongly_strided pa <> Strides.strongly_strided pb then
+    QCheck.Test.fail_reportf "%s: strongly_strided differs" ctx;
+  true
+
+let eq_or_fail ~ctx pa pb =
+  let a = profile_bytes pa and b = profile_bytes pb in
+  if a <> b then QCheck.Test.fail_reportf "%s: profiles differ@.flat:   %s@.legacy: %s" ctx a b;
+  true
+
+(* Serial: per-tuple flat, lane-batched flat, and the legacy oracle all
+   byte-identical; post-processors agree. *)
+let prop_flat_eq_legacy =
+  QCheck.Test.make ~name:"flat collector = legacy (serial + lanes)" ~count:120
+    QCheck.(pair arb_stream arb_budget)
+  @@ fun (segs, budget) ->
+  let tuples = render_segs segs in
+  let oracle = legacy_profile ?budget tuples in
+  let c_serial = Leap.collector ?budget () in
+  Array.iter (Leap.collect c_serial) tuples;
+  let c_lanes = Leap.collector ?budget () in
+  let n = Array.length tuples in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min (1 + (!pos mod 7)) (n - !pos) in
+    let sub f = Array.init len (fun i -> f tuples.(!pos + i)) in
+    Leap.collect_lanes c_lanes
+      ~instr:(sub (fun tu -> tu.Ormp_core.Tuple.instr))
+      ~group:(sub (fun tu -> tu.Ormp_core.Tuple.group))
+      ~obj:(sub (fun tu -> tu.Ormp_core.Tuple.obj))
+      ~offset:(sub (fun tu -> tu.Ormp_core.Tuple.offset))
+      ~store:(sub (fun tu -> if tu.Ormp_core.Tuple.is_store then 1 else 0))
+      ~time0:!pos ~len;
+    pos := !pos + len
+  done;
+  let pa = finish_flat c_serial tuples in
+  let pl = finish_flat c_lanes tuples in
+  eq_or_fail ~ctx:"serial" pa oracle
+  && eq_or_fail ~ctx:"lanes" pl oracle
+  && post_eq ~ctx:"post" pa oracle
+
+(* Sharded collection across jobs counts: the merged profile (admission
+   order re-sorted on first-seen stamps) equals the serial legacy one. *)
+let prop_sharded_eq_legacy =
+  QCheck.Test.make ~name:"sharded flat = serial legacy (jobs 1-4)" ~count:60
+    QCheck.(triple arb_stream arb_budget (int_range 1 4))
+  @@ fun (segs, budget, nshards) ->
+  let tuples = render_segs segs in
+  let oracle = legacy_profile ?budget tuples in
+  (* per-tuple shard feed *)
+  let shs = Leap.shards ?budget ~nshards () in
+  Array.iter
+    (fun tu ->
+      Leap.shard_collect shs.(Leap.shard_index ~nshards tu.Ormp_core.Tuple.instr) tu)
+    tuples;
+  let pa = Leap.shards_finish shs ~collected:(Array.length tuples) ~wild:0 ~elapsed:0.0 in
+  (* lane shard feed, chunked like Par_leap stages *)
+  let shs2 = Leap.shards ?budget ~nshards () in
+  let n = Array.length tuples in
+  let pos = ref 0 in
+  while !pos < n do
+    let len = min (1 + (!pos mod 9)) (n - !pos) in
+    for w = 0 to nshards - 1 do
+      let mine = ref [] in
+      for i = len - 1 downto 0 do
+        let tu = tuples.(!pos + i) in
+        if Leap.shard_index ~nshards tu.Ormp_core.Tuple.instr = w then mine := tu :: !mine
+      done;
+      let mine = Array.of_list !mine in
+      let k = Array.length mine in
+      if k > 0 then
+        Leap.shard_collect_lanes shs2.(w)
+          ~instr:(Array.map (fun tu -> tu.Ormp_core.Tuple.instr) mine)
+          ~group:(Array.map (fun tu -> tu.Ormp_core.Tuple.group) mine)
+          ~obj:(Array.map (fun tu -> tu.Ormp_core.Tuple.obj) mine)
+          ~offset:(Array.map (fun tu -> tu.Ormp_core.Tuple.offset) mine)
+          ~store:(Array.map (fun tu -> if tu.Ormp_core.Tuple.is_store then 1 else 0) mine)
+          ~time:(Array.map (fun tu -> tu.Ormp_core.Tuple.time) mine)
+          ~len:k
+    done;
+    pos := !pos + len
+  done;
+  let pb = Leap.shards_finish shs2 ~collected:(Array.length tuples) ~wild:0 ~elapsed:0.0 in
+  eq_or_fail ~ctx:"shards" pa oracle && eq_or_fail ~ctx:"shard lanes" pb oracle
+
+(* A stream cap: admission refusals, dropped counts and established
+   streams must match the legacy collector exactly. *)
+let prop_capped_eq_legacy =
+  QCheck.Test.make ~name:"max_streams cap = legacy" ~count:80
+    QCheck.(triple arb_stream arb_budget (int_range 1 6))
+  @@ fun (segs, budget, cap) ->
+  let tuples = render_segs segs in
+  let oracle = legacy_profile ?budget ~max_streams:cap tuples in
+  let c = Leap.collector ?budget ~max_streams:cap () in
+  Array.iter (Leap.collect c) tuples;
+  let lva = Leap.live c in
+  let lvb = Leap_legacy.live (let c = Leap_legacy.collector ?budget ~max_streams:cap () in
+                              Array.iter (Leap_legacy.collect c) tuples;
+                              c)
+  in
+  if lva.Leap.lv_dropped <> lvb.Leap.lv_dropped then
+    QCheck.Test.fail_report "dropped key order differs";
+  if lva.Leap.lv_dropped_accesses <> lvb.Leap.lv_dropped_accesses then
+    QCheck.Test.fail_report "dropped access count differs";
+  eq_or_fail ~ctx:"capped" (finish_flat c tuples) oracle
+
+(* Checkpoint/restore mid-stream — into a serial collector and into a
+   sharded set — continues byte-for-byte like an uninterrupted run. *)
+let prop_restore_eq_legacy =
+  QCheck.Test.make ~name:"restore resumes like legacy" ~count:60
+    QCheck.(quad arb_stream arb_budget (int_range 0 1000) (int_range 1 3))
+  @@ fun (segs, budget, cut_raw, nshards) ->
+  let tuples = render_segs segs in
+  let n = Array.length tuples in
+  let cut = if n = 0 then 0 else cut_raw mod (n + 1) in
+  let oracle = legacy_profile ?budget tuples in
+  let c1 = Leap.collector ?budget () in
+  Array.iteri (fun i tu -> if i < cut then Leap.collect c1 tu) tuples;
+  let lv = Leap.live c1 in
+  (* serial restore *)
+  let c2 = Leap.collector ?budget ~restore:lv () in
+  Array.iteri (fun i tu -> if i >= cut then Leap.collect c2 tu) tuples;
+  let ok1 = eq_or_fail ~ctx:"restore serial" (finish_flat c2 tuples) oracle in
+  (* sharded restore: replay the prefix, snapshot, spread over shards *)
+  let c3 = Leap.collector ?budget () in
+  Array.iteri (fun i tu -> if i < cut then Leap.collect c3 tu) tuples;
+  let shs = Leap.shards ?budget ~nshards ~restore:(Leap.live c3) () in
+  Array.iteri
+    (fun i tu ->
+      if i >= cut then
+        Leap.shard_collect shs.(Leap.shard_index ~nshards tu.Ormp_core.Tuple.instr) tu)
+    tuples;
+  let pb = Leap.shards_finish shs ~collected:n ~wild:0 ~elapsed:0.0 in
+  ok1 && eq_or_fail ~ctx:"restore shards" pb oracle
+
+(* Steady-state allocation witness: once streams exist and descriptors
+   are extending, the collector allocates nothing per event. The 2-word
+   budget in the issue covers the amortized cost of opening descriptors;
+   the pure extension path must be flat zero. *)
+let test_collect_lanes_alloc_free () =
+  let c = Leap.collector () in
+  let n = 4096 in
+  let instr = Array.make n 3 in
+  let group = Array.make n 1 in
+  let obj = Array.make n 0 in
+  let store = Array.make n 0 in
+  let offset = Array.init n (fun i -> i * 8) in
+  (* warm-up: admit the stream, open its descriptor, grow the tables *)
+  Leap.collect_lanes c ~instr ~group ~obj ~offset ~store ~time0:0 ~len:n;
+  let offset2 = Array.init n (fun i -> (n + i) * 8) in
+  let w0 = Gc.minor_words () in
+  Leap.collect_lanes c ~instr ~group ~obj ~offset:offset2 ~store ~time0:n ~len:n;
+  let w1 = Gc.minor_words () in
+  let per_event = (w1 -. w0) /. float_of_int n in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state words/event %.4f <= 0.01" per_event)
+    true (per_event <= 0.01)
+
 let () =
   let tc name f = Alcotest.test_case name `Quick f in
+  let qt = QCheck_alcotest.to_alcotest in
   Alcotest.run "ormp_leap"
     [
+      ( "flat vs legacy",
+        [
+          qt prop_flat_eq_legacy;
+          qt prop_sharded_eq_legacy;
+          qt prop_capped_eq_legacy;
+          qt prop_restore_eq_legacy;
+          tc "steady-state collection is allocation-free" test_collect_lanes_alloc_free;
+        ] );
       ( "profile",
         [
           tc "structure" test_profile_structure;

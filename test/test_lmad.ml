@@ -228,6 +228,143 @@ let prop_nested_ramps_fit_one_descriptor =
       Compressor.fully_captured c && List.length (Compressor.lmads c) <= 2)
 
 (* ------------------------------------------------------------------ *)
+(* Flat compressor vs. legacy copy                                     *)
+(* ------------------------------------------------------------------ *)
+
+(* The PR-10 compressor keeps derived caches (expected next point, digit
+   vector) so the extend/discard steady states are allocation-free;
+   [Compressor_legacy] is the verbatim pre-cache implementation. Every
+   observable — placement sequence, descriptors, summary, reconstruction,
+   exact state — must agree on any stream, and the packed-code scalar
+   entry points must agree with [add]. *)
+
+(* Streams with enough structure to exercise extend, deepen, close-and-
+   retry (with leftover replay) and over-budget discard: a list of
+   segments, each a strided run, a two-level nest, or raw noise. *)
+let gen_stream ~dims =
+  QCheck.Gen.(
+    let point g = array_repeat dims g in
+    let seg =
+      frequency
+        [
+          ( 4,
+            (* strided run: start + i * stride *)
+            triple (point (int_range (-50) 50)) (point (int_range (-6) 6)) (int_range 1 12)
+            >|= fun (s, d, n) ->
+            List.init n (fun i -> Array.mapi (fun k sk -> sk + (i * d.(k))) s) );
+          ( 2,
+            (* two-level nest: start + o * outer + i * inner *)
+            quad
+              (point (int_range 0 40))
+              (point (int_range 1 4))
+              (point (int_range 0 60))
+              (pair (int_range 2 4) (int_range 2 4))
+            >|= fun (s, di, d_o, (ic, oc)) ->
+            List.concat
+              (List.init oc (fun o ->
+                   List.init ic (fun i ->
+                       Array.mapi (fun k sk -> sk + (o * d_o.(k)) + (i * di.(k))) s))) );
+          (2, list_size (int_range 1 6) (point (int_range (-40) 40)));
+        ]
+    in
+    list_size (int_range 0 8) seg >|= List.concat)
+
+let arb_stream ~dims =
+  QCheck.make ~print:QCheck.Print.(list (array int)) (gen_stream ~dims)
+
+let placements c_add pts =
+  List.map c_add pts
+
+let legacy_same ~budget ~dims pts =
+  let c = Compressor.create ~budget ~dims () in
+  let l = Compressor_legacy.create ~budget ~dims () in
+  let pl = placements (Compressor.add c) pts in
+  let ll = placements (Compressor_legacy.add l) pts in
+  let placement_eq =
+    List.for_all2
+      (fun a b ->
+        match (a, b) with
+        | Compressor.Extended i, Compressor_legacy.Extended j -> i = j
+        | Compressor.Opened i, Compressor_legacy.Opened j -> i = j
+        | Compressor.Discarded, Compressor_legacy.Discarded -> true
+        | _ -> false)
+      pl ll
+  in
+  placement_eq
+  && Compressor.lmads c = Compressor_legacy.lmads l
+  && Compressor.total c = Compressor_legacy.total l
+  && Compressor.discarded c = Compressor_legacy.discarded l
+  && Compressor.reconstruct c = Compressor_legacy.reconstruct l
+  && (match (Compressor.summary c, Compressor_legacy.summary l) with
+     | None, None -> true
+     | Some a, Some b ->
+       a.Compressor.min_v = b.Compressor_legacy.min_v
+       && a.Compressor.max_v = b.Compressor_legacy.max_v
+       && a.Compressor.granularity = b.Compressor_legacy.granularity
+       && a.Compressor.discarded = b.Compressor_legacy.discarded
+     | _ -> false)
+
+let prop_flat_eq_legacy_1d =
+  QCheck.Test.make ~name:"flat = legacy (1d, tight budget)" ~count:400
+    (QCheck.pair (QCheck.int_range 1 6) (arb_stream ~dims:1))
+    (fun (budget, pts) -> legacy_same ~budget ~dims:1 pts)
+
+let prop_flat_eq_legacy_2d =
+  QCheck.Test.make ~name:"flat = legacy (2d)" ~count:400
+    (QCheck.pair (QCheck.int_range 1 8) (arb_stream ~dims:2))
+    (fun (budget, pts) -> legacy_same ~budget ~dims:2 pts)
+
+(* The packed-code scalars must report exactly what [add] reports. *)
+let prop_code_eq_add =
+  QCheck.Test.make ~name:"add2_code/add1_code = add" ~count:400
+    (QCheck.pair (QCheck.int_range 1 6) (arb_stream ~dims:2))
+    (fun (budget, pts) ->
+      let ca = Compressor.create ~budget ~dims:2 () in
+      let cc = Compressor.create ~budget ~dims:2 () in
+      let c1a = Compressor.create ~budget ~dims:1 () in
+      let c1c = Compressor.create ~budget ~dims:1 () in
+      List.for_all
+        (fun p ->
+          let code_matches placement code =
+            match placement with
+            | Compressor.Extended i ->
+              Compressor.code_tag code = Compressor.code_extended
+              && Compressor.code_index code = i
+            | Compressor.Opened i ->
+              Compressor.code_tag code = Compressor.code_opened
+              && Compressor.code_index code = i
+            | Compressor.Discarded -> Compressor.code_tag code = Compressor.code_discarded
+          in
+          code_matches (Compressor.add ca p) (Compressor.add2_code cc p.(0) p.(1))
+          && code_matches
+               (Compressor.add c1a [| p.(0) |])
+               (Compressor.add1_code c1c p.(0)))
+        pts
+      && Compressor.lmads ca = Compressor.lmads cc
+      && Compressor.reconstruct c1a = Compressor.reconstruct c1c)
+
+(* Mid-stream checkpoint/resume must not disturb the caches: restore from
+   [state] at an arbitrary split, finish the stream, compare to an
+   uninterrupted run and to legacy. *)
+let prop_state_resume_eq =
+  QCheck.Test.make ~name:"flat of_state resumes like legacy" ~count:300
+    (QCheck.triple (QCheck.int_range 1 6) QCheck.small_nat (arb_stream ~dims:2))
+    (fun (budget, cut0, pts) ->
+      let n = List.length pts in
+      let cut = if n = 0 then 0 else cut0 mod (n + 1) in
+      let prefix = List.filteri (fun i _ -> i < cut) pts in
+      let suffix = List.filteri (fun i _ -> i >= cut) pts in
+      let c = Compressor.create ~budget ~dims:2 () in
+      List.iter (fun p -> ignore (Compressor.add c p)) prefix;
+      let c' = Compressor.of_state (Compressor.state c) in
+      List.iter (fun p -> ignore (Compressor.add c' p)) suffix;
+      let l = Compressor_legacy.create ~budget ~dims:2 () in
+      List.iter (fun p -> ignore (Compressor_legacy.add l p)) pts;
+      Compressor.lmads c' = Compressor_legacy.lmads l
+      && Compressor.reconstruct c' = Compressor_legacy.reconstruct l
+      && Compressor.discarded c' = Compressor_legacy.discarded l)
+
+(* ------------------------------------------------------------------ *)
 (* Solver                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -406,6 +543,10 @@ let () =
           QCheck_alcotest.to_alcotest prop_roundtrip_always_prefix_free;
           QCheck_alcotest.to_alcotest prop_accounting;
           QCheck_alcotest.to_alcotest prop_nested_ramps_fit_one_descriptor;
+          QCheck_alcotest.to_alcotest prop_flat_eq_legacy_1d;
+          QCheck_alcotest.to_alcotest prop_flat_eq_legacy_2d;
+          QCheck_alcotest.to_alcotest prop_code_eq_add;
+          QCheck_alcotest.to_alcotest prop_state_resume_eq;
         ] );
       ( "solver",
         [

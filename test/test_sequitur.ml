@@ -276,6 +276,46 @@ let prop_runs =
       Sequitur.expand t = a
       && (match Sequitur.check_invariants t with Ok () -> true | Error _ -> false))
 
+(* --- generation-counter sweep ----------------------------------------- *)
+
+(* [gen_sweep] re-baselines the per-slot generation counters before the
+   packed 29-bit field can wrap. It fires naturally only after hundreds of
+   millions of symbol deaths, so these tests call it directly: at any push
+   boundary it must be a pure no-op on the observable grammar — stale
+   digram-index entries dropped, nothing else disturbed — and continued
+   pushes must still match a compressor that never swept. *)
+let test_gen_sweep_noop () =
+  let a = of_string "abcdbcabcdbc" in
+  let t = compress a in
+  let before = Sequitur.rules t in
+  Sequitur.gen_sweep t;
+  ok t;
+  check_bool "rules unchanged" true (Sequitur.rules t = before);
+  Alcotest.(check (array int)) "expansion unchanged" a (Sequitur.expand t);
+  (* Sweeping twice in a row must also be safe. *)
+  Sequitur.gen_sweep t;
+  ok t;
+  check_bool "rules unchanged after second sweep" true (Sequitur.rules t = before)
+
+let prop_gen_sweep_transparent =
+  QCheck.Test.make ~name:"gen_sweep at any push boundary = legacy (alphabet of 4)" ~count:300
+    (QCheck.make
+       ~print:QCheck.Print.(pair (array int) int)
+       QCheck.Gen.(pair gen_small_alphabet (int_bound 400)))
+    (fun (a, cut) ->
+      let cut = min cut (Array.length a) in
+      let swept = Sequitur.create () in
+      Sequitur.push_batch swept a ~off:0 ~len:cut;
+      Sequitur.gen_sweep swept;
+      Sequitur.push_batch swept a ~off:cut ~len:(Array.length a - cut);
+      Sequitur.gen_sweep swept;
+      let legacy = Sequitur_legacy.create () in
+      Sequitur_legacy.push_array legacy a;
+      (match Sequitur.check_invariants swept with Ok () -> true | Error _ -> false)
+      && Sequitur.rules swept = Sequitur_legacy.rules legacy
+      && Sequitur.grammar_size swept = Sequitur_legacy.grammar_size legacy
+      && Sequitur.expand swept = Sequitur_legacy.expand legacy)
+
 let prop_concat_runs =
   QCheck.Test.make ~name:"roundtrip on concatenated runs" ~count:300
     QCheck.(small_list (pair (int_range 0 2) (int_range 1 6)))
@@ -310,6 +350,7 @@ let () =
           tc "push_batch slice" test_push_batch_slice;
           tc "push_batch rejects bad spans" test_push_batch_bad_span;
           tc "iter_rules matches rules" test_iter_rules_matches_rules;
+          tc "gen_sweep is a no-op at rest" test_gen_sweep_noop;
         ] );
       ( "property",
         [
@@ -323,5 +364,6 @@ let () =
           QCheck_alcotest.to_alcotest prop_equiv_any;
           QCheck_alcotest.to_alcotest prop_equiv_collisions;
           QCheck_alcotest.to_alcotest prop_equiv_runs;
+          QCheck_alcotest.to_alcotest prop_gen_sweep_transparent;
         ] );
     ]
